@@ -1,0 +1,150 @@
+//! Typed index arenas.
+//!
+//! The Rete network is a cyclic graph (nodes point down to children and up to
+//! memories). Following the standard Rust idiom for such graphs — and the
+//! perf-book guidance on compact indices — nodes live in `Vec`s and refer to
+//! each other through `u32` newtype ids declared with
+//! [`define_id!`](crate::define_id).
+
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// Implemented by id newtypes created with [`define_id!`](crate::define_id).
+pub trait ArenaId: Copy {
+    /// Build the id from a raw index.
+    fn from_index(index: usize) -> Self;
+    /// Raw index.
+    fn index(self) -> usize;
+}
+
+/// A growable store of `T` addressed by a typed id.
+#[derive(Debug, Clone)]
+pub struct Arena<T, I: ArenaId> {
+    items: Vec<T>,
+    _marker: PhantomData<I>,
+}
+
+impl<T, I: ArenaId> Default for Arena<T, I> {
+    fn default() -> Self {
+        Arena {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, I: ArenaId> Arena<T, I> {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty arena with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            items: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Insert an item, returning its id.
+    #[inline]
+    pub fn alloc(&mut self, item: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items ever allocated.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items have been allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate `(id, &item)`.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterate `(id, &mut item)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Get by id, if in range.
+    #[inline]
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.items.get(id.index())
+    }
+
+    /// Get mutably by id, if in range.
+    #[inline]
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.items.get_mut(id.index())
+    }
+}
+
+impl<T, I: ArenaId> Index<I> for Arena<T, I> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: I) -> &T {
+        &self.items[id.index()]
+    }
+}
+
+impl<T, I: ArenaId> IndexMut<I> for Arena<T, I> {
+    #[inline]
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as sorete_base;
+    use super::*;
+
+    sorete_base::define_id!(struct TestId);
+
+    #[test]
+    fn alloc_and_index() {
+        let mut a: Arena<&str, TestId> = Arena::new();
+        let x = a.alloc("x");
+        let y = a.alloc("y");
+        assert_eq!(a[x], "x");
+        assert_eq!(a[y], "y");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let mut a: Arena<u32, TestId> = Arena::new();
+        a.alloc(10);
+        a.alloc(20);
+        let collected: Vec<_> = a.iter().map(|(id, v)| (id.index(), *v)).collect();
+        assert_eq!(collected, vec![(0, 10), (1, 20)]);
+    }
+
+    #[test]
+    fn mutation_through_id() {
+        let mut a: Arena<u32, TestId> = Arena::new();
+        let id = a.alloc(1);
+        a[id] += 41;
+        assert_eq!(a[id], 42);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let a: Arena<u32, TestId> = Arena::new();
+        assert!(a.get(TestId::new(0)).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared error plumbing.
+
+use std::fmt;
+
+/// Errors raised by base-layer operations and re-used by higher layers for
+/// simple failure cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseError {
+    /// A WME tag was referenced that is not (or no longer) in working memory.
+    UnknownTag(u64),
+    /// A class was used without a `literalize` declaration.
+    UnknownClass(String),
+    /// An attribute is not declared for the class.
+    UnknownAttribute {
+        /// The class in question.
+        class: String,
+        /// The undeclared attribute.
+        attr: String,
+    },
+    /// Catch-all with a message.
+    Message(String),
+}
+
+impl fmt::Display for BaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseError::UnknownTag(t) => write!(f, "unknown time tag {}", t),
+            BaseError::UnknownClass(c) => write!(f, "class `{}` was not literalized", c),
+            BaseError::UnknownAttribute { class, attr } => {
+                write!(f, "attribute `^{}` is not declared for class `{}`", attr, class)
+            }
+            BaseError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for BaseError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, BaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(BaseError::UnknownTag(3).to_string(), "unknown time tag 3");
+        assert!(BaseError::UnknownClass("player".into())
+            .to_string()
+            .contains("player"));
+        let e = BaseError::UnknownAttribute { class: "player".into(), attr: "wings".into() };
+        assert!(e.to_string().contains("^wings"));
+    }
+}

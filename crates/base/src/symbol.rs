@@ -1,0 +1,155 @@
+//! Interned strings.
+//!
+//! OPS5 programs compare symbols constantly (class names, attribute names,
+//! symbolic values), so symbols are interned once into a process-wide table
+//! and thereafter compared as `u32`s. Interned strings live for the life of
+//! the process (they are leaked into the table), which is the standard
+//! trade-off for rule engines whose vocabulary is fixed by the program text.
+
+use crate::hash::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Copyable, `Eq`/`Hash` in O(1).
+///
+/// ```
+/// use sorete_base::Symbol;
+/// let a = Symbol::new("player");
+/// let b = Symbol::new("player");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "player");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::with_capacity(256),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn new(s: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = guard.strings.len() as u32;
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// Raw interner index (stable for the process lifetime).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Symbols order **lexically** (by their string), not by interner index,
+/// so `foreach ... ascending` over symbolic values is deterministic and
+/// human-sensible.
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Symbol::new("abc"), Symbol::new("abc"));
+        assert_ne!(Symbol::new("abc"), Symbol::new("abd"));
+    }
+
+    #[test]
+    fn roundtrips_string() {
+        assert_eq!(Symbol::new("team-A").as_str(), "team-A");
+    }
+
+    #[test]
+    fn orders_lexically() {
+        // Intern in reverse lexical order to ensure ids don't drive the order.
+        let z = Symbol::new("zzz-order-test");
+        let a = Symbol::new("aaa-order-test");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn display_is_bare() {
+        assert_eq!(Symbol::new("nil").to_string(), "nil");
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        let s = Symbol::new(&format!("sym-{}", j));
+                        assert_eq!(s.as_str(), format!("sym-{}", j));
+                        let _ = i;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

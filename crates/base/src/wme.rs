@@ -1,0 +1,184 @@
+//! Working-memory elements.
+//!
+//! A WME is "a tuple with a time tag" (paper §3): a class, a set of
+//! attribute/value slots, and a [`TimeTag`] that uniquely identifies it and
+//! records its recency. Time tags drive OPS5 conflict resolution and the
+//! paper's `foreach <elem-var> descending` iteration order.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// A WME identifier, unique and monotonically increasing within a working
+/// memory. Higher = more recent.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeTag(u64);
+
+impl TimeTag {
+    /// Build a tag from its raw counter value.
+    #[inline]
+    pub fn new(raw: u64) -> TimeTag {
+        TimeTag(raw)
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TimeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TimeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A working-memory element: `(class ^attr value ...)` plus a time tag.
+///
+/// Slots are stored sorted by attribute symbol id; classes have a handful of
+/// attributes, so lookup is a short scan. Attributes not present read as
+/// [`Value::Nil`], matching OPS5.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Wme {
+    /// Unique identifier / recency stamp.
+    pub tag: TimeTag,
+    /// The WME class (OPS5 `literalize` name).
+    pub class: Symbol,
+    slots: Box<[(Symbol, Value)]>,
+}
+
+impl Wme {
+    /// Build a WME. Slots may arrive in any order; duplicates keep the last
+    /// value (as an OPS5 `make` with a repeated attribute would).
+    pub fn new(tag: TimeTag, class: Symbol, mut slots: Vec<(Symbol, Value)>) -> Wme {
+        slots.sort_by_key(|(a, _)| a.id());
+        // Keep the *last* occurrence of each attribute.
+        let mut dedup: Vec<(Symbol, Value)> = Vec::with_capacity(slots.len());
+        for (a, v) in slots {
+            match dedup.last_mut() {
+                Some((prev, pv)) if *prev == a => *pv = v,
+                _ => dedup.push((a, v)),
+            }
+        }
+        // Nil slots are equivalent to absent slots; drop them so equality
+        // and hashing treat `(c ^a nil)` and `(c)` identically.
+        dedup.retain(|(_, v)| !v.is_nil());
+        Wme {
+            tag,
+            class,
+            slots: dedup.into_boxed_slice(),
+        }
+    }
+
+    /// Read an attribute; absent attributes are `nil`.
+    pub fn get(&self, attr: Symbol) -> Value {
+        self.slots
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, v)| *v)
+            .unwrap_or(Value::Nil)
+    }
+
+    /// All explicitly-present slots, sorted by attribute symbol id.
+    pub fn slots(&self) -> &[(Symbol, Value)] {
+        &self.slots
+    }
+
+    /// A copy of this WME with `updates` applied (the heart of `modify` /
+    /// `set-modify`). The caller supplies the new time tag.
+    pub fn modified(&self, new_tag: TimeTag, updates: &[(Symbol, Value)]) -> Wme {
+        let mut slots: Vec<(Symbol, Value)> = self.slots.to_vec();
+        for &(attr, val) in updates {
+            match slots.iter_mut().find(|(a, _)| *a == attr) {
+                Some((_, v)) => *v = val,
+                None => slots.push((attr, val)),
+            }
+        }
+        Wme::new(new_tag, self.class, slots)
+    }
+}
+
+impl fmt::Debug for Wme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ({}", self.tag, self.class)?;
+        for (a, v) in self.slots.iter() {
+            write!(f, " ^{} {}", a, v)?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for Wme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wme(tag: u64, class: &str, slots: &[(&str, Value)]) -> Wme {
+        Wme::new(
+            TimeTag::new(tag),
+            Symbol::new(class),
+            slots.iter().map(|(a, v)| (Symbol::new(a), *v)).collect(),
+        )
+    }
+
+    #[test]
+    fn get_and_nil_default() {
+        let w = wme(1, "player", &[("name", Value::sym("Jack")), ("team", Value::sym("A"))]);
+        assert_eq!(w.get(Symbol::new("name")), Value::sym("Jack"));
+        assert_eq!(w.get(Symbol::new("rating")), Value::Nil);
+    }
+
+    #[test]
+    fn duplicate_attr_keeps_last() {
+        let w = wme(1, "c", &[("a", Value::Int(1)), ("a", Value::Int(2))]);
+        assert_eq!(w.get(Symbol::new("a")), Value::Int(2));
+        assert_eq!(w.slots().len(), 1);
+    }
+
+    #[test]
+    fn explicit_nil_equals_absent() {
+        let a = wme(1, "c", &[("a", Value::Nil)]);
+        let b = wme(1, "c", &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modified_updates_and_extends() {
+        let w = wme(1, "player", &[("team", Value::sym("A"))]);
+        let m = w.modified(
+            TimeTag::new(9),
+            &[(Symbol::new("team"), Value::sym("B")), (Symbol::new("rating"), Value::Int(5))],
+        );
+        assert_eq!(m.tag, TimeTag::new(9));
+        assert_eq!(m.get(Symbol::new("team")), Value::sym("B"));
+        assert_eq!(m.get(Symbol::new("rating")), Value::Int(5));
+        // Original untouched.
+        assert_eq!(w.get(Symbol::new("team")), Value::sym("A"));
+    }
+
+    #[test]
+    fn debug_format_matches_paper_style() {
+        let w = wme(3, "player", &[("team", Value::sym("B")), ("name", Value::sym("Sue"))]);
+        let s = format!("{:?}", w);
+        assert!(s.starts_with("3: (player"), "{}", s);
+        assert!(s.contains("^name Sue"), "{}", s);
+        assert!(s.contains("^team B"), "{}", s);
+    }
+
+    #[test]
+    fn tags_order_by_recency() {
+        assert!(TimeTag::new(2) > TimeTag::new(1));
+    }
+}

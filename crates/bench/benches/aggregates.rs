@@ -1,0 +1,23 @@
+//! C3 bench: maintaining second-order information (cardinality) under WM
+//! churn — counter-maintenance rules versus the incremental S-node
+//! aggregates of §4.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::{run_c3, C3_AGGREGATE, C3_COUNTER};
+use sorete_core::MatcherKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_aggregates");
+    for n in [20usize, 100] {
+        group.bench_with_input(BenchmarkId::new("counter_rules", n), &n, |b, &n| {
+            b.iter(|| run_c3(C3_COUNTER, MatcherKind::Rete, n))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_aggregate", n), &n, |b, &n| {
+            b.iter(|| run_c3(C3_AGGREGATE, MatcherKind::Rete, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! C5 bench: DIPS parallel firing. Tuple-oriented execution pays for its
+//! conflicts (aborted transactions + re-cycles); set-oriented execution
+//! drains the collection in one conflict-free transaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::run_c5;
+use sorete_dips::DipsMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_dips_conflicts");
+    group.sample_size(10); // whole-engine cycles are heavyweight
+    for n in [4usize, 12] {
+        group.bench_with_input(BenchmarkId::new("tuple", n), &n, |b, &n| {
+            b.iter(|| run_c5(DipsMode::Tuple, n))
+        });
+        group.bench_with_input(BenchmarkId::new("set", n), &n, |b, &n| {
+            b.iter(|| run_c5(DipsMode::Set, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! C6 bench: Rete (with S-nodes) vs TREAT (with S-nodes) vs the naive
+//! recompute matcher on a mixed workload — joins, negation-free control,
+//! and one set-oriented aggregate rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::run_c6;
+use sorete_core::MatcherKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c6_matchers");
+    for n in [50usize, 200] {
+        for (name, kind) in [
+            ("rete", MatcherKind::Rete),
+            ("treat", MatcherKind::Treat),
+            ("naive", MatcherKind::Naive),
+        ] {
+            // The naive matcher is quadratic-ish; skip its largest size to
+            // keep the suite quick.
+            if name == "naive" && n > 100 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| run_c6(kind, n))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! C1 bench: a regular OPS5 workload with and without a (never-matching)
+//! set-oriented rule loaded. The paper claims the extension "does not
+//! degrade the performance when executing regular OPS5 programs" — so the
+//! two series should be indistinguishable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::{run_c1, C1_REGULAR, C1_WITH_SET};
+use sorete_core::MatcherKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1_regular_overhead");
+    for n in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
+            b.iter(|| run_c1(C1_REGULAR, MatcherKind::Rete, n))
+        });
+        group.bench_with_input(BenchmarkId::new("with_set_rule", n), &n, |b, &n| {
+            b.iter(|| run_c1(C1_WITH_SET, MatcherKind::Rete, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! C2 bench: processing a collection of `n` WMEs with the tuple-oriented
+//! marking idiom (n+1 firings) versus one set-oriented rule (1 firing).
+//! The paper predicts the set-oriented form wins and the gap widens with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::{run_c2, C2_MARKING, C2_SET};
+use sorete_core::MatcherKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_set_vs_tuple");
+    for n in [10usize, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("marking", n), &n, |b, &n| {
+            b.iter(|| run_c2(C2_MARKING, MatcherKind::Rete, n))
+        });
+        group.bench_with_input(BenchmarkId::new("set_oriented", n), &n, |b, &n| {
+            b.iter(|| run_c2(C2_SET, MatcherKind::Rete, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! S-node micro-bench: per-token cost of the Figure-3 algorithm as the
+//! γ-memory grows — insertions at the head (recency order) plus aggregate
+//! maintenance and test re-evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_base::{CsDelta, FxHashMap, RuleId, Symbol, TimeTag, Value, Wme};
+use sorete_lang::{analyze_rule, parse_rule};
+use sorete_soi::SNode;
+use std::sync::Arc;
+
+fn build_wm(n: usize) -> (FxHashMap<TimeTag, Wme>, Vec<TimeTag>) {
+    let mut wm = FxHashMap::default();
+    let mut tags = Vec::new();
+    for i in 0..n {
+        let tag = TimeTag::new(i as u64 + 1);
+        wm.insert(
+            tag,
+            Wme::new(
+                tag,
+                Symbol::new("item"),
+                vec![(Symbol::new("v"), Value::Int((i % 17) as i64))],
+            ),
+        );
+        tags.push(tag);
+    }
+    (wm, tags)
+}
+
+fn bench(c: &mut Criterion) {
+    let rule = Arc::new(
+        analyze_rule(
+            &parse_rule(
+                "(p watch {{ [item ^v <v>] <P> }} :test ((count <P>) > 0 and (sum <v>) >= 0) (halt))"
+                    .replace("{{", "{")
+                    .replace("}}", "}")
+                    .as_str(),
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+    );
+    let mut group = c.benchmark_group("snode_scaling");
+    for n in [16usize, 256, 1024] {
+        let (wm, tags) = build_wm(n);
+        group.bench_with_input(BenchmarkId::new("insert_n_rows", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sn = SNode::new(RuleId::new(0), rule.clone());
+                let lookup = |t: TimeTag, a: Symbol| wm[&t].get(a);
+                let mut out: Vec<CsDelta> = Vec::new();
+                for &t in &tags {
+                    sn.insert_row(&[t], &lookup, &mut out);
+                    out.clear();
+                }
+                sn.candidate_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,330 @@
+#![warn(missing_docs)]
+//! Shared experiment definitions: workload generators and runners used by
+//! both the Criterion benches and the `report` binary that regenerates the
+//! tables in `EXPERIMENTS.md`.
+//!
+//! Experiment ids (F1–F6 figures, C1–C6 claims) are defined in DESIGN.md.
+
+use sorete_base::Value;
+use sorete_core::{MatcherKind, ProductionSystem};
+use sorete_dips::{parallel_cycle, CycleReport, DipsEngine, DipsMode};
+
+/// One measured run of a production-system workload.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// WM size parameter of the workload.
+    pub n: usize,
+    /// Rule firings.
+    pub firings: u64,
+    /// Primitive RHS actions.
+    pub actions: u64,
+    /// Actions per firing (the C4 parallelism proxy).
+    pub actions_per_firing: f64,
+    /// Tokens created in the match network.
+    pub tokens: u64,
+    /// Join tests performed.
+    pub join_tests: u64,
+    /// S-node activations.
+    pub snode_activations: u64,
+    /// Incremental aggregate updates.
+    pub aggregate_updates: u64,
+    /// Wall-clock microseconds for the measured phase.
+    pub micros: u128,
+}
+
+fn report_from(ps: &ProductionSystem, n: usize, micros: u128) -> RunReport {
+    let s = ps.stats();
+    let m = ps.match_stats();
+    RunReport {
+        n,
+        firings: s.firings,
+        actions: s.actions,
+        actions_per_firing: s.actions_per_firing(),
+        tokens: m.tokens_created,
+        join_tests: m.join_tests,
+        snode_activations: m.snode_activations,
+        aggregate_updates: m.aggregate_updates,
+        micros,
+    }
+}
+
+// =================================================================== C1
+
+/// A purely tuple-oriented workload: `n` jobs advanced through a 3-state
+/// pipeline. Used to show regular rules cost the same with or without
+/// set-oriented rules loaded.
+pub const C1_REGULAR: &str = "(literalize job id state)
+    (p start (job ^id <i> ^state ready) (modify 1 ^state running))
+    (p finish (job ^id <i> ^state running) (modify 1 ^state done))";
+
+/// The same program plus an (idle) set-oriented rule on an unused class.
+pub const C1_WITH_SET: &str = "(literalize job id state)(literalize audit k)
+    (p start (job ^id <i> ^state ready) (modify 1 ^state running))
+    (p finish (job ^id <i> ^state running) (modify 1 ^state done))
+    (p sweep { [audit ^k <k>] <A> } :test ((count <A>) > 3) (set-remove <A>))";
+
+/// Build + run the C1 pipeline; returns the measured report.
+pub fn run_c1(program: &str, kind: MatcherKind, n: usize) -> RunReport {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(program).expect("C1 program");
+    let start = std::time::Instant::now();
+    for i in 0..n as i64 {
+        ps.make_str("job", &[("id", Value::Int(i)), ("state", Value::sym("ready"))]).unwrap();
+    }
+    ps.run(None);
+    report_from(&ps, n, start.elapsed().as_micros())
+}
+
+// =================================================================== C2
+
+/// Tuple-oriented OPS5 idiom: iterate with per-element firings plus a
+/// control rule (the "unwieldy control mechanisms" of §1).
+pub const C2_MARKING: &str = "(literalize item s)(literalize phase p)
+    (p process-one (phase ^p sweep) (item ^s pending) (modify 2 ^s done))
+    (p finish (phase ^p sweep) -(item ^s pending) (remove 1))";
+
+/// The paper's alternative: one set-oriented rule, one firing.
+pub const C2_SET: &str = "(literalize item s)(literalize phase p)
+    (p process-all (phase ^p sweep) { [item ^s pending] <P> }
+      (set-modify <P> ^s done) (remove 1))";
+
+/// Build + run the C2 sweep over `n` pending items.
+pub fn run_c2(program: &str, kind: MatcherKind, n: usize) -> RunReport {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(program).expect("C2 program");
+    for _ in 0..n {
+        ps.make_str("item", &[("s", Value::sym("pending"))]).unwrap();
+    }
+    let start = std::time::Instant::now();
+    ps.make_str("phase", &[("p", Value::sym("sweep"))]).unwrap();
+    ps.run(Some(100_000));
+    let rep = report_from(&ps, n, start.elapsed().as_micros());
+    debug_assert!(ps
+        .wm()
+        .iter()
+        .all(|w| w.class.as_str() != "item"
+            || w.get(sorete_base::Symbol::new("s")) == Value::sym("done")));
+    rep
+}
+
+// =================================================================== C3
+
+/// Counter maintenance by iteration (tuple-oriented).
+pub const C3_COUNTER: &str = "(literalize box s)(literalize counter n)(literalize alarm t)
+    (p count-one (counter ^n <n>) (box ^s new)
+      (modify 1 ^n (<n> + 1)) (modify 2 ^s counted))
+    (p raise (counter ^n <k> ^n >= 1000000) (make alarm ^t overfull))";
+
+/// Direct second-order match (set-oriented).
+pub const C3_AGGREGATE: &str = "(literalize box s)(literalize alarm t)
+    (p raise { [box ^s new] <B> } :test ((count <B>) >= 1000000)
+      (make alarm ^t overfull))";
+
+/// Insert `n` boxes, then remove half — measuring the cost of *keeping the
+/// cardinality current* under churn.
+pub fn run_c3(program: &str, kind: MatcherKind, n: usize) -> RunReport {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(program).expect("C3 program");
+    if program.contains("literalize counter") {
+        ps.make_str("counter", &[("n", Value::Int(0))]).unwrap();
+    }
+    let start = std::time::Instant::now();
+    let mut tags = Vec::new();
+    for _ in 0..n {
+        tags.push(ps.make_str("box", &[("s", Value::sym("new"))]).unwrap());
+        ps.run(None); // counter program needs firings per box
+    }
+    for t in tags.into_iter().step_by(2) {
+        // Counter program can't notice removals (its count drifts) — the
+        // aggregate version stays exact for free.
+        let _ = ps.retract_wme(t);
+        ps.run(None);
+    }
+    report_from(&ps, n, start.elapsed().as_micros())
+}
+
+// =================================================================== C6
+
+/// A mixed workload for matcher comparison: variable joins (a worker may
+/// only take a task within its capacity), negation-free control, and one
+/// set-oriented aggregate rule, over `n` tasks.
+pub const C6_PROGRAM: &str = "(literalize task id dur state owner)
+    (literalize worker id cap load)
+    (p assign (task ^id <t> ^state queued ^owner nil ^dur <d>)
+              (worker ^id <w> ^load 0 ^cap >= <d>)
+      (modify 1 ^state assigned ^owner <w>) (modify 2 ^load 1))
+    (p watch-queue { [task ^state queued ^dur <d>] <Q> } :test ((count <Q>) > 0 and (sum <d>) > 10)
+      (write backlog (count <Q>)))";
+
+/// Run the C6 workload on the chosen matcher.
+pub fn run_c6(kind: MatcherKind, n: usize) -> RunReport {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(C6_PROGRAM).expect("C6 program");
+    let start = std::time::Instant::now();
+    for i in 0..n as i64 {
+        ps.make_str(
+            "task",
+            &[
+                ("id", Value::Int(i)),
+                ("dur", Value::Int(1 + (i * 7) % 13)),
+                ("state", Value::sym("queued")),
+                ("owner", Value::Nil),
+            ],
+        )
+        .unwrap();
+        if i % 3 == 0 {
+            ps.make_str(
+                "worker",
+                &[("id", Value::Int(i)), ("cap", Value::Int(5 + (i * 3) % 9)), ("load", Value::Int(0))],
+            )
+            .unwrap();
+        }
+    }
+    ps.run(Some(100_000));
+    report_from(&ps, n, start.elapsed().as_micros())
+}
+
+// =================================================================== C5
+
+/// Outcome of the DIPS experiment at one size.
+#[derive(Clone, Copy, Debug)]
+pub struct DipsReport {
+    /// Collection size.
+    pub n: usize,
+    /// Transactions attempted.
+    pub attempted: usize,
+    /// Commits.
+    pub committed: usize,
+    /// Aborts (conflicts).
+    pub aborted: usize,
+    /// Cycles needed to drain the collection.
+    pub cycles: usize,
+    /// Wall-clock microseconds.
+    pub micros: u128,
+}
+
+/// Drain `n` pending items through DIPS parallel cycles in the given mode.
+pub fn run_c5(mode: DipsMode, n: usize) -> DipsReport {
+    let prog = match mode {
+        DipsMode::Tuple => {
+            "(p drain (flag ^on t) (item ^s pending) (modify 1 ^on t) (remove 2))"
+        }
+        DipsMode::Set => {
+            "(p drain (flag ^on t) { [item ^s pending] <P> } (modify 1 ^on t) (set-remove <P>))"
+        }
+    };
+    let mut e = DipsEngine::new(mode, prog).expect("C5 program");
+    e.insert("flag", &[("on", Value::sym("t"))]).unwrap();
+    for _ in 0..n {
+        e.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+    }
+    let start = std::time::Instant::now();
+    let mut total = CycleReport::default();
+    let mut cycles = 0;
+    loop {
+        let r = parallel_cycle(&mut e).expect("cycle");
+        if r.attempted == 0 {
+            break;
+        }
+        cycles += 1;
+        total.attempted += r.attempted;
+        total.committed += r.committed;
+        total.aborted += r.aborted;
+        if cycles > n + 2 {
+            break;
+        }
+    }
+    DipsReport {
+        n,
+        attempted: total.attempted,
+        committed: total.committed,
+        aborted: total.aborted,
+        cycles,
+        micros: start.elapsed().as_micros(),
+    }
+}
+
+// ================================================================ whole-program
+
+/// The Monkey & Bananas planning program (`programs/monkey.ops`), run end
+/// to end under MEA — a complete multi-rule program with joins, negation,
+/// and a set-oriented cleanup rule.
+pub fn run_monkey(kind: MatcherKind) -> RunReport {
+    let program = include_str!("../../../programs/monkey.ops");
+    let mut ps = ProductionSystem::new(kind);
+    ps.set_strategy(sorete_core::Strategy::Mea);
+    ps.load_program(program).expect("monkey program");
+    let start = std::time::Instant::now();
+    ps.make_str(
+        "monkey",
+        &[("at", Value::sym("5-7")), ("on", Value::sym("floor")), ("holds", Value::Nil)],
+    )
+    .unwrap();
+    ps.make_str(
+        "thing",
+        &[("name", Value::sym("bananas")), ("at", Value::sym("7-7")), ("on", Value::sym("ceiling"))],
+    )
+    .unwrap();
+    ps.make_str(
+        "thing",
+        &[("name", Value::sym("ladder")), ("at", Value::sym("2-2")), ("on", Value::sym("floor"))],
+    )
+    .unwrap();
+    ps.make_str(
+        "goal",
+        &[("status", Value::sym("active")), ("type", Value::sym("holds")), ("obj", Value::sym("bananas"))],
+    )
+    .unwrap();
+    let outcome = ps.run(Some(100));
+    debug_assert_eq!(outcome.fired, 7);
+    report_from(&ps, 1, start.elapsed().as_micros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_reports_match() {
+        let plain = run_c1(C1_REGULAR, MatcherKind::Rete, 20);
+        let with_set = run_c1(C1_WITH_SET, MatcherKind::Rete, 20);
+        assert_eq!(plain.firings, with_set.firings);
+        assert_eq!(plain.tokens, with_set.tokens);
+        assert_eq!(with_set.snode_activations, 0);
+    }
+
+    #[test]
+    fn c2_shapes() {
+        let marking = run_c2(C2_MARKING, MatcherKind::Rete, 25);
+        let set = run_c2(C2_SET, MatcherKind::Rete, 25);
+        assert_eq!(marking.firings, 26);
+        assert_eq!(set.firings, 1);
+        assert!(set.actions_per_firing > marking.actions_per_firing * 5.0);
+    }
+
+    #[test]
+    fn c5_shapes() {
+        let tuple = run_c5(DipsMode::Tuple, 6);
+        let set = run_c5(DipsMode::Set, 6);
+        assert!(tuple.aborted > 0);
+        assert_eq!(set.aborted, 0);
+        assert_eq!(set.cycles, 1);
+        assert!(tuple.cycles > 1, "conflicts force re-cycling");
+    }
+
+    #[test]
+    fn monkey_runs_on_all_matchers() {
+        for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
+            let r = run_monkey(kind);
+            assert_eq!(r.firings, 7, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn c6_all_matchers_terminate() {
+        for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
+            let r = run_c6(kind, 30);
+            assert!(r.firings > 0, "{:?}", kind);
+        }
+    }
+}

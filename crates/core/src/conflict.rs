@@ -1,0 +1,266 @@
+//! The conflict set and OPS5 conflict-resolution strategies.
+//!
+//! The set is maintained from matcher deltas (`+`/`-`/`time` tokens).
+//! Refraction records *which version* of an entry fired: a regular
+//! instantiation fires once per appearance, while an SOI whose contents
+//! change (version bump carried by a `time` token) becomes eligible to fire
+//! again — "if any part of the instantiation changes, the instantiation is
+//! again eligible to fire" (paper §6).
+
+use sorete_base::{ConflictItem, CsDelta, FxHashMap, InstKey, TimeTag};
+use std::cmp::Ordering;
+
+/// OPS5 conflict-resolution strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Refraction → recency (LEX on sorted time tags) → specificity.
+    #[default]
+    Lex,
+    /// Refraction → recency of the *first* CE's WME → LEX.
+    Mea,
+}
+
+/// The conflict set.
+#[derive(Default)]
+pub struct ConflictSet {
+    items: FxHashMap<InstKey, Entry>,
+    /// Refraction memory: the version of each key that already fired.
+    fired: FxHashMap<InstKey, u64>,
+    /// Monotonic arrival counter for deterministic final tie-breaks.
+    arrivals: u64,
+}
+
+struct Entry {
+    item: ConflictItem,
+    arrival: u64,
+    /// True when a slim `time` token updated version/recency but the rows
+    /// are outdated; the engine re-materializes before firing.
+    stale: bool,
+}
+
+impl ConflictSet {
+    /// Empty set.
+    pub fn new() -> ConflictSet {
+        ConflictSet::default()
+    }
+
+    /// Apply one matcher delta.
+    pub fn apply(&mut self, delta: CsDelta) {
+        match delta {
+            CsDelta::Insert(item) => {
+                self.arrivals += 1;
+                let arrival = self.arrivals;
+                self.items.insert(item.key.clone(), Entry { item, arrival, stale: false });
+            }
+            CsDelta::Remove(key) => {
+                self.items.remove(&key);
+                // Leaving the conflict set clears refraction: if the same
+                // instantiation is ever re-derived it may fire again.
+                self.fired.remove(&key);
+            }
+            CsDelta::Retime(info) => {
+                // The paper's pointer semantics: the entry is updated in
+                // place; only its position/version metadata travels.
+                self.arrivals += 1;
+                let arrival = self.arrivals;
+                if let Some(entry) = self.items.get_mut(&info.key) {
+                    entry.item.version = info.version;
+                    entry.item.recency = info.recency;
+                    entry.arrival = arrival;
+                    entry.stale = true;
+                }
+            }
+        }
+    }
+
+    /// Number of entries (fired or not).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Entries in no particular order.
+    pub fn items(&self) -> impl Iterator<Item = &ConflictItem> {
+        self.items.values().map(|e| &e.item)
+    }
+
+    /// Record that an entry fired (at its current version).
+    pub fn mark_fired(&mut self, key: &InstKey, version: u64) {
+        self.fired.insert(key.clone(), version);
+    }
+
+    /// Is the entry refracted (already fired at its current version)?
+    pub fn is_refracted(&self, item: &ConflictItem) -> bool {
+        self.fired.get(&item.key).is_some_and(|&v| v >= item.version)
+    }
+
+    /// Select the dominant unrefracted entry under `strategy`. The second
+    /// component is `true` when the entry's rows are stale (a slim `time`
+    /// token arrived) and must be re-materialized before firing.
+    pub fn select(&self, strategy: Strategy) -> Option<(&ConflictItem, bool)> {
+        self.items
+            .values()
+            .filter(|e| !self.is_refracted(&e.item))
+            .max_by(|a, b| compare(strategy, a, b))
+            .map(|e| (&e.item, e.stale))
+    }
+
+    /// Refresh a stale entry with re-materialized contents.
+    pub fn refresh(&mut self, item: ConflictItem) {
+        if let Some(entry) = self.items.get_mut(&item.key) {
+            entry.item = item;
+            entry.stale = false;
+        }
+    }
+
+    /// Count of unrefracted (fireable) entries.
+    pub fn fireable(&self) -> usize {
+        self.items.values().filter(|e| !self.is_refracted(&e.item)).count()
+    }
+}
+
+fn compare(strategy: Strategy, a: &Entry, b: &Entry) -> Ordering {
+    let ord = match strategy {
+        Strategy::Lex => lex(&a.item, &b.item),
+        Strategy::Mea => {
+            let fa = first_ce_tag(&a.item);
+            let fb = first_ce_tag(&b.item);
+            fa.cmp(&fb).then_with(|| lex(&a.item, &b.item))
+        }
+    };
+    // Deterministic final tie-break: later arrival dominates.
+    ord.then_with(|| a.arrival.cmp(&b.arrival))
+}
+
+fn first_ce_tag(item: &ConflictItem) -> TimeTag {
+    item.rows.first().and_then(|r| r.first().copied()).unwrap_or_default()
+}
+
+/// OPS5 LEX: compare descending-sorted tag lists lexicographically (the
+/// matcher precomputed `recency`), then specificity.
+fn lex(a: &ConflictItem, b: &ConflictItem) -> Ordering {
+    a.recency
+        .iter()
+        .zip(b.recency.iter())
+        .map(|(x, y)| x.cmp(y))
+        .find(|o| *o != Ordering::Equal)
+        .unwrap_or_else(|| a.recency.len().cmp(&b.recency.len()))
+        .then_with(|| a.specificity.cmp(&b.specificity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorete_base::{RuleId, Value};
+
+    fn item(rule: u32, tags: &[u64], specificity: u32, version: u64) -> ConflictItem {
+        let t: Vec<TimeTag> = tags.iter().map(|&x| TimeTag::new(x)).collect();
+        let mut rec = t.clone();
+        rec.sort_unstable_by(|a, b| b.cmp(a));
+        ConflictItem {
+            key: InstKey::Tuple { rule: RuleId::new(rule as usize), tags: t.clone().into() },
+            rows: vec![t.into()],
+            aggregates: vec![Value::Int(0)],
+            version,
+            recency: rec.into(),
+            specificity,
+        }
+    }
+
+    #[test]
+    fn lex_prefers_recency() {
+        let mut cs = ConflictSet::new();
+        cs.apply(CsDelta::Insert(item(0, &[1, 2], 2, 0)));
+        cs.apply(CsDelta::Insert(item(1, &[1, 3], 2, 0)));
+        let (sel, _) = cs.select(Strategy::Lex).unwrap();
+        assert_eq!(sel.key.rule(), RuleId::new(1));
+    }
+
+    #[test]
+    fn lex_specificity_breaks_ties() {
+        let mut cs = ConflictSet::new();
+        cs.apply(CsDelta::Insert(item(0, &[5], 1, 0)));
+        cs.apply(CsDelta::Insert(item(1, &[5], 9, 0)));
+        let (sel, _) = cs.select(Strategy::Lex).unwrap();
+        assert_eq!(sel.key.rule(), RuleId::new(1));
+    }
+
+    #[test]
+    fn longer_recency_dominates_equal_prefix() {
+        let mut cs = ConflictSet::new();
+        cs.apply(CsDelta::Insert(item(0, &[5], 1, 0)));
+        cs.apply(CsDelta::Insert(item(1, &[5, 2], 1, 0)));
+        assert_eq!(cs.select(Strategy::Lex).unwrap().0.key.rule(), RuleId::new(1));
+    }
+
+    #[test]
+    fn mea_prefers_first_ce_recency() {
+        let mut cs = ConflictSet::new();
+        // LEX would pick rule 0 (tag 9); MEA looks at the first CE only.
+        cs.apply(CsDelta::Insert(item(0, &[1, 9], 1, 0)));
+        cs.apply(CsDelta::Insert(item(1, &[2, 3], 1, 0)));
+        assert_eq!(cs.select(Strategy::Lex).unwrap().0.key.rule(), RuleId::new(0));
+        assert_eq!(cs.select(Strategy::Mea).unwrap().0.key.rule(), RuleId::new(1));
+    }
+
+    #[test]
+    fn refraction_blocks_refire_until_version_changes() {
+        let mut cs = ConflictSet::new();
+        let it = item(0, &[4], 1, 1);
+        cs.apply(CsDelta::Insert(it.clone()));
+        assert_eq!(cs.fireable(), 1);
+        cs.mark_fired(&it.key, it.version);
+        assert_eq!(cs.fireable(), 0);
+        assert!(cs.select(Strategy::Lex).is_none());
+        // The SOI changes → version bumps → eligible again (§6).
+        let updated = item(0, &[4], 1, 2);
+        cs.apply(CsDelta::Retime(sorete_base::RetimeInfo {
+            key: updated.key.clone(),
+            version: updated.version,
+            recency: updated.recency.clone(),
+        }));
+        assert_eq!(cs.fireable(), 1);
+        let (_, stale) = cs.select(Strategy::Lex).unwrap();
+        assert!(stale, "rows must be re-materialized before firing");
+        cs.refresh(updated);
+        let (_, stale) = cs.select(Strategy::Lex).unwrap();
+        assert!(!stale);
+    }
+
+    #[test]
+    fn full_ties_break_by_arrival() {
+        let mut cs = ConflictSet::new();
+        // Same recency, same specificity, different rules: the later
+        // arrival wins deterministically.
+        cs.apply(CsDelta::Insert(item(0, &[7], 3, 0)));
+        cs.apply(CsDelta::Insert(item(1, &[7], 3, 0)));
+        assert_eq!(cs.select(Strategy::Lex).unwrap().0.key.rule(), RuleId::new(1));
+    }
+
+    #[test]
+    fn retime_of_absent_key_is_ignored() {
+        let mut cs = ConflictSet::new();
+        let ghost = item(0, &[1], 1, 5);
+        cs.apply(CsDelta::Retime(sorete_base::RetimeInfo {
+            key: ghost.key.clone(),
+            version: ghost.version,
+            recency: ghost.recency.clone(),
+        }));
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn leaving_clears_refraction() {
+        let mut cs = ConflictSet::new();
+        let it = item(0, &[4], 1, 0);
+        cs.apply(CsDelta::Insert(it.clone()));
+        cs.mark_fired(&it.key, 0);
+        cs.apply(CsDelta::Remove(it.key.clone()));
+        cs.apply(CsDelta::Insert(it.clone()));
+        assert_eq!(cs.fireable(), 1, "re-derived instantiation may fire again");
+    }
+}

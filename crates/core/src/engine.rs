@@ -1,0 +1,403 @@
+//! The production-system engine: recognise–act cycle over a pluggable
+//! match algorithm.
+
+use crate::conflict::{ConflictSet, Strategy};
+use crate::error::CoreError;
+use crate::rhs::{self, RhsCtx, RhsHost};
+use crate::stats::RunStats;
+use crate::wm::WorkingMemory;
+use sorete_base::{ConflictItem, FxHashMap, RuleId, Symbol, TimeTag, Value, Wme};
+use sorete_lang::analyze::AnalyzedRule;
+use sorete_lang::matcher::Matcher;
+use sorete_lang::{analyze_program, parse_program};
+use sorete_naive::NaiveMatcher;
+use sorete_rete::ReteMatcher;
+use sorete_treat::TreatMatcher;
+use std::sync::Arc;
+
+/// Which match algorithm backs the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MatcherKind {
+    /// Rete with S-nodes (the paper's implementation).
+    #[default]
+    Rete,
+    /// TREAT (Miranker 1986) with S-nodes.
+    Treat,
+    /// Recompute-from-scratch oracle.
+    Naive,
+}
+
+/// Why a [`ProductionSystem::run`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No fireable instantiation remained.
+    Quiescence,
+    /// A `(halt)` was executed.
+    Halt,
+    /// The firing limit was reached.
+    Limit,
+}
+
+/// Result of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Rules fired during this run.
+    pub fired: u64,
+    /// Why the run ended.
+    pub reason: StopReason,
+}
+
+/// A complete forward-chaining production system: working memory, match
+/// network, conflict resolution, and the set-oriented RHS interpreter.
+///
+/// ```
+/// use sorete_core::{MatcherKind, ProductionSystem};
+/// use sorete_base::Value;
+///
+/// let mut ps = ProductionSystem::new(MatcherKind::Rete);
+/// ps.load_program(
+///     "(literalize player name team)
+///      (p greet (player ^name <n>) (write hello <n>) (remove 1))",
+/// ).unwrap();
+/// ps.make_str("player", &[("name", Value::sym("Jack"))]).unwrap();
+/// let outcome = ps.run(None);
+/// assert_eq!(outcome.fired, 1);
+/// assert_eq!(ps.take_output(), vec!["hello Jack"]);
+/// ```
+pub struct ProductionSystem {
+    matcher: Box<dyn Matcher>,
+    rules: Vec<Arc<AnalyzedRule>>,
+    rule_ids: FxHashMap<Symbol, RuleId>,
+    wm: WorkingMemory,
+    cs: ConflictSet,
+    strategy: Strategy,
+    halted: bool,
+    stats: RunStats,
+    output: Vec<String>,
+    trace: Vec<String>,
+    tracing: bool,
+    /// Set while a RHS runs, for per-rule action accounting.
+    firing_rule: Option<Symbol>,
+}
+
+impl ProductionSystem {
+    /// New engine over the chosen matcher, LEX strategy.
+    pub fn new(kind: MatcherKind) -> ProductionSystem {
+        let matcher: Box<dyn Matcher> = match kind {
+            MatcherKind::Rete => Box::new(ReteMatcher::new()),
+            MatcherKind::Treat => Box::new(TreatMatcher::new()),
+            MatcherKind::Naive => Box::new(NaiveMatcher::new()),
+        };
+        ProductionSystem {
+            matcher,
+            rules: Vec::new(),
+            rule_ids: FxHashMap::default(),
+            wm: WorkingMemory::new(),
+            cs: ConflictSet::new(),
+            strategy: Strategy::Lex,
+            halted: false,
+            stats: RunStats::default(),
+            output: Vec::new(),
+            trace: Vec::new(),
+            tracing: false,
+            firing_rule: None,
+        }
+    }
+
+    /// Change the conflict-resolution strategy.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Enable firing traces (retrievable via [`Self::take_trace`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Parse, analyse, and load a whole program (literalizes + rules).
+    /// Must be called before any working-memory change.
+    pub fn load_program(&mut self, src: &str) -> Result<(), CoreError> {
+        let prog = parse_program(src)?;
+        let analyzed = analyze_program(&prog)?;
+        for l in &prog.literalizes {
+            self.wm.declare_class(l.class, l.attrs.clone());
+        }
+        for ar in analyzed {
+            let ar = Arc::new(ar);
+            let id = self.matcher.add_rule(ar.clone());
+            debug_assert_eq!(id.index(), self.rules.len());
+            self.rule_ids.insert(ar.name, id);
+            self.rules.push(ar);
+        }
+        // Rules added after WMEs derive instantiations immediately.
+        self.sync();
+        Ok(())
+    }
+
+    /// Excise a production by name: its instantiations leave the conflict
+    /// set and it never matches again.
+    pub fn excise(&mut self, name: &str) -> Result<(), CoreError> {
+        let sym = Symbol::new(name);
+        let id = self
+            .rule_ids
+            .remove(&sym)
+            .ok_or_else(|| CoreError::Rhs(format!("no rule named `{}` to excise", name)))?;
+        self.matcher.remove_rule(id);
+        self.sync();
+        Ok(())
+    }
+
+    /// Look up a loaded rule by name.
+    pub fn rule(&self, name: &str) -> Option<&Arc<AnalyzedRule>> {
+        let id = self.rule_ids.get(&Symbol::new(name))?;
+        self.rules.get(id.index())
+    }
+
+    /// Assert a WME (string-keyed convenience).
+    pub fn make_str(&mut self, class: &str, slots: &[(&str, Value)]) -> Result<TimeTag, CoreError> {
+        self.assert_wme(
+            Symbol::new(class),
+            slots.iter().map(|(a, v)| (Symbol::new(a), *v)).collect(),
+        )
+    }
+
+    /// Assert a WME.
+    pub fn assert_wme(
+        &mut self,
+        class: Symbol,
+        slots: Vec<(Symbol, Value)>,
+    ) -> Result<TimeTag, CoreError> {
+        let wme = self.wm.make(class, slots)?;
+        self.matcher.insert_wme(&wme);
+        self.sync();
+        Ok(wme.tag)
+    }
+
+    /// Retract a WME.
+    pub fn retract_wme(&mut self, tag: TimeTag) -> Result<(), CoreError> {
+        let wme = self.wm.remove(tag)?;
+        self.matcher.remove_wme(&wme);
+        self.sync();
+        Ok(())
+    }
+
+    /// Modify = retract + re-assert with a fresh time tag (OPS5 semantics).
+    pub fn modify_wme(
+        &mut self,
+        tag: TimeTag,
+        updates: &[(Symbol, Value)],
+    ) -> Result<TimeTag, CoreError> {
+        let old = self.wm.remove(tag)?;
+        self.matcher.remove_wme(&old);
+        self.sync();
+        let class = old.class;
+        let mut slots: Vec<(Symbol, Value)> = old.slots().to_vec();
+        drop(old);
+        for &(a, v) in updates {
+            match slots.iter_mut().find(|(sa, _)| *sa == a) {
+                Some((_, sv)) => *sv = v,
+                None => slots.push((a, v)),
+            }
+        }
+        let wme = self.wm.make(class, slots)?;
+        self.matcher.insert_wme(&wme);
+        self.sync();
+        Ok(wme.tag)
+    }
+
+    fn sync(&mut self) {
+        for d in self.matcher.drain_deltas() {
+            self.cs.apply(d);
+        }
+    }
+
+    /// One recognise–act cycle. Returns the fired rule's name, or `None` at
+    /// quiescence / after halt.
+    pub fn step(&mut self) -> Result<Option<Symbol>, CoreError> {
+        if self.halted {
+            return Ok(None);
+        }
+        self.sync();
+        let Some((selected, stale)) = self.cs.select(self.strategy) else {
+            return Ok(None);
+        };
+        let mut item = selected.clone();
+        if stale {
+            // A slim `time` token updated this SOI; fetch its real rows.
+            match self.matcher.materialize(&item.key) {
+                Some(fresh) => {
+                    item = fresh;
+                    self.cs.refresh(item.clone());
+                }
+                None => {
+                    // Unreachable after sync (a dead SOI gets a Remove
+                    // delta first), but recover by dropping the entry.
+                    debug_assert!(false, "stale entry vanished without a Remove delta");
+                    let key = item.key.clone();
+                    self.cs.apply(sorete_base::CsDelta::Remove(key));
+                    return self.step();
+                }
+            }
+        }
+        let rule = self.rules[item.key.rule().index()].clone();
+        self.cs.mark_fired(&item.key, item.version);
+        self.stats.firings += 1;
+        self.stats.per_rule.entry(rule.name).or_default().firings += 1;
+        if self.tracing {
+            self.trace.push(format!(
+                "FIRE {} {:?}",
+                rule.name,
+                item.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect::<Vec<_>>()).collect::<Vec<_>>()
+            ));
+        }
+
+        // Snapshot the instantiation's WMEs (bindings are fixed at firing).
+        let mut wmes: FxHashMap<TimeTag, Wme> = FxHashMap::default();
+        for row in &item.rows {
+            for &t in row.iter() {
+                if let Some(w) = self.wm.get(t) {
+                    wmes.entry(t).or_insert_with(|| w.clone());
+                }
+            }
+        }
+        let mut ctx = RhsCtx::new(rule.clone(), item.rows.clone(), wmes, item.aggregates.clone());
+        self.firing_rule = Some(rule.name);
+        let result = rhs::execute(self, &mut ctx, &rule.rhs);
+        self.firing_rule = None;
+        result?;
+        self.sync();
+        Ok(Some(rule.name))
+    }
+
+    /// Run to quiescence, halt, or the firing limit.
+    pub fn run(&mut self, limit: Option<u64>) -> RunOutcome {
+        let mut fired = 0;
+        loop {
+            if let Some(l) = limit {
+                if fired >= l {
+                    return RunOutcome { fired, reason: StopReason::Limit };
+                }
+            }
+            match self.step() {
+                Ok(Some(_)) => fired += 1,
+                Ok(None) => {
+                    let reason =
+                        if self.halted { StopReason::Halt } else { StopReason::Quiescence };
+                    return RunOutcome { fired, reason };
+                }
+                Err(e) => {
+                    // Surface RHS errors in the output; stop the run.
+                    self.output.push(format!("ERROR: {}", e));
+                    return RunOutcome { fired, reason: StopReason::Halt };
+                }
+            }
+        }
+    }
+
+    /// Current conflict-set size (fired entries included).
+    pub fn conflict_set_len(&self) -> usize {
+        self.cs.len()
+    }
+
+    /// Conflict-set entries (unordered), for inspection. SOI entries are
+    /// materialized so their rows reflect the γ-memory's current state
+    /// (slim `time` tokens only update position metadata).
+    pub fn conflict_items(&self) -> Vec<ConflictItem> {
+        self.cs
+            .items()
+            .map(|item| self.matcher.materialize(&item.key).unwrap_or_else(|| item.clone()))
+            .collect()
+    }
+
+    /// Working memory (read access).
+    pub fn wm(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// Accumulated `write` output (drained).
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Firing trace (drained).
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Matcher counters.
+    pub fn match_stats(&self) -> sorete_base::MatchStats {
+        self.matcher.stats()
+    }
+
+    /// The matcher backing this engine.
+    pub fn matcher_name(&self) -> &'static str {
+        self.matcher.algorithm_name()
+    }
+
+    /// Graphviz rendering of the match network (Rete only).
+    pub fn network_dot(&self) -> Option<String> {
+        self.matcher.to_dot()
+    }
+
+    /// Has `(halt)` been executed?
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn note_action(&mut self) {
+        self.stats.actions += 1;
+        if let Some(r) = self.firing_rule {
+            self.stats.per_rule.entry(r).or_default().actions += 1;
+        }
+    }
+}
+
+impl RhsHost for ProductionSystem {
+    fn make(&mut self, class: Symbol, slots: Vec<(Symbol, Value)>) -> Result<TimeTag, CoreError> {
+        self.note_action();
+        self.stats.makes += 1;
+        self.assert_wme(class, slots)
+    }
+
+    fn remove(&mut self, tag: TimeTag) -> bool {
+        self.note_action();
+        if self.wm.get(tag).is_none() {
+            return false; // already gone (overlapping set ops) — tolerated
+        }
+        self.stats.removes += 1;
+        self.retract_wme(tag).is_ok()
+    }
+
+    fn modify(
+        &mut self,
+        tag: TimeTag,
+        updates: Vec<(Symbol, Value)>,
+    ) -> Result<Option<TimeTag>, CoreError> {
+        self.note_action();
+        if self.wm.get(tag).is_none() {
+            return Ok(None);
+        }
+        self.stats.modifies += 1;
+        Ok(Some(self.modify_wme(tag, &updates)?))
+    }
+
+    fn write_line(&mut self, line: String) {
+        self.note_action();
+        self.stats.writes += 1;
+        self.output.push(line);
+    }
+
+    fn halt(&mut self) {
+        self.note_action();
+        self.halted = true;
+    }
+
+    fn note_bind(&mut self) {
+        self.note_action();
+    }
+}

@@ -1,0 +1,68 @@
+//! Engine error type.
+
+use sorete_base::BaseError;
+use sorete_lang::{AnalyzeError, EvalError, ParseError};
+use std::fmt;
+
+/// Anything that can go wrong loading or running a production system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Source text failed to parse.
+    Parse(ParseError),
+    /// A rule failed semantic analysis.
+    Analyze(AnalyzeError),
+    /// An RHS or `:test` expression failed to evaluate.
+    Eval(EvalError),
+    /// Working-memory level failure.
+    Base(BaseError),
+    /// Engine-level failure (bad RHS target, misuse of set constructs, …).
+    Rhs(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(e) => e.fmt(f),
+            CoreError::Analyze(e) => e.fmt(f),
+            CoreError::Eval(e) => e.fmt(f),
+            CoreError::Base(e) => e.fmt(f),
+            CoreError::Rhs(m) => write!(f, "RHS error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+impl From<AnalyzeError> for CoreError {
+    fn from(e: AnalyzeError) -> Self {
+        CoreError::Analyze(e)
+    }
+}
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> Self {
+        CoreError::Eval(e)
+    }
+}
+impl From<BaseError> for CoreError {
+    fn from(e: BaseError) -> Self {
+        CoreError::Base(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_sources() {
+        let e = CoreError::Rhs("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e: CoreError = BaseError::UnknownTag(3).into();
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Run statistics: the measurements behind the paper's efficiency claims
+//! (rule firings, actions per firing, working-memory churn).
+
+use sorete_base::FxHashMap;
+use sorete_base::Symbol;
+
+/// Counters for one rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Times the rule fired.
+    pub firings: u64,
+    /// Primitive actions its firings performed.
+    pub actions: u64,
+}
+
+/// Counters for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Rule firings (recognise–act cycles that executed a RHS).
+    pub firings: u64,
+    /// `make` actions (including the re-assert half of `modify`).
+    pub makes: u64,
+    /// `remove` actions (including the retract half of `modify`).
+    pub removes: u64,
+    /// `modify` / `set-modify` element updates.
+    pub modifies: u64,
+    /// `write` lines emitted.
+    pub writes: u64,
+    /// All primitive actions (makes + removes + modifies counted once +
+    /// writes + binds).
+    pub actions: u64,
+    /// Per-rule breakdown.
+    pub per_rule: FxHashMap<Symbol, RuleStats>,
+}
+
+impl RunStats {
+    /// Average primitive actions per firing — the paper's parallelism
+    /// proxy (§1: per-firing work bounds the achievable speed-up).
+    pub fn actions_per_firing(&self) -> f64 {
+        if self.firings == 0 {
+            0.0
+        } else {
+            self.actions as f64 / self.firings as f64
+        }
+    }
+
+    /// Firing count for one rule.
+    pub fn rule_firings(&self, rule: Symbol) -> u64 {
+        self.per_rule.get(&rule).map(|r| r.firings).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_per_firing_handles_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.actions_per_firing(), 0.0);
+        let s = RunStats { firings: 2, actions: 7, ..Default::default() };
+        assert_eq!(s.actions_per_firing(), 3.5);
+    }
+}

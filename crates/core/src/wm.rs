@@ -1,0 +1,130 @@
+//! Working memory: the engine-owned store of WMEs and class declarations.
+
+use sorete_base::{BaseError, FxHashMap, Result, Symbol, TimeTag, Value, Wme};
+
+/// Working memory: WMEs by time tag, plus `literalize` declarations.
+///
+/// Time tags are allocated monotonically; every `make` (including the
+/// re-assertion half of `modify`) gets a fresh tag, exactly as in OPS5.
+#[derive(Default)]
+pub struct WorkingMemory {
+    wmes: FxHashMap<TimeTag, Wme>,
+    next_tag: u64,
+    classes: FxHashMap<Symbol, Vec<Symbol>>,
+}
+
+impl WorkingMemory {
+    /// Empty working memory.
+    pub fn new() -> WorkingMemory {
+        WorkingMemory { wmes: FxHashMap::default(), next_tag: 0, classes: FxHashMap::default() }
+    }
+
+    /// Declare a class (`literalize`). Re-declaring replaces the attribute
+    /// list.
+    pub fn declare_class(&mut self, class: Symbol, attrs: Vec<Symbol>) {
+        self.classes.insert(class, attrs);
+    }
+
+    /// Is the class declared?
+    pub fn class_declared(&self, class: Symbol) -> bool {
+        self.classes.contains_key(&class)
+    }
+
+    /// Build and store a WME. If the class was `literalize`d, every slot
+    /// attribute must be declared; undeclared classes are accepted as-is
+    /// (convenient for tests and embedded use).
+    pub fn make(&mut self, class: Symbol, slots: Vec<(Symbol, Value)>) -> Result<Wme> {
+        if let Some(attrs) = self.classes.get(&class) {
+            for (a, _) in &slots {
+                if !attrs.contains(a) {
+                    return Err(BaseError::UnknownAttribute {
+                        class: class.as_str().to_owned(),
+                        attr: a.as_str().to_owned(),
+                    });
+                }
+            }
+        }
+        self.next_tag += 1;
+        let wme = Wme::new(TimeTag::new(self.next_tag), class, slots);
+        self.wmes.insert(wme.tag, wme.clone());
+        Ok(wme)
+    }
+
+    /// Remove a WME, returning it.
+    pub fn remove(&mut self, tag: TimeTag) -> Result<Wme> {
+        self.wmes.remove(&tag).ok_or(BaseError::UnknownTag(tag.raw()))
+    }
+
+    /// Read a WME.
+    pub fn get(&self, tag: TimeTag) -> Option<&Wme> {
+        self.wmes.get(&tag)
+    }
+
+    /// Number of WMEs.
+    pub fn len(&self) -> usize {
+        self.wmes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.wmes.is_empty()
+    }
+
+    /// Iterate all WMEs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Wme> {
+        self.wmes.values()
+    }
+
+    /// All WMEs sorted by time tag (for reproducible dumps).
+    pub fn dump(&self) -> Vec<&Wme> {
+        let mut v: Vec<&Wme> = self.wmes.values().collect();
+        v.sort_by_key(|w| w.tag);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_monotonic() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.make(Symbol::new("c"), vec![]).unwrap();
+        let b = wm.make(Symbol::new("c"), vec![]).unwrap();
+        assert!(b.tag > a.tag);
+        assert_eq!(wm.len(), 2);
+    }
+
+    #[test]
+    fn literalize_validates_attributes() {
+        let mut wm = WorkingMemory::new();
+        wm.declare_class(Symbol::new("player"), vec![Symbol::new("name"), Symbol::new("team")]);
+        assert!(wm.make(Symbol::new("player"), vec![(Symbol::new("name"), Value::sym("x"))]).is_ok());
+        let err = wm
+            .make(Symbol::new("player"), vec![(Symbol::new("wings"), Value::Int(2))])
+            .unwrap_err();
+        assert!(err.to_string().contains("wings"));
+        // Undeclared classes are lenient.
+        assert!(wm.make(Symbol::new("adhoc"), vec![(Symbol::new("x"), Value::Int(1))]).is_ok());
+    }
+
+    #[test]
+    fn remove_unknown_tag_errors() {
+        let mut wm = WorkingMemory::new();
+        assert!(wm.remove(TimeTag::new(99)).is_err());
+        let w = wm.make(Symbol::new("c"), vec![]).unwrap();
+        assert!(wm.remove(w.tag).is_ok());
+        assert!(wm.remove(w.tag).is_err(), "double remove");
+    }
+
+    #[test]
+    fn dump_is_tag_ordered() {
+        let mut wm = WorkingMemory::new();
+        for _ in 0..5 {
+            wm.make(Symbol::new("c"), vec![]).unwrap();
+        }
+        let tags: Vec<u64> = wm.dump().iter().map(|w| w.tag.raw()).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,29 @@
+//! DIPS-layer errors.
+
+use std::fmt;
+
+/// Errors from the DIPS substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DipsError {
+    /// Program failed to parse/analyse or used unsupported constructs.
+    Load(String),
+    /// Underlying database failure.
+    Db(String),
+    /// Unknown WME tag.
+    UnknownTag(u64),
+    /// RHS action outside the DIPS-supported subset.
+    Rhs(String),
+}
+
+impl fmt::Display for DipsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DipsError::Load(m) => write!(f, "DIPS load error: {}", m),
+            DipsError::Db(m) => write!(f, "DIPS database error: {}", m),
+            DipsError::UnknownTag(t) => write!(f, "unknown WME tag {}", t),
+            DipsError::Rhs(m) => write!(f, "DIPS RHS error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for DipsError {}

@@ -1,0 +1,125 @@
+//! Exact reproduction of the paper's **Figure 6**: set-oriented DIPS.
+//!
+//! The scenario: rule `rule-1` with a regular CE over class `E` and a
+//! set-oriented CE over class `W`,
+//!
+//! ```text
+//! (p rule-1 (E ^name <x> ^salary <s>) [W ^name <x> ^job clerk] ...)
+//! ```
+//!
+//! working memory
+//!
+//! ```text
+//! 1: (W ^name Mike ^job clerk)
+//! 2: (E ^name Mike ^salary 10000)
+//! 3: (W ^name Mike ^job clerk)
+//! 4: (E ^name Mike ^salary 5000)
+//! ```
+//!
+//! and the SQL retrieval that selects complete COND rows and groups them by
+//! the non-set-oriented CE's WME tag, yielding the paper's two groups:
+//! `{E=2: W∈{1,3}}` and `{E=4: W∈{1,3}}`.
+
+use crate::cond::{DipsEngine, DipsMode, DipsSoi};
+use crate::error::DipsError;
+use sorete_base::{TimeTag, Value};
+use sorete_reldb::Relation;
+
+/// Everything the demo produces.
+pub struct Figure6 {
+    /// The engine after the four WMEs (COND tables inspectable).
+    pub engine: DipsEngine,
+    /// Rendered `COND-E` table.
+    pub cond_e: String,
+    /// Rendered `COND-W` table.
+    pub cond_w: String,
+    /// The SQL query used to retrieve the SOIs.
+    pub query: String,
+    /// The grouped relation the query returns (the paper's "Relation
+    /// containing SOIs").
+    pub soi_relation: Relation,
+    /// The SOIs as structured data.
+    pub groups: Vec<DipsSoi>,
+}
+
+/// Build and run the Figure 6 scenario.
+pub fn figure6() -> Result<Figure6, DipsError> {
+    let mut engine = DipsEngine::new(
+        DipsMode::Set,
+        "(p rule-1 (E ^name <x> ^salary <s>) [W ^name <x> ^job clerk] (write <x>))",
+    )?;
+    engine.insert("W", &[("name", Value::sym("Mike")), ("job", Value::sym("clerk"))])?;
+    engine.insert("E", &[("name", Value::sym("Mike")), ("salary", Value::Int(10000))])?;
+    engine.insert("W", &[("name", Value::sym("Mike")), ("job", Value::sym("clerk"))])?;
+    engine.insert("E", &[("name", Value::sym("Mike")), ("salary", Value::Int(5000))])?;
+
+    let cond_e = engine.render_cond("E")?;
+    let cond_w = engine.render_cond("W")?;
+
+    // The paper's query, adapted to the normalized tag columns (T1 = the
+    // regular CE over E, T2 = the set CE over W):
+    let query = "select COND-E.T1, COND-E.T2 from COND-E \
+                 where COND-E.T1 is not NULL and COND-E.T2 is not NULL \
+                 group-by COND-E.T1"
+        .to_string();
+    let soi_relation = engine.db.sql(&query).map_err(|e| DipsError::Db(e.to_string()))?;
+    let groups = engine.sois();
+    Ok(Figure6 { engine, cond_e, cond_w, query, soi_relation, groups })
+}
+
+/// The expected groups, for tests: `(E-tag, [W-tags])`.
+pub fn expected_groups() -> Vec<(TimeTag, Vec<TimeTag>)> {
+    vec![
+        (TimeTag::new(2), vec![TimeTag::new(1), TimeTag::new(3)]),
+        (TimeTag::new(4), vec![TimeTag::new(1), TimeTag::new(3)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_groups_match_the_paper() {
+        let fig = figure6().unwrap();
+        assert_eq!(fig.groups.len(), 2, "two SOIs (one per E-tuple)");
+        for (soi, (e_tag, w_tags)) in fig.groups.iter().zip(expected_groups()) {
+            assert_eq!(soi.key, vec![Value::Tag(e_tag)]);
+            let mut got: Vec<TimeTag> =
+                soi.rows.iter().map(|r| r[1]).collect();
+            got.sort();
+            got.dedup();
+            assert_eq!(got, w_tags);
+            // Every row's E column is the group's E tuple.
+            assert!(soi.rows.iter().all(|r| r[0] == e_tag));
+        }
+    }
+
+    #[test]
+    fn figure6_sql_retrieval() {
+        let fig = figure6().unwrap();
+        // Grouped relation: group column + (T1, T2), 4 rows in 2 groups.
+        assert_eq!(fig.soi_relation.cols[0], "group");
+        assert_eq!(fig.soi_relation.rows.len(), 4);
+        let g1: Vec<_> = fig
+            .soi_relation
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::Int(1))
+            .collect();
+        assert_eq!(g1.len(), 2);
+        // Group 1 is the older E tuple (tag 2) with both W tuples.
+        assert!(g1.iter().all(|r| r[1] == Value::Tag(TimeTag::new(2))));
+        let mut w: Vec<Value> = g1.iter().map(|r| r[2]).collect();
+        w.sort();
+        assert_eq!(w, vec![Value::Tag(TimeTag::new(1)), Value::Tag(TimeTag::new(3))]);
+    }
+
+    #[test]
+    fn cond_tables_render() {
+        let fig = figure6().unwrap();
+        assert!(fig.cond_e.contains("RULE-ID"), "{}", fig.cond_e);
+        assert!(fig.cond_e.contains("Mike"), "{}", fig.cond_e);
+        assert!(fig.cond_w.contains("VAR-x"), "{}", fig.cond_w);
+    }
+}

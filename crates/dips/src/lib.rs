@@ -1,0 +1,180 @@
+#![warn(missing_docs)]
+//! `sorete-dips` — a reproduction of the DIPS disk-based production system
+//! (Sellis, Lin & Raschid) as described in §8 of the paper, together with
+//! the paper's set-oriented retrofit.
+//!
+//! - [`cond`]: COND-table matching over the relational substrate — mark
+//!   bits generalized to WME-tag columns (§8.2), RCE propagation, and SOI
+//!   retrieval by relational `GROUP BY`.
+//! - [`fire`]: the concurrent-firing experiment — every satisfied
+//!   instantiation (or SOI) runs as an optimistic transaction; tuple-
+//!   oriented execution conflicts, set-oriented execution does not (claim
+//!   C5).
+//! - [`figure6`](mod@figure6): the paper's Figure 6, reproduced end to end.
+//!
+//! ```
+//! let fig = sorete_dips::figure6().unwrap();
+//! assert_eq!(fig.groups.len(), 2, "two SOIs, one per E-tuple");
+//! ```
+
+pub mod cond;
+pub mod error;
+pub mod figure6;
+pub mod fire;
+
+pub use cond::{DipsEngine, DipsInst, DipsMode, DipsSoi};
+pub use error::DipsError;
+pub use figure6::{figure6, Figure6};
+pub use fire::{parallel_cycle, CycleReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorete_base::Value;
+
+    #[test]
+    fn tuple_instantiations_match_figure1() {
+        let mut e = DipsEngine::new(
+            DipsMode::Tuple,
+            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (write x))",
+        )
+        .unwrap();
+        for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")] {
+            e.insert("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+        }
+        assert_eq!(e.instantiations().len(), 6);
+    }
+
+    #[test]
+    fn equality_join_respected_regardless_of_arrival_order() {
+        let prog = "(p pair (a ^x <v>) (b ^x <v>) (write x))";
+        // b first, then a.
+        let mut e = DipsEngine::new(DipsMode::Tuple, prog).unwrap();
+        e.insert("b", &[("x", Value::Int(1))]).unwrap();
+        e.insert("b", &[("x", Value::Int(2))]).unwrap();
+        e.insert("a", &[("x", Value::Int(1))]).unwrap();
+        let insts = e.instantiations();
+        assert_eq!(insts.len(), 1, "{:?}", insts);
+    }
+
+    #[test]
+    fn non_equality_join_verified_on_retrieval() {
+        let prog = "(p gt (a ^x <v>) (b ^y > <v>) (write x))";
+        let mut e = DipsEngine::new(DipsMode::Tuple, prog).unwrap();
+        e.insert("b", &[("y", Value::Int(5))]).unwrap();
+        e.insert("a", &[("x", Value::Int(3))]).unwrap();
+        e.insert("a", &[("x", Value::Int(9))]).unwrap();
+        let insts = e.instantiations();
+        assert_eq!(insts.len(), 1, "only x=3 < y=5: {:?}", insts);
+    }
+
+    #[test]
+    fn removal_deletes_cond_rows() {
+        let mut e = DipsEngine::new(
+            DipsMode::Tuple,
+            "(p compete (player ^team A) (player ^team B) (write x))",
+        )
+        .unwrap();
+        let a = e.insert("player", &[("team", Value::sym("A"))]).unwrap();
+        e.insert("player", &[("team", Value::sym("B"))]).unwrap();
+        assert_eq!(e.instantiations().len(), 1);
+        e.remove(a).unwrap();
+        assert_eq!(e.instantiations().len(), 0);
+    }
+
+    #[test]
+    fn soi_grouping_by_scalar_ce() {
+        let mut e = DipsEngine::new(
+            DipsMode::Set,
+            "(p r (dept ^id <d>) [emp ^dept <d>] (write x))",
+        )
+        .unwrap();
+        e.insert("dept", &[("id", Value::Int(1))]).unwrap();
+        e.insert("dept", &[("id", Value::Int(2))]).unwrap();
+        for d in [1i64, 1, 2] {
+            e.insert("emp", &[("dept", Value::Int(d))]).unwrap();
+        }
+        let sois = e.sois();
+        assert_eq!(sois.len(), 2);
+        assert_eq!(sois[0].rows.len(), 2, "dept 1 has two emps");
+        assert_eq!(sois[1].rows.len(), 1);
+    }
+
+    #[test]
+    fn parallel_tuple_firing_conflicts_set_firing_does_not() {
+        // The paper's §8.1 pathology: several instantiations of one rule
+        // try to remove the same WME (they share the `flag` WME and remove
+        // their own item — but all read `flag`, and the first one to also
+        // *modify* it invalidates the rest).
+        let prog = "(p drain (flag ^on t) (item ^s pending)
+                      (modify 1 ^on t) (remove 2))";
+        let mut tuple = DipsEngine::new(DipsMode::Tuple, prog).unwrap();
+        tuple.insert("flag", &[("on", Value::sym("t"))]).unwrap();
+        for _ in 0..5 {
+            tuple.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+        }
+        let report = parallel_cycle(&mut tuple).unwrap();
+        assert_eq!(report.attempted, 5);
+        assert_eq!(report.committed, 1, "everyone else conflicts on `flag`");
+        assert_eq!(report.aborted, 4);
+
+        // Set-oriented version: one SOI, one transaction, no conflicts.
+        let prog_set = "(p drain (flag ^on t) { [item ^s pending] <P> }
+                          (modify 1 ^on t) (set-remove <P>))";
+        let mut set = DipsEngine::new(DipsMode::Set, prog_set).unwrap();
+        set.insert("flag", &[("on", Value::sym("t"))]).unwrap();
+        for _ in 0..5 {
+            set.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+        }
+        let report = parallel_cycle(&mut set).unwrap();
+        assert_eq!(report.attempted, 1);
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(set.wm_len(), 1, "all five items removed in one firing");
+    }
+
+    #[test]
+    fn mutual_invalidation_same_wme() {
+        // Two instantiations try to remove the same WME — the paper's
+        // special case (Raschid et al. 1988).
+        let prog = "(p grab (token ^free t) (worker ^idle t)
+                      (remove 1) (modify 2 ^idle f))";
+        let mut e = DipsEngine::new(DipsMode::Tuple, prog).unwrap();
+        e.insert("token", &[("free", Value::sym("t"))]).unwrap();
+        e.insert("worker", &[("idle", Value::sym("t"))]).unwrap();
+        e.insert("worker", &[("idle", Value::sym("t"))]).unwrap();
+        let report = parallel_cycle(&mut e).unwrap();
+        assert_eq!(report.attempted, 2);
+        assert_eq!(report.committed, 1, "only one worker gets the token");
+        assert_eq!(report.aborted, 1);
+    }
+
+    #[test]
+    fn set_mode_respects_count_test() {
+        let prog = "(p dups { [player ^name <n>] <P> } :scalar (<n>)
+                      :test ((count <P>) > 1) (set-remove <P>))";
+        let mut e = DipsEngine::new(DipsMode::Set, prog).unwrap();
+        e.insert("player", &[("name", Value::sym("Sue"))]).unwrap();
+        e.insert("player", &[("name", Value::sym("Sue"))]).unwrap();
+        e.insert("player", &[("name", Value::sym("Jack"))]).unwrap();
+        let report = parallel_cycle(&mut e).unwrap();
+        assert_eq!(report.attempted, 1, "only the Sue group passes the test");
+        assert_eq!(report.committed, 1);
+        assert_eq!(e.wm_len(), 1, "both Sues removed; Jack survives");
+    }
+
+    #[test]
+    fn cycle_then_requery_consistent() {
+        let prog = "(p sweep { [item ^s pending] <P> } (set-modify <P> ^s done))";
+        let mut e = DipsEngine::new(DipsMode::Set, prog).unwrap();
+        for _ in 0..4 {
+            e.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+        }
+        let r1 = parallel_cycle(&mut e).unwrap();
+        assert_eq!(r1.committed, 1);
+        // All items now done → no work left.
+        let r2 = parallel_cycle(&mut e).unwrap();
+        assert_eq!(r2.attempted, 0);
+        assert_eq!(e.wm_len(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! The rule language of the paper: an OPS5 subset extended with every
+//! set-oriented construct from Gordin & Pasik (SIGMOD 1991).
+//!
+//! Pipeline: source text → [`parser::parse_program`] → [`ast::Program`] →
+//! [`analyze::analyze_program`] → [`analyze::AnalyzedRule`]s, which any
+//! [`matcher::Matcher`] implementation can compile.
+//!
+//! ```
+//! use sorete_lang::{parse_rule, analyze_rule};
+//!
+//! let rule = parse_rule(
+//!     "(p SwitchTeams
+//!        { [player ^team A] <ATeam> }
+//!        { [player ^team B] <BTeam> }
+//!        :test ((count <ATeam>) == (count <BTeam>))
+//!        (set-modify <ATeam> ^team B)
+//!        (set-modify <BTeam> ^team A))").unwrap();
+//! let analyzed = analyze_rule(&rule).unwrap();
+//! assert!(analyzed.is_set_oriented);
+//! assert_eq!(analyzed.aggregates.len(), 2);
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod eval;
+pub mod matcher;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use analyze::{analyze_program, analyze_rule, AnalyzeError, AnalyzedRule};
+pub use ast::{Action, CondElem, Expr, IterOrder, Literalize, Program, Rule};
+pub use eval::{eval, eval_truthy, Env, EvalError, FnEnv};
+pub use matcher::Matcher;
+pub use parser::{parse_program, parse_rule, ParseError};
+pub use printer::{print_program, print_rule};

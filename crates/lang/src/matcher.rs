@@ -1,0 +1,54 @@
+//! The interface every match algorithm implements.
+//!
+//! The engine drives a matcher through working-memory changes and reads back
+//! conflict-set deltas — the `+` / `-` / `time` token protocol of the
+//! paper's §5. Rete (`sorete-rete`), TREAT (`sorete-treat`) and the naive
+//! oracle (`sorete-naive`) are interchangeable behind this trait.
+
+use crate::analyze::AnalyzedRule;
+use sorete_base::{ConflictItem, CsDelta, InstKey, MatchStats, RuleId, Wme};
+use std::sync::Arc;
+
+/// A production-match algorithm.
+pub trait Matcher {
+    /// Compile a production into the match network. Returns the id the
+    /// matcher will use in conflict-set deltas. Ids are assigned densely in
+    /// call order, so the caller can index its own rule table with them.
+    fn add_rule(&mut self, rule: Arc<AnalyzedRule>) -> RuleId;
+
+    /// A WME entered working memory.
+    fn insert_wme(&mut self, wme: &Wme);
+
+    /// A WME left working memory.
+    fn remove_wme(&mut self, wme: &Wme);
+
+    /// Conflict-set changes accumulated since the previous drain, in
+    /// emission order.
+    fn drain_deltas(&mut self) -> Vec<CsDelta>;
+
+    /// Fetch the current full contents of a conflict-set entry. `time`
+    /// tokens are slim (the paper passes "only a pointer"); the engine
+    /// calls this when an entry actually fires.
+    ///
+    /// For SOI keys, returns `None` when the γ-entry is gone or inactive.
+    /// Tuple keys are fully determined by their tags, so matchers may
+    /// reconstruct them unconditionally — callers only pass keys they saw
+    /// in un-retracted deltas.
+    fn materialize(&self, key: &InstKey) -> Option<ConflictItem>;
+
+    /// Work counters.
+    fn stats(&self) -> MatchStats;
+
+    /// Short algorithm name for reports ("rete", "treat", "naive").
+    fn algorithm_name(&self) -> &'static str;
+
+    /// Graphviz rendering of the match network, if the algorithm has one.
+    fn to_dot(&self) -> Option<String> {
+        None
+    }
+
+    /// Excise a production: its conflict-set entries are retracted (as
+    /// `Remove` deltas) and it never matches again. The id remains
+    /// allocated (ids are positional) but inert.
+    fn remove_rule(&mut self, rule: RuleId);
+}

@@ -1,0 +1,845 @@
+//! Recursive-descent parser for the rule language.
+//!
+//! The paper's figures omit the OPS5 `-->` separator, so the parser accepts
+//! it but does not require it: a top-level parenthesised form whose head is
+//! an action keyword (`make`, `remove`, `modify`, `write`, `bind`, `halt`,
+//! `set-modify`, `set-remove`, `foreach`, `if`) starts the RHS.
+
+use crate::ast::*;
+use crate::token::{tokenize, LexError, TokKind, Token};
+use sorete_base::{Symbol, Value};
+use std::fmt;
+
+/// A parse error with a source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line (0 = end of input).
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Parse a whole program (literalizes + rules).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// Parse a single `(p ...)` production.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let rule = p.top_rule()?;
+    p.expect_eof()?;
+    Ok(rule)
+}
+
+const ACTION_KEYWORDS: &[&str] = &[
+    "make", "remove", "modify", "write", "bind", "halt", "set-modify", "set-remove", "foreach",
+    "if", "compute",
+];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser { toks: tokenize(src)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&TokKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&TokKind> {
+        self.toks.get(self.pos + ahead).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<TokKind> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: msg.into(), line: self.line() })
+    }
+
+    fn expect(&mut self, kind: &TokKind) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(k) => {
+                let found = k.to_string();
+                self.err(format!("expected `{}`, found `{}`", kind, found))
+            }
+            None => self.err(format!("expected `{}`, found end of input", kind)),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            self.err("trailing input after form")
+        }
+    }
+
+    fn expect_sym(&mut self) -> Result<Symbol, ParseError> {
+        match self.next() {
+            Some(TokKind::Sym(s)) => Ok(Symbol::new(&s)),
+            Some(k) => self.err(format!("expected a symbol, found `{}`", k)),
+            None => self.err("expected a symbol, found end of input"),
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<Symbol, ParseError> {
+        match self.next() {
+            Some(TokKind::Var(v)) => Ok(Symbol::new(&v)),
+            Some(k) => self.err(format!("expected a `<variable>`, found `{}`", k)),
+            None => self.err("expected a `<variable>`, found end of input"),
+        }
+    }
+
+    // ---------------------------------------------------------- program
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program { literalizes: Vec::new(), rules: Vec::new() };
+        while self.peek().is_some() {
+            self.expect(&TokKind::LParen)?;
+            match self.peek() {
+                Some(TokKind::Sym(s)) if s == "literalize" => {
+                    self.pos += 1;
+                    let class = self.expect_sym()?;
+                    let mut attrs = Vec::new();
+                    while !matches!(self.peek(), Some(TokKind::RParen)) {
+                        attrs.push(self.expect_sym()?);
+                    }
+                    self.expect(&TokKind::RParen)?;
+                    prog.literalizes.push(Literalize { class, attrs });
+                }
+                Some(TokKind::Sym(s)) if s == "p" => {
+                    self.pos += 1;
+                    prog.rules.push(self.rule_body()?);
+                }
+                _ => return self.err("expected `literalize` or `p` at top level"),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn top_rule(&mut self) -> Result<Rule, ParseError> {
+        self.expect(&TokKind::LParen)?;
+        match self.next() {
+            Some(TokKind::Sym(s)) if s == "p" => self.rule_body(),
+            _ => self.err("expected `(p ...)`"),
+        }
+    }
+
+    /// Body of a production after `(p`; consumes the closing `)`.
+    fn rule_body(&mut self) -> Result<Rule, ParseError> {
+        let name = self.expect_sym()?;
+        let mut rule =
+            Rule { name, lhs: Vec::new(), scalar: Vec::new(), tests: Vec::new(), rhs: Vec::new() };
+        let mut in_rhs = false;
+
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated production"),
+                Some(TokKind::RParen) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(TokKind::Arrow) => {
+                    self.pos += 1;
+                    in_rhs = true;
+                }
+                Some(TokKind::ClauseKw(k)) if !in_rhs => {
+                    let k = k.clone();
+                    self.pos += 1;
+                    match k.as_str() {
+                        "scalar" => {
+                            self.expect(&TokKind::LParen)?;
+                            while !matches!(self.peek(), Some(TokKind::RParen)) {
+                                rule.scalar.push(self.expect_var()?);
+                            }
+                            self.expect(&TokKind::RParen)?;
+                        }
+                        "test" => {
+                            self.expect(&TokKind::LParen)?;
+                            rule.tests.push(self.expr()?);
+                            self.expect(&TokKind::RParen)?;
+                        }
+                        other => return self.err(format!("unknown clause `:{}`", other)),
+                    }
+                }
+                Some(_) if in_rhs => rule.rhs.push(self.action()?),
+                Some(_) => {
+                    // LHS position: CE unless the head is an action keyword.
+                    if self.looks_like_action() {
+                        in_rhs = true;
+                        rule.rhs.push(self.action()?);
+                    } else {
+                        rule.lhs.push(self.cond_elem()?);
+                    }
+                }
+            }
+        }
+
+        if rule.lhs.is_empty() {
+            return self.err(format!("rule `{}` has an empty LHS", rule.name));
+        }
+        if rule.rhs.is_empty() {
+            return self.err(format!("rule `{}` has no RHS actions", rule.name));
+        }
+        Ok(rule)
+    }
+
+    /// Does the upcoming top-level form start an RHS action?
+    fn looks_like_action(&self) -> bool {
+        if !matches!(self.peek(), Some(TokKind::LParen)) {
+            return false;
+        }
+        match self.peek_at(1) {
+            Some(TokKind::Sym(s)) => ACTION_KEYWORDS.contains(&s.as_str()),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------- LHS
+
+    /// Parse a condition element: `(c ...)`, `[c ...]`, `-(c ...)`,
+    /// `{ CE <Var> }`, or `-{ CE <Var> }`.
+    fn cond_elem(&mut self) -> Result<CondElem, ParseError> {
+        let negated = if matches!(self.peek(), Some(TokKind::Negation)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            Some(TokKind::LBrace) => {
+                self.pos += 1;
+                let mut ce = self.bare_ce()?;
+                ce.negated = negated;
+                ce.elem_var = Some(self.expect_var()?);
+                self.expect(&TokKind::RBrace)?;
+                Ok(ce)
+            }
+            _ => {
+                let mut ce = self.bare_ce()?;
+                ce.negated = negated;
+                Ok(ce)
+            }
+        }
+    }
+
+    /// A CE without negation/brace wrapping: `(class tests)` or `[class tests]`.
+    fn bare_ce(&mut self) -> Result<CondElem, ParseError> {
+        let (open, close, set_oriented) = match self.peek() {
+            Some(TokKind::LParen) => (TokKind::LParen, TokKind::RParen, false),
+            Some(TokKind::LBracket) => (TokKind::LBracket, TokKind::RBracket, true),
+            _ => return self.err("expected a condition element"),
+        };
+        self.expect(&open)?;
+        let class = self.expect_sym()?;
+        let mut tests = Vec::new();
+        while let Some(k) = self.peek() {
+            match k {
+                k if *k == close => {
+                    self.pos += 1;
+                    return Ok(CondElem { class, negated: false, set_oriented, elem_var: None, tests });
+                }
+                TokKind::Attr(_) => {
+                    let attr = match self.next() {
+                        Some(TokKind::Attr(a)) => Symbol::new(&a),
+                        _ => unreachable!(),
+                    };
+                    let mut terms = Vec::new();
+                    // Terms until the next ^attr or the closer.
+                    loop {
+                        match self.peek() {
+                            Some(TokKind::Attr(_)) | None => break,
+                            Some(k) if *k == close => break,
+                            _ => terms.push(self.test_term()?),
+                        }
+                    }
+                    if terms.is_empty() {
+                        return self.err(format!("attribute `^{}` has no test", attr));
+                    }
+                    tests.push(AttrTest { attr, terms });
+                }
+                other => {
+                    let found = other.to_string();
+                    return self.err(format!("expected `^attr` or closing bracket in CE, found `{}`", found));
+                }
+            }
+        }
+        self.err("unterminated condition element")
+    }
+
+    /// One test term: `[pred] operand`, `<< v... >>`, or `{ term... }`
+    /// (conjunction; flattened by the caller collecting multiple terms).
+    fn test_term(&mut self) -> Result<TestTerm, ParseError> {
+        match self.peek() {
+            Some(TokKind::DblLt) => {
+                self.pos += 1;
+                let mut vals = Vec::new();
+                while !matches!(self.peek(), Some(TokKind::DblGt)) {
+                    vals.push(self.const_value()?);
+                }
+                self.expect(&TokKind::DblGt)?;
+                Ok(TestTerm::AnyOf(vals))
+            }
+            Some(TokKind::Eq) => {
+                self.pos += 1;
+                Ok(TestTerm::Pred(Pred::Eq, self.operand()?))
+            }
+            Some(TokKind::Ne) => {
+                self.pos += 1;
+                Ok(TestTerm::Pred(Pred::Ne, self.operand()?))
+            }
+            Some(TokKind::Lt) => {
+                self.pos += 1;
+                Ok(TestTerm::Pred(Pred::Lt, self.operand()?))
+            }
+            Some(TokKind::Le) => {
+                self.pos += 1;
+                Ok(TestTerm::Pred(Pred::Le, self.operand()?))
+            }
+            Some(TokKind::Gt) => {
+                self.pos += 1;
+                Ok(TestTerm::Pred(Pred::Gt, self.operand()?))
+            }
+            Some(TokKind::Ge) => {
+                self.pos += 1;
+                Ok(TestTerm::Pred(Pred::Ge, self.operand()?))
+            }
+            Some(TokKind::LBrace) => {
+                // `{ t1 t2 }` conjunction group: return the first term and
+                // let the group contribute the rest via recursion — handled
+                // by collecting into a synthetic AnyOf-free list. We parse
+                // the whole group and conjoin by flattening.
+                self.pos += 1;
+                let mut terms = Vec::new();
+                while !matches!(self.peek(), Some(TokKind::RBrace)) {
+                    terms.push(self.test_term()?);
+                }
+                self.expect(&TokKind::RBrace)?;
+                if terms.len() == 1 {
+                    Ok(terms.pop().unwrap())
+                } else {
+                    // Represent `{a b c}` as nested conjunction is
+                    // unnecessary: AttrTest.terms already conjoins, so we
+                    // splice via a marker. The caller pushes terms one at a
+                    // time, so we return a Conj wrapper through AnyOf abuse
+                    // — instead, keep it simple: error on empty, else wrap.
+                    Ok(TestTerm::Conj(terms))
+                }
+            }
+            _ => Ok(TestTerm::Pred(Pred::Eq, self.operand()?)),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.next() {
+            Some(TokKind::Var(v)) => Ok(Operand::Var(Symbol::new(&v))),
+            Some(TokKind::Sym(s)) if s == "nil" => Ok(Operand::Const(Value::Nil)),
+            Some(TokKind::Sym(s)) => Ok(Operand::Const(Value::sym(&s))),
+            Some(TokKind::Int(i)) => Ok(Operand::Const(Value::Int(i))),
+            Some(TokKind::Float(f)) => Ok(Operand::Const(Value::Float(f))),
+            Some(k) => self.err(format!("expected a test operand, found `{}`", k)),
+            None => self.err("expected a test operand, found end of input"),
+        }
+    }
+
+    fn const_value(&mut self) -> Result<Value, ParseError> {
+        match self.operand()? {
+            Operand::Const(v) => Ok(v),
+            Operand::Var(_) => self.err("variables are not allowed inside `<< ... >>`"),
+        }
+    }
+
+    // ----------------------------------------------------------- exprs
+
+    /// Expression with precedence: or < and < not < cmp < add < mul < atom.
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut parts = vec![self.and_expr()?];
+        while matches!(self.peek(), Some(TokKind::Sym(s)) if s == "or") {
+            self.pos += 1;
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::Or(parts) })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut parts = vec![self.not_expr()?];
+        while matches!(self.peek(), Some(TokKind::Sym(s)) if s == "and") {
+            self.pos += 1;
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::And(parts) })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(TokKind::Sym(s)) if s == "not") {
+            self.pos += 1;
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        let pred = match self.peek() {
+            Some(TokKind::Eq) => Pred::Eq,
+            Some(TokKind::Ne) => Pred::Ne,
+            Some(TokKind::Lt) => Pred::Lt,
+            Some(TokKind::Le) => Pred::Le,
+            Some(TokKind::Gt) => Pred::Gt,
+            Some(TokKind::Ge) => Pred::Ge,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.add_expr()?;
+        Ok(Expr::Cmp(pred, Box::new(left), Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokKind::Plus) => BinOp::Add,
+                Some(TokKind::Minus) => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokKind::Star) => BinOp::Mul,
+                Some(TokKind::Slash) => BinOp::Div,
+                Some(TokKind::Sym(s)) if s == "mod" => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.atom()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(TokKind::Int(_)) | Some(TokKind::Float(_)) | Some(TokKind::Sym(_))
+            | Some(TokKind::Var(_)) => {
+                let op = self.operand()?;
+                Ok(match op {
+                    Operand::Const(v) => Expr::Const(v),
+                    Operand::Var(v) => Expr::Var(v),
+                })
+            }
+            Some(TokKind::LParen) => {
+                self.pos += 1;
+                // `(count <v>)` / other aggregate, `(compute expr)`, or a
+                // parenthesised sub-expression.
+                let e = match self.peek() {
+                    Some(TokKind::Sym(s)) if AggOp::from_name(s).is_some() => {
+                        let op = AggOp::from_name(s).unwrap();
+                        self.pos += 1;
+                        let var = self.expect_var()?;
+                        Expr::Agg(op, var)
+                    }
+                    Some(TokKind::Sym(s)) if s == "compute" => {
+                        self.pos += 1;
+                        self.expr()?
+                    }
+                    _ => self.expr()?,
+                };
+                self.expect(&TokKind::RParen)?;
+                Ok(e)
+            }
+            Some(k) => {
+                let found = k.to_string();
+                self.err(format!("expected an expression, found `{}`", found))
+            }
+            None => self.err("expected an expression, found end of input"),
+        }
+    }
+
+    // --------------------------------------------------------- actions
+
+    fn action(&mut self) -> Result<Action, ParseError> {
+        self.expect(&TokKind::LParen)?;
+        let head = self.expect_sym()?;
+        let action = match head.as_str() {
+            "make" => {
+                let class = self.expect_sym()?;
+                let slots = self.slot_list()?;
+                Action::Make { class, slots }
+            }
+            "remove" => Action::Remove(self.rhs_target()?),
+            "modify" => {
+                let target = self.rhs_target()?;
+                let slots = self.slot_list()?;
+                Action::Modify { target, slots }
+            }
+            "set-remove" => Action::SetRemove(self.expect_var()?),
+            "set-modify" => {
+                let var = self.expect_var()?;
+                let slots = self.slot_list()?;
+                Action::SetModify { var, slots }
+            }
+            "write" => {
+                let mut parts = Vec::new();
+                while !matches!(self.peek(), Some(TokKind::RParen)) {
+                    parts.push(self.write_part()?);
+                }
+                Action::Write(parts)
+            }
+            "bind" => {
+                let var = self.expect_var()?;
+                let expr = self.rhs_value()?;
+                Action::Bind(var, expr)
+            }
+            "halt" => Action::Halt,
+            "foreach" => {
+                let var = self.expect_var()?;
+                let order = match self.peek() {
+                    Some(TokKind::Sym(s)) if s == "ascending" => {
+                        self.pos += 1;
+                        IterOrder::Ascending
+                    }
+                    Some(TokKind::Sym(s)) if s == "descending" => {
+                        self.pos += 1;
+                        IterOrder::Descending
+                    }
+                    _ => IterOrder::Default,
+                };
+                let mut body = Vec::new();
+                while !matches!(self.peek(), Some(TokKind::RParen)) {
+                    body.push(self.action()?);
+                }
+                Action::ForEach { var, order, body }
+            }
+            "if" => {
+                let cond = self.rhs_value()?;
+                let mut then = Vec::new();
+                let mut els = Vec::new();
+                let mut in_else = false;
+                loop {
+                    match self.peek() {
+                        Some(TokKind::RParen) | None => break,
+                        Some(TokKind::Sym(s)) if s == "else" && !in_else => {
+                            self.pos += 1;
+                            in_else = true;
+                        }
+                        _ => {
+                            let a = self.action()?;
+                            if in_else {
+                                els.push(a);
+                            } else {
+                                then.push(a);
+                            }
+                        }
+                    }
+                }
+                Action::If { cond, then, els }
+            }
+            other => return self.err(format!("unknown action `{}`", other)),
+        };
+        self.expect(&TokKind::RParen)?;
+        Ok(action)
+    }
+
+    fn rhs_target(&mut self) -> Result<RhsTarget, ParseError> {
+        match self.next() {
+            Some(TokKind::Var(v)) => Ok(RhsTarget::Var(Symbol::new(&v))),
+            Some(TokKind::Int(i)) if i >= 1 => Ok(RhsTarget::Idx(i as usize)),
+            Some(k) => self.err(format!("expected `<elem-var>` or CE index, found `{}`", k)),
+            None => self.err("expected `<elem-var>` or CE index"),
+        }
+    }
+
+    /// `^attr value ...` list for make/modify/set-modify.
+    fn slot_list(&mut self) -> Result<Vec<(Symbol, Expr)>, ParseError> {
+        let mut slots = Vec::new();
+        while let Some(TokKind::Attr(_)) = self.peek() {
+            let attr = match self.next() {
+                Some(TokKind::Attr(a)) => Symbol::new(&a),
+                _ => unreachable!(),
+            };
+            slots.push((attr, self.rhs_value()?));
+        }
+        Ok(slots)
+    }
+
+    /// An RHS value position: one atom or a parenthesised expression.
+    fn rhs_value(&mut self) -> Result<Expr, ParseError> {
+        self.atom()
+    }
+
+    /// One argument of `write`: like an RHS value, but bare symbols are
+    /// treated as literal text.
+    fn write_part(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(TokKind::Sym(s)) if s != "nil" => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Expr::Const(Value::sym(&s)))
+            }
+            _ => self.atom(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_compete() {
+        let rule = parse_rule(
+            "(p compete
+               (player ^name <n1> ^team A)
+               (player ^name <n2> ^team B)
+               (write Player A: <n1>, Player B: <n2>))",
+        )
+        .unwrap();
+        assert_eq!(rule.name.as_str(), "compete");
+        assert_eq!(rule.lhs.len(), 2);
+        assert!(!rule.lhs[0].set_oriented);
+        assert_eq!(rule.rhs.len(), 1);
+        let AttrTest { attr, terms } = &rule.lhs[0].tests[0];
+        assert_eq!(attr.as_str(), "name");
+        assert_eq!(terms, &vec![TestTerm::Pred(Pred::Eq, Operand::Var(Symbol::new("n1")))]);
+    }
+
+    #[test]
+    fn parses_set_oriented_ces() {
+        let rule = parse_rule(
+            "(p compete1
+               [player ^name <n> ^team A]
+               [player ^name <n> ^team B]
+               (write done))",
+        )
+        .unwrap();
+        assert!(rule.lhs[0].set_oriented);
+        assert!(rule.lhs[1].set_oriented);
+    }
+
+    #[test]
+    fn parses_elem_vars_scalar_and_test() {
+        let rule = parse_rule(
+            "(p SwitchTeams
+               { [player ^team A] <ATeam> }
+               { [player ^team B] <BTeam> }
+               :test ((count <ATeam>) == (count <BTeam>))
+               (set-modify <ATeam> ^team B)
+               (set-modify <BTeam> ^team A))",
+        )
+        .unwrap();
+        assert_eq!(rule.lhs[0].elem_var, Some(Symbol::new("ATeam")));
+        assert_eq!(rule.tests.len(), 1);
+        match &rule.tests[0] {
+            Expr::Cmp(Pred::Eq, l, r) => {
+                assert_eq!(**l, Expr::Agg(AggOp::Count, Symbol::new("ATeam")));
+                assert_eq!(**r, Expr::Agg(AggOp::Count, Symbol::new("BTeam")));
+            }
+            other => panic!("unexpected test expr {:?}", other),
+        }
+        assert!(matches!(rule.rhs[0], Action::SetModify { .. }));
+    }
+
+    #[test]
+    fn parses_remove_dups() {
+        let rule = parse_rule(
+            "(p RemoveDups
+               { [player ^name <n> ^team <t>] <P> }
+               :scalar (<n> <t>)
+               :test ((count <P>) > 1)
+               (bind <First> true)
+               (foreach <P> descending
+                 (if (<First> == true)
+                     (bind <First> false)
+                  else
+                     (remove <P>))))",
+        )
+        .unwrap();
+        assert_eq!(rule.scalar, vec![Symbol::new("n"), Symbol::new("t")]);
+        let Action::ForEach { var, order, body } = &rule.rhs[1] else {
+            panic!("expected foreach");
+        };
+        assert_eq!(var.as_str(), "P");
+        assert_eq!(*order, IterOrder::Descending);
+        let Action::If { then, els, .. } = &body[0] else { panic!("expected if") };
+        assert_eq!(then.len(), 1);
+        assert_eq!(els.len(), 1);
+        assert!(matches!(els[0], Action::Remove(RhsTarget::Var(_))));
+    }
+
+    #[test]
+    fn parses_negated_ce_and_arrow() {
+        let rule = parse_rule(
+            "(p guard
+               (goal ^status active)
+               -(player ^team A)
+               -->
+               (make player ^team A ^name default))",
+        )
+        .unwrap();
+        assert!(rule.lhs[1].negated);
+        assert!(matches!(rule.rhs[0], Action::Make { .. }));
+    }
+
+    #[test]
+    fn parses_predicates_and_disjunction() {
+        let rule = parse_rule(
+            "(p sel
+               (emp ^salary > 10000 ^dept << sales eng >> ^age { > 18 <= 65 })
+               (write ok))",
+        )
+        .unwrap();
+        let tests = &rule.lhs[0].tests;
+        assert_eq!(tests[0].terms, vec![TestTerm::Pred(Pred::Gt, Operand::Const(Value::Int(10000)))]);
+        assert_eq!(
+            tests[1].terms,
+            vec![TestTerm::AnyOf(vec![Value::sym("sales"), Value::sym("eng")])]
+        );
+        assert_eq!(
+            tests[2].terms,
+            vec![TestTerm::Conj(vec![
+                TestTerm::Pred(Pred::Gt, Operand::Const(Value::Int(18))),
+                TestTerm::Pred(Pred::Le, Operand::Const(Value::Int(65)))
+            ])]
+        );
+    }
+
+    #[test]
+    fn parses_program_with_literalize() {
+        let prog = parse_program(
+            "(literalize player name team)
+             (p r1 (player ^team A) (write found))",
+        )
+        .unwrap();
+        assert_eq!(prog.literalizes.len(), 1);
+        assert_eq!(prog.literalizes[0].attrs.len(), 2);
+        assert_eq!(prog.rules.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let rule = parse_rule("(p r (c ^x <x>) (bind <y> (1 + <x> * 2)))").unwrap();
+        let Action::Bind(_, expr) = &rule.rhs[0] else { panic!() };
+        // 1 + (<x> * 2)
+        match expr {
+            Expr::Bin(BinOp::Add, l, r) => {
+                assert_eq!(**l, Expr::Const(Value::Int(1)));
+                assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn empty_lhs_is_error() {
+        assert!(parse_rule("(p r (write hi))").is_err());
+        assert!(parse_rule("(p r)").is_err());
+    }
+
+    #[test]
+    fn nil_parses_as_nil_value() {
+        let rule = parse_rule("(p r (c ^a nil) (write done))").unwrap();
+        assert_eq!(
+            rule.lhs[0].tests[0].terms,
+            vec![TestTerm::Pred(Pred::Eq, Operand::Const(Value::Nil))]
+        );
+    }
+
+    #[test]
+    fn modify_by_index() {
+        let rule = parse_rule("(p r (c ^a 1) (modify 1 ^a 2) (remove 1))").unwrap();
+        assert!(matches!(&rule.rhs[0], Action::Modify { target: RhsTarget::Idx(1), .. }));
+        assert!(matches!(&rule.rhs[1], Action::Remove(RhsTarget::Idx(1))));
+    }
+
+    #[test]
+    fn conj_group_and_anyof_edge_cases() {
+        // Variables are rejected inside << >>.
+        let err = parse_rule("(p r (c ^a << <v> 1 >>) (halt))").unwrap_err();
+        assert!(err.message.contains("<< ... >>"), "{}", err);
+        // A conjunction group with one term collapses to that term.
+        let rule = parse_rule("(p r (c ^a { <v> }) (halt))").unwrap();
+        assert_eq!(
+            rule.lhs[0].tests[0].terms,
+            vec![TestTerm::Pred(Pred::Eq, Operand::Var(Symbol::new("v")))]
+        );
+        // Nested conjunction groups flatten at analysis time but parse
+        // as nested structure.
+        let rule = parse_rule("(p r (c ^a { > 1 { < 9 <> 5 } }) (halt))").unwrap();
+        assert_eq!(rule.lhs[0].tests[0].terms.len(), 1);
+    }
+
+    #[test]
+    fn foreach_orders_parse() {
+        for (kw, expected) in [
+            ("", IterOrder::Default),
+            (" ascending", IterOrder::Ascending),
+            (" descending", IterOrder::Descending),
+        ] {
+            let src = format!("(p r [c ^a <v>] (foreach <v>{} (write <v>)))", kw);
+            let rule = parse_rule(&src).unwrap();
+            let Action::ForEach { order, .. } = &rule.rhs[0] else { panic!() };
+            assert_eq!(*order, expected, "{:?}", kw);
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_rule("(p r\n(c ^a 1)\n-->\n(frobnicate))").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("frobnicate"), "{}", err);
+    }
+
+    #[test]
+    fn empty_rhs_is_error() {
+        let err = parse_rule("(p r (c ^a 1))").unwrap_err();
+        assert!(err.message.contains("RHS"), "{}", err);
+    }
+}

@@ -1,0 +1,311 @@
+//! Pretty-printer: re-emits parseable source from the AST.
+//!
+//! `parse(print(ast)) == ast` is checked by property tests; the printer is
+//! also what trace output and error messages use to show rules to users.
+
+use crate::ast::*;
+use sorete_base::Value;
+use std::fmt::Write as _;
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for l in &p.literalizes {
+        let _ = write!(out, "(literalize {}", l.class);
+        for a in &l.attrs {
+            let _ = write!(out, " {}", a);
+        }
+        out.push_str(")\n");
+    }
+    for r in &p.rules {
+        out.push_str(&print_rule(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one production.
+pub fn print_rule(r: &Rule) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "(p {}", r.name);
+    for ce in &r.lhs {
+        out.push_str("\n  ");
+        out.push_str(&print_ce(ce));
+    }
+    if !r.scalar.is_empty() {
+        out.push_str("\n  :scalar (");
+        for (i, v) in r.scalar.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "<{}>", v);
+        }
+        out.push(')');
+    }
+    for t in &r.tests {
+        out.push_str("\n  :test (");
+        out.push_str(&print_expr(t));
+        out.push(')');
+    }
+    out.push_str("\n  -->");
+    for a in &r.rhs {
+        out.push_str("\n  ");
+        out.push_str(&print_action(a));
+    }
+    out.push(')');
+    out
+}
+
+/// Render a condition element.
+pub fn print_ce(ce: &CondElem) -> String {
+    let mut out = String::new();
+    if ce.negated {
+        out.push('-');
+    }
+    if ce.elem_var.is_some() {
+        out.push_str("{ ");
+    }
+    let (open, close) = if ce.set_oriented { ('[', ']') } else { ('(', ')') };
+    out.push(open);
+    let _ = write!(out, "{}", ce.class);
+    for t in &ce.tests {
+        let _ = write!(out, " ^{}", t.attr);
+        for term in &t.terms {
+            out.push(' ');
+            out.push_str(&print_term(term));
+        }
+    }
+    out.push(close);
+    if let Some(ev) = ce.elem_var {
+        let _ = write!(out, " <{}> }}", ev);
+    }
+    out
+}
+
+fn print_term(t: &TestTerm) -> String {
+    match t {
+        TestTerm::Pred(Pred::Eq, op) => print_operand(op),
+        TestTerm::Pred(p, op) => format!("{} {}", pred_text(*p), print_operand(op)),
+        TestTerm::AnyOf(vals) => {
+            let mut s = String::from("<<");
+            for v in vals {
+                let _ = write!(s, " {}", print_value(v));
+            }
+            s.push_str(" >>");
+            s
+        }
+        TestTerm::Conj(terms) => {
+            let mut s = String::from("{");
+            for t in terms {
+                s.push(' ');
+                s.push_str(&print_term(t));
+            }
+            s.push_str(" }");
+            s
+        }
+    }
+}
+
+fn pred_text(p: Pred) -> &'static str {
+    match p {
+        Pred::Eq => "=",
+        Pred::Ne => "<>",
+        Pred::Lt => "<",
+        Pred::Le => "<=",
+        Pred::Gt => ">",
+        Pred::Ge => ">=",
+    }
+}
+
+fn print_operand(op: &Operand) -> String {
+    match op {
+        Operand::Const(v) => print_value(v),
+        Operand::Var(v) => format!("<{}>", v),
+    }
+}
+
+fn print_value(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Render an expression (fully parenthesised, so precedence survives the
+/// round trip).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => print_value(v),
+        Expr::Var(v) => format!("<{}>", v),
+        Expr::Agg(op, var) => format!("({} <{}>)", op.name(), var),
+        Expr::Bin(op, l, r) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "mod",
+            };
+            format!("({} {} {})", print_expr(l), sym, print_expr(r))
+        }
+        Expr::Cmp(p, l, r) => {
+            format!("({} {} {})", print_expr(l), pred_text(*p), print_expr(r))
+        }
+        Expr::And(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("({})", inner.join(" and "))
+        }
+        Expr::Or(parts) => {
+            let inner: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("({})", inner.join(" or "))
+        }
+        Expr::Not(inner) => format!("(not {})", print_expr(inner)),
+    }
+}
+
+/// Render one RHS action.
+pub fn print_action(a: &Action) -> String {
+    match a {
+        Action::Make { class, slots } => {
+            let mut s = format!("(make {}", class);
+            push_slots(&mut s, slots);
+            s.push(')');
+            s
+        }
+        Action::Remove(t) => format!("(remove {})", print_target(t)),
+        Action::Modify { target, slots } => {
+            let mut s = format!("(modify {}", print_target(target));
+            push_slots(&mut s, slots);
+            s.push(')');
+            s
+        }
+        Action::SetRemove(v) => format!("(set-remove <{}>)", v),
+        Action::SetModify { var, slots } => {
+            let mut s = format!("(set-modify <{}>", var);
+            push_slots(&mut s, slots);
+            s.push(')');
+            s
+        }
+        Action::Write(parts) => {
+            let mut s = String::from("(write");
+            for p in parts {
+                let _ = write!(s, " {}", print_expr(p));
+            }
+            s.push(')');
+            s
+        }
+        Action::Bind(v, e) => format!("(bind <{}> {})", v, print_expr(e)),
+        Action::Halt => "(halt)".to_string(),
+        Action::ForEach { var, order, body } => {
+            let mut s = format!("(foreach <{}>", var);
+            match order {
+                IterOrder::Default => {}
+                IterOrder::Ascending => s.push_str(" ascending"),
+                IterOrder::Descending => s.push_str(" descending"),
+            }
+            for a in body {
+                let _ = write!(s, " {}", print_action(a));
+            }
+            s.push(')');
+            s
+        }
+        Action::If { cond, then, els } => {
+            let mut s = format!("(if {}", print_expr(cond));
+            for a in then {
+                let _ = write!(s, " {}", print_action(a));
+            }
+            if !els.is_empty() {
+                s.push_str(" else");
+                for a in els {
+                    let _ = write!(s, " {}", print_action(a));
+                }
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+fn print_target(t: &RhsTarget) -> String {
+    match t {
+        RhsTarget::Var(v) => format!("<{}>", v),
+        RhsTarget::Idx(i) => i.to_string(),
+    }
+}
+
+fn push_slots(s: &mut String, slots: &[(sorete_base::Symbol, Expr)]) {
+    for (attr, e) in slots {
+        let _ = write!(s, " ^{} {}", attr, print_expr(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse_rule(src).unwrap();
+        let printed = print_rule(&ast1);
+        let ast2 = parse_rule(&printed).unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
+        assert_eq!(ast1, ast2, "printed form:\n{}", printed);
+    }
+
+    #[test]
+    fn roundtrips_paper_rules() {
+        roundtrip(
+            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B)
+              (write Player-A: <n1> Player-B: <n2>))",
+        );
+        roundtrip(
+            "(p SwitchTeams
+               { [player ^team A] <ATeam> }
+               { [player ^team B] <BTeam> }
+               :test ((count <ATeam>) == (count <BTeam>))
+               (set-modify <ATeam> ^team B)
+               (set-modify <BTeam> ^team A))",
+        );
+        roundtrip(
+            "(p RemoveDups
+               { [player ^name <n> ^team <t>] <P> }
+               :scalar (<n> <t>)
+               :test ((count <P>) > 1)
+               (bind <First> true)
+               (foreach <P> descending
+                 (if (<First> == true) (bind <First> false) else (remove <P>))))",
+        );
+        roundtrip(
+            "(p GroupByTeam [player ^team <t> ^name <n>]
+               (foreach <t> (write <t>) (foreach <n> (write <n>))))",
+        );
+    }
+
+    #[test]
+    fn roundtrips_predicates() {
+        roundtrip(
+            "(p sel (emp ^salary > 10000 ^dept << sales eng >> ^age { > 18 <= 65 } ^boss <> nil)
+              (write ok))",
+        );
+    }
+
+    #[test]
+    fn roundtrips_negation_and_arith() {
+        roundtrip("(p r (a ^x <x>) -(b ^x <x>) (bind <y> (1 + <x> * 2)) (make b ^x <y>))");
+    }
+
+    #[test]
+    fn prints_whole_programs() {
+        use crate::parser::parse_program;
+        let src = "(literalize player name team)
+            (p r1 (player ^team A) (halt))
+            (p r2 [player ^team B] (write done))";
+        let prog1 = parse_program(src).unwrap();
+        let printed = print_program(&prog1);
+        let prog2 = parse_program(&printed).unwrap();
+        assert_eq!(prog1, prog2, "{}", printed);
+        assert!(printed.contains("(literalize player name team)"));
+    }
+
+    #[test]
+    fn roundtrips_logic() {
+        roundtrip("(p r [a ^x <x>] :test ((count <x>) > 2 and (count <x>) < 9) (halt))");
+        roundtrip("(p r [a ^x <x>] :test (not ((count <x>) == 3)) (halt))");
+    }
+}

@@ -1,0 +1,474 @@
+//! Tokenizer for the rule language.
+//!
+//! Lexical notes (matching OPS5 conventions plus the paper's extensions):
+//!
+//! - `;` starts a comment that runs to end of line;
+//! - `,` is whitespace (the paper writes `(write Player A: <n>, ...)`);
+//! - `<name>` is a pattern variable; `<` / `<=` / `<>` / `<<` are operators
+//!   (disambiguated by look-ahead);
+//! - `-` immediately before `(` or `[` or `{` is CE negation; otherwise it
+//!   may begin a number or a symbol;
+//! - `^attr` introduces an attribute;
+//! - `:scalar` / `:test` are clause keywords;
+//! - `-->` separates LHS from RHS (optional in the paper's figures).
+
+use std::fmt;
+
+/// A lexical token with its source offset (byte index, for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind + payload.
+    pub kind: TokKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `-` before an opening bracket: CE negation.
+    Negation,
+    /// `-->`
+    Arrow,
+    /// `^attr`
+    Attr(String),
+    /// `<name>`
+    Var(String),
+    /// `:keyword` (e.g. `scalar`, `test`)
+    ClauseKw(String),
+    /// Bare symbol.
+    Sym(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `=` or `==`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    DblLt,
+    /// `>>`
+    DblGt,
+    /// `+`
+    Plus,
+    /// `-` in operator position (expressions).
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::LParen => f.write_str("("),
+            TokKind::RParen => f.write_str(")"),
+            TokKind::LBracket => f.write_str("["),
+            TokKind::RBracket => f.write_str("]"),
+            TokKind::LBrace => f.write_str("{"),
+            TokKind::RBrace => f.write_str("}"),
+            TokKind::Negation => f.write_str("-"),
+            TokKind::Arrow => f.write_str("-->"),
+            TokKind::Attr(a) => write!(f, "^{}", a),
+            TokKind::Var(v) => write!(f, "<{}>", v),
+            TokKind::ClauseKw(k) => write!(f, ":{}", k),
+            TokKind::Sym(s) => f.write_str(s),
+            TokKind::Int(i) => write!(f, "{}", i),
+            TokKind::Float(x) => write!(f, "{}", x),
+            TokKind::Eq => f.write_str("="),
+            TokKind::Ne => f.write_str("<>"),
+            TokKind::Lt => f.write_str("<"),
+            TokKind::Le => f.write_str("<="),
+            TokKind::Gt => f.write_str(">"),
+            TokKind::Ge => f.write_str(">="),
+            TokKind::DblLt => f.write_str("<<"),
+            TokKind::DblGt => f.write_str(">>"),
+            TokKind::Plus => f.write_str("+"),
+            TokKind::Minus => f.write_str("-"),
+            TokKind::Star => f.write_str("*"),
+            TokKind::Slash => f.write_str("/"),
+        }
+    }
+}
+
+/// A tokenization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_sym_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '!' | '?' | ':' | '$' | '&' | '@' | '#')
+}
+
+fn is_var_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Tokenize `src`.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, offset: i, line })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ch if ch.is_whitespace() || ch == ',' => {
+                i += 1;
+            }
+            ';' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(TokKind::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(TokKind::RParen);
+                i += 1;
+            }
+            '[' => {
+                push!(TokKind::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(TokKind::RBracket);
+                i += 1;
+            }
+            '{' => {
+                push!(TokKind::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(TokKind::RBrace);
+                i += 1;
+            }
+            '^' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && is_sym_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { message: "`^` must be followed by an attribute name".into(), line });
+                }
+                push!(TokKind::Attr(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            ':' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && bytes[j].is_alphanumeric() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { message: "`:` must be followed by a clause keyword".into(), line });
+                }
+                push!(TokKind::ClauseKw(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            '<' => {
+                // <=  <>  <<  <var>  or bare <
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    push!(TokKind::Le);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '>' {
+                    push!(TokKind::Ne);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '<' {
+                    push!(TokKind::DblLt);
+                    i += 2;
+                } else {
+                    // Look ahead for `<name>`.
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && is_var_char(bytes[j]) {
+                        j += 1;
+                    }
+                    if j > start && j < n && bytes[j] == '>' {
+                        push!(TokKind::Var(bytes[start..j].iter().collect()));
+                        i = j + 1;
+                    } else {
+                        push!(TokKind::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    push!(TokKind::Ge);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '>' {
+                    push!(TokKind::DblGt);
+                    i += 2;
+                } else {
+                    push!(TokKind::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                // Both `=` and `==` denote equality.
+                push!(TokKind::Eq);
+                i += if i + 1 < n && bytes[i + 1] == '=' { 2 } else { 1 };
+            }
+            '!' if i + 1 < n && bytes[i + 1] == '=' => {
+                push!(TokKind::Ne);
+                i += 2;
+            }
+            '+' => {
+                push!(TokKind::Plus);
+                i += 1;
+            }
+            '*' => {
+                push!(TokKind::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(TokKind::Slash);
+                i += 1;
+            }
+            '-' => {
+                // `-->`, negation of a CE, a negative number, or minus.
+                if i + 2 < n && bytes[i + 1] == '-' && bytes[i + 2] == '>' {
+                    push!(TokKind::Arrow);
+                    i += 3;
+                } else if i + 1 < n && matches!(bytes[i + 1], '(' | '[' | '{') {
+                    push!(TokKind::Negation);
+                    i += 1;
+                } else if i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    let (tok, j) = lex_number(&bytes, i);
+                    push!(tok);
+                    i = j;
+                } else {
+                    push!(TokKind::Minus);
+                    i += 1;
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let (tok, j) = lex_number(&bytes, i);
+                push!(tok);
+                i = j;
+            }
+            s if is_sym_char(s) => {
+                let start = i;
+                let mut j = i;
+                while j < n && is_sym_char(bytes[j]) {
+                    j += 1;
+                }
+                // Keywords like `mod`, `and`, `or` stay symbols here; the
+                // parser treats them as operators contextually.
+                let word: String = bytes[start..j].iter().collect();
+                push!(TokKind::Sym(word));
+                i = j;
+            }
+            other => {
+                return Err(LexError { message: format!("unexpected character `{}`", other), line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lex a (possibly negative) number starting at `i`; returns the token and
+/// the index just past it. If the "number" continues with symbol characters
+/// (e.g. `2nd`), the whole word is a symbol, as in OPS5.
+fn lex_number(bytes: &[char], i: usize) -> (TokKind, usize) {
+    let n = bytes.len();
+    let start = i;
+    let mut j = i;
+    if bytes[j] == '-' {
+        j += 1;
+    }
+    while j < n && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_float = false;
+    if j + 1 < n && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+        is_float = true;
+        j += 1;
+        while j < n && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    // Trailing symbol characters make the whole word symbolic.
+    if j < n && is_sym_char(bytes[j]) && bytes[j] != '.' {
+        let mut k = j;
+        while k < n && is_sym_char(bytes[k]) {
+            k += 1;
+        }
+        return (TokKind::Sym(bytes[start..k].iter().collect()), k);
+    }
+    let text: String = bytes[start..j].iter().collect();
+    if is_float {
+        (TokKind::Float(text.parse().unwrap()), j)
+    } else {
+        (TokKind::Int(text.parse().unwrap()), j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_rule_shape() {
+        let ks = kinds("(p compete (player ^name <n> ^team A))");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::LParen,
+                TokKind::Sym("p".into()),
+                TokKind::Sym("compete".into()),
+                TokKind::LParen,
+                TokKind::Sym("player".into()),
+                TokKind::Attr("name".into()),
+                TokKind::Var("n".into()),
+                TokKind::Attr("team".into()),
+                TokKind::Sym("A".into()),
+                TokKind::RParen,
+                TokKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn var_vs_comparison_operators() {
+        assert_eq!(kinds("<n>"), vec![TokKind::Var("n".into())]);
+        assert_eq!(kinds("<="), vec![TokKind::Le]);
+        assert_eq!(kinds("<>"), vec![TokKind::Ne]);
+        assert_eq!(kinds("<<a b>>"), vec![
+            TokKind::DblLt,
+            TokKind::Sym("a".into()),
+            TokKind::Sym("b".into()),
+            TokKind::DblGt
+        ]);
+        assert_eq!(kinds("< 5"), vec![TokKind::Lt, TokKind::Int(5)]);
+        // `<x` with no closing `>` is a bare less-than followed by a symbol.
+        assert_eq!(kinds("<x "), vec![TokKind::Lt, TokKind::Sym("x".into())]);
+    }
+
+    #[test]
+    fn negation_vs_minus_vs_arrow() {
+        assert_eq!(kinds("-->"), vec![TokKind::Arrow]);
+        assert_eq!(kinds("-(player)"), vec![
+            TokKind::Negation,
+            TokKind::LParen,
+            TokKind::Sym("player".into()),
+            TokKind::RParen
+        ]);
+        assert_eq!(kinds("-5"), vec![TokKind::Int(-5)]);
+        assert_eq!(kinds("a - b"), vec![
+            TokKind::Sym("a".into()),
+            TokKind::Minus,
+            TokKind::Sym("b".into())
+        ]);
+    }
+
+    #[test]
+    fn numbers_and_symbols() {
+        assert_eq!(kinds("42"), vec![TokKind::Int(42)]);
+        assert_eq!(kinds("-4.25"), vec![TokKind::Float(-4.25)]);
+        assert_eq!(kinds("3rd"), vec![TokKind::Sym("3rd".into())]);
+        assert_eq!(kinds("team-A"), vec![TokKind::Sym("team-A".into())]);
+    }
+
+    #[test]
+    fn comments_and_commas_skipped() {
+        assert_eq!(
+            kinds("a, b ; trailing comment\n c"),
+            vec![
+                TokKind::Sym("a".into()),
+                TokKind::Sym("b".into()),
+                TokKind::Sym("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn clause_keywords_and_attrs() {
+        assert_eq!(kinds(":scalar"), vec![TokKind::ClauseKw("scalar".into())]);
+        assert_eq!(kinds("^team"), vec![TokKind::Attr("team".into())]);
+    }
+
+    #[test]
+    fn eq_forms() {
+        assert_eq!(kinds("="), vec![TokKind::Eq]);
+        assert_eq!(kinds("=="), vec![TokKind::Eq]);
+        assert_eq!(kinds("!="), vec![TokKind::Ne]);
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let err = tokenize("a\nb\n  %").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn braces_for_element_vars() {
+        assert_eq!(
+            kinds("{ [player] <P> }"),
+            vec![
+                TokKind::LBrace,
+                TokKind::LBracket,
+                TokKind::Sym("player".into()),
+                TokKind::RBracket,
+                TokKind::Var("P".into()),
+                TokKind::RBrace
+            ]
+        );
+    }
+}

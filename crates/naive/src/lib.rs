@@ -1,0 +1,481 @@
+#![warn(missing_docs)]
+//! A deliberately naive matcher: recomputes the whole conflict set from
+//! scratch after every working-memory change and emits the difference.
+//!
+//! Its value is *independence*: it shares no matching code with Rete or
+//! TREAT (plain nested-loop joins; direct grouping and aggregation instead
+//! of the S-node algorithm), so property tests that compare matchers
+//! against it are comparing two genuinely different implementations of the
+//! paper's semantics. It is also the paper's strawman cost model: matching
+//! effort proportional to working-memory size on every cycle.
+//!
+//! ```
+//! use sorete_naive::NaiveMatcher;
+//! use sorete_lang::{analyze_rule, parse_rule, Matcher};
+//! use sorete_base::{Symbol, TimeTag, Value, Wme};
+//! use std::sync::Arc;
+//!
+//! let mut naive = NaiveMatcher::new();
+//! naive.add_rule(Arc::new(analyze_rule(&parse_rule(
+//!     "(p r (a ^x <v>) (halt))").unwrap()).unwrap()));
+//! naive.insert_wme(&Wme::new(TimeTag::new(1), Symbol::new("a"),
+//!                            vec![(Symbol::new("x"), Value::Int(5))]));
+//! assert_eq!(naive.items().count(), 1);
+//! ```
+
+use sorete_base::{
+    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId, Symbol,
+    TimeTag, Value, Wme,
+};
+use sorete_lang::analyze::{AggTarget, AnalyzedCe, AnalyzedRule};
+use sorete_lang::ast::AggOp;
+use sorete_lang::eval::{eval_truthy, Env};
+use sorete_lang::matcher::Matcher;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The oracle matcher.
+#[derive(Default)]
+pub struct NaiveMatcher {
+    rules: Vec<Arc<AnalyzedRule>>,
+    excised: sorete_base::FxHashSet<usize>,
+    wmes: FxHashMap<TimeTag, Wme>,
+    /// Current conflict set, keyed by instantiation identity.
+    current: FxHashMap<InstKey, ConflictItem>,
+    deltas: Vec<CsDelta>,
+    stats: MatchStats,
+}
+
+impl NaiveMatcher {
+    /// An empty matcher.
+    pub fn new() -> NaiveMatcher {
+        NaiveMatcher::default()
+    }
+
+    /// The current conflict set (the oracle's ground truth), unordered.
+    pub fn items(&self) -> impl Iterator<Item = &ConflictItem> {
+        self.current.values()
+    }
+
+    /// Recompute everything and diff against the previous conflict set.
+    fn refresh(&mut self) {
+        let mut fresh: FxHashMap<InstKey, ConflictItem> = FxHashMap::default();
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if self.excised.contains(&idx) {
+                continue;
+            }
+            let rid = RuleId::new(idx);
+            let rows = self.enumerate_rows(rule);
+            if rule.is_set_oriented {
+                for item in self.group_sois(rule, rid, rows) {
+                    fresh.insert(item.key.clone(), item);
+                }
+            } else {
+                for tags in rows {
+                    let mut recency = tags.clone();
+                    recency.sort_unstable_by(|a, b| b.cmp(a));
+                    let key = InstKey::Tuple { rule: rid, tags: tags.clone().into() };
+                    fresh.insert(
+                        key.clone(),
+                        ConflictItem {
+                            key,
+                            rows: vec![tags.into()],
+                            aggregates: Vec::new(),
+                            version: 0,
+                            recency: recency.into(),
+                            specificity: rule.specificity,
+                        },
+                    );
+                }
+            }
+        }
+        // Diff: removals, then insertions/updates.
+        let old = std::mem::take(&mut self.current);
+        for key in old.keys() {
+            if !fresh.contains_key(key) {
+                self.deltas.push(CsDelta::Remove(key.clone()));
+            }
+        }
+        for (key, item) in &fresh {
+            match old.get(key) {
+                None => self.deltas.push(CsDelta::Insert(item.clone())),
+                Some(prev) => {
+                    if prev.rows != item.rows || prev.aggregates != item.aggregates {
+                        self.deltas.push(CsDelta::Retime(RetimeInfo {
+                            key: item.key.clone(),
+                            version: item.version,
+                            recency: item.recency.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        self.current = fresh;
+    }
+
+    /// All complete positive-CE rows of a rule, by nested-loop join.
+    fn enumerate_rows(&self, rule: &AnalyzedRule) -> Vec<Vec<TimeTag>> {
+        // Partial rows hold the matched tag per *positive* CE processed so far.
+        let mut partials: Vec<Vec<TimeTag>> = vec![Vec::new()];
+        for ce in &rule.ces {
+            if partials.is_empty() {
+                break;
+            }
+            if ce.negated {
+                partials.retain(|row| !self.exists_match(ce, row));
+            } else {
+                let mut next = Vec::new();
+                for row in &partials {
+                    for (tag, wme) in &self.wmes {
+                        if self.ce_matches(ce, wme, row) {
+                            let mut extended = row.clone();
+                            extended.push(*tag);
+                            next.push(extended);
+                        }
+                    }
+                }
+                partials = next;
+            }
+        }
+        partials
+    }
+
+    /// Does any WME satisfy the (negated) CE against the partial row?
+    fn exists_match(&self, ce: &AnalyzedCe, row: &[TimeTag]) -> bool {
+        self.wmes.values().any(|w| self.ce_matches(ce, w, row))
+    }
+
+    fn ce_matches(&self, ce: &AnalyzedCe, wme: &Wme, row: &[TimeTag]) -> bool {
+        if wme.class != ce.class {
+            return false;
+        }
+        if !ce.const_tests.iter().all(|t| t.matches(&wme.get(t.attr))) {
+            return false;
+        }
+        if !ce
+            .intra_tests
+            .iter()
+            .all(|t| t.pred.apply(&wme.get(t.attr), &wme.get(t.other_attr)))
+        {
+            return false;
+        }
+        ce.var_joins.iter().all(|vj| {
+            let other = &self.wmes[&row[vj.other_pos_ce]];
+            vj.pred.apply(&wme.get(vj.attr), &other.get(vj.other_attr))
+        })
+    }
+
+    /// Group complete rows into SOIs — an *independent* reimplementation of
+    /// the S-node semantics (direct grouping, batch aggregation).
+    fn group_sois(
+        &self,
+        rule: &Arc<AnalyzedRule>,
+        rid: RuleId,
+        rows: Vec<Vec<TimeTag>>,
+    ) -> Vec<ConflictItem> {
+        let mut groups: FxHashMap<Box<[KeyPart]>, Vec<Vec<TimeTag>>> = FxHashMap::default();
+        for row in rows {
+            let mut key: Vec<KeyPart> =
+                rule.scalar_ces.iter().map(|&pos| KeyPart::Tag(row[pos])).collect();
+            for pv in &rule.scalar_pvs {
+                key.push(KeyPart::Val(self.wmes[&row[pv.pos_ce]].get(pv.attr)));
+            }
+            groups.entry(key.into()).or_default().push(row);
+        }
+
+        let mut out = Vec::new();
+        for (parts, mut rows) in groups {
+            // Conflict-set order: most recent row first (tags sorted
+            // descending, compared lexicographically).
+            rows.sort_by_cached_key(|r| {
+                let mut rec = r.clone();
+                rec.sort_unstable_by(|a, b| b.cmp(a));
+                std::cmp::Reverse(rec)
+            });
+
+            // Batch aggregation over distinct WMEs of each target CE.
+            let aggregates: Vec<Value> = rule
+                .aggregates
+                .iter()
+                .map(|spec| {
+                    let mut seen: FxHashMap<TimeTag, Value> = FxHashMap::default();
+                    let (pos_ce, attr) = match spec.target {
+                        AggTarget::Pv { pos_ce, attr, .. } => (pos_ce, Some(attr)),
+                        AggTarget::Ce { pos_ce, .. } => (pos_ce, None),
+                    };
+                    for row in &rows {
+                        let tag = row[pos_ce];
+                        let v = match attr {
+                            Some(a) => self.wmes[&tag].get(a),
+                            None => Value::Nil,
+                        };
+                        seen.insert(tag, v);
+                    }
+                    batch_aggregate(spec.op, &spec.target, seen.values())
+                })
+                .collect();
+
+            // Evaluate T.
+            let env = NaiveEnv { matcher: self, rule, parts: &parts, head: &rows[0], aggregates: &aggregates };
+            let pass = rule.tests.iter().all(|t| eval_truthy(t, &env).unwrap_or(false));
+            if !pass {
+                continue;
+            }
+
+            let mut recency = rows[0].clone();
+            recency.sort_unstable_by(|a, b| b.cmp(a));
+            // Content hash stands in for the incremental version counter:
+            // any change to rows or aggregates re-arms refraction.
+            let version = content_hash(&rows, &aggregates);
+            out.push(ConflictItem {
+                key: InstKey::Soi { rule: rid, parts: parts.clone() },
+                rows: rows.into_iter().map(|r| r.into()).collect(),
+                aggregates,
+                version,
+                recency: recency.into(),
+                specificity: rule.specificity,
+            });
+        }
+        out
+    }
+}
+
+fn content_hash(rows: &[Vec<TimeTag>], aggs: &[Value]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = sorete_base::FxHasher::default();
+    for r in rows {
+        for t in r {
+            t.hash(&mut h);
+        }
+        0xfeu8.hash(&mut h);
+    }
+    for a in aggs {
+        a.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Batch (non-incremental) aggregate over the distinct WMEs' values.
+fn batch_aggregate<'v>(
+    op: AggOp,
+    target: &AggTarget,
+    values: impl Iterator<Item = &'v Value>,
+) -> Value {
+    let vals: Vec<&Value> = values.collect();
+    match op {
+        AggOp::Count => match target {
+            AggTarget::Ce { .. } => Value::Int(vals.len() as i64),
+            AggTarget::Pv { .. } => {
+                let mut distinct: BTreeMap<&Value, ()> = BTreeMap::new();
+                for v in &vals {
+                    distinct.insert(v, ());
+                }
+                Value::Int(distinct.len() as i64)
+            }
+        },
+        AggOp::Sum | AggOp::Avg => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                return Value::Nil;
+            }
+            if op == AggOp::Avg {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(
+                    vals.iter()
+                        .filter_map(|v| match v {
+                            Value::Int(i) => Some(*i),
+                            _ => None,
+                        })
+                        .sum(),
+                )
+            } else {
+                Value::Float(nums.iter().sum())
+            }
+        }
+        AggOp::Min => vals.iter().min().map(|v| **v).unwrap_or(Value::Nil),
+        AggOp::Max => vals.iter().max().map(|v| **v).unwrap_or(Value::Nil),
+    }
+}
+
+struct NaiveEnv<'a> {
+    matcher: &'a NaiveMatcher,
+    rule: &'a AnalyzedRule,
+    parts: &'a [KeyPart],
+    head: &'a [TimeTag],
+    aggregates: &'a [Value],
+}
+
+impl Env for NaiveEnv<'_> {
+    fn var(&self, v: Symbol) -> Option<Value> {
+        if let Some(i) = self.rule.scalar_pvs.iter().position(|p| p.var == v) {
+            if let KeyPart::Val(val) = &self.parts[self.rule.scalar_ces.len() + i] {
+                return Some(*val);
+            }
+        }
+        let src = self.rule.var_sources.get(&v)?;
+        if src.set_oriented {
+            return None;
+        }
+        Some(self.matcher.wmes[&self.head[src.pos_ce]].get(src.attr))
+    }
+
+    fn agg(&self, op: AggOp, var: Symbol) -> Option<Value> {
+        let idx = self.rule.agg_index(op, var)?;
+        Some(self.aggregates[idx])
+    }
+}
+
+impl Matcher for NaiveMatcher {
+    fn add_rule(&mut self, rule: Arc<AnalyzedRule>) -> RuleId {
+        let id = RuleId::new(self.rules.len());
+        self.rules.push(rule);
+        self.refresh();
+        id
+    }
+
+    fn insert_wme(&mut self, wme: &Wme) {
+        self.stats.alpha_activations += 1;
+        self.wmes.insert(wme.tag, wme.clone());
+        self.refresh();
+    }
+
+    fn remove_wme(&mut self, wme: &Wme) {
+        self.wmes.remove(&wme.tag);
+        self.refresh();
+    }
+
+    fn remove_rule(&mut self, rule: RuleId) {
+        self.excised.insert(rule.index());
+        self.refresh();
+    }
+
+    fn drain_deltas(&mut self) -> Vec<CsDelta> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    fn materialize(&self, key: &InstKey) -> Option<ConflictItem> {
+        self.current.get(key).cloned()
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorete_lang::{analyze_rule, parse_rule};
+
+    fn wme(tag: u64, class: &str, slots: &[(&str, Value)]) -> Wme {
+        Wme::new(
+            TimeTag::new(tag),
+            Symbol::new(class),
+            slots.iter().map(|(a, v)| (Symbol::new(a), *v)).collect(),
+        )
+    }
+
+    fn setup(rules: &[&str]) -> NaiveMatcher {
+        let mut m = NaiveMatcher::new();
+        for r in rules {
+            m.add_rule(Arc::new(analyze_rule(&parse_rule(r).unwrap()).unwrap()));
+        }
+        m
+    }
+
+    #[test]
+    fn figure1_six_instantiations() {
+        let mut m = setup(&[
+            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))",
+        ]);
+        for (i, (n, t)) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")]
+            .iter()
+            .enumerate()
+        {
+            m.insert_wme(&wme(
+                i as u64 + 1,
+                "player",
+                &[("name", Value::sym(n)), ("team", Value::sym(t))],
+            ));
+        }
+        let _ = m.drain_deltas();
+        assert_eq!(m.current.len(), 6);
+    }
+
+    #[test]
+    fn soi_grouping_and_count() {
+        let mut m = setup(&[
+            "(p dups { [player ^name <n>] <P> } :scalar (<n>) :test ((count <P>) > 1) (set-remove <P>))",
+        ]);
+        m.insert_wme(&wme(1, "player", &[("name", Value::sym("Sue"))]));
+        m.insert_wme(&wme(2, "player", &[("name", Value::sym("Sue"))]));
+        m.insert_wme(&wme(3, "player", &[("name", Value::sym("Jack"))]));
+        let _ = m.drain_deltas();
+        assert_eq!(m.current.len(), 1);
+        let item = m.current.values().next().unwrap();
+        assert_eq!(item.rows.len(), 2);
+        assert_eq!(item.aggregates, vec![Value::Int(2)]);
+        // Head row is the more recent Sue.
+        assert_eq!(item.rows[0].as_ref(), &[TimeTag::new(2)]);
+    }
+
+    #[test]
+    fn negation() {
+        let mut m = setup(&["(p r (a ^x <v>) -(b ^x <v>) (halt))"]);
+        m.insert_wme(&wme(1, "a", &[("x", Value::Int(7))]));
+        assert_eq!(m.current.len(), 1);
+        m.insert_wme(&wme(2, "b", &[("x", Value::Int(7))]));
+        assert_eq!(m.current.len(), 0);
+        m.remove_wme(&wme(2, "b", &[("x", Value::Int(7))]));
+        assert_eq!(m.current.len(), 1);
+    }
+
+    #[test]
+    fn deltas_reflect_changes() {
+        let mut m = setup(&["(p r (a ^x 1) (halt))"]);
+        let w = wme(1, "a", &[("x", Value::Int(1))]);
+        m.insert_wme(&w);
+        let d = m.drain_deltas();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0], CsDelta::Insert(_)));
+        m.remove_wme(&w);
+        let d = m.drain_deltas();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0], CsDelta::Remove(_)));
+    }
+
+    #[test]
+    fn retime_on_soi_change() {
+        let mut m = setup(&["(p r [a ^x <x>] (halt))"]);
+        m.insert_wme(&wme(1, "a", &[("x", Value::Int(1))]));
+        let _ = m.drain_deltas();
+        m.insert_wme(&wme(2, "a", &[("x", Value::Int(2))]));
+        let d = m.drain_deltas();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0], CsDelta::Retime(_)), "{:?}", d);
+    }
+
+    #[test]
+    fn min_max_avg_sum_aggregates() {
+        let mut m = setup(&[
+            "(p pay (dept ^id <d>) [emp ^dept <d> ^sal <s>]
+               :test ((sum <s>) > 0 and (min <s>) >= 0 and (max <s>) < 100000 and (avg <s>) > 10)
+               (halt))",
+        ]);
+        m.insert_wme(&wme(1, "dept", &[("id", Value::Int(1))]));
+        m.insert_wme(&wme(2, "emp", &[("dept", Value::Int(1)), ("sal", Value::Int(100))]));
+        m.insert_wme(&wme(3, "emp", &[("dept", Value::Int(1)), ("sal", Value::Int(300))]));
+        assert_eq!(m.current.len(), 1);
+        let item = m.current.values().next().unwrap();
+        // Aggregate order = first-reference order: sum, min, max, avg.
+        assert_eq!(item.aggregates[0], Value::Int(400));
+        assert_eq!(item.aggregates[1], Value::Int(100));
+        assert_eq!(item.aggregates[2], Value::Int(300));
+        assert_eq!(item.aggregates[3], Value::Float(200.0));
+    }
+}

@@ -1,0 +1,473 @@
+//! Relational algebra: plans and a straightforward executor.
+//!
+//! Plans are built programmatically (or by the SQL subset in
+//! [`crate::sql`]) and executed against a [`crate::Database`]. Columns in
+//! intermediate relations carry qualified names (`table.col`); references
+//! resolve by exact match or unique suffix.
+
+use crate::db::Database;
+use crate::error::DbError;
+use crate::table::Row;
+use sorete_base::{FxHashMap, Value};
+use std::cmp::Ordering;
+
+/// Comparison operators (NULL-aware: any comparison with `nil` is false).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply with SQL-style NULL semantics.
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        if a.is_nil() || b.is_nil() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a.cmp(b) == Ordering::Less,
+            CmpOp::Le => a.cmp(b) != Ordering::Greater,
+            CmpOp::Gt => a.cmp(b) == Ordering::Greater,
+            CmpOp::Ge => a.cmp(b) != Ordering::Less,
+        }
+    }
+}
+
+/// A column reference: `"col"` or `"table.col"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColRef(pub String);
+
+impl ColRef {
+    /// Build from a string.
+    pub fn new(s: &str) -> ColRef {
+        ColRef(s.to_string())
+    }
+
+    /// Resolve against a set of qualified column names.
+    pub fn resolve(&self, cols: &[String]) -> Result<usize, DbError> {
+        if let Some(i) = cols.iter().position(|c| *c == self.0) {
+            return Ok(i);
+        }
+        let suffix = format!(".{}", self.0);
+        let hits: Vec<usize> = cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(DbError::UnknownColumn(self.0.clone())),
+            _ => Err(DbError::UnknownColumn(format!("{} (ambiguous)", self.0))),
+        }
+    }
+}
+
+/// A scalar term in a predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// Column value.
+    Col(ColRef),
+    /// Literal.
+    Lit(Value),
+}
+
+/// Predicates over a row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pred {
+    /// Comparison.
+    Cmp(CmpOp, Scalar, Scalar),
+    /// `col IS NULL` (`negated = true` for `IS NOT NULL`).
+    IsNull(ColRef, bool),
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Always true.
+    True,
+}
+
+/// SQL aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFun {
+    /// Row count (of non-null values of the column).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Numeric mean.
+    Avg,
+}
+
+impl AggFun {
+    /// Keyword name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFun::Count => "count",
+            AggFun::Sum => "sum",
+            AggFun::Min => "min",
+            AggFun::Max => "max",
+            AggFun::Avg => "avg",
+        }
+    }
+}
+
+/// A query plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Full table scan.
+    Scan(String),
+    /// Filter.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row predicate.
+        pred: Pred,
+    },
+    /// Column projection.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Columns to keep, in order.
+        cols: Vec<ColRef>,
+    },
+    /// Equi-join (`on` empty ⇒ cross product).
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Equality column pairs (left, right).
+        on: Vec<(ColRef, ColRef)>,
+    },
+    /// Grouping. With aggregates: one output row per group (keys + agg
+    /// columns). Without: the paper's Figure-6 "grouped relation" form —
+    /// every input row, prefixed with a 1-based `group` number, sorted by
+    /// the grouping key.
+    GroupBy {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping key columns.
+        keys: Vec<ColRef>,
+        /// Aggregates: (function, argument column).
+        aggs: Vec<(AggFun, ColRef)>,
+    },
+    /// Sort.
+    OrderBy {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys (column, ascending?).
+        keys: Vec<(ColRef, bool)>,
+    },
+    /// Row limit.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum rows.
+        n: usize,
+    },
+}
+
+/// An executed relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation {
+    /// Qualified column names.
+    pub cols: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Pretty-print as an aligned text table (for demos / EXPERIMENTS.md).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.cols.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.cols.iter().enumerate() {
+            out.push_str(&format!("{:width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Evaluate a predicate on a row.
+fn eval_pred(pred: &Pred, cols: &[String], row: &Row) -> Result<bool, DbError> {
+    Ok(match pred {
+        Pred::True => true,
+        Pred::Cmp(op, a, b) => {
+            let va = eval_scalar(a, cols, row)?;
+            let vb = eval_scalar(b, cols, row)?;
+            op.apply(&va, &vb)
+        }
+        Pred::IsNull(c, negated) => {
+            let v = row[c.resolve(cols)?];
+            v.is_nil() != *negated
+        }
+        Pred::And(parts) => {
+            for p in parts {
+                if !eval_pred(p, cols, row)? {
+                    return Ok(false);
+                }
+            }
+            true
+        }
+        Pred::Or(parts) => {
+            for p in parts {
+                if eval_pred(p, cols, row)? {
+                    return Ok(true);
+                }
+            }
+            false
+        }
+        Pred::Not(inner) => !eval_pred(inner, cols, row)?,
+    })
+}
+
+fn eval_scalar(s: &Scalar, cols: &[String], row: &Row) -> Result<Value, DbError> {
+    Ok(match s {
+        Scalar::Col(c) => row[c.resolve(cols)?],
+        Scalar::Lit(v) => *v,
+    })
+}
+
+/// Execute a plan against a database.
+pub fn execute(db: &Database, plan: &Plan) -> Result<Relation, DbError> {
+    match plan {
+        Plan::Scan(name) => {
+            let table = db.table_by_name(name)?;
+            let cols = table
+                .schema
+                .cols
+                .iter()
+                .map(|c| format!("{}.{}", table.schema.name, c))
+                .collect();
+            let rows = table.iter().map(|(_, r)| r.clone()).collect();
+            Ok(Relation { cols, rows })
+        }
+        Plan::Select { input, pred } => {
+            let mut rel = execute(db, input)?;
+            let cols = rel.cols.clone();
+            let mut err = None;
+            rel.rows.retain(|r| match eval_pred(pred, &cols, r) {
+                Ok(b) => b,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    false
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            Ok(rel)
+        }
+        Plan::Project { input, cols } => {
+            let rel = execute(db, input)?;
+            let idxs: Vec<usize> =
+                cols.iter().map(|c| c.resolve(&rel.cols)).collect::<Result<_, _>>()?;
+            Ok(Relation {
+                cols: idxs.iter().map(|&i| rel.cols[i].clone()).collect(),
+                rows: rel
+                    .rows
+                    .iter()
+                    .map(|r| idxs.iter().map(|&i| r[i]).collect())
+                    .collect(),
+            })
+        }
+        Plan::Join { left, right, on } => {
+            let l = execute(db, left)?;
+            let r = execute(db, right)?;
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.iter().cloned());
+            let mut rows = Vec::new();
+            if on.is_empty() {
+                for lr in &l.rows {
+                    for rr in &r.rows {
+                        let mut row: Vec<Value> = lr.to_vec();
+                        row.extend(rr.iter().copied());
+                        rows.push(row.into());
+                    }
+                }
+            } else {
+                // Hash join on the equality keys.
+                let lk: Vec<usize> =
+                    on.iter().map(|(a, _)| a.resolve(&l.cols)).collect::<Result<_, _>>()?;
+                let rk: Vec<usize> =
+                    on.iter().map(|(_, b)| b.resolve(&r.cols)).collect::<Result<_, _>>()?;
+                let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+                for (i, rr) in r.rows.iter().enumerate() {
+                    let key: Vec<Value> = rk.iter().map(|&k| rr[k]).collect();
+                    if key.iter().any(|v| v.is_nil()) {
+                        continue; // NULLs never join
+                    }
+                    index.entry(key).or_default().push(i);
+                }
+                for lr in &l.rows {
+                    let key: Vec<Value> = lk.iter().map(|&k| lr[k]).collect();
+                    if key.iter().any(|v| v.is_nil()) {
+                        continue;
+                    }
+                    if let Some(matches) = index.get(&key) {
+                        for &i in matches {
+                            let mut row: Vec<Value> = lr.to_vec();
+                            row.extend(r.rows[i].iter().copied());
+                            rows.push(row.into());
+                        }
+                    }
+                }
+            }
+            Ok(Relation { cols, rows })
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let rel = execute(db, input)?;
+            let ki: Vec<usize> =
+                keys.iter().map(|c| c.resolve(&rel.cols)).collect::<Result<_, _>>()?;
+            // Stable grouping: order of first appearance, then sort by key.
+            let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+            let mut lookup: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            for (i, row) in rel.rows.iter().enumerate() {
+                let key: Vec<Value> = ki.iter().map(|&k| row[k]).collect();
+                match lookup.get(&key) {
+                    Some(&g) => groups[g].1.push(i),
+                    None => {
+                        lookup.insert(key.clone(), groups.len());
+                        groups.push((key, vec![i]));
+                    }
+                }
+            }
+            groups.sort_by(|a, b| a.0.cmp(&b.0));
+
+            if aggs.is_empty() {
+                // Figure-6 form: `group` number + original rows.
+                let mut cols = vec!["group".to_string()];
+                cols.extend(rel.cols.iter().cloned());
+                let mut rows = Vec::new();
+                for (gi, (_, members)) in groups.iter().enumerate() {
+                    for &m in members {
+                        let mut row: Vec<Value> = vec![Value::Int(gi as i64 + 1)];
+                        row.extend(rel.rows[m].iter().copied());
+                        rows.push(row.into());
+                    }
+                }
+                Ok(Relation { cols, rows })
+            } else {
+                // `count(*)` counts group members; other aggregates resolve
+                // their argument column.
+                let ai: Vec<Option<usize>> = aggs
+                    .iter()
+                    .map(|(f, c)| {
+                        if c.0 == "*" && *f == AggFun::Count {
+                            Ok(None)
+                        } else {
+                            c.resolve(&rel.cols).map(Some)
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut cols: Vec<String> = ki.iter().map(|&i| rel.cols[i].clone()).collect();
+                for (f, c) in aggs.iter() {
+                    cols.push(format!("{}({})", f.name(), c.0));
+                }
+                let mut rows = Vec::new();
+                for (key, members) in groups {
+                    let mut row: Vec<Value> = key;
+                    for ((f, _), ci) in aggs.iter().zip(&ai) {
+                        match ci {
+                            None => row.push(Value::Int(members.len() as i64)),
+                            Some(ci) => {
+                                let vals: Vec<Value> = members
+                                    .iter()
+                                    .map(|&m| rel.rows[m][*ci])
+                                    .filter(|v| !v.is_nil())
+                                    .collect();
+                                row.push(aggregate(*f, &vals));
+                            }
+                        }
+                    }
+                    rows.push(row.into());
+                }
+                Ok(Relation { cols, rows })
+            }
+        }
+        Plan::OrderBy { input, keys } => {
+            let mut rel = execute(db, input)?;
+            let ki: Vec<(usize, bool)> = keys
+                .iter()
+                .map(|(c, asc)| Ok((c.resolve(&rel.cols)?, *asc)))
+                .collect::<Result<_, DbError>>()?;
+            rel.rows.sort_by(|a, b| {
+                for &(i, asc) in &ki {
+                    let ord = a[i].cmp(&b[i]);
+                    if ord != Ordering::Equal {
+                        return if asc { ord } else { ord.reverse() };
+                    }
+                }
+                Ordering::Equal
+            });
+            Ok(rel)
+        }
+        Plan::Limit { input, n } => {
+            let mut rel = execute(db, input)?;
+            rel.rows.truncate(*n);
+            Ok(rel)
+        }
+    }
+}
+
+/// Compute one aggregate over non-null values.
+pub fn aggregate(f: AggFun, vals: &[Value]) -> Value {
+    match f {
+        AggFun::Count => Value::Int(vals.len() as i64),
+        AggFun::Min => vals.iter().min().copied().unwrap_or(Value::Nil),
+        AggFun::Max => vals.iter().max().copied().unwrap_or(Value::Nil),
+        AggFun::Sum => {
+            if vals.is_empty() {
+                return Value::Nil;
+            }
+            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(vals.iter().filter_map(|v| match v { Value::Int(i) => Some(*i), _ => None }).sum())
+            } else {
+                Value::Float(vals.iter().filter_map(|v| v.as_f64()).sum())
+            }
+        }
+        AggFun::Avg => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Nil
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! A small SQL subset — just enough to run the paper's Figure 6 query
+//! verbatim:
+//!
+//! ```sql
+//! select COND-E.WME-TAG, COND-W.WME-TAG
+//! from COND-E, COND-W
+//! where COND-E.RULE-ID = COND-W.RULE-ID
+//!   and COND-E.WME-TAG is not NULL
+//!   and COND-W.WME-TAG is not NULL
+//! group-by COND-E.WME-TAG
+//! ```
+//!
+//! Supported: `SELECT cols|aggregates|COUNT(*)|* FROM t1, t2, … [WHERE
+//! conjunctions/disjunctions of comparisons and IS [NOT] NULL]
+//! [GROUP BY cols] [HAVING pred-over-aggregates]
+//! [ORDER BY col [ASC|DESC], …] [LIMIT n]`. Both `GROUP BY` and the
+//! paper's `group-by` spelling are accepted. Identifiers may contain `-`
+//! (the paper's `COND-E.WME-TAG`). Qualified equality predicates between
+//! two tables are compiled into hash joins; everything else filters after
+//! the join.
+
+use crate::algebra::{AggFun, CmpOp, ColRef, Plan, Pred, Scalar};
+use crate::error::DbError;
+use sorete_base::Value;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Op(CmpOp),
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '$' | '#')
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, DbError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < chars.len() && chars[j] != '\'' {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j == chars.len() {
+                    return Err(DbError::Sql("unterminated string literal".into()));
+                }
+                out.push(Tok::Str(s));
+                i = j + 1;
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                if text.contains('.') {
+                    out.push(Tok::Float(text.parse().map_err(|_| DbError::Sql(format!("bad number `{}`", text)))?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| DbError::Sql(format!("bad number `{}`", text)))?));
+                }
+                i = j;
+            }
+            a if is_ident_char(a) => {
+                let mut j = i;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                out.push(Tok::Ident(chars[i..j].iter().collect()));
+                i = j;
+            }
+            other => return Err(DbError::Sql(format!("unexpected character `{}`", other))),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+#[derive(Debug)]
+enum SelectItem {
+    All,
+    Col(ColRef),
+    Agg(AggFun, ColRef),
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, DbError> {
+        Err(DbError::Sql(msg.into()))
+    }
+
+    /// Is the next token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", kw.to_uppercase()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {:?}", other)),
+        }
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, DbError> {
+        let mut items = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Tok::Star)) {
+                self.pos += 1;
+                items.push(SelectItem::All);
+            } else {
+                let name = self.ident()?;
+                let agg = match name.to_ascii_lowercase().as_str() {
+                    "count" => Some(AggFun::Count),
+                    "sum" => Some(AggFun::Sum),
+                    "min" => Some(AggFun::Min),
+                    "max" => Some(AggFun::Max),
+                    "avg" => Some(AggFun::Avg),
+                    _ => None,
+                };
+                if let (Some(f), Some(Tok::LParen)) = (agg, self.peek()) {
+                    self.pos += 1;
+                    let col = match self.next() {
+                        Some(Tok::Ident(c)) => c,
+                        Some(Tok::Star) => "*".to_string(),
+                        other => return self.err(format!("bad aggregate argument {:?}", other)),
+                    };
+                    match self.next() {
+                        Some(Tok::RParen) => {}
+                        _ => return self.err("expected `)` after aggregate argument"),
+                    }
+                    items.push(SelectItem::Agg(f, ColRef::new(&col)));
+                } else {
+                    items.push(SelectItem::Col(ColRef::new(&name)));
+                }
+            }
+            if matches!(self.peek(), Some(Tok::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // Predicate grammar: or := and (OR and)* ; and := prim (AND prim)* ;
+    // prim := NOT prim | '(' or ')' | scalar op scalar | col IS [NOT] NULL.
+    fn pred(&mut self) -> Result<Pred, DbError> {
+        let mut parts = vec![self.and_pred()?];
+        while self.eat_kw("or") {
+            parts.push(self.and_pred()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Pred::Or(parts) })
+    }
+
+    fn and_pred(&mut self) -> Result<Pred, DbError> {
+        let mut parts = vec![self.prim_pred()?];
+        while self.eat_kw("and") {
+            parts.push(self.prim_pred()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Pred::And(parts) })
+    }
+
+    fn prim_pred(&mut self) -> Result<Pred, DbError> {
+        if self.eat_kw("not") {
+            return Ok(Pred::Not(Box::new(self.prim_pred()?)));
+        }
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            let p = self.pred()?;
+            match self.next() {
+                Some(Tok::RParen) => return Ok(p),
+                _ => return self.err("expected `)`"),
+            }
+        }
+        let left = self.scalar()?;
+        // `IS [NOT] NULL`
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            if !self.eat_kw("null") {
+                return self.err("expected NULL after IS [NOT]");
+            }
+            let Scalar::Col(c) = left else {
+                return self.err("IS NULL applies to a column");
+            };
+            return Ok(Pred::IsNull(c, negated));
+        }
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            other => return self.err(format!("expected comparison operator, found {:?}", other)),
+        };
+        let right = self.scalar()?;
+        Ok(Pred::Cmp(op, left, right))
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, DbError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Scalar::Lit(Value::Nil)),
+            Some(Tok::Ident(s)) => {
+                // Aggregate reference (in HAVING): `fun(col)` becomes a
+                // column ref matching GroupBy's output column name.
+                let is_agg = matches!(
+                    s.to_ascii_lowercase().as_str(),
+                    "count" | "sum" | "min" | "max" | "avg"
+                );
+                if is_agg && matches!(self.peek(), Some(Tok::LParen)) {
+                    self.pos += 1;
+                    let arg = match self.next() {
+                        Some(Tok::Ident(c)) => c,
+                        Some(Tok::Star) => "*".to_string(),
+                        other => {
+                            return self.err(format!("bad aggregate argument {:?}", other))
+                        }
+                    };
+                    match self.next() {
+                        Some(Tok::RParen) => {}
+                        _ => return self.err("expected `)` after aggregate argument"),
+                    }
+                    return Ok(Scalar::Col(ColRef(format!(
+                        "{}({})",
+                        s.to_ascii_lowercase(),
+                        arg
+                    ))));
+                }
+                Ok(Scalar::Col(ColRef(s)))
+            }
+            Some(Tok::Int(i)) => Ok(Scalar::Lit(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(Scalar::Lit(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(Scalar::Lit(Value::sym(&s))),
+            other => self.err(format!("expected a scalar, found {:?}", other)),
+        }
+    }
+}
+
+/// Parse a SQL-subset query into a [`Plan`].
+pub fn parse_query(src: &str) -> Result<Plan, DbError> {
+    let mut p = P { toks: lex(src)?, pos: 0 };
+    p.expect_kw("select")?;
+    let items = p.select_items()?;
+    p.expect_kw("from")?;
+    let mut tables = vec![p.ident()?];
+    while matches!(p.peek(), Some(Tok::Comma)) {
+        p.pos += 1;
+        tables.push(p.ident()?);
+    }
+    let mut where_pred = if p.eat_kw("where") { Some(p.pred()?) } else { None };
+
+    // GROUP BY / group-by
+    let mut group_cols: Vec<ColRef> = Vec::new();
+    if p.eat_kw("group-by") || (p.at_kw("group") && { p.pos += 1; p.expect_kw("by")?; true }) {
+        group_cols.push(ColRef::new(&p.ident()?));
+        while matches!(p.peek(), Some(Tok::Comma)) {
+            p.pos += 1;
+            group_cols.push(ColRef::new(&p.ident()?));
+        }
+    }
+
+    // HAVING (applies to the grouped output)
+    let having = if p.eat_kw("having") { Some(p.pred()?) } else { None };
+
+    // ORDER BY
+    let mut order: Vec<(ColRef, bool)> = Vec::new();
+    if p.eat_kw("order-by") || (p.at_kw("order") && { p.pos += 1; p.expect_kw("by")?; true }) {
+        loop {
+            let col = ColRef::new(&p.ident()?);
+            let asc = if p.eat_kw("desc") {
+                false
+            } else {
+                let _ = p.eat_kw("asc"); // explicit ASC is optional
+                true
+            };
+            order.push((col, asc));
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    let limit = if p.eat_kw("limit") {
+        match p.next() {
+            Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+            _ => return p.err("expected a row count after LIMIT"),
+        }
+    } else {
+        None
+    };
+    if p.peek().is_some() {
+        return p.err("trailing tokens after query");
+    }
+
+    // ---- build the plan: joins from qualified equalities, then filters.
+    let mut conjuncts: Vec<Pred> = Vec::new();
+    if let Some(w) = where_pred.take() {
+        flatten_and(w, &mut conjuncts);
+    }
+
+    let mut plan = Plan::Scan(tables[0].clone());
+    let mut bound: Vec<String> = vec![tables[0].to_lowercase()];
+    for t in &tables[1..] {
+        let tl = t.to_lowercase();
+        // Pull out equality conjuncts linking bound tables to `t`.
+        let mut on: Vec<(ColRef, ColRef)> = Vec::new();
+        conjuncts.retain(|c| {
+            if let Pred::Cmp(CmpOp::Eq, Scalar::Col(a), Scalar::Col(b)) = c {
+                let qa = qualifier(&a.0);
+                let qb = qualifier(&b.0);
+                if let (Some(qa), Some(qb)) = (qa, qb) {
+                    if bound.contains(&qa) && qb == tl {
+                        on.push((a.clone(), b.clone()));
+                        return false;
+                    }
+                    if bound.contains(&qb) && qa == tl {
+                        on.push((b.clone(), a.clone()));
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        plan = Plan::Join { left: Box::new(plan), right: Box::new(Plan::Scan(t.clone())), on };
+        bound.push(tl);
+    }
+    if !conjuncts.is_empty() {
+        let pred = if conjuncts.len() == 1 { conjuncts.pop().unwrap() } else { Pred::And(conjuncts) };
+        plan = Plan::Select { input: Box::new(plan), pred };
+    }
+
+    // Aggregates?
+    let aggs: Vec<(AggFun, ColRef)> = items
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Agg(f, c) => Some((*f, c.clone())),
+            _ => None,
+        })
+        .collect();
+
+    if !group_cols.is_empty() || !aggs.is_empty() {
+        if aggs.is_empty() {
+            // Figure-6 form: project the select list, then group.
+            let proj: Vec<ColRef> = items
+                .iter()
+                .filter_map(|i| match i {
+                    SelectItem::Col(c) => Some(c.clone()),
+                    _ => None,
+                })
+                .collect();
+            if !proj.is_empty() && !matches!(items[0], SelectItem::All) {
+                plan = Plan::Project { input: Box::new(plan), cols: proj };
+            }
+            plan = Plan::GroupBy { input: Box::new(plan), keys: group_cols, aggs: vec![] };
+        } else {
+            plan = Plan::GroupBy { input: Box::new(plan), keys: group_cols, aggs };
+        }
+        if let Some(h) = having {
+            plan = Plan::Select { input: Box::new(plan), pred: h };
+        }
+        if !order.is_empty() {
+            plan = Plan::OrderBy { input: Box::new(plan), keys: order };
+        }
+    } else {
+        if having.is_some() {
+            return Err(DbError::Sql("HAVING requires GROUP BY".into()));
+        }
+        // Sort before projecting, so ORDER BY may reference non-selected
+        // columns (standard SQL behaviour).
+        if !order.is_empty() {
+            plan = Plan::OrderBy { input: Box::new(plan), keys: order };
+        }
+        if !matches!(items.as_slice(), [SelectItem::All]) {
+            let proj: Vec<ColRef> = items
+                .iter()
+                .filter_map(|i| match i {
+                    SelectItem::Col(c) => Some(c.clone()),
+                    SelectItem::All => None,
+                    SelectItem::Agg(..) => None,
+                })
+                .collect();
+            plan = Plan::Project { input: Box::new(plan), cols: proj };
+        }
+    }
+    if let Some(n) = limit {
+        plan = Plan::Limit { input: Box::new(plan), n };
+    }
+    Ok(plan)
+}
+
+fn flatten_and(p: Pred, out: &mut Vec<Pred>) {
+    match p {
+        Pred::And(parts) => {
+            for q in parts {
+                flatten_and(q, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+fn qualifier(name: &str) -> Option<String> {
+    name.rsplit_once('.').map(|(q, _)| q.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::table::Schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new("emp", &["name", "dept", "sal"])).unwrap();
+        for (n, d, s) in
+            [("ann", "eng", 120), ("bob", "eng", 100), ("cat", "sales", 90), ("dan", "sales", 80)]
+        {
+            db.insert("emp", vec![Value::sym(n), Value::sym(d), Value::Int(s)]).unwrap();
+        }
+        db.create_table(Schema::new("dept", &["name", "city"])).unwrap();
+        db.insert("dept", vec![Value::sym("eng"), Value::sym("nyc")]).unwrap();
+        db.insert("dept", vec![Value::sym("sales"), Value::sym("sfo")]).unwrap();
+        db
+    }
+
+    #[test]
+    fn select_star() {
+        let rel = db().sql("SELECT * FROM emp").unwrap();
+        assert_eq!(rel.rows.len(), 4);
+        assert_eq!(rel.cols.len(), 3);
+    }
+
+    #[test]
+    fn where_filters() {
+        let rel = db().sql("SELECT name FROM emp WHERE sal > 90 AND dept = 'eng'").unwrap();
+        assert_eq!(rel.rows.len(), 2);
+    }
+
+    #[test]
+    fn unquoted_symbols_are_columns_quoted_are_literals() {
+        // dept = 'eng' compares to a literal; dept = name compares columns.
+        let rel = db().sql("SELECT name FROM emp WHERE dept = name").unwrap();
+        assert_eq!(rel.rows.len(), 0);
+    }
+
+    #[test]
+    fn join_via_where_equality() {
+        let rel = db()
+            .sql("SELECT emp.name, dept.city FROM emp, dept WHERE emp.dept = dept.name")
+            .unwrap();
+        assert_eq!(rel.rows.len(), 4);
+        assert_eq!(rel.cols, vec!["emp.name", "dept.city"]);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let rel = db()
+            .sql("SELECT dept, count(name), avg(sal) FROM emp GROUP BY dept ORDER BY dept")
+            .unwrap();
+        assert_eq!(rel.rows.len(), 2);
+        assert_eq!(rel.rows[0][1], Value::Int(2));
+        assert_eq!(rel.rows[0][2], Value::Float(110.0));
+    }
+
+    #[test]
+    fn figure6_style_group_by_without_aggregates() {
+        let rel = db()
+            .sql("select emp.name, emp.dept from emp where emp.sal is not NULL group-by emp.dept")
+            .unwrap();
+        assert_eq!(rel.cols[0], "group");
+        assert_eq!(rel.rows.len(), 4);
+        // Sorted by key: group 1 = eng rows, group 2 = sales rows.
+        assert_eq!(rel.rows[0][0], Value::Int(1));
+        assert_eq!(rel.rows[3][0], Value::Int(2));
+    }
+
+    #[test]
+    fn is_null_and_or() {
+        let mut db = db();
+        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Int(10)]).unwrap();
+        let rel = db.sql("SELECT name FROM emp WHERE dept IS NULL OR sal < 85").unwrap();
+        assert_eq!(rel.rows.len(), 2);
+        let rel = db.sql("SELECT name FROM emp WHERE NOT (dept IS NULL)").unwrap();
+        assert_eq!(rel.rows.len(), 4);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let rel = db().sql("SELECT name FROM emp ORDER BY sal DESC LIMIT 2").unwrap();
+        assert_eq!(rel.rows.len(), 2);
+        assert_eq!(rel.rows[0][0], Value::sym("ann"));
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        let mut db = Database::new();
+        db.create_table(Schema::new("COND-E", &["RULE-ID", "WME-TAG"])).unwrap();
+        db.insert("COND-E", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        db.insert("COND-E", vec![Value::Int(1), Value::Nil]).unwrap();
+        let rel = db
+            .sql("select COND-E.WME-TAG from COND-E where COND-E.WME-TAG is not NULL")
+            .unwrap();
+        assert_eq!(rel.rows.len(), 1);
+    }
+
+    #[test]
+    fn count_star_and_having() {
+        let rel = db()
+            .sql("SELECT dept, count(*) FROM emp GROUP BY dept HAVING count(*) >= 2 ORDER BY dept")
+            .unwrap();
+        assert_eq!(rel.rows.len(), 2);
+        assert_eq!(rel.rows[0][1], Value::Int(2));
+        let rel = db()
+            .sql("SELECT dept, sum(sal) FROM emp GROUP BY dept HAVING sum(sal) > 200")
+            .unwrap();
+        assert_eq!(rel.rows.len(), 1);
+        assert_eq!(rel.rows[0][0], Value::sym("eng"));
+        // HAVING without GROUP BY is rejected.
+        assert!(db().sql("SELECT name FROM emp HAVING count(*) > 1").is_err());
+    }
+
+    #[test]
+    fn count_star_counts_null_rows_too() {
+        let mut db = db();
+        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Nil]).unwrap();
+        let rel = db
+            .sql("SELECT dept, count(*), count(sal) FROM emp GROUP BY dept ORDER BY dept")
+            .unwrap();
+        // The NULL-dept row forms its own group; count(*) counts it while
+        // count(sal) skips its NULL salary.
+        let null_group = rel.rows.iter().find(|r| r[0].is_nil()).expect("nil group");
+        assert_eq!(null_group[1], Value::Int(1));
+        assert_eq!(null_group[2], Value::Int(0));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(db().sql("SELEC * FROM emp").is_err());
+        assert!(db().sql("SELECT * FROM emp WHERE").is_err());
+        assert!(db().sql("SELECT * FROM emp LIMIT x").is_err());
+        assert!(db().sql("SELECT * FROM emp trailing").is_err());
+        assert!(db().sql("SELECT * FROM nosuch").is_err());
+    }
+}

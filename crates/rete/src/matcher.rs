@@ -1,0 +1,798 @@
+//! The Rete match engine.
+//!
+//! A faithful Rete (Forgy 1982) with Doorenbos-style token trees for
+//! incremental removal, extended — exactly as the paper prescribes — "at the
+//! end of the network for each set-oriented rule" with an S-node
+//! (`sorete_soi::SNode`). The rest of the network is untouched, so regular
+//! rules pay nothing, and alpha/beta node sharing works across regular and
+//! set-oriented rules alike.
+
+use crate::nodes::*;
+use sorete_base::{
+    Arena, ConflictItem, CsDelta, FxHashMap, InstKey, MatchStats, RuleId, Symbol, TimeTag, Value,
+    Wme,
+};
+use sorete_lang::analyze::AnalyzedRule;
+use sorete_lang::matcher::Matcher;
+use sorete_soi::SNode;
+use std::sync::Arc;
+
+struct ProdInfo {
+    rule: Arc<AnalyzedRule>,
+    id: RuleId,
+    /// Index into `snodes` for set-oriented rules.
+    snode: Option<usize>,
+    /// The production's terminal node.
+    pnode: NodeId,
+    /// True once excised (the id stays allocated but inert).
+    excised: bool,
+}
+
+struct WmeEntry {
+    wme: Wme,
+    /// Alpha memories this WME joined.
+    amems: Vec<AMemId>,
+    /// Tokens whose `wme` is this WME.
+    tokens: Vec<TokId>,
+    /// Negative-node tokens this WME currently blocks.
+    blocked: Vec<TokId>,
+}
+
+/// The Rete matcher.
+pub struct ReteMatcher {
+    amems: Arena<AlphaMem, AMemId>,
+    alpha_index: FxHashMap<AlphaKey, AMemId>,
+    class_index: FxHashMap<Symbol, Vec<AMemId>>,
+    nodes: Arena<BetaNode, NodeId>,
+    tokens: TokenSlab,
+    top: NodeId,
+    prods: Vec<ProdInfo>,
+    snodes: Vec<SNode>,
+    wmes: FxHashMap<TimeTag, WmeEntry>,
+    deltas: Vec<CsDelta>,
+    stats: MatchStats,
+    /// True while `add_rule` replays existing state into new nodes —
+    /// build-time work is not charged to the runtime counters, so claim C1
+    /// (regular programs unaffected) is measured on match work only.
+    building: bool,
+}
+
+impl Default for ReteMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReteMatcher {
+    /// An empty network.
+    pub fn new() -> ReteMatcher {
+        let mut nodes = Arena::new();
+        let top = nodes.alloc(BetaNode::Memory { parent: None, tokens: Vec::new(), children: Vec::new() });
+        let mut tokens = TokenSlab::default();
+        let dummy = tokens.alloc(Token {
+            parent: None,
+            wme: None,
+            node: top,
+            children: Vec::new(),
+            join_results: Vec::new(),
+        });
+        if let BetaNode::Memory { tokens: toks, .. } = &mut nodes[top] {
+            toks.push(dummy);
+        }
+        ReteMatcher {
+            amems: Arena::new(),
+            alpha_index: FxHashMap::default(),
+            class_index: FxHashMap::default(),
+            nodes,
+            tokens,
+            top,
+            prods: Vec::new(),
+            snodes: Vec::new(),
+            wmes: FxHashMap::default(),
+            deltas: Vec::new(),
+            stats: MatchStats::default(),
+            building: false,
+        }
+    }
+
+    /// Live beta-level node count (for structure/sharing tests).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Alpha memory count (for sharing tests).
+    pub fn alpha_count(&self) -> usize {
+        self.amems.len()
+    }
+
+    /// Live token count.
+    pub fn token_count(&self) -> usize {
+        self.tokens.live()
+    }
+
+    /// Iterate alpha memories as `(index, &mem)` (for DOT export/tests).
+    pub fn alpha_memories(&self) -> impl Iterator<Item = (usize, &AlphaMem)> {
+        self.amems.iter().map(|(id, m)| (id.index(), m))
+    }
+
+    /// Iterate beta-level nodes as `(id, &node)` (for DOT export/tests).
+    pub fn beta_nodes(&self) -> impl Iterator<Item = (NodeId, &BetaNode)> {
+        self.nodes.iter()
+    }
+
+    /// Rule name + S-node annotation for a production (DOT export).
+    pub(crate) fn production_label(&self, prod: ProdId) -> (String, String) {
+        let info = &self.prods[prod.index()];
+        let name = info.rule.name.to_string();
+        let snode_info = match info.snode {
+            Some(si) => format!("\\nS-node |{}| SOIs", self.snodes[si].candidate_count()),
+            None => String::new(),
+        };
+        (name, snode_info)
+    }
+
+    // ------------------------------------------------------------ build
+
+    fn get_or_create_amem(&mut self, key: AlphaKey) -> AMemId {
+        if let Some(&id) = self.alpha_index.get(&key) {
+            return id;
+        }
+        // Backfill from working memory so productions can be added after
+        // WMEs (Doorenbos' update-new-node step, alpha half).
+        let matching: Vec<TimeTag> = self
+            .wmes
+            .iter()
+            .filter(|(_, e)| key.matches(e.wme.class, |attr| e.wme.get(attr)))
+            .map(|(&t, _)| t)
+            .collect();
+        let id = self.amems.alloc(AlphaMem {
+            key: key.clone(),
+            wmes: matching.clone(),
+            successors: Vec::new(),
+        });
+        for t in &matching {
+            self.wmes.get_mut(t).unwrap().amems.push(id);
+        }
+        self.class_index.entry(key.class).or_default().push(id);
+        self.alpha_index.insert(key, id);
+        id
+    }
+
+    fn find_shared_join(&self, parent: NodeId, amem: AMemId, tests: &[CompiledTest]) -> Option<NodeId> {
+        self.nodes[parent].children().iter().copied().find(|&c| {
+            matches!(&self.nodes[c], BetaNode::Join { amem: a, tests: t, .. } if *a == amem && t == tests)
+        })
+    }
+
+    fn find_shared_negative(&self, parent: NodeId, amem: AMemId, tests: &[CompiledTest]) -> Option<NodeId> {
+        self.nodes[parent].children().iter().copied().find(|&c| {
+            matches!(&self.nodes[c], BetaNode::Negative { amem: a, tests: t, .. } if *a == amem && t == tests)
+        })
+    }
+
+    #[inline]
+    fn charge_beta(&mut self) {
+        if !self.building {
+            self.stats.beta_activations += 1;
+        }
+    }
+
+    fn attach_successor(&mut self, amem: AMemId, node: NodeId) {
+        // Deepest-first ordering: nodes are created top-down, so inserting
+        // at the front keeps descendants ahead of ancestors.
+        self.amems[amem].successors.insert(0, node);
+    }
+}
+
+impl Matcher for ReteMatcher {
+    fn add_rule(&mut self, rule: Arc<AnalyzedRule>) -> RuleId {
+        self.building = true;
+        let prod_id = ProdId::new(self.prods.len());
+        let rule_id = RuleId::new(self.prods.len());
+
+        // Positive-CE index → CE-order index, for compiling `ups`.
+        let mut pos2ce: Vec<usize> = Vec::with_capacity(rule.num_pos);
+        for (ce_idx, ce) in rule.ces.iter().enumerate() {
+            if ce.pos_idx.is_some() {
+                pos2ce.push(ce_idx);
+            }
+        }
+
+        let mut current = self.top;
+        for (ce_idx, ce) in rule.ces.iter().enumerate() {
+            let key = AlphaKey {
+                class: ce.class,
+                consts: ce.const_tests.clone(),
+                intras: ce.intra_tests.clone(),
+            };
+            let amem = self.get_or_create_amem(key);
+            let tests: Vec<CompiledTest> = ce
+                .var_joins
+                .iter()
+                .map(|vj| CompiledTest {
+                    attr: vj.attr,
+                    pred: vj.pred,
+                    ups: (ce_idx - 1) - pos2ce[vj.other_pos_ce],
+                    other_attr: vj.other_attr,
+                })
+                .collect();
+
+            if ce.negated {
+                current = match self.find_shared_negative(current, amem, &tests) {
+                    Some(n) => n,
+                    None => {
+                        let n = self.nodes.alloc(BetaNode::Negative {
+                            parent: current,
+                            amem,
+                            tests,
+                            tokens: Vec::new(),
+                            children: Vec::new(),
+                            depth: ce_idx as u32,
+                        });
+                        self.nodes[current].push_child(n);
+                        self.attach_successor(amem, n);
+                        // Replay tokens already present upstream (the dummy
+                        // top token, and tokens of earlier negative levels)
+                        // so the new node owns its share of the match state.
+                        for t in self.present_tokens(current) {
+                            self.left_activate(n, t, None);
+                        }
+                        n
+                    }
+                };
+            } else {
+                let join = match self.find_shared_join(current, amem, &tests) {
+                    Some(j) => j,
+                    None => {
+                        let j = self.nodes.alloc(BetaNode::Join {
+                            parent: current,
+                            amem,
+                            tests,
+                            children: Vec::new(),
+                            depth: ce_idx as u32,
+                        });
+                        self.nodes[current].push_child(j);
+                        self.attach_successor(amem, j);
+                        // Every join owns exactly one output memory.
+                        let m = self.nodes.alloc(BetaNode::Memory {
+                            parent: Some(j),
+                            tokens: Vec::new(),
+                            children: Vec::new(),
+                        });
+                        self.nodes[j].push_child(m);
+                        // Update-new-node: replay the upstream tokens
+                        // against the (pre-populated) alpha memory so the
+                        // new node picks up existing working memory.
+                        for t in self.present_tokens(current) {
+                            self.activate_from_memory(j, t);
+                        }
+                        j
+                    }
+                };
+                // The join's memory is its first child.
+                current = self.nodes[join].children()[0];
+            }
+        }
+
+        let pnode = self.nodes.alloc(BetaNode::Production {
+            parent: current,
+            prod: prod_id,
+            tokens: Vec::new(),
+        });
+        self.nodes[current].push_child(pnode);
+        // A purely-negative LHS is already satisfied by the dummy token.
+        let replay: Vec<TokId> = match &self.nodes[current] {
+            BetaNode::Memory { .. } | BetaNode::Negative { .. } => self.present_tokens(current),
+            _ => Vec::new(),
+        };
+        // Register the production before replaying so activations resolve.
+        let snode_pending = rule.is_set_oriented;
+        if snode_pending {
+            self.snodes.push(SNode::new(rule_id, rule.clone()));
+        }
+        self.prods.push(ProdInfo {
+            rule,
+            id: rule_id,
+            snode: snode_pending.then(|| self.snodes.len() - 1),
+            pnode,
+            excised: false,
+        });
+        for t in replay {
+            self.left_activate(pnode, t, None);
+        }
+        self.building = false;
+        rule_id
+    }
+
+    fn insert_wme(&mut self, wme: &Wme) {
+        let tag = wme.tag;
+        debug_assert!(!self.wmes.contains_key(&tag), "duplicate time tag {tag}");
+        // Phase 1: alpha — add to every matching memory first, so that
+        // deeper joins activated later see the WME in their right input.
+        let mut matched: Vec<AMemId> = Vec::new();
+        if let Some(cands) = self.class_index.get(&wme.class) {
+            for &a in cands {
+                if self.amems[a].key.matches(wme.class, |attr| wme.get(attr)) {
+                    matched.push(a);
+                }
+            }
+        }
+        self.wmes.insert(
+            tag,
+            WmeEntry { wme: wme.clone(), amems: matched.clone(), tokens: Vec::new(), blocked: Vec::new() },
+        );
+        for &a in &matched {
+            self.stats.alpha_activations += 1;
+            self.amems[a].wmes.push(tag);
+        }
+        // Phase 2: right activations, globally deepest-first.
+        let mut acts: Vec<(u32, NodeId)> = Vec::new();
+        for &a in &matched {
+            for &succ in &self.amems[a].successors {
+                let depth = match &self.nodes[succ] {
+                    BetaNode::Join { depth, .. } | BetaNode::Negative { depth, .. } => *depth,
+                    _ => 0,
+                };
+                acts.push((depth, succ));
+            }
+        }
+        acts.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
+        for (_, node) in acts {
+            self.right_activate(node, tag);
+        }
+    }
+
+    fn remove_rule(&mut self, rule: RuleId) {
+        let pi = rule.index();
+        if self.prods[pi].excised {
+            return;
+        }
+        self.prods[pi].excised = true;
+        let pnode = self.prods[pi].pnode;
+        // Retract the production's current matches (emits `-` deltas; for
+        // set-oriented rules the S-node drains its γ-memory through the
+        // usual remove path).
+        let toks: Vec<TokId> = match &self.nodes[pnode] {
+            BetaNode::Production { tokens, .. } => tokens.clone(),
+            _ => unreachable!("pnode is a production"),
+        };
+        for t in toks {
+            self.delete_token(t);
+        }
+        // Unlink the unshared tail of the chain, bottom-up, stopping at the
+        // first node other rules still use.
+        let mut node = pnode;
+        loop {
+            let parent = match &self.nodes[node] {
+                BetaNode::Memory { parent, .. } => *parent,
+                BetaNode::Join { parent, .. }
+                | BetaNode::Negative { parent, .. }
+                | BetaNode::Production { parent, .. } => Some(*parent),
+            };
+            // Drop any remaining tokens this node stores (inert partials).
+            let stored: Vec<TokId> = match &self.nodes[node] {
+                BetaNode::Memory { tokens, .. }
+                | BetaNode::Negative { tokens, .. }
+                | BetaNode::Production { tokens, .. } => tokens.clone(),
+                BetaNode::Join { .. } => Vec::new(),
+            };
+            for t in stored {
+                self.delete_token(t);
+            }
+            // Detach from the alpha network.
+            if let BetaNode::Join { amem, .. } | BetaNode::Negative { amem, .. } =
+                &self.nodes[node]
+            {
+                let amem = *amem;
+                self.amems[amem].successors.retain(|&s| s != node);
+            }
+            let Some(p) = parent else { break };
+            self.nodes[p].remove_child(node);
+            // A parent still feeding other children (or the top memory) is
+            // shared — stop unlinking there.
+            if !self.nodes[p].children().is_empty()
+                || matches!(&self.nodes[p], BetaNode::Memory { parent: None, .. })
+            {
+                break;
+            }
+            node = p;
+        }
+    }
+
+    fn remove_wme(&mut self, wme: &Wme) {
+        let tag = wme.tag;
+        let Some(entry_amems) = self.wmes.get(&tag).map(|e| e.amems.clone()) else {
+            debug_assert!(false, "removing unknown WME {tag}");
+            return;
+        };
+        for a in entry_amems {
+            let mem = &mut self.amems[a];
+            if let Some(pos) = mem.wmes.iter().position(|&t| t == tag) {
+                mem.wmes.remove(pos);
+            }
+        }
+        // Delete every token built on this WME (cascades to descendants).
+        let toks = self.wmes[&tag].tokens.clone();
+        for t in toks {
+            self.delete_token(t);
+        }
+        // Unblock negative tokens this WME was blocking.
+        let blocked = self.wmes[&tag].blocked.clone();
+        for t in blocked {
+            let Some(token) = self.tokens.get_mut(t) else { continue };
+            if let Some(pos) = token.join_results.iter().position(|&w| w == tag) {
+                token.join_results.remove(pos);
+                if token.join_results.is_empty() {
+                    // The absence test passes again: resume downstream.
+                    let node = token.node;
+                    let children: Vec<NodeId> = self.nodes[node].children().to_vec();
+                    for c in children {
+                        self.activate_from_memory(c, t);
+                    }
+                }
+            }
+        }
+        // The WME stays resolvable until all S-node removals ran.
+        self.wmes.remove(&tag);
+    }
+
+    fn drain_deltas(&mut self) -> Vec<CsDelta> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    fn materialize(&self, key: &InstKey) -> Option<ConflictItem> {
+        match key {
+            InstKey::Tuple { rule, tags } => {
+                let info = &self.prods[rule.index()];
+                let mut recency: Vec<TimeTag> = tags.to_vec();
+                recency.sort_unstable_by(|a, b| b.cmp(a));
+                Some(ConflictItem {
+                    key: key.clone(),
+                    rows: vec![tags.clone()],
+                    aggregates: Vec::new(),
+                    version: 0,
+                    recency: recency.into(),
+                    specificity: info.rule.specificity,
+                })
+            }
+            InstKey::Soi { rule, parts } => {
+                let si = self.prods[rule.index()].snode?;
+                self.snodes[si].materialize(parts)
+            }
+        }
+    }
+
+    fn stats(&self) -> MatchStats {
+        let mut s = self.stats;
+        for sn in &self.snodes {
+            let ss = sn.stats();
+            s.snode_activations += ss.activations;
+            s.aggregate_updates += ss.aggregate_updates;
+        }
+        s
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "rete"
+    }
+
+    fn to_dot(&self) -> Option<String> {
+        Some(self.network_dot())
+    }
+}
+
+impl ReteMatcher {
+    // ------------------------------------------------------- activations
+
+    /// A WME entered `node`'s alpha memory.
+    fn right_activate(&mut self, node: NodeId, tag: TimeTag) {
+        self.charge_beta();
+        match &self.nodes[node] {
+            BetaNode::Join { parent, tests, children, .. } => {
+                let tests = tests.clone();
+                let children = children.clone();
+                let left_tokens = self.present_tokens(*parent);
+                for t in left_tokens {
+                    if self.eval_tests(&tests, t, tag) {
+                        for &c in &children {
+                            self.left_activate(c, t, Some(tag));
+                        }
+                    }
+                }
+            }
+            BetaNode::Negative { tokens, tests, .. } => {
+                let tests = tests.clone();
+                let toks = tokens.clone();
+                for tk in toks {
+                    let Some(token) = self.tokens.get(tk) else { continue };
+                    let left = token.parent.expect("negative tokens have parents");
+                    if self.eval_tests(&tests, left, tag) {
+                        let was_empty = {
+                            let token = self.tokens.get_mut(tk).unwrap();
+                            let was = token.join_results.is_empty();
+                            token.join_results.push(tag);
+                            was
+                        };
+                        self.wmes.get_mut(&tag).unwrap().blocked.push(tk);
+                        if was_empty {
+                            // Newly blocked: retract everything below.
+                            let children = {
+                                let token = self.tokens.get_mut(tk).unwrap();
+                                std::mem::take(&mut token.children)
+                            };
+                            for c in children {
+                                self.delete_token(c);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("only joins and negatives are alpha successors"),
+        }
+    }
+
+    /// A token (plus optional WME) flows into `node` from its left input.
+    fn left_activate(&mut self, node: NodeId, parent_tok: TokId, wme: Option<TimeTag>) {
+        self.charge_beta();
+        match &self.nodes[node] {
+            BetaNode::Memory { .. } => {
+                let tok = self.make_token(node, parent_tok, wme);
+                let children: Vec<NodeId> = self.nodes[node].children().to_vec();
+                if let BetaNode::Memory { tokens, .. } = &mut self.nodes[node] {
+                    tokens.push(tok);
+                }
+                for c in children {
+                    self.activate_from_memory(c, tok);
+                }
+            }
+            BetaNode::Join { .. } => {
+                // Joins receive left activations via `activate_from_memory`.
+                unreachable!("join nodes take tokens from their parent memory");
+            }
+            BetaNode::Negative { amem, tests, .. } => {
+                let (amem, tests) = (*amem, tests.clone());
+                let tok = self.make_token(node, parent_tok, wme);
+                if let BetaNode::Negative { tokens, .. } = &mut self.nodes[node] {
+                    tokens.push(tok);
+                }
+                // Compute the negative join results.
+                let candidates = self.amems[amem].wmes.clone();
+                let left = self.tokens.get(tok).unwrap().parent.unwrap();
+                let mut results = Vec::new();
+                for w in candidates {
+                    if self.eval_tests(&tests, left, w) {
+                        results.push(w);
+                    }
+                }
+                for &w in &results {
+                    self.wmes.get_mut(&w).unwrap().blocked.push(tok);
+                }
+                let pass = results.is_empty();
+                self.tokens.get_mut(tok).unwrap().join_results = results;
+                if pass {
+                    let children: Vec<NodeId> = self.nodes[node].children().to_vec();
+                    for c in children {
+                        self.activate_from_memory(c, tok);
+                    }
+                }
+            }
+            BetaNode::Production { prod, .. } => {
+                let prod = *prod;
+                let tok = self.make_token(node, parent_tok, wme);
+                if let BetaNode::Production { tokens, .. } = &mut self.nodes[node] {
+                    tokens.push(tok);
+                }
+                self.prod_token_added(prod, tok);
+            }
+        }
+    }
+
+    /// A token was added to a Memory/Negative; push it through child `node`.
+    fn activate_from_memory(&mut self, node: NodeId, tok: TokId) {
+        match &self.nodes[node] {
+            BetaNode::Join { amem, tests, children, .. } => {
+                let (amem, tests, children) = (*amem, tests.clone(), children.clone());
+                self.charge_beta();
+                let wmes = self.amems[amem].wmes.clone();
+                for w in wmes {
+                    if self.eval_tests(&tests, tok, w) {
+                        for &c in &children {
+                            self.left_activate(c, tok, Some(w));
+                        }
+                    }
+                }
+            }
+            BetaNode::Negative { .. } | BetaNode::Production { .. } => {
+                self.left_activate(node, tok, None);
+            }
+            BetaNode::Memory { .. } => unreachable!("memories are not memory children"),
+        }
+    }
+
+    /// Tokens of a Memory, or *unblocked* tokens of a Negative.
+    fn present_tokens(&self, node: NodeId) -> Vec<TokId> {
+        match &self.nodes[node] {
+            BetaNode::Memory { tokens, .. } => tokens.clone(),
+            BetaNode::Negative { tokens, .. } => tokens
+                .iter()
+                .copied()
+                .filter(|&t| self.tokens.get(t).is_some_and(|tk| tk.join_results.is_empty()))
+                .collect(),
+            _ => unreachable!("only memories and negatives store left tokens"),
+        }
+    }
+
+    fn make_token(&mut self, node: NodeId, parent: TokId, wme: Option<TimeTag>) -> TokId {
+        if !self.building {
+            self.stats.tokens_created += 1;
+        }
+        let tok = self.tokens.alloc(Token {
+            parent: Some(parent),
+            wme,
+            node,
+            children: Vec::new(),
+            join_results: Vec::new(),
+        });
+        self.tokens.get_mut(parent).unwrap().children.push(tok);
+        if let Some(w) = wme {
+            self.wmes.get_mut(&w).unwrap().tokens.push(tok);
+        }
+        tok
+    }
+
+    /// Evaluate compiled join tests between the token chain rooted at
+    /// `left` (level = CE before the node's) and the WME `tag`.
+    fn eval_tests(&mut self, tests: &[CompiledTest], left: TokId, tag: TimeTag) -> bool {
+        let wme = &self.wmes[&tag].wme;
+        for t in tests {
+            if !self.building {
+                self.stats.join_tests += 1;
+            }
+            let mut cur = left;
+            for _ in 0..t.ups {
+                cur = self.tokens.get(cur).unwrap().parent.unwrap();
+            }
+            let other_tag = self
+                .tokens
+                .get(cur)
+                .unwrap()
+                .wme
+                .expect("join test must reference a positive CE");
+            let other = &self.wmes[&other_tag].wme;
+            if !t.pred.apply(&wme.get(t.attr), &other.get(t.other_attr)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Delete a token and all its descendants (post-order).
+    fn delete_token(&mut self, tok: TokId) {
+        let Some(token) = self.tokens.get_mut(tok) else { return };
+        let children = std::mem::take(&mut token.children);
+        for c in children {
+            self.delete_token(c);
+        }
+        let Some(token) = self.tokens.release(tok) else { return };
+        self.stats.tokens_deleted += 1;
+        // Unregister from the owning node's memory.
+        match &mut self.nodes[token.node] {
+            BetaNode::Memory { tokens, .. }
+            | BetaNode::Negative { tokens, .. }
+            | BetaNode::Production { tokens, .. } => {
+                if let Some(pos) = tokens.iter().position(|&t| t == tok) {
+                    tokens.remove(pos);
+                }
+            }
+            BetaNode::Join { .. } => unreachable!("joins store no tokens"),
+        }
+        // Unregister from parent and WME back-references.
+        if let Some(p) = token.parent {
+            if let Some(pt) = self.tokens.get_mut(p) {
+                if let Some(pos) = pt.children.iter().position(|&c| c == tok) {
+                    pt.children.remove(pos);
+                }
+            }
+        }
+        if let Some(w) = token.wme {
+            if let Some(entry) = self.wmes.get_mut(&w) {
+                if let Some(pos) = entry.tokens.iter().position(|&t| t == tok) {
+                    entry.tokens.remove(pos);
+                }
+            }
+        }
+        for w in &token.join_results {
+            if let Some(entry) = self.wmes.get_mut(w) {
+                if let Some(pos) = entry.blocked.iter().position(|&t| t == tok) {
+                    entry.blocked.remove(pos);
+                }
+            }
+        }
+        // Production terminal: report the retraction.
+        if let BetaNode::Production { prod, .. } = &self.nodes[token.node] {
+            self.prod_token_removed(*prod, &token);
+        }
+    }
+
+    // ------------------------------------------------------ productions
+
+    /// Matched WME tags of a production token, in positive-CE order.
+    fn row_of(&self, tok: TokId) -> Vec<TimeTag> {
+        let mut tags = Vec::new();
+        let mut cur = Some(tok);
+        while let Some(id) = cur {
+            let t = self.tokens.get(id).expect("live chain");
+            if let Some(w) = t.wme {
+                tags.push(w);
+            }
+            cur = t.parent;
+        }
+        tags.reverse();
+        tags
+    }
+
+    /// Like [`Self::row_of`] but usable for an already-released token (its
+    /// parents are still live during post-order deletion).
+    fn row_of_released(&self, token: &Token) -> Vec<TimeTag> {
+        let mut tags = Vec::new();
+        if let Some(w) = token.wme {
+            tags.push(w);
+        }
+        let mut cur = token.parent;
+        while let Some(id) = cur {
+            let t = self.tokens.get(id).expect("ancestors outlive descendants");
+            if let Some(w) = t.wme {
+                tags.push(w);
+            }
+            cur = t.parent;
+        }
+        tags.reverse();
+        tags
+    }
+
+    fn prod_token_added(&mut self, prod: ProdId, tok: TokId) {
+        let tags = self.row_of(tok);
+        let info = &self.prods[prod.index()];
+        match info.snode {
+            Some(si) => {
+                let wmes = &self.wmes;
+                let lookup = move |t: TimeTag, a: Symbol| -> Value {
+                    wmes.get(&t).map(|e| e.wme.get(a)).unwrap_or(Value::Nil)
+                };
+                self.snodes[si].insert_row(&tags, &lookup, &mut self.deltas);
+            }
+            None => {
+                let mut recency = tags.clone();
+                recency.sort_unstable_by(|a, b| b.cmp(a));
+                self.deltas.push(CsDelta::Insert(ConflictItem {
+                    key: InstKey::Tuple { rule: info.id, tags: tags.clone().into() },
+                    rows: vec![tags.into()],
+                    aggregates: Vec::new(),
+                    version: 0,
+                    recency: recency.into(),
+                    specificity: info.rule.specificity,
+                }));
+            }
+        }
+    }
+
+    fn prod_token_removed(&mut self, prod: ProdId, token: &Token) {
+        let tags = self.row_of_released(token);
+        let info = &self.prods[prod.index()];
+        match info.snode {
+            Some(si) => {
+                let wmes = &self.wmes;
+                let lookup = move |t: TimeTag, a: Symbol| -> Value {
+                    wmes.get(&t).map(|e| e.wme.get(a)).unwrap_or(Value::Nil)
+                };
+                self.snodes[si].remove_row(&tags, &lookup, &mut self.deltas);
+            }
+            None => {
+                self.deltas.push(CsDelta::Remove(InstKey::Tuple {
+                    rule: info.id,
+                    tags: tags.into(),
+                }));
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Rete network data structures.
+//!
+//! The network is a graph with cycles of reference (nodes know their
+//! children; alpha memories know their successor joins; tokens know parents
+//! and children), so everything lives in typed-index arenas
+//! ([`sorete_base::Arena`]) and refers to everything else by id — the
+//! standard Rust idiom for graph-heavy code, and cache-friendlier than
+//! `Rc<RefCell<...>>` webs.
+//!
+//! Topology (one level per condition element, in source order):
+//!
+//! ```text
+//! TopMemory ── Join(CE₀) ── Memory ── Join(CE₁) ── Memory ── … ── Production
+//!                │                      │
+//!             AlphaMem(CE₀)          AlphaMem(CE₁)
+//! ```
+//!
+//! A negated CE contributes a [`BetaNode::Negative`] in place of the
+//! Join+Memory pair: it stores its own tokens (with per-token
+//! negative-join-result lists, per Doorenbos) and only tokens with *empty*
+//! join results count as present for downstream nodes. Set-oriented rules
+//! end in a `Production` whose matches are routed through an
+//! [`sorete_soi::SNode`] instead of going straight to the conflict set.
+
+use sorete_base::{define_id, Symbol, TimeTag};
+use sorete_lang::analyze::{ConstTest, IntraTest};
+use sorete_lang::ast::Pred;
+
+define_id!(
+    /// Id of an alpha memory.
+    pub struct AMemId
+);
+define_id!(
+    /// Id of a beta-level node.
+    pub struct NodeId
+);
+define_id!(
+    /// Id of a token.
+    pub struct TokId
+);
+define_id!(
+    /// Id of a production (index into the matcher's production table).
+    pub struct ProdId
+);
+
+/// Sharing key of an alpha memory: class + constant tests + intra-CE tests,
+/// in source order. Two CEs with identical keys share one memory — the
+/// paper's "all of the advantages of Rete such as shared tests remain".
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AlphaKey {
+    /// WME class.
+    pub class: Symbol,
+    /// Constant tests.
+    pub consts: Vec<ConstTest>,
+    /// Same-WME variable tests.
+    pub intras: Vec<IntraTest>,
+}
+
+impl AlphaKey {
+    /// Does a WME (presented through an attribute reader) satisfy every
+    /// test?
+    pub fn matches(&self, class: Symbol, get: impl Fn(Symbol) -> sorete_base::Value) -> bool {
+        if class != self.class {
+            return false;
+        }
+        self.consts.iter().all(|t| t.matches(&get(t.attr)))
+            && self
+                .intras
+                .iter()
+                .all(|t| t.pred.apply(&get(t.attr), &get(t.other_attr)))
+    }
+}
+
+/// An alpha memory: the WMEs passing one [`AlphaKey`], plus the beta-level
+/// nodes to right-activate when it changes.
+#[derive(Debug)]
+pub struct AlphaMem {
+    /// Sharing key.
+    pub key: AlphaKey,
+    /// Member WMEs, in arrival order.
+    pub wmes: Vec<TimeTag>,
+    /// Successor join/negative nodes. Kept **deepest-first** so that a WME
+    /// feeding several levels of one chain activates descendants before
+    /// ancestors (Doorenbos' ordering requirement — avoids duplicate
+    /// matches when one WME satisfies consecutive CEs).
+    pub successors: Vec<NodeId>,
+}
+
+/// A beta-level join test compiled against the token chain:
+/// `wme.get(attr) pred chain[ups].get(other_attr)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompiledTest {
+    /// Attribute of the right (alpha) WME.
+    pub attr: Symbol,
+    /// Predicate.
+    pub pred: Pred,
+    /// How many parent links to walk from the left token (0 = the left
+    /// token itself) to reach the referenced earlier CE.
+    pub ups: usize,
+    /// Attribute of the earlier CE's WME.
+    pub other_attr: Symbol,
+}
+
+/// A beta-level node.
+#[derive(Debug)]
+pub enum BetaNode {
+    /// A token store (the top node and one per positive CE).
+    Memory {
+        /// The join that feeds this memory (`None` for the top memory).
+        parent: Option<NodeId>,
+        /// Stored tokens.
+        tokens: Vec<TokId>,
+        /// Children: joins, negatives, productions.
+        children: Vec<NodeId>,
+    },
+    /// A two-input join node (no token storage).
+    Join {
+        /// Left input (a Memory or Negative node).
+        parent: NodeId,
+        /// Right input.
+        amem: AMemId,
+        /// Consistency tests.
+        tests: Vec<CompiledTest>,
+        /// The single output Memory (plus possibly Productions).
+        children: Vec<NodeId>,
+        /// CE level (depth), for activation ordering.
+        depth: u32,
+    },
+    /// A negated-CE node: stores its own tokens; a token is "present" for
+    /// downstream purposes iff its negative join results are empty.
+    Negative {
+        /// Left input (Memory or Negative).
+        parent: NodeId,
+        /// Right input (the WMEs whose presence blocks).
+        amem: AMemId,
+        /// Consistency tests.
+        tests: Vec<CompiledTest>,
+        /// Own tokens (blocked and unblocked).
+        tokens: Vec<TokId>,
+        /// Children: joins, negatives, productions.
+        children: Vec<NodeId>,
+        /// CE level (depth).
+        depth: u32,
+    },
+    /// A production (terminal) node; stores one token per complete match.
+    Production {
+        /// Left input (Memory or Negative).
+        parent: NodeId,
+        /// The production it reports to.
+        prod: ProdId,
+        /// Tokens = current complete matches.
+        tokens: Vec<TokId>,
+    },
+}
+
+impl BetaNode {
+    /// The children list (empty slice for productions).
+    pub fn children(&self) -> &[NodeId] {
+        match self {
+            BetaNode::Memory { children, .. }
+            | BetaNode::Join { children, .. }
+            | BetaNode::Negative { children, .. } => children,
+            BetaNode::Production { .. } => &[],
+        }
+    }
+
+    /// Detach a child (used by excise).
+    pub fn remove_child(&mut self, child: NodeId) {
+        match self {
+            BetaNode::Memory { children, .. }
+            | BetaNode::Join { children, .. }
+            | BetaNode::Negative { children, .. } => children.retain(|&c| c != child),
+            BetaNode::Production { .. } => {}
+        }
+    }
+
+    /// Append a child.
+    pub fn push_child(&mut self, child: NodeId) {
+        match self {
+            BetaNode::Memory { children, .. }
+            | BetaNode::Join { children, .. }
+            | BetaNode::Negative { children, .. } => children.push(child),
+            BetaNode::Production { .. } => panic!("productions have no children"),
+        }
+    }
+}
+
+/// A token: one node of the match tree. Chain position = CE index; positive
+/// CEs contribute `wme: Some(..)`, negated CEs and productions `None`.
+#[derive(Debug)]
+pub struct Token {
+    /// Parent token (`None` only for the dummy top token).
+    pub parent: Option<TokId>,
+    /// The WME matched at this level, if any.
+    pub wme: Option<TimeTag>,
+    /// The node whose memory holds this token.
+    pub node: NodeId,
+    /// Child tokens (for cascading deletion).
+    pub children: Vec<TokId>,
+    /// For tokens stored in a Negative node: the WMEs currently blocking it.
+    pub join_results: Vec<TimeTag>,
+}
+
+/// Slab of tokens with id reuse, so long recognise–act runs don't leak.
+#[derive(Default, Debug)]
+pub struct TokenSlab {
+    slots: Vec<Option<Token>>,
+    free: Vec<TokId>,
+}
+
+impl TokenSlab {
+    /// Insert a token, reusing a free slot when available.
+    pub fn alloc(&mut self, token: Token) -> TokId {
+        if let Some(id) = self.free.pop() {
+            self.slots[id.index()] = Some(token);
+            id
+        } else {
+            let id = TokId::new(self.slots.len());
+            self.slots.push(Some(token));
+            id
+        }
+    }
+
+    /// Remove a token; its id may be reused.
+    pub fn release(&mut self, id: TokId) -> Option<Token> {
+        let t = self.slots.get_mut(id.index())?.take();
+        if t.is_some() {
+            self.free.push(id);
+        }
+        t
+    }
+
+    /// Shared access; `None` if deleted.
+    pub fn get(&self, id: TokId) -> Option<&Token> {
+        self.slots.get(id.index())?.as_ref()
+    }
+
+    /// Mutable access; `None` if deleted.
+    pub fn get_mut(&mut self, id: TokId) -> Option<&mut Token> {
+        self.slots.get_mut(id.index())?.as_mut()
+    }
+
+    /// Live token count.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorete_base::Value;
+
+    #[test]
+    fn token_slab_reuses_slots() {
+        let mut slab = TokenSlab::default();
+        let a = slab.alloc(Token {
+            parent: None,
+            wme: None,
+            node: NodeId::new(0),
+            children: vec![],
+            join_results: vec![],
+        });
+        assert_eq!(slab.live(), 1);
+        slab.release(a);
+        assert_eq!(slab.live(), 0);
+        assert!(slab.get(a).is_none());
+        let b = slab.alloc(Token {
+            parent: None,
+            wme: Some(TimeTag::new(7)),
+            node: NodeId::new(1),
+            children: vec![],
+            join_results: vec![],
+        });
+        assert_eq!(b, a, "slot reused");
+        assert_eq!(slab.get(b).unwrap().wme, Some(TimeTag::new(7)));
+    }
+
+    #[test]
+    fn double_release_is_harmless() {
+        let mut slab = TokenSlab::default();
+        let a = slab.alloc(Token {
+            parent: None,
+            wme: None,
+            node: NodeId::new(0),
+            children: vec![],
+            join_results: vec![],
+        });
+        assert!(slab.release(a).is_some());
+        assert!(slab.release(a).is_none());
+        assert_eq!(slab.live(), 0);
+        assert_eq!(slab.free.len(), 1, "freed exactly once");
+    }
+
+    #[test]
+    fn alpha_key_matching() {
+        use sorete_lang::analyze::{ConstTest, ConstTestKind};
+        let class = Symbol::new("player");
+        let key = AlphaKey {
+            class,
+            consts: vec![ConstTest {
+                attr: Symbol::new("team"),
+                kind: ConstTestKind::Pred(Pred::Eq, Value::sym("A")),
+            }],
+            intras: vec![],
+        };
+        let team_a = |attr: Symbol| {
+            if attr == Symbol::new("team") {
+                Value::sym("A")
+            } else {
+                Value::Nil
+            }
+        };
+        assert!(key.matches(class, team_a));
+        assert!(!key.matches(Symbol::new("emp"), team_a));
+        assert!(!key.matches(class, |_| Value::sym("B")));
+    }
+}

@@ -1,0 +1,366 @@
+//! The S-node algorithm — Figure 3 of the paper, line for line.
+//!
+//! An S-node sits after the last test node of a set-oriented rule. Its
+//! γ-memory holds one entry per *candidate set-oriented instantiation*
+//! (SOI); each entry is the paper's `(Tokens, Status, AV)` triple. Tokens
+//! arriving from the join network (complete candidate instantiations, i.e.
+//! rows of matched WME tags) are processed in three stages:
+//!
+//! 1. **Find the SOI and the place within it** — locate the γ-entry whose
+//!    key (scalar-CE tags `C` + scalar-PV values `P`) matches the token,
+//!    insert/remove the token at its conflict-set-ordered position, and set
+//!    `chg ∈ {new, delete, new-time, same-time}`.
+//! 2. **Update the aggregates and re-evaluate** — incrementally maintain
+//!    `APVs`/`ACEs` and evaluate the test expression `T`; on failure
+//!    `chg := fail`.
+//! 3. **Decide the flow of the SOI** — emit `+`, `-` or `time` tokens to
+//!    the production node.
+//!
+//! Two documented extensions to the figure as printed:
+//!
+//! - `chg = same-time` with a previously **inactive** entry whose test now
+//!   passes activates the SOI (the figure only activates on `new-time`;
+//!   without this, a count crossing its threshold via a non-head token
+//!   would never reach the conflict set);
+//! - `chg = same-time` with an **active** entry emits a `time` token, so
+//!   the conflict set learns the SOI changed and may fire it again (§6).
+//!   Like the paper's pointer-shared SOI ("updates to an active SOI …
+//!   transparently update the SOI in the conflict set"), `time` tokens are
+//!   slim: consumers re-materialize the SOI's rows only when it fires.
+
+use crate::aggregate::AggState;
+use sorete_base::{
+    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, RetimeInfo, RuleId, Symbol, TimeTag,
+    Value,
+};
+use sorete_lang::analyze::AnalyzedRule;
+use sorete_lang::ast::AggOp;
+use sorete_lang::eval::{eval_truthy, Env};
+use std::sync::Arc;
+
+/// Work counters for one S-node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SoiStats {
+    /// Tokens processed (S-node activations).
+    pub activations: u64,
+    /// Incremental aggregate multiset updates.
+    pub aggregate_updates: u64,
+    /// Test-expression evaluations.
+    pub test_evals: u64,
+}
+
+/// The paper's `chg` variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Chg {
+    New,
+    Delete,
+    Fail,
+    NewTime,
+    SameTime,
+}
+
+/// One candidate SOI: the `(Tokens, Status, AV)` triple of the γ-memory.
+#[derive(Clone, Debug)]
+struct GammaEntry {
+    /// Candidate rows, conflict-set ordered: most recent first.
+    rows: Vec<Row>,
+    /// `Status`: is this SOI currently in the conflict set?
+    active: bool,
+    /// `AV`: one incremental state per aggregate operation.
+    aggs: Vec<AggState>,
+    /// Content-change counter (re-arms refraction, §6).
+    version: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Row {
+    /// Matched WME per positive CE.
+    tags: Box<[TimeTag]>,
+    /// Tags sorted descending — the OPS5 recency key.
+    recency: Box<[TimeTag]>,
+}
+
+fn recency_of(tags: &[TimeTag]) -> Box<[TimeTag]> {
+    let mut r: Vec<TimeTag> = tags.to_vec();
+    r.sort_unstable_by(|a, b| b.cmp(a));
+    r.into_boxed_slice()
+}
+
+/// An S-node: γ-memory plus the rule-derived static data
+/// `(C, P, APVs, ACEs, T)`.
+pub struct SNode {
+    rule_id: RuleId,
+    rule: Arc<AnalyzedRule>,
+    /// `C`: positive indices of non-set-oriented CEs (key tags).
+    key_tags: Vec<usize>,
+    /// `P`: scalar-PV value sources `(pos_ce, attr)` (key values).
+    key_vals: Vec<(usize, Symbol)>,
+    /// Scalar variables readable inside `T`: `(var, pos_ce, attr)`.
+    scalar_vars: Vec<(Symbol, usize, Symbol)>,
+    /// The γ-memory.
+    entries: FxHashMap<Box<[KeyPart]>, GammaEntry>,
+    stats: SoiStats,
+}
+
+impl SNode {
+    /// Build the S-node for a set-oriented rule.
+    pub fn new(rule_id: RuleId, rule: Arc<AnalyzedRule>) -> SNode {
+        debug_assert!(rule.is_set_oriented);
+        let key_tags = rule.scalar_ces.clone();
+        let key_vals: Vec<(usize, Symbol)> =
+            rule.scalar_pvs.iter().map(|p| (p.pos_ce, p.attr)).collect();
+        let scalar_vars: Vec<(Symbol, usize, Symbol)> = rule
+            .var_sources
+            .iter()
+            .filter(|(_, s)| !s.set_oriented)
+            .map(|(v, s)| (*v, s.pos_ce, s.attr))
+            .collect();
+        SNode { rule_id, rule, key_tags, key_vals, scalar_vars, entries: FxHashMap::default(), stats: SoiStats::default() }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SoiStats {
+        self.stats
+    }
+
+    /// Number of candidate SOIs currently in the γ-memory.
+    pub fn candidate_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The rule this node serves.
+    pub fn rule(&self) -> &Arc<AnalyzedRule> {
+        &self.rule
+    }
+
+    fn key_of(&self, tags: &[TimeTag], lookup: &dyn Fn(TimeTag, Symbol) -> Value) -> Box<[KeyPart]> {
+        let mut key = Vec::with_capacity(self.key_tags.len() + self.key_vals.len());
+        for &pos in &self.key_tags {
+            key.push(KeyPart::Tag(tags[pos]));
+        }
+        for &(pos, attr) in &self.key_vals {
+            key.push(KeyPart::Val(lookup(tags[pos], attr)));
+        }
+        key.into_boxed_slice()
+    }
+
+    /// Process a `+` token (a complete candidate instantiation joined).
+    pub fn insert_row(
+        &mut self,
+        tags: &[TimeTag],
+        lookup: &dyn Fn(TimeTag, Symbol) -> Value,
+        out: &mut Vec<CsDelta>,
+    ) {
+        self.stats.activations += 1;
+        let key = self.key_of(tags, lookup);
+
+        // Stage 1: find the SOI and place the token within it.
+        let entry = self.entries.entry(key.clone()).or_insert_with(|| GammaEntry {
+            rows: Vec::new(),
+            active: false,
+            aggs: self.rule.aggregates.iter().map(|s| AggState::new(*s)).collect(),
+            version: 0,
+        });
+        let row = Row { tags: tags.into(), recency: recency_of(tags) };
+        let mut chg = if entry.rows.is_empty() {
+            entry.rows.push(row);
+            Chg::New
+        } else {
+            let pos = entry
+                .rows
+                .iter()
+                .position(|r| row.recency > r.recency)
+                .unwrap_or(entry.rows.len());
+            entry.rows.insert(pos, row);
+            if pos == 0 {
+                Chg::NewTime
+            } else {
+                Chg::SameTime
+            }
+        };
+        entry.version += 1;
+
+        // Stage 2: update the aggregates and re-evaluate the test.
+        for agg in &mut entry.aggs {
+            let src = agg.source_ce();
+            let value = match agg.spec.target {
+                sorete_lang::analyze::AggTarget::Pv { attr, .. } => lookup(tags[src], attr),
+                sorete_lang::analyze::AggTarget::Ce { .. } => Value::Nil,
+            };
+            if agg.add_row(tags[src], value) {
+                self.stats.aggregate_updates += 1;
+            }
+        }
+        if !self.eval_test(&key, lookup) {
+            chg = Chg::Fail;
+        }
+
+        // Stage 3: decide the flow of the SOI.
+        self.flow(&key, chg, out);
+    }
+
+    /// Process a `-` token (a candidate instantiation un-joined).
+    pub fn remove_row(
+        &mut self,
+        tags: &[TimeTag],
+        lookup: &dyn Fn(TimeTag, Symbol) -> Value,
+        out: &mut Vec<CsDelta>,
+    ) {
+        self.stats.activations += 1;
+        let key = self.key_of(tags, lookup);
+
+        // Stage 1.
+        let Some(entry) = self.entries.get_mut(&key) else {
+            debug_assert!(false, "removal for an unknown SOI key");
+            return;
+        };
+        let Some(pos) = entry.rows.iter().position(|r| r.tags.as_ref() == tags) else {
+            debug_assert!(false, "removal for a token not in the SOI");
+            return;
+        };
+        entry.rows.remove(pos);
+        entry.version += 1;
+        let mut chg = if entry.rows.is_empty() {
+            Chg::Delete
+        } else if pos == 0 {
+            Chg::NewTime
+        } else {
+            Chg::SameTime
+        };
+
+        // Stage 2 (skipped for delete, per the figure).
+        if chg != Chg::Delete {
+            for agg in &mut entry.aggs {
+                let src = agg.source_ce();
+                if agg.remove_row(tags[src]) {
+                    self.stats.aggregate_updates += 1;
+                }
+            }
+            if !self.eval_test(&key, lookup) {
+                chg = Chg::Fail;
+            }
+        }
+
+        // Stage 3.
+        self.flow(&key, chg, out);
+    }
+
+    fn flow(&mut self, key: &[KeyPart], chg: Chg, out: &mut Vec<CsDelta>) {
+        match chg {
+            Chg::New => {
+                // The figure sends `+` for `new`; a failing test would have
+                // rewritten chg to `fail`, so reaching here means T passed.
+                let item = self.item_for(key);
+                let entry = self.entries.get_mut(key).unwrap();
+                entry.active = true;
+                out.push(CsDelta::Insert(item));
+            }
+            Chg::Delete => {
+                let entry = self.entries.remove(key).unwrap();
+                if entry.active {
+                    out.push(CsDelta::Remove(self.inst_key(key)));
+                }
+            }
+            Chg::Fail => {
+                let entry = self.entries.get_mut(key).unwrap();
+                if entry.active {
+                    entry.active = false;
+                    out.push(CsDelta::Remove(self.inst_key(key)));
+                }
+            }
+            Chg::NewTime | Chg::SameTime => {
+                let entry = &self.entries[key];
+                if entry.active {
+                    // "Only a pointer is passed": a slim `time` token —
+                    // consumers re-materialize the SOI when it fires.
+                    out.push(CsDelta::Retime(RetimeInfo {
+                        key: self.inst_key(key),
+                        version: entry.version,
+                        recency: entry.rows[0].recency.clone(),
+                    }));
+                } else {
+                    let item = self.item_for(key);
+                    self.entries.get_mut(key).unwrap().active = true;
+                    out.push(CsDelta::Insert(item));
+                }
+            }
+        }
+    }
+
+    /// Current full contents of an *active* SOI, for `Matcher::materialize`.
+    pub fn materialize(&self, parts: &[KeyPart]) -> Option<ConflictItem> {
+        let key: Box<[KeyPart]> = parts.into();
+        let entry = self.entries.get(&key)?;
+        if !entry.active {
+            return None;
+        }
+        Some(self.item_for(&key))
+    }
+
+    fn inst_key(&self, key: &[KeyPart]) -> InstKey {
+        InstKey::Soi { rule: self.rule_id, parts: key.into() }
+    }
+
+    fn item_for(&self, key: &[KeyPart]) -> ConflictItem {
+        let entry = &self.entries[key];
+        ConflictItem {
+            key: self.inst_key(key),
+            rows: entry.rows.iter().map(|r| r.tags.clone()).collect(),
+            aggregates: entry.aggs.iter().map(|a| a.current()).collect(),
+            version: entry.version,
+            recency: entry.rows[0].recency.clone(),
+            specificity: self.rule.specificity,
+        }
+    }
+
+    /// Evaluate `T` for the entry under `key`. Evaluation errors count as
+    /// failure (the SOI simply does not flow), matching OPS5's forgiving
+    /// predicate semantics.
+    ///
+    /// `lookup` must resolve every tag currently held by the entry's rows —
+    /// including, during removal, the WME being removed (matchers call the
+    /// S-node before forgetting the WME).
+    fn eval_test(&mut self, key: &[KeyPart], lookup: &dyn Fn(TimeTag, Symbol) -> Value) -> bool {
+        if self.rule.tests.is_empty() {
+            return true;
+        }
+        self.stats.test_evals += 1;
+        let entry = &self.entries[key];
+        let env = GammaEnv { node: self, entry, key, lookup };
+        self.rule.tests.iter().all(|t| eval_truthy(t, &env).unwrap_or(false))
+    }
+}
+
+/// Evaluation environment over a γ-entry: scalar variables resolve through
+/// the key (for `:scalar` PVs) or the head row + WM lookup (for variables
+/// bound by regular CEs, whose WME is shared by every row of the SOI);
+/// aggregates resolve to their incremental state.
+struct GammaEnv<'a> {
+    node: &'a SNode,
+    entry: &'a GammaEntry,
+    key: &'a [KeyPart],
+    lookup: &'a dyn Fn(TimeTag, Symbol) -> Value,
+}
+
+impl Env for GammaEnv<'_> {
+    fn var(&self, v: Symbol) -> Option<Value> {
+        // `:scalar` PVs are part of the key.
+        if let Some(i) = self.node.rule.scalar_pvs.iter().position(|p| p.var == v) {
+            if let KeyPart::Val(val) = &self.key[self.node.key_tags.len() + i] {
+                return Some(*val);
+            }
+        }
+        let (_, pos_ce, attr) = self
+            .node
+            .scalar_vars
+            .iter()
+            .find(|(name, _, _)| *name == v)?;
+        let tag = self.entry.rows.first()?.tags[*pos_ce];
+        Some((self.lookup)(tag, *attr))
+    }
+
+    fn agg(&self, op: AggOp, var: Symbol) -> Option<Value> {
+        let idx = self.node.rule.agg_index(op, var)?;
+        Some(self.entry.aggs[idx].current())
+    }
+}

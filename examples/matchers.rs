@@ -1,0 +1,57 @@
+//! Run the same program on all three match algorithms (Rete + S-nodes,
+//! TREAT + S-nodes, naive oracle) and compare their work counters —
+//! demonstrating that the matchers are interchangeable behind one trait
+//! and that the S-node extension is matcher-agnostic (§5).
+//!
+//! ```sh
+//! cargo run --example matchers
+//! ```
+
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete_base::Value;
+
+const PROGRAM: &str = "(literalize task id dur state)
+    (literalize summary n total)
+
+    (p start (task ^id <i> ^state queued)
+      (modify 1 ^state running))
+
+    (p summarize (probe ^at t) { [task ^dur <d> ^state running] <T> }
+      :test ((count <T>) > 0)
+      (remove 1)
+      (make summary ^n (count <T>) ^total (sum <d>)))";
+
+fn run(kind: MatcherKind) {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(PROGRAM).expect("program loads");
+    for i in 0..30i64 {
+        ps.make_str(
+            "task",
+            &[("id", Value::Int(i)), ("dur", Value::Int(10 + i)), ("state", Value::sym("queued"))],
+        )
+        .unwrap();
+    }
+    // Start every task first, then probe for the summary.
+    let started = ps.run(Some(100));
+    ps.make_str("probe", &[("at", Value::sym("t"))]).unwrap();
+    let outcome = ps.run(Some(200));
+    let outcome = sorete::core::RunOutcome { fired: outcome.fired + started.fired, ..outcome };
+    let summary = ps
+        .wm()
+        .dump()
+        .into_iter()
+        .find(|w| w.class.as_str() == "summary")
+        .map(|w| format!("{}", w))
+        .unwrap_or_else(|| "<none>".into());
+    println!("--- {} ---", ps.matcher_name());
+    println!("  fired: {} ({:?})", outcome.fired, outcome.reason);
+    println!("  summary wme: {}", summary);
+    println!("  match work: {}", ps.match_stats());
+}
+
+fn main() {
+    for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
+        run(kind);
+    }
+    println!("\nAll three produce the same summary; the counters show the cost differences.");
+}

@@ -1,0 +1,82 @@
+//! Domain scenario: payroll auditing with LHS aggregates.
+//!
+//! Second-order conditions ("departments whose average salary exceeds
+//! budget", "departments with more than N employees") are exactly what
+//! §4.2 adds to the language — without them an OPS5 program must maintain
+//! counter WMEs by hand.
+//!
+//! ```sh
+//! cargo run --example payroll
+//! ```
+
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete_base::Value;
+
+fn main() {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(
+        "(literalize dept id budget)
+         (literalize emp name dept salary)
+         (literalize finding dept kind amount)
+
+         ; Aggregate test: average salary over budget.
+         (p over-budget
+           (dept ^id <d> ^budget <b>)
+           [emp ^dept <d> ^salary <s>]
+           :test ((avg <s>) > <b>)
+           -->
+           (make finding ^dept <d> ^kind avg-over-budget ^amount (avg <s>)))
+
+         ; Aggregate test: headcount cap.
+         (p too-many-heads
+           (dept ^id <d>)
+           { [emp ^dept <d>] <Staff> }
+           :test ((count <Staff>) > 3)
+           -->
+           (make finding ^dept <d> ^kind overstaffed ^amount (count <Staff>)))
+
+         ; Min/max spread report, grouped per department by :scalar.
+         (p salary-spread
+           { [emp ^dept <d> ^salary <s>] <E> }
+           :scalar (<d>)
+           :test ((count <E>) > 1 and ((max <s>) - (min <s>)) > 50000)
+           -->
+           (make finding ^dept <d> ^kind wide-spread ^amount ((max <s>) - (min <s>))))",
+    )
+    .expect("program loads");
+
+    for (id, budget) in [(10, 95_000), (20, 70_000)] {
+        ps.make_str("dept", &[("id", Value::Int(id)), ("budget", Value::Int(budget))]).unwrap();
+    }
+    let emps: &[(&str, i64, i64)] = &[
+        ("ann", 10, 120_000),
+        ("bob", 10, 95_000),
+        ("cat", 10, 60_000),
+        ("dan", 10, 115_000),
+        ("eve", 20, 65_000),
+        ("fox", 20, 72_000),
+    ];
+    for (name, dept, sal) in emps {
+        ps.make_str(
+            "emp",
+            &[("name", Value::sym(name)), ("dept", Value::Int(*dept)), ("salary", Value::Int(*sal))],
+        )
+        .unwrap();
+    }
+
+    let outcome = ps.run(Some(100));
+    println!("fired {} rules ({:?})", outcome.fired, outcome.reason);
+    println!("\nfindings:");
+    for wme in ps.wm().dump() {
+        if wme.class.as_str() == "finding" {
+            println!("  {}", wme);
+        }
+    }
+    let stats = ps.stats();
+    println!(
+        "\n{} firings, {} makes; incremental aggregate updates: {}",
+        stats.firings,
+        stats.makes,
+        ps.match_stats().aggregate_updates
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: load a program with both regular and set-oriented rules,
+//! assert facts, run to quiescence, inspect output and statistics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete_base::Value;
+
+fn main() {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(
+        "(literalize order id qty status)
+         (literalize alert text)
+
+         ; Regular (tuple-oriented) rule: one firing per matching order.
+         (p flag-big-order
+           (order ^id <id> ^qty > 100 ^status open)
+           -->
+           (make alert ^text <id>)
+           (modify 1 ^status flagged))
+
+         ; Set-oriented rule: a single firing closes *all* flagged orders
+         ; once there are at least three of them.
+         (p close-flagged
+           { [order ^status flagged] <Flagged> }
+           :test ((count <Flagged>) >= 3)
+           -->
+           (write closing (count <Flagged>) orders)
+           (set-modify <Flagged> ^status closed))",
+    )
+    .expect("program loads");
+
+    for (id, qty) in [(1, 250), (2, 50), (3, 180), (4, 920), (5, 75)] {
+        ps.make_str(
+            "order",
+            &[("id", Value::Int(id)), ("qty", Value::Int(qty)), ("status", Value::sym("open"))],
+        )
+        .expect("make order");
+    }
+
+    let outcome = ps.run(Some(100));
+    println!("fired {} rules ({:?})", outcome.fired, outcome.reason);
+    for line in ps.take_output() {
+        println!("write> {}", line);
+    }
+
+    println!("\nfinal working memory:");
+    for wme in ps.wm().dump() {
+        println!("  {}", wme);
+    }
+
+    let stats = ps.stats();
+    println!(
+        "\nstats: firings={} actions={} (avg {:.1} actions/firing) makes={} modifies={}",
+        stats.firings,
+        stats.actions,
+        stats.actions_per_firing(),
+        stats.makes,
+        stats.modifies,
+    );
+    println!("match: {}", ps.match_stats());
+}

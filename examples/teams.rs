@@ -1,0 +1,118 @@
+//! The paper, live: walks through Figures 1, 2, 4 and 5 with the exact
+//! working memory from the paper (players Jack, Janice, Sue, Jack, Sue on
+//! teams A and B) and prints what each construct produces.
+//!
+//! ```sh
+//! cargo run --example teams
+//! ```
+
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete_base::Value;
+
+const LITERALIZE: &str = "(literalize player name team)\n";
+
+const FIGURE1_WM: &[(&str, &str)] =
+    &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")];
+
+fn engine_with(rule: &str) -> ProductionSystem {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(&format!("{}{}", LITERALIZE, rule)).expect("program loads");
+    for (n, t) in FIGURE1_WM {
+        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))])
+            .expect("make player");
+    }
+    ps
+}
+
+fn main() {
+    println!("=== Figure 1: tuple-oriented `compete` — 6 instantiations ===");
+    let mut ps = engine_with(
+        "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B)
+           (write Player-A: <n1> Player-B: <n2>))",
+    );
+    println!("conflict set size: {}", ps.conflict_set_len());
+    ps.run(None);
+    for line in ps.take_output() {
+        println!("  {}", line);
+    }
+
+    println!("\n=== Figure 2 (top): all-set LHS — ONE instantiation holding the whole relation ===");
+    let mut ps = engine_with(
+        "(p compete1 [player ^name <n1> ^team A] [player ^name <n2> ^team B]
+           (write one instantiation with (count <n1>) x (count <n2>) distinct names)
+           )",
+    );
+    println!("conflict set size: {}", ps.conflict_set_len());
+    let item = &ps.conflict_items()[0];
+    println!("rows in the SOI: {}", item.rows.len());
+    ps.run(None);
+    for line in ps.take_output() {
+        println!("  {}", line);
+    }
+
+    println!("\n=== Figure 2 (bottom): mixed LHS — partitioned by the regular CE ===");
+    let ps2 = engine_with(
+        "(p compete2 [player ^name <n1> ^team A] (player ^name <n2> ^team B) (halt))",
+    );
+    println!(
+        "conflict set size: {} (one SOI per team-B WME, each aggregating both A players)",
+        ps2.conflict_set_len()
+    );
+
+    println!("\n=== Figure 4: GroupByTeam — nested foreach over set-oriented PVs ===");
+    let mut ps = engine_with(
+        "(p GroupByTeam [player ^team <t> ^name <n>]
+           (foreach <t> (write team: <t>) (foreach <n> (write ... <n>))))",
+    );
+    ps.run(None);
+    for line in ps.take_output() {
+        println!("  {}", line);
+    }
+    println!("  (duplicate Sue printed once: foreach over a PV is value-based)");
+
+    println!("\n=== Figure 5: SwitchTeams — equal-cardinality swap in one firing ===");
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(&format!(
+        "{}{}",
+        LITERALIZE,
+        "(p SwitchTeams
+           { [player ^team A] <ATeam> }
+           { [player ^team B] <BTeam> }
+           :test ((count <ATeam>) == (count <BTeam>))
+           (write swapping (count <ATeam>) vs (count <BTeam>))
+           (set-modify <ATeam> ^team B)
+           (set-modify <BTeam> ^team A)
+           (halt))"
+    ))
+    .unwrap();
+    for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Mike", "B")] {
+        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+    }
+    ps.run(Some(5));
+    for line in ps.take_output() {
+        println!("  {}", line);
+    }
+    for wme in ps.wm().dump() {
+        println!("  {}", wme);
+    }
+
+    println!("\n=== Figure 5: RemoveDups — deduplicate working memory in one firing per dup-group ===");
+    let mut ps = engine_with(
+        "(p RemoveDups
+           { [player ^name <n> ^team <t>] <P> }
+           :scalar (<n> <t>)
+           :test ((count <P>) > 1)
+           (write removing duplicates of <n> on team <t>)
+           (bind <First> true)
+           (foreach <P> descending
+             (if (<First> == true) (bind <First> false) else (remove <P>))))",
+    );
+    let outcome = ps.run(Some(20));
+    println!("firings: {}", outcome.fired);
+    for line in ps.take_output() {
+        println!("  {}", line);
+    }
+    for wme in ps.wm().dump() {
+        println!("  {}", wme);
+    }
+}

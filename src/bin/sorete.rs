@@ -1,0 +1,407 @@
+//! `sorete` — command-line interpreter for set-oriented production
+//! systems.
+//!
+//! ```text
+//! sorete [OPTIONS] <program.ops>...
+//!
+//! OPTIONS:
+//!   --matcher rete|treat|naive   match algorithm (default: rete)
+//!   --strategy lex|mea           conflict resolution (default: lex)
+//!   --wm <facts.wm>              assert facts from a file before running
+//!   --limit <N>                  stop after N firings
+//!   --trace                      print rule firings
+//!   --stats                      print run + match statistics at the end
+//!   --dot <file>                 write the Rete network as Graphviz DOT
+//!   --repl                       interactive session after loading
+//! ```
+//!
+//! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
+//! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
+//! `wm`, `cs`, `stats`, `help`, `quit`.
+
+use sorete::core::{MatcherKind, ProductionSystem, Strategy};
+use sorete_base::{Symbol, Value};
+use sorete_lang::token::{tokenize, TokKind};
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    matcher: MatcherKind,
+    strategy: Strategy,
+    wm_files: Vec<String>,
+    programs: Vec<String>,
+    limit: Option<u64>,
+    trace: bool,
+    stats: bool,
+    repl: bool,
+    dot: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: sorete [--matcher rete|treat|naive] [--strategy lex|mea] \
+     [--wm facts.wm] [--limit N] [--trace] [--stats] [--repl] program.ops..."
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        matcher: MatcherKind::Rete,
+        strategy: Strategy::Lex,
+        wm_files: Vec::new(),
+        programs: Vec::new(),
+        limit: None,
+        trace: false,
+        stats: false,
+        repl: false,
+        dot: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--matcher" => {
+                opts.matcher = match it.next().map(String::as_str) {
+                    Some("rete") => MatcherKind::Rete,
+                    Some("treat") => MatcherKind::Treat,
+                    Some("naive") => MatcherKind::Naive,
+                    other => return Err(format!("bad --matcher {:?}", other)),
+                };
+            }
+            "--strategy" => {
+                opts.strategy = match it.next().map(String::as_str) {
+                    Some("lex") => Strategy::Lex,
+                    Some("mea") => Strategy::Mea,
+                    other => return Err(format!("bad --strategy {:?}", other)),
+                };
+            }
+            "--wm" => match it.next() {
+                Some(f) => opts.wm_files.push(f.clone()),
+                None => return Err("--wm needs a file".into()),
+            },
+            "--limit" => {
+                opts.limit = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--limit needs a number")?,
+                );
+            }
+            "--dot" => match it.next() {
+                Some(f) => opts.dot = Some(f.clone()),
+                None => return Err("--dot needs a file".into()),
+            },
+            "--trace" => opts.trace = true,
+            "--stats" => opts.stats = true,
+            "--repl" => opts.repl = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown option {}", other)),
+            file => opts.programs.push(file.to_string()),
+        }
+    }
+    if opts.programs.is_empty() && !opts.repl {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+/// A parsed fact: class plus slots.
+type Fact = (Symbol, Vec<(Symbol, Value)>);
+
+/// Parse a facts file: any number of `(class ^attr value ...)` forms.
+fn parse_facts(src: &str) -> Result<Vec<Fact>, String> {
+    let toks = tokenize(src).map_err(|e| e.to_string())?;
+    let mut facts = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind != TokKind::LParen {
+            return Err(format!("line {}: expected `(`", toks[i].line));
+        }
+        i += 1;
+        let class = match &toks.get(i).map(|t| &t.kind) {
+            Some(TokKind::Sym(s)) => Symbol::new(s),
+            _ => return Err("expected a class name after `(`".into()),
+        };
+        i += 1;
+        let mut slots = Vec::new();
+        loop {
+            match toks.get(i).map(|t| &t.kind) {
+                Some(TokKind::RParen) => {
+                    i += 1;
+                    break;
+                }
+                Some(TokKind::Attr(a)) => {
+                    let attr = Symbol::new(a);
+                    i += 1;
+                    let value = match toks.get(i).map(|t| &t.kind) {
+                        Some(TokKind::Sym(s)) if s == "nil" => Value::Nil,
+                        Some(TokKind::Sym(s)) => Value::sym(s),
+                        Some(TokKind::Int(n)) => Value::Int(*n),
+                        Some(TokKind::Float(f)) => Value::Float(*f),
+                        other => return Err(format!("bad value after ^{}: {:?}", attr, other)),
+                    };
+                    i += 1;
+                    slots.push((attr, value));
+                }
+                other => return Err(format!("expected `^attr` or `)`, found {:?}", other)),
+            }
+        }
+        facts.push((class, slots));
+    }
+    Ok(facts)
+}
+
+fn flush_output(ps: &mut ProductionSystem) {
+    for line in ps.take_trace() {
+        println!("; {}", line);
+    }
+    for line in ps.take_output() {
+        println!("{}", line);
+    }
+}
+
+fn print_stats(ps: &ProductionSystem) {
+    let s = ps.stats();
+    println!(
+        "; stats: firings={} actions={} ({:.2}/firing) makes={} removes={} modifies={} writes={}",
+        s.firings,
+        s.actions,
+        s.actions_per_firing(),
+        s.makes,
+        s.removes,
+        s.modifies,
+        s.writes
+    );
+    println!("; match [{}]: {}", ps.matcher_name(), ps.match_stats());
+    let mut per_rule: Vec<_> = s.per_rule.iter().collect();
+    per_rule.sort_by_key(|(name, _)| name.as_str());
+    for (name, rs) in per_rule {
+        println!(";   {}: {} firings, {} actions", name, rs.firings, rs.actions);
+    }
+}
+
+fn print_cs(ps: &ProductionSystem) {
+    let mut items = ps.conflict_items();
+    items.sort_by(|a, b| b.recency.cmp(&a.recency));
+    println!("; conflict set ({} entries):", items.len());
+    for item in items {
+        let rows: Vec<Vec<u64>> =
+            item.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect();
+        println!(
+            ";   rule#{} {} rows={:?} aggregates={:?}",
+            item.key.rule().index(),
+            if item.key.is_soi() { "[SOI]" } else { "" },
+            rows,
+            item.aggregates.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("sorete> ");
+        let _ = std::io::stdout().flush();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let input = line.trim();
+        let (cmd, rest) = match input.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (input, ""),
+        };
+        match cmd {
+            "" => {}
+            "quit" | "exit" | "q" => break,
+            "help" | "?" => {
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | wm | dump [file] | cs | stats | quit");
+            }
+            "run" => {
+                let n: Option<u64> = rest.parse().ok();
+                let outcome = ps.run(n.or(limit));
+                flush_output(ps);
+                println!("; fired {} ({:?})", outcome.fired, outcome.reason);
+            }
+            "step" => match ps.step() {
+                Ok(Some(rule)) => {
+                    flush_output(ps);
+                    println!("; fired {}", rule);
+                }
+                Ok(None) => println!("; quiescent"),
+                Err(e) => println!("; error: {}", e),
+            },
+            "make" => match parse_facts(rest) {
+                Ok(facts) => {
+                    for (class, slots) in facts {
+                        match ps.assert_wme(class, slots) {
+                            Ok(tag) => println!("; => {}", tag),
+                            Err(e) => println!("; error: {}", e),
+                        }
+                    }
+                    flush_output(ps);
+                }
+                Err(e) => println!("; parse error: {}", e),
+            },
+            "excise" => match ps.excise(rest) {
+                Ok(()) => println!("; excised {}", rest),
+                Err(e) => println!("; error: {}", e),
+            },
+            "remove" => match rest.parse::<u64>() {
+                Ok(raw) => {
+                    match ps.retract_wme(sorete_base::TimeTag::new(raw)) {
+                        Ok(()) => println!("; removed {}", raw),
+                        Err(e) => println!("; error: {}", e),
+                    }
+                }
+                Err(_) => println!("; usage: remove <tag>"),
+            },
+            "wm" => {
+                for wme in ps.wm().dump() {
+                    println!("; {}", wme);
+                }
+            }
+            "dump" => {
+                // Write working memory in `.wm` fact-file format.
+                let mut text = String::new();
+                for wme in ps.wm().dump() {
+                    text.push('(');
+                    text.push_str(wme.class.as_str());
+                    for (a, v) in wme.slots() {
+                        text.push_str(&format!(" ^{} {}", a, v));
+                    }
+                    text.push_str(")\n");
+                }
+                if rest.is_empty() {
+                    print!("{}", text);
+                } else {
+                    match std::fs::write(rest, &text) {
+                        Ok(()) => println!("; wrote {} WMEs to {}", ps.wm().len(), rest),
+                        Err(e) => println!("; error: {}", e),
+                    }
+                }
+            }
+            "cs" => print_cs(ps),
+            "stats" => print_stats(ps),
+            other => println!("; unknown command `{}` (try `help`)", other),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    let mut ps = ProductionSystem::new(opts.matcher);
+    ps.set_strategy(opts.strategy);
+    ps.set_tracing(opts.trace);
+
+    for file in &opts.programs {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
+        ps.load_program(&src).map_err(|e| format!("{}: {}", file, e))?;
+    }
+    for file in &opts.wm_files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
+        for (class, slots) in parse_facts(&src)? {
+            ps.assert_wme(class, slots).map_err(|e| e.to_string())?;
+        }
+    }
+
+    if let Some(path) = &opts.dot {
+        match ps.network_dot() {
+            Some(dot) => {
+                std::fs::write(path, dot).map_err(|e| format!("{}: {}", path, e))?;
+                eprintln!("; wrote network DOT to {}", path);
+            }
+            None => eprintln!("; --dot: the {} matcher has no network to render", ps.matcher_name()),
+        }
+    }
+    if opts.repl {
+        flush_output(&mut ps);
+        repl(&mut ps, opts.limit);
+    } else {
+        let outcome = ps.run(opts.limit);
+        flush_output(&mut ps);
+        eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason);
+    }
+    if opts.stats {
+        print_stats(&ps);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{}", msg);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_options() {
+        let args: Vec<String> = ["--matcher", "treat", "--strategy", "mea", "--limit", "5", "--trace", "prog.ops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_args(&args).unwrap();
+        assert_eq!(o.matcher, MatcherKind::Treat);
+        assert_eq!(o.strategy, Strategy::Mea);
+        assert_eq!(o.limit, Some(5));
+        assert!(o.trace);
+        assert_eq!(o.programs, vec!["prog.ops"]);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let bad = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_args(&v).is_err()
+        };
+        assert!(bad(&["--matcher", "ops83", "p.ops"]));
+        assert!(bad(&["--limit", "many", "p.ops"]));
+        assert!(bad(&["--frobnicate", "p.ops"]));
+        assert!(bad(&[])); // no program, no repl
+    }
+
+    #[test]
+    fn parses_facts() {
+        let facts = parse_facts(
+            "(player ^name Jack ^team A)
+             (score ^points 42 ^ratio 0.5 ^note nil)",
+        )
+        .unwrap();
+        assert_eq!(facts.len(), 2);
+        assert_eq!(facts[0].0.as_str(), "player");
+        assert_eq!(facts[1].1[0].1, Value::Int(42));
+        assert_eq!(facts[1].1[1].1, Value::Float(0.5));
+        assert_eq!(facts[1].1[2].1, Value::Nil);
+    }
+
+    #[test]
+    fn rejects_bad_facts() {
+        assert!(parse_facts("player ^name Jack").is_err());
+        assert!(parse_facts("(player ^name)").is_err());
+        assert!(parse_facts("(player name)").is_err());
+    }
+
+    #[test]
+    fn end_to_end_program_run() {
+        let mut ps = ProductionSystem::new(MatcherKind::Rete);
+        ps.load_program(
+            "(literalize item s)
+             (p sweep { [item ^s pending] <P> } (set-modify <P> ^s done) (write swept (count <P>)))",
+        )
+        .unwrap();
+        for (class, slots) in parse_facts("(item ^s pending)(item ^s pending)").unwrap() {
+            ps.assert_wme(class, slots).unwrap();
+        }
+        let outcome = ps.run(Some(10));
+        assert_eq!(outcome.fired, 1);
+        assert_eq!(ps.take_output(), vec!["swept 2"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end tests of the `sorete` command-line interpreter binary.
+
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sorete")
+}
+
+fn repo_file(rel: &str) -> String {
+    format!("{}/{}", env!("CARGO_MANIFEST_DIR"), rel)
+}
+
+#[test]
+fn runs_the_teams_program() {
+    let out = Command::new(bin())
+        .args(["--stats", "--wm", &repo_file("programs/teams.wm"), &repo_file("programs/teams.ops")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("removing duplicates of Sue on team B"), "{}", stdout);
+    assert!(stdout.contains("team B"), "{}", stdout);
+    assert!(stdout.contains("; stats: firings=2"), "{}", stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fired 2 rules"), "{}", stderr);
+}
+
+#[test]
+fn all_matchers_agree_via_cli() {
+    let mut outputs = Vec::new();
+    for matcher in ["rete", "treat", "naive"] {
+        let out = Command::new(bin())
+            .args([
+                "--matcher",
+                matcher,
+                "--wm",
+                &repo_file("programs/teams.wm"),
+                &repo_file("programs/teams.ops"),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}: {}", matcher, String::from_utf8_lossy(&out.stderr));
+        outputs.push(String::from_utf8_lossy(&out.stdout).to_string());
+    }
+    assert_eq!(outputs[0], outputs[1], "rete vs treat");
+    assert_eq!(outputs[0], outputs[2], "rete vs naive");
+}
+
+#[test]
+fn monkey_and_bananas_plans_correctly() {
+    for matcher in ["rete", "treat", "naive"] {
+        let out = Command::new(bin())
+            .args([
+                "--matcher",
+                matcher,
+                "--strategy",
+                "mea",
+                "--wm",
+                &repo_file("programs/monkey.wm"),
+                &repo_file("programs/monkey.ops"),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let plan: Vec<&str> = stdout.lines().collect();
+        assert_eq!(
+            plan,
+            vec![
+                "plan: move the ladder",
+                "plan: walk to the ladder",
+                "walk to 2-2",
+                "push ladder to 7-7",
+                "climb the ladder",
+                "grab bananas",
+                "cleanup: 3 satisfied goals removed",
+            ],
+            "{}: {}",
+            matcher,
+            stdout
+        );
+        assert!(String::from_utf8_lossy(&out.stderr).contains("fired 7 rules"), "{}", matcher);
+    }
+}
+
+#[test]
+fn reports_bad_usage() {
+    let out = Command::new(bin()).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = Command::new(bin())
+        .args(["--matcher", "ops83", "x.ops"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn reports_parse_errors_with_file_name() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.ops");
+    std::fs::write(&bad, "(p broken (a ^x <v>) (frobnicate))").unwrap();
+    let out = Command::new(bin()).arg(bad.to_str().unwrap()).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.ops"), "{}", stderr);
+}
+
+#[test]
+fn repl_session() {
+    let mut child = Command::new(bin())
+        .args(["--repl", &repo_file("programs/teams.ops")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    {
+        use std::io::Write;
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "cs").unwrap();
+        writeln!(stdin, "run").unwrap();
+        writeln!(stdin, "wm").unwrap();
+        writeln!(stdin, "stats").unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; => 1"), "{}", stdout);
+    assert!(stdout.contains("removing duplicates of Ada on team A"), "{}", stdout);
+    // After dedup only the most recent Ada remains.
+    assert!(stdout.contains("2: (player ^name Ada ^team A)"), "{}", stdout);
+    assert!(!stdout.contains("\n; 1: (player"), "{}", stdout);
+    assert!(stdout.contains("; stats: firings="), "{}", stdout);
+}

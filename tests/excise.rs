@@ -1,0 +1,192 @@
+//! Excise (dynamic rule removal): a removed production's instantiations
+//! leave the conflict set, it never matches again, shared network prefixes
+//! survive for the rules that still use them — and the matchers agree with
+//! the oracle afterwards.
+
+use proptest::prelude::*;
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::lang::{analyze_rule, parse_rule, Matcher};
+use sorete::naive::NaiveMatcher;
+use sorete::rete::ReteMatcher;
+use sorete::treat::TreatMatcher;
+use sorete_base::{ConflictItem, CsDelta, FxHashMap, InstKey, RuleId, Symbol, TimeTag, Value, Wme};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+#[test]
+fn excised_rule_leaves_conflict_set_and_stays_quiet() {
+    for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
+        let mut ps = ProductionSystem::new(kind);
+        ps.load_program(
+            "(literalize a x)
+             (p loud (a ^x <v>) (write loud <v>) (remove 1))
+             (p quiet (a ^x <v>) (write quiet <v>) (remove 1))",
+        )
+        .unwrap();
+        ps.make_str("a", &[("x", Value::Int(1))]).unwrap();
+        assert_eq!(ps.conflict_set_len(), 2, "{:?}", kind);
+        ps.excise("loud").unwrap();
+        assert_eq!(ps.conflict_set_len(), 1, "{:?}", kind);
+        // New WMEs never reach the excised rule.
+        ps.make_str("a", &[("x", Value::Int(2))]).unwrap();
+        ps.run(Some(10));
+        let out = ps.take_output();
+        assert!(out.iter().all(|l| l.starts_with("quiet")), "{:?}: {:?}", kind, out);
+        assert_eq!(out.len(), 2, "{:?}", kind);
+        // Excising twice errors cleanly.
+        assert!(ps.excise("loud").is_err());
+    }
+}
+
+#[test]
+fn excise_set_oriented_rule_drains_soi() {
+    for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
+        let mut ps = ProductionSystem::new(kind);
+        ps.load_program(
+            "(literalize a x)
+             (p watch { [a ^x <v>] <P> } :test ((count <P>) > 0) (write n (count <P>)))",
+        )
+        .unwrap();
+        ps.make_str("a", &[("x", Value::Int(1))]).unwrap();
+        ps.make_str("a", &[("x", Value::Int(2))]).unwrap();
+        assert_eq!(ps.conflict_set_len(), 1, "{:?}", kind);
+        ps.excise("watch").unwrap();
+        assert_eq!(ps.conflict_set_len(), 0, "{:?}", kind);
+        ps.make_str("a", &[("x", Value::Int(3))]).unwrap();
+        assert_eq!(ps.conflict_set_len(), 0, "{:?}", kind);
+    }
+}
+
+#[test]
+fn excise_keeps_shared_prefix_alive() {
+    // Two rules share their whole 2-CE prefix; excising one must not
+    // disturb the other (the paper's shared-test economy).
+    let mut m = ReteMatcher::new();
+    let r1 = m.add_rule(Arc::new(
+        analyze_rule(&parse_rule("(p r1 (a ^x <v>) (b ^x <v>) (halt))").unwrap()).unwrap(),
+    ));
+    let _r2 = m.add_rule(Arc::new(
+        analyze_rule(&parse_rule("(p r2 (a ^x <v>) (b ^x <v>) (write hi))").unwrap()).unwrap(),
+    ));
+    let mk = |tag: u64, class: &str| {
+        Wme::new(
+            TimeTag::new(tag),
+            Symbol::new(class),
+            vec![(Symbol::new("x"), Value::Int(1))],
+        )
+    };
+    m.insert_wme(&mk(1, "a"));
+    m.insert_wme(&mk(2, "b"));
+    let mut cs: FxHashMap<InstKey, ConflictItem> = FxHashMap::default();
+    let apply = |m: &mut ReteMatcher, cs: &mut FxHashMap<InstKey, ConflictItem>| {
+        for d in m.drain_deltas() {
+            match d {
+                CsDelta::Insert(i) => {
+                    cs.insert(i.key.clone(), i);
+                }
+                CsDelta::Remove(k) => {
+                    cs.remove(&k);
+                }
+                CsDelta::Retime(info) => {
+                    if let Some(fresh) = m.materialize(&info.key) {
+                        cs.insert(info.key.clone(), fresh);
+                    }
+                }
+            }
+        }
+    };
+    apply(&mut m, &mut cs);
+    assert_eq!(cs.len(), 2);
+    m.remove_rule(r1);
+    apply(&mut m, &mut cs);
+    assert_eq!(cs.len(), 1);
+    assert!(cs.keys().all(|k| k.rule() != r1));
+    // The survivor still matches fresh WMEs through the shared prefix.
+    m.insert_wme(&mk(3, "b"));
+    apply(&mut m, &mut cs);
+    assert_eq!(cs.len(), 2, "r2 found (a1, b3) via the shared join chain");
+}
+
+// ------------------------- property: excise ≡ never-had-the-rule ---------
+
+const RULES: &[&str] = &[
+    "(p r0 (a ^x <v>) (b ^x <v>) (halt))",
+    "(p r1 (a ^x <v>) -(b ^x <v>) (halt))",
+    "(p r2 { [a ^x <v>] <P> } :scalar (<v>) :test ((count <P>) > 1) (set-remove <P>))",
+];
+
+type Canon = BTreeSet<(usize, BTreeSet<Vec<u64>>)>;
+
+fn canon(m: &mut dyn Matcher, seen: &mut FxHashMap<InstKey, ConflictItem>) -> Canon {
+    for d in m.drain_deltas() {
+        match d {
+            CsDelta::Insert(i) => {
+                seen.insert(i.key.clone(), i);
+            }
+            CsDelta::Remove(k) => {
+                seen.remove(&k);
+            }
+            CsDelta::Retime(info) => {
+                if let Some(fresh) = m.materialize(&info.key) {
+                    seen.insert(info.key.clone(), fresh);
+                }
+            }
+        }
+    }
+    seen.values()
+        .map(|i| {
+            (
+                i.key.rule().index(),
+                i.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn excise_matches_oracle(
+        wmes in proptest::collection::vec((0u8..2, 0i64..3), 1..10),
+        excise_at in 0usize..3,
+    ) {
+        let make = |kind: &str| -> Box<dyn Matcher> {
+            match kind {
+                "rete" => Box::new(ReteMatcher::new()),
+                "treat" => Box::new(TreatMatcher::new()),
+                _ => Box::new(NaiveMatcher::new()),
+            }
+        };
+        for kind in ["rete", "treat", "naive"] {
+            let mut m = make(kind);
+            let mut oracle = NaiveMatcher::new();
+            let mut ids = Vec::new();
+            for src in RULES {
+                let r = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
+                ids.push(m.add_rule(r.clone()));
+                oracle.add_rule(r);
+            }
+            let mut m_cs = FxHashMap::default();
+            let mut o_cs = FxHashMap::default();
+            for (i, &(c, x)) in wmes.iter().enumerate() {
+                let w = Wme::new(
+                    TimeTag::new(i as u64 + 1),
+                    Symbol::new(if c == 0 { "a" } else { "b" }),
+                    vec![(Symbol::new("x"), Value::Int(x))],
+                );
+                m.insert_wme(&w);
+                oracle.insert_wme(&w);
+            }
+            m.remove_rule(ids[excise_at]);
+            oracle.remove_rule(RuleId::new(excise_at));
+            prop_assert_eq!(
+                canon(m.as_mut(), &mut m_cs),
+                canon(&mut oracle, &mut o_cs),
+                "{} after excising rule {}",
+                kind,
+                excise_at
+            );
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! End-to-end reproduction of every figure in the paper, from source text
+//! through the full engine. Experiment ids F1–F6 (see DESIGN.md).
+
+use sorete::core::{MatcherKind, ProductionSystem, StopReason};
+use sorete_base::{Symbol, Value};
+
+const LIT: &str = "(literalize player name team)\n";
+
+const FIGURE1_WM: &[(&str, &str)] =
+    &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")];
+
+fn engine(kind: MatcherKind, rules: &str) -> ProductionSystem {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(&format!("{}{}", LIT, rules)).expect("program loads");
+    ps
+}
+
+fn load_players(ps: &mut ProductionSystem) {
+    for (n, t) in FIGURE1_WM {
+        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+    }
+}
+
+const ALL: &[MatcherKind] = &[MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive];
+
+// ------------------------------------------------------------------- F1
+
+#[test]
+fn f1_compete_conflict_set() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B)
+               (write Player-A: <n1> Player-B: <n2>))",
+        );
+        load_players(&mut ps);
+        // "6 Instantiations" — the cross product {Jack,Janice} × {3 B-rows}.
+        assert_eq!(ps.conflict_set_len(), 6, "{:?}", kind);
+        let items = ps.conflict_items();
+        // Check the exact tag pairs of the paper's conflict set.
+        let mut pairs: Vec<(u64, u64)> = items
+            .iter()
+            .map(|i| (i.rows[0][0].raw(), i.rows[0][1].raw()))
+            .collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)], "{:?}", kind);
+    }
+}
+
+// ------------------------------------------------------------------- F2
+
+#[test]
+fn f2_all_set_lhs_single_soi() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p compete1 [player ^name <n1> ^team A] [player ^name <n2> ^team B] (halt))",
+        );
+        load_players(&mut ps);
+        assert_eq!(ps.conflict_set_len(), 1, "{:?}", kind);
+        let item = &ps.conflict_items()[0];
+        assert_eq!(item.rows.len(), 6, "the instantiation contains the entire relation");
+        // The head row is the most recent combination (tags 2 and 5).
+        let head: Vec<u64> = item.rows[0].iter().map(|t| t.raw()).collect();
+        assert_eq!(head, vec![2, 5], "{:?}", kind);
+    }
+}
+
+#[test]
+fn f2_mixed_lhs_partitioned_by_regular_ce() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p compete2 [player ^name <n1> ^team A] (player ^name <n2> ^team B) (halt))",
+        );
+        load_players(&mut ps);
+        // "3 Instantiations", one per team-B WME, each with both A players.
+        assert_eq!(ps.conflict_set_len(), 3, "{:?}", kind);
+        for item in ps.conflict_items() {
+            assert_eq!(item.rows.len(), 2, "{:?}", kind);
+            let b_tags: Vec<u64> = item.rows.iter().map(|r| r[1].raw()).collect();
+            assert!(b_tags.iter().all(|&t| t == b_tags[0]), "same B row throughout");
+        }
+    }
+}
+
+// ------------------------------------------------------------------- F4
+
+#[test]
+fn f4_group_by_team_iteration_trace() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p GroupByTeam [player ^team <t> ^name <n>]
+               (foreach <t> (write <t>) (foreach <n> (write <n>))))",
+        );
+        load_players(&mut ps);
+        let outcome = ps.run(None);
+        assert_eq!(outcome.fired, 1, "{:?}: single instantiation", kind);
+        // Paper's trace: outer <t>=B first (most recent), inner Sue then
+        // Jack (value-based: duplicate Sue printed once); then <t>=A with
+        // Janice then Jack.
+        assert_eq!(
+            ps.take_output(),
+            vec!["B", "Sue", "Jack", "A", "Janice", "Jack"],
+            "{:?}",
+            kind
+        );
+    }
+}
+
+// ------------------------------------------------------------------- F5
+
+#[test]
+fn f5_switch_teams() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p SwitchTeams
+               { [player ^team A] <ATeam> }
+               { [player ^team B] <BTeam> }
+               :test ((count <ATeam>) == (count <BTeam>))
+               (set-modify <ATeam> ^team B)
+               (set-modify <BTeam> ^team A)
+               (halt))",
+        );
+        for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Mike", "B")] {
+            ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+        }
+        let outcome = ps.run(Some(10));
+        assert_eq!(outcome.fired, 1, "{:?}: the swap is one conceptual operation", kind);
+        assert_eq!(outcome.reason, StopReason::Halt);
+        let team_of = |name: &str| {
+            ps.wm()
+                .iter()
+                .find(|w| w.get(Symbol::new("name")) == Value::sym(name))
+                .unwrap()
+                .get(Symbol::new("team"))
+        };
+        assert_eq!(team_of("Jack"), Value::sym("B"), "{:?}", kind);
+        assert_eq!(team_of("Janice"), Value::sym("B"), "{:?}", kind);
+        assert_eq!(team_of("Sue"), Value::sym("A"), "{:?}", kind);
+        assert_eq!(team_of("Mike"), Value::sym("A"), "{:?}", kind);
+    }
+}
+
+#[test]
+fn f5_switch_teams_requires_equal_counts() {
+    let mut ps = engine(
+        MatcherKind::Rete,
+        "(p SwitchTeams
+           { [player ^team A] <ATeam> }
+           { [player ^team B] <BTeam> }
+           :test ((count <ATeam>) == (count <BTeam>))
+           (set-modify <ATeam> ^team B)
+           (set-modify <BTeam> ^team A))",
+    );
+    for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B")] {
+        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+    }
+    assert_eq!(ps.conflict_set_len(), 0, "2 vs 1: the aggregate test blocks the rule");
+    assert_eq!(ps.run(Some(5)).fired, 0);
+}
+
+#[test]
+fn f5_group_by_a_hierarchical_decomposition() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p GroupByA [player ^name <n1> ^team A] [player ^name <n2> ^team B]
+               (foreach <n1> (write <n1>) (foreach <n2> (write <n2>))))",
+        );
+        load_players(&mut ps);
+        let outcome = ps.run(None);
+        assert_eq!(outcome.fired, 1, "{:?}", kind);
+        let out = ps.take_output();
+        // Each A-player printed once, followed by the distinct B names.
+        // Recency order: Jack(A) joined rows including tag-5 Sue are most
+        // recent... the outer domain order is by row recency.
+        assert_eq!(out.len(), 2 + 2 * 2, "2 A-names, each with 2 distinct B-names: {:?}", out);
+        // Every A name appears, and between A names the B names are Sue/Jack.
+        assert!(out.contains(&"Jack".to_string()) && out.contains(&"Janice".to_string()));
+        assert!(out.contains(&"Sue".to_string()));
+    }
+}
+
+#[test]
+fn f5_remove_dups_keeps_most_recent() {
+    for &kind in ALL {
+        let mut ps = engine(
+            kind,
+            "(p RemoveDups
+               { [player ^name <n> ^team <t>] <P> }
+               :scalar (<n> <t>)
+               :test ((count <P>) > 1)
+               (bind <First> true)
+               (foreach <P> descending
+                 (if (<First> == true) (bind <First> false) else (remove <P>))))",
+        );
+        load_players(&mut ps);
+        let outcome = ps.run(Some(20));
+        // One duplicated pair (Sue, B) → one instantiation, one firing.
+        assert_eq!(outcome.fired, 1, "{:?}", kind);
+        let tags: Vec<u64> = ps.wm().dump().iter().map(|w| w.tag.raw()).collect();
+        assert_eq!(tags, vec![1, 2, 4, 5], "{:?}: tag 3 (older Sue/B) removed", kind);
+    }
+}
+
+#[test]
+fn f5_alternative_remove_dups_fires_unconditionally() {
+    // The paper: "this rule cannot discern whether any duplicates exist,
+    // thus its instantiation can fire unnecessarily".
+    let mut with_dups = engine(
+        MatcherKind::Rete,
+        "(p AlternativeRemoveDups
+           { [player ^name <n> ^team <t>] <P> }
+           (foreach <n> (foreach <t>
+             (bind <First> true)
+             (foreach <P> descending
+               (if (<First> == true) (bind <First> false) else (remove <P>))))))",
+    );
+    load_players(&mut with_dups);
+    let o = with_dups.run(Some(20));
+    assert!(o.fired >= 1);
+    assert_eq!(with_dups.wm().len(), 4, "duplicates removed");
+
+    // Without duplicates it *still* fires (unnecessarily).
+    let mut no_dups = engine(
+        MatcherKind::Rete,
+        "(p AlternativeRemoveDups
+           { [player ^name <n> ^team <t>] <P> }
+           (foreach <n> (foreach <t>
+             (bind <First> true)
+             (foreach <P> descending
+               (if (<First> == true) (bind <First> false) else (remove <P>))))))",
+    );
+    no_dups
+        .make_str("player", &[("name", Value::sym("Solo")), ("team", Value::sym("A"))])
+        .unwrap();
+    assert_eq!(no_dups.conflict_set_len(), 1, "fires even with nothing to remove");
+
+    // The :test-guarded RemoveDups does not.
+    let mut guarded = engine(
+        MatcherKind::Rete,
+        "(p RemoveDups
+           { [player ^name <n> ^team <t>] <P> }
+           :scalar (<n> <t>)
+           :test ((count <P>) > 1)
+           (set-remove <P>))",
+    );
+    guarded
+        .make_str("player", &[("name", Value::sym("Solo")), ("team", Value::sym("A"))])
+        .unwrap();
+    assert_eq!(guarded.conflict_set_len(), 0);
+}
+
+// ------------------------------------------------------------------- F3
+// (The S-node algorithm itself is unit-tested exhaustively in sorete-soi;
+// here we check its externally visible contract end to end.)
+
+#[test]
+fn f3_soi_refires_on_change_and_repositions() {
+    let mut ps = engine(
+        MatcherKind::Rete,
+        "(p watch { [player ^team A] <P> } (write count-now (count <P>)))",
+    );
+    ps.make_str("player", &[("name", Value::sym("a")), ("team", Value::sym("A"))]).unwrap();
+    assert_eq!(ps.run(None).fired, 1);
+    ps.make_str("player", &[("name", Value::sym("b")), ("team", Value::sym("A"))]).unwrap();
+    assert_eq!(ps.run(None).fired, 1, "time token re-armed the SOI");
+    ps.make_str("player", &[("name", Value::sym("c")), ("team", Value::sym("B"))]).unwrap();
+    assert_eq!(ps.run(None).fired, 0, "unrelated WME does not re-arm");
+    assert_eq!(ps.take_output(), vec!["count-now 1", "count-now 2"]);
+}
+
+// ------------------------------------------------------------------- F6
+
+#[test]
+fn f6_dips_figure() {
+    let fig = sorete::dips::figure6().expect("figure 6 builds");
+    // The paper's groups: E-tuple 2 with W∈{1,3}; E-tuple 4 with W∈{1,3}.
+    assert_eq!(fig.groups.len(), 2);
+    let as_pairs: Vec<(u64, Vec<u64>)> = fig
+        .groups
+        .iter()
+        .map(|g| {
+            let e = match g.key[0] {
+                Value::Tag(t) => t.raw(),
+                ref other => panic!("unexpected key {:?}", other),
+            };
+            let mut ws: Vec<u64> = g.rows.iter().map(|r| r[1].raw()).collect();
+            ws.sort();
+            ws.dedup();
+            (e, ws)
+        })
+        .collect();
+    assert_eq!(as_pairs, vec![(2, vec![1, 3]), (4, vec![1, 3])]);
+    // And via the SQL query: 4 rows in 2 groups.
+    assert_eq!(fig.soi_relation.rows.len(), 4);
+    let groups: Vec<i64> = fig
+        .soi_relation
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(g) => g,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(groups, vec![1, 1, 2, 2]);
+}

@@ -1,0 +1,222 @@
+//! Property tests for the language layer: printer ∘ parser round trips,
+//! and whole-engine agreement between matchers on runnable programs.
+
+use proptest::prelude::*;
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::lang::{parse_rule, print_rule};
+use sorete_base::{Symbol, Value};
+use sorete_lang::ast::*;
+
+// ------------------------------------------------------ AST generators
+
+fn sym_pool(pool: &'static [&'static str]) -> impl Strategy<Value = Symbol> {
+    (0..pool.len()).prop_map(move |i| Symbol::new(pool[i]))
+}
+
+fn class_sym() -> impl Strategy<Value = Symbol> {
+    sym_pool(&["alpha", "beta", "gamma"])
+}
+
+fn attr_sym() -> impl Strategy<Value = Symbol> {
+    sym_pool(&["x", "y", "z"])
+}
+
+fn var_sym() -> impl Strategy<Value = Symbol> {
+    sym_pool(&["u", "v", "w"])
+}
+
+fn const_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-99i64..99).prop_map(Value::Int),
+        prop_oneof![Just("red"), Just("green"), Just("blue")].prop_map(Value::sym),
+        Just(Value::Nil),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        Just(Pred::Eq),
+        Just(Pred::Ne),
+        Just(Pred::Lt),
+        Just(Pred::Le),
+        Just(Pred::Gt),
+        Just(Pred::Ge)
+    ]
+}
+
+fn test_term() -> impl Strategy<Value = TestTerm> {
+    prop_oneof![
+        3 => (pred(), const_value()).prop_map(|(p, v)| TestTerm::Pred(p, Operand::Const(v))),
+        2 => var_sym().prop_map(|v| TestTerm::Pred(Pred::Eq, Operand::Var(v))),
+        1 => proptest::collection::vec(const_value(), 1..3).prop_map(TestTerm::AnyOf),
+    ]
+}
+
+fn cond_elem() -> impl Strategy<Value = CondElem> {
+    (
+        class_sym(),
+        any::<bool>(),
+        proptest::collection::vec((attr_sym(), proptest::collection::vec(test_term(), 1..3)), 1..3),
+    )
+        .prop_map(|(class, set_oriented, tests)| CondElem {
+            class,
+            negated: false,
+            set_oriented,
+            elem_var: None,
+            tests: tests
+                .into_iter()
+                .map(|(attr, terms)| AttrTest { attr, terms })
+                .collect(),
+        })
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (class_sym(), attr_sym(), const_value())
+            .prop_map(|(c, a, v)| Action::Make { class: c, slots: vec![(a, Expr::Const(v))] }),
+        const_value().prop_map(|v| Action::Write(vec![Expr::Const(v)])),
+        Just(Action::Halt),
+    ]
+}
+
+fn rule() -> impl Strategy<Value = Rule> {
+    (
+        proptest::collection::vec(cond_elem(), 1..4),
+        proptest::collection::vec(action(), 1..3),
+    )
+        .prop_map(|(lhs, rhs)| Rule {
+            name: Symbol::new("generated"),
+            lhs,
+            scalar: vec![],
+            tests: vec![],
+            rhs,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print ∘ parse == identity on generated ASTs.
+    #[test]
+    fn printer_roundtrip(r in rule()) {
+        let printed = print_rule(&r);
+        let reparsed = parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("printed rule failed to reparse: {}\n{}", e, printed));
+        prop_assert_eq!(&r, &reparsed, "printed form:\n{}", printed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser must never panic — arbitrary input yields Ok or Err.
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = sorete::lang::parse_program(&src);
+        let _ = sorete::lang::parse_rule(&src);
+    }
+
+    /// Token soup built from the language's own vocabulary parses or
+    /// errors cleanly (denser coverage of parser states than raw ASCII).
+    #[test]
+    fn vocabulary_soup_never_panics(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("("), Just(")"), Just("["), Just("]"), Just("{"), Just("}"),
+                Just("p"), Just("r"), Just("literalize"), Just("^a"), Just("<v>"),
+                Just(":scalar"), Just(":test"), Just("-->"), Just("foreach"),
+                Just("set-modify"), Just("count"), Just("=="), Just(">"), Just("42"),
+                Just("make"), Just("remove"), Just("write"), Just("if"), Just("else"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = sorete::lang::parse_program(&src);
+    }
+}
+
+// ----------------------------------------- engine-level run equivalence
+
+/// Programs that drive WM through makes/removes/modifies — all matchers
+/// must converge to identical final WM and output.
+const PROGRAMS: &[&str] = &[
+    // Counter loop with arithmetic.
+    "(literalize c n)
+     (p tick (c ^n <n> ^n > 0) (write <n>) (modify 1 ^n (<n> - 1)))",
+    // Set-oriented sweep, two classes.
+    "(literalize item s)(literalize log t)
+     (p sweep { [item ^s pending] <P> } (set-modify <P> ^s done) (make log ^t swept))",
+    // Negation-guarded production chain.
+    "(literalize a v)(literalize b v)
+     (p derive (a ^v <x>) -(b ^v <x>) (make b ^v <x>))",
+    // Aggregate-gated cleanup.
+    "(literalize item k)
+     (p dedup { [item ^k <k>] <P> } :scalar (<k>) :test ((count <P>) > 1)
+        (bind <first> true)
+        (foreach <P> descending
+          (if (<first> == true) (bind <first> false) else (remove <P>))))",
+];
+
+fn seed_wm(ps: &mut ProductionSystem, seed: &[(u8, i64)]) {
+    for &(class, v) in seed {
+        match class % 4 {
+            0 => {
+                let _ = ps.make_str("c", &[("n", Value::Int(v.rem_euclid(5)))]);
+            }
+            1 => {
+                let _ = ps.make_str(
+                    "item",
+                    &[("s", Value::sym(if v % 2 == 0 { "pending" } else { "done" }))],
+                );
+            }
+            2 => {
+                let _ = ps.make_str("a", &[("v", Value::Int(v.rem_euclid(3)))]);
+            }
+            _ => {
+                let _ = ps.make_str("item", &[("k", Value::Int(v.rem_euclid(3)))]);
+            }
+        }
+    }
+}
+
+fn final_state(kind: MatcherKind, program: &str, seed: &[(u8, i64)]) -> (Vec<String>, Vec<String>) {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(program).unwrap();
+    seed_wm(&mut ps, seed);
+    ps.run(Some(300));
+    let mut wm: Vec<String> = ps
+        .wm()
+        .dump()
+        .iter()
+        .map(|w| {
+            // Compare WMEs structurally without time tags (tag allocation
+            // order differs only if firing order differs — which LEX makes
+            // deterministic, but modify re-tagging could still vary).
+            let slots: Vec<String> =
+                w.slots().iter().map(|(a, v)| format!("^{} {}", a, v)).collect();
+            format!("({} {})", w.class, slots.join(" "))
+        })
+        .collect();
+    wm.sort();
+    let mut out = ps.take_output();
+    out.sort();
+    (wm, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_converge_identically(
+        pi in 0usize..4,
+        seed in proptest::collection::vec((0u8..4, 0i64..10), 1..12),
+    ) {
+        let program = PROGRAMS[pi];
+        let rete = final_state(MatcherKind::Rete, program, &seed);
+        let treat = final_state(MatcherKind::Treat, program, &seed);
+        let naive = final_state(MatcherKind::Naive, program, &seed);
+        prop_assert_eq!(&rete, &treat, "rete vs treat on program {}", pi);
+        prop_assert_eq!(&rete, &naive, "rete vs naive on program {}", pi);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests: Rete (with S-nodes) and TREAT (with S-nodes) must agree
+//! with the independent naive oracle on every conflict set reachable by
+//! random insert/remove streams — for regular rules, negated CEs, and
+//! set-oriented rules with aggregates.
+
+use proptest::prelude::*;
+use sorete::lang::{analyze_rule, parse_rule, Matcher};
+use sorete::naive::NaiveMatcher;
+use sorete::rete::ReteMatcher;
+use sorete::treat::TreatMatcher;
+use sorete_base::{
+    ConflictItem, CsDelta, FxHashMap, InstKey, Symbol, TimeTag, Value, Wme,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A rule set exercising a particular feature mix.
+const RULESET_REGULAR: &[&str] = &[
+    "(p r1 (a ^x <v> ^y <w>) (b ^x <v>) (halt))",
+    "(p r2 (a ^x <v>) (a ^y <w>) (b ^x <v> ^y > <w>) (halt))",
+    "(p r3 (b ^y <w> ^x <> 2) (halt))",
+];
+
+const RULESET_NEGATED: &[&str] = &[
+    "(p n1 (a ^x <v>) -(b ^x <v>) (halt))",
+    "(p n2 (b ^x <v>) -(a ^x <v> ^y <v>) (halt))",
+    "(p n3 -(a ^x 1) (b ^y <w>) (halt))",
+];
+
+const RULESET_SET: &[&str] = &[
+    "(p s1 [a ^x <v>] (halt))",
+    "(p s2 { [a ^x <v> ^y <w>] <P> } :scalar (<v>) :test ((count <P>) > 1) (set-remove <P>))",
+    "(p s3 (b ^x <v>) [a ^x <v> ^y <w>]
+        :test ((sum <w>) > 3 and (min <w>) >= 0) (halt))",
+    "(p s4 { [b ^y <w>] <Q> } :test ((count <Q>) >= 2 and (avg <w>) > 1) (halt))",
+];
+
+/// One random working-memory operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert a WME of class `a` or `b` with small-domain x/y values.
+    Insert { class: u8, x: i64, y: i64 },
+    /// Remove the (i mod live)-th oldest live WME.
+    Remove(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..2, 0i64..4, 0i64..4).prop_map(|(class, x, y)| Op::Insert { class, x, y }),
+        1 => (0usize..16).prop_map(Op::Remove),
+    ]
+}
+
+/// Canonical snapshot of a conflict set: rule → set of (row-set, aggregates).
+type Canon = BTreeSet<(usize, BTreeSet<Vec<u64>>, Vec<String>)>;
+
+struct Tracker {
+    m: Box<dyn Matcher>,
+    cs: FxHashMap<InstKey, ConflictItem>,
+}
+
+impl Tracker {
+    fn new(mut m: Box<dyn Matcher>, rules: &[&str]) -> Tracker {
+        for src in rules {
+            let r = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
+            m.add_rule(r);
+        }
+        let _ = m.drain_deltas();
+        Tracker { m, cs: FxHashMap::default() }
+    }
+
+    fn apply(&mut self) {
+        for d in self.m.drain_deltas() {
+            match d {
+                CsDelta::Insert(item) => {
+                    let prev = self.cs.insert(item.key.clone(), item);
+                    assert!(prev.is_none(), "[{}] duplicate insert", self.m.algorithm_name());
+                }
+                CsDelta::Remove(key) => {
+                    let prev = self.cs.remove(&key);
+                    assert!(prev.is_some(), "[{}] removing unknown entry", self.m.algorithm_name());
+                }
+                CsDelta::Retime(info) => {
+                    // A Retime may be followed by a Remove in the same
+                    // batch (the SOI died mid-operation); materialize then
+                    // sees nothing and the pending Remove cleans up.
+                    if let Some(fresh) = self.m.materialize(&info.key) {
+                        assert!(fresh.version >= info.version, "[{}]", self.m.algorithm_name());
+                        let prev = self.cs.insert(info.key.clone(), fresh);
+                        assert!(prev.is_some(), "[{}] retime of absent entry", self.m.algorithm_name());
+                    }
+                }
+            }
+        }
+    }
+
+    fn canon(&self) -> Canon {
+        self.cs
+            .values()
+            .map(|item| {
+                let rows: BTreeSet<Vec<u64>> = item
+                    .rows
+                    .iter()
+                    .map(|r| r.iter().map(|t| t.raw()).collect())
+                    .collect();
+                let aggs: Vec<String> = item.aggregates.iter().map(|v| v.to_string()).collect();
+                (item.key.rule().index(), rows, aggs)
+            })
+            .collect()
+    }
+}
+
+fn run_equivalence(rules: &[&str], ops: &[Op]) {
+    let mut rete = Tracker::new(Box::new(ReteMatcher::new()), rules);
+    let mut treat = Tracker::new(Box::new(TreatMatcher::new()), rules);
+    let mut naive = Tracker::new(Box::new(NaiveMatcher::new()), rules);
+
+    let mut live: Vec<Wme> = Vec::new();
+    let mut next_tag = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert { class, x, y } => {
+                next_tag += 1;
+                let wme = Wme::new(
+                    TimeTag::new(next_tag),
+                    Symbol::new(if *class == 0 { "a" } else { "b" }),
+                    vec![(Symbol::new("x"), Value::Int(*x)), (Symbol::new("y"), Value::Int(*y))],
+                );
+                live.push(wme.clone());
+                rete.m.insert_wme(&wme);
+                treat.m.insert_wme(&wme);
+                naive.m.insert_wme(&wme);
+            }
+            Op::Remove(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let wme = live.remove(i % live.len());
+                rete.m.remove_wme(&wme);
+                treat.m.remove_wme(&wme);
+                naive.m.remove_wme(&wme);
+            }
+        }
+        rete.apply();
+        treat.apply();
+        naive.apply();
+        let expected = naive.canon();
+        prop_assert_eq_step(step, op, "rete", &rete.canon(), &expected);
+        prop_assert_eq_step(step, op, "treat", &treat.canon(), &expected);
+    }
+}
+
+fn prop_assert_eq_step(step: usize, op: &Op, who: &str, got: &Canon, expected: &Canon) {
+    assert_eq!(
+        got, expected,
+        "\n{} diverged from the oracle after step {} ({:?})",
+        who, step, op
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn regular_rules_agree(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_equivalence(RULESET_REGULAR, &ops);
+    }
+
+    #[test]
+    fn negated_rules_agree(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_equivalence(RULESET_NEGATED, &ops);
+    }
+
+    #[test]
+    fn set_oriented_rules_agree(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_equivalence(RULESET_SET, &ops);
+    }
+
+    #[test]
+    fn mixed_rules_agree(ops in proptest::collection::vec(op_strategy(), 1..32)) {
+        let mixed: Vec<&str> = RULESET_REGULAR
+            .iter()
+            .chain(RULESET_NEGATED)
+            .chain(RULESET_SET)
+            .copied()
+            .collect();
+        run_equivalence(&mixed, &ops);
+    }
+}
+
+/// Deterministic regression inputs (kept out of proptest for clarity).
+#[test]
+fn same_class_double_ce_regression() {
+    // One WME satisfying two CEs of the same rule simultaneously.
+    let ops = vec![
+        Op::Insert { class: 0, x: 1, y: 1 },
+        Op::Insert { class: 1, x: 1, y: 1 },
+        Op::Insert { class: 0, x: 1, y: 2 },
+        Op::Remove(0),
+        Op::Remove(0),
+    ];
+    run_equivalence(RULESET_REGULAR, &ops);
+    run_equivalence(RULESET_SET, &ops);
+}
+
+#[test]
+fn negation_unblock_regression() {
+    let ops = vec![
+        Op::Insert { class: 0, x: 1, y: 1 }, // a
+        Op::Insert { class: 1, x: 1, y: 0 }, // b blocks n1
+        Op::Remove(1),                       // unblock
+        Op::Insert { class: 1, x: 1, y: 3 },
+        Op::Remove(0),
+    ];
+    run_equivalence(RULESET_NEGATED, &ops);
+}
