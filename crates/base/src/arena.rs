@@ -69,7 +69,10 @@ impl<T, I: ArenaId> Arena<T, I> {
 
     /// Iterate `(id, &item)`.
     pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
-        self.items.iter().enumerate().map(|(i, t)| (I::from_index(i), t))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_index(i), t))
     }
 
     /// Iterate `(id, &mut item)`.
@@ -110,8 +113,8 @@ impl<T, I: ArenaId> IndexMut<I> for Arena<T, I> {
 
 #[cfg(test)]
 mod tests {
-    use crate as sorete_base;
     use super::*;
+    use crate as sorete_base;
 
     sorete_base::define_id!(struct TestId);
 

@@ -27,7 +27,11 @@ impl fmt::Display for BaseError {
             BaseError::UnknownTag(t) => write!(f, "unknown time tag {}", t),
             BaseError::UnknownClass(c) => write!(f, "class `{}` was not literalized", c),
             BaseError::UnknownAttribute { class, attr } => {
-                write!(f, "attribute `^{}` is not declared for class `{}`", attr, class)
+                write!(
+                    f,
+                    "attribute `^{}` is not declared for class `{}`",
+                    attr, class
+                )
             }
             BaseError::Message(m) => f.write_str(m),
         }
@@ -49,7 +53,10 @@ mod tests {
         assert!(BaseError::UnknownClass("player".into())
             .to_string()
             .contains("player"));
-        let e = BaseError::UnknownAttribute { class: "player".into(), attr: "wings".into() };
+        let e = BaseError::UnknownAttribute {
+            class: "player".into(),
+            attr: "wings".into(),
+        };
         assert!(e.to_string().contains("^wings"));
     }
 }

@@ -9,9 +9,9 @@
 //! set-oriented instantiations only — `time` tokens ([`CsDelta::Retime`]),
 //! which reposition an SOI already in the conflict set without re-adding it.
 
+use crate::define_id;
 use crate::value::Value;
 use crate::wme::TimeTag;
-use crate::define_id;
 use std::fmt;
 
 define_id!(
@@ -197,9 +197,18 @@ mod tests {
 
     #[test]
     fn tuple_key_identity() {
-        let a = InstKey::Tuple { rule: RuleId::new(0), tags: tags(&[1, 3]) };
-        let b = InstKey::Tuple { rule: RuleId::new(0), tags: tags(&[1, 3]) };
-        let c = InstKey::Tuple { rule: RuleId::new(0), tags: tags(&[1, 4]) };
+        let a = InstKey::Tuple {
+            rule: RuleId::new(0),
+            tags: tags(&[1, 3]),
+        };
+        let b = InstKey::Tuple {
+            rule: RuleId::new(0),
+            tags: tags(&[1, 3]),
+        };
+        let c = InstKey::Tuple {
+            rule: RuleId::new(0),
+            tags: tags(&[1, 4]),
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(!a.is_soi());
@@ -218,8 +227,16 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let a = MatchStats { join_tests: 2, tokens_created: 1, ..Default::default() };
-        let b = MatchStats { join_tests: 3, tokens_deleted: 4, ..Default::default() };
+        let a = MatchStats {
+            join_tests: 2,
+            tokens_created: 1,
+            ..Default::default()
+        };
+        let b = MatchStats {
+            join_tests: 3,
+            tokens_deleted: 4,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.join_tests, 5);
         assert_eq!(m.tokens_created, 1);
@@ -228,7 +245,10 @@ mod tests {
 
     #[test]
     fn delta_key_access() {
-        let key = InstKey::Tuple { rule: RuleId::new(0), tags: tags(&[9]) };
+        let key = InstKey::Tuple {
+            rule: RuleId::new(0),
+            tags: tags(&[9]),
+        };
         let item = ConflictItem {
             key: key.clone(),
             rows: vec![tags(&[9])],
@@ -239,7 +259,11 @@ mod tests {
         };
         assert_eq!(CsDelta::Insert(item).key(), &key);
         assert_eq!(CsDelta::Remove(key.clone()).key(), &key);
-        let retime = RetimeInfo { key: key.clone(), version: 3, recency: tags(&[9]) };
+        let retime = RetimeInfo {
+            key: key.clone(),
+            version: 3,
+            recency: tags(&[9]),
+        };
         assert_eq!(CsDelta::Retime(retime).key(), &key);
     }
 }

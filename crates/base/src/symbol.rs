@@ -7,9 +7,8 @@
 //! trade-off for rule engines whose vocabulary is fixed by the program text.
 
 use crate::hash::FxHashMap;
-use parking_lot::RwLock;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An interned string. Copyable, `Eq`/`Hash` in O(1).
 ///
@@ -38,16 +37,26 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+/// Read lock on the interner. Interning never panics while holding the
+/// lock, so poisoning is unreachable; recover the guard anyway.
+fn read_interner() -> RwLockReadGuard<'static, Interner> {
+    interner().read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_interner() -> RwLockWriteGuard<'static, Interner> {
+    interner().write().unwrap_or_else(|p| p.into_inner())
+}
+
 impl Symbol {
     /// Intern `s`, returning its symbol. Idempotent.
     pub fn new(s: &str) -> Symbol {
         {
-            let guard = interner().read();
+            let guard = read_interner();
             if let Some(&id) = guard.map.get(s) {
                 return Symbol(id);
             }
         }
-        let mut guard = interner().write();
+        let mut guard = write_interner();
         if let Some(&id) = guard.map.get(s) {
             return Symbol(id);
         }
@@ -60,7 +69,7 @@ impl Symbol {
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        read_interner().strings[self.0 as usize]
     }
 
     /// Raw interner index (stable for the process lifetime).

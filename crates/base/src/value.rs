@@ -284,7 +284,10 @@ mod tests {
     #[test]
     fn arithmetic_promotion() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Some(Value::Float(2.5)));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(2)), Some(Value::Int(3)));
         assert_eq!(Value::Int(7).div(&Value::Int(0)), None);
         assert_eq!(Value::sym("x").add(&Value::Int(1)), None);

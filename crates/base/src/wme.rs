@@ -135,7 +135,11 @@ mod tests {
 
     #[test]
     fn get_and_nil_default() {
-        let w = wme(1, "player", &[("name", Value::sym("Jack")), ("team", Value::sym("A"))]);
+        let w = wme(
+            1,
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        );
         assert_eq!(w.get(Symbol::new("name")), Value::sym("Jack"));
         assert_eq!(w.get(Symbol::new("rating")), Value::Nil);
     }
@@ -159,7 +163,10 @@ mod tests {
         let w = wme(1, "player", &[("team", Value::sym("A"))]);
         let m = w.modified(
             TimeTag::new(9),
-            &[(Symbol::new("team"), Value::sym("B")), (Symbol::new("rating"), Value::Int(5))],
+            &[
+                (Symbol::new("team"), Value::sym("B")),
+                (Symbol::new("rating"), Value::Int(5)),
+            ],
         );
         assert_eq!(m.tag, TimeTag::new(9));
         assert_eq!(m.get(Symbol::new("team")), Value::sym("B"));
@@ -170,7 +177,11 @@ mod tests {
 
     #[test]
     fn debug_format_matches_paper_style() {
-        let w = wme(3, "player", &[("team", Value::sym("B")), ("name", Value::sym("Sue"))]);
+        let w = wme(
+            3,
+            "player",
+            &[("team", Value::sym("B")), ("name", Value::sym("Sue"))],
+        );
         let s = format!("{:?}", w);
         assert!(s.starts_with("3: (player"), "{}", s);
         assert!(s.contains("^name Sue"), "{}", s);

@@ -1,0 +1,58 @@
+//! Rollback-overhead bench: the cost of transactional firings.
+//!
+//! `RecoveryPolicy::Rollback` (the default) records an inverse op per WM
+//! mutation and journals refraction changes per firing;
+//! `RecoveryPolicy::AbortRun` records nothing. The workload is a dup-heavy
+//! RemoveDups run (many `remove` actions per firing) so the undo log is
+//! actually exercised — on the happy path it is discarded at commit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_base::Value;
+use sorete_core::{MatcherKind, ProductionSystem, RecoveryPolicy, StopReason};
+
+const PROGRAM: &str = "(literalize player name team)
+(p RemoveDups
+  { [player ^name <n> ^team <t>] <P> }
+  :scalar (<n> <t>)
+  :test ((count <P>) > 1)
+  -->
+  (bind <First> true)
+  (foreach <P> descending
+    (if (<First> == true) (bind <First> false) else (remove <P>))))";
+
+fn run(policy: RecoveryPolicy, dups: usize) {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.set_recovery_policy(policy);
+    ps.load_program(PROGRAM).unwrap();
+    for i in 0..8 {
+        for _ in 0..dups {
+            ps.make_str(
+                "player",
+                &[
+                    ("name", Value::sym(&format!("p{}", i))),
+                    ("team", Value::sym("A")),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    let outcome = ps.run(None);
+    assert!(matches!(outcome.reason, StopReason::Quiescence));
+    assert_eq!(ps.wm().len(), 8);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_overhead");
+    for dups in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("abort_run", dups), &dups, |b, &d| {
+            b.iter(|| run(RecoveryPolicy::AbortRun, d))
+        });
+        group.bench_with_input(BenchmarkId::new("rollback", dups), &dups, |b, &d| {
+            b.iter(|| run(RecoveryPolicy::Rollback, d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,16 +22,39 @@ fn main() {
         use sorete_base::Value;
         use sorete_core::ProductionSystem;
         let variants = [
-            ("tuple-oriented compete", "(p c (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))"),
-            ("all-set compete1", "(p c [player ^name <n1> ^team A] [player ^name <n2> ^team B] (halt))"),
-            ("mixed compete2", "(p c [player ^name <n1> ^team A] (player ^name <n2> ^team B) (halt))"),
+            (
+                "tuple-oriented compete",
+                "(p c (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))",
+            ),
+            (
+                "all-set compete1",
+                "(p c [player ^name <n1> ^team A] [player ^name <n2> ^team B] (halt))",
+            ),
+            (
+                "mixed compete2",
+                "(p c [player ^name <n1> ^team A] (player ^name <n2> ^team B) (halt))",
+            ),
         ];
-        println!("{:<28} {:>14} {:>14}", "LHS form", "instantiations", "rows-in-first");
+        println!(
+            "{:<28} {:>14} {:>14}",
+            "LHS form", "instantiations", "rows-in-first"
+        );
         for (label, rule) in variants {
             let mut ps = ProductionSystem::new(MatcherKind::Rete);
-            ps.load_program(&format!("(literalize player name team){}", rule)).unwrap();
-            for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")] {
-                ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+            ps.load_program(&format!("(literalize player name team){}", rule))
+                .unwrap();
+            for (n, t) in [
+                ("Jack", "A"),
+                ("Janice", "A"),
+                ("Sue", "B"),
+                ("Jack", "B"),
+                ("Sue", "B"),
+            ] {
+                ps.make_str(
+                    "player",
+                    &[("name", Value::sym(n)), ("team", Value::sym(t))],
+                )
+                .unwrap();
             }
             let items = ps.conflict_items();
             println!(
@@ -132,9 +155,7 @@ fn main() {
         for n in [1usize, 4, 16] {
             let mut m = ReteMatcher::new();
             for i in 0..n {
-                let src = format!(
-                    "(p r{i} (ctx ^on t) (item ^k <k>) (tag ^k <k> ^n {i}) (halt))"
-                );
+                let src = format!("(p r{i} (ctx ^on t) (item ^k <k>) (tag ^k <k> ^n {i}) (halt))");
                 m.add_rule(Arc::new(analyze_rule(&parse_rule(&src).unwrap()).unwrap()));
             }
             println!("{:>8} {:>12} {:>12}", n, m.alpha_count(), m.node_count());
@@ -163,7 +184,10 @@ fn main() {
     }
 
     hr("Whole program — Monkey & Bananas (programs/monkey.ops, MEA)");
-    println!("{:>8} {:>10} {:>10} {:>12} {:>10}", "matcher", "firings", "actions", "join-tests", "µs");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "matcher", "firings", "actions", "join-tests", "µs"
+    );
     for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
         let r = run_monkey(kind);
         let name = match kind {

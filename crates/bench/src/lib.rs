@@ -69,7 +69,11 @@ pub fn run_c1(program: &str, kind: MatcherKind, n: usize) -> RunReport {
     ps.load_program(program).expect("C1 program");
     let start = std::time::Instant::now();
     for i in 0..n as i64 {
-        ps.make_str("job", &[("id", Value::Int(i)), ("state", Value::sym("ready"))]).unwrap();
+        ps.make_str(
+            "job",
+            &[("id", Value::Int(i)), ("state", Value::sym("ready"))],
+        )
+        .unwrap();
     }
     ps.run(None);
     report_from(&ps, n, start.elapsed().as_micros())
@@ -93,17 +97,15 @@ pub fn run_c2(program: &str, kind: MatcherKind, n: usize) -> RunReport {
     let mut ps = ProductionSystem::new(kind);
     ps.load_program(program).expect("C2 program");
     for _ in 0..n {
-        ps.make_str("item", &[("s", Value::sym("pending"))]).unwrap();
+        ps.make_str("item", &[("s", Value::sym("pending"))])
+            .unwrap();
     }
     let start = std::time::Instant::now();
     ps.make_str("phase", &[("p", Value::sym("sweep"))]).unwrap();
     ps.run(Some(100_000));
     let rep = report_from(&ps, n, start.elapsed().as_micros());
-    debug_assert!(ps
-        .wm()
-        .iter()
-        .all(|w| w.class.as_str() != "item"
-            || w.get(sorete_base::Symbol::new("s")) == Value::sym("done")));
+    debug_assert!(ps.wm().iter().all(|w| w.class.as_str() != "item"
+        || w.get(sorete_base::Symbol::new("s")) == Value::sym("done")));
     rep
 }
 
@@ -175,7 +177,11 @@ pub fn run_c6(kind: MatcherKind, n: usize) -> RunReport {
         if i % 3 == 0 {
             ps.make_str(
                 "worker",
-                &[("id", Value::Int(i)), ("cap", Value::Int(5 + (i * 3) % 9)), ("load", Value::Int(0))],
+                &[
+                    ("id", Value::Int(i)),
+                    ("cap", Value::Int(5 + (i * 3) % 9)),
+                    ("load", Value::Int(0)),
+                ],
             )
             .unwrap();
         }
@@ -206,9 +212,7 @@ pub struct DipsReport {
 /// Drain `n` pending items through DIPS parallel cycles in the given mode.
 pub fn run_c5(mode: DipsMode, n: usize) -> DipsReport {
     let prog = match mode {
-        DipsMode::Tuple => {
-            "(p drain (flag ^on t) (item ^s pending) (modify 1 ^on t) (remove 2))"
-        }
+        DipsMode::Tuple => "(p drain (flag ^on t) (item ^s pending) (modify 1 ^on t) (remove 2))",
         DipsMode::Set => {
             "(p drain (flag ^on t) { [item ^s pending] <P> } (modify 1 ^on t) (set-remove <P>))"
         }
@@ -257,22 +261,38 @@ pub fn run_monkey(kind: MatcherKind) -> RunReport {
     let start = std::time::Instant::now();
     ps.make_str(
         "monkey",
-        &[("at", Value::sym("5-7")), ("on", Value::sym("floor")), ("holds", Value::Nil)],
+        &[
+            ("at", Value::sym("5-7")),
+            ("on", Value::sym("floor")),
+            ("holds", Value::Nil),
+        ],
     )
     .unwrap();
     ps.make_str(
         "thing",
-        &[("name", Value::sym("bananas")), ("at", Value::sym("7-7")), ("on", Value::sym("ceiling"))],
+        &[
+            ("name", Value::sym("bananas")),
+            ("at", Value::sym("7-7")),
+            ("on", Value::sym("ceiling")),
+        ],
     )
     .unwrap();
     ps.make_str(
         "thing",
-        &[("name", Value::sym("ladder")), ("at", Value::sym("2-2")), ("on", Value::sym("floor"))],
+        &[
+            ("name", Value::sym("ladder")),
+            ("at", Value::sym("2-2")),
+            ("on", Value::sym("floor")),
+        ],
     )
     .unwrap();
     ps.make_str(
         "goal",
-        &[("status", Value::sym("active")), ("type", Value::sym("holds")), ("obj", Value::sym("bananas"))],
+        &[
+            ("status", Value::sym("active")),
+            ("type", Value::sym("holds")),
+            ("obj", Value::sym("bananas")),
+        ],
     )
     .unwrap();
     let outcome = ps.run(Some(100));

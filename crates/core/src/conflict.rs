@@ -28,6 +28,10 @@ pub struct ConflictSet {
     fired: FxHashMap<InstKey, u64>,
     /// Monotonic arrival counter for deterministic final tie-breaks.
     arrivals: u64,
+    /// While a journal is open, the prior `fired` value of every key whose
+    /// refraction state changes is recorded (first touch wins), so a
+    /// rolled-back firing can restore refraction exactly.
+    journal: Option<FxHashMap<InstKey, Option<u64>>>,
 }
 
 struct Entry {
@@ -50,12 +54,20 @@ impl ConflictSet {
             CsDelta::Insert(item) => {
                 self.arrivals += 1;
                 let arrival = self.arrivals;
-                self.items.insert(item.key.clone(), Entry { item, arrival, stale: false });
+                self.items.insert(
+                    item.key.clone(),
+                    Entry {
+                        item,
+                        arrival,
+                        stale: false,
+                    },
+                );
             }
             CsDelta::Remove(key) => {
                 self.items.remove(&key);
                 // Leaving the conflict set clears refraction: if the same
                 // instantiation is ever re-derived it may fire again.
+                self.journal_fired(&key);
                 self.fired.remove(&key);
             }
             CsDelta::Retime(info) => {
@@ -90,12 +102,56 @@ impl ConflictSet {
 
     /// Record that an entry fired (at its current version).
     pub fn mark_fired(&mut self, key: &InstKey, version: u64) {
+        self.journal_fired(key);
         self.fired.insert(key.clone(), version);
+    }
+
+    /// Start recording refraction changes. Call before a firing whose
+    /// effects may need to be rolled back.
+    pub fn begin_journal(&mut self) {
+        self.journal = Some(FxHashMap::default());
+    }
+
+    /// Close the journal, returning the recorded prior refraction values.
+    /// Returns an empty map when no journal was open.
+    pub fn take_journal(&mut self) -> FxHashMap<InstKey, Option<u64>> {
+        self.journal.take().unwrap_or_default()
+    }
+
+    /// Discard the journal (the firing committed; nothing to undo).
+    pub fn end_journal(&mut self) {
+        self.journal = None;
+    }
+
+    /// Restore refraction state captured by [`Self::take_journal`]. Must be
+    /// applied *after* the working-memory rollback has been replayed through
+    /// the matcher, so re-derived entries regain their pre-firing refraction.
+    pub fn restore_fired(&mut self, prior: FxHashMap<InstKey, Option<u64>>) {
+        for (key, value) in prior {
+            match value {
+                Some(v) => {
+                    self.fired.insert(key, v);
+                }
+                None => {
+                    self.fired.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn journal_fired(&mut self, key: &InstKey) {
+        if let Some(journal) = &mut self.journal {
+            if !journal.contains_key(key) {
+                journal.insert(key.clone(), self.fired.get(key).copied());
+            }
+        }
     }
 
     /// Is the entry refracted (already fired at its current version)?
     pub fn is_refracted(&self, item: &ConflictItem) -> bool {
-        self.fired.get(&item.key).is_some_and(|&v| v >= item.version)
+        self.fired
+            .get(&item.key)
+            .is_some_and(|&v| v >= item.version)
     }
 
     /// Select the dominant unrefracted entry under `strategy`. The second
@@ -119,7 +175,10 @@ impl ConflictSet {
 
     /// Count of unrefracted (fireable) entries.
     pub fn fireable(&self) -> usize {
-        self.items.values().filter(|e| !self.is_refracted(&e.item)).count()
+        self.items
+            .values()
+            .filter(|e| !self.is_refracted(&e.item))
+            .count()
     }
 }
 
@@ -137,7 +196,10 @@ fn compare(strategy: Strategy, a: &Entry, b: &Entry) -> Ordering {
 }
 
 fn first_ce_tag(item: &ConflictItem) -> TimeTag {
-    item.rows.first().and_then(|r| r.first().copied()).unwrap_or_default()
+    item.rows
+        .first()
+        .and_then(|r| r.first().copied())
+        .unwrap_or_default()
 }
 
 /// OPS5 LEX: compare descending-sorted tag lists lexicographically (the
@@ -162,7 +224,10 @@ mod tests {
         let mut rec = t.clone();
         rec.sort_unstable_by(|a, b| b.cmp(a));
         ConflictItem {
-            key: InstKey::Tuple { rule: RuleId::new(rule as usize), tags: t.clone().into() },
+            key: InstKey::Tuple {
+                rule: RuleId::new(rule as usize),
+                tags: t.clone().into(),
+            },
             rows: vec![t.into()],
             aggregates: vec![Value::Int(0)],
             version,
@@ -194,7 +259,10 @@ mod tests {
         let mut cs = ConflictSet::new();
         cs.apply(CsDelta::Insert(item(0, &[5], 1, 0)));
         cs.apply(CsDelta::Insert(item(1, &[5, 2], 1, 0)));
-        assert_eq!(cs.select(Strategy::Lex).unwrap().0.key.rule(), RuleId::new(1));
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(1)
+        );
     }
 
     #[test]
@@ -203,8 +271,14 @@ mod tests {
         // LEX would pick rule 0 (tag 9); MEA looks at the first CE only.
         cs.apply(CsDelta::Insert(item(0, &[1, 9], 1, 0)));
         cs.apply(CsDelta::Insert(item(1, &[2, 3], 1, 0)));
-        assert_eq!(cs.select(Strategy::Lex).unwrap().0.key.rule(), RuleId::new(0));
-        assert_eq!(cs.select(Strategy::Mea).unwrap().0.key.rule(), RuleId::new(1));
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(0)
+        );
+        assert_eq!(
+            cs.select(Strategy::Mea).unwrap().0.key.rule(),
+            RuleId::new(1)
+        );
     }
 
     #[test]
@@ -238,7 +312,10 @@ mod tests {
         // arrival wins deterministically.
         cs.apply(CsDelta::Insert(item(0, &[7], 3, 0)));
         cs.apply(CsDelta::Insert(item(1, &[7], 3, 0)));
-        assert_eq!(cs.select(Strategy::Lex).unwrap().0.key.rule(), RuleId::new(1));
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(1)
+        );
     }
 
     #[test]
@@ -251,6 +328,45 @@ mod tests {
             recency: ghost.recency.clone(),
         }));
         assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn journal_restores_refraction_after_rollback() {
+        let mut cs = ConflictSet::new();
+        let a = item(0, &[1], 1, 0);
+        let b = item(1, &[2], 1, 0);
+        cs.apply(CsDelta::Insert(a.clone()));
+        cs.apply(CsDelta::Insert(b.clone()));
+        // b fired long ago; a is about to fire under a journal.
+        cs.mark_fired(&b.key, 0);
+        assert_eq!(cs.fireable(), 1);
+        cs.begin_journal();
+        cs.mark_fired(&a.key, 0);
+        // The aborted firing removed b's WME: refraction for b is cleared.
+        cs.apply(CsDelta::Remove(b.key.clone()));
+        let journal = cs.take_journal();
+        // Rollback replay re-derives b...
+        cs.apply(CsDelta::Insert(b.clone()));
+        assert_eq!(cs.fireable(), 1, "b forgot it fired");
+        // ...and the journal restores both: a unfired, b refracted.
+        cs.restore_fired(journal);
+        assert_eq!(cs.fireable(), 1);
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(0)
+        );
+        // First-touch-wins: mark_fired then Remove of the same key keeps
+        // the pre-journal value, not the intermediate one.
+        assert!(!cs.is_refracted(&a));
+    }
+
+    #[test]
+    fn no_journal_means_no_overhead_and_empty_take() {
+        let mut cs = ConflictSet::new();
+        let a = item(0, &[1], 1, 0);
+        cs.apply(CsDelta::Insert(a.clone()));
+        cs.mark_fired(&a.key, 0);
+        assert!(cs.take_journal().is_empty());
     }
 
     #[test]

@@ -13,7 +13,9 @@ use sorete_lang::{analyze_program, parse_program};
 use sorete_naive::NaiveMatcher;
 use sorete_rete::ReteMatcher;
 use sorete_treat::TreatMatcher;
+use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which match algorithm backs the engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -27,8 +29,91 @@ pub enum MatcherKind {
     Naive,
 }
 
-/// Why a [`ProductionSystem::run`] stopped.
+/// What the engine does when a RHS fails mid-firing.
+///
+/// Undo recording is enabled for every policy except [`AbortRun`]
+/// (`RecoveryPolicy::AbortRun`), which therefore has zero per-action
+/// overhead but leaves the partial firing's effects in place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Stop the run at the error. Partial effects of the failed firing
+    /// remain in working memory (the pre-transactional behaviour).
+    AbortRun,
+    /// Roll the failed firing back, keep it refracted, and continue the
+    /// run with the next instantiation.
+    SkipFiring,
+    /// Roll the failed firing back — working memory, matcher memories,
+    /// conflict set, refraction, output, and the `halt` flag return to
+    /// their exact pre-firing state — then stop the run with the error.
+    #[default]
+    Rollback,
+}
+
+/// Resource limits enforced by [`ProductionSystem::run`]. All default to
+/// unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunGuards {
+    /// Maximum wall-clock time for the whole run.
+    pub max_wall: Option<Duration>,
+    /// Maximum number of WMEs in working memory.
+    pub max_wm: Option<usize>,
+    /// Maximum consecutive firings of the *same rule* that leave the WME
+    /// count unchanged (no WM progress) — catches modify-loops that never
+    /// quiesce.
+    pub max_stagnant_firings: Option<u64>,
+}
+
+/// Which [`RunGuards`] limit a run exceeded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardViolation {
+    /// The run exceeded [`RunGuards::max_wall`].
+    WallClock {
+        /// The configured limit.
+        limit: Duration,
+    },
+    /// Working memory exceeded [`RunGuards::max_wm`].
+    WmSize {
+        /// The configured limit.
+        limit: usize,
+        /// WME count when the guard tripped.
+        actual: usize,
+    },
+    /// One rule fired [`RunGuards::max_stagnant_firings`] times in a row
+    /// without WM progress.
+    Stagnation {
+        /// The spinning rule.
+        rule: Symbol,
+        /// Consecutive stagnant firings observed.
+        firings: u64,
+    },
+}
+
+impl fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardViolation::WallClock { limit } => {
+                write!(f, "wall-clock limit {:?} exceeded", limit)
+            }
+            GuardViolation::WmSize { limit, actual } => {
+                write!(
+                    f,
+                    "working memory grew to {} WMEs (limit {})",
+                    actual, limit
+                )
+            }
+            GuardViolation::Stagnation { rule, firings } => {
+                write!(
+                    f,
+                    "rule {} fired {} times without WM progress",
+                    rule, firings
+                )
+            }
+        }
+    }
+}
+
+/// Why a [`ProductionSystem::run`] stopped.
+#[derive(Clone, Debug, PartialEq)]
 pub enum StopReason {
     /// No fireable instantiation remained.
     Quiescence,
@@ -36,15 +121,141 @@ pub enum StopReason {
     Halt,
     /// The firing limit was reached.
     Limit,
+    /// A [`RunGuards`] limit tripped.
+    ResourceExhausted(GuardViolation),
+    /// A RHS failed and the [`RecoveryPolicy`] does not continue past
+    /// errors. Under [`RecoveryPolicy::Rollback`] the failed firing has
+    /// been fully undone; under [`RecoveryPolicy::AbortRun`] its partial
+    /// effects remain.
+    Error(CoreError),
 }
 
 /// Result of a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Rules fired during this run.
     pub fired: u64,
     /// Why the run ended.
     pub reason: StopReason,
+}
+
+/// One inverse action in the firing's undo log. Replayed in reverse on
+/// rollback, through the matcher, exactly like a forward WM transaction
+/// (mirrors the write-set of `reldb`'s optimistic transactions).
+enum UndoOp {
+    /// The firing asserted this tag; rollback retracts it.
+    Retract(TimeTag),
+    /// The firing removed this WME; rollback re-inserts it under its
+    /// original tag.
+    Restore(Wme),
+}
+
+/// Deterministic single-shot fault: fail the `target`-th primitive RHS
+/// action (0-based, counted across the whole run), then pass everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    target: u64,
+    seen: u64,
+    triggered: bool,
+}
+
+impl FaultPlan {
+    /// Fail exactly the `n`-th action (0-based).
+    pub fn nth(n: u64) -> FaultPlan {
+        FaultPlan {
+            target: n,
+            seen: 0,
+            triggered: false,
+        }
+    }
+
+    /// Derive a target action index in `0..max_actions` from a seed
+    /// (splitmix64), for property tests that sweep seeds.
+    pub fn seeded(seed: u64, max_actions: u64) -> FaultPlan {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultPlan::nth(z % max_actions.max(1))
+    }
+
+    /// The action index this plan fails.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Has the fault fired yet?
+    pub fn triggered(&self) -> bool {
+        self.triggered
+    }
+
+    /// Count one action; fail it if it is the target.
+    fn check(&mut self) -> Result<(), CoreError> {
+        if self.triggered {
+            return Ok(());
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        if idx == self.target {
+            self.triggered = true;
+            return Err(CoreError::FaultInjected { action: idx });
+        }
+        Ok(())
+    }
+}
+
+/// A [`RhsHost`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// The check runs *before* delegating, so a failed action has no side
+/// effects — the fault models an action that died before touching state.
+/// Usable around any host; [`ProductionSystem::inject_fault`] installs one
+/// around the engine itself for whole-run fault sweeps.
+pub struct FaultInjector<'a, H: RhsHost + ?Sized> {
+    host: &'a mut H,
+    plan: &'a mut FaultPlan,
+}
+
+impl<'a, H: RhsHost + ?Sized> FaultInjector<'a, H> {
+    /// Wrap `host`, failing actions according to `plan`.
+    pub fn new(host: &'a mut H, plan: &'a mut FaultPlan) -> Self {
+        FaultInjector { host, plan }
+    }
+}
+
+impl<H: RhsHost + ?Sized> RhsHost for FaultInjector<'_, H> {
+    fn make(&mut self, class: Symbol, slots: Vec<(Symbol, Value)>) -> Result<TimeTag, CoreError> {
+        self.plan.check()?;
+        self.host.make(class, slots)
+    }
+
+    fn remove(&mut self, tag: TimeTag) -> Result<bool, CoreError> {
+        self.plan.check()?;
+        self.host.remove(tag)
+    }
+
+    fn modify(
+        &mut self,
+        tag: TimeTag,
+        updates: Vec<(Symbol, Value)>,
+    ) -> Result<Option<TimeTag>, CoreError> {
+        self.plan.check()?;
+        self.host.modify(tag, updates)
+    }
+
+    fn write_line(&mut self, line: String) -> Result<(), CoreError> {
+        self.plan.check()?;
+        self.host.write_line(line)
+    }
+
+    fn halt(&mut self) -> Result<(), CoreError> {
+        self.plan.check()?;
+        self.host.halt()
+    }
+
+    fn note_bind(&mut self) -> Result<(), CoreError> {
+        self.plan.check()?;
+        self.host.note_bind()
+    }
 }
 
 /// A complete forward-chaining production system: working memory, match
@@ -78,6 +289,15 @@ pub struct ProductionSystem {
     tracing: bool,
     /// Set while a RHS runs, for per-rule action accounting.
     firing_rule: Option<Symbol>,
+    recovery: RecoveryPolicy,
+    guards: RunGuards,
+    /// Inverse ops of the in-flight firing (recorded only when the policy
+    /// can roll back).
+    undo: Vec<UndoOp>,
+    /// True while a RHS runs under a rollback-capable policy.
+    recording: bool,
+    /// Installed fault plan, applied to every firing until triggered.
+    fault: Option<FaultPlan>,
 }
 
 impl ProductionSystem {
@@ -101,12 +321,50 @@ impl ProductionSystem {
             trace: Vec::new(),
             tracing: false,
             firing_rule: None,
+            recovery: RecoveryPolicy::default(),
+            guards: RunGuards::default(),
+            undo: Vec::new(),
+            recording: false,
+            fault: None,
         }
     }
 
     /// Change the conflict-resolution strategy.
     pub fn set_strategy(&mut self, strategy: Strategy) {
         self.strategy = strategy;
+    }
+
+    /// Change what happens when a RHS fails mid-firing (default:
+    /// [`RecoveryPolicy::Rollback`]).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Install resource limits for [`Self::run`] (default: unlimited).
+    pub fn set_guards(&mut self, guards: RunGuards) {
+        self.guards = guards;
+    }
+
+    /// The active resource limits.
+    pub fn guards(&self) -> RunGuards {
+        self.guards
+    }
+
+    /// Install a fault plan: RHS actions are counted across firings and
+    /// the plan's target action fails with [`CoreError::FaultInjected`].
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Remove and return the installed fault plan (inspect
+    /// [`FaultPlan::triggered`] to see whether it fired).
+    pub fn take_fault(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
     }
 
     /// Enable firing traces (retrievable via [`Self::take_trace`]).
@@ -240,6 +498,16 @@ impl ProductionSystem {
             }
         }
         let rule = self.rules[item.key.rule().index()].clone();
+        // Open the firing transaction: capture everything rollback needs
+        // *before* the first externally visible effect (mark_fired).
+        let can_rollback = self.recovery != RecoveryPolicy::AbortRun;
+        let tag_mark = self.wm.tag_mark();
+        let output_mark = self.output.len();
+        let halted_before = self.halted;
+        if can_rollback {
+            debug_assert!(self.undo.is_empty());
+            self.cs.begin_journal();
+        }
         self.cs.mark_fired(&item.key, item.version);
         self.stats.firings += 1;
         self.stats.per_rule.entry(rule.name).or_default().firings += 1;
@@ -247,7 +515,10 @@ impl ProductionSystem {
             self.trace.push(format!(
                 "FIRE {} {:?}",
                 rule.name,
-                item.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect::<Vec<_>>()).collect::<Vec<_>>()
+                item.rows
+                    .iter()
+                    .map(|r| r.iter().map(|t| t.raw()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
             ));
         }
 
@@ -260,38 +531,169 @@ impl ProductionSystem {
                 }
             }
         }
-        let mut ctx = RhsCtx::new(rule.clone(), item.rows.clone(), wmes, item.aggregates.clone());
+        let mut ctx = RhsCtx::new(
+            rule.clone(),
+            item.rows.clone(),
+            wmes,
+            item.aggregates.clone(),
+        );
         self.firing_rule = Some(rule.name);
-        let result = rhs::execute(self, &mut ctx, &rule.rhs);
+        self.recording = can_rollback;
+        let result = match self.fault.take() {
+            Some(mut plan) => {
+                let r = {
+                    let mut host = FaultInjector::new(self, &mut plan);
+                    rhs::execute(&mut host, &mut ctx, &rule.rhs)
+                };
+                self.fault = Some(plan);
+                r
+            }
+            None => rhs::execute(self, &mut ctx, &rule.rhs),
+        };
+        self.recording = false;
         self.firing_rule = None;
-        result?;
-        self.sync();
-        Ok(Some(rule.name))
+        match result {
+            Ok(()) => {
+                if can_rollback {
+                    self.undo.clear();
+                    self.cs.end_journal();
+                }
+                self.sync();
+                Ok(Some(rule.name))
+            }
+            Err(e) => {
+                if can_rollback {
+                    self.rollback_firing(rule.name, &e, tag_mark, output_mark, halted_before);
+                    if self.recovery == RecoveryPolicy::SkipFiring {
+                        // The failed instantiation stays refracted so the
+                        // run can make progress past it.
+                        self.cs.mark_fired(&item.key, item.version);
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
-    /// Run to quiescence, halt, or the firing limit.
+    /// Undo a failed firing: replay the undo log in reverse through
+    /// working memory *and* the matcher, then restore refraction, output,
+    /// the halt flag, and the time-tag allocator. Afterwards the engine is
+    /// observationally identical to its pre-firing state.
+    fn rollback_firing(
+        &mut self,
+        rule: Symbol,
+        error: &CoreError,
+        tag_mark: u64,
+        output_mark: usize,
+        halted_before: bool,
+    ) {
+        self.sync();
+        let journal = self.cs.take_journal();
+        let ops = std::mem::take(&mut self.undo);
+        for op in ops.into_iter().rev() {
+            match op {
+                UndoOp::Retract(tag) => {
+                    let wme = self.wm.remove(tag).expect("undo retract of a dead tag");
+                    self.matcher.remove_wme(&wme);
+                }
+                UndoOp::Restore(wme) => {
+                    self.wm.restore(wme.clone());
+                    self.matcher.insert_wme(&wme);
+                }
+            }
+            self.sync();
+        }
+        self.wm.reset_tag_mark(tag_mark);
+        self.cs.restore_fired(journal);
+        self.output.truncate(output_mark);
+        self.halted = halted_before;
+        self.stats.rolled_back += 1;
+        if self.tracing {
+            self.trace.push(format!("ROLLBACK {} ({})", rule, error));
+        }
+    }
+
+    /// Run to quiescence, halt, the firing limit, a [`RunGuards`] limit,
+    /// or an error the [`RecoveryPolicy`] does not continue past.
     pub fn run(&mut self, limit: Option<u64>) -> RunOutcome {
+        let start = Instant::now();
         let mut fired = 0;
+        let mut stagnant: u64 = 0;
+        let mut last_rule: Option<Symbol> = None;
+        let mut last_wm_len = self.wm.len();
         loop {
             if let Some(l) = limit {
                 if fired >= l {
-                    return RunOutcome { fired, reason: StopReason::Limit };
+                    return RunOutcome {
+                        fired,
+                        reason: StopReason::Limit,
+                    };
                 }
             }
+            if let Some(v) = self.check_guards(start) {
+                return RunOutcome {
+                    fired,
+                    reason: StopReason::ResourceExhausted(v),
+                };
+            }
             match self.step() {
-                Ok(Some(_)) => fired += 1,
+                Ok(Some(rule)) => {
+                    fired += 1;
+                    let wm_len = self.wm.len();
+                    if wm_len == last_wm_len && last_rule == Some(rule) {
+                        stagnant += 1;
+                        if let Some(max) = self.guards.max_stagnant_firings {
+                            if stagnant >= max {
+                                let v = GuardViolation::Stagnation {
+                                    rule,
+                                    firings: stagnant,
+                                };
+                                return RunOutcome {
+                                    fired,
+                                    reason: StopReason::ResourceExhausted(v),
+                                };
+                            }
+                        }
+                    } else {
+                        stagnant = 0;
+                    }
+                    last_wm_len = wm_len;
+                    last_rule = Some(rule);
+                }
                 Ok(None) => {
-                    let reason =
-                        if self.halted { StopReason::Halt } else { StopReason::Quiescence };
+                    let reason = if self.halted {
+                        StopReason::Halt
+                    } else {
+                        StopReason::Quiescence
+                    };
                     return RunOutcome { fired, reason };
                 }
+                // Under SkipFiring, step() already rolled the firing back
+                // and refracted it; keep going.
+                Err(_) if self.recovery == RecoveryPolicy::SkipFiring => {}
                 Err(e) => {
-                    // Surface RHS errors in the output; stop the run.
-                    self.output.push(format!("ERROR: {}", e));
-                    return RunOutcome { fired, reason: StopReason::Halt };
+                    return RunOutcome {
+                        fired,
+                        reason: StopReason::Error(e),
+                    };
                 }
             }
         }
+    }
+
+    fn check_guards(&self, start: Instant) -> Option<GuardViolation> {
+        if let Some(limit) = self.guards.max_wall {
+            if start.elapsed() > limit {
+                return Some(GuardViolation::WallClock { limit });
+            }
+        }
+        if let Some(limit) = self.guards.max_wm {
+            let actual = self.wm.len();
+            if actual > limit {
+                return Some(GuardViolation::WmSize { limit, actual });
+            }
+        }
+        None
     }
 
     /// Current conflict-set size (fired entries included).
@@ -305,7 +707,11 @@ impl ProductionSystem {
     pub fn conflict_items(&self) -> Vec<ConflictItem> {
         self.cs
             .items()
-            .map(|item| self.matcher.materialize(&item.key).unwrap_or_else(|| item.clone()))
+            .map(|item| {
+                self.matcher
+                    .materialize(&item.key)
+                    .unwrap_or_else(|| item.clone())
+            })
             .collect()
     }
 
@@ -361,16 +767,30 @@ impl RhsHost for ProductionSystem {
     fn make(&mut self, class: Symbol, slots: Vec<(Symbol, Value)>) -> Result<TimeTag, CoreError> {
         self.note_action();
         self.stats.makes += 1;
-        self.assert_wme(class, slots)
+        let tag = self.assert_wme(class, slots)?;
+        if self.recording {
+            self.undo.push(UndoOp::Retract(tag));
+        }
+        Ok(tag)
     }
 
-    fn remove(&mut self, tag: TimeTag) -> bool {
+    fn remove(&mut self, tag: TimeTag) -> Result<bool, CoreError> {
         self.note_action();
-        if self.wm.get(tag).is_none() {
-            return false; // already gone (overlapping set ops) — tolerated
-        }
+        let Some(old) = self.wm.get(tag).cloned() else {
+            // Already gone (overlapping set ops) — tolerated, but counted.
+            self.stats.skipped_actions += 1;
+            if self.tracing {
+                self.trace
+                    .push(format!("SKIP remove {} (dead time tag)", tag));
+            }
+            return Ok(false);
+        };
         self.stats.removes += 1;
-        self.retract_wme(tag).is_ok()
+        self.retract_wme(tag)?;
+        if self.recording {
+            self.undo.push(UndoOp::Restore(old));
+        }
+        Ok(true)
     }
 
     fn modify(
@@ -379,25 +799,43 @@ impl RhsHost for ProductionSystem {
         updates: Vec<(Symbol, Value)>,
     ) -> Result<Option<TimeTag>, CoreError> {
         self.note_action();
-        if self.wm.get(tag).is_none() {
+        let Some(old) = self.wm.get(tag).cloned() else {
+            self.stats.skipped_actions += 1;
+            if self.tracing {
+                self.trace
+                    .push(format!("SKIP modify {} (dead time tag)", tag));
+            }
             return Ok(None);
-        }
+        };
         self.stats.modifies += 1;
-        Ok(Some(self.modify_wme(tag, &updates)?))
+        // Record the restore *first*: `modify_wme` can fail after the
+        // retract half (e.g. an undeclared attribute), and the retract
+        // must still be undone.
+        if self.recording {
+            self.undo.push(UndoOp::Restore(old));
+        }
+        let new_tag = self.modify_wme(tag, &updates)?;
+        if self.recording {
+            self.undo.push(UndoOp::Retract(new_tag));
+        }
+        Ok(Some(new_tag))
     }
 
-    fn write_line(&mut self, line: String) {
+    fn write_line(&mut self, line: String) -> Result<(), CoreError> {
         self.note_action();
         self.stats.writes += 1;
         self.output.push(line);
+        Ok(())
     }
 
-    fn halt(&mut self) {
+    fn halt(&mut self) -> Result<(), CoreError> {
         self.note_action();
         self.halted = true;
+        Ok(())
     }
 
-    fn note_bind(&mut self) {
+    fn note_bind(&mut self) -> Result<(), CoreError> {
         self.note_action();
+        Ok(())
     }
 }

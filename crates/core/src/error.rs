@@ -17,6 +17,12 @@ pub enum CoreError {
     Base(BaseError),
     /// Engine-level failure (bad RHS target, misuse of set constructs, …).
     Rhs(String),
+    /// A [`crate::engine::FaultInjector`] deliberately failed this action
+    /// (0-based index within the run). Only produced under test harnesses.
+    FaultInjected {
+        /// Index of the failed primitive action, counted from run start.
+        action: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +33,9 @@ impl fmt::Display for CoreError {
             CoreError::Eval(e) => e.fmt(f),
             CoreError::Base(e) => e.fmt(f),
             CoreError::Rhs(m) => write!(f, "RHS error: {}", m),
+            CoreError::FaultInjected { action } => {
+                write!(f, "injected fault at action {}", action)
+            }
         }
     }
 }

@@ -46,7 +46,10 @@ pub mod stats;
 pub mod wm;
 
 pub use conflict::{ConflictSet, Strategy};
-pub use engine::{MatcherKind, ProductionSystem, RunOutcome, StopReason};
+pub use engine::{
+    FaultInjector, FaultPlan, GuardViolation, MatcherKind, ProductionSystem, RecoveryPolicy,
+    RunGuards, RunOutcome, StopReason,
+};
 pub use error::CoreError;
 pub use stats::{RuleStats, RunStats};
 pub use wm::WorkingMemory;
@@ -64,12 +67,21 @@ mod tests {
 
     fn players(ps: &mut ProductionSystem, list: &[(&str, &str)]) {
         for (n, t) in list {
-            ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+            ps.make_str(
+                "player",
+                &[("name", Value::sym(n)), ("team", Value::sym(t))],
+            )
+            .unwrap();
         }
     }
 
-    const FIGURE1_WM: &[(&str, &str)] =
-        &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")];
+    const FIGURE1_WM: &[(&str, &str)] = &[
+        ("Jack", "A"),
+        ("Janice", "A"),
+        ("Sue", "B"),
+        ("Jack", "B"),
+        ("Sue", "B"),
+    ];
 
     #[test]
     fn figure1_compete_fires_six_times() {
@@ -125,8 +137,12 @@ mod tests {
         assert_eq!(
             ps.take_output(),
             vec![
-                "team B", "player Sue", "player Jack",
-                "team A", "player Janice", "player Jack",
+                "team B",
+                "player Sue",
+                "player Jack",
+                "team A",
+                "player Janice",
+                "player Jack",
             ],
             "matches the paper's Figure 4 iteration order"
         );
@@ -145,7 +161,10 @@ mod tests {
                (set-modify <BTeam> ^team A)
                (halt))",
         );
-        players(&mut ps, &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Mike", "B")]);
+        players(
+            &mut ps,
+            &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Mike", "B")],
+        );
         let outcome = ps.run(Some(10));
         assert_eq!(outcome.reason, StopReason::Halt);
         assert_eq!(outcome.fired, 1);
@@ -187,7 +206,12 @@ mod tests {
             assert_eq!(outcome.fired, 1, "{:?}", kind);
             assert_eq!(ps.wm().len(), 4, "{:?}", kind);
             let survivors: Vec<u64> = ps.wm().dump().iter().map(|w| w.tag.raw()).collect();
-            assert_eq!(survivors, vec![1, 2, 4, 5], "{:?}: most recent Sue kept", kind);
+            assert_eq!(
+                survivors,
+                vec![1, 2, 4, 5],
+                "{:?}: most recent Sue kept",
+                kind
+            );
         }
     }
 
@@ -224,14 +248,17 @@ mod tests {
 
         let mut tuple = engine(MatcherKind::Rete, tuple_prog);
         for _ in 0..n {
-            tuple.make_str("item", &[("status", Value::sym("pending"))]).unwrap();
+            tuple
+                .make_str("item", &[("status", Value::sym("pending"))])
+                .unwrap();
         }
         let t_out = tuple.run(Some(1000));
         assert_eq!(t_out.fired, n as u64, "one firing per item");
 
         let mut set = engine(MatcherKind::Rete, set_prog);
         for _ in 0..n {
-            set.make_str("item", &[("status", Value::sym("pending"))]).unwrap();
+            set.make_str("item", &[("status", Value::sym("pending"))])
+                .unwrap();
         }
         let s_out = set.run(Some(1000));
         assert_eq!(s_out.fired, 1, "a single set-oriented firing");
@@ -289,10 +316,7 @@ mod tests {
         ps.make_str("counter", &[("n", Value::Int(3))]).unwrap();
         let outcome = ps.run(Some(100));
         assert_eq!(outcome.reason, StopReason::Quiescence);
-        assert_eq!(
-            ps.take_output(),
-            vec!["tick 3", "tick 2", "tick 1", "done"]
-        );
+        assert_eq!(ps.take_output(), vec!["tick 3", "tick 2", "tick 1", "done"]);
     }
 
     #[test]
@@ -310,7 +334,10 @@ mod tests {
         ps.make_str("trigger", &[("on", Value::sym("t"))]).unwrap();
         let outcome = ps.run(None);
         assert_eq!(outcome.fired, 1);
-        assert_eq!(ps.take_output(), vec!["count 3 sum 600 min 100 max 300 avg 200.0"]);
+        assert_eq!(
+            ps.take_output(),
+            vec!["count 3 sum 600 min 100 max 300 avg 200.0"]
+        );
     }
 
     #[test]
@@ -334,13 +361,17 @@ mod tests {
              (p sweep { [item ^s pending] <P> } (set-modify <P> ^s done))",
         );
         for _ in 0..10 {
-            ps.make_str("item", &[("s", Value::sym("pending"))]).unwrap();
+            ps.make_str("item", &[("s", Value::sym("pending"))])
+                .unwrap();
         }
         ps.run(Some(10));
         let st = ps.stats();
         assert_eq!(st.firings, 1);
         assert_eq!(st.modifies, 10);
-        assert!(st.actions_per_firing() >= 10.0, "C4: many actions per firing");
+        assert!(
+            st.actions_per_firing() >= 10.0,
+            "C4: many actions per firing"
+        );
     }
 
     #[test]
@@ -360,7 +391,10 @@ mod tests {
 
     #[test]
     fn rule_lookup_and_halt_state() {
-        let mut ps = engine(MatcherKind::Rete, "(literalize a x)(p stop (a ^x 1) (halt))");
+        let mut ps = engine(
+            MatcherKind::Rete,
+            "(literalize a x)(p stop (a ^x 1) (halt))",
+        );
         assert!(ps.rule("stop").is_some());
         assert!(ps.rule("nope").is_none());
         assert!(!ps.halted());
@@ -373,8 +407,13 @@ mod tests {
 
     #[test]
     fn modify_wme_api_keeps_class_and_updates() {
-        let mut ps = engine(MatcherKind::Rete, "(literalize a x y)(p never (a ^x 99) (halt))");
-        let t = ps.make_str("a", &[("x", Value::Int(1)), ("y", Value::Int(2))]).unwrap();
+        let mut ps = engine(
+            MatcherKind::Rete,
+            "(literalize a x y)(p never (a ^x 99) (halt))",
+        );
+        let t = ps
+            .make_str("a", &[("x", Value::Int(1)), ("y", Value::Int(2))])
+            .unwrap();
         let t2 = ps
             .modify_wme(t, &[(sorete_base::Symbol::new("x"), Value::Int(7))])
             .unwrap();
@@ -404,7 +443,9 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let mut ps = ProductionSystem::new(MatcherKind::Rete);
-        assert!(ps.load_program("(p broken (a ^x <v>) (write <nope>))").is_err());
+        assert!(ps
+            .load_program("(p broken (a ^x <v>) (write <nope>))")
+            .is_err());
         assert!(ps.load_program("(p ok (a ^x 1 (write hi))").is_err()); // paren error
     }
 }

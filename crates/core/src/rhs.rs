@@ -27,12 +27,18 @@ use sorete_lang::eval::{eval, Env};
 use std::sync::Arc;
 
 /// What the interpreter asks of the engine.
+///
+/// Every method is fallible so that wrappers (notably
+/// `crate::engine::FaultInjector`) can fail *any* primitive action, not
+/// just the WM-mutating ones — the rollback machinery must cope with a
+/// failure at every action index.
 pub trait RhsHost {
     /// Assert a new WME.
     fn make(&mut self, class: Symbol, slots: Vec<(Symbol, Value)>) -> Result<TimeTag, CoreError>;
-    /// Retract a WME. Returns `false` if it was already gone (e.g. removed
-    /// twice by overlapping set operations) — a warning, not an error.
-    fn remove(&mut self, tag: TimeTag) -> bool;
+    /// Retract a WME. Returns `Ok(false)` if it was already gone (e.g.
+    /// removed twice by overlapping set operations) — a warning, not an
+    /// error.
+    fn remove(&mut self, tag: TimeTag) -> Result<bool, CoreError>;
     /// Modify = retract + re-assert with a fresh tag. `Ok(None)` if the WME
     /// was already gone.
     fn modify(
@@ -41,11 +47,11 @@ pub trait RhsHost {
         updates: Vec<(Symbol, Value)>,
     ) -> Result<Option<TimeTag>, CoreError>;
     /// Emit one `write` line.
-    fn write_line(&mut self, line: String);
+    fn write_line(&mut self, line: String) -> Result<(), CoreError>;
     /// `halt` was executed.
-    fn halt(&mut self);
+    fn halt(&mut self) -> Result<(), CoreError>;
     /// A `bind` was executed (counted as an action).
-    fn note_bind(&mut self);
+    fn note_bind(&mut self) -> Result<(), CoreError>;
 }
 
 /// Snapshot of the fired instantiation plus the interpreter's mutable
@@ -198,10 +204,7 @@ pub fn execute(
     Ok(())
 }
 
-fn eval_slots(
-    ctx: &RhsCtx,
-    slots: &[(Symbol, Expr)],
-) -> Result<Vec<(Symbol, Value)>, CoreError> {
+fn eval_slots(ctx: &RhsCtx, slots: &[(Symbol, Expr)]) -> Result<Vec<(Symbol, Value)>, CoreError> {
     slots
         .iter()
         .map(|(attr, e)| Ok((*attr, ctx.eval_expr(e)?)))
@@ -250,7 +253,7 @@ fn exec_action(host: &mut dyn RhsHost, ctx: &mut RhsCtx, action: &Action) -> Res
         }
         Action::Remove(target) => {
             let tag = scalar_target(ctx, target)?;
-            host.remove(tag);
+            host.remove(tag)?;
         }
         Action::Modify { target, slots } => {
             let tag = scalar_target(ctx, target)?;
@@ -263,14 +266,13 @@ fn exec_action(host: &mut dyn RhsHost, ctx: &mut RhsCtx, action: &Action) -> Res
                 .set_elem_ce(*v)
                 .ok_or_else(|| CoreError::Rhs(format!("<{}> is not a set element variable", v)))?;
             for tag in ctx.domain_tags(pos) {
-                host.remove(tag);
+                host.remove(tag)?;
             }
         }
         Action::SetModify { var, slots } => {
-            let pos = ctx
-                .rule
-                .set_elem_ce(*var)
-                .ok_or_else(|| CoreError::Rhs(format!("<{}> is not a set element variable", var)))?;
+            let pos = ctx.rule.set_elem_ce(*var).ok_or_else(|| {
+                CoreError::Rhs(format!("<{}> is not a set element variable", var))
+            })?;
             for tag in ctx.domain_tags(pos) {
                 // Per-WME evaluation: expressions may reference PVs of the
                 // CE, which resolve through the current WME.
@@ -288,18 +290,24 @@ fn exec_action(host: &mut dyn RhsHost, ctx: &mut RhsCtx, action: &Action) -> Res
             }
         }
         Action::Write(parts) => {
-            let rendered: Result<Vec<String>, CoreError> =
-                parts.iter().map(|e| Ok(ctx.eval_expr(e)?.to_string())).collect();
-            host.write_line(rendered?.join(" "));
+            let rendered: Result<Vec<String>, CoreError> = parts
+                .iter()
+                .map(|e| Ok(ctx.eval_expr(e)?.to_string()))
+                .collect();
+            host.write_line(rendered?.join(" "))?;
         }
         Action::Bind(v, e) => {
             let val = ctx.eval_expr(e)?;
             ctx.binds.insert(*v, val);
-            host.note_bind();
+            host.note_bind()?;
         }
-        Action::Halt => host.halt(),
+        Action::Halt => host.halt()?,
         Action::If { cond, then, els } => {
-            let branch = if truthy(&ctx.eval_expr(cond)?) { then } else { els };
+            let branch = if truthy(&ctx.eval_expr(cond)?) {
+                then
+            } else {
+                els
+            };
             for a in branch {
                 exec_action(host, ctx, a)?;
             }
@@ -364,7 +372,10 @@ fn exec_foreach(
         ctx.active = saved_active;
         Ok(())
     } else {
-        Err(CoreError::Rhs(format!("`foreach` over non-set variable <{}>", var)))
+        Err(CoreError::Rhs(format!(
+            "`foreach` over non-set variable <{}>",
+            var
+        )))
     }
 }
 
@@ -381,18 +392,26 @@ mod tests {
     }
 
     impl RhsHost for LogHost {
-        fn make(&mut self, class: Symbol, slots: Vec<(Symbol, Value)>) -> Result<TimeTag, CoreError> {
+        fn make(
+            &mut self,
+            class: Symbol,
+            slots: Vec<(Symbol, Value)>,
+        ) -> Result<TimeTag, CoreError> {
             self.next_tag += 1;
             self.log.push(format!(
                 "make {} {}",
                 class,
-                slots.iter().map(|(a, v)| format!("^{} {}", a, v)).collect::<Vec<_>>().join(" ")
+                slots
+                    .iter()
+                    .map(|(a, v)| format!("^{} {}", a, v))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             ));
             Ok(TimeTag::new(1000 + self.next_tag))
         }
-        fn remove(&mut self, tag: TimeTag) -> bool {
+        fn remove(&mut self, tag: TimeTag) -> Result<bool, CoreError> {
             self.log.push(format!("remove {}", tag));
-            true
+            Ok(true)
         }
         fn modify(
             &mut self,
@@ -402,18 +421,26 @@ mod tests {
             self.log.push(format!(
                 "modify {} {}",
                 tag,
-                updates.iter().map(|(a, v)| format!("^{} {}", a, v)).collect::<Vec<_>>().join(" ")
+                updates
+                    .iter()
+                    .map(|(a, v)| format!("^{} {}", a, v))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             ));
             self.next_tag += 1;
             Ok(Some(TimeTag::new(1000 + self.next_tag)))
         }
-        fn write_line(&mut self, line: String) {
+        fn write_line(&mut self, line: String) -> Result<(), CoreError> {
             self.log.push(format!("write {}", line));
+            Ok(())
         }
-        fn halt(&mut self) {
+        fn halt(&mut self) -> Result<(), CoreError> {
             self.log.push("halt".into());
+            Ok(())
         }
-        fn note_bind(&mut self) {}
+        fn note_bind(&mut self) -> Result<(), CoreError> {
+            Ok(())
+        }
     }
 
     /// Build a ctx for the paper's Figure-4 instantiation.
@@ -464,8 +491,12 @@ mod tests {
         assert_eq!(
             host.log,
             vec![
-                "write B", "write Sue", "write Jack",
-                "write A", "write Janice", "write Jack",
+                "write B",
+                "write Sue",
+                "write Jack",
+                "write A",
+                "write Janice",
+                "write Jack",
             ]
         );
     }
@@ -532,7 +563,11 @@ mod tests {
         let rule = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
         let mut wmes = FxHashMap::default();
         let mk = |tag: u64, team: &str| {
-            Wme::new(TimeTag::new(tag), Symbol::new("player"), vec![(Symbol::new("team"), Value::sym(team))])
+            Wme::new(
+                TimeTag::new(tag),
+                Symbol::new("player"),
+                vec![(Symbol::new("team"), Value::sym(team))],
+            )
         };
         for (t, team) in [(1u64, "A"), (2, "A"), (3, "B"), (4, "B")] {
             wmes.insert(TimeTag::new(t), mk(t, team));
@@ -551,7 +586,12 @@ mod tests {
         // Each of the 4 WMEs modified exactly once despite appearing in 2 rows.
         assert_eq!(
             host.log,
-            vec!["modify 2 ^team B", "modify 1 ^team B", "modify 4 ^team A", "modify 3 ^team A"]
+            vec![
+                "modify 2 ^team B",
+                "modify 1 ^team B",
+                "modify 4 ^team A",
+                "modify 3 ^team A"
+            ]
         );
     }
 
@@ -608,10 +648,19 @@ mod tests {
         let src = "(p r { [player ^name <n>] <P> } :test ((count <P>) > 0)
             (write (count <P>)))";
         let rule = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
-        let w = Wme::new(TimeTag::new(1), Symbol::new("player"), vec![(Symbol::new("name"), Value::sym("x"))]);
+        let w = Wme::new(
+            TimeTag::new(1),
+            Symbol::new("player"),
+            vec![(Symbol::new("name"), Value::sym("x"))],
+        );
         let mut wmes = FxHashMap::default();
         wmes.insert(w.tag, w);
-        let mut ctx = RhsCtx::new(rule, vec![vec![TimeTag::new(1)].into()], wmes, vec![Value::Int(5)]);
+        let mut ctx = RhsCtx::new(
+            rule,
+            vec![vec![TimeTag::new(1)].into()],
+            wmes,
+            vec![Value::Int(5)],
+        );
         let mut host = LogHost::default();
         let rhs = ctx.rule.rhs.clone();
         execute(&mut host, &mut ctx, &rhs).unwrap();

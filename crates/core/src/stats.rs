@@ -29,6 +29,12 @@ pub struct RunStats {
     /// All primitive actions (makes + removes + modifies counted once +
     /// writes + binds).
     pub actions: u64,
+    /// `remove`/`modify` actions that targeted an already-dead time tag and
+    /// were skipped (overlapping set operations make this legal).
+    pub skipped_actions: u64,
+    /// Firings undone by [`RecoveryPolicy::Rollback`]
+    /// (`crate::engine::RecoveryPolicy`) after an RHS error.
+    pub rolled_back: u64,
     /// Per-rule breakdown.
     pub per_rule: FxHashMap<Symbol, RuleStats>,
 }
@@ -58,7 +64,11 @@ mod tests {
     fn actions_per_firing_handles_zero() {
         let s = RunStats::default();
         assert_eq!(s.actions_per_firing(), 0.0);
-        let s = RunStats { firings: 2, actions: 7, ..Default::default() };
+        let s = RunStats {
+            firings: 2,
+            actions: 7,
+            ..Default::default()
+        };
         assert_eq!(s.actions_per_firing(), 3.5);
     }
 }

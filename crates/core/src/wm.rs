@@ -11,12 +11,15 @@ pub struct WorkingMemory {
     wmes: FxHashMap<TimeTag, Wme>,
     next_tag: u64,
     classes: FxHashMap<Symbol, Vec<Symbol>>,
+    /// Bumped on every content change (make / remove / restore). Lets the
+    /// engine detect stagnation: firings that leave WM untouched.
+    revision: u64,
 }
 
 impl WorkingMemory {
     /// Empty working memory.
     pub fn new() -> WorkingMemory {
-        WorkingMemory { wmes: FxHashMap::default(), next_tag: 0, classes: FxHashMap::default() }
+        WorkingMemory::default()
     }
 
     /// Declare a class (`literalize`). Re-declaring replaces the attribute
@@ -45,6 +48,7 @@ impl WorkingMemory {
             }
         }
         self.next_tag += 1;
+        self.revision += 1;
         let wme = Wme::new(TimeTag::new(self.next_tag), class, slots);
         self.wmes.insert(wme.tag, wme.clone());
         Ok(wme)
@@ -52,7 +56,51 @@ impl WorkingMemory {
 
     /// Remove a WME, returning it.
     pub fn remove(&mut self, tag: TimeTag) -> Result<Wme> {
-        self.wmes.remove(&tag).ok_or(BaseError::UnknownTag(tag.raw()))
+        let wme = self
+            .wmes
+            .remove(&tag)
+            .ok_or(BaseError::UnknownTag(tag.raw()))?;
+        self.revision += 1;
+        Ok(wme)
+    }
+
+    /// Re-insert a previously removed WME under its **original** time tag.
+    ///
+    /// This is the rollback primitive: it does not allocate a tag, so a
+    /// remove-then-restore round trip leaves `next_tag` untouched and the
+    /// WME indistinguishable from one that never left. The tag must be
+    /// dead and must not exceed the allocator's high-water mark.
+    pub fn restore(&mut self, wme: Wme) {
+        debug_assert!(!self.wmes.contains_key(&wme.tag), "restore over a live tag");
+        debug_assert!(
+            wme.tag.raw() <= self.next_tag,
+            "restore of a never-allocated tag"
+        );
+        self.revision += 1;
+        self.wmes.insert(wme.tag, wme);
+    }
+
+    /// Content revision counter: changes iff WM contents changed.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Current high-water mark of the tag allocator.
+    pub fn tag_mark(&self) -> u64 {
+        self.next_tag
+    }
+
+    /// Roll the tag allocator back to an earlier [`Self::tag_mark`]. Only
+    /// legal when every tag above the mark is dead (i.e. after a rollback
+    /// retracted everything the aborted firing asserted), so a rolled-back
+    /// firing leaves no gap in the tag sequence.
+    pub fn reset_tag_mark(&mut self, mark: u64) {
+        debug_assert!(mark <= self.next_tag);
+        debug_assert!(
+            self.wmes.keys().all(|t| t.raw() <= mark),
+            "live tag above the rollback mark"
+        );
+        self.next_tag = mark;
     }
 
     /// Read a WME.
@@ -99,14 +147,30 @@ mod tests {
     #[test]
     fn literalize_validates_attributes() {
         let mut wm = WorkingMemory::new();
-        wm.declare_class(Symbol::new("player"), vec![Symbol::new("name"), Symbol::new("team")]);
-        assert!(wm.make(Symbol::new("player"), vec![(Symbol::new("name"), Value::sym("x"))]).is_ok());
+        wm.declare_class(
+            Symbol::new("player"),
+            vec![Symbol::new("name"), Symbol::new("team")],
+        );
+        assert!(wm
+            .make(
+                Symbol::new("player"),
+                vec![(Symbol::new("name"), Value::sym("x"))]
+            )
+            .is_ok());
         let err = wm
-            .make(Symbol::new("player"), vec![(Symbol::new("wings"), Value::Int(2))])
+            .make(
+                Symbol::new("player"),
+                vec![(Symbol::new("wings"), Value::Int(2))],
+            )
             .unwrap_err();
         assert!(err.to_string().contains("wings"));
         // Undeclared classes are lenient.
-        assert!(wm.make(Symbol::new("adhoc"), vec![(Symbol::new("x"), Value::Int(1))]).is_ok());
+        assert!(wm
+            .make(
+                Symbol::new("adhoc"),
+                vec![(Symbol::new("x"), Value::Int(1))]
+            )
+            .is_ok());
     }
 
     #[test]
@@ -116,6 +180,48 @@ mod tests {
         let w = wm.make(Symbol::new("c"), vec![]).unwrap();
         assert!(wm.remove(w.tag).is_ok());
         assert!(wm.remove(w.tag).is_err(), "double remove");
+    }
+
+    #[test]
+    fn restore_reuses_original_tag() {
+        let mut wm = WorkingMemory::new();
+        let a = wm
+            .make(Symbol::new("c"), vec![(Symbol::new("x"), Value::Int(1))])
+            .unwrap();
+        let b = wm.make(Symbol::new("c"), vec![]).unwrap();
+        let gone = wm.remove(a.tag).unwrap();
+        wm.restore(gone);
+        assert_eq!(wm.get(a.tag).unwrap().get(Symbol::new("x")), Value::Int(1));
+        // The allocator was not consulted: the next make continues after b.
+        let c = wm.make(Symbol::new("c"), vec![]).unwrap();
+        assert_eq!(c.tag.raw(), b.tag.raw() + 1);
+    }
+
+    #[test]
+    fn revision_tracks_every_content_change() {
+        let mut wm = WorkingMemory::new();
+        let r0 = wm.revision();
+        let a = wm.make(Symbol::new("c"), vec![]).unwrap();
+        assert!(wm.revision() > r0);
+        let r1 = wm.revision();
+        let gone = wm.remove(a.tag).unwrap();
+        assert!(wm.revision() > r1);
+        let r2 = wm.revision();
+        wm.restore(gone);
+        assert!(wm.revision() > r2);
+    }
+
+    #[test]
+    fn tag_mark_round_trip() {
+        let mut wm = WorkingMemory::new();
+        wm.make(Symbol::new("c"), vec![]).unwrap();
+        let mark = wm.tag_mark();
+        let b = wm.make(Symbol::new("c"), vec![]).unwrap();
+        wm.remove(b.tag).unwrap();
+        wm.reset_tag_mark(mark);
+        // The re-allocated tag repeats the rolled-back one.
+        let c = wm.make(Symbol::new("c"), vec![]).unwrap();
+        assert_eq!(c.tag, b.tag);
     }
 
     #[test]

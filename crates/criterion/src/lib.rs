@@ -1,0 +1,187 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds offline, so this shim provides the benchmarking
+//! surface the `sorete-bench` targets use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`criterion_group!`]/[`criterion_main!`] — with honest wall-clock
+//! measurement (warm-up, then `sample_size` timed samples) and plain-text
+//! reporting of mean/min per benchmark. It has none of criterion's
+//! statistics, HTML reports, or baselines; numbers are indicative, which is
+//! all the paper-reproduction tables need in a hermetic environment.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI configuration hook (no-op in the shim).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        b.report(name);
+    }
+}
+
+/// A named benchmark id, optionally parameterized (`name/param`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as `name/param`.
+    pub fn new<P: fmt::Display>(name: &str, param: P) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name, param),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` with a fixed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmark `f` under a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated samples.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measure `f`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also forces lazy init out of the samples
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{:<48} (no samples)", label);
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{:<48} mean {:>12?}  min {:>12?}  ({} samples)",
+            label,
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// Define a benchmark group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1u32, |b, &_n| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert_eq!(runs, 4, "1 warm-up + 3 samples");
+    }
+
+    #[test]
+    fn id_formats_with_param() {
+        assert_eq!(BenchmarkId::new("insert", 128).to_string(), "insert/128");
+    }
+}

@@ -124,7 +124,13 @@ impl DipsEngine {
             let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
             db.create_table(Schema::new(table.as_str(), &col_refs))
                 .map_err(|e| DipsError::Db(e.to_string()))?;
-            classes.insert(*class, CondMeta { table, vars: vars.clone() });
+            classes.insert(
+                *class,
+                CondMeta {
+                    table,
+                    vars: vars.clone(),
+                },
+            );
         }
 
         let mut engine = DipsEngine {
@@ -173,8 +179,10 @@ impl DipsEngine {
         for (ri, rule) in self.rules.clone().iter().enumerate() {
             for ce in &rule.ces {
                 let meta = self.classes[&ce.class].clone();
-                let mut row: Vec<Value> =
-                    vec![Value::Int(ri as i64), Value::Int(ce.pos_idx.unwrap() as i64 + 1)];
+                let mut row: Vec<Value> = vec![
+                    Value::Int(ri as i64),
+                    Value::Int(ce.pos_idx.unwrap() as i64 + 1),
+                ];
                 row.extend(meta.vars.iter().map(|_| Value::Nil));
                 row.extend((0..self.width).map(|_| Value::Nil));
                 self.db
@@ -244,7 +252,10 @@ impl DipsEngine {
         let bindings = eq_vars(rule, ce);
 
         // Collect candidates first (we insert while scanning otherwise).
-        let table = self.db.table(meta.table).map_err(|e| DipsError::Db(e.to_string()))?;
+        let table = self
+            .db
+            .table(meta.table)
+            .map_err(|e| DipsError::Db(e.to_string()))?;
         let mut candidates: Vec<Vec<Value>> = Vec::new();
         'rows: for (_, row) in table.iter() {
             if row[0] != Value::Int(ri as i64) || row[1] != Value::Int(cen as i64 + 1) {
@@ -297,8 +308,10 @@ impl DipsEngine {
 
             for other in &rule.ces {
                 let m = self.classes[&other.class].clone();
-                let mut row: Vec<Value> =
-                    vec![Value::Int(ri as i64), Value::Int(other.pos_idx.unwrap() as i64 + 1)];
+                let mut row: Vec<Value> = vec![
+                    Value::Int(ri as i64),
+                    Value::Int(other.pos_idx.unwrap() as i64 + 1),
+                ];
                 for v in &m.vars {
                     row.push(bound.get(v).copied().unwrap_or(Value::Nil));
                 }
@@ -344,14 +357,18 @@ impl DipsEngine {
         let mut seen: FxHashSet<(usize, Vec<TimeTag>)> = FxHashSet::default();
         let mut out = Vec::new();
         for meta in self.classes.values() {
-            let Ok(table) = self.db.table(meta.table) else { continue };
+            let Ok(table) = self.db.table(meta.table) else {
+                continue;
+            };
             let tag_base = 2 + meta.vars.len();
             for (_, row) in table.iter() {
                 let Value::Int(ri) = row[0] else { continue };
                 let ri = ri as usize;
                 let k = self.rules[ri].num_pos;
-                let tags: Option<Vec<TimeTag>> =
-                    row[tag_base..tag_base + k].iter().map(|v| v.as_tag()).collect();
+                let tags: Option<Vec<TimeTag>> = row[tag_base..tag_base + k]
+                    .iter()
+                    .map(|v| v.as_tag())
+                    .collect();
                 let Some(tags) = tags else { continue };
                 if !seen.insert((ri, tags.clone())) {
                     continue;
@@ -370,9 +387,13 @@ impl DipsEngine {
         let rule = &self.rules[ri];
         for ce in &rule.ces {
             let Some(pos) = ce.pos_idx else { continue };
-            let Some(w) = self.wm.get(&tags[pos]) else { return false };
+            let Some(w) = self.wm.get(&tags[pos]) else {
+                return false;
+            };
             for vj in &ce.var_joins {
-                let Some(other) = self.wm.get(&tags[vj.other_pos_ce]) else { return false };
+                let Some(other) = self.wm.get(&tags[vj.other_pos_ce]) else {
+                    return false;
+                };
                 if !vj.pred.apply(&w.get(vj.attr), &other.get(vj.other_attr)) {
                     return false;
                 }
@@ -386,8 +407,11 @@ impl DipsEngine {
     pub fn sois(&self) -> Vec<DipsSoi> {
         let mut out = Vec::new();
         for (ri, rule) in self.rules.iter().enumerate() {
-            let insts: Vec<DipsInst> =
-                self.instantiations().into_iter().filter(|i| i.rule == ri).collect();
+            let insts: Vec<DipsInst> = self
+                .instantiations()
+                .into_iter()
+                .filter(|i| i.rule == ri)
+                .collect();
             if insts.is_empty() {
                 continue;
             }
@@ -408,7 +432,11 @@ impl DipsEngine {
             for key in keys {
                 let mut rows = groups.remove(&key).unwrap();
                 rows.sort();
-                out.push(DipsSoi { rule: ri, key, rows });
+                out.push(DipsSoi {
+                    rule: ri,
+                    key,
+                    rows,
+                });
             }
         }
         out
@@ -429,7 +457,9 @@ impl DipsEngine {
 
     /// The COND table name for a class.
     pub fn cond_table_name(&self, class: &str) -> Option<&str> {
-        self.classes.get(&Symbol::new(class)).map(|m| m.table.as_str())
+        self.classes
+            .get(&Symbol::new(class))
+            .map(|m| m.table.as_str())
     }
 
     /// Rebuild all COND tables from scratch (after a firing cycle mutates

@@ -48,10 +48,22 @@ pub fn figure6() -> Result<Figure6, DipsError> {
         DipsMode::Set,
         "(p rule-1 (E ^name <x> ^salary <s>) [W ^name <x> ^job clerk] (write <x>))",
     )?;
-    engine.insert("W", &[("name", Value::sym("Mike")), ("job", Value::sym("clerk"))])?;
-    engine.insert("E", &[("name", Value::sym("Mike")), ("salary", Value::Int(10000))])?;
-    engine.insert("W", &[("name", Value::sym("Mike")), ("job", Value::sym("clerk"))])?;
-    engine.insert("E", &[("name", Value::sym("Mike")), ("salary", Value::Int(5000))])?;
+    engine.insert(
+        "W",
+        &[("name", Value::sym("Mike")), ("job", Value::sym("clerk"))],
+    )?;
+    engine.insert(
+        "E",
+        &[("name", Value::sym("Mike")), ("salary", Value::Int(10000))],
+    )?;
+    engine.insert(
+        "W",
+        &[("name", Value::sym("Mike")), ("job", Value::sym("clerk"))],
+    )?;
+    engine.insert(
+        "E",
+        &[("name", Value::sym("Mike")), ("salary", Value::Int(5000))],
+    )?;
 
     let cond_e = engine.render_cond("E")?;
     let cond_w = engine.render_cond("W")?;
@@ -62,9 +74,19 @@ pub fn figure6() -> Result<Figure6, DipsError> {
                  where COND-E.T1 is not NULL and COND-E.T2 is not NULL \
                  group-by COND-E.T1"
         .to_string();
-    let soi_relation = engine.db.sql(&query).map_err(|e| DipsError::Db(e.to_string()))?;
+    let soi_relation = engine
+        .db
+        .sql(&query)
+        .map_err(|e| DipsError::Db(e.to_string()))?;
     let groups = engine.sois();
-    Ok(Figure6 { engine, cond_e, cond_w, query, soi_relation, groups })
+    Ok(Figure6 {
+        engine,
+        cond_e,
+        cond_w,
+        query,
+        soi_relation,
+        groups,
+    })
 }
 
 /// The expected groups, for tests: `(E-tag, [W-tags])`.
@@ -85,8 +107,7 @@ mod tests {
         assert_eq!(fig.groups.len(), 2, "two SOIs (one per E-tuple)");
         for (soi, (e_tag, w_tags)) in fig.groups.iter().zip(expected_groups()) {
             assert_eq!(soi.key, vec![Value::Tag(e_tag)]);
-            let mut got: Vec<TimeTag> =
-                soi.rows.iter().map(|r| r[1]).collect();
+            let mut got: Vec<TimeTag> = soi.rows.iter().map(|r| r[1]).collect();
             got.sort();
             got.dedup();
             assert_eq!(got, w_tags);
@@ -112,7 +133,10 @@ mod tests {
         assert!(g1.iter().all(|r| r[1] == Value::Tag(TimeTag::new(2))));
         let mut w: Vec<Value> = g1.iter().map(|r| r[2]).collect();
         w.sort();
-        assert_eq!(w, vec![Value::Tag(TimeTag::new(1)), Value::Tag(TimeTag::new(3))]);
+        assert_eq!(
+            w,
+            vec![Value::Tag(TimeTag::new(1)), Value::Tag(TimeTag::new(3))]
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::cond::{DipsEngine, DipsInst, DipsMode, DipsSoi};
 use crate::error::DipsError;
 use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, Value, Wme};
 use sorete_lang::analyze::{AggTarget, AnalyzedRule};
-use sorete_lang::ast::{AggOp, Action, Expr, RhsTarget};
+use sorete_lang::ast::{Action, AggOp, Expr, RhsTarget};
 use sorete_lang::eval::{eval_truthy, FnEnv};
 use sorete_reldb::{RowId, Schema, Transaction};
 
@@ -63,40 +63,71 @@ pub fn parallel_cycle(engine: &mut DipsEngine) -> Result<CycleReport, DipsError>
 
     // 3. One optimistic transaction per unit of work. All transactions are
     //    *built* against the same initial snapshot — genuinely in parallel
-    //    (crossbeam scoped threads), as DIPS intends — then race to commit
-    //    in deterministic order; first committer wins.
+    //    (std scoped threads), as DIPS intends — then race to commit in
+    //    deterministic order; first committer wins.
     type NewWmes = Vec<(Symbol, Vec<(Symbol, Value)>)>;
-    let mut report = CycleReport { attempted: work.len(), ..Default::default() };
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
-    let results: Vec<Result<(Transaction, NewWmes), DipsError>> =
-        crossbeam::thread::scope(|scope| {
-            let chunk = work.len().div_ceil(threads).max(1);
-            let engine_ref: &DipsEngine = engine;
-            let row_ids = &row_ids;
-            let attrs = &attrs[..];
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .map(|chunk_work| {
-                    scope.spawn(move |_| {
-                        chunk_work
-                            .iter()
-                            .map(|(ri, rows)| {
-                                let rule = engine_ref.rules()[*ri].clone();
-                                let mut tx = engine_ref.db.begin();
-                                let mut tx_new = Vec::new();
-                                build_tx(engine_ref, &rule, rows, row_ids, attrs, &mut tx, &mut tx_new)?;
-                                Ok((tx, tx_new))
-                            })
-                            .collect::<Vec<_>>()
-                    })
+    let mut report = CycleReport {
+        attempted: work.len(),
+        ..Default::default()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
+    let results: Vec<Result<(Transaction, NewWmes), DipsError>> = std::thread::scope(|scope| {
+        let chunk = work.len().div_ceil(threads).max(1);
+        let engine_ref: &DipsEngine = engine;
+        let row_ids = &row_ids;
+        let attrs = &attrs[..];
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .map(|chunk_work| {
+                scope.spawn(move || {
+                    chunk_work
+                        .iter()
+                        .map(|(ri, rows)| {
+                            let rule = engine_ref.rules()[*ri].clone();
+                            let mut tx = engine_ref.db.begin();
+                            let mut tx_new = Vec::new();
+                            build_tx(
+                                engine_ref,
+                                &rule,
+                                rows,
+                                row_ids,
+                                attrs,
+                                &mut tx,
+                                &mut tx_new,
+                            )?;
+                            Ok((tx, tx_new))
+                        })
+                        .collect::<Vec<_>>()
                 })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("builder thread")).collect()
-        })
-        .expect("transaction-build scope");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("builder thread"))
+            .collect()
+    });
+    // Collect builder failures *before* committing anything: a cycle either
+    // commits transactions or — on any build error — leaves the engine
+    // exactly as it was (the scratch WM table is dropped and the COND
+    // tables re-derived, mirroring the core engine's firing rollback).
     let mut pending: Vec<(Transaction, NewWmes)> = Vec::with_capacity(results.len());
+    let mut build_err: Option<DipsError> = None;
     for r in results {
-        pending.push(r?);
+        match r {
+            Ok(p) => pending.push(p),
+            Err(e) => {
+                build_err = Some(e);
+                break;
+            }
+        }
+    }
+    if let Some(e) = build_err {
+        drop_wm_table(engine)?;
+        engine.rebuild()?;
+        return Err(e);
     }
     let mut new_wmes: Vec<(Symbol, Vec<(Symbol, Value)>)> = Vec::new();
     for (tx, tx_new) in pending {
@@ -114,8 +145,7 @@ pub fn parallel_cycle(engine: &mut DipsEngine) -> Result<CycleReport, DipsError>
     // 4. Mirror the WM table back into the engine and re-derive matches.
     mirror_back(engine, &attrs, &row_ids)?;
     for (class, slots) in new_wmes {
-        let slots: Vec<(&str, Value)> =
-            slots.iter().map(|(a, v)| (a.as_str(), *v)).collect();
+        let slots: Vec<(&str, Value)> = slots.iter().map(|(a, v)| (a.as_str(), *v)).collect();
         engine.insert(class.as_str(), &slots)?;
     }
     drop_wm_table(engine)?;
@@ -180,11 +210,11 @@ fn passes_test(engine: &DipsEngine, ri: usize, rows: &[Vec<TimeTag>]) -> bool {
             }
             engine.wme(head[src.pos_ce]).map(|w| w.get(src.attr))
         },
-        aggs: |op: AggOp, var: Symbol| {
-            rule.agg_index(op, var).and_then(|i| aggs.get(i).copied())
-        },
+        aggs: |op: AggOp, var: Symbol| rule.agg_index(op, var).and_then(|i| aggs.get(i).copied()),
     };
-    rule.tests.iter().all(|t| eval_truthy(t, &env).unwrap_or(false))
+    rule.tests
+        .iter()
+        .all(|t| eval_truthy(t, &env).unwrap_or(false))
 }
 
 fn sum_of(values: &[Value]) -> Value {
@@ -192,7 +222,15 @@ fn sum_of(values: &[Value]) -> Value {
         return Value::Nil;
     }
     if values.iter().all(|v| matches!(v, Value::Int(_))) {
-        Value::Int(values.iter().filter_map(|v| match v { Value::Int(i) => Some(*i), _ => None }).sum())
+        Value::Int(
+            values
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Int(i) => Some(*i),
+                    _ => None,
+                })
+                .sum(),
+        )
     } else {
         Value::Float(values.iter().filter_map(|v| v.as_f64()).sum())
     }
@@ -309,7 +347,10 @@ fn build_tx(
         engine.wme(head[src.pos_ce]).map(|w| w.get(src.attr))
     };
     let eval_expr = |e: &Expr| -> Result<Value, DipsError> {
-        let env = FnEnv { vars: env, aggs: |_, _| None };
+        let env = FnEnv {
+            vars: env,
+            aggs: |_, _| None,
+        };
         sorete_lang::eval::eval(e, &env).map_err(|er| DipsError::Rhs(er.to_string()))
     };
 
@@ -380,7 +421,10 @@ fn build_tx(
                 // WM table lacks a tag allocator); record for later.
                 let mut row: Vec<Value> = vec![Value::Nil, Value::Sym(*class)];
                 row.extend(attrs.iter().map(|a| {
-                    vals.iter().find(|(x, _)| x == a).map(|(_, v)| *v).unwrap_or(Value::Nil)
+                    vals.iter()
+                        .find(|(x, _)| x == a)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(Value::Nil)
                 }));
                 tx.insert(WM_TABLE, row);
                 new_wmes.push((*class, vals));

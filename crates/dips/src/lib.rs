@@ -39,8 +39,18 @@ mod tests {
             "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (write x))",
         )
         .unwrap();
-        for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")] {
-            e.insert("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+        for (n, t) in [
+            ("Jack", "A"),
+            ("Janice", "A"),
+            ("Sue", "B"),
+            ("Jack", "B"),
+            ("Sue", "B"),
+        ] {
+            e.insert(
+                "player",
+                &[("name", Value::sym(n)), ("team", Value::sym(t))],
+            )
+            .unwrap();
         }
         assert_eq!(e.instantiations().len(), 6);
     }
@@ -111,7 +121,9 @@ mod tests {
         let mut tuple = DipsEngine::new(DipsMode::Tuple, prog).unwrap();
         tuple.insert("flag", &[("on", Value::sym("t"))]).unwrap();
         for _ in 0..5 {
-            tuple.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+            tuple
+                .insert("item", &[("s", Value::sym("pending"))])
+                .unwrap();
         }
         let report = parallel_cycle(&mut tuple).unwrap();
         assert_eq!(report.attempted, 5);

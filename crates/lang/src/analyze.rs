@@ -208,7 +208,9 @@ impl AnalyzedRule {
     /// Index of an aggregate `(op, var)` within [`Self::aggregates`], which
     /// is also its index in `ConflictItem::aggregates`.
     pub fn agg_index(&self, op: AggOp, var: Symbol) -> Option<usize> {
-        self.aggregates.iter().position(|a| a.op == op && a.target.var() == var)
+        self.aggregates
+            .iter()
+            .position(|a| a.op == op && a.target.var() == var)
     }
 
     /// True if `var` is a set-oriented pattern variable.
@@ -253,7 +255,10 @@ impl<'a> Analyzer<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, AnalyzeError> {
-        Err(AnalyzeError { rule: self.rule.name, message: message.into() })
+        Err(AnalyzeError {
+            rule: self.rule.name,
+            message: message.into(),
+        })
     }
 
     fn run(self) -> Result<AnalyzedRule, AnalyzeError> {
@@ -287,7 +292,10 @@ impl<'a> Analyzer<'a> {
         let scalar_listed: FxHashSet<Symbol> = rule.scalar.iter().copied().collect();
         for v in &rule.scalar {
             if !occurs_set.contains(v) && !occurs_regular.contains(v) {
-                return self.err(format!("`:scalar` variable <{}> does not occur in the LHS", v));
+                return self.err(format!(
+                    "`:scalar` variable <{}> does not occur in the LHS",
+                    v
+                ));
             }
         }
         let is_set_var = |v: Symbol| {
@@ -414,7 +422,11 @@ impl<'a> Analyzer<'a> {
                 Some(s) => s,
                 None => return self.err(format!("`:scalar` variable <{}> is never bound", v)),
             };
-            scalar_pvs.push(ScalarPv { var: *v, pos_ce: src.pos_ce, attr: src.attr });
+            scalar_pvs.push(ScalarPv {
+                var: *v,
+                pos_ce: src.pos_ce,
+                attr: src.attr,
+            });
         }
 
         // -------- aggregates referenced anywhere in :test or the RHS.
@@ -454,7 +466,11 @@ impl<'a> Analyzer<'a> {
                             ),
                         });
                     }
-                    AggTarget::Pv { var, pos_ce: src.pos_ce, attr: src.attr }
+                    AggTarget::Pv {
+                        var,
+                        pos_ce: src.pos_ce,
+                        attr: src.attr,
+                    }
                 } else {
                     return Err(AnalyzeError {
                         rule: rule.name,
@@ -751,12 +767,15 @@ mod tests {
         let ar = analyze("(p r (a ^x <v>) (b ^y <v> ^z > <v>) (write x))");
         let ce1 = &ar.ces[1];
         assert_eq!(ce1.var_joins.len(), 2);
-        assert_eq!(ce1.var_joins[0], VarJoin {
-            attr: Symbol::new("y"),
-            pred: Pred::Eq,
-            other_pos_ce: 0,
-            other_attr: Symbol::new("x"),
-        });
+        assert_eq!(
+            ce1.var_joins[0],
+            VarJoin {
+                attr: Symbol::new("y"),
+                pred: Pred::Eq,
+                other_pos_ce: 0,
+                other_attr: Symbol::new("x"),
+            }
+        );
         assert_eq!(ce1.var_joins[1].pred, Pred::Gt);
     }
 
@@ -765,11 +784,14 @@ mod tests {
         let ar = analyze("(p r (a ^x <v> ^y <> <v>) (write x))");
         let ce = &ar.ces[0];
         assert_eq!(ce.binds, vec![(Symbol::new("x"), Symbol::new("v"))]);
-        assert_eq!(ce.intra_tests, vec![IntraTest {
-            attr: Symbol::new("y"),
-            pred: Pred::Ne,
-            other_attr: Symbol::new("x"),
-        }]);
+        assert_eq!(
+            ce.intra_tests,
+            vec![IntraTest {
+                attr: Symbol::new("y"),
+                pred: Pred::Ne,
+                other_attr: Symbol::new("x"),
+            }]
+        );
     }
 
     #[test]
@@ -799,7 +821,10 @@ mod tests {
         assert!(!ar.is_set_var(Symbol::new("n")));
         assert_eq!(ar.aggregates.len(), 1);
         assert_eq!(ar.aggregates[0].op, AggOp::Count);
-        assert!(matches!(ar.aggregates[0].target, AggTarget::Ce { pos_ce: 0, .. }));
+        assert!(matches!(
+            ar.aggregates[0].target,
+            AggTarget::Ce { pos_ce: 0, .. }
+        ));
     }
 
     #[test]
@@ -872,18 +897,14 @@ mod tests {
 
     #[test]
     fn foreach_nested_reiteration_rejected() {
-        let e = analyze_err(
-            "(p r [a ^x <v>] (foreach <v> (foreach <v> (write <v>))))",
-        );
+        let e = analyze_err("(p r [a ^x <v>] (foreach <v> (foreach <v> (write <v>))))");
         assert!(e.message.contains("foreach"), "{}", e);
     }
 
     #[test]
     fn duplicate_rule_names_rejected() {
-        let prog = crate::parser::parse_program(
-            "(p r (a ^x 1) (halt)) (p r (a ^x 2) (halt))",
-        )
-        .unwrap();
+        let prog =
+            crate::parser::parse_program("(p r (a ^x 1) (halt)) (p r (a ^x 2) (halt))").unwrap();
         assert!(analyze_program(&prog).is_err());
     }
 }

@@ -110,8 +110,10 @@ impl Pred {
             _ => {
                 let comparable = matches!(
                     (left, right),
-                    (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-                        | (Value::Sym(_), Value::Sym(_))
+                    (
+                        Value::Int(_) | Value::Float(_),
+                        Value::Int(_) | Value::Float(_)
+                    ) | (Value::Sym(_), Value::Sym(_))
                 );
                 if !comparable {
                     return false;

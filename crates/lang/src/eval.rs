@@ -15,7 +15,9 @@ pub struct EvalError {
 impl EvalError {
     /// Build from a message.
     pub fn new(message: impl Into<String>) -> Self {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -68,9 +70,9 @@ pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value, EvalError> {
         Expr::Var(v) => env
             .var(*v)
             .ok_or_else(|| EvalError::new(format!("unbound variable <{}>", v))),
-        Expr::Agg(op, var) => env
-            .agg(*op, *var)
-            .ok_or_else(|| EvalError::new(format!("aggregate ({} <{}>) unavailable", op.name(), var))),
+        Expr::Agg(op, var) => env.agg(*op, *var).ok_or_else(|| {
+            EvalError::new(format!("aggregate ({} <{}>) unavailable", op.name(), var))
+        }),
         Expr::Bin(op, l, r) => {
             let (lv, rv) = (eval(l, env)?, eval(r, env)?);
             let result = match op {
@@ -81,7 +83,10 @@ pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value, EvalError> {
                 BinOp::Mod => lv.modulo(&rv),
             };
             result.ok_or_else(|| {
-                EvalError::new(format!("arithmetic on non-numeric values {} and {}", lv, rv))
+                EvalError::new(format!(
+                    "arithmetic on non-numeric values {} and {}",
+                    lv, rv
+                ))
             })
         }
         Expr::Cmp(pred, l, r) => {
@@ -143,7 +148,10 @@ mod tests {
             Box::new(Expr::Var(Symbol::new("x"))),
             Box::new(Expr::Const(Value::Int(2))),
         );
-        assert_eq!(eval(&e, &env(&[("x", Value::Int(40))])).unwrap(), Value::Int(42));
+        assert_eq!(
+            eval(&e, &env(&[("x", Value::Int(40))])).unwrap(),
+            Value::Int(42)
+        );
     }
 
     #[test]

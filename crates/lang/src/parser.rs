@@ -29,7 +29,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -47,8 +50,17 @@ pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
 }
 
 const ACTION_KEYWORDS: &[&str] = &[
-    "make", "remove", "modify", "write", "bind", "halt", "set-modify", "set-remove", "foreach",
-    "if", "compute",
+    "make",
+    "remove",
+    "modify",
+    "write",
+    "bind",
+    "halt",
+    "set-modify",
+    "set-remove",
+    "foreach",
+    "if",
+    "compute",
 ];
 
 struct Parser {
@@ -58,7 +70,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { toks: tokenize(src)?, pos: 0 })
+        Ok(Parser {
+            toks: tokenize(src)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Option<&TokKind> {
@@ -86,7 +101,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), line: self.line() })
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn expect(&mut self, kind: &TokKind) -> Result<(), ParseError> {
@@ -130,7 +148,10 @@ impl Parser {
     // ---------------------------------------------------------- program
 
     fn program(&mut self) -> Result<Program, ParseError> {
-        let mut prog = Program { literalizes: Vec::new(), rules: Vec::new() };
+        let mut prog = Program {
+            literalizes: Vec::new(),
+            rules: Vec::new(),
+        };
         while self.peek().is_some() {
             self.expect(&TokKind::LParen)?;
             match self.peek() {
@@ -165,8 +186,13 @@ impl Parser {
     /// Body of a production after `(p`; consumes the closing `)`.
     fn rule_body(&mut self) -> Result<Rule, ParseError> {
         let name = self.expect_sym()?;
-        let mut rule =
-            Rule { name, lhs: Vec::new(), scalar: Vec::new(), tests: Vec::new(), rhs: Vec::new() };
+        let mut rule = Rule {
+            name,
+            lhs: Vec::new(),
+            scalar: Vec::new(),
+            tests: Vec::new(),
+            rhs: Vec::new(),
+        };
         let mut in_rhs = false;
 
         loop {
@@ -274,7 +300,13 @@ impl Parser {
             match k {
                 k if *k == close => {
                     self.pos += 1;
-                    return Ok(CondElem { class, negated: false, set_oriented, elem_var: None, tests });
+                    return Ok(CondElem {
+                        class,
+                        negated: false,
+                        set_oriented,
+                        elem_var: None,
+                        tests,
+                    });
                 }
                 TokKind::Attr(_) => {
                     let attr = match self.next() {
@@ -297,7 +329,10 @@ impl Parser {
                 }
                 other => {
                     let found = other.to_string();
-                    return self.err(format!("expected `^attr` or closing bracket in CE, found `{}`", found));
+                    return self.err(format!(
+                        "expected `^attr` or closing bracket in CE, found `{}`",
+                        found
+                    ));
                 }
             }
         }
@@ -399,7 +434,11 @@ impl Parser {
             self.pos += 1;
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Expr::Or(parts)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr, ParseError> {
@@ -408,7 +447,11 @@ impl Parser {
             self.pos += 1;
             parts.push(self.not_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Expr::And(parts)
+        })
     }
 
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
@@ -467,7 +510,9 @@ impl Parser {
 
     fn atom(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
-            Some(TokKind::Int(_)) | Some(TokKind::Float(_)) | Some(TokKind::Sym(_))
+            Some(TokKind::Int(_))
+            | Some(TokKind::Float(_))
+            | Some(TokKind::Sym(_))
             | Some(TokKind::Var(_)) => {
                 let op = self.operand()?;
                 Ok(match op {
@@ -648,7 +693,10 @@ mod tests {
         assert_eq!(rule.rhs.len(), 1);
         let AttrTest { attr, terms } = &rule.lhs[0].tests[0];
         assert_eq!(attr.as_str(), "name");
-        assert_eq!(terms, &vec![TestTerm::Pred(Pred::Eq, Operand::Var(Symbol::new("n1")))]);
+        assert_eq!(
+            terms,
+            &vec![TestTerm::Pred(Pred::Eq, Operand::Var(Symbol::new("n1")))]
+        );
     }
 
     #[test]
@@ -708,7 +756,9 @@ mod tests {
         };
         assert_eq!(var.as_str(), "P");
         assert_eq!(*order, IterOrder::Descending);
-        let Action::If { then, els, .. } = &body[0] else { panic!("expected if") };
+        let Action::If { then, els, .. } = &body[0] else {
+            panic!("expected if")
+        };
         assert_eq!(then.len(), 1);
         assert_eq!(els.len(), 1);
         assert!(matches!(els[0], Action::Remove(RhsTarget::Var(_))));
@@ -737,10 +787,16 @@ mod tests {
         )
         .unwrap();
         let tests = &rule.lhs[0].tests;
-        assert_eq!(tests[0].terms, vec![TestTerm::Pred(Pred::Gt, Operand::Const(Value::Int(10000)))]);
+        assert_eq!(
+            tests[0].terms,
+            vec![TestTerm::Pred(Pred::Gt, Operand::Const(Value::Int(10000)))]
+        );
         assert_eq!(
             tests[1].terms,
-            vec![TestTerm::AnyOf(vec![Value::sym("sales"), Value::sym("eng")])]
+            vec![TestTerm::AnyOf(vec![
+                Value::sym("sales"),
+                Value::sym("eng")
+            ])]
         );
         assert_eq!(
             tests[2].terms,
@@ -766,7 +822,9 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let rule = parse_rule("(p r (c ^x <x>) (bind <y> (1 + <x> * 2)))").unwrap();
-        let Action::Bind(_, expr) = &rule.rhs[0] else { panic!() };
+        let Action::Bind(_, expr) = &rule.rhs[0] else {
+            panic!()
+        };
         // 1 + (<x> * 2)
         match expr {
             Expr::Bin(BinOp::Add, l, r) => {
@@ -795,7 +853,13 @@ mod tests {
     #[test]
     fn modify_by_index() {
         let rule = parse_rule("(p r (c ^a 1) (modify 1 ^a 2) (remove 1))").unwrap();
-        assert!(matches!(&rule.rhs[0], Action::Modify { target: RhsTarget::Idx(1), .. }));
+        assert!(matches!(
+            &rule.rhs[0],
+            Action::Modify {
+                target: RhsTarget::Idx(1),
+                ..
+            }
+        ));
         assert!(matches!(&rule.rhs[1], Action::Remove(RhsTarget::Idx(1))));
     }
 
@@ -825,7 +889,9 @@ mod tests {
         ] {
             let src = format!("(p r [c ^a <v>] (foreach <v>{} (write <v>)))", kw);
             let rule = parse_rule(&src).unwrap();
-            let Action::ForEach { order, .. } = &rule.rhs[0] else { panic!() };
+            let Action::ForEach { order, .. } = &rule.rhs[0] else {
+                panic!()
+            };
             assert_eq!(*order, expected, "{:?}", kw);
         }
     }

@@ -65,7 +65,11 @@ pub fn print_ce(ce: &CondElem) -> String {
     if ce.elem_var.is_some() {
         out.push_str("{ ");
     }
-    let (open, close) = if ce.set_oriented { ('[', ']') } else { ('(', ')') };
+    let (open, close) = if ce.set_oriented {
+        ('[', ']')
+    } else {
+        ('(', ')')
+    };
     out.push(open);
     let _ = write!(out, "{}", ce.class);
     for t in &ce.tests {
@@ -244,7 +248,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let ast1 = parse_rule(src).unwrap();
         let printed = print_rule(&ast1);
-        let ast2 = parse_rule(&printed).unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
+        let ast2 =
+            parse_rule(&printed).unwrap_or_else(|e| panic!("reparse failed: {}\n{}", e, printed));
         assert_eq!(ast1, ast2, "printed form:\n{}", printed);
     }
 

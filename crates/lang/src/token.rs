@@ -150,7 +150,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
 
     macro_rules! push {
         ($kind:expr) => {
-            out.push(Token { kind: $kind, offset: i, line })
+            out.push(Token {
+                kind: $kind,
+                offset: i,
+                line,
+            })
         };
     }
 
@@ -200,7 +204,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { message: "`^` must be followed by an attribute name".into(), line });
+                    return Err(LexError {
+                        message: "`^` must be followed by an attribute name".into(),
+                        line,
+                    });
                 }
                 push!(TokKind::Attr(bytes[start..j].iter().collect()));
                 i = j;
@@ -212,7 +219,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { message: "`:` must be followed by a clause keyword".into(), line });
+                    return Err(LexError {
+                        message: "`:` must be followed by a clause keyword".into(),
+                        line,
+                    });
                 }
                 push!(TokKind::ClauseKw(bytes[start..j].iter().collect()));
                 i = j;
@@ -259,7 +269,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             '=' => {
                 // Both `=` and `==` denote equality.
                 push!(TokKind::Eq);
-                i += if i + 1 < n && bytes[i + 1] == '=' { 2 } else { 1 };
+                i += if i + 1 < n && bytes[i + 1] == '=' {
+                    2
+                } else {
+                    1
+                };
             }
             '!' if i + 1 < n && bytes[i + 1] == '=' => {
                 push!(TokKind::Ne);
@@ -312,7 +326,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 i = j;
             }
             other => {
-                return Err(LexError { message: format!("unexpected character `{}`", other), line });
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", other),
+                    line,
+                });
             }
         }
     }
@@ -390,12 +407,15 @@ mod tests {
         assert_eq!(kinds("<n>"), vec![TokKind::Var("n".into())]);
         assert_eq!(kinds("<="), vec![TokKind::Le]);
         assert_eq!(kinds("<>"), vec![TokKind::Ne]);
-        assert_eq!(kinds("<<a b>>"), vec![
-            TokKind::DblLt,
-            TokKind::Sym("a".into()),
-            TokKind::Sym("b".into()),
-            TokKind::DblGt
-        ]);
+        assert_eq!(
+            kinds("<<a b>>"),
+            vec![
+                TokKind::DblLt,
+                TokKind::Sym("a".into()),
+                TokKind::Sym("b".into()),
+                TokKind::DblGt
+            ]
+        );
         assert_eq!(kinds("< 5"), vec![TokKind::Lt, TokKind::Int(5)]);
         // `<x` with no closing `>` is a bare less-than followed by a symbol.
         assert_eq!(kinds("<x "), vec![TokKind::Lt, TokKind::Sym("x".into())]);
@@ -404,18 +424,24 @@ mod tests {
     #[test]
     fn negation_vs_minus_vs_arrow() {
         assert_eq!(kinds("-->"), vec![TokKind::Arrow]);
-        assert_eq!(kinds("-(player)"), vec![
-            TokKind::Negation,
-            TokKind::LParen,
-            TokKind::Sym("player".into()),
-            TokKind::RParen
-        ]);
+        assert_eq!(
+            kinds("-(player)"),
+            vec![
+                TokKind::Negation,
+                TokKind::LParen,
+                TokKind::Sym("player".into()),
+                TokKind::RParen
+            ]
+        );
         assert_eq!(kinds("-5"), vec![TokKind::Int(-5)]);
-        assert_eq!(kinds("a - b"), vec![
-            TokKind::Sym("a".into()),
-            TokKind::Minus,
-            TokKind::Sym("b".into())
-        ]);
+        assert_eq!(
+            kinds("a - b"),
+            vec![
+                TokKind::Sym("a".into()),
+                TokKind::Minus,
+                TokKind::Sym("b".into())
+            ]
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl NaiveMatcher {
                 for tags in rows {
                     let mut recency = tags.clone();
                     recency.sort_unstable_by(|a, b| b.cmp(a));
-                    let key = InstKey::Tuple { rule: rid, tags: tags.clone().into() };
+                    let key = InstKey::Tuple {
+                        rule: rid,
+                        tags: tags.clone().into(),
+                    };
                     fresh.insert(
                         key.clone(),
                         ConflictItem {
@@ -175,8 +178,11 @@ impl NaiveMatcher {
     ) -> Vec<ConflictItem> {
         let mut groups: FxHashMap<Box<[KeyPart]>, Vec<Vec<TimeTag>>> = FxHashMap::default();
         for row in rows {
-            let mut key: Vec<KeyPart> =
-                rule.scalar_ces.iter().map(|&pos| KeyPart::Tag(row[pos])).collect();
+            let mut key: Vec<KeyPart> = rule
+                .scalar_ces
+                .iter()
+                .map(|&pos| KeyPart::Tag(row[pos]))
+                .collect();
             for pv in &rule.scalar_pvs {
                 key.push(KeyPart::Val(self.wmes[&row[pv.pos_ce]].get(pv.attr)));
             }
@@ -216,8 +222,17 @@ impl NaiveMatcher {
                 .collect();
 
             // Evaluate T.
-            let env = NaiveEnv { matcher: self, rule, parts: &parts, head: &rows[0], aggregates: &aggregates };
-            let pass = rule.tests.iter().all(|t| eval_truthy(t, &env).unwrap_or(false));
+            let env = NaiveEnv {
+                matcher: self,
+                rule,
+                parts: &parts,
+                head: &rows[0],
+                aggregates: &aggregates,
+            };
+            let pass = rule
+                .tests
+                .iter()
+                .all(|t| eval_truthy(t, &env).unwrap_or(false));
             if !pass {
                 continue;
             }
@@ -228,7 +243,10 @@ impl NaiveMatcher {
             // any change to rows or aggregates re-arms refraction.
             let version = content_hash(&rows, &aggregates);
             out.push(ConflictItem {
-                key: InstKey::Soi { rule: rid, parts: parts.clone() },
+                key: InstKey::Soi {
+                    rule: rid,
+                    parts: parts.clone(),
+                },
                 rows: rows.into_iter().map(|r| r.into()).collect(),
                 aggregates,
                 version,
@@ -390,12 +408,17 @@ mod tests {
 
     #[test]
     fn figure1_six_instantiations() {
-        let mut m = setup(&[
-            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))",
-        ]);
-        for (i, (n, t)) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")]
-            .iter()
-            .enumerate()
+        let mut m =
+            setup(&["(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))"]);
+        for (i, (n, t)) in [
+            ("Jack", "A"),
+            ("Janice", "A"),
+            ("Sue", "B"),
+            ("Jack", "B"),
+            ("Sue", "B"),
+        ]
+        .iter()
+        .enumerate()
         {
             m.insert_wme(&wme(
                 i as u64 + 1,
@@ -462,14 +485,20 @@ mod tests {
 
     #[test]
     fn min_max_avg_sum_aggregates() {
-        let mut m = setup(&[
-            "(p pay (dept ^id <d>) [emp ^dept <d> ^sal <s>]
+        let mut m = setup(&["(p pay (dept ^id <d>) [emp ^dept <d> ^sal <s>]
                :test ((sum <s>) > 0 and (min <s>) >= 0 and (max <s>) < 100000 and (avg <s>) > 10)
-               (halt))",
-        ]);
+               (halt))"]);
         m.insert_wme(&wme(1, "dept", &[("id", Value::Int(1))]));
-        m.insert_wme(&wme(2, "emp", &[("dept", Value::Int(1)), ("sal", Value::Int(100))]));
-        m.insert_wme(&wme(3, "emp", &[("dept", Value::Int(1)), ("sal", Value::Int(300))]));
+        m.insert_wme(&wme(
+            2,
+            "emp",
+            &[("dept", Value::Int(1)), ("sal", Value::Int(100))],
+        ));
+        m.insert_wme(&wme(
+            3,
+            "emp",
+            &[("dept", Value::Int(1)), ("sal", Value::Int(300))],
+        ));
         assert_eq!(m.current.len(), 1);
         let item = m.current.values().next().unwrap();
         // Aggregate order = first-reference order: sum, min, max, avg.

@@ -1,0 +1,482 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! this shim supplies the slice of the proptest API the test-suite uses:
+//!
+//! - [`strategy::Strategy`] with `prop_map` and `boxed`;
+//! - ranges, tuples, [`strategy::Just`], and `any::<bool>()` as strategies;
+//! - [`collection::vec`];
+//! - weighted and unweighted [`prop_oneof!`];
+//! - the [`proptest!`] test macro with
+//!   [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Generation is driven by a deterministic splitmix64 PRNG. Every test
+//! derives its stream from the test name, so runs are reproducible; set
+//! `PROPTEST_SEED=<u64>` to explore a different stream. There is no
+//! shrinking — a failure prints the case index and seed instead, which is
+//! enough to re-run the exact input deterministically.
+
+pub mod test_runner {
+    //! Config and RNG for the [`proptest!`](crate::proptest) runner.
+
+    /// How many cases each property runs. Mirrors proptest's type of the
+    /// same name (only the `cases` knob is supported).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// RNG seeded with `seed`.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng(seed)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Base seed: `PROPTEST_SEED` env var, or a fixed default.
+    pub fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_0001)
+    }
+
+    /// Per-case seed mixing the test name and case index.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        base_seed() ^ h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// Generates values of one type from an RNG. The shim equivalent of
+    /// proptest's trait of the same name (generation only, no shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    assert!(width > 0, "empty range strategy");
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+
+    /// Weighted choice between boxed strategies ([`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Union over `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Types with a canonical full-domain strategy (see [`any`]).
+    pub trait Arbitrary {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    /// Strategy over a type's full domain.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// String strategies from a *restricted* regex subset: a single char
+    /// class with a counted repetition, `[<chars-and-ranges>]{m,n}`, with
+    /// `\n`/`\t`/`\\`/`\]`/`\-` escapes inside the class. That covers the
+    /// fuzz patterns this workspace uses; anything fancier panics with a
+    /// clear message rather than silently generating the wrong language.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_repeat(self);
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn unsupported_pattern(pattern: &str) -> ! {
+        panic!(
+            "proptest shim: string strategies support only `[class]{{m,n}}`, got {:?}",
+            pattern
+        )
+    }
+
+    fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+        let Some(rest) = pattern.strip_prefix('[') else {
+            unsupported_pattern(pattern)
+        };
+        let mut alphabet: Vec<char> = Vec::new();
+        let mut chars = rest.chars().peekable();
+        let take = |chars: &mut std::iter::Peekable<std::str::Chars>| -> char {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(other) => other,
+                    None => unsupported_pattern(pattern),
+                },
+                Some(other) => other,
+                None => unsupported_pattern(pattern),
+            }
+        };
+        loop {
+            if chars.peek() == Some(&']') {
+                chars.next();
+                break;
+            }
+            let c = take(&mut chars);
+            if chars.peek() == Some(&'-') && chars.clone().nth(1) != Some(']') {
+                chars.next(); // consume '-'
+                let end = take(&mut chars);
+                alphabet.extend((c as u32..=end as u32).filter_map(char::from_u32));
+            } else {
+                alphabet.push(c);
+            }
+        }
+        let repeat: String = chars.collect();
+        let Some(body) = repeat.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+            unsupported_pattern(pattern)
+        };
+        let Some((lo, hi)) = body.split_once(',') else {
+            unsupported_pattern(pattern)
+        };
+        let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) else {
+            unsupported_pattern(pattern)
+        };
+        assert!(
+            !alphabet.is_empty() && hi >= lo,
+            "degenerate string strategy {:?}",
+            pattern
+        );
+        (alphabet, lo, hi)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of `element` values, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Weighted (`w => strat`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (plain `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }` runs
+/// `cases` times over deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut rng = $crate::test_runner::TestRng::new(seed);
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                    }));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest(shim): property `{}` failed at case {}/{} (seed {:#x}); \
+                             re-run with PROPTEST_SEED={} to reproduce the stream",
+                            stringify!($name), case, config.cases,
+                            seed, $crate::test_runner::base_seed(),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3i64..17), &mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::new(7);
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 700, "weighted arm dominates: {}", trues);
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = crate::collection::vec(0u8..4, 2..5);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = (0i64..100, 0i64..100).prop_map(|(a, b)| a * 100 + b);
+        let mut r1 = TestRng::new(42);
+        let mut r2 = TestRng::new(42);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_compiles_and_runs(xs in crate::collection::vec(0i64..10, 1..5), flip in any::<bool>()) {
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

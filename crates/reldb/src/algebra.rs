@@ -295,8 +295,10 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation, DbError> {
         }
         Plan::Project { input, cols } => {
             let rel = execute(db, input)?;
-            let idxs: Vec<usize> =
-                cols.iter().map(|c| c.resolve(&rel.cols)).collect::<Result<_, _>>()?;
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|c| c.resolve(&rel.cols))
+                .collect::<Result<_, _>>()?;
             Ok(Relation {
                 cols: idxs.iter().map(|&i| rel.cols[i].clone()).collect(),
                 rows: rel
@@ -322,10 +324,14 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation, DbError> {
                 }
             } else {
                 // Hash join on the equality keys.
-                let lk: Vec<usize> =
-                    on.iter().map(|(a, _)| a.resolve(&l.cols)).collect::<Result<_, _>>()?;
-                let rk: Vec<usize> =
-                    on.iter().map(|(_, b)| b.resolve(&r.cols)).collect::<Result<_, _>>()?;
+                let lk: Vec<usize> = on
+                    .iter()
+                    .map(|(a, _)| a.resolve(&l.cols))
+                    .collect::<Result<_, _>>()?;
+                let rk: Vec<usize> = on
+                    .iter()
+                    .map(|(_, b)| b.resolve(&r.cols))
+                    .collect::<Result<_, _>>()?;
                 let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
                 for (i, rr) in r.rows.iter().enumerate() {
                     let key: Vec<Value> = rk.iter().map(|&k| rr[k]).collect();
@@ -352,8 +358,10 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation, DbError> {
         }
         Plan::GroupBy { input, keys, aggs } => {
             let rel = execute(db, input)?;
-            let ki: Vec<usize> =
-                keys.iter().map(|c| c.resolve(&rel.cols)).collect::<Result<_, _>>()?;
+            let ki: Vec<usize> = keys
+                .iter()
+                .map(|c| c.resolve(&rel.cols))
+                .collect::<Result<_, _>>()?;
             // Stable grouping: order of first appearance, then sort by key.
             let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
             let mut lookup: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
@@ -456,7 +464,14 @@ pub fn aggregate(f: AggFun, vals: &[Value]) -> Value {
                 return Value::Nil;
             }
             if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                Value::Int(vals.iter().filter_map(|v| match v { Value::Int(i) => Some(*i), _ => None }).sum())
+                Value::Int(
+                    vals.iter()
+                        .filter_map(|v| match v {
+                            Value::Int(i) => Some(*i),
+                            _ => None,
+                        })
+                        .sum(),
+                )
             } else {
                 Value::Float(vals.iter().filter_map(|v| v.as_f64()).sum())
             }

@@ -110,13 +110,23 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_table(Schema::new("emp", &["name", "dept", "sal"])).unwrap();
-        for (n, d, s) in [("ann", "eng", 120), ("bob", "eng", 100), ("cat", "sales", 90), ("dan", "sales", 80)] {
-            db.insert("emp", vec![Value::sym(n), Value::sym(d), Value::Int(s)]).unwrap();
+        db.create_table(Schema::new("emp", &["name", "dept", "sal"]))
+            .unwrap();
+        for (n, d, s) in [
+            ("ann", "eng", 120),
+            ("bob", "eng", 100),
+            ("cat", "sales", 90),
+            ("dan", "sales", 80),
+        ] {
+            db.insert("emp", vec![Value::sym(n), Value::sym(d), Value::Int(s)])
+                .unwrap();
         }
-        db.create_table(Schema::new("dept", &["name", "city"])).unwrap();
-        db.insert("dept", vec![Value::sym("eng"), Value::sym("nyc")]).unwrap();
-        db.insert("dept", vec![Value::sym("sales"), Value::sym("sfo")]).unwrap();
+        db.create_table(Schema::new("dept", &["name", "city"]))
+            .unwrap();
+        db.insert("dept", vec![Value::sym("eng"), Value::sym("nyc")])
+            .unwrap();
+        db.insert("dept", vec![Value::sym("sales"), Value::sym("sfo")])
+            .unwrap();
         db
     }
 
@@ -223,7 +233,8 @@ mod tests {
     #[test]
     fn null_semantics() {
         let mut db = db();
-        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Nil]).unwrap();
+        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Nil])
+            .unwrap();
         // NULL never joins.
         let join = Plan::Join {
             left: Box::new(Plan::Scan("emp".into())),
@@ -245,9 +256,17 @@ mod tests {
         // Comparisons with NULL are false.
         let cmp = Plan::Select {
             input: Box::new(Plan::Scan("emp".into())),
-            pred: Pred::Cmp(CmpOp::Ne, Scalar::Col(ColRef::new("dept")), Scalar::Lit(Value::sym("eng"))),
+            pred: Pred::Cmp(
+                CmpOp::Ne,
+                Scalar::Col(ColRef::new("dept")),
+                Scalar::Lit(Value::sym("eng")),
+            ),
         };
-        assert_eq!(db.query(&cmp).unwrap().rows.len(), 2, "eve's NULL dept doesn't match <>");
+        assert_eq!(
+            db.query(&cmp).unwrap().rows.len(),
+            2,
+            "eve's NULL dept doesn't match <>"
+        );
     }
 
     #[test]
@@ -279,7 +298,10 @@ mod tests {
     fn limit_beyond_len_is_noop() {
         let db = db();
         let rel = db
-            .query(&Plan::Limit { input: Box::new(Plan::Scan("emp".into())), n: 100 })
+            .query(&Plan::Limit {
+                input: Box::new(Plan::Scan("emp".into())),
+                n: 100,
+            })
             .unwrap();
         assert_eq!(rel.rows.len(), 4);
     }
@@ -290,7 +312,11 @@ mod tests {
         let rel = db
             .query(&Plan::Project {
                 input: Box::new(Plan::Scan("dept".into())),
-                cols: vec![ColRef::new("city"), ColRef::new("name"), ColRef::new("city")],
+                cols: vec![
+                    ColRef::new("city"),
+                    ColRef::new("name"),
+                    ColRef::new("city"),
+                ],
             })
             .unwrap();
         assert_eq!(rel.cols, vec!["dept.city", "dept.name", "dept.city"]);

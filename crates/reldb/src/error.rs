@@ -37,8 +37,16 @@ impl fmt::Display for DbError {
             DbError::UnknownTable(t) => write!(f, "unknown table `{}`", t),
             DbError::UnknownColumn(c) => write!(f, "unknown or ambiguous column `{}`", c),
             DbError::UnknownRow(r) => write!(f, "row {} is not live", r),
-            DbError::Arity { table, expected, got } => {
-                write!(f, "table `{}` expects {} values, got {}", table, expected, got)
+            DbError::Arity {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "table `{}` expects {} values, got {}",
+                    table, expected, got
+                )
             }
             DbError::DuplicateTable(t) => write!(f, "table `{}` already exists", t),
             DbError::TxConflict { table } => {
@@ -58,6 +66,8 @@ mod tests {
     #[test]
     fn displays() {
         assert!(DbError::UnknownTable("x".into()).to_string().contains("x"));
-        assert!(DbError::TxConflict { table: "t".into() }.to_string().contains("conflict"));
+        assert!(DbError::TxConflict { table: "t".into() }
+            .to_string()
+            .contains("conflict"));
     }
 }

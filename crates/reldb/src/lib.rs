@@ -27,8 +27,8 @@ pub mod tx;
 
 pub use algebra::{AggFun, CmpOp, ColRef, Plan, Pred, Relation, Scalar};
 pub use db::Database;
-pub use persist::{dump, load, load_file, save_file};
 pub use error::DbError;
+pub use persist::{dump, load, load_file, save_file};
 pub use sql::parse_query;
 pub use table::{Row, RowId, Schema, Table};
 pub use tx::Transaction;

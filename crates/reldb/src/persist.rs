@@ -86,9 +86,7 @@ fn decode_value(tok: &str) -> Result<Value, DbError> {
                         Some('t') => s.push('\t'),
                         Some('n') => s.push('\n'),
                         Some('\\') => s.push('\\'),
-                        other => {
-                            return Err(DbError::Sql(format!("bad escape `\\{:?}`", other)))
-                        }
+                        other => return Err(DbError::Sql(format!("bad escape `\\{:?}`", other))),
                     }
                 } else {
                     s.push(c);
@@ -175,8 +173,9 @@ pub fn load(text: &str) -> Result<Database, DbError> {
                 let (name, n) = rest
                     .rsplit_once(' ')
                     .ok_or_else(|| DbError::Sql("bad TABLE line".into()))?;
-                expected_cols =
-                    n.parse().map_err(|_| DbError::Sql("bad TABLE column count".into()))?;
+                expected_cols = n
+                    .parse()
+                    .map_err(|_| DbError::Sql("bad TABLE column count".into()))?;
                 pending_name = Some(name.to_string());
                 pending_cols.clear();
                 pending_indexes.clear();
@@ -200,8 +199,7 @@ pub fn load(text: &str) -> Result<Database, DbError> {
                     current = Some(finalize(&mut db, &name, &pending_cols, &pending_indexes)?);
                 }
                 let table = db.table_mut(current.unwrap())?;
-                let row: Result<Vec<Value>, DbError> =
-                    rest.split('\t').map(decode_value).collect();
+                let row: Result<Vec<Value>, DbError> = rest.split('\t').map(decode_value).collect();
                 table.insert(row?)?;
             }
             other => return Err(DbError::Sql(format!("unknown record `{}`", other))),
@@ -232,12 +230,25 @@ mod tests {
 
     fn sample() -> Database {
         let mut db = Database::new();
-        db.create_table(Schema::new("emp", &["name", "dept", "sal"])).unwrap();
-        db.table_mut(Symbol::new("emp")).unwrap().create_index(Symbol::new("dept")).unwrap();
-        db.insert("emp", vec![Value::sym("ann"), Value::sym("eng"), Value::Int(120)]).unwrap();
-        db.insert("emp", vec![Value::sym("tab\tby"), Value::Nil, Value::Float(1.5)]).unwrap();
+        db.create_table(Schema::new("emp", &["name", "dept", "sal"]))
+            .unwrap();
+        db.table_mut(Symbol::new("emp"))
+            .unwrap()
+            .create_index(Symbol::new("dept"))
+            .unwrap();
+        db.insert(
+            "emp",
+            vec![Value::sym("ann"), Value::sym("eng"), Value::Int(120)],
+        )
+        .unwrap();
+        db.insert(
+            "emp",
+            vec![Value::sym("tab\tby"), Value::Nil, Value::Float(1.5)],
+        )
+        .unwrap();
         db.create_table(Schema::new("tags", &["t"])).unwrap();
-        db.insert("tags", vec![Value::Tag(sorete_base::TimeTag::new(42))]).unwrap();
+        db.insert("tags", vec![Value::Tag(sorete_base::TimeTag::new(42))])
+            .unwrap();
         db.create_table(Schema::new("empty", &["a", "b"])).unwrap();
         db
     }
@@ -259,14 +270,23 @@ mod tests {
             assert_eq!(r1, r2, "{}", name);
         }
         // Index survives.
-        assert!(db2.table_by_name("emp").unwrap().has_index(Symbol::new("dept")));
+        assert!(db2
+            .table_by_name("emp")
+            .unwrap()
+            .has_index(Symbol::new("dept")));
         // The dump is stable (dump ∘ load ∘ dump is identity).
         assert_eq!(text, dump(&db2));
     }
 
     #[test]
     fn escaped_symbols_roundtrip() {
-        for s in ["plain", "with\ttab", "with\nnewline", "back\\slash", "mix\\t\t\n"] {
+        for s in [
+            "plain",
+            "with\ttab",
+            "with\nnewline",
+            "back\\slash",
+            "mix\\t\t\n",
+        ] {
             let mut enc = String::new();
             encode_value(&Value::sym(s), &mut enc);
             assert_eq!(decode_value(&enc).unwrap(), Value::sym(s), "{:?}", s);
@@ -278,7 +298,9 @@ mod tests {
         for f in [0.1, -0.0, f64::MAX, f64::MIN_POSITIVE, 1e300] {
             let mut enc = String::new();
             encode_value(&Value::Float(f), &mut enc);
-            let Value::Float(g) = decode_value(&enc).unwrap() else { panic!() };
+            let Value::Float(g) = decode_value(&enc).unwrap() else {
+                panic!()
+            };
             assert_eq!(f.to_bits(), g.to_bits());
         }
     }

@@ -113,9 +113,15 @@ fn lex(src: &str) -> Result<Vec<Tok>, DbError> {
                 }
                 let text: String = chars[i..j].iter().collect();
                 if text.contains('.') {
-                    out.push(Tok::Float(text.parse().map_err(|_| DbError::Sql(format!("bad number `{}`", text)))?));
+                    out.push(Tok::Float(
+                        text.parse()
+                            .map_err(|_| DbError::Sql(format!("bad number `{}`", text)))?,
+                    ));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|_| DbError::Sql(format!("bad number `{}`", text)))?));
+                    out.push(Tok::Int(
+                        text.parse()
+                            .map_err(|_| DbError::Sql(format!("bad number `{}`", text)))?,
+                    ));
                 }
                 i = j;
             }
@@ -239,7 +245,11 @@ impl P {
         while self.eat_kw("or") {
             parts.push(self.and_pred()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Pred::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Pred::Or(parts)
+        })
     }
 
     fn and_pred(&mut self) -> Result<Pred, DbError> {
@@ -247,7 +257,11 @@ impl P {
         while self.eat_kw("and") {
             parts.push(self.prim_pred()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Pred::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Pred::And(parts)
+        })
     }
 
     fn prim_pred(&mut self) -> Result<Pred, DbError> {
@@ -297,9 +311,7 @@ impl P {
                     let arg = match self.next() {
                         Some(Tok::Ident(c)) => c,
                         Some(Tok::Star) => "*".to_string(),
-                        other => {
-                            return self.err(format!("bad aggregate argument {:?}", other))
-                        }
+                        other => return self.err(format!("bad aggregate argument {:?}", other)),
                     };
                     match self.next() {
                         Some(Tok::RParen) => {}
@@ -323,7 +335,10 @@ impl P {
 
 /// Parse a SQL-subset query into a [`Plan`].
 pub fn parse_query(src: &str) -> Result<Plan, DbError> {
-    let mut p = P { toks: lex(src)?, pos: 0 };
+    let mut p = P {
+        toks: lex(src)?,
+        pos: 0,
+    };
     p.expect_kw("select")?;
     let items = p.select_items()?;
     p.expect_kw("from")?;
@@ -332,11 +347,21 @@ pub fn parse_query(src: &str) -> Result<Plan, DbError> {
         p.pos += 1;
         tables.push(p.ident()?);
     }
-    let mut where_pred = if p.eat_kw("where") { Some(p.pred()?) } else { None };
+    let mut where_pred = if p.eat_kw("where") {
+        Some(p.pred()?)
+    } else {
+        None
+    };
 
     // GROUP BY / group-by
     let mut group_cols: Vec<ColRef> = Vec::new();
-    if p.eat_kw("group-by") || (p.at_kw("group") && { p.pos += 1; p.expect_kw("by")?; true }) {
+    if p.eat_kw("group-by")
+        || (p.at_kw("group") && {
+            p.pos += 1;
+            p.expect_kw("by")?;
+            true
+        })
+    {
         group_cols.push(ColRef::new(&p.ident()?));
         while matches!(p.peek(), Some(Tok::Comma)) {
             p.pos += 1;
@@ -345,11 +370,21 @@ pub fn parse_query(src: &str) -> Result<Plan, DbError> {
     }
 
     // HAVING (applies to the grouped output)
-    let having = if p.eat_kw("having") { Some(p.pred()?) } else { None };
+    let having = if p.eat_kw("having") {
+        Some(p.pred()?)
+    } else {
+        None
+    };
 
     // ORDER BY
     let mut order: Vec<(ColRef, bool)> = Vec::new();
-    if p.eat_kw("order-by") || (p.at_kw("order") && { p.pos += 1; p.expect_kw("by")?; true }) {
+    if p.eat_kw("order-by")
+        || (p.at_kw("order") && {
+            p.pos += 1;
+            p.expect_kw("by")?;
+            true
+        })
+    {
         loop {
             let col = ColRef::new(&p.ident()?);
             let asc = if p.eat_kw("desc") {
@@ -408,12 +443,23 @@ pub fn parse_query(src: &str) -> Result<Plan, DbError> {
             }
             true
         });
-        plan = Plan::Join { left: Box::new(plan), right: Box::new(Plan::Scan(t.clone())), on };
+        plan = Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(Plan::Scan(t.clone())),
+            on,
+        };
         bound.push(tl);
     }
     if !conjuncts.is_empty() {
-        let pred = if conjuncts.len() == 1 { conjuncts.pop().unwrap() } else { Pred::And(conjuncts) };
-        plan = Plan::Select { input: Box::new(plan), pred };
+        let pred = if conjuncts.len() == 1 {
+            conjuncts.pop().unwrap()
+        } else {
+            Pred::And(conjuncts)
+        };
+        plan = Plan::Select {
+            input: Box::new(plan),
+            pred,
+        };
     }
 
     // Aggregates?
@@ -436,17 +482,34 @@ pub fn parse_query(src: &str) -> Result<Plan, DbError> {
                 })
                 .collect();
             if !proj.is_empty() && !matches!(items[0], SelectItem::All) {
-                plan = Plan::Project { input: Box::new(plan), cols: proj };
+                plan = Plan::Project {
+                    input: Box::new(plan),
+                    cols: proj,
+                };
             }
-            plan = Plan::GroupBy { input: Box::new(plan), keys: group_cols, aggs: vec![] };
+            plan = Plan::GroupBy {
+                input: Box::new(plan),
+                keys: group_cols,
+                aggs: vec![],
+            };
         } else {
-            plan = Plan::GroupBy { input: Box::new(plan), keys: group_cols, aggs };
+            plan = Plan::GroupBy {
+                input: Box::new(plan),
+                keys: group_cols,
+                aggs,
+            };
         }
         if let Some(h) = having {
-            plan = Plan::Select { input: Box::new(plan), pred: h };
+            plan = Plan::Select {
+                input: Box::new(plan),
+                pred: h,
+            };
         }
         if !order.is_empty() {
-            plan = Plan::OrderBy { input: Box::new(plan), keys: order };
+            plan = Plan::OrderBy {
+                input: Box::new(plan),
+                keys: order,
+            };
         }
     } else {
         if having.is_some() {
@@ -455,7 +518,10 @@ pub fn parse_query(src: &str) -> Result<Plan, DbError> {
         // Sort before projecting, so ORDER BY may reference non-selected
         // columns (standard SQL behaviour).
         if !order.is_empty() {
-            plan = Plan::OrderBy { input: Box::new(plan), keys: order };
+            plan = Plan::OrderBy {
+                input: Box::new(plan),
+                keys: order,
+            };
         }
         if !matches!(items.as_slice(), [SelectItem::All]) {
             let proj: Vec<ColRef> = items
@@ -466,11 +532,17 @@ pub fn parse_query(src: &str) -> Result<Plan, DbError> {
                     SelectItem::Agg(..) => None,
                 })
                 .collect();
-            plan = Plan::Project { input: Box::new(plan), cols: proj };
+            plan = Plan::Project {
+                input: Box::new(plan),
+                cols: proj,
+            };
         }
     }
     if let Some(n) = limit {
-        plan = Plan::Limit { input: Box::new(plan), n };
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
     Ok(plan)
 }
@@ -498,15 +570,23 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_table(Schema::new("emp", &["name", "dept", "sal"])).unwrap();
-        for (n, d, s) in
-            [("ann", "eng", 120), ("bob", "eng", 100), ("cat", "sales", 90), ("dan", "sales", 80)]
-        {
-            db.insert("emp", vec![Value::sym(n), Value::sym(d), Value::Int(s)]).unwrap();
+        db.create_table(Schema::new("emp", &["name", "dept", "sal"]))
+            .unwrap();
+        for (n, d, s) in [
+            ("ann", "eng", 120),
+            ("bob", "eng", 100),
+            ("cat", "sales", 90),
+            ("dan", "sales", 80),
+        ] {
+            db.insert("emp", vec![Value::sym(n), Value::sym(d), Value::Int(s)])
+                .unwrap();
         }
-        db.create_table(Schema::new("dept", &["name", "city"])).unwrap();
-        db.insert("dept", vec![Value::sym("eng"), Value::sym("nyc")]).unwrap();
-        db.insert("dept", vec![Value::sym("sales"), Value::sym("sfo")]).unwrap();
+        db.create_table(Schema::new("dept", &["name", "city"]))
+            .unwrap();
+        db.insert("dept", vec![Value::sym("eng"), Value::sym("nyc")])
+            .unwrap();
+        db.insert("dept", vec![Value::sym("sales"), Value::sym("sfo")])
+            .unwrap();
         db
     }
 
@@ -519,7 +599,9 @@ mod tests {
 
     #[test]
     fn where_filters() {
-        let rel = db().sql("SELECT name FROM emp WHERE sal > 90 AND dept = 'eng'").unwrap();
+        let rel = db()
+            .sql("SELECT name FROM emp WHERE sal > 90 AND dept = 'eng'")
+            .unwrap();
         assert_eq!(rel.rows.len(), 2);
     }
 
@@ -564,16 +646,23 @@ mod tests {
     #[test]
     fn is_null_and_or() {
         let mut db = db();
-        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Int(10)]).unwrap();
-        let rel = db.sql("SELECT name FROM emp WHERE dept IS NULL OR sal < 85").unwrap();
+        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Int(10)])
+            .unwrap();
+        let rel = db
+            .sql("SELECT name FROM emp WHERE dept IS NULL OR sal < 85")
+            .unwrap();
         assert_eq!(rel.rows.len(), 2);
-        let rel = db.sql("SELECT name FROM emp WHERE NOT (dept IS NULL)").unwrap();
+        let rel = db
+            .sql("SELECT name FROM emp WHERE NOT (dept IS NULL)")
+            .unwrap();
         assert_eq!(rel.rows.len(), 4);
     }
 
     #[test]
     fn order_and_limit() {
-        let rel = db().sql("SELECT name FROM emp ORDER BY sal DESC LIMIT 2").unwrap();
+        let rel = db()
+            .sql("SELECT name FROM emp ORDER BY sal DESC LIMIT 2")
+            .unwrap();
         assert_eq!(rel.rows.len(), 2);
         assert_eq!(rel.rows[0][0], Value::sym("ann"));
     }
@@ -581,9 +670,12 @@ mod tests {
     #[test]
     fn hyphenated_identifiers() {
         let mut db = Database::new();
-        db.create_table(Schema::new("COND-E", &["RULE-ID", "WME-TAG"])).unwrap();
-        db.insert("COND-E", vec![Value::Int(1), Value::Int(2)]).unwrap();
-        db.insert("COND-E", vec![Value::Int(1), Value::Nil]).unwrap();
+        db.create_table(Schema::new("COND-E", &["RULE-ID", "WME-TAG"]))
+            .unwrap();
+        db.insert("COND-E", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        db.insert("COND-E", vec![Value::Int(1), Value::Nil])
+            .unwrap();
         let rel = db
             .sql("select COND-E.WME-TAG from COND-E where COND-E.WME-TAG is not NULL")
             .unwrap();
@@ -603,13 +695,16 @@ mod tests {
         assert_eq!(rel.rows.len(), 1);
         assert_eq!(rel.rows[0][0], Value::sym("eng"));
         // HAVING without GROUP BY is rejected.
-        assert!(db().sql("SELECT name FROM emp HAVING count(*) > 1").is_err());
+        assert!(db()
+            .sql("SELECT name FROM emp HAVING count(*) > 1")
+            .is_err());
     }
 
     #[test]
     fn count_star_counts_null_rows_too() {
         let mut db = db();
-        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Nil]).unwrap();
+        db.insert("emp", vec![Value::sym("eve"), Value::Nil, Value::Nil])
+            .unwrap();
         let rel = db
             .sql("SELECT dept, count(*), count(sal) FROM emp GROUP BY dept ORDER BY dept")
             .unwrap();

@@ -245,7 +245,8 @@ mod tests {
         t.create_index(Symbol::new("age")).unwrap();
         assert_eq!(t.lookup(Symbol::new("age"), &Value::Int(30)).len(), 2);
         // Update moves index entries.
-        t.update(RowId::new(0), Symbol::new("age"), Value::Int(31)).unwrap();
+        t.update(RowId::new(0), Symbol::new("age"), Value::Int(31))
+            .unwrap();
         assert_eq!(t.lookup(Symbol::new("age"), &Value::Int(30)).len(), 1);
         assert_eq!(t.lookup(Symbol::new("age"), &Value::Int(31)).len(), 1);
         // Delete removes them.

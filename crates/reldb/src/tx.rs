@@ -22,9 +22,22 @@ pub struct Transaction {
 
 #[derive(Debug)]
 enum TxOp {
-    Insert { table: Symbol, row: Vec<Value> },
-    Update { table: Symbol, row: RowId, col: Symbol, value: Value, seen: u64 },
-    Delete { table: Symbol, row: RowId, seen: u64 },
+    Insert {
+        table: Symbol,
+        row: Vec<Value>,
+    },
+    Update {
+        table: Symbol,
+        row: RowId,
+        col: Symbol,
+        value: Value,
+        seen: u64,
+    },
+    Delete {
+        table: Symbol,
+        row: RowId,
+        seen: u64,
+    },
 }
 
 impl Transaction {
@@ -48,14 +61,30 @@ impl Transaction {
 
     /// Buffer an insert.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) {
-        self.ops.push(TxOp::Insert { table: Symbol::new(table), row });
+        self.ops.push(TxOp::Insert {
+            table: Symbol::new(table),
+            row,
+        });
     }
 
     /// Buffer a column update (validates the row version at commit).
-    pub fn update(&mut self, db: &Database, table: &str, row: RowId, col: &str, value: Value) -> Result<(), DbError> {
+    pub fn update(
+        &mut self,
+        db: &Database,
+        table: &str,
+        row: RowId,
+        col: &str,
+        value: Value,
+    ) -> Result<(), DbError> {
         let t = Symbol::new(table);
         let seen = db.table(t)?.version(row);
-        self.ops.push(TxOp::Update { table: t, row, col: Symbol::new(col), value, seen });
+        self.ops.push(TxOp::Update {
+            table: t,
+            row,
+            col: Symbol::new(col),
+            value,
+            seen,
+        });
         Ok(())
     }
 
@@ -63,7 +92,11 @@ impl Transaction {
     pub fn delete(&mut self, db: &Database, table: &str, row: RowId) -> Result<(), DbError> {
         let t = Symbol::new(table);
         let seen = db.table(t)?.version(row);
-        self.ops.push(TxOp::Delete { table: t, row, seen });
+        self.ops.push(TxOp::Delete {
+            table: t,
+            row,
+            seen,
+        });
         Ok(())
     }
 
@@ -77,15 +110,22 @@ impl Transaction {
         // Validation phase.
         for (t, row, seen) in &self.reads {
             if db.table(*t)?.version(*row) != *seen {
-                return Err(DbError::TxConflict { table: t.to_string() });
+                return Err(DbError::TxConflict {
+                    table: t.to_string(),
+                });
             }
         }
         for op in &self.ops {
             match op {
                 TxOp::Insert { .. } => {}
-                TxOp::Update { table, row, seen, .. } | TxOp::Delete { table, row, seen } => {
+                TxOp::Update {
+                    table, row, seen, ..
+                }
+                | TxOp::Delete { table, row, seen } => {
                     if db.table(*table)?.version(*row) != *seen {
-                        return Err(DbError::TxConflict { table: table.to_string() });
+                        return Err(DbError::TxConflict {
+                            table: table.to_string(),
+                        });
                     }
                 }
             }
@@ -96,7 +136,13 @@ impl Transaction {
                 TxOp::Insert { table, row } => {
                     db.table_mut(table)?.insert(row)?;
                 }
-                TxOp::Update { table, row, col, value, .. } => {
+                TxOp::Update {
+                    table,
+                    row,
+                    col,
+                    value,
+                    ..
+                } => {
                     db.table_mut(table)?.update(row, col, value)?;
                 }
                 TxOp::Delete { table, row, .. } => {
@@ -115,8 +161,11 @@ mod tests {
 
     fn db() -> (Database, RowId) {
         let mut db = Database::new();
-        db.create_table(Schema::new("acct", &["owner", "balance"])).unwrap();
-        let id = db.insert("acct", vec![Value::sym("ann"), Value::Int(100)]).unwrap();
+        db.create_table(Schema::new("acct", &["owner", "balance"]))
+            .unwrap();
+        let id = db
+            .insert("acct", vec![Value::sym("ann"), Value::Int(100)])
+            .unwrap();
         (db, id)
     }
 
@@ -126,9 +175,13 @@ mod tests {
         let mut tx = db.begin();
         let row = tx.read(&db, "acct", id).unwrap().unwrap();
         assert_eq!(row[1], Value::Int(100));
-        tx.update(&db, "acct", id, "balance", Value::Int(150)).unwrap();
+        tx.update(&db, "acct", id, "balance", Value::Int(150))
+            .unwrap();
         db.commit(tx).unwrap();
-        assert_eq!(db.table_by_name("acct").unwrap().get(id).unwrap()[1], Value::Int(150));
+        assert_eq!(
+            db.table_by_name("acct").unwrap().get(id).unwrap()[1],
+            Value::Int(150)
+        );
         assert_eq!(db.commit_count(), 1);
     }
 
@@ -140,14 +193,19 @@ mod tests {
         let mut t2 = db.begin();
         t1.read(&db, "acct", id).unwrap();
         t2.read(&db, "acct", id).unwrap();
-        t1.update(&db, "acct", id, "balance", Value::Int(150)).unwrap();
-        t2.update(&db, "acct", id, "balance", Value::Int(90)).unwrap();
+        t1.update(&db, "acct", id, "balance", Value::Int(150))
+            .unwrap();
+        t2.update(&db, "acct", id, "balance", Value::Int(90))
+            .unwrap();
         db.commit(t1).unwrap();
         let err = db.commit(t2).unwrap_err();
         assert!(matches!(err, DbError::TxConflict { .. }));
         assert_eq!(db.abort_count(), 1);
         // The first committer's value stands.
-        assert_eq!(db.table_by_name("acct").unwrap().get(id).unwrap()[1], Value::Int(150));
+        assert_eq!(
+            db.table_by_name("acct").unwrap().get(id).unwrap()[1],
+            Value::Int(150)
+        );
     }
 
     #[test]
@@ -156,7 +214,8 @@ mod tests {
         let mut t1 = db.begin();
         t1.read(&db, "acct", id).unwrap(); // read-only tx
         let mut t2 = db.begin();
-        t2.update(&db, "acct", id, "balance", Value::Int(0)).unwrap();
+        t2.update(&db, "acct", id, "balance", Value::Int(0))
+            .unwrap();
         db.commit(t2).unwrap();
         // t1's read is stale → abort (strict backward validation).
         assert!(db.commit(t1).is_err());
@@ -170,18 +229,25 @@ mod tests {
         t1.delete(&db, "acct", id).unwrap();
         t2.delete(&db, "acct", id).unwrap();
         db.commit(t1).unwrap();
-        assert!(db.commit(t2).is_err(), "double delete is the paper's mutual-invalidation case");
+        assert!(
+            db.commit(t2).is_err(),
+            "double delete is the paper's mutual-invalidation case"
+        );
     }
 
     #[test]
     fn independent_transactions_both_commit() {
         let (mut db, _) = db();
-        let id2 = db.insert("acct", vec![Value::sym("bob"), Value::Int(50)]).unwrap();
+        let id2 = db
+            .insert("acct", vec![Value::sym("bob"), Value::Int(50)])
+            .unwrap();
         let id1 = RowId::new(0);
         let mut t1 = db.begin();
         let mut t2 = db.begin();
-        t1.update(&db, "acct", id1, "balance", Value::Int(1)).unwrap();
-        t2.update(&db, "acct", id2, "balance", Value::Int(2)).unwrap();
+        t1.update(&db, "acct", id1, "balance", Value::Int(1))
+            .unwrap();
+        t2.update(&db, "acct", id2, "balance", Value::Int(2))
+            .unwrap();
         db.commit(t1).unwrap();
         db.commit(t2).unwrap();
         assert_eq!(db.commit_count(), 2);

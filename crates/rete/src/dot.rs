@@ -35,18 +35,27 @@ impl ReteMatcher {
         for (id, node) in self.beta_nodes() {
             let i = id.index();
             match node {
-                BetaNode::Memory { tokens, children, parent } => {
+                BetaNode::Memory {
+                    tokens,
+                    children,
+                    parent,
+                } => {
                     let kind = if parent.is_none() { "top" } else { "memory" };
                     let _ = writeln!(
                         out,
                         "  n{} [shape=ellipse, label=\"{} n{}\\n|{}| tokens\"];",
-                        i, kind, i, tokens.len()
+                        i,
+                        kind,
+                        i,
+                        tokens.len()
                     );
                     for c in children {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());
                     }
                 }
-                BetaNode::Join { children, tests, .. } => {
+                BetaNode::Join {
+                    children, tests, ..
+                } => {
                     let _ = writeln!(
                         out,
                         "  n{} [shape=diamond, label=\"join n{}\\n{} tests\"];",
@@ -58,7 +67,9 @@ impl ReteMatcher {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());
                     }
                 }
-                BetaNode::Negative { children, tokens, .. } => {
+                BetaNode::Negative {
+                    children, tokens, ..
+                } => {
                     let _ = writeln!(
                         out,
                         "  n{} [shape=house, style=filled, fillcolor=mistyrose, \
@@ -101,10 +112,7 @@ mod tests {
     fn dot_export_shows_structure() {
         let mut m = ReteMatcher::new();
         m.add_rule(Arc::new(
-            analyze_rule(
-                &parse_rule("(p r1 (a ^x <v>) -(b ^x <v>) (halt))").unwrap(),
-            )
-            .unwrap(),
+            analyze_rule(&parse_rule("(p r1 (a ^x <v>) -(b ^x <v>) (halt))").unwrap()).unwrap(),
         ));
         m.add_rule(Arc::new(
             analyze_rule(&parse_rule("(p r2 [a ^x <v>] (halt))").unwrap()).unwrap(),

@@ -53,7 +53,12 @@ mod tests {
                 let r = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
                 m.add_rule(r);
             }
-            Harness { m, next_tag: 1, wmes: FxHashMap::default(), cs: FxHashMap::default() }
+            Harness {
+                m,
+                next_tag: 1,
+                wmes: FxHashMap::default(),
+                cs: FxHashMap::default(),
+            }
         }
 
         fn make(&mut self, class: &str, slots: &[(&str, Value)]) -> TimeTag {
@@ -103,7 +108,10 @@ mod tests {
         }
 
         fn player(&mut self, name: &str, team: &str) -> TimeTag {
-            self.make("player", &[("name", Value::sym(name)), ("team", Value::sym(team))])
+            self.make(
+                "player",
+                &[("name", Value::sym(name)), ("team", Value::sym(team))],
+            )
         }
     }
 
@@ -182,9 +190,7 @@ mod tests {
 
     #[test]
     fn soi_tracks_removal() {
-        let mut h = Harness::new(&[
-            "(p all [player ^team B ^name <n>] (halt))",
-        ]);
+        let mut h = Harness::new(&["(p all [player ^team B ^name <n>] (halt))"]);
         let tags = figure1_wm(&mut h);
         assert_eq!(h.size(), 1);
         assert_eq!(h.cs.values().next().unwrap().rows.len(), 3);
@@ -212,9 +218,7 @@ mod tests {
 
     #[test]
     fn negation_first_ce() {
-        let mut h = Harness::new(&[
-            "(p empty -(player ^team A) (goal ^want check) (halt))",
-        ]);
+        let mut h = Harness::new(&["(p empty -(player ^team A) (goal ^want check) (halt))"]);
         h.make("goal", &[("want", Value::sym("check"))]);
         assert_eq!(h.size(), 1);
         let a = h.player("X", "A");
@@ -227,9 +231,7 @@ mod tests {
     fn same_wme_feeding_consecutive_ces_no_duplicates() {
         // A single WME satisfies both CEs; the deepest-first activation
         // ordering must produce exactly one instantiation (w, w).
-        let mut h = Harness::new(&[
-            "(p twice (player ^name <n>) (player ^name <n>) (halt))",
-        ]);
+        let mut h = Harness::new(&["(p twice (player ^name <n>) (player ^name <n>) (halt))"]);
         h.player("Solo", "A");
         assert_eq!(h.size(), 1);
     }
@@ -243,7 +245,9 @@ mod tests {
             both.add_rule(Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap()));
         }
         let mut single = ReteMatcher::new();
-        single.add_rule(Arc::new(analyze_rule(&parse_rule(shared_a).unwrap()).unwrap()));
+        single.add_rule(Arc::new(
+            analyze_rule(&parse_rule(shared_a).unwrap()).unwrap(),
+        ));
         // Identical LHS prefix: the second rule adds only its production node.
         assert_eq!(both.alpha_count(), single.alpha_count());
         assert_eq!(both.node_count(), single.node_count() + 1);
@@ -259,17 +263,19 @@ mod tests {
         m.add_rule(Arc::new(
             analyze_rule(&parse_rule("(p r2 [player ^team A] (halt))").unwrap()).unwrap(),
         ));
-        assert_eq!(m.alpha_count(), before, "set-oriented CE reuses the alpha memory");
+        assert_eq!(
+            m.alpha_count(),
+            before,
+            "set-oriented CE reuses the alpha memory"
+        );
     }
 
     #[test]
     fn count_test_gates_soi() {
-        let mut h = Harness::new(&[
-            "(p dups { [player ^name <n> ^team <t>] <P> }
+        let mut h = Harness::new(&["(p dups { [player ^name <n> ^team <t>] <P> }
                :scalar (<n> <t>)
                :test ((count <P>) > 1)
-               (set-remove <P>))",
-        ]);
+               (set-remove <P>))"]);
         h.player("Sue", "B");
         assert_eq!(h.size(), 0);
         h.player("Sue", "B");
@@ -283,14 +289,12 @@ mod tests {
 
     #[test]
     fn switchteams_equal_count_test() {
-        let mut h = Harness::new(&[
-            "(p SwitchTeams
+        let mut h = Harness::new(&["(p SwitchTeams
                { [player ^team A] <ATeam> }
                { [player ^team B] <BTeam> }
                :test ((count <ATeam>) == (count <BTeam>))
                (set-modify <ATeam> ^team B)
-               (set-modify <BTeam> ^team A))",
-        ]);
+               (set-modify <BTeam> ^team A))"]);
         h.player("Jack", "A");
         assert_eq!(h.size(), 0, "1 vs 0: no rows at all without a B player");
         h.player("Sue", "B");
@@ -306,20 +310,25 @@ mod tests {
 
     #[test]
     fn predicates_and_disjunction_in_alpha() {
-        let mut h = Harness::new(&[
-            "(p sel (emp ^salary > 10000 ^dept << sales eng >>) (halt))",
-        ]);
-        h.make("emp", &[("salary", Value::Int(20000)), ("dept", Value::sym("sales"))]);
-        h.make("emp", &[("salary", Value::Int(5000)), ("dept", Value::sym("eng"))]);
-        h.make("emp", &[("salary", Value::Int(20000)), ("dept", Value::sym("hr"))]);
+        let mut h = Harness::new(&["(p sel (emp ^salary > 10000 ^dept << sales eng >>) (halt))"]);
+        h.make(
+            "emp",
+            &[("salary", Value::Int(20000)), ("dept", Value::sym("sales"))],
+        );
+        h.make(
+            "emp",
+            &[("salary", Value::Int(5000)), ("dept", Value::sym("eng"))],
+        );
+        h.make(
+            "emp",
+            &[("salary", Value::Int(20000)), ("dept", Value::sym("hr"))],
+        );
         assert_eq!(h.size(), 1);
     }
 
     #[test]
     fn intra_ce_variable_test() {
-        let mut h = Harness::new(&[
-            "(p self (edge ^from <x> ^to <x>) (halt))",
-        ]);
+        let mut h = Harness::new(&["(p self (edge ^from <x> ^to <x>) (halt))"]);
         h.make("edge", &[("from", Value::Int(1)), ("to", Value::Int(2))]);
         assert_eq!(h.size(), 0);
         h.make("edge", &[("from", Value::Int(3)), ("to", Value::Int(3))]);

@@ -67,7 +67,11 @@ impl ReteMatcher {
     /// An empty network.
     pub fn new() -> ReteMatcher {
         let mut nodes = Arena::new();
-        let top = nodes.alloc(BetaNode::Memory { parent: None, tokens: Vec::new(), children: Vec::new() });
+        let top = nodes.alloc(BetaNode::Memory {
+            parent: None,
+            tokens: Vec::new(),
+            children: Vec::new(),
+        });
         let mut tokens = TokenSlab::default();
         let dummy = tokens.alloc(Token {
             parent: None,
@@ -158,13 +162,23 @@ impl ReteMatcher {
         id
     }
 
-    fn find_shared_join(&self, parent: NodeId, amem: AMemId, tests: &[CompiledTest]) -> Option<NodeId> {
+    fn find_shared_join(
+        &self,
+        parent: NodeId,
+        amem: AMemId,
+        tests: &[CompiledTest],
+    ) -> Option<NodeId> {
         self.nodes[parent].children().iter().copied().find(|&c| {
             matches!(&self.nodes[c], BetaNode::Join { amem: a, tests: t, .. } if *a == amem && t == tests)
         })
     }
 
-    fn find_shared_negative(&self, parent: NodeId, amem: AMemId, tests: &[CompiledTest]) -> Option<NodeId> {
+    fn find_shared_negative(
+        &self,
+        parent: NodeId,
+        amem: AMemId,
+        tests: &[CompiledTest],
+    ) -> Option<NodeId> {
         self.nodes[parent].children().iter().copied().find(|&c| {
             matches!(&self.nodes[c], BetaNode::Negative { amem: a, tests: t, .. } if *a == amem && t == tests)
         })
@@ -319,7 +333,12 @@ impl Matcher for ReteMatcher {
         }
         self.wmes.insert(
             tag,
-            WmeEntry { wme: wme.clone(), amems: matched.clone(), tokens: Vec::new(), blocked: Vec::new() },
+            WmeEntry {
+                wme: wme.clone(),
+                amems: matched.clone(),
+                tokens: Vec::new(),
+                blocked: Vec::new(),
+            },
         );
         for &a in &matched {
             self.stats.alpha_activations += 1;
@@ -380,8 +399,7 @@ impl Matcher for ReteMatcher {
                 self.delete_token(t);
             }
             // Detach from the alpha network.
-            if let BetaNode::Join { amem, .. } | BetaNode::Negative { amem, .. } =
-                &self.nodes[node]
+            if let BetaNode::Join { amem, .. } | BetaNode::Negative { amem, .. } = &self.nodes[node]
             {
                 let amem = *amem;
                 self.amems[amem].successors.retain(|&s| s != node);
@@ -419,7 +437,9 @@ impl Matcher for ReteMatcher {
         // Unblock negative tokens this WME was blocking.
         let blocked = self.wmes[&tag].blocked.clone();
         for t in blocked {
-            let Some(token) = self.tokens.get_mut(t) else { continue };
+            let Some(token) = self.tokens.get_mut(t) else {
+                continue;
+            };
             if let Some(pos) = token.join_results.iter().position(|&w| w == tag) {
                 token.join_results.remove(pos);
                 if token.join_results.is_empty() {
@@ -488,7 +508,12 @@ impl ReteMatcher {
     fn right_activate(&mut self, node: NodeId, tag: TimeTag) {
         self.charge_beta();
         match &self.nodes[node] {
-            BetaNode::Join { parent, tests, children, .. } => {
+            BetaNode::Join {
+                parent,
+                tests,
+                children,
+                ..
+            } => {
                 let tests = tests.clone();
                 let children = children.clone();
                 let left_tokens = self.present_tokens(*parent);
@@ -504,7 +529,9 @@ impl ReteMatcher {
                 let tests = tests.clone();
                 let toks = tokens.clone();
                 for tk in toks {
-                    let Some(token) = self.tokens.get(tk) else { continue };
+                    let Some(token) = self.tokens.get(tk) else {
+                        continue;
+                    };
                     let left = token.parent.expect("negative tokens have parents");
                     if self.eval_tests(&tests, left, tag) {
                         let was_empty = {
@@ -590,7 +617,12 @@ impl ReteMatcher {
     /// A token was added to a Memory/Negative; push it through child `node`.
     fn activate_from_memory(&mut self, node: NodeId, tok: TokId) {
         match &self.nodes[node] {
-            BetaNode::Join { amem, tests, children, .. } => {
+            BetaNode::Join {
+                amem,
+                tests,
+                children,
+                ..
+            } => {
                 let (amem, tests, children) = (*amem, tests.clone(), children.clone());
                 self.charge_beta();
                 let wmes = self.amems[amem].wmes.clone();
@@ -616,7 +648,11 @@ impl ReteMatcher {
             BetaNode::Negative { tokens, .. } => tokens
                 .iter()
                 .copied()
-                .filter(|&t| self.tokens.get(t).is_some_and(|tk| tk.join_results.is_empty()))
+                .filter(|&t| {
+                    self.tokens
+                        .get(t)
+                        .is_some_and(|tk| tk.join_results.is_empty())
+                })
                 .collect(),
             _ => unreachable!("only memories and negatives store left tokens"),
         }
@@ -668,12 +704,16 @@ impl ReteMatcher {
 
     /// Delete a token and all its descendants (post-order).
     fn delete_token(&mut self, tok: TokId) {
-        let Some(token) = self.tokens.get_mut(tok) else { return };
+        let Some(token) = self.tokens.get_mut(tok) else {
+            return;
+        };
         let children = std::mem::take(&mut token.children);
         for c in children {
             self.delete_token(c);
         }
-        let Some(token) = self.tokens.release(tok) else { return };
+        let Some(token) = self.tokens.release(tok) else {
+            return;
+        };
         self.stats.tokens_deleted += 1;
         // Unregister from the owning node's memory.
         match &mut self.nodes[token.node] {
@@ -765,7 +805,10 @@ impl ReteMatcher {
                 let mut recency = tags.clone();
                 recency.sort_unstable_by(|a, b| b.cmp(a));
                 self.deltas.push(CsDelta::Insert(ConflictItem {
-                    key: InstKey::Tuple { rule: info.id, tags: tags.clone().into() },
+                    key: InstKey::Tuple {
+                        rule: info.id,
+                        tags: tags.clone().into(),
+                    },
                     rows: vec![tags.into()],
                     aggregates: Vec::new(),
                     version: 0,

@@ -183,7 +183,11 @@ mod tests {
         AggSpec {
             op,
             target: if pv {
-                AggTarget::Pv { var, pos_ce: 0, attr: Symbol::new("a") }
+                AggTarget::Pv {
+                    var,
+                    pos_ce: 0,
+                    attr: Symbol::new("a"),
+                }
             } else {
                 AggTarget::Ce { var, pos_ce: 0 }
             },
@@ -271,7 +275,10 @@ mod tests {
             let s = AggState::new(spec(op, true));
             assert_eq!(s.current(), Value::Nil, "{:?}", op);
         }
-        assert_eq!(AggState::new(spec(AggOp::Count, true)).current(), Value::Int(0));
+        assert_eq!(
+            AggState::new(spec(AggOp::Count, true)).current(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -281,8 +288,7 @@ mod tests {
         s.add_row(t(1), Value::sym("Sue"));
         s.add_row(t(2), Value::sym("Sue"));
         s.add_row(t(3), Value::sym("Jack"));
-        let pairs: Vec<(String, u32)> =
-            s.value_pairs().map(|(v, c)| (v.to_string(), *c)).collect();
+        let pairs: Vec<(String, u32)> = s.value_pairs().map(|(v, c)| (v.to_string(), *c)).collect();
         assert_eq!(pairs, vec![("Jack".to_string(), 1), ("Sue".to_string(), 2)]);
         assert_eq!(s.wme_count(), 3);
     }

@@ -54,7 +54,10 @@ mod tests {
 
     impl Wm {
         fn new() -> Wm {
-            Wm { wmes: FxHashMap::default(), next: 1 }
+            Wm {
+                wmes: FxHashMap::default(),
+                next: 1,
+            }
         }
 
         fn make(&mut self, class: &str, slots: &[(&str, Value)]) -> TimeTag {
@@ -83,11 +86,16 @@ mod tests {
     fn chg_new_emits_insert_when_test_passes() {
         let mut sn = snode("(p r [player ^name <n> ^team A] (write <n>))");
         let mut wm = Wm::new();
-        let w1 = wm.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("A"))]);
+        let w1 = wm.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        );
         let mut out = Vec::new();
         sn.insert_row(&[w1], &wm.lookup(), &mut out);
         assert_eq!(out.len(), 1);
-        let CsDelta::Insert(item) = &out[0] else { panic!("expected insert, got {:?}", out) };
+        let CsDelta::Insert(item) = &out[0] else {
+            panic!("expected insert, got {:?}", out)
+        };
         assert_eq!(item.rows.len(), 1);
         assert!(item.key.is_soi());
         assert_eq!(sn.candidate_count(), 1);
@@ -108,7 +116,9 @@ mod tests {
         // figure's `new-time` + inactive path activates with `+`.
         sn.insert_row(&[w2], &wm.lookup(), &mut out);
         assert_eq!(out.len(), 1);
-        let CsDelta::Insert(item) = &out[0] else { panic!("{:?}", out) };
+        let CsDelta::Insert(item) = &out[0] else {
+            panic!("{:?}", out)
+        };
         assert_eq!(item.aggregates, vec![Value::Int(2)]);
         assert_eq!(item.rows.len(), 2);
         // Head row is the most recent.
@@ -170,13 +180,17 @@ mod tests {
         // w2 is more recent → becomes head → new-time → `time` token.
         sn.insert_row(&[w2], &wm.lookup(), &mut out);
         assert_eq!(out.len(), 1);
-        let CsDelta::Retime(info) = &out[0] else { panic!("{:?}", out) };
+        let CsDelta::Retime(info) = &out[0] else {
+            panic!("{:?}", out)
+        };
         assert_eq!(info.recency.as_ref(), &[w2]);
         // The slim token materializes back to the full SOI on demand.
-        let item = sn.materialize(match &info.key {
-            sorete_base::InstKey::Soi { parts, .. } => parts,
-            other => panic!("{:?}", other),
-        }).expect("active SOI materializes");
+        let item = sn
+            .materialize(match &info.key {
+                sorete_base::InstKey::Soi { parts, .. } => parts,
+                other => panic!("{:?}", other),
+            })
+            .expect("active SOI materializes");
         assert_eq!(item.rows.len(), 2);
     }
 
@@ -195,11 +209,15 @@ mod tests {
         // Row (a1, b1) has recency [2,1] — strictly less recent → same-time.
         sn.insert_row(&[a1, b1], &wm.lookup(), &mut out);
         assert_eq!(out.len(), 1);
-        let CsDelta::Retime(info) = &out[0] else { panic!("{:?}", out) };
-        let item = sn.materialize(match &info.key {
-            sorete_base::InstKey::Soi { parts, .. } => parts,
-            other => panic!("{:?}", other),
-        }).expect("active SOI materializes");
+        let CsDelta::Retime(info) = &out[0] else {
+            panic!("{:?}", out)
+        };
+        let item = sn
+            .materialize(match &info.key {
+                sorete_base::InstKey::Soi { parts, .. } => parts,
+                other => panic!("{:?}", other),
+            })
+            .expect("active SOI materializes");
         assert_eq!(item.rows.len(), 2);
         // Head is unchanged.
         assert_eq!(item.rows[0].as_ref(), &[a0, b1]);
@@ -227,13 +245,21 @@ mod tests {
     #[test]
     fn scalar_ce_partitions_into_separate_sois() {
         // Figure 2, compete2: set CE + regular CE → one SOI per regular match.
-        let mut sn = snode(
-            "(p compete2 [player ^name <n> ^team A] (player ^name <n> ^team B) (halt))",
-        );
+        let mut sn =
+            snode("(p compete2 [player ^name <n> ^team A] (player ^name <n> ^team B) (halt))");
         let mut wm = Wm::new();
-        let jack_a = wm.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("A"))]);
-        let jack_b1 = wm.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("B"))]);
-        let jack_b2 = wm.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("B"))]);
+        let jack_a = wm.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        );
+        let jack_b1 = wm.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("B"))],
+        );
+        let jack_b2 = wm.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("B"))],
+        );
         let mut out = Vec::new();
         sn.insert_row(&[jack_a, jack_b1], &wm.lookup(), &mut out);
         sn.insert_row(&[jack_a, jack_b2], &wm.lookup(), &mut out);
@@ -260,7 +286,9 @@ mod tests {
         assert_eq!(sn.candidate_count(), 2, "partitioned by <n>'s value");
         // Only the Sue-partition (2 WMEs) passes the count test.
         assert_eq!(out.len(), 1);
-        let CsDelta::Insert(item) = &out[0] else { panic!("{:?}", out) };
+        let CsDelta::Insert(item) = &out[0] else {
+            panic!("{:?}", out)
+        };
         assert_eq!(item.rows.len(), 2);
         assert_eq!(item.aggregates, vec![Value::Int(2)]);
     }
@@ -268,9 +296,8 @@ mod tests {
     #[test]
     fn test_referencing_scalar_variable() {
         // `:test` mixing an aggregate with a scalar var bound by a regular CE.
-        let mut sn = snode(
-            "(p r (limit ^n <k>) { [item ^kind x] <P> } :test ((count <P>) >= <k>) (halt))",
-        );
+        let mut sn =
+            snode("(p r (limit ^n <k>) { [item ^kind x] <P> } :test ((count <P>) >= <k>) (halt))");
         let mut wm = Wm::new();
         let lim = wm.make("limit", &[("n", Value::Int(2))]);
         let i1 = wm.make("item", &[("kind", Value::sym("x"))]);
@@ -301,7 +328,10 @@ mod tests {
             CsDelta::Retime(i) => i.version,
             other => panic!("{:?}", other),
         };
-        assert!(v2 > v1, "an SOI that changes becomes eligible to fire again");
+        assert!(
+            v2 > v1,
+            "an SOI that changes becomes eligible to fire again"
+        );
     }
 
     #[test]

@@ -30,8 +30,7 @@
 
 use crate::aggregate::AggState;
 use sorete_base::{
-    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, RetimeInfo, RuleId, Symbol, TimeTag,
-    Value,
+    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, RetimeInfo, RuleId, Symbol, TimeTag, Value,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::ast::AggOp;
@@ -115,7 +114,15 @@ impl SNode {
             .filter(|(_, s)| !s.set_oriented)
             .map(|(v, s)| (*v, s.pos_ce, s.attr))
             .collect();
-        SNode { rule_id, rule, key_tags, key_vals, scalar_vars, entries: FxHashMap::default(), stats: SoiStats::default() }
+        SNode {
+            rule_id,
+            rule,
+            key_tags,
+            key_vals,
+            scalar_vars,
+            entries: FxHashMap::default(),
+            stats: SoiStats::default(),
+        }
     }
 
     /// Counters.
@@ -133,7 +140,11 @@ impl SNode {
         &self.rule
     }
 
-    fn key_of(&self, tags: &[TimeTag], lookup: &dyn Fn(TimeTag, Symbol) -> Value) -> Box<[KeyPart]> {
+    fn key_of(
+        &self,
+        tags: &[TimeTag],
+        lookup: &dyn Fn(TimeTag, Symbol) -> Value,
+    ) -> Box<[KeyPart]> {
         let mut key = Vec::with_capacity(self.key_tags.len() + self.key_vals.len());
         for &pos in &self.key_tags {
             key.push(KeyPart::Tag(tags[pos]));
@@ -155,13 +166,24 @@ impl SNode {
         let key = self.key_of(tags, lookup);
 
         // Stage 1: find the SOI and place the token within it.
-        let entry = self.entries.entry(key.clone()).or_insert_with(|| GammaEntry {
-            rows: Vec::new(),
-            active: false,
-            aggs: self.rule.aggregates.iter().map(|s| AggState::new(*s)).collect(),
-            version: 0,
-        });
-        let row = Row { tags: tags.into(), recency: recency_of(tags) };
+        let entry = self
+            .entries
+            .entry(key.clone())
+            .or_insert_with(|| GammaEntry {
+                rows: Vec::new(),
+                active: false,
+                aggs: self
+                    .rule
+                    .aggregates
+                    .iter()
+                    .map(|s| AggState::new(*s))
+                    .collect(),
+                version: 0,
+            });
+        let row = Row {
+            tags: tags.into(),
+            recency: recency_of(tags),
+        };
         let mut chg = if entry.rows.is_empty() {
             entry.rows.push(row);
             Chg::New
@@ -298,7 +320,10 @@ impl SNode {
     }
 
     fn inst_key(&self, key: &[KeyPart]) -> InstKey {
-        InstKey::Soi { rule: self.rule_id, parts: key.into() }
+        InstKey::Soi {
+            rule: self.rule_id,
+            parts: key.into(),
+        }
     }
 
     fn item_for(&self, key: &[KeyPart]) -> ConflictItem {
@@ -326,8 +351,16 @@ impl SNode {
         }
         self.stats.test_evals += 1;
         let entry = &self.entries[key];
-        let env = GammaEnv { node: self, entry, key, lookup };
-        self.rule.tests.iter().all(|t| eval_truthy(t, &env).unwrap_or(false))
+        let env = GammaEnv {
+            node: self,
+            entry,
+            key,
+            lookup,
+        };
+        self.rule
+            .tests
+            .iter()
+            .all(|t| eval_truthy(t, &env).unwrap_or(false))
     }
 }
 

@@ -204,12 +204,18 @@ impl TreatMatcher {
             let lookup =
                 move |t: TimeTag, a: Symbol| wmes.get(&t).map(|w| w.get(a)).unwrap_or(Value::Nil);
             let rs = &mut self.rules[ri];
-            rs.snode.as_mut().unwrap().insert_row(&row, &lookup, &mut self.deltas);
+            rs.snode
+                .as_mut()
+                .unwrap()
+                .insert_row(&row, &lookup, &mut self.deltas);
         } else {
             let mut recency: Vec<TimeTag> = row.to_vec();
             recency.sort_unstable_by(|a, b| b.cmp(a));
             self.deltas.push(CsDelta::Insert(ConflictItem {
-                key: InstKey::Tuple { rule: id, tags: row.clone() },
+                key: InstKey::Tuple {
+                    rule: id,
+                    tags: row.clone(),
+                },
                 rows: vec![row],
                 aggregates: Vec::new(),
                 version: 0,
@@ -233,9 +239,15 @@ impl TreatMatcher {
             let lookup =
                 move |t: TimeTag, a: Symbol| wmes.get(&t).map(|w| w.get(a)).unwrap_or(Value::Nil);
             let rs = &mut self.rules[ri];
-            rs.snode.as_mut().unwrap().remove_row(row, &lookup, &mut self.deltas);
+            rs.snode
+                .as_mut()
+                .unwrap()
+                .remove_row(row, &lookup, &mut self.deltas);
         } else {
-            self.deltas.push(CsDelta::Remove(InstKey::Tuple { rule: id, tags: row.into() }));
+            self.deltas.push(CsDelta::Remove(InstKey::Tuple {
+                rule: id,
+                tags: row.into(),
+            }));
         }
     }
 }
@@ -268,7 +280,11 @@ impl Matcher for TreatMatcher {
                         })
                         .map(|w| w.tag)
                         .collect();
-                    self.amems.push(AlphaMem { sig: sig.clone(), wmes, subs: Vec::new() });
+                    self.amems.push(AlphaMem {
+                        sig: sig.clone(),
+                        wmes,
+                        subs: Vec::new(),
+                    });
                     self.alpha_index.insert(sig, self.amems.len() - 1);
                     self.amems.len() - 1
                 }
@@ -459,7 +475,12 @@ mod tests {
             for r in rules {
                 m.add_rule(Arc::new(analyze_rule(&parse_rule(r).unwrap()).unwrap()));
             }
-            H { m, cs: FxHashMap::default(), next: 1, store: FxHashMap::default() }
+            H {
+                m,
+                cs: FxHashMap::default(),
+                next: 1,
+                store: FxHashMap::default(),
+            }
         }
 
         fn make(&mut self, class: &str, slots: &[(&str, Value)]) -> TimeTag {
@@ -489,7 +510,10 @@ mod tests {
                     CsDelta::Retime(info) => {
                         // May be followed by a Remove in the same batch.
                         if let Some(fresh) = self.m.materialize(&info.key) {
-                            assert!(self.cs.insert(info.key.clone(), fresh).is_some(), "unknown retime");
+                            assert!(
+                                self.cs.insert(info.key.clone(), fresh).is_some(),
+                                "unknown retime"
+                            );
                         }
                     }
                 }
@@ -499,22 +523,35 @@ mod tests {
 
     #[test]
     fn figure1_six_instantiations() {
-        let mut h = H::new(&[
-            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))",
-        ]);
-        for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")] {
-            h.make("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]);
+        let mut h =
+            H::new(&["(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))"]);
+        for (n, t) in [
+            ("Jack", "A"),
+            ("Janice", "A"),
+            ("Sue", "B"),
+            ("Jack", "B"),
+            ("Sue", "B"),
+        ] {
+            h.make(
+                "player",
+                &[("name", Value::sym(n)), ("team", Value::sym(t))],
+            );
         }
         assert_eq!(h.cs.len(), 6);
     }
 
     #[test]
     fn removal_searches_conflict_set() {
-        let mut h = H::new(&[
-            "(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))",
-        ]);
-        let a = h.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("A"))]);
-        h.make("player", &[("name", Value::sym("Sue")), ("team", Value::sym("B"))]);
+        let mut h =
+            H::new(&["(p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B) (halt))"]);
+        let a = h.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        );
+        h.make(
+            "player",
+            &[("name", Value::sym("Sue")), ("team", Value::sym("B"))],
+        );
         assert_eq!(h.cs.len(), 1);
         h.remove(a);
         assert_eq!(h.cs.len(), 0);
@@ -522,12 +559,17 @@ mod tests {
 
     #[test]
     fn negation_block_and_unblock() {
-        let mut h = H::new(&[
-            "(p lonely (player ^name <n> ^team A) -(player ^name <n> ^team B) (halt))",
-        ]);
-        h.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("A"))]);
+        let mut h =
+            H::new(&["(p lonely (player ^name <n> ^team A) -(player ^name <n> ^team B) (halt))"]);
+        h.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        );
         assert_eq!(h.cs.len(), 1);
-        let b = h.make("player", &[("name", Value::sym("Jack")), ("team", Value::sym("B"))]);
+        let b = h.make(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("B"))],
+        );
         assert_eq!(h.cs.len(), 0);
         h.remove(b);
         assert_eq!(h.cs.len(), 1);

@@ -19,7 +19,10 @@ fn main() {
         println!(
             "SOI key {:?}: rows {:?}",
             soi.key,
-            soi.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect::<Vec<_>>()).collect::<Vec<_>>()
+            soi.rows
+                .iter()
+                .map(|r| r.iter().map(|t| t.raw()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -29,7 +32,9 @@ fn main() {
     let mut tuple = DipsEngine::new(DipsMode::Tuple, prog_tuple).unwrap();
     tuple.insert("flag", &[("on", Value::sym("t"))]).unwrap();
     for _ in 0..8 {
-        tuple.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+        tuple
+            .insert("item", &[("s", Value::sym("pending"))])
+            .unwrap();
     }
     let mut cycles = 0;
     loop {

@@ -62,7 +62,11 @@ fn main() {
     for (p, c, q) in edges {
         ps.make_str(
             "part",
-            &[("parent", Value::sym(p)), ("child", Value::sym(c)), ("qty", Value::Int(*q))],
+            &[
+                ("parent", Value::sym(p)),
+                ("child", Value::sym(c)),
+                ("qty", Value::Int(*q)),
+            ],
         )
         .unwrap();
     }
@@ -72,11 +76,13 @@ fn main() {
     println!("; closure derived in {} firings", closure.fired);
 
     // Phase 2: hierarchical report (one firing).
-    ps.make_str("probe", &[("root", Value::sym("engine"))]).unwrap();
+    ps.make_str("probe", &[("root", Value::sym("engine"))])
+        .unwrap();
     ps.run(Some(10));
 
     // Phase 3: aggregate over the closure (one firing).
-    ps.make_str("probe2", &[("root", Value::sym("car"))]).unwrap();
+    ps.make_str("probe2", &[("root", Value::sym("car"))])
+        .unwrap();
     ps.run(Some(10));
 
     for line in ps.take_output() {
@@ -87,6 +93,9 @@ fn main() {
         "; {} total firings, {} makes — the closure is {} reach WMEs",
         stats.firings,
         stats.makes,
-        ps.wm().iter().filter(|w| w.class.as_str() == "reach").count()
+        ps.wm()
+            .iter()
+            .filter(|w| w.class.as_str() == "reach")
+            .count()
     );
 }

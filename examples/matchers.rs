@@ -7,7 +7,7 @@
 //! cargo run --example matchers
 //! ```
 
-use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::core::{MatcherKind, ProductionSystem, StopReason};
 use sorete_base::Value;
 
 const PROGRAM: &str = "(literalize task id dur state)
@@ -27,7 +27,11 @@ fn run(kind: MatcherKind) {
     for i in 0..30i64 {
         ps.make_str(
             "task",
-            &[("id", Value::Int(i)), ("dur", Value::Int(10 + i)), ("state", Value::sym("queued"))],
+            &[
+                ("id", Value::Int(i)),
+                ("dur", Value::Int(10 + i)),
+                ("state", Value::sym("queued")),
+            ],
         )
         .unwrap();
     }
@@ -35,7 +39,10 @@ fn run(kind: MatcherKind) {
     let started = ps.run(Some(100));
     ps.make_str("probe", &[("at", Value::sym("t"))]).unwrap();
     let outcome = ps.run(Some(200));
-    let outcome = sorete::core::RunOutcome { fired: outcome.fired + started.fired, ..outcome };
+    let outcome = sorete::core::RunOutcome {
+        fired: outcome.fired + started.fired,
+        ..outcome
+    };
     let summary = ps
         .wm()
         .dump()
@@ -43,6 +50,9 @@ fn run(kind: MatcherKind) {
         .find(|w| w.class.as_str() == "summary")
         .map(|w| format!("{}", w))
         .unwrap_or_else(|| "<none>".into());
+    if let StopReason::Error(e) = &outcome.reason {
+        eprintln!("run failed after {} firings: {}", outcome.fired, e);
+    }
     println!("--- {} ---", ps.matcher_name());
     println!("  fired: {} ({:?})", outcome.fired, outcome.reason);
     println!("  summary wme: {}", summary);

@@ -9,7 +9,7 @@
 //! cargo run --example payroll
 //! ```
 
-use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::core::{MatcherKind, ProductionSystem, StopReason};
 use sorete_base::Value;
 
 fn main() {
@@ -46,7 +46,11 @@ fn main() {
     .expect("program loads");
 
     for (id, budget) in [(10, 95_000), (20, 70_000)] {
-        ps.make_str("dept", &[("id", Value::Int(id)), ("budget", Value::Int(budget))]).unwrap();
+        ps.make_str(
+            "dept",
+            &[("id", Value::Int(id)), ("budget", Value::Int(budget))],
+        )
+        .unwrap();
     }
     let emps: &[(&str, i64, i64)] = &[
         ("ann", 10, 120_000),
@@ -59,12 +63,19 @@ fn main() {
     for (name, dept, sal) in emps {
         ps.make_str(
             "emp",
-            &[("name", Value::sym(name)), ("dept", Value::Int(*dept)), ("salary", Value::Int(*sal))],
+            &[
+                ("name", Value::sym(name)),
+                ("dept", Value::Int(*dept)),
+                ("salary", Value::Int(*sal)),
+            ],
         )
         .unwrap();
     }
 
     let outcome = ps.run(Some(100));
+    if let StopReason::Error(e) = &outcome.reason {
+        eprintln!("run failed after {} firings: {}", outcome.fired, e);
+    }
     println!("fired {} rules ({:?})", outcome.fired, outcome.reason);
     println!("\nfindings:");
     for wme in ps.wm().dump() {

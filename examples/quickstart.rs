@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::core::{MatcherKind, ProductionSystem, StopReason};
 use sorete_base::Value;
 
 fn main() {
@@ -35,12 +35,19 @@ fn main() {
     for (id, qty) in [(1, 250), (2, 50), (3, 180), (4, 920), (5, 75)] {
         ps.make_str(
             "order",
-            &[("id", Value::Int(id)), ("qty", Value::Int(qty)), ("status", Value::sym("open"))],
+            &[
+                ("id", Value::Int(id)),
+                ("qty", Value::Int(qty)),
+                ("status", Value::sym("open")),
+            ],
         )
         .expect("make order");
     }
 
     let outcome = ps.run(Some(100));
+    if let StopReason::Error(e) = &outcome.reason {
+        eprintln!("run failed after {} firings: {}", outcome.fired, e);
+    }
     println!("fired {} rules ({:?})", outcome.fired, outcome.reason);
     for line in ps.take_output() {
         println!("write> {}", line);

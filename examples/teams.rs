@@ -11,15 +11,24 @@ use sorete_base::Value;
 
 const LITERALIZE: &str = "(literalize player name team)\n";
 
-const FIGURE1_WM: &[(&str, &str)] =
-    &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")];
+const FIGURE1_WM: &[(&str, &str)] = &[
+    ("Jack", "A"),
+    ("Janice", "A"),
+    ("Sue", "B"),
+    ("Jack", "B"),
+    ("Sue", "B"),
+];
 
 fn engine_with(rule: &str) -> ProductionSystem {
     let mut ps = ProductionSystem::new(MatcherKind::Rete);
-    ps.load_program(&format!("{}{}", LITERALIZE, rule)).expect("program loads");
+    ps.load_program(&format!("{}{}", LITERALIZE, rule))
+        .expect("program loads");
     for (n, t) in FIGURE1_WM {
-        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))])
-            .expect("make player");
+        ps.make_str(
+            "player",
+            &[("name", Value::sym(n)), ("team", Value::sym(t))],
+        )
+        .expect("make player");
     }
     ps
 }
@@ -36,7 +45,9 @@ fn main() {
         println!("  {}", line);
     }
 
-    println!("\n=== Figure 2 (top): all-set LHS — ONE instantiation holding the whole relation ===");
+    println!(
+        "\n=== Figure 2 (top): all-set LHS — ONE instantiation holding the whole relation ==="
+    );
     let mut ps = engine_with(
         "(p compete1 [player ^name <n1> ^team A] [player ^name <n2> ^team B]
            (write one instantiation with (count <n1>) x (count <n2>) distinct names)
@@ -51,9 +62,8 @@ fn main() {
     }
 
     println!("\n=== Figure 2 (bottom): mixed LHS — partitioned by the regular CE ===");
-    let ps2 = engine_with(
-        "(p compete2 [player ^name <n1> ^team A] (player ^name <n2> ^team B) (halt))",
-    );
+    let ps2 =
+        engine_with("(p compete2 [player ^name <n1> ^team A] (player ^name <n2> ^team B) (halt))");
     println!(
         "conflict set size: {} (one SOI per team-B WME, each aggregating both A players)",
         ps2.conflict_set_len()
@@ -86,7 +96,11 @@ fn main() {
     ))
     .unwrap();
     for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Mike", "B")] {
-        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+        ps.make_str(
+            "player",
+            &[("name", Value::sym(n)), ("team", Value::sym(t))],
+        )
+        .unwrap();
     }
     ps.run(Some(5));
     for line in ps.take_output() {
@@ -96,7 +110,9 @@ fn main() {
         println!("  {}", wme);
     }
 
-    println!("\n=== Figure 5: RemoveDups — deduplicate working memory in one firing per dup-group ===");
+    println!(
+        "\n=== Figure 5: RemoveDups — deduplicate working memory in one firing per dup-group ==="
+    );
     let mut ps = engine_with(
         "(p RemoveDups
            { [player ^name <n> ^team <t>] <P> }

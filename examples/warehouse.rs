@@ -11,7 +11,7 @@
 //! cargo run --example warehouse
 //! ```
 
-use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::core::{MatcherKind, ProductionSystem, StopReason};
 use sorete_base::{Symbol, Value};
 
 const PROGRAM: &str = "(literalize order id status)
@@ -57,11 +57,18 @@ fn main() {
     ps.load_program(PROGRAM).expect("program loads");
 
     for (sku, on_hand) in [("widget", 500), ("gadget", 300)] {
-        ps.make_str("stock", &[("sku", Value::sym(sku)), ("on-hand", Value::Int(on_hand))])
-            .unwrap();
+        ps.make_str(
+            "stock",
+            &[("sku", Value::sym(sku)), ("on-hand", Value::Int(on_hand))],
+        )
+        .unwrap();
     }
     // Order 1: 3 small lines (fits). Order 2: one huge line (rejected).
-    ps.make_str("order", &[("id", Value::Int(1)), ("status", Value::sym("open"))]).unwrap();
+    ps.make_str(
+        "order",
+        &[("id", Value::Int(1)), ("status", Value::sym("open"))],
+    )
+    .unwrap();
     for (sku, qty) in [("widget", 30), ("widget", 20), ("gadget", 25)] {
         ps.make_str(
             "line",
@@ -74,7 +81,11 @@ fn main() {
         )
         .unwrap();
     }
-    ps.make_str("order", &[("id", Value::Int(2)), ("status", Value::sym("open"))]).unwrap();
+    ps.make_str(
+        "order",
+        &[("id", Value::Int(2)), ("status", Value::sym("open"))],
+    )
+    .unwrap();
     ps.make_str(
         "line",
         &[
@@ -87,6 +98,9 @@ fn main() {
     .unwrap();
 
     let outcome = ps.run(Some(50));
+    if let StopReason::Error(e) = &outcome.reason {
+        eprintln!("run failed after {} firings: {}", outcome.fired, e);
+    }
     for line in ps.take_output() {
         println!("{}", line);
     }
@@ -101,5 +115,9 @@ fn main() {
         .iter()
         .find(|w| w.class.as_str() == "stock" && w.get(Symbol::new("sku")) == Value::sym("widget"))
         .unwrap();
-    assert_eq!(widget.get(Symbol::new("on-hand")), Value::Int(450), "500 - 50 allocated widgets");
+    assert_eq!(
+        widget.get(Symbol::new("on-hand")),
+        Value::Int(450),
+        "500 - 50 allocated widgets"
+    );
 }

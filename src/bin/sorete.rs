@@ -169,11 +169,20 @@ fn print_stats(ps: &ProductionSystem) {
         s.modifies,
         s.writes
     );
+    if s.skipped_actions > 0 || s.rolled_back > 0 {
+        println!(
+            "; recovery: skipped_actions={} rolled_back={}",
+            s.skipped_actions, s.rolled_back
+        );
+    }
     println!("; match [{}]: {}", ps.matcher_name(), ps.match_stats());
     let mut per_rule: Vec<_> = s.per_rule.iter().collect();
     per_rule.sort_by_key(|(name, _)| name.as_str());
     for (name, rs) in per_rule {
-        println!(";   {}: {} firings, {} actions", name, rs.firings, rs.actions);
+        println!(
+            ";   {}: {} firings, {} actions",
+            name, rs.firings, rs.actions
+        );
     }
 }
 
@@ -182,14 +191,20 @@ fn print_cs(ps: &ProductionSystem) {
     items.sort_by(|a, b| b.recency.cmp(&a.recency));
     println!("; conflict set ({} entries):", items.len());
     for item in items {
-        let rows: Vec<Vec<u64>> =
-            item.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect();
+        let rows: Vec<Vec<u64>> = item
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|t| t.raw()).collect())
+            .collect();
         println!(
             ";   rule#{} {} rows={:?} aggregates={:?}",
             item.key.rule().index(),
             if item.key.is_soi() { "[SOI]" } else { "" },
             rows,
-            item.aggregates.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            item.aggregates
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -219,7 +234,11 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                 let n: Option<u64> = rest.parse().ok();
                 let outcome = ps.run(n.or(limit));
                 flush_output(ps);
-                println!("; fired {} ({:?})", outcome.fired, outcome.reason);
+                if let sorete::core::StopReason::Error(e) = &outcome.reason {
+                    eprintln!("; error after {} firings: {}", outcome.fired, e);
+                } else {
+                    println!("; fired {} ({:?})", outcome.fired, outcome.reason);
+                }
             }
             "step" => match ps.step() {
                 Ok(Some(rule)) => {
@@ -246,12 +265,10 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                 Err(e) => println!("; error: {}", e),
             },
             "remove" => match rest.parse::<u64>() {
-                Ok(raw) => {
-                    match ps.retract_wme(sorete_base::TimeTag::new(raw)) {
-                        Ok(()) => println!("; removed {}", raw),
-                        Err(e) => println!("; error: {}", e),
-                    }
-                }
+                Ok(raw) => match ps.retract_wme(sorete_base::TimeTag::new(raw)) {
+                    Ok(()) => println!("; removed {}", raw),
+                    Err(e) => println!("; error: {}", e),
+                },
                 Err(_) => println!("; usage: remove <tag>"),
             },
             "wm" => {
@@ -296,7 +313,8 @@ fn run() -> Result<(), String> {
 
     for file in &opts.programs {
         let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
-        ps.load_program(&src).map_err(|e| format!("{}: {}", file, e))?;
+        ps.load_program(&src)
+            .map_err(|e| format!("{}: {}", file, e))?;
     }
     for file in &opts.wm_files {
         let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
@@ -311,7 +329,10 @@ fn run() -> Result<(), String> {
                 std::fs::write(path, dot).map_err(|e| format!("{}: {}", path, e))?;
                 eprintln!("; wrote network DOT to {}", path);
             }
-            None => eprintln!("; --dot: the {} matcher has no network to render", ps.matcher_name()),
+            None => eprintln!(
+                "; --dot: the {} matcher has no network to render",
+                ps.matcher_name()
+            ),
         }
     }
     if opts.repl {
@@ -320,6 +341,12 @@ fn run() -> Result<(), String> {
     } else {
         let outcome = ps.run(opts.limit);
         flush_output(&mut ps);
+        if let sorete::core::StopReason::Error(e) = &outcome.reason {
+            if opts.stats {
+                print_stats(&ps);
+            }
+            return Err(format!("error after {} firings: {}", outcome.fired, e));
+        }
         eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason);
     }
     if opts.stats {
@@ -344,10 +371,19 @@ mod tests {
 
     #[test]
     fn parses_options() {
-        let args: Vec<String> = ["--matcher", "treat", "--strategy", "mea", "--limit", "5", "--trace", "prog.ops"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--matcher",
+            "treat",
+            "--strategy",
+            "mea",
+            "--limit",
+            "5",
+            "--trace",
+            "prog.ops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = parse_args(&args).unwrap();
         assert_eq!(o.matcher, MatcherKind::Treat);
         assert_eq!(o.strategy, Strategy::Mea);

@@ -1,11 +1,11 @@
 #![warn(missing_docs)]
 //! Umbrella crate: re-exports the sorete workspace public API for examples and integration tests.
 pub use sorete_base as base;
-pub use sorete_lang as lang;
-pub use sorete_soi as soi;
-pub use sorete_rete as rete;
-pub use sorete_treat as treat;
-pub use sorete_naive as naive;
 pub use sorete_core as core;
-pub use sorete_reldb as reldb;
 pub use sorete_dips as dips;
+pub use sorete_lang as lang;
+pub use sorete_naive as naive;
+pub use sorete_reldb as reldb;
+pub use sorete_rete as rete;
+pub use sorete_soi as soi;
+pub use sorete_treat as treat;

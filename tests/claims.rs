@@ -25,7 +25,11 @@ fn c1_regular_rules_pay_nothing_for_the_extension() {
         let mut ps = ProductionSystem::new(MatcherKind::Rete);
         ps.load_program(program).unwrap();
         for i in 0..50i64 {
-            ps.make_str("job", &[("id", Value::Int(i)), ("state", Value::sym("ready"))]).unwrap();
+            ps.make_str(
+                "job",
+                &[("id", Value::Int(i)), ("state", Value::sym("ready"))],
+            )
+            .unwrap();
         }
         ps.run(Some(200));
         (ps.stats().firings, ps.match_stats())
@@ -34,7 +38,10 @@ fn c1_regular_rules_pay_nothing_for_the_extension() {
     let (f1, m1) = run(regular);
     let (f2, m2) = run(&with_set_rule);
     assert_eq!(f1, f2);
-    assert_eq!(m1.tokens_created, m2.tokens_created, "identical token traffic");
+    assert_eq!(
+        m1.tokens_created, m2.tokens_created,
+        "identical token traffic"
+    );
     assert_eq!(m1.join_tests, m2.join_tests);
     assert_eq!(m1.beta_activations, m2.beta_activations);
     assert_eq!(m2.snode_activations, 0, "the unused S-node never activates");
@@ -59,7 +66,8 @@ fn run_sweep(program: &str, n: usize) -> (u64, f64) {
     let mut ps = ProductionSystem::new(MatcherKind::Rete);
     ps.load_program(program).unwrap();
     for _ in 0..n {
-        ps.make_str("item", &[("s", Value::sym("pending"))]).unwrap();
+        ps.make_str("item", &[("s", Value::sym("pending"))])
+            .unwrap();
     }
     ps.make_str("phase", &[("p", Value::sym("sweep"))]).unwrap();
     let out = ps.run(Some(5000));
@@ -74,7 +82,11 @@ fn c2_marking_scheme_needs_linear_firings_set_oriented_needs_one() {
     for n in [5usize, 20, 60] {
         let (tuple_firings, _) = run_sweep(MARKING_PROGRAM, n);
         let (set_firings, _) = run_sweep(SET_PROGRAM, n);
-        assert_eq!(tuple_firings, n as u64 + 1, "n item firings + 1 control firing");
+        assert_eq!(
+            tuple_firings,
+            n as u64 + 1,
+            "n item firings + 1 control firing"
+        );
         assert_eq!(set_firings, 1, "one firing regardless of n");
     }
 }
@@ -105,15 +117,22 @@ fn c3_direct_cardinality_match_replaces_counter_rules() {
             ps.make_str("box", &[("s", Value::sym("new"))]).unwrap();
         }
         let out = ps.run(Some(1000));
-        let alarms =
-            ps.wm().iter().filter(|w| w.class.as_str() == "alarm").count();
+        let alarms = ps
+            .wm()
+            .iter()
+            .filter(|w| w.class.as_str() == "alarm")
+            .count();
         (out.fired, alarms)
     };
     let (tuple_firings, tuple_alarms) = run(COUNTER_PROGRAM, 6);
     let (set_firings, set_alarms) = run(AGGREGATE_PROGRAM, 6);
     assert_eq!(tuple_alarms, 1);
     assert_eq!(set_alarms, 1);
-    assert!(tuple_firings >= 7, "per-element counting: {}", tuple_firings);
+    assert!(
+        tuple_firings >= 7,
+        "per-element counting: {}",
+        tuple_firings
+    );
     assert_eq!(set_firings, 1, "the cardinality is matched, not computed");
 }
 
@@ -167,7 +186,9 @@ fn c5_conflict_counts_scale_with_wm_for_tuple_dips_only() {
         let mut tuple = DipsEngine::new(DipsMode::Tuple, prog_tuple).unwrap();
         tuple.insert("flag", &[("on", Value::sym("t"))]).unwrap();
         for _ in 0..n {
-            tuple.insert("item", &[("s", Value::sym("pending"))]).unwrap();
+            tuple
+                .insert("item", &[("s", Value::sym("pending"))])
+                .unwrap();
         }
         let r = parallel_cycle(&mut tuple).unwrap();
         assert_eq!(r.attempted, n);
@@ -197,7 +218,8 @@ fn strategies_and_matchers_cross_check() {
             ps.set_strategy(strategy);
             ps.load_program(SET_PROGRAM).unwrap();
             for _ in 0..10 {
-                ps.make_str("item", &[("s", Value::sym("pending"))]).unwrap();
+                ps.make_str("item", &[("s", Value::sym("pending"))])
+                    .unwrap();
             }
             ps.make_str("phase", &[("p", Value::sym("sweep"))]).unwrap();
             let out = ps.run(Some(100));

@@ -13,12 +13,25 @@ fn repo_file(rel: &str) -> String {
 #[test]
 fn runs_the_teams_program() {
     let out = Command::new(bin())
-        .args(["--stats", "--wm", &repo_file("programs/teams.wm"), &repo_file("programs/teams.ops")])
+        .args([
+            "--stats",
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("removing duplicates of Sue on team B"), "{}", stdout);
+    assert!(
+        stdout.contains("removing duplicates of Sue on team B"),
+        "{}",
+        stdout
+    );
     assert!(stdout.contains("team B"), "{}", stdout);
     assert!(stdout.contains("; stats: firings=2"), "{}", stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -39,7 +52,12 @@ fn all_matchers_agree_via_cli() {
             ])
             .output()
             .expect("binary runs");
-        assert!(out.status.success(), "{}: {}", matcher, String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            matcher,
+            String::from_utf8_lossy(&out.stderr)
+        );
         outputs.push(String::from_utf8_lossy(&out.stdout).to_string());
     }
     assert_eq!(outputs[0], outputs[1], "rete vs treat");
@@ -61,7 +79,11 @@ fn monkey_and_bananas_plans_correctly() {
             ])
             .output()
             .expect("binary runs");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         let plan: Vec<&str> = stdout.lines().collect();
         assert_eq!(
@@ -79,7 +101,11 @@ fn monkey_and_bananas_plans_correctly() {
             matcher,
             stdout
         );
-        assert!(String::from_utf8_lossy(&out.stderr).contains("fired 7 rules"), "{}", matcher);
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("fired 7 rules"),
+            "{}",
+            matcher
+        );
     }
 }
 
@@ -102,7 +128,10 @@ fn reports_parse_errors_with_file_name() {
     std::fs::create_dir_all(&dir).unwrap();
     let bad = dir.join("bad.ops");
     std::fs::write(&bad, "(p broken (a ^x <v>) (frobnicate))").unwrap();
-    let out = Command::new(bin()).arg(bad.to_str().unwrap()).output().expect("binary runs");
+    let out = Command::new(bin())
+        .arg(bad.to_str().unwrap())
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("bad.ops"), "{}", stderr);
@@ -132,9 +161,17 @@ fn repl_session() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("; => 1"), "{}", stdout);
-    assert!(stdout.contains("removing duplicates of Ada on team A"), "{}", stdout);
+    assert!(
+        stdout.contains("removing duplicates of Ada on team A"),
+        "{}",
+        stdout
+    );
     // After dedup only the most recent Ada remains.
-    assert!(stdout.contains("2: (player ^name Ada ^team A)"), "{}", stdout);
+    assert!(
+        stdout.contains("2: (player ^name Ada ^team A)"),
+        "{}",
+        stdout
+    );
     assert!(!stdout.contains("\n; 1: (player"), "{}", stdout);
     assert!(stdout.contains("; stats: firings="), "{}", stdout);
 }

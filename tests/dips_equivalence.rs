@@ -55,7 +55,10 @@ fn drive(ops: &[Op]) -> ((TupleCanon, SoiCanon), (TupleCanon, SoiCanon)) {
                 let wme = Wme::new(
                     tag,
                     Symbol::new(class_name),
-                    vec![(Symbol::new("x"), Value::Int(*x)), (Symbol::new("y"), Value::Int(*y))],
+                    vec![
+                        (Symbol::new("x"), Value::Int(*x)),
+                        (Symbol::new("y"), Value::Int(*y)),
+                    ],
                 );
                 naive.insert_wme(&wme);
                 live.push((tag, wme));
@@ -85,7 +88,13 @@ fn drive(ops: &[Op]) -> ((TupleCanon, SoiCanon), (TupleCanon, SoiCanon)) {
         .into_iter()
         .filter(|s| dips.rules()[s.rule].is_set_oriented)
         .map(|s| {
-            (s.rule, s.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect())
+            (
+                s.rule,
+                s.rows
+                    .iter()
+                    .map(|r| r.iter().map(|t| t.raw()).collect())
+                    .collect(),
+            )
         })
         .collect();
 

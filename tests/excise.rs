@@ -31,7 +31,12 @@ fn excised_rule_leaves_conflict_set_and_stays_quiet() {
         ps.make_str("a", &[("x", Value::Int(2))]).unwrap();
         ps.run(Some(10));
         let out = ps.take_output();
-        assert!(out.iter().all(|l| l.starts_with("quiet")), "{:?}: {:?}", kind, out);
+        assert!(
+            out.iter().all(|l| l.starts_with("quiet")),
+            "{:?}: {:?}",
+            kind,
+            out
+        );
         assert_eq!(out.len(), 2, "{:?}", kind);
         // Excising twice errors cleanly.
         assert!(ps.excise("loud").is_err());
@@ -137,7 +142,10 @@ fn canon(m: &mut dyn Matcher, seen: &mut FxHashMap<InstKey, ConflictItem>) -> Ca
         .map(|i| {
             (
                 i.key.rule().index(),
-                i.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect(),
+                i.rows
+                    .iter()
+                    .map(|r| r.iter().map(|t| t.raw()).collect())
+                    .collect(),
             )
         })
         .collect()

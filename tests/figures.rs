@@ -6,18 +6,28 @@ use sorete_base::{Symbol, Value};
 
 const LIT: &str = "(literalize player name team)\n";
 
-const FIGURE1_WM: &[(&str, &str)] =
-    &[("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Jack", "B"), ("Sue", "B")];
+const FIGURE1_WM: &[(&str, &str)] = &[
+    ("Jack", "A"),
+    ("Janice", "A"),
+    ("Sue", "B"),
+    ("Jack", "B"),
+    ("Sue", "B"),
+];
 
 fn engine(kind: MatcherKind, rules: &str) -> ProductionSystem {
     let mut ps = ProductionSystem::new(kind);
-    ps.load_program(&format!("{}{}", LIT, rules)).expect("program loads");
+    ps.load_program(&format!("{}{}", LIT, rules))
+        .expect("program loads");
     ps
 }
 
 fn load_players(ps: &mut ProductionSystem) {
     for (n, t) in FIGURE1_WM {
-        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+        ps.make_str(
+            "player",
+            &[("name", Value::sym(n)), ("team", Value::sym(t))],
+        )
+        .unwrap();
     }
 }
 
@@ -43,7 +53,12 @@ fn f1_compete_conflict_set() {
             .map(|i| (i.rows[0][0].raw(), i.rows[0][1].raw()))
             .collect();
         pairs.sort();
-        assert_eq!(pairs, vec![(1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)], "{:?}", kind);
+        assert_eq!(
+            pairs,
+            vec![(1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+            "{:?}",
+            kind
+        );
     }
 }
 
@@ -59,7 +74,11 @@ fn f2_all_set_lhs_single_soi() {
         load_players(&mut ps);
         assert_eq!(ps.conflict_set_len(), 1, "{:?}", kind);
         let item = &ps.conflict_items()[0];
-        assert_eq!(item.rows.len(), 6, "the instantiation contains the entire relation");
+        assert_eq!(
+            item.rows.len(),
+            6,
+            "the instantiation contains the entire relation"
+        );
         // The head row is the most recent combination (tags 2 and 5).
         let head: Vec<u64> = item.rows[0].iter().map(|t| t.raw()).collect();
         assert_eq!(head, vec![2, 5], "{:?}", kind);
@@ -79,7 +98,10 @@ fn f2_mixed_lhs_partitioned_by_regular_ce() {
         for item in ps.conflict_items() {
             assert_eq!(item.rows.len(), 2, "{:?}", kind);
             let b_tags: Vec<u64> = item.rows.iter().map(|r| r[1].raw()).collect();
-            assert!(b_tags.iter().all(|&t| t == b_tags[0]), "same B row throughout");
+            assert!(
+                b_tags.iter().all(|&t| t == b_tags[0]),
+                "same B row throughout"
+            );
         }
     }
 }
@@ -125,10 +147,18 @@ fn f5_switch_teams() {
                (halt))",
         );
         for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B"), ("Mike", "B")] {
-            ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+            ps.make_str(
+                "player",
+                &[("name", Value::sym(n)), ("team", Value::sym(t))],
+            )
+            .unwrap();
         }
         let outcome = ps.run(Some(10));
-        assert_eq!(outcome.fired, 1, "{:?}: the swap is one conceptual operation", kind);
+        assert_eq!(
+            outcome.fired, 1,
+            "{:?}: the swap is one conceptual operation",
+            kind
+        );
         assert_eq!(outcome.reason, StopReason::Halt);
         let team_of = |name: &str| {
             ps.wm()
@@ -156,9 +186,17 @@ fn f5_switch_teams_requires_equal_counts() {
            (set-modify <BTeam> ^team A))",
     );
     for (n, t) in [("Jack", "A"), ("Janice", "A"), ("Sue", "B")] {
-        ps.make_str("player", &[("name", Value::sym(n)), ("team", Value::sym(t))]).unwrap();
+        ps.make_str(
+            "player",
+            &[("name", Value::sym(n)), ("team", Value::sym(t))],
+        )
+        .unwrap();
     }
-    assert_eq!(ps.conflict_set_len(), 0, "2 vs 1: the aggregate test blocks the rule");
+    assert_eq!(
+        ps.conflict_set_len(),
+        0,
+        "2 vs 1: the aggregate test blocks the rule"
+    );
     assert_eq!(ps.run(Some(5)).fired, 0);
 }
 
@@ -177,7 +215,12 @@ fn f5_group_by_a_hierarchical_decomposition() {
         // Each A-player printed once, followed by the distinct B names.
         // Recency order: Jack(A) joined rows including tag-5 Sue are most
         // recent... the outer domain order is by row recency.
-        assert_eq!(out.len(), 2 + 2 * 2, "2 A-names, each with 2 distinct B-names: {:?}", out);
+        assert_eq!(
+            out.len(),
+            2 + 2 * 2,
+            "2 A-names, each with 2 distinct B-names: {:?}",
+            out
+        );
         // Every A name appears, and between A names the B names are Sue/Jack.
         assert!(out.contains(&"Jack".to_string()) && out.contains(&"Janice".to_string()));
         assert!(out.contains(&"Sue".to_string()));
@@ -202,7 +245,12 @@ fn f5_remove_dups_keeps_most_recent() {
         // One duplicated pair (Sue, B) → one instantiation, one firing.
         assert_eq!(outcome.fired, 1, "{:?}", kind);
         let tags: Vec<u64> = ps.wm().dump().iter().map(|w| w.tag.raw()).collect();
-        assert_eq!(tags, vec![1, 2, 4, 5], "{:?}: tag 3 (older Sue/B) removed", kind);
+        assert_eq!(
+            tags,
+            vec![1, 2, 4, 5],
+            "{:?}: tag 3 (older Sue/B) removed",
+            kind
+        );
     }
 }
 
@@ -235,9 +283,16 @@ fn f5_alternative_remove_dups_fires_unconditionally() {
                (if (<First> == true) (bind <First> false) else (remove <P>))))))",
     );
     no_dups
-        .make_str("player", &[("name", Value::sym("Solo")), ("team", Value::sym("A"))])
+        .make_str(
+            "player",
+            &[("name", Value::sym("Solo")), ("team", Value::sym("A"))],
+        )
         .unwrap();
-    assert_eq!(no_dups.conflict_set_len(), 1, "fires even with nothing to remove");
+    assert_eq!(
+        no_dups.conflict_set_len(),
+        1,
+        "fires even with nothing to remove"
+    );
 
     // The :test-guarded RemoveDups does not.
     let mut guarded = engine(
@@ -249,7 +304,10 @@ fn f5_alternative_remove_dups_fires_unconditionally() {
            (set-remove <P>))",
     );
     guarded
-        .make_str("player", &[("name", Value::sym("Solo")), ("team", Value::sym("A"))])
+        .make_str(
+            "player",
+            &[("name", Value::sym("Solo")), ("team", Value::sym("A"))],
+        )
         .unwrap();
     assert_eq!(guarded.conflict_set_len(), 0);
 }
@@ -264,11 +322,23 @@ fn f3_soi_refires_on_change_and_repositions() {
         MatcherKind::Rete,
         "(p watch { [player ^team A] <P> } (write count-now (count <P>)))",
     );
-    ps.make_str("player", &[("name", Value::sym("a")), ("team", Value::sym("A"))]).unwrap();
+    ps.make_str(
+        "player",
+        &[("name", Value::sym("a")), ("team", Value::sym("A"))],
+    )
+    .unwrap();
     assert_eq!(ps.run(None).fired, 1);
-    ps.make_str("player", &[("name", Value::sym("b")), ("team", Value::sym("A"))]).unwrap();
+    ps.make_str(
+        "player",
+        &[("name", Value::sym("b")), ("team", Value::sym("A"))],
+    )
+    .unwrap();
     assert_eq!(ps.run(None).fired, 1, "time token re-armed the SOI");
-    ps.make_str("player", &[("name", Value::sym("c")), ("team", Value::sym("B"))]).unwrap();
+    ps.make_str(
+        "player",
+        &[("name", Value::sym("c")), ("team", Value::sym("B"))],
+    )
+    .unwrap();
     assert_eq!(ps.run(None).fired, 0, "unrelated WME does not re-arm");
     assert_eq!(ps.take_output(), vec!["count-now 1", "count-now 2"]);
 }

@@ -23,7 +23,10 @@ fn wme(tag: u64, class: &str, x: i64, y: i64) -> Wme {
     Wme::new(
         TimeTag::new(tag),
         Symbol::new(class),
-        vec![(Symbol::new("x"), Value::Int(x)), (Symbol::new("y"), Value::Int(y))],
+        vec![
+            (Symbol::new("x"), Value::Int(x)),
+            (Symbol::new("y"), Value::Int(y)),
+        ],
     )
 }
 
@@ -32,8 +35,11 @@ type Canon = BTreeSet<(usize, BTreeSet<Vec<u64>>, Vec<String>)>;
 fn canon_of(cs: &FxHashMap<InstKey, ConflictItem>) -> Canon {
     cs.values()
         .map(|item| {
-            let rows: BTreeSet<Vec<u64>> =
-                item.rows.iter().map(|r| r.iter().map(|t| t.raw()).collect()).collect();
+            let rows: BTreeSet<Vec<u64>> = item
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|t| t.raw()).collect())
+                .collect();
             let aggs: Vec<String> = item.aggregates.iter().map(|v| v.to_string()).collect();
             (item.key.rule().index(), rows, aggs)
         })
@@ -98,7 +104,8 @@ fn engine_supports_late_program_loading() {
     let mut ps = ProductionSystem::new(MatcherKind::Rete);
     ps.load_program("(literalize item s)").unwrap();
     for _ in 0..4 {
-        ps.make_str("item", &[("s", Value::sym("pending"))]).unwrap();
+        ps.make_str("item", &[("s", Value::sym("pending"))])
+            .unwrap();
     }
     // The sweep rule arrives after the facts.
     ps.load_program(
@@ -118,11 +125,14 @@ fn late_rule_with_existing_joins_and_negation() {
         ps.make_str("a", &[("x", Value::Int(1))]).unwrap();
         ps.make_str("a", &[("x", Value::Int(2))]).unwrap();
         ps.make_str("b", &[("x", Value::Int(1))]).unwrap();
-        ps.load_program(
-            "(p lonely (a ^x <v>) -(b ^x <v>) (write lonely <v>) (remove 1))",
-        )
-        .unwrap();
-        assert_eq!(ps.conflict_set_len(), 1, "{:?}: only a(x=2) is unblocked", kind);
+        ps.load_program("(p lonely (a ^x <v>) -(b ^x <v>) (write lonely <v>) (remove 1))")
+            .unwrap();
+        assert_eq!(
+            ps.conflict_set_len(),
+            1,
+            "{:?}: only a(x=2) is unblocked",
+            kind
+        );
         ps.run(Some(5));
         assert_eq!(ps.take_output(), vec!["lonely 2"], "{:?}", kind);
     }

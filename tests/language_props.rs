@@ -56,7 +56,10 @@ fn cond_elem() -> impl Strategy<Value = CondElem> {
     (
         class_sym(),
         any::<bool>(),
-        proptest::collection::vec((attr_sym(), proptest::collection::vec(test_term(), 1..3)), 1..3),
+        proptest::collection::vec(
+            (attr_sym(), proptest::collection::vec(test_term(), 1..3)),
+            1..3,
+        ),
     )
         .prop_map(|(class, set_oriented, tests)| CondElem {
             class,
@@ -72,8 +75,10 @@ fn cond_elem() -> impl Strategy<Value = CondElem> {
 
 fn action() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (class_sym(), attr_sym(), const_value())
-            .prop_map(|(c, a, v)| Action::Make { class: c, slots: vec![(a, Expr::Const(v))] }),
+        (class_sym(), attr_sym(), const_value()).prop_map(|(c, a, v)| Action::Make {
+            class: c,
+            slots: vec![(a, Expr::Const(v))]
+        }),
         const_value().prop_map(|v| Action::Write(vec![Expr::Const(v)])),
         Just(Action::Halt),
     ]
@@ -193,8 +198,11 @@ fn final_state(kind: MatcherKind, program: &str, seed: &[(u8, i64)]) -> (Vec<Str
             // Compare WMEs structurally without time tags (tag allocation
             // order differs only if firing order differs — which LEX makes
             // deterministic, but modify re-tagging could still vary).
-            let slots: Vec<String> =
-                w.slots().iter().map(|(a, v)| format!("^{} {}", a, v)).collect();
+            let slots: Vec<String> = w
+                .slots()
+                .iter()
+                .map(|(a, v)| format!("^{} {}", a, v))
+                .collect();
             format!("({} {})", w.class, slots.join(" "))
         })
         .collect();

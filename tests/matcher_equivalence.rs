@@ -8,9 +8,7 @@ use sorete::lang::{analyze_rule, parse_rule, Matcher};
 use sorete::naive::NaiveMatcher;
 use sorete::rete::ReteMatcher;
 use sorete::treat::TreatMatcher;
-use sorete_base::{
-    ConflictItem, CsDelta, FxHashMap, InstKey, Symbol, TimeTag, Value, Wme,
-};
+use sorete_base::{ConflictItem, CsDelta, FxHashMap, InstKey, Symbol, TimeTag, Value, Wme};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -66,7 +64,10 @@ impl Tracker {
             m.add_rule(r);
         }
         let _ = m.drain_deltas();
-        Tracker { m, cs: FxHashMap::default() }
+        Tracker {
+            m,
+            cs: FxHashMap::default(),
+        }
     }
 
     fn apply(&mut self) {
@@ -74,20 +75,36 @@ impl Tracker {
             match d {
                 CsDelta::Insert(item) => {
                     let prev = self.cs.insert(item.key.clone(), item);
-                    assert!(prev.is_none(), "[{}] duplicate insert", self.m.algorithm_name());
+                    assert!(
+                        prev.is_none(),
+                        "[{}] duplicate insert",
+                        self.m.algorithm_name()
+                    );
                 }
                 CsDelta::Remove(key) => {
                     let prev = self.cs.remove(&key);
-                    assert!(prev.is_some(), "[{}] removing unknown entry", self.m.algorithm_name());
+                    assert!(
+                        prev.is_some(),
+                        "[{}] removing unknown entry",
+                        self.m.algorithm_name()
+                    );
                 }
                 CsDelta::Retime(info) => {
                     // A Retime may be followed by a Remove in the same
                     // batch (the SOI died mid-operation); materialize then
                     // sees nothing and the pending Remove cleans up.
                     if let Some(fresh) = self.m.materialize(&info.key) {
-                        assert!(fresh.version >= info.version, "[{}]", self.m.algorithm_name());
+                        assert!(
+                            fresh.version >= info.version,
+                            "[{}]",
+                            self.m.algorithm_name()
+                        );
                         let prev = self.cs.insert(info.key.clone(), fresh);
-                        assert!(prev.is_some(), "[{}] retime of absent entry", self.m.algorithm_name());
+                        assert!(
+                            prev.is_some(),
+                            "[{}] retime of absent entry",
+                            self.m.algorithm_name()
+                        );
                     }
                 }
             }
@@ -124,7 +141,10 @@ fn run_equivalence(rules: &[&str], ops: &[Op]) {
                 let wme = Wme::new(
                     TimeTag::new(next_tag),
                     Symbol::new(if *class == 0 { "a" } else { "b" }),
-                    vec![(Symbol::new("x"), Value::Int(*x)), (Symbol::new("y"), Value::Int(*y))],
+                    vec![
+                        (Symbol::new("x"), Value::Int(*x)),
+                        (Symbol::new("y"), Value::Int(*y)),
+                    ],
                 );
                 live.push(wme.clone());
                 rete.m.insert_wme(&wme);
@@ -193,9 +213,21 @@ proptest! {
 fn same_class_double_ce_regression() {
     // One WME satisfying two CEs of the same rule simultaneously.
     let ops = vec![
-        Op::Insert { class: 0, x: 1, y: 1 },
-        Op::Insert { class: 1, x: 1, y: 1 },
-        Op::Insert { class: 0, x: 1, y: 2 },
+        Op::Insert {
+            class: 0,
+            x: 1,
+            y: 1,
+        },
+        Op::Insert {
+            class: 1,
+            x: 1,
+            y: 1,
+        },
+        Op::Insert {
+            class: 0,
+            x: 1,
+            y: 2,
+        },
         Op::Remove(0),
         Op::Remove(0),
     ];
@@ -206,10 +238,22 @@ fn same_class_double_ce_regression() {
 #[test]
 fn negation_unblock_regression() {
     let ops = vec![
-        Op::Insert { class: 0, x: 1, y: 1 }, // a
-        Op::Insert { class: 1, x: 1, y: 0 }, // b blocks n1
-        Op::Remove(1),                       // unblock
-        Op::Insert { class: 1, x: 1, y: 3 },
+        Op::Insert {
+            class: 0,
+            x: 1,
+            y: 1,
+        }, // a
+        Op::Insert {
+            class: 1,
+            x: 1,
+            y: 0,
+        }, // b blocks n1
+        Op::Remove(1), // unblock
+        Op::Insert {
+            class: 1,
+            x: 1,
+            y: 3,
+        },
         Op::Remove(0),
     ];
     run_equivalence(RULESET_NEGATED, &ops);
