@@ -154,6 +154,14 @@ pub struct MatchStats {
     pub snode_activations: u64,
     /// Incremental aggregate updates performed inside S-nodes.
     pub aggregate_updates: u64,
+    /// Hash-index probes performed in place of memory scans.
+    pub index_probes: u64,
+    /// Join tests the hash indexes made unnecessary (one failed test per
+    /// candidate the probe filtered out, plus every equality test on the
+    /// candidates it returned).
+    pub index_skipped_tests: u64,
+    /// Join/negative nodes compiled with an equality-hash index.
+    pub indexed_nodes: u64,
 }
 
 impl MatchStats {
@@ -167,6 +175,9 @@ impl MatchStats {
             tokens_deleted: self.tokens_deleted + other.tokens_deleted,
             snode_activations: self.snode_activations + other.snode_activations,
             aggregate_updates: self.aggregate_updates + other.aggregate_updates,
+            index_probes: self.index_probes + other.index_probes,
+            index_skipped_tests: self.index_skipped_tests + other.index_skipped_tests,
+            indexed_nodes: self.indexed_nodes + other.indexed_nodes,
         }
     }
 }
@@ -175,14 +186,18 @@ impl fmt::Display for MatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "alpha={} beta={} join_tests={} tokens(+{}/-{}) snode={} agg={}",
+            "alpha={} beta={} join_tests={} tokens(+{}/-{}) snode={} agg={} \
+             idx(nodes={} probes={} skipped={})",
             self.alpha_activations,
             self.beta_activations,
             self.join_tests,
             self.tokens_created,
             self.tokens_deleted,
             self.snode_activations,
-            self.aggregate_updates
+            self.aggregate_updates,
+            self.indexed_nodes,
+            self.index_probes,
+            self.index_skipped_tests
         )
     }
 }
@@ -235,12 +250,18 @@ mod tests {
         let b = MatchStats {
             join_tests: 3,
             tokens_deleted: 4,
+            index_probes: 7,
+            index_skipped_tests: 9,
+            indexed_nodes: 2,
             ..Default::default()
         };
         let m = a.merged(&b);
         assert_eq!(m.join_tests, 5);
         assert_eq!(m.tokens_created, 1);
         assert_eq!(m.tokens_deleted, 4);
+        assert_eq!(m.index_probes, 7);
+        assert_eq!(m.index_skipped_tests, 9);
+        assert_eq!(m.indexed_nodes, 2);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! J1 bench: equality-join selectivity — hash-indexed Rete vs the same
+//! network with indexing disabled (linear memory scans). The workload joins
+//! `n` orders against `n` stocks on `^id` with a `^qty >=` residual, plus a
+//! negated-CE rule, then retracts a third of the stock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::run_join_index;
+use sorete_core::MatcherKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("j1_join_index");
+    for n in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| run_join_index(MatcherKind::Rete, n))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, &n| {
+            b.iter(|| run_join_index(MatcherKind::ReteScan, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -171,15 +171,45 @@ fn main() {
     for n in [50usize, 200] {
         for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
             let r = run_c6(kind, n);
-            let name = match kind {
-                MatcherKind::Rete => "rete",
-                MatcherKind::Treat => "treat",
-                MatcherKind::Naive => "naive",
-            };
+            let name = matcher_label(kind);
             println!(
                 "{:>8} {:>8} {:>10} {:>12} {:>12} {:>10}",
                 r.n, name, r.firings, r.tokens, r.join_tests, r.micros
             );
+        }
+    }
+
+    hr("J1 — hash-join indexing: indexed Rete vs scan Rete");
+    {
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>14} {:>10}",
+            "n", "matcher", "join-tests", "idx-probes", "skipped-tests", "µs"
+        );
+        let mut json = String::from("[\n");
+        let mut first = true;
+        for n in [100usize, 300, 1000] {
+            for kind in [MatcherKind::Rete, MatcherKind::ReteScan] {
+                let r = run_join_index(kind, n);
+                let name = matcher_label(kind);
+                println!(
+                    "{:>8} {:>10} {:>12} {:>12} {:>14} {:>10}",
+                    r.n, name, r.join_tests, r.index_probes, r.index_skipped_tests, r.micros
+                );
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                json.push_str(&format!(
+                    "  {{\"n\": {}, \"matcher\": \"{}\", \"join_tests\": {}, \
+                     \"index_probes\": {}, \"index_skipped_tests\": {}, \"micros\": {}}}",
+                    r.n, name, r.join_tests, r.index_probes, r.index_skipped_tests, r.micros
+                ));
+            }
+        }
+        json.push_str("\n]\n");
+        match std::fs::write("BENCH_join_index.json", &json) {
+            Ok(()) => println!("(wrote BENCH_join_index.json)"),
+            Err(e) => println!("(could not write BENCH_join_index.json: {})", e),
         }
     }
 
@@ -190,11 +220,7 @@ fn main() {
     );
     for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::Naive] {
         let r = run_monkey(kind);
-        let name = match kind {
-            MatcherKind::Rete => "rete",
-            MatcherKind::Treat => "treat",
-            MatcherKind::Naive => "naive",
-        };
+        let name = matcher_label(kind);
         println!(
             "{:>8} {:>10} {:>10} {:>12} {:>10}",
             name, r.firings, r.actions, r.join_tests, r.micros

@@ -28,6 +28,10 @@ pub struct RunReport {
     pub snode_activations: u64,
     /// Incremental aggregate updates.
     pub aggregate_updates: u64,
+    /// Hash-index probes (indexed Rete only; 0 under scan matchers).
+    pub index_probes: u64,
+    /// Join tests skipped thanks to index probes.
+    pub index_skipped_tests: u64,
     /// Wall-clock microseconds for the measured phase.
     pub micros: u128,
 }
@@ -44,7 +48,19 @@ fn report_from(ps: &ProductionSystem, n: usize, micros: u128) -> RunReport {
         join_tests: m.join_tests,
         snode_activations: m.snode_activations,
         aggregate_updates: m.aggregate_updates,
+        index_probes: m.index_probes,
+        index_skipped_tests: m.index_skipped_tests,
         micros,
+    }
+}
+
+/// Short display name for a matcher kind in report tables.
+pub fn matcher_label(kind: MatcherKind) -> &'static str {
+    match kind {
+        MatcherKind::Rete => "rete",
+        MatcherKind::ReteScan => "rete-scan",
+        MatcherKind::Treat => "treat",
+        MatcherKind::Naive => "naive",
     }
 }
 
@@ -187,6 +203,47 @@ pub fn run_c6(kind: MatcherKind, n: usize) -> RunReport {
         }
     }
     ps.run(Some(100_000));
+    report_from(&ps, n, start.elapsed().as_micros())
+}
+
+// =================================================================== J1
+
+/// Join-selectivity workload for the hash-index experiment: `n` orders and
+/// `n` stocks equality-join on `^id` (each order matches exactly one stock)
+/// with a `^qty >=` residual predicate, plus a negated-CE rule over the same
+/// alpha memories. A scan Rete tests every order against every stock
+/// (O(n²) join tests); the hash index probes one bucket per activation.
+/// Rules end in `(halt)` so the measured phase is pure match work.
+pub const J1_PROGRAM: &str = "(literalize order id qty)(literalize stock id qty)
+    (p fill (order ^id <i> ^qty <q>) (stock ^id <i> ^qty >= <q>) (halt))
+    (p missing (order ^id <i> ^qty <q>) -(stock ^id <i>) (halt))";
+
+/// Run the J1 workload: insert `n` stocks then `n` orders, then retract a
+/// third of the stock (exercising delete + negative-join maintenance).
+pub fn run_join_index(kind: MatcherKind, n: usize) -> RunReport {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(J1_PROGRAM).expect("J1 program");
+    let start = std::time::Instant::now();
+    let mut stock_tags = Vec::with_capacity(n);
+    for i in 0..n as i64 {
+        let tag = ps
+            .make_str(
+                "stock",
+                &[("id", Value::Int(i)), ("qty", Value::Int((i * 5) % 10))],
+            )
+            .unwrap();
+        stock_tags.push(tag);
+    }
+    for i in 0..n as i64 {
+        ps.make_str(
+            "order",
+            &[("id", Value::Int(i)), ("qty", Value::Int((i * 3) % 10))],
+        )
+        .unwrap();
+    }
+    for tag in stock_tags.into_iter().step_by(3) {
+        ps.retract_wme(tag).unwrap();
+    }
     report_from(&ps, n, start.elapsed().as_micros())
 }
 
@@ -338,6 +395,20 @@ mod tests {
             let r = run_monkey(kind);
             assert_eq!(r.firings, 7, "{:?}", kind);
         }
+    }
+
+    #[test]
+    fn j1_index_cuts_join_tests() {
+        let idx = run_join_index(MatcherKind::Rete, 200);
+        let scan = run_join_index(MatcherKind::ReteScan, 200);
+        assert!(idx.index_probes > 0);
+        assert_eq!(scan.index_probes, 0);
+        assert!(
+            idx.join_tests * 10 <= scan.join_tests,
+            "indexed {} vs scan {} join tests",
+            idx.join_tests,
+            scan.join_tests
+        );
     }
 
     #[test]

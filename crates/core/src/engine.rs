@@ -20,9 +20,14 @@ use std::time::{Duration, Instant};
 /// Which match algorithm backs the engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum MatcherKind {
-    /// Rete with S-nodes (the paper's implementation).
+    /// Rete with S-nodes (the paper's implementation), equality joins
+    /// answered through hash-indexed memories.
     #[default]
     Rete,
+    /// The same Rete with indexing disabled (pure memory scans) — the
+    /// baseline for measuring the indexing win; delta streams are
+    /// byte-identical to `Rete`.
+    ReteScan,
     /// TREAT (Miranker 1986) with S-nodes.
     Treat,
     /// Recompute-from-scratch oracle.
@@ -305,6 +310,7 @@ impl ProductionSystem {
     pub fn new(kind: MatcherKind) -> ProductionSystem {
         let matcher: Box<dyn Matcher> = match kind {
             MatcherKind::Rete => Box::new(ReteMatcher::new()),
+            MatcherKind::ReteScan => Box::new(ReteMatcher::with_indexing(false)),
             MatcherKind::Treat => Box::new(TreatMatcher::new()),
             MatcherKind::Naive => Box::new(NaiveMatcher::new()),
         };
@@ -743,6 +749,12 @@ impl ProductionSystem {
     /// The matcher backing this engine.
     pub fn matcher_name(&self) -> &'static str {
         self.matcher.algorithm_name()
+    }
+
+    /// Ask the matcher to check its internal derived state (e.g. Rete's
+    /// hash-join indexes) against a from-scratch rebuild. A test/debug aid.
+    pub fn validate_matcher(&self) -> Result<(), String> {
+        self.matcher.validate()
     }
 
     /// Graphviz rendering of the match network (Rete only).

@@ -47,6 +47,14 @@ pub trait Matcher {
         None
     }
 
+    /// Exhaustive internal-consistency check (a test/debug aid, not part
+    /// of the match protocol). Matchers that maintain derived state — the
+    /// Rete hash-join indexes — compare it against a from-scratch rebuild
+    /// and report the first divergence.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Excise a production: its conflict-set entries are retracted (as
     /// `Remove` deltas) and it never matches again. The id remains
     /// allocated (ids are positional) but inert.

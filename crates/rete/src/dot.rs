@@ -3,8 +3,20 @@
 //! glance (S-nodes hang off production nodes of set-oriented rules only).
 
 use crate::matcher::ReteMatcher;
-use crate::nodes::BetaNode;
+use crate::nodes::{BetaNode, EqJoin};
 use std::fmt::Write as _;
+
+/// `\n[idx: ^a ^b]` when the node equality-hashes on `^a ^b`, else empty —
+/// so network dumps show at a glance which joins are indexed.
+fn index_label(eq: &Option<EqJoin>) -> String {
+    match eq {
+        Some(e) => {
+            let attrs: Vec<String> = e.attrs.iter().map(|a| format!("^{a}")).collect();
+            format!("\\n[idx: {}]", attrs.join(" "))
+        }
+        None => String::new(),
+    }
+}
 
 impl ReteMatcher {
     /// Render the network as Graphviz DOT. Alpha memories are boxes, joins
@@ -54,29 +66,37 @@ impl ReteMatcher {
                     }
                 }
                 BetaNode::Join {
-                    children, tests, ..
+                    children,
+                    tests,
+                    eq,
+                    ..
                 } => {
                     let _ = writeln!(
                         out,
-                        "  n{} [shape=diamond, label=\"join n{}\\n{} tests\"];",
+                        "  n{} [shape=diamond, label=\"join n{}\\n{} tests{}\"];",
                         i,
                         i,
-                        tests.len()
+                        tests.len(),
+                        index_label(eq)
                     );
                     for c in children {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());
                     }
                 }
                 BetaNode::Negative {
-                    children, tokens, ..
+                    children,
+                    tokens,
+                    eq,
+                    ..
                 } => {
                     let _ = writeln!(
                         out,
                         "  n{} [shape=house, style=filled, fillcolor=mistyrose, \
-                         label=\"negative n{}\\n|{}| tokens\"];",
+                         label=\"negative n{}\\n|{}| tokens{}\"];",
                         i,
                         i,
-                        tokens.len()
+                        tokens.len(),
+                        index_label(eq)
                     );
                     for c in children {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());

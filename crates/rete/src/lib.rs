@@ -25,6 +25,7 @@
 //! ```
 
 pub mod dot;
+pub mod index;
 pub mod matcher;
 pub mod nodes;
 
@@ -345,7 +346,97 @@ mod tests {
         let s = h.m.stats();
         assert!(s.alpha_activations >= 5);
         assert!(s.tokens_created >= 6);
-        assert!(s.join_tests > 0, "the `pair` rule joins on <n>");
+        // The `pair` rule joins on <n> — a pure-equality join, so the
+        // default (indexed) matcher answers it with hash probes.
+        assert!(s.indexed_nodes >= 1);
+        assert!(s.index_probes > 0, "the `pair` rule probes its hash index");
+        assert_eq!(s.join_tests, 0, "no residual tests remain");
+    }
+
+    #[test]
+    fn scan_mode_counts_join_tests() {
+        let mut m = ReteMatcher::with_indexing(false);
+        m.add_rule(Arc::new(
+            analyze_rule(
+                &parse_rule(
+                    "(p pair (player ^name <n> ^team A) (player ^name <n> ^team B) (halt))",
+                )
+                .unwrap(),
+            )
+            .unwrap(),
+        ));
+        let mk = |tag: u64, name: &str, team: &str| {
+            Wme::new(
+                TimeTag::new(tag),
+                Symbol::new("player"),
+                vec![
+                    (Symbol::new("name"), Value::sym(name)),
+                    (Symbol::new("team"), Value::sym(team)),
+                ],
+            )
+        };
+        m.insert_wme(&mk(1, "Jack", "A"));
+        m.insert_wme(&mk(2, "Jack", "B"));
+        let s = m.stats();
+        assert!(s.join_tests > 0, "scan mode evaluates every test");
+        assert_eq!(s.index_probes, 0);
+        assert_eq!(s.indexed_nodes, 0);
+        assert_eq!(m.algorithm_name(), "rete-scan");
+    }
+
+    #[test]
+    fn indexed_and_scan_agree_and_validate() {
+        let rules = &[
+            COMPETE,
+            "(p pair (player ^name <n> ^team A) (player ^name <n> ^team B) (halt))",
+            "(p lonely (player ^name <n> ^team A) -(player ^name <n> ^team B) (halt))",
+        ];
+        let mut idx = ReteMatcher::new();
+        let mut scan = ReteMatcher::with_indexing(false);
+        for src in rules {
+            let r = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
+            idx.add_rule(r.clone());
+            scan.add_rule(r);
+        }
+        let mk = |tag: u64, name: &str, team: &str| {
+            Wme::new(
+                TimeTag::new(tag),
+                Symbol::new("player"),
+                vec![
+                    (Symbol::new("name"), Value::sym(name)),
+                    (Symbol::new("team"), Value::sym(team)),
+                ],
+            )
+        };
+        let script = [
+            mk(1, "Jack", "A"),
+            mk(2, "Janice", "A"),
+            mk(3, "Sue", "B"),
+            mk(4, "Jack", "B"),
+            mk(5, "Sue", "B"),
+        ];
+        for w in &script {
+            idx.insert_wme(w);
+            scan.insert_wme(w);
+            assert_eq!(
+                format!("{:?}", idx.drain_deltas()),
+                format!("{:?}", scan.drain_deltas()),
+                "indexed and scan delta streams must be byte-identical"
+            );
+            idx.validate_indexes().unwrap();
+        }
+        for w in [&script[3], &script[0]] {
+            idx.remove_wme(w);
+            scan.remove_wme(w);
+            assert_eq!(
+                format!("{:?}", idx.drain_deltas()),
+                format!("{:?}", scan.drain_deltas())
+            );
+            idx.validate_indexes().unwrap();
+        }
+        let (si, ss) = (idx.stats(), scan.stats());
+        assert!(si.join_tests <= ss.join_tests);
+        assert!(si.index_probes > 0);
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! rules pay nothing, and alpha/beta node sharing works across regular and
 //! set-oriented rules alike.
 
+use crate::index::{wme_key, IndexKey, IndexedList, JoinIndex};
 use crate::nodes::*;
 use sorete_base::{
     Arena, ConflictItem, CsDelta, FxHashMap, InstKey, MatchStats, RuleId, Symbol, TimeTag, Value,
     Wme,
 };
 use sorete_lang::analyze::AnalyzedRule;
+use sorete_lang::ast::Pred;
 use sorete_lang::matcher::Matcher;
 use sorete_soi::SNode;
 use std::sync::Arc;
@@ -55,6 +57,12 @@ pub struct ReteMatcher {
     /// build-time work is not charged to the runtime counters, so claim C1
     /// (regular programs unaffected) is measured on match work only.
     building: bool,
+    /// Compile equality tests into hash-index probes (`true` for
+    /// [`ReteMatcher::new`]); `false` reproduces the pure-scan Rete for
+    /// differential testing and measurement.
+    indexing: bool,
+    /// Next token sequence number (never reused; stamps index entries).
+    next_token_seq: u64,
 }
 
 impl Default for ReteMatcher {
@@ -64,12 +72,19 @@ impl Default for ReteMatcher {
 }
 
 impl ReteMatcher {
-    /// An empty network.
+    /// An empty network with hash-join indexing enabled.
     pub fn new() -> ReteMatcher {
+        Self::with_indexing(true)
+    }
+
+    /// An empty network; `indexing: false` keeps every join a pure memory
+    /// scan (the classic Rete baseline). Both modes produce byte-identical
+    /// delta streams — only the work counters differ.
+    pub fn with_indexing(indexing: bool) -> ReteMatcher {
         let mut nodes = Arena::new();
         let top = nodes.alloc(BetaNode::Memory {
             parent: None,
-            tokens: Vec::new(),
+            tokens: IndexedList::new(),
             children: Vec::new(),
         });
         let mut tokens = TokenSlab::default();
@@ -79,6 +94,7 @@ impl ReteMatcher {
             node: top,
             children: Vec::new(),
             join_results: Vec::new(),
+            seq: 0,
         });
         if let BetaNode::Memory { tokens: toks, .. } = &mut nodes[top] {
             toks.push(dummy);
@@ -96,6 +112,8 @@ impl ReteMatcher {
             deltas: Vec::new(),
             stats: MatchStats::default(),
             building: false,
+            indexing,
+            next_token_seq: 1,
         }
     }
 
@@ -151,8 +169,9 @@ impl ReteMatcher {
             .collect();
         let id = self.amems.alloc(AlphaMem {
             key: key.clone(),
-            wmes: matching.clone(),
+            wmes: matching.iter().copied().collect(),
             successors: Vec::new(),
+            indexes: Vec::new(),
         });
         for t in &matching {
             self.wmes.get_mut(t).unwrap().amems.push(id);
@@ -189,6 +208,250 @@ impl ReteMatcher {
         if !self.building {
             self.stats.beta_activations += 1;
         }
+    }
+
+    /// Account one index probe that returned `hits` of `total` scannable
+    /// candidates, where the node has `n_eq` equality tests. The skipped
+    /// estimate is deliberately conservative: a scan would have run at
+    /// least one (failing) test on each filtered-out candidate and all
+    /// `n_eq` equality tests on each hit.
+    #[inline]
+    fn charge_probe(&mut self, n_eq: u64, total: u64, hits: u64) {
+        if !self.building {
+            self.stats.index_probes += 1;
+            self.stats.index_skipped_tests += (total - hits) + n_eq * hits;
+        }
+    }
+
+    /// Compile the equality-test part of `tests` into an [`EqJoin`] plan:
+    /// pick (or create) the shared alpha index, and — for the token side —
+    /// build the left-input index, backfilled from whatever tokens the
+    /// parent memory already holds.
+    fn build_eq(
+        &mut self,
+        amem: AMemId,
+        parent: NodeId,
+        tests: &[CompiledTest],
+        negated: bool,
+    ) -> Option<EqJoin> {
+        let eq_tests: Vec<CompiledTest> = tests
+            .iter()
+            .copied()
+            .filter(|t| t.pred == Pred::Eq)
+            .collect();
+        if eq_tests.is_empty() {
+            return None;
+        }
+        let residual: Vec<CompiledTest> = tests
+            .iter()
+            .copied()
+            .filter(|t| t.pred != Pred::Eq)
+            .collect();
+        let attrs: Vec<Symbol> = eq_tests.iter().map(|t| t.attr).collect();
+        let spec: Vec<(usize, Symbol)> = eq_tests.iter().map(|t| (t.ups, t.other_attr)).collect();
+        let alpha = Self::ensure_alpha_index(&mut self.amems[amem], &attrs, &self.wmes);
+        let left = if negated {
+            // A Negative indexes its own tokens; it has none at creation
+            // (the add_rule replay populates it via `left_activate`).
+            Some(JoinIndex::new())
+        } else {
+            match &self.nodes[parent] {
+                BetaNode::Memory { tokens, .. } => {
+                    let existing: Vec<TokId> = tokens.to_vec();
+                    let mut idx = JoinIndex::new();
+                    for tok in existing {
+                        let key = self.token_key(&spec, tok);
+                        let seq = self.tokens.get(tok).unwrap().seq;
+                        idx.insert(key, tok, seq);
+                    }
+                    Some(idx)
+                }
+                // Left input is a Negative: its presence filter (blocked
+                // tokens don't count) makes the bucket bookkeeping not
+                // worth it — right activations scan, left activations
+                // still probe the alpha index.
+                _ => None,
+            }
+        };
+        self.stats.indexed_nodes += 1;
+        Some(EqJoin {
+            attrs,
+            spec,
+            residual,
+            alpha,
+            left,
+        })
+    }
+
+    /// Find or create the alpha index over `attrs`, backfilling a new one
+    /// from the memory's current members.
+    fn ensure_alpha_index(
+        amem: &mut AlphaMem,
+        attrs: &[Symbol],
+        wmes: &FxHashMap<TimeTag, WmeEntry>,
+    ) -> usize {
+        if let Some(i) = amem.indexes.iter().position(|ix| ix.attrs == attrs) {
+            return i;
+        }
+        let mut map = JoinIndex::new();
+        for (tag, seq) in amem.wmes.iter_live_seq() {
+            map.insert(wme_key(attrs, &wmes[&tag].wme), tag, seq);
+        }
+        amem.indexes.push(AlphaIndex {
+            attrs: attrs.to_vec(),
+            map,
+        });
+        amem.indexes.len() - 1
+    }
+
+    /// Index key of the token chain rooted at `root` (the *left* value of
+    /// a join) under the extraction spec: walk `ups` parents, read
+    /// `other_attr`.
+    fn token_key(&self, spec: &[(usize, Symbol)], root: TokId) -> IndexKey {
+        IndexKey::from_values(spec.iter().map(|&(ups, attr)| {
+            let mut cur = root;
+            for _ in 0..ups {
+                cur = self.tokens.get(cur).unwrap().parent.unwrap();
+            }
+            let tag = self
+                .tokens
+                .get(cur)
+                .unwrap()
+                .wme
+                .expect("equality test references a positive CE");
+            self.wmes[&tag].wme.get(attr)
+        }))
+    }
+
+    /// Like [`Self::token_key`], but for a token already released from the
+    /// slab (its ancestors are still live during post-order deletion).
+    fn released_token_key(&self, spec: &[(usize, Symbol)], token: &Token) -> IndexKey {
+        IndexKey::from_values(spec.iter().map(|&(ups, attr)| {
+            let tag = if ups == 0 {
+                token.wme.expect("equality test references a positive CE")
+            } else {
+                let mut cur = token.parent.expect("non-top token has a parent");
+                for _ in 0..ups - 1 {
+                    cur = self.tokens.get(cur).unwrap().parent.unwrap();
+                }
+                self.tokens
+                    .get(cur)
+                    .unwrap()
+                    .wme
+                    .expect("equality test references a positive CE")
+            };
+            self.wmes[&tag].wme.get(attr)
+        }))
+    }
+
+    /// Register a token just stored in a memory with the left-input hash
+    /// indexes of its child joins.
+    fn index_left_token(&mut self, children: &[NodeId], tok: TokId) {
+        for &c in children {
+            let key = {
+                let BetaNode::Join { eq: Some(eq), .. } = &self.nodes[c] else {
+                    continue;
+                };
+                if eq.left.is_none() {
+                    continue;
+                }
+                self.token_key(&eq.spec, tok)
+            };
+            let seq = self.tokens.get(tok).unwrap().seq;
+            if let BetaNode::Join { eq: Some(eq), .. } = &mut self.nodes[c] {
+                eq.left.as_mut().unwrap().insert(key, tok, seq);
+            }
+        }
+    }
+
+    /// Check every hash index against a from-scratch rebuild: grouping the
+    /// live members of the indexed collection by key must reproduce the
+    /// live bucket contents exactly, including order (probe order must
+    /// equal scan order). O(network) — a test/debug aid, also reachable
+    /// through [`Matcher::validate`].
+    pub fn validate_indexes(&self) -> Result<(), String> {
+        fn diff<K: std::fmt::Debug + Eq + std::hash::Hash, T: std::fmt::Debug + Eq>(
+            what: String,
+            expect: FxHashMap<K, Vec<T>>,
+            got: Vec<(K, Vec<T>)>,
+        ) -> Result<(), String> {
+            let mut got: FxHashMap<K, Vec<T>> =
+                got.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+            for (key, exp) in expect {
+                match got.remove(&key) {
+                    Some(g) if g == exp => {}
+                    other => {
+                        return Err(format!(
+                            "{what}: key {key:?} expected {exp:?}, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            if let Some((key, v)) = got.into_iter().next() {
+                return Err(format!("{what}: stray live bucket {key:?}: {v:?}"));
+            }
+            Ok(())
+        }
+
+        for (id, amem) in self.amems.iter() {
+            for (i, idx) in amem.indexes.iter().enumerate() {
+                let mut expect: FxHashMap<IndexKey, Vec<TimeTag>> = FxHashMap::default();
+                for tag in amem.wmes.iter_live() {
+                    expect
+                        .entry(wme_key(&idx.attrs, &self.wmes[&tag].wme))
+                        .or_default()
+                        .push(tag);
+                }
+                let got = idx.map.live_groups(|t, s| amem.wmes.seq_of(t) == Some(s));
+                diff(format!("alpha index α{}[{}]", id.index(), i), expect, got)?;
+            }
+        }
+        for (nid, node) in self.nodes.iter() {
+            let (eq, members) = match node {
+                BetaNode::Join {
+                    parent,
+                    eq: Some(eq),
+                    ..
+                } if eq.left.is_some() => {
+                    // Skip excised joins: the parent no longer feeds them,
+                    // so their (unreachable) index may lag behind.
+                    if !self.nodes[*parent].children().contains(&nid) {
+                        continue;
+                    }
+                    match &self.nodes[*parent] {
+                        BetaNode::Memory { tokens, .. } => (eq, tokens.to_vec()),
+                        _ => continue,
+                    }
+                }
+                BetaNode::Negative {
+                    eq: Some(eq),
+                    tokens,
+                    ..
+                } => (eq, tokens.to_vec()),
+                _ => continue,
+            };
+            let negative = matches!(node, BetaNode::Negative { .. });
+            let mut expect: FxHashMap<IndexKey, Vec<TokId>> = FxHashMap::default();
+            for tok in members {
+                let root = if negative {
+                    self.tokens.get(tok).unwrap().parent.unwrap()
+                } else {
+                    tok
+                };
+                expect
+                    .entry(self.token_key(&eq.spec, root))
+                    .or_default()
+                    .push(tok);
+            }
+            let slab = &self.tokens;
+            let got = eq
+                .left
+                .as_ref()
+                .unwrap()
+                .live_groups(|t, s| slab.get(t).is_some_and(|tk| tk.seq == s));
+            diff(format!("left index of n{}", nid.index()), expect, got)?;
+        }
+        Ok(())
     }
 
     fn attach_successor(&mut self, amem: AMemId, node: NodeId) {
@@ -235,11 +498,17 @@ impl Matcher for ReteMatcher {
                 current = match self.find_shared_negative(current, amem, &tests) {
                     Some(n) => n,
                     None => {
+                        let eq = if self.indexing {
+                            self.build_eq(amem, current, &tests, true)
+                        } else {
+                            None
+                        };
                         let n = self.nodes.alloc(BetaNode::Negative {
                             parent: current,
                             amem,
                             tests,
-                            tokens: Vec::new(),
+                            eq,
+                            tokens: IndexedList::new(),
                             children: Vec::new(),
                             depth: ce_idx as u32,
                         });
@@ -258,10 +527,16 @@ impl Matcher for ReteMatcher {
                 let join = match self.find_shared_join(current, amem, &tests) {
                     Some(j) => j,
                     None => {
+                        let eq = if self.indexing {
+                            self.build_eq(amem, current, &tests, false)
+                        } else {
+                            None
+                        };
                         let j = self.nodes.alloc(BetaNode::Join {
                             parent: current,
                             amem,
                             tests,
+                            eq,
                             children: Vec::new(),
                             depth: ce_idx as u32,
                         });
@@ -270,7 +545,7 @@ impl Matcher for ReteMatcher {
                         // Every join owns exactly one output memory.
                         let m = self.nodes.alloc(BetaNode::Memory {
                             parent: Some(j),
-                            tokens: Vec::new(),
+                            tokens: IndexedList::new(),
                             children: Vec::new(),
                         });
                         self.nodes[j].push_child(m);
@@ -291,7 +566,7 @@ impl Matcher for ReteMatcher {
         let pnode = self.nodes.alloc(BetaNode::Production {
             parent: current,
             prod: prod_id,
-            tokens: Vec::new(),
+            tokens: IndexedList::new(),
         });
         self.nodes[current].push_child(pnode);
         // A purely-negative LHS is already satisfied by the dummy token.
@@ -342,7 +617,7 @@ impl Matcher for ReteMatcher {
         );
         for &a in &matched {
             self.stats.alpha_activations += 1;
-            self.amems[a].wmes.push(tag);
+            self.amems[a].insert_wme(tag, wme);
         }
         // Phase 2: right activations, globally deepest-first.
         let mut acts: Vec<(u32, NodeId)> = Vec::new();
@@ -372,7 +647,7 @@ impl Matcher for ReteMatcher {
         // set-oriented rules the S-node drains its γ-memory through the
         // usual remove path).
         let toks: Vec<TokId> = match &self.nodes[pnode] {
-            BetaNode::Production { tokens, .. } => tokens.clone(),
+            BetaNode::Production { tokens, .. } => tokens.to_vec(),
             _ => unreachable!("pnode is a production"),
         };
         for t in toks {
@@ -392,7 +667,7 @@ impl Matcher for ReteMatcher {
             let stored: Vec<TokId> = match &self.nodes[node] {
                 BetaNode::Memory { tokens, .. }
                 | BetaNode::Negative { tokens, .. }
-                | BetaNode::Production { tokens, .. } => tokens.clone(),
+                | BetaNode::Production { tokens, .. } => tokens.to_vec(),
                 BetaNode::Join { .. } => Vec::new(),
             };
             for t in stored {
@@ -424,10 +699,7 @@ impl Matcher for ReteMatcher {
             return;
         };
         for a in entry_amems {
-            let mem = &mut self.amems[a];
-            if let Some(pos) = mem.wmes.iter().position(|&t| t == tag) {
-                mem.wmes.remove(pos);
-            }
+            self.amems[a].remove_wme(tag, wme);
         }
         // Delete every token built on this WME (cascades to descendants).
         let toks = self.wmes[&tag].tokens.clone();
@@ -441,7 +713,7 @@ impl Matcher for ReteMatcher {
                 continue;
             };
             if let Some(pos) = token.join_results.iter().position(|&w| w == tag) {
-                token.join_results.remove(pos);
+                token.join_results.swap_remove(pos);
                 if token.join_results.is_empty() {
                     // The absence test passes again: resume downstream.
                     let node = token.node;
@@ -493,7 +765,15 @@ impl Matcher for ReteMatcher {
     }
 
     fn algorithm_name(&self) -> &'static str {
-        "rete"
+        if self.indexing {
+            "rete"
+        } else {
+            "rete-scan"
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate_indexes()
     }
 
     fn to_dot(&self) -> Option<String> {
@@ -507,17 +787,92 @@ impl ReteMatcher {
     /// A WME entered `node`'s alpha memory.
     fn right_activate(&mut self, node: NodeId, tag: TimeTag) {
         self.charge_beta();
-        match &self.nodes[node] {
+        // Read phase: under a shared borrow, pick the candidate left tokens
+        // — a hash-bucket probe when the node has an equality plan with a
+        // left index, the classic full scan otherwise — plus the tests
+        // still to run on them (residual only after a probe).
+        enum Plan {
+            Join {
+                cands: Vec<TokId>,
+                tests: Vec<CompiledTest>,
+                children: Vec<NodeId>,
+            },
+            Negative {
+                cands: Vec<TokId>,
+                tests: Vec<CompiledTest>,
+            },
+        }
+        let mut probed: Option<(u64, u64, u64)> = None; // (n_eq, total, hits)
+        let plan = match &self.nodes[node] {
             BetaNode::Join {
                 parent,
                 tests,
+                eq,
                 children,
                 ..
             } => {
-                let tests = tests.clone();
-                let children = children.clone();
-                let left_tokens = self.present_tokens(*parent);
-                for t in left_tokens {
+                let (cands, tests) = match eq {
+                    Some(e) if e.left.is_some() => {
+                        let key = wme_key(&e.attrs, &self.wmes[&tag].wme);
+                        let slab = &self.tokens;
+                        let cands = e
+                            .left
+                            .as_ref()
+                            .unwrap()
+                            .probe(&key, |t, s| slab.get(t).is_some_and(|tk| tk.seq == s));
+                        let total = match &self.nodes[*parent] {
+                            BetaNode::Memory { tokens, .. } => tokens.len() as u64,
+                            _ => unreachable!("left-indexed joins hang off memories"),
+                        };
+                        probed = Some((e.attrs.len() as u64, total, cands.len() as u64));
+                        (cands, e.residual.clone())
+                    }
+                    _ => (self.present_tokens(*parent), tests.clone()),
+                };
+                Plan::Join {
+                    cands,
+                    tests,
+                    children: children.clone(),
+                }
+            }
+            BetaNode::Negative {
+                tokens, tests, eq, ..
+            } => {
+                // Indexed: only tokens whose parent chains carry the
+                // WME's equality values can be affected.
+                let (cands, tests) = match eq {
+                    Some(e) => {
+                        let key = wme_key(&e.attrs, &self.wmes[&tag].wme);
+                        let slab = &self.tokens;
+                        let cands = e
+                            .left
+                            .as_ref()
+                            .expect("negatives always index their own tokens")
+                            .probe(&key, |t, s| slab.get(t).is_some_and(|tk| tk.seq == s));
+                        probed = Some((
+                            e.attrs.len() as u64,
+                            tokens.len() as u64,
+                            cands.len() as u64,
+                        ));
+                        (cands, e.residual.clone())
+                    }
+                    None => (tokens.to_vec(), tests.clone()),
+                };
+                Plan::Negative { cands, tests }
+            }
+            _ => unreachable!("only joins and negatives are alpha successors"),
+        };
+        if let Some((n_eq, total, hits)) = probed {
+            self.charge_probe(n_eq, total, hits);
+        }
+        // Act phase.
+        match plan {
+            Plan::Join {
+                cands,
+                tests,
+                children,
+            } => {
+                for t in cands {
                     if self.eval_tests(&tests, t, tag) {
                         for &c in &children {
                             self.left_activate(c, t, Some(tag));
@@ -525,10 +880,8 @@ impl ReteMatcher {
                     }
                 }
             }
-            BetaNode::Negative { tokens, tests, .. } => {
-                let tests = tests.clone();
-                let toks = tokens.clone();
-                for tk in toks {
+            Plan::Negative { cands, tests } => {
+                for tk in cands {
                     let Some(token) = self.tokens.get(tk) else {
                         continue;
                     };
@@ -554,7 +907,6 @@ impl ReteMatcher {
                     }
                 }
             }
-            _ => unreachable!("only joins and negatives are alpha successors"),
         }
     }
 
@@ -568,6 +920,9 @@ impl ReteMatcher {
                 if let BetaNode::Memory { tokens, .. } = &mut self.nodes[node] {
                     tokens.push(tok);
                 }
+                // Register with child joins' left-input indexes *before*
+                // activating, so the cascade sees a consistent memory.
+                self.index_left_token(&children, tok);
                 for c in children {
                     self.activate_from_memory(c, tok);
                 }
@@ -576,15 +931,55 @@ impl ReteMatcher {
                 // Joins receive left activations via `activate_from_memory`.
                 unreachable!("join nodes take tokens from their parent memory");
             }
-            BetaNode::Negative { amem, tests, .. } => {
-                let (amem, tests) = (*amem, tests.clone());
+            BetaNode::Negative { .. } => {
+                let (amem, tests, plan) = match &self.nodes[node] {
+                    BetaNode::Negative {
+                        amem, tests, eq, ..
+                    } => (
+                        *amem,
+                        tests.clone(),
+                        eq.as_ref().map(|e| {
+                            (
+                                e.spec.clone(),
+                                e.residual.clone(),
+                                e.alpha,
+                                e.attrs.len() as u64,
+                            )
+                        }),
+                    ),
+                    _ => unreachable!(),
+                };
                 let tok = self.make_token(node, parent_tok, wme);
-                if let BetaNode::Negative { tokens, .. } = &mut self.nodes[node] {
-                    tokens.push(tok);
-                }
-                // Compute the negative join results.
-                let candidates = self.amems[amem].wmes.clone();
-                let left = self.tokens.get(tok).unwrap().parent.unwrap();
+                let seq = self.tokens.get(tok).unwrap().seq;
+                let left = parent_tok;
+                // Compute the negative join results — through the alpha
+                // index when an equality plan exists (the same key also
+                // registers the token in the node's own index, for future
+                // right activations).
+                let (candidates, tests) = match &plan {
+                    Some((spec, residual, alpha, n_eq)) => {
+                        let key = self.token_key(spec, left);
+                        if let BetaNode::Negative {
+                            tokens,
+                            eq: Some(eq),
+                            ..
+                        } = &mut self.nodes[node]
+                        {
+                            tokens.push(tok);
+                            eq.left.as_mut().unwrap().insert(key.clone(), tok, seq);
+                        }
+                        let total = self.amems[amem].wmes.len() as u64;
+                        let cands = self.amems[amem].probe(*alpha, &key);
+                        self.charge_probe(*n_eq, total, cands.len() as u64);
+                        (cands, residual.clone())
+                    }
+                    None => {
+                        if let BetaNode::Negative { tokens, .. } = &mut self.nodes[node] {
+                            tokens.push(tok);
+                        }
+                        (self.amems[amem].wmes.to_vec(), tests)
+                    }
+                };
                 let mut results = Vec::new();
                 for w in candidates {
                     if self.eval_tests(&tests, left, w) {
@@ -617,15 +1012,42 @@ impl ReteMatcher {
     /// A token was added to a Memory/Negative; push it through child `node`.
     fn activate_from_memory(&mut self, node: NodeId, tok: TokId) {
         match &self.nodes[node] {
-            BetaNode::Join {
-                amem,
-                tests,
-                children,
-                ..
-            } => {
-                let (amem, tests, children) = (*amem, tests.clone(), children.clone());
+            BetaNode::Join { .. } => {
+                let (amem, tests, children, plan) = match &self.nodes[node] {
+                    BetaNode::Join {
+                        amem,
+                        tests,
+                        eq,
+                        children,
+                        ..
+                    } => (
+                        *amem,
+                        tests.clone(),
+                        children.clone(),
+                        eq.as_ref().map(|e| {
+                            (
+                                e.spec.clone(),
+                                e.residual.clone(),
+                                e.alpha,
+                                e.attrs.len() as u64,
+                            )
+                        }),
+                    ),
+                    _ => unreachable!(),
+                };
                 self.charge_beta();
-                let wmes = self.amems[amem].wmes.clone();
+                // Indexed: hash the token's equality values into the alpha
+                // memory's bucket; scan otherwise.
+                let (wmes, tests) = match plan {
+                    Some((spec, residual, alpha, n_eq)) => {
+                        let key = self.token_key(&spec, tok);
+                        let total = self.amems[amem].wmes.len() as u64;
+                        let cands = self.amems[amem].probe(alpha, &key);
+                        self.charge_probe(n_eq, total, cands.len() as u64);
+                        (cands, residual)
+                    }
+                    None => (self.amems[amem].wmes.to_vec(), tests),
+                };
                 for w in wmes {
                     if self.eval_tests(&tests, tok, w) {
                         for &c in &children {
@@ -644,10 +1066,9 @@ impl ReteMatcher {
     /// Tokens of a Memory, or *unblocked* tokens of a Negative.
     fn present_tokens(&self, node: NodeId) -> Vec<TokId> {
         match &self.nodes[node] {
-            BetaNode::Memory { tokens, .. } => tokens.clone(),
+            BetaNode::Memory { tokens, .. } => tokens.to_vec(),
             BetaNode::Negative { tokens, .. } => tokens
-                .iter()
-                .copied()
+                .iter_live()
                 .filter(|&t| {
                     self.tokens
                         .get(t)
@@ -662,12 +1083,15 @@ impl ReteMatcher {
         if !self.building {
             self.stats.tokens_created += 1;
         }
+        let seq = self.next_token_seq;
+        self.next_token_seq += 1;
         let tok = self.tokens.alloc(Token {
             parent: Some(parent),
             wme,
             node,
             children: Vec::new(),
             join_results: Vec::new(),
+            seq,
         });
         self.tokens.get_mut(parent).unwrap().children.push(tok);
         if let Some(w) = wme {
@@ -715,16 +1139,51 @@ impl ReteMatcher {
             return;
         };
         self.stats.tokens_deleted += 1;
-        // Unregister from the owning node's memory.
-        match &mut self.nodes[token.node] {
-            BetaNode::Memory { tokens, .. }
-            | BetaNode::Negative { tokens, .. }
-            | BetaNode::Production { tokens, .. } => {
-                if let Some(pos) = tokens.iter().position(|&t| t == tok) {
-                    tokens.remove(pos);
-                }
+        // Unregister from the owning node's memory (O(1) tombstone) and
+        // collect the child joins whose left indexes reference the token.
+        let index_children: Vec<NodeId> = match &mut self.nodes[token.node] {
+            BetaNode::Memory {
+                tokens, children, ..
+            } => {
+                tokens.remove(tok);
+                children.clone()
+            }
+            BetaNode::Negative { tokens, .. } => {
+                tokens.remove(tok);
+                // The node indexes its own tokens.
+                vec![token.node]
+            }
+            BetaNode::Production { tokens, .. } => {
+                tokens.remove(tok);
+                Vec::new()
             }
             BetaNode::Join { .. } => unreachable!("joins store no tokens"),
+        };
+        // Tombstone the token's hash-index entries. The key is recomputed
+        // from the released token's chain (ancestors outlive descendants),
+        // so only the one affected bucket is touched.
+        for c in index_children {
+            let key = match &self.nodes[c] {
+                BetaNode::Join { eq: Some(eq), .. } if eq.left.is_some() => {
+                    self.released_token_key(&eq.spec, &token)
+                }
+                // Only the self-referencing entry (a Negative tombstoning
+                // its own index); Negative *children* of a memory index
+                // their own tokens, not the memory's.
+                BetaNode::Negative { eq: Some(eq), .. } if c == token.node => {
+                    // Negative keys hang off the *parent* chain.
+                    self.token_key(&eq.spec, token.parent.expect("non-top token"))
+                }
+                _ => continue,
+            };
+            let slab = &self.tokens;
+            if let BetaNode::Join { eq: Some(eq), .. } | BetaNode::Negative { eq: Some(eq), .. } =
+                &mut self.nodes[c]
+            {
+                if let Some(left) = eq.left.as_mut() {
+                    left.note_dead(&key, |t, s| slab.get(t).is_some_and(|tk| tk.seq == s));
+                }
+            }
         }
         // Unregister from parent and WME back-references.
         if let Some(p) = token.parent {
@@ -737,14 +1196,14 @@ impl ReteMatcher {
         if let Some(w) = token.wme {
             if let Some(entry) = self.wmes.get_mut(&w) {
                 if let Some(pos) = entry.tokens.iter().position(|&t| t == tok) {
-                    entry.tokens.remove(pos);
+                    entry.tokens.swap_remove(pos);
                 }
             }
         }
         for w in &token.join_results {
             if let Some(entry) = self.wmes.get_mut(w) {
                 if let Some(pos) = entry.blocked.iter().position(|&t| t == tok) {
-                    entry.blocked.remove(pos);
+                    entry.blocked.swap_remove(pos);
                 }
             }
         }

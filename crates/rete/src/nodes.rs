@@ -22,7 +22,8 @@
 //! end in a `Production` whose matches are routed through an
 //! [`sorete_soi::SNode`] instead of going straight to the conflict set.
 
-use sorete_base::{define_id, Symbol, TimeTag};
+use crate::index::{wme_key, IndexKey, IndexedList, JoinIndex};
+use sorete_base::{define_id, Symbol, TimeTag, Wme};
 use sorete_lang::analyze::{ConstTest, IntraTest};
 use sorete_lang::ast::Pred;
 
@@ -77,13 +78,57 @@ impl AlphaKey {
 pub struct AlphaMem {
     /// Sharing key.
     pub key: AlphaKey,
-    /// Member WMEs, in arrival order.
-    pub wmes: Vec<TimeTag>,
+    /// Member WMEs, in arrival order (O(1) removal via tombstones).
+    pub wmes: IndexedList<TimeTag>,
     /// Successor join/negative nodes. Kept **deepest-first** so that a WME
     /// feeding several levels of one chain activates descendants before
     /// ancestors (Doorenbos' ordering requirement — avoids duplicate
     /// matches when one WME satisfies consecutive CEs).
     pub successors: Vec<NodeId>,
+    /// Equality-hash indexes over the members. One per distinct attribute
+    /// tuple some successor equality-joins on; shared by all successors
+    /// that join on the same attributes.
+    pub indexes: Vec<AlphaIndex>,
+}
+
+/// A hash index over one alpha memory, keyed on the member WMEs' values of
+/// `attrs` (in join-test order).
+#[derive(Debug)]
+pub struct AlphaIndex {
+    /// The indexed attributes.
+    pub attrs: Vec<Symbol>,
+    /// Buckets of `(tag, seq)` entries; liveness delegated to `wmes`.
+    pub map: JoinIndex<TimeTag>,
+}
+
+impl AlphaMem {
+    /// Add a member: the arrival-order list plus every index.
+    pub fn insert_wme(&mut self, tag: TimeTag, wme: &Wme) {
+        let seq = self.wmes.push(tag);
+        for idx in &mut self.indexes {
+            idx.map.insert(wme_key(&idx.attrs, wme), tag, seq);
+        }
+    }
+
+    /// Remove a member in O(1): tombstone the list and the affected
+    /// bucket of every index.
+    pub fn remove_wme(&mut self, tag: TimeTag, wme: &Wme) {
+        if !self.wmes.remove(tag) {
+            return;
+        }
+        let wmes = &self.wmes;
+        for idx in &mut self.indexes {
+            idx.map
+                .note_dead(&wme_key(&idx.attrs, wme), |t, s| wmes.seq_of(t) == Some(s));
+        }
+    }
+
+    /// Live members of index `i`'s bucket for `key`, in arrival order.
+    pub fn probe(&self, i: usize, key: &IndexKey) -> Vec<TimeTag> {
+        self.indexes[i]
+            .map
+            .probe(key, |t, s| self.wmes.seq_of(t) == Some(s))
+    }
 }
 
 /// A beta-level join test compiled against the token chain:
@@ -101,6 +146,29 @@ pub struct CompiledTest {
     pub other_attr: Symbol,
 }
 
+/// Compile-time plan for running a Join/Negative node's equality tests
+/// through hash indexes instead of scans. Built in `add_rule` when at
+/// least one of the node's [`CompiledTest`]s uses [`Pred::Eq`] (and the
+/// matcher has indexing enabled).
+#[derive(Debug)]
+pub struct EqJoin {
+    /// Right-side (alpha) attributes of the equality tests, in test order.
+    pub attrs: Vec<Symbol>,
+    /// Left-side extraction, one `(ups, other_attr)` per equality test:
+    /// walk `ups` parent links from the left token, read `other_attr`.
+    pub spec: Vec<(usize, Symbol)>,
+    /// The non-equality tests, still evaluated on every bucket candidate.
+    pub residual: Vec<CompiledTest>,
+    /// Index into the alpha memory's `indexes` (left-activation probe).
+    pub alpha: usize,
+    /// Hash index over the left input's tokens (right-activation probe):
+    /// the parent memory's tokens for a Join, the node's own tokens for a
+    /// Negative. `None` when the Join's left input is a Negative node —
+    /// its presence filter makes bucket maintenance not worth it, so right
+    /// activations fall back to the scan there.
+    pub left: Option<JoinIndex<TokId>>,
+}
+
 /// A beta-level node.
 #[derive(Debug)]
 pub enum BetaNode {
@@ -108,8 +176,8 @@ pub enum BetaNode {
     Memory {
         /// The join that feeds this memory (`None` for the top memory).
         parent: Option<NodeId>,
-        /// Stored tokens.
-        tokens: Vec<TokId>,
+        /// Stored tokens, in arrival order (O(1) tombstone removal).
+        tokens: IndexedList<TokId>,
         /// Children: joins, negatives, productions.
         children: Vec<NodeId>,
     },
@@ -121,6 +189,8 @@ pub enum BetaNode {
         amem: AMemId,
         /// Consistency tests.
         tests: Vec<CompiledTest>,
+        /// Equality-hash plan (`None` ⇒ pure scan).
+        eq: Option<EqJoin>,
         /// The single output Memory (plus possibly Productions).
         children: Vec<NodeId>,
         /// CE level (depth), for activation ordering.
@@ -135,8 +205,11 @@ pub enum BetaNode {
         amem: AMemId,
         /// Consistency tests.
         tests: Vec<CompiledTest>,
-        /// Own tokens (blocked and unblocked).
-        tokens: Vec<TokId>,
+        /// Equality-hash plan (`None` ⇒ pure scan). `left` indexes the
+        /// node's *own* tokens, keyed through their parent chains.
+        eq: Option<EqJoin>,
+        /// Own tokens (blocked and unblocked), in arrival order.
+        tokens: IndexedList<TokId>,
         /// Children: joins, negatives, productions.
         children: Vec<NodeId>,
         /// CE level (depth).
@@ -148,8 +221,8 @@ pub enum BetaNode {
         parent: NodeId,
         /// The production it reports to.
         prod: ProdId,
-        /// Tokens = current complete matches.
-        tokens: Vec<TokId>,
+        /// Tokens = current complete matches, in arrival order.
+        tokens: IndexedList<TokId>,
     },
 }
 
@@ -199,6 +272,10 @@ pub struct Token {
     pub children: Vec<TokId>,
     /// For tokens stored in a Negative node: the WMEs currently blocking it.
     pub join_results: Vec<TimeTag>,
+    /// Allocation sequence (matcher-global, never reused). Hash-index
+    /// entries are stamped with it so a recycled `TokId` can't alias a
+    /// stale bucket entry.
+    pub seq: u64,
 }
 
 /// Slab of tokens with id reuse, so long recognise–act runs don't leak.
@@ -260,6 +337,7 @@ mod tests {
             node: NodeId::new(0),
             children: vec![],
             join_results: vec![],
+            seq: 0,
         });
         assert_eq!(slab.live(), 1);
         slab.release(a);
@@ -271,6 +349,7 @@ mod tests {
             node: NodeId::new(1),
             children: vec![],
             join_results: vec![],
+            seq: 0,
         });
         assert_eq!(b, a, "slot reused");
         assert_eq!(slab.get(b).unwrap().wme, Some(TimeTag::new(7)));
@@ -285,6 +364,7 @@ mod tests {
             node: NodeId::new(0),
             children: vec![],
             join_results: vec![],
+            seq: 0,
         });
         assert!(slab.release(a).is_some());
         assert!(slab.release(a).is_none());

@@ -5,7 +5,7 @@
 //! sorete [OPTIONS] <program.ops>...
 //!
 //! OPTIONS:
-//!   --matcher rete|treat|naive   match algorithm (default: rete)
+//!   --matcher rete|rete-scan|treat|naive   match algorithm (default: rete)
 //!   --strategy lex|mea           conflict resolution (default: lex)
 //!   --wm <facts.wm>              assert facts from a file before running
 //!   --limit <N>                  stop after N firings
@@ -39,7 +39,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: sorete [--matcher rete|treat|naive] [--strategy lex|mea] \
+    "usage: sorete [--matcher rete|rete-scan|treat|naive] [--strategy lex|mea] \
      [--wm facts.wm] [--limit N] [--trace] [--stats] [--repl] program.ops..."
 }
 
@@ -61,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--matcher" => {
                 opts.matcher = match it.next().map(String::as_str) {
                     Some("rete") => MatcherKind::Rete,
+                    Some("rete-scan") => MatcherKind::ReteScan,
                     Some("treat") => MatcherKind::Treat,
                     Some("naive") => MatcherKind::Naive,
                     other => return Err(format!("bad --matcher {:?}", other)),
@@ -390,6 +391,11 @@ mod tests {
         assert_eq!(o.limit, Some(5));
         assert!(o.trace);
         assert_eq!(o.programs, vec!["prog.ops"]);
+        let scan: Vec<String> = ["--matcher", "rete-scan", "p.ops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&scan).unwrap().matcher, MatcherKind::ReteScan);
     }
 
     #[test]

@@ -227,3 +227,70 @@ fn strategies_and_matchers_cross_check() {
         }
     }
 }
+
+// ---------------------------------------------------------------- J1
+// Hash-join indexing (DESIGN.md "Join indexing"): on a join-heavy workload
+// at n=1000 the indexed Rete performs at least 10× fewer join tests than
+// the same network with indexing disabled, while emitting a byte-identical
+// CsDelta stream.
+
+#[test]
+fn j1_hash_index_cuts_join_tests_10x_at_n1000() {
+    use sorete::lang::{analyze_rule, parse_rule, Matcher};
+    use sorete::rete::ReteMatcher;
+    use sorete_base::{Symbol, TimeTag, Wme};
+    use std::sync::Arc;
+
+    let rules = [
+        "(p fill (order ^id <i> ^qty <q>) (stock ^id <i> ^qty >= <q>) (halt))",
+        "(p missing (order ^id <i> ^qty <q>) -(stock ^id <i>) (halt))",
+    ];
+    let mut idx = ReteMatcher::new();
+    let mut scan = ReteMatcher::with_indexing(false);
+    for src in rules {
+        let r = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
+        idx.add_rule(r.clone());
+        scan.add_rule(r);
+    }
+
+    let wme = |tag: u64, class: &str, id: i64, qty: i64| {
+        Wme::new(
+            TimeTag::new(tag),
+            Symbol::new(class),
+            vec![
+                (Symbol::new("id"), Value::Int(id)),
+                (Symbol::new("qty"), Value::Int(qty)),
+            ],
+        )
+    };
+    let n = 1000i64;
+    let mut tag = 0u64;
+    let insert = |idx: &mut ReteMatcher, scan: &mut ReteMatcher, w: Wme| {
+        idx.insert_wme(&w);
+        scan.insert_wme(&w);
+    };
+    for i in 0..n {
+        tag += 1;
+        insert(&mut idx, &mut scan, wme(tag, "stock", i, (i * 5) % 10));
+    }
+    for i in 0..n {
+        tag += 1;
+        insert(&mut idx, &mut scan, wme(tag, "order", i, (i * 3) % 10));
+    }
+
+    assert_eq!(
+        format!("{:?}", idx.drain_deltas()),
+        format!("{:?}", scan.drain_deltas()),
+        "identical CsDelta streams"
+    );
+    let (ji, js) = (idx.stats().join_tests, scan.stats().join_tests);
+    assert!(
+        ji * 10 <= js,
+        "indexed rete must do ≥10× fewer join tests: indexed={} scan={}",
+        ji,
+        js
+    );
+    assert!(idx.stats().index_probes > 0);
+    assert_eq!(scan.stats().index_probes, 0);
+    idx.validate().expect("indexes consistent at n=1000");
+}

@@ -378,3 +378,31 @@ fn f6_dips_figure() {
         .collect();
     assert_eq!(groups, vec![1, 1, 2, 2]);
 }
+
+// ----------------------------------------------------- network rendering
+
+/// The DOT export labels equality-indexed Join/Negative nodes with their
+/// hash key, and omits the annotation when indexing is disabled.
+#[test]
+fn network_dot_annotates_indexed_joins() {
+    let rules = "(p mates (player ^name <n1> ^team <t>) (player ^name <n2> ^team <t>) (halt))
+         (p solo (player ^name <n> ^team <t>) -(player ^team <t> ^name <> <n>) (halt))";
+    let mut ps = engine(MatcherKind::Rete, rules);
+    load_players(&mut ps);
+    let dot = ps.network_dot().expect("rete renders a network");
+    assert!(
+        dot.contains("[idx: ^team]"),
+        "join/negative nodes annotated with their hash key:\n{}",
+        dot
+    );
+    assert!(dot.contains("negative"), "{}", dot);
+
+    let mut scan = engine(MatcherKind::ReteScan, rules);
+    load_players(&mut scan);
+    let scan_dot = scan.network_dot().expect("scan rete renders a network");
+    assert!(
+        !scan_dot.contains("[idx:"),
+        "scan mode builds no indexes:\n{}",
+        scan_dot
+    );
+}

@@ -2,6 +2,11 @@
 //! with the independent naive oracle on every conflict set reachable by
 //! random insert/remove streams — for regular rules, negated CEs, and
 //! set-oriented rules with aggregates.
+//!
+//! The hash-indexed Rete is held to a stronger standard than conflict-set
+//! equality: its `CsDelta` stream must be byte-identical (same deltas, same
+//! order) to the scan Rete's at every step, and its indexes must survive a
+//! rebuild-from-scratch comparison (`Matcher::validate`) at every step.
 
 use proptest::prelude::*;
 use sorete::lang::{analyze_rule, parse_rule, Matcher};
@@ -71,7 +76,12 @@ impl Tracker {
     }
 
     fn apply(&mut self) {
-        for d in self.m.drain_deltas() {
+        let deltas = self.m.drain_deltas();
+        self.apply_deltas(deltas);
+    }
+
+    fn apply_deltas(&mut self, deltas: Vec<CsDelta>) {
+        for d in deltas {
             match d {
                 CsDelta::Insert(item) => {
                     let prev = self.cs.insert(item.key.clone(), item);
@@ -129,6 +139,7 @@ impl Tracker {
 
 fn run_equivalence(rules: &[&str], ops: &[Op]) {
     let mut rete = Tracker::new(Box::new(ReteMatcher::new()), rules);
+    let mut scan = Tracker::new(Box::new(ReteMatcher::with_indexing(false)), rules);
     let mut treat = Tracker::new(Box::new(TreatMatcher::new()), rules);
     let mut naive = Tracker::new(Box::new(NaiveMatcher::new()), rules);
 
@@ -148,6 +159,7 @@ fn run_equivalence(rules: &[&str], ops: &[Op]) {
                 );
                 live.push(wme.clone());
                 rete.m.insert_wme(&wme);
+                scan.m.insert_wme(&wme);
                 treat.m.insert_wme(&wme);
                 naive.m.insert_wme(&wme);
             }
@@ -157,15 +169,35 @@ fn run_equivalence(rules: &[&str], ops: &[Op]) {
                 }
                 let wme = live.remove(i % live.len());
                 rete.m.remove_wme(&wme);
+                scan.m.remove_wme(&wme);
                 treat.m.remove_wme(&wme);
                 naive.m.remove_wme(&wme);
             }
         }
-        rete.apply();
+        // Indexed vs scan Rete: byte-identical delta streams, and indexes
+        // that survive a rebuild-from-scratch comparison, at every step.
+        let rete_deltas = rete.m.drain_deltas();
+        let scan_deltas = scan.m.drain_deltas();
+        assert_eq!(
+            format!("{:?}", rete_deltas),
+            format!("{:?}", scan_deltas),
+            "\nindexed rete diverged from scan rete after step {} ({:?})",
+            step,
+            op
+        );
+        rete.m.validate().unwrap_or_else(|e| {
+            panic!(
+                "index validation failed after step {} ({:?}): {}",
+                step, op, e
+            )
+        });
+        rete.apply_deltas(rete_deltas);
+        scan.apply_deltas(scan_deltas);
         treat.apply();
         naive.apply();
         let expected = naive.canon();
         prop_assert_eq_step(step, op, "rete", &rete.canon(), &expected);
+        prop_assert_eq_step(step, op, "rete-scan", &scan.canon(), &expected);
         prop_assert_eq_step(step, op, "treat", &treat.canon(), &expected);
     }
 }
@@ -257,4 +289,82 @@ fn negation_unblock_regression() {
         Op::Remove(0),
     ];
     run_equivalence(RULESET_NEGATED, &ops);
+}
+
+/// Excise + rollback-style re-insertion must leave the hash indexes exactly
+/// consistent: after every mutation the indexed matcher must pass a
+/// rebuild-from-scratch comparison (`validate`, i.e. re-probing after the
+/// rollback sees exactly what a fresh build would), and its delta stream
+/// must stay byte-identical to the scan matcher's.
+#[test]
+fn excise_and_rollback_keep_indexes_consistent() {
+    let rules: Vec<&str> = RULESET_REGULAR
+        .iter()
+        .chain(RULESET_NEGATED)
+        .copied()
+        .collect();
+    let mut idx = ReteMatcher::new();
+    let mut scan = ReteMatcher::with_indexing(false);
+    let mut ids = Vec::new();
+    for src in &rules {
+        let r = Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap());
+        ids.push(idx.add_rule(r.clone()));
+        scan.add_rule(r);
+    }
+    let wme = |tag: u64, class: &str, x: i64, y: i64| {
+        Wme::new(
+            TimeTag::new(tag),
+            Symbol::new(class),
+            vec![
+                (Symbol::new("x"), Value::Int(x)),
+                (Symbol::new("y"), Value::Int(y)),
+            ],
+        )
+    };
+    fn check(idx: &mut ReteMatcher, scan: &mut ReteMatcher, what: &str) {
+        assert_eq!(
+            format!("{:?}", idx.drain_deltas()),
+            format!("{:?}", scan.drain_deltas()),
+            "delta streams diverged after {}",
+            what
+        );
+        idx.validate()
+            .unwrap_or_else(|e| panic!("index validation failed after {}: {}", what, e));
+    }
+
+    let w = [
+        wme(1, "a", 1, 1),
+        wme(2, "b", 1, 0),
+        wme(3, "a", 1, 2),
+        wme(4, "b", 2, 3),
+    ];
+    for wme in &w {
+        idx.insert_wme(wme);
+        scan.insert_wme(wme);
+        check(&mut idx, &mut scan, "insert");
+    }
+
+    // Retraction, then excise, then rollback re-inserts the same TimeTag.
+    idx.remove_wme(&w[1]);
+    scan.remove_wme(&w[1]);
+    check(&mut idx, &mut scan, "remove b^x=1");
+
+    idx.remove_rule(ids[3]); // n1: (a ^x <v>) -(b ^x <v>)
+    scan.remove_rule(ids[3]);
+    check(&mut idx, &mut scan, "excise n1");
+
+    idx.insert_wme(&w[1]);
+    scan.insert_wme(&w[1]);
+    check(&mut idx, &mut scan, "rollback re-insert of tag 2");
+
+    idx.remove_wme(&w[3]);
+    scan.remove_wme(&w[3]);
+    check(&mut idx, &mut scan, "remove b^x=2");
+    idx.insert_wme(&w[3]);
+    scan.insert_wme(&w[3]);
+    check(&mut idx, &mut scan, "rollback re-insert of tag 4");
+
+    idx.remove_rule(ids[1]); // r2: three-CE join
+    scan.remove_rule(ids[1]);
+    check(&mut idx, &mut scan, "excise r2");
 }

@@ -227,6 +227,34 @@ fn fault_at_every_action_rolls_back_exactly_payroll() {
     sweep(payroll_engine);
 }
 
+/// Rollback must also leave the Rete hash-join indexes consistent: after a
+/// fault is rolled back (which re-inserts retracted WMEs under their
+/// original time tags), re-probing the indexes must see exactly what a
+/// rebuild from scratch would.
+#[test]
+fn rollback_leaves_match_indexes_consistent() {
+    for build in [teams_engine, payroll_engine] {
+        let actions = clean_run(build, MatcherKind::Rete).actions;
+        for n in 0..actions {
+            let mut ps = build(MatcherKind::Rete);
+            ps.inject_fault(FaultPlan::nth(n));
+            loop {
+                match ps.step() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("fault at action {} never triggered", n),
+                    Err(_) => break,
+                }
+            }
+            ps.validate_matcher()
+                .unwrap_or_else(|e| panic!("after rollback of action {}: {}", n, e));
+            ps.take_fault();
+            ps.run(None);
+            ps.validate_matcher()
+                .unwrap_or_else(|e| panic!("after completing past action {}: {}", n, e));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
