@@ -64,6 +64,40 @@ impl InstKey {
     pub fn is_soi(&self) -> bool {
         matches!(self, InstKey::Soi { .. })
     }
+
+    /// Canonical, human-readable key text used by the trace event stream:
+    /// space-separated components, tags as `t<n>`, scalar values rendered
+    /// with their `Display` form. Deterministic for a given key.
+    pub fn repr(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        match self {
+            InstKey::Tuple { tags, .. } => {
+                for (i, t) in tags.iter().enumerate() {
+                    if i > 0 {
+                        s.push(' ');
+                    }
+                    let _ = write!(s, "t{}", t.raw());
+                }
+            }
+            InstKey::Soi { parts, .. } => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        s.push(' ');
+                    }
+                    match p {
+                        KeyPart::Tag(t) => {
+                            let _ = write!(s, "t{}", t.raw());
+                        }
+                        KeyPart::Val(v) => {
+                            let _ = write!(s, "{}", v);
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
 }
 
 /// A conflict-set entry as produced by a matcher.

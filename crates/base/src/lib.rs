@@ -20,6 +20,7 @@ pub mod error;
 pub mod hash;
 pub mod inst;
 pub mod symbol;
+pub mod trace;
 pub mod value;
 pub mod wme;
 
@@ -28,6 +29,10 @@ pub use error::{BaseError, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use inst::{ConflictItem, CsDelta, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId};
 pub use symbol::Symbol;
+pub use trace::{
+    CollectSink, JsonlSink, NetProfile, NodeProfile, NullSink, SelfTimer, SharedSink, TraceEvent,
+    TraceSink, Tracer,
+};
 pub use value::Value;
 pub use wme::{TimeTag, Wme};
 

@@ -1,0 +1,82 @@
+//! Trace-overhead bench: the cost of the TraceSink event stream.
+//!
+//! With no sinks attached the `Tracer::emit` fast path returns before an
+//! event is even constructed, so the `off` case must sit within noise of
+//! an untraced run — that is the zero-cost-when-disabled claim DESIGN.md
+//! §5.3 makes. `null` attaches an explicit `NullSink` (events are built
+//! then dropped), `collect` buffers them in memory, and `jsonl` streams
+//! them through a `BufWriter` to disk.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sorete_base::{CollectSink, JsonlSink, NullSink, SharedSink, TraceEvent, Tracer, Value};
+use sorete_core::{MatcherKind, ProductionSystem, StopReason};
+use std::sync::{Arc, Mutex};
+
+const PROGRAM: &str = "(literalize player name team)
+(p RemoveDups
+  { [player ^name <n> ^team <t>] <P> }
+  :scalar (<n> <t>)
+  :test ((count <P>) > 1)
+  -->
+  (bind <First> true)
+  (foreach <P> descending
+    (if (<First> == true) (bind <First> false) else (remove <P>))))";
+
+fn run(sink: Option<SharedSink>) {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(PROGRAM).unwrap();
+    if let Some(s) = sink {
+        ps.add_trace_sink(s);
+    }
+    for i in 0..8 {
+        for _ in 0..16 {
+            ps.make_str(
+                "player",
+                &[
+                    ("name", Value::sym(&format!("p{}", i))),
+                    ("team", Value::sym("A")),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    let outcome = ps.run(None);
+    assert!(matches!(outcome.reason, StopReason::Quiescence));
+    assert_eq!(ps.wm().len(), 8);
+    ps.flush_trace();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    // The disabled fast path in isolation: 10k emit calls against a
+    // sink-less tracer must cost no more than 10k untaken branches.
+    group.bench_function("emit_disabled_10k", |b| {
+        let tracer = Tracer::default();
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                tracer.emit(|| TraceEvent::CycleBegin {
+                    cycle: black_box(i),
+                });
+            }
+        })
+    });
+    group.bench_function("off", |b| b.iter(|| run(None)));
+    group.bench_function("null", |b| {
+        b.iter(|| run(Some(Arc::new(Mutex::new(NullSink)) as SharedSink)))
+    });
+    group.bench_function("collect", |b| {
+        b.iter(|| run(Some(Arc::new(Mutex::new(CollectSink::new())) as SharedSink)))
+    });
+    let path = std::env::temp_dir().join("sorete-trace-overhead.jsonl");
+    group.bench_function("jsonl", |b| {
+        b.iter(|| {
+            let sink = JsonlSink::create(&path).expect("temp file");
+            run(Some(Arc::new(Mutex::new(sink)) as SharedSink));
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -213,6 +213,79 @@ fn main() {
         }
     }
 
+    hr("P1 — per-node heat profile (C6 workload, Rete)");
+    {
+        use sorete_base::Value;
+        use sorete_core::ProductionSystem;
+        let mut ps = ProductionSystem::new(MatcherKind::Rete);
+        ps.load_program(C6_PROGRAM).expect("C6 program");
+        ps.set_profiling(true);
+        for i in 0..200i64 {
+            ps.make_str(
+                "task",
+                &[
+                    ("id", Value::Int(i)),
+                    ("dur", Value::Int(1 + (i * 7) % 13)),
+                    ("state", Value::sym("queued")),
+                    ("owner", Value::Nil),
+                ],
+            )
+            .unwrap();
+            if i % 3 == 0 {
+                ps.make_str(
+                    "worker",
+                    &[
+                        ("id", Value::Int(i)),
+                        ("cap", Value::Int(5 + (i * 3) % 9)),
+                        ("load", Value::Int(0)),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+        ps.run(Some(100_000));
+        let prof = ps.profile().expect("profiling on");
+        println!(
+            "{:>6} {:>12} {:>8} {:>10} {:>10}  label",
+            "node", "kind", "acts", "held", "self-µs"
+        );
+        let mut json = String::from("[\n");
+        for (i, node) in prof.sorted().iter().enumerate() {
+            println!(
+                "{:>6} {:>12} {:>8} {:>10} {:>10}  {}",
+                node.id,
+                node.kind,
+                node.activations,
+                node.held,
+                node.nanos / 1_000,
+                node.label.replace('\n', " ")
+            );
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "  {{\"id\": \"{}\", \"kind\": \"{}\", \"activations\": {}, \
+                 \"held\": {}, \"self_nanos\": {}, \"rules\": [{}]}}",
+                node.id,
+                node.kind,
+                node.activations,
+                node.held,
+                node.nanos,
+                node.rules
+                    .iter()
+                    .map(|r| format!("\"{}\"", r))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        json.push_str("\n]\n");
+        println!("(total self time: {}µs)", prof.total_nanos() / 1_000);
+        match std::fs::write("BENCH_profile.json", &json) {
+            Ok(()) => println!("(wrote BENCH_profile.json)"),
+            Err(e) => println!("(could not write BENCH_profile.json: {})", e),
+        }
+    }
+
     hr("Whole program — Monkey & Bananas (programs/monkey.ops, MEA)");
     println!(
         "{:>8} {:>10} {:>10} {:>12} {:>10}",

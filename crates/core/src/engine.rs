@@ -6,7 +6,10 @@ use crate::error::CoreError;
 use crate::rhs::{self, RhsCtx, RhsHost};
 use crate::stats::RunStats;
 use crate::wm::WorkingMemory;
-use sorete_base::{ConflictItem, FxHashMap, RuleId, Symbol, TimeTag, Value, Wme};
+use sorete_base::{
+    CollectSink, ConflictItem, CsDelta, FxHashMap, InstKey, NetProfile, RuleId, SharedSink, Symbol,
+    TimeTag, TraceEvent, Tracer, Value, Wme,
+};
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::matcher::Matcher;
 use sorete_lang::{analyze_program, parse_program};
@@ -14,7 +17,7 @@ use sorete_naive::NaiveMatcher;
 use sorete_rete::ReteMatcher;
 use sorete_treat::TreatMatcher;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which match algorithm backs the engine.
@@ -142,6 +145,31 @@ pub struct RunOutcome {
     pub fired: u64,
     /// Why the run ended.
     pub reason: StopReason,
+}
+
+/// Render a WME for trace events: `(class ^attr val …)` — the tag rides
+/// in the event's own field.
+pub(crate) fn render_wme(w: &Wme) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("({}", w.class);
+    for (a, v) in w.slots() {
+        let _ = write!(s, " ^{} {}", a, v);
+    }
+    s.push(')');
+    s
+}
+
+/// The legacy string form of an event, for [`ProductionSystem::take_trace`].
+/// Events without a legacy form render to nothing.
+fn legacy_trace_line(ev: &TraceEvent) -> Option<String> {
+    match ev {
+        TraceEvent::Fire { rule, rows, .. } => Some(format!("FIRE {} {:?}", rule, rows)),
+        TraceEvent::SkipAction { action, tag } => {
+            Some(format!("SKIP {} {} (dead time tag)", action, tag))
+        }
+        TraceEvent::Rollback { rule, error } => Some(format!("ROLLBACK {} ({})", rule, error)),
+        _ => None,
+    }
 }
 
 /// One inverse action in the firing's undo log. Replayed in reverse on
@@ -290,8 +318,17 @@ pub struct ProductionSystem {
     halted: bool,
     stats: RunStats,
     output: Vec<String>,
-    trace: Vec<String>,
-    tracing: bool,
+    /// Combined tracer (user sinks + legacy shim + event log); the matcher
+    /// holds a clone for its physical events.
+    tracer: Tracer,
+    /// Sinks installed via [`Self::add_trace_sink`] (e.g. a `JsonlSink`).
+    user_sinks: Vec<SharedSink>,
+    /// Backing store of the legacy string trace ([`Self::take_trace`]).
+    legacy: Option<Arc<Mutex<CollectSink>>>,
+    /// In-memory event log serving `explain` ([`Self::trace_events`]).
+    event_log: Option<Arc<Mutex<CollectSink>>>,
+    /// 1-based recognise–act cycle counter (0 = before any firing).
+    cycle: u64,
     /// Set while a RHS runs, for per-rule action accounting.
     firing_rule: Option<Symbol>,
     recovery: RecoveryPolicy,
@@ -324,8 +361,11 @@ impl ProductionSystem {
             halted: false,
             stats: RunStats::default(),
             output: Vec::new(),
-            trace: Vec::new(),
-            tracing: false,
+            tracer: Tracer::null(),
+            user_sinks: Vec::new(),
+            legacy: None,
+            event_log: None,
+            cycle: 0,
             firing_rule: None,
             recovery: RecoveryPolicy::default(),
             guards: RunGuards::default(),
@@ -374,8 +414,82 @@ impl ProductionSystem {
     }
 
     /// Enable firing traces (retrievable via [`Self::take_trace`]).
+    ///
+    /// This is a compatibility shim over the event stream: it installs an
+    /// internal [`CollectSink`] and [`Self::take_trace`] renders the
+    /// collected fire/skip/rollback events in the old string format.
     pub fn set_tracing(&mut self, on: bool) {
-        self.tracing = on;
+        if on == self.legacy.is_some() {
+            return;
+        }
+        self.legacy = on.then(|| Arc::new(Mutex::new(CollectSink::new())));
+        self.rebuild_tracer();
+    }
+
+    /// Attach a [`sorete_base::TraceSink`] to the engine's event stream
+    /// (both the engine's logical events and the matcher's physical ones).
+    pub fn add_trace_sink(&mut self, sink: SharedSink) {
+        self.user_sinks.push(sink);
+        self.rebuild_tracer();
+    }
+
+    /// Enable (or disable) the in-memory event log behind
+    /// [`Self::trace_events`], which `explain` reads.
+    pub fn set_event_log(&mut self, on: bool) {
+        if on == self.event_log.is_some() {
+            return;
+        }
+        self.event_log = on.then(|| Arc::new(Mutex::new(CollectSink::new())));
+        self.rebuild_tracer();
+    }
+
+    /// A copy of the in-memory event log (empty unless
+    /// [`Self::set_event_log`] enabled it).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.event_log
+            .as_ref()
+            .map(|l| l.lock().unwrap().events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Flush every attached trace sink (forces buffered JSONL out).
+    pub fn flush_trace(&self) {
+        self.tracer.flush();
+    }
+
+    /// Enable or disable the matcher's per-node profiler.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.matcher.set_profiling(on);
+    }
+
+    /// The matcher's per-node profile, when profiling is enabled and the
+    /// backend supports it.
+    pub fn profile(&self) -> Option<NetProfile> {
+        self.matcher.profile()
+    }
+
+    /// The static match-network path of a rule (for `explain`), when the
+    /// backend has a network.
+    pub fn rule_network_path(&self, name: &str) -> Option<Vec<String>> {
+        let id = self.rule_ids.get(&Symbol::new(name))?;
+        self.matcher.rule_network_path(*id)
+    }
+
+    /// The current recognise–act cycle number (0 before any firing).
+    pub fn current_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn rebuild_tracer(&mut self) {
+        let mut sinks: Vec<SharedSink> = self.user_sinks.clone();
+        if let Some(l) = &self.legacy {
+            sinks.push(l.clone() as SharedSink);
+        }
+        if let Some(l) = &self.event_log {
+            sinks.push(l.clone() as SharedSink);
+        }
+        self.tracer = Tracer::from_sinks(sinks);
+        self.matcher.set_tracer(self.tracer.clone());
     }
 
     /// Parse, analyse, and load a whole program (literalizes + rules).
@@ -417,6 +531,11 @@ impl ProductionSystem {
         self.rules.get(id.index())
     }
 
+    /// The matcher id of a loaded (non-excised) rule.
+    pub(crate) fn rule_id(&self, name: &str) -> Option<RuleId> {
+        self.rule_ids.get(&Symbol::new(name)).copied()
+    }
+
     /// Assert a WME (string-keyed convenience).
     pub fn make_str(&mut self, class: &str, slots: &[(&str, Value)]) -> Result<TimeTag, CoreError> {
         self.assert_wme(
@@ -432,6 +551,12 @@ impl ProductionSystem {
         slots: Vec<(Symbol, Value)>,
     ) -> Result<TimeTag, CoreError> {
         let wme = self.wm.make(class, slots)?;
+        let cycle = self.cycle;
+        self.tracer.emit(|| TraceEvent::WmeAssert {
+            cycle,
+            tag: wme.tag,
+            wme: render_wme(&wme),
+        });
         self.matcher.insert_wme(&wme);
         self.sync();
         Ok(wme.tag)
@@ -440,6 +565,8 @@ impl ProductionSystem {
     /// Retract a WME.
     pub fn retract_wme(&mut self, tag: TimeTag) -> Result<(), CoreError> {
         let wme = self.wm.remove(tag)?;
+        let cycle = self.cycle;
+        self.tracer.emit(|| TraceEvent::WmeRetract { cycle, tag });
         self.matcher.remove_wme(&wme);
         self.sync();
         Ok(())
@@ -452,6 +579,8 @@ impl ProductionSystem {
         updates: &[(Symbol, Value)],
     ) -> Result<TimeTag, CoreError> {
         let old = self.wm.remove(tag)?;
+        let cycle = self.cycle;
+        self.tracer.emit(|| TraceEvent::WmeRetract { cycle, tag });
         self.matcher.remove_wme(&old);
         self.sync();
         let class = old.class;
@@ -464,6 +593,11 @@ impl ProductionSystem {
             }
         }
         let wme = self.wm.make(class, slots)?;
+        self.tracer.emit(|| TraceEvent::WmeAssert {
+            cycle,
+            tag: wme.tag,
+            wme: render_wme(&wme),
+        });
         self.matcher.insert_wme(&wme);
         self.sync();
         Ok(wme.tag)
@@ -471,7 +605,49 @@ impl ProductionSystem {
 
     fn sync(&mut self) {
         for d in self.matcher.drain_deltas() {
+            if self.tracer.enabled() {
+                self.emit_cs_event(&d);
+            }
             self.cs.apply(d);
+        }
+    }
+
+    /// Translate one conflict-set delta into its logical trace event
+    /// (resolving the rule id to a name).
+    fn emit_cs_event(&self, d: &CsDelta) {
+        match d {
+            CsDelta::Insert(item) => {
+                let rule = self.rules[item.key.rule().index()].name;
+                let soi = matches!(item.key, InstKey::Soi { .. });
+                self.tracer.emit(|| TraceEvent::CsInsert {
+                    rule,
+                    key: item.key.repr(),
+                    soi,
+                    rows: item
+                        .rows
+                        .iter()
+                        .map(|r| r.iter().map(|t| t.raw()).collect())
+                        .collect(),
+                    aggregates: item.aggregates.iter().map(|v| v.to_string()).collect(),
+                });
+            }
+            CsDelta::Remove(key) => {
+                let rule = self.rules[key.rule().index()].name;
+                let soi = matches!(key, InstKey::Soi { .. });
+                self.tracer.emit(|| TraceEvent::CsRemove {
+                    rule,
+                    key: key.repr(),
+                    soi,
+                });
+            }
+            CsDelta::Retime(info) => {
+                let rule = self.rules[info.key.rule().index()].name;
+                self.tracer.emit(|| TraceEvent::CsRetime {
+                    rule,
+                    key: info.key.repr(),
+                    version: info.version,
+                });
+            }
         }
     }
 
@@ -504,6 +680,9 @@ impl ProductionSystem {
             }
         }
         let rule = self.rules[item.key.rule().index()].clone();
+        self.cycle += 1;
+        let cycle = self.cycle;
+        self.tracer.emit(|| TraceEvent::CycleBegin { cycle });
         // Open the firing transaction: capture everything rollback needs
         // *before* the first externally visible effect (mark_fired).
         let can_rollback = self.recovery != RecoveryPolicy::AbortRun;
@@ -517,16 +696,15 @@ impl ProductionSystem {
         self.cs.mark_fired(&item.key, item.version);
         self.stats.firings += 1;
         self.stats.per_rule.entry(rule.name).or_default().firings += 1;
-        if self.tracing {
-            self.trace.push(format!(
-                "FIRE {} {:?}",
-                rule.name,
-                item.rows
-                    .iter()
-                    .map(|r| r.iter().map(|t| t.raw()).collect::<Vec<_>>())
-                    .collect::<Vec<_>>()
-            ));
-        }
+        self.tracer.emit(|| TraceEvent::Fire {
+            cycle,
+            rule: rule.name,
+            rows: item
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|t| t.raw()).collect())
+                .collect(),
+        });
 
         // Snapshot the instantiation's WMEs (bindings are fixed at firing).
         let mut wmes: FxHashMap<TimeTag, Wme> = FxHashMap::default();
@@ -565,6 +743,11 @@ impl ProductionSystem {
                     self.cs.end_journal();
                 }
                 self.sync();
+                self.tracer.emit(|| TraceEvent::CycleEnd {
+                    cycle,
+                    rule: rule.name,
+                    ok: true,
+                });
                 Ok(Some(rule.name))
             }
             Err(e) => {
@@ -576,6 +759,11 @@ impl ProductionSystem {
                         self.cs.mark_fired(&item.key, item.version);
                     }
                 }
+                self.tracer.emit(|| TraceEvent::CycleEnd {
+                    cycle,
+                    rule: rule.name,
+                    ok: false,
+                });
                 Err(e)
             }
         }
@@ -614,9 +802,10 @@ impl ProductionSystem {
         self.output.truncate(output_mark);
         self.halted = halted_before;
         self.stats.rolled_back += 1;
-        if self.tracing {
-            self.trace.push(format!("ROLLBACK {} ({})", rule, error));
-        }
+        self.tracer.emit(|| TraceEvent::Rollback {
+            rule,
+            error: error.to_string(),
+        });
     }
 
     /// Run to quiescence, halt, the firing limit, a [`RunGuards`] limit,
@@ -637,6 +826,9 @@ impl ProductionSystem {
                 }
             }
             if let Some(v) = self.check_guards(start) {
+                self.tracer.emit(|| TraceEvent::GuardTrip {
+                    reason: v.to_string(),
+                });
                 return RunOutcome {
                     fired,
                     reason: StopReason::ResourceExhausted(v),
@@ -654,6 +846,9 @@ impl ProductionSystem {
                                     rule,
                                     firings: stagnant,
                                 };
+                                self.tracer.emit(|| TraceEvent::GuardTrip {
+                                    reason: v.to_string(),
+                                });
                                 return RunOutcome {
                                     fired,
                                     reason: StopReason::ResourceExhausted(v),
@@ -731,9 +926,15 @@ impl ProductionSystem {
         std::mem::take(&mut self.output)
     }
 
-    /// Firing trace (drained).
+    /// Firing trace (drained). Rendered from the event stream collected
+    /// since [`Self::set_tracing`] was enabled, in the legacy string
+    /// format (`FIRE …`, `SKIP …`, `ROLLBACK …`).
     pub fn take_trace(&mut self) -> Vec<String> {
-        std::mem::take(&mut self.trace)
+        let Some(legacy) = &self.legacy else {
+            return Vec::new();
+        };
+        let events = legacy.lock().unwrap().take();
+        events.iter().filter_map(legacy_trace_line).collect()
     }
 
     /// Engine counters.
@@ -791,10 +992,10 @@ impl RhsHost for ProductionSystem {
         let Some(old) = self.wm.get(tag).cloned() else {
             // Already gone (overlapping set ops) — tolerated, but counted.
             self.stats.skipped_actions += 1;
-            if self.tracing {
-                self.trace
-                    .push(format!("SKIP remove {} (dead time tag)", tag));
-            }
+            self.tracer.emit(|| TraceEvent::SkipAction {
+                action: "remove",
+                tag,
+            });
             return Ok(false);
         };
         self.stats.removes += 1;
@@ -813,10 +1014,10 @@ impl RhsHost for ProductionSystem {
         self.note_action();
         let Some(old) = self.wm.get(tag).cloned() else {
             self.stats.skipped_actions += 1;
-            if self.tracing {
-                self.trace
-                    .push(format!("SKIP modify {} (dead time tag)", tag));
-            }
+            self.tracer.emit(|| TraceEvent::SkipAction {
+                action: "modify",
+                tag,
+            });
             return Ok(None);
         };
         self.stats.modifies += 1;

@@ -1,0 +1,195 @@
+//! `explain <rule>`: reconstruct why a rule's conflict-set instantiations
+//! exist — which WMEs support them, which network path produced them, and
+//! (when the event log is on) when those WMEs arrived and how often the
+//! rule has fired.
+//!
+//! The static part (current instantiations, network path) works from live
+//! engine state alone; the historical part reads the in-memory event
+//! stream enabled with [`ProductionSystem::set_event_log`].
+
+use crate::engine::{render_wme, ProductionSystem};
+use crate::error::CoreError;
+use sorete_base::{FxHashMap, TimeTag, TraceEvent};
+use std::fmt::Write as _;
+
+impl ProductionSystem {
+    /// Explain a rule's current conflict-set entries. Errors when the rule
+    /// is unknown (excised rules count as unknown: nothing left to explain).
+    pub fn explain(&self, name: &str) -> Result<String, CoreError> {
+        let id = self
+            .rule_id(name)
+            .ok_or_else(|| CoreError::Rhs(format!("no rule named `{}` to explain", name)))?;
+
+        // Historical context from the event log, when enabled: for each
+        // tag, the cycle it was asserted in; for the rule, its firing
+        // cycles and conflict-set churn.
+        let events = self.trace_events();
+        let mut asserted: FxHashMap<TimeTag, u64> = FxHashMap::default();
+        let mut fire_cycles: Vec<u64> = Vec::new();
+        let (mut inserts, mut removes, mut retimes) = (0u64, 0u64, 0u64);
+        for ev in &events {
+            match ev {
+                TraceEvent::WmeAssert { cycle, tag, .. } => {
+                    asserted.insert(*tag, *cycle);
+                }
+                TraceEvent::Fire { cycle, rule, .. } if rule.as_str() == name => {
+                    fire_cycles.push(*cycle);
+                }
+                TraceEvent::CsInsert { rule, .. } if rule.as_str() == name => inserts += 1,
+                TraceEvent::CsRemove { rule, .. } if rule.as_str() == name => removes += 1,
+                TraceEvent::CsRetime { rule, .. } if rule.as_str() == name => retimes += 1,
+                _ => {}
+            }
+        }
+
+        let mut items: Vec<_> = self
+            .conflict_items()
+            .into_iter()
+            .filter(|item| item.key.rule() == id)
+            .collect();
+        items.sort_by_key(|item| item.key.repr());
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "explain {} — {} instantiation(s) in the conflict set",
+            name,
+            items.len()
+        );
+
+        if let Some(path) = self.rule_network_path(name) {
+            let _ = writeln!(out, "network path ({}):", self.matcher_name());
+            for step in &path {
+                let _ = writeln!(out, "  {}", step);
+            }
+        }
+
+        for (i, item) in items.iter().enumerate() {
+            let repr = item.key.repr();
+            let _ = writeln!(
+                out,
+                "[{}] key: {}",
+                i + 1,
+                // An SOI with no :scalar clause groups the whole match set
+                // under one (empty) key.
+                if repr.is_empty() {
+                    "(whole set)"
+                } else {
+                    &repr
+                }
+            );
+            if !item.aggregates.is_empty() {
+                let aggs: Vec<String> = item.aggregates.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "    aggregates: {}", aggs.join(" "));
+            }
+            for row in &item.rows {
+                for &tag in row.iter() {
+                    let wme = match self.wm().get(tag) {
+                        Some(w) => render_wme(w),
+                        None => "(retracted)".to_string(),
+                    };
+                    match asserted.get(&tag) {
+                        Some(c) => {
+                            let _ = writeln!(out, "    {}: {}  [asserted cycle {}]", tag, wme, c);
+                        }
+                        None => {
+                            let _ = writeln!(out, "    {}: {}", tag, wme);
+                        }
+                    }
+                }
+            }
+        }
+
+        if events.is_empty() {
+            let _ = writeln!(
+                out,
+                "(event log off — enable it to see assert cycles and firing history)"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "history: {} cs insert(s), {} remove(s), {} retime(s); fired {} time(s){}",
+                inserts,
+                removes,
+                retimes,
+                fire_cycles.len(),
+                if fire_cycles.is_empty() {
+                    String::new()
+                } else {
+                    let cs: Vec<String> = fire_cycles.iter().map(|c| c.to_string()).collect();
+                    format!(" (cycle {})", cs.join(", "))
+                }
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MatcherKind, ProductionSystem};
+    use sorete_base::Value;
+
+    fn engine(kind: MatcherKind) -> ProductionSystem {
+        let mut ps = ProductionSystem::new(kind);
+        ps.load_program(
+            "(literalize player name team)
+             (p compete (player ^name <n1> ^team A) (player ^name <n2> ^team B)
+               (write <n1> vs <n2>))",
+        )
+        .unwrap();
+        ps
+    }
+
+    #[test]
+    fn explain_lists_supporting_wmes_and_path() {
+        let mut ps = engine(MatcherKind::Rete);
+        ps.set_event_log(true);
+        ps.make_str(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        )
+        .unwrap();
+        ps.make_str(
+            "player",
+            &[("name", Value::sym("Sue")), ("team", Value::sym("B"))],
+        )
+        .unwrap();
+        let text = ps.explain("compete").unwrap();
+        assert!(text.contains("1 instantiation(s)"), "{}", text);
+        assert!(text.contains("network path (rete):"), "{}", text);
+        assert!(text.contains("production compete"), "{}", text);
+        assert!(text.contains("^name Jack"), "{}", text);
+        assert!(text.contains("^name Sue"), "{}", text);
+        assert!(text.contains("[asserted cycle 0]"), "{}", text);
+        ps.run(None);
+        let text = ps.explain("compete").unwrap();
+        assert!(text.contains("fired 1 time(s) (cycle 1)"), "{}", text);
+    }
+
+    #[test]
+    fn explain_without_event_log_still_shows_state() {
+        let mut ps = engine(MatcherKind::Treat);
+        ps.make_str(
+            "player",
+            &[("name", Value::sym("Jack")), ("team", Value::sym("A"))],
+        )
+        .unwrap();
+        ps.make_str(
+            "player",
+            &[("name", Value::sym("Sue")), ("team", Value::sym("B"))],
+        )
+        .unwrap();
+        let text = ps.explain("compete").unwrap();
+        assert!(text.contains("1 instantiation(s)"), "{}", text);
+        assert!(text.contains("event log off"), "{}", text);
+        // TREAT has no network to describe.
+        assert!(!text.contains("network path"), "{}", text);
+    }
+
+    #[test]
+    fn explain_unknown_rule_errors() {
+        let ps = engine(MatcherKind::Rete);
+        assert!(ps.explain("nope").is_err());
+    }
+}

@@ -41,6 +41,7 @@
 pub mod conflict;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod rhs;
 pub mod stats;
 pub mod wm;

@@ -54,11 +54,41 @@ impl RunStats {
     pub fn rule_firings(&self, rule: Symbol) -> u64 {
         self.per_rule.get(&rule).map(|r| r.firings).unwrap_or(0)
     }
+
+    /// The per-rule breakdown sorted by rule name — the *only* order any
+    /// display or serialization of [`RunStats::per_rule`] should use, so
+    /// output is deterministic across runs and hash seeds.
+    pub fn per_rule_sorted(&self) -> Vec<(Symbol, RuleStats)> {
+        let mut rows: Vec<(Symbol, RuleStats)> =
+            self.per_rule.iter().map(|(s, r)| (*s, *r)).collect();
+        rows.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        rows
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn per_rule_sorted_orders_by_name() {
+        let mut s = RunStats::default();
+        for name in ["zeta", "alpha", "mid"] {
+            s.per_rule.insert(
+                Symbol::new(name),
+                RuleStats {
+                    firings: 1,
+                    actions: 2,
+                },
+            );
+        }
+        let names: Vec<&str> = s
+            .per_rule_sorted()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
 
     #[test]
     fn actions_per_firing_handles_zero() {

@@ -23,7 +23,7 @@
 //! rows are read back — a conservative filter the paper leaves implicit.
 
 use crate::error::DipsError;
-use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, Value, Wme};
+use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme};
 use sorete_lang::analyze::{analyze_program, AnalyzedCe, AnalyzedRule};
 use sorete_lang::ast::Pred;
 use sorete_lang::parser::parse_program;
@@ -79,6 +79,7 @@ pub struct DipsEngine {
     /// Tag column count (max positive CEs over all rules).
     width: usize,
     insert_order: Vec<TimeTag>,
+    tracer: Tracer,
 }
 
 impl DipsEngine {
@@ -142,6 +143,7 @@ impl DipsEngine {
             classes,
             width,
             insert_order: Vec::new(),
+            tracer: Tracer::default(),
         };
         engine.seed()?;
         Ok(engine)
@@ -150,6 +152,18 @@ impl DipsEngine {
     /// The matching mode.
     pub fn mode(&self) -> DipsMode {
         self.mode
+    }
+
+    /// Install a trace sink set. DIPS emits the WM-level and firing-level
+    /// events of the shared stream (assert/retract, fire, rollback); the
+    /// node-level events are Rete/TREAT concepts it has no analogue for.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (used by the firing layer).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Loaded rules.
@@ -206,6 +220,11 @@ impl DipsEngine {
         );
         self.wm.insert(tag, wme.clone());
         self.insert_order.push(tag);
+        self.tracer.emit(|| TraceEvent::WmeAssert {
+            cycle: 0,
+            tag,
+            wme: wme.to_string(),
+        });
         self.propagate(&wme)?;
         Ok(tag)
     }
@@ -332,6 +351,8 @@ impl DipsEngine {
             return Err(DipsError::UnknownTag(tag.raw()));
         }
         self.insert_order.retain(|&t| t != tag);
+        self.tracer
+            .emit(|| TraceEvent::WmeRetract { cycle: 0, tag });
         let metas: Vec<CondMeta> = self.classes.values().cloned().collect();
         for meta in metas {
             let table = self

@@ -17,7 +17,7 @@
 
 use crate::cond::{DipsEngine, DipsInst, DipsMode, DipsSoi};
 use crate::error::DipsError;
-use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, Value, Wme};
+use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, TraceEvent, Value, Wme};
 use sorete_lang::analyze::{AggTarget, AnalyzedRule};
 use sorete_lang::ast::{Action, AggOp, Expr, RhsTarget};
 use sorete_lang::eval::{eval_truthy, FnEnv};
@@ -130,15 +130,31 @@ pub fn parallel_cycle(engine: &mut DipsEngine) -> Result<CycleReport, DipsError>
         return Err(e);
     }
     let mut new_wmes: Vec<(Symbol, Vec<(Symbol, Value)>)> = Vec::new();
-    for (tx, tx_new) in pending {
+    for (i, (tx, tx_new)) in pending.into_iter().enumerate() {
+        let (ri, rows) = &work[i];
+        let rule = engine.rules()[*ri].name;
         let writes = tx.write_count();
         match engine.db.commit(tx) {
             Ok(()) => {
                 report.committed += 1;
                 report.writes_committed += writes;
                 new_wmes.extend(tx_new);
+                engine.tracer().emit(|| TraceEvent::Fire {
+                    cycle: 0,
+                    rule,
+                    rows: rows
+                        .iter()
+                        .map(|row| row.iter().map(|t| t.raw()).collect())
+                        .collect(),
+                });
             }
-            Err(_) => report.aborted += 1,
+            Err(e) => {
+                report.aborted += 1;
+                engine.tracer().emit(|| TraceEvent::Rollback {
+                    rule,
+                    error: e.to_string(),
+                });
+            }
         }
     }
 

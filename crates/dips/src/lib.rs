@@ -176,6 +176,29 @@ mod tests {
     }
 
     #[test]
+    fn trace_stream_reports_asserts_fires_and_aborts() {
+        use sorete_base::{CollectSink, TraceEvent, Tracer};
+        let prog = "(p grab (token ^free t) (worker ^idle t)
+                      (remove 1) (modify 2 ^idle f))";
+        let mut e = DipsEngine::new(DipsMode::Tuple, prog).unwrap();
+        let (tracer, sink) = Tracer::single(CollectSink::new());
+        e.set_tracer(tracer);
+        e.insert("token", &[("free", Value::sym("t"))]).unwrap();
+        e.insert("worker", &[("idle", Value::sym("t"))]).unwrap();
+        e.insert("worker", &[("idle", Value::sym("t"))]).unwrap();
+        let report = parallel_cycle(&mut e).unwrap();
+        assert_eq!((report.committed, report.aborted), (1, 1));
+        let events = sink.lock().unwrap().take();
+        let count = |name: &str| events.iter().filter(|ev| ev.name() == name).count();
+        assert_eq!(count("wme_assert"), 3);
+        assert_eq!(count("fire"), 1, "{:?}", events);
+        assert_eq!(count("rollback"), 1, "{:?}", events);
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::Fire { rule, .. } if rule.as_str() == "grab")));
+    }
+
+    #[test]
     fn cycle_then_requery_consistent() {
         let prog = "(p sweep { [item ^s pending] <P> } (set-modify <P> ^s done))";
         let mut e = DipsEngine::new(DipsMode::Set, prog).unwrap();

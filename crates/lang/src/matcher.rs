@@ -6,7 +6,7 @@
 //! oracle (`sorete-naive`) are interchangeable behind this trait.
 
 use crate::analyze::AnalyzedRule;
-use sorete_base::{ConflictItem, CsDelta, InstKey, MatchStats, RuleId, Wme};
+use sorete_base::{ConflictItem, CsDelta, InstKey, MatchStats, NetProfile, RuleId, Tracer, Wme};
 use std::sync::Arc;
 
 /// A production-match algorithm.
@@ -59,4 +59,28 @@ pub trait Matcher {
     /// `Remove` deltas) and it never matches again. The id remains
     /// allocated (ids are positional) but inert.
     fn remove_rule(&mut self, rule: RuleId);
+
+    /// Install the tracer through which the matcher emits *physical*
+    /// [`sorete_base::TraceEvent`]s (alpha/beta activations, join probes,
+    /// S-node activity). The default implementation ignores it; backends
+    /// without instrumentation simply stay silent.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Enable or disable per-node profiling (activation counts and
+    /// self-time attribution). Off by default; matchers without a network
+    /// to profile ignore the call.
+    fn set_profiling(&mut self, _on: bool) {}
+
+    /// The per-node profile gathered since [`Matcher::set_profiling`] was
+    /// enabled, or `None` when the backend does not profile.
+    fn profile(&self) -> Option<NetProfile> {
+        None
+    }
+
+    /// The static network path from the entry alpha memories down to the
+    /// production node for `rule`, hottest description first — used by the
+    /// `explain` command. `None` for backends without a network.
+    fn rule_network_path(&self, _rule: RuleId) -> Option<Vec<String>> {
+        None
+    }
 }

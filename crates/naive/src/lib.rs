@@ -25,7 +25,7 @@
 
 use sorete_base::{
     ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId, Symbol,
-    TimeTag, Value, Wme,
+    TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::{AggTarget, AnalyzedCe, AnalyzedRule};
 use sorete_lang::ast::AggOp;
@@ -44,6 +44,7 @@ pub struct NaiveMatcher {
     current: FxHashMap<InstKey, ConflictItem>,
     deltas: Vec<CsDelta>,
     stats: MatchStats,
+    tracer: Tracer,
 }
 
 impl NaiveMatcher {
@@ -59,6 +60,12 @@ impl NaiveMatcher {
 
     /// Recompute everything and diff against the previous conflict set.
     fn refresh(&mut self) {
+        // The whole recompute is this matcher's one "beta node": the
+        // physical trace shows a full-network activation per WM change.
+        self.tracer.emit(|| TraceEvent::BetaActivation {
+            node: 0,
+            kind: "refresh",
+        });
         let mut fresh: FxHashMap<InstKey, ConflictItem> = FxHashMap::default();
         for (idx, rule) in self.rules.iter().enumerate() {
             if self.excised.contains(&idx) {
@@ -354,12 +361,24 @@ impl Matcher for NaiveMatcher {
 
     fn insert_wme(&mut self, wme: &Wme) {
         self.stats.alpha_activations += 1;
-        self.wmes.insert(wme.tag, wme.clone());
+        let tag = wme.tag;
+        self.tracer.emit(|| TraceEvent::AlphaActivation {
+            node: 0,
+            tag,
+            insert: true,
+        });
+        self.wmes.insert(tag, wme.clone());
         self.refresh();
     }
 
     fn remove_wme(&mut self, wme: &Wme) {
-        self.wmes.remove(&wme.tag);
+        let tag = wme.tag;
+        self.tracer.emit(|| TraceEvent::AlphaActivation {
+            node: 0,
+            tag,
+            insert: false,
+        });
+        self.wmes.remove(&tag);
         self.refresh();
     }
 
@@ -382,6 +401,10 @@ impl Matcher for NaiveMatcher {
 
     fn algorithm_name(&self) -> &'static str {
         "naive"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

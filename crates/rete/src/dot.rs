@@ -4,6 +4,7 @@
 
 use crate::matcher::ReteMatcher;
 use crate::nodes::{BetaNode, EqJoin};
+use sorete_base::NetProfile;
 use std::fmt::Write as _;
 
 /// `\n[idx: ^a ^b]` when the node equality-hashes on `^a ^b`, else empty —
@@ -18,26 +19,96 @@ fn index_label(eq: &Option<EqJoin>) -> String {
     }
 }
 
+/// Heat annotations: per-node activation/self-time label lines and a
+/// white→red fill colour scaled by the node's share of the hottest node's
+/// self time. Built from a [`NetProfile`] when profiling is enabled.
+struct Heat {
+    /// `(label_suffix, fillcolor)` per profile node id ("α0", "n3", …).
+    by_id: sorete_base::FxHashMap<String, (String, &'static str)>,
+}
+
+/// Orange-red ramp, cold to hot (Graphviz hex fills).
+const HEAT_COLORS: [&str; 6] = [
+    "#ffffff", "#fee6ce", "#fdae6b", "#f16913", "#d94801", "#7f2704",
+];
+
+impl Heat {
+    fn from_profile(prof: &NetProfile) -> Heat {
+        let max_nanos = prof.nodes.iter().map(|n| n.nanos).max().unwrap_or(0);
+        let mut by_id = sorete_base::FxHashMap::default();
+        for n in &prof.nodes {
+            let bucket = if max_nanos == 0 || n.nanos == 0 {
+                0
+            } else {
+                // 1..=5, proportional to the hottest node.
+                1 + (n.nanos * (HEAT_COLORS.len() as u64 - 2) / max_nanos) as usize
+            };
+            let label = format!("\\n{} acts, {}µs", n.activations, n.nanos / 1_000);
+            by_id.insert(n.id.clone(), (label, HEAT_COLORS[bucket]));
+        }
+        Heat { by_id }
+    }
+
+    /// Heat label suffix for a node, empty when unprofiled.
+    fn label(&self, id: &str) -> &str {
+        self.by_id.get(id).map(|(l, _)| l.as_str()).unwrap_or("")
+    }
+
+    /// `, fillcolor="#..."` style override for a node, empty when
+    /// unprofiled.
+    fn fill(&self, id: &str) -> String {
+        match self.by_id.get(id) {
+            Some((_, c)) => format!(", style=filled, fillcolor=\"{c}\""),
+            None => String::new(),
+        }
+    }
+}
+
 impl ReteMatcher {
     /// Render the network as Graphviz DOT. Alpha memories are boxes, joins
     /// are diamonds, memories are ellipses (with live token counts),
     /// negatives are houses, productions are double octagons; set-oriented
     /// productions show their S-node γ-memory size.
+    ///
+    /// When per-node profiling is enabled, every node additionally carries
+    /// a heat annotation (`N acts, Tµs`) and a white→red fill colour
+    /// scaled by its share of the hottest node's self time.
     pub fn network_dot(&self) -> String {
+        let heat = self
+            .profiling_enabled()
+            .then(|| Heat::from_profile(&self.build_profile()));
+        let style_of = |id: &str, default: &str| -> String {
+            match &heat {
+                Some(h) => h.fill(id),
+                None => default.to_string(),
+            }
+        };
+        let heat_of = |id: &str| -> String {
+            match &heat {
+                Some(h) => h.label(id).to_string(),
+                None => String::new(),
+            }
+        };
         let mut out = String::new();
         out.push_str("digraph rete {\n  rankdir=TB;\n  node [fontsize=10];\n");
+        if heat.is_some() {
+            out.push_str("  // heat: fill ∝ node self time, label = acts, self µs\n");
+        }
 
         for (id, amem) in self.alpha_memories() {
+            let pid = format!("α{id}");
             let mut label = format!("α{} {}", id, amem.key.class);
             for t in &amem.key.consts {
                 let _ = write!(label, "\\n^{} {:?}", t.attr, t.kind);
             }
             let _ = writeln!(
                 out,
-                "  a{} [shape=box, style=filled, fillcolor=lightyellow, label=\"{}\\n|{}| wmes\"];",
+                "  a{} [shape=box{}, label=\"{}\\n|{}| wmes{}\"];",
                 id,
+                style_of(&pid, ", style=filled, fillcolor=lightyellow"),
                 label.replace('"', "'"),
-                amem.wmes.len()
+                amem.wmes.len(),
+                heat_of(&pid)
             );
             for succ in &amem.successors {
                 let _ = writeln!(out, "  a{} -> n{} [style=dashed];", id, succ.index());
@@ -46,6 +117,7 @@ impl ReteMatcher {
 
         for (id, node) in self.beta_nodes() {
             let i = id.index();
+            let pid = format!("n{i}");
             match node {
                 BetaNode::Memory {
                     tokens,
@@ -55,11 +127,13 @@ impl ReteMatcher {
                     let kind = if parent.is_none() { "top" } else { "memory" };
                     let _ = writeln!(
                         out,
-                        "  n{} [shape=ellipse, label=\"{} n{}\\n|{}| tokens\"];",
+                        "  n{} [shape=ellipse{}, label=\"{} n{}\\n|{}| tokens{}\"];",
                         i,
+                        style_of(&pid, ""),
                         kind,
                         i,
-                        tokens.len()
+                        tokens.len(),
+                        heat_of(&pid)
                     );
                     for c in children {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());
@@ -73,11 +147,13 @@ impl ReteMatcher {
                 } => {
                     let _ = writeln!(
                         out,
-                        "  n{} [shape=diamond, label=\"join n{}\\n{} tests{}\"];",
+                        "  n{} [shape=diamond{}, label=\"join n{}\\n{} tests{}{}\"];",
                         i,
+                        style_of(&pid, ""),
                         i,
                         tests.len(),
-                        index_label(eq)
+                        index_label(eq),
+                        heat_of(&pid)
                     );
                     for c in children {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());
@@ -91,12 +167,14 @@ impl ReteMatcher {
                 } => {
                     let _ = writeln!(
                         out,
-                        "  n{} [shape=house, style=filled, fillcolor=mistyrose, \
-                         label=\"negative n{}\\n|{}| tokens{}\"];",
+                        "  n{} [shape=house{}, \
+                         label=\"negative n{}\\n|{}| tokens{}{}\"];",
                         i,
+                        style_of(&pid, ", style=filled, fillcolor=mistyrose"),
                         i,
                         tokens.len(),
-                        index_label(eq)
+                        index_label(eq),
+                        heat_of(&pid)
                     );
                     for c in children {
                         let _ = writeln!(out, "  n{} -> n{};", i, c.index());
@@ -106,12 +184,14 @@ impl ReteMatcher {
                     let (name, snode_info) = self.production_label(*prod);
                     let _ = writeln!(
                         out,
-                        "  n{} [shape=doubleoctagon, style=filled, fillcolor=lightblue, \
-                         label=\"{}\\n|{}| matches{}\"];",
+                        "  n{} [shape=doubleoctagon{}, \
+                         label=\"{}\\n|{}| matches{}{}\"];",
                         i,
+                        style_of(&pid, ", style=filled, fillcolor=lightblue"),
                         name,
                         tokens.len(),
-                        snode_info
+                        snode_info,
+                        heat_of(&pid)
                     );
                 }
             }
@@ -148,5 +228,32 @@ mod tests {
         for line in dot.lines().filter(|l| l.contains("->")) {
             assert!(line.trim_start().starts_with('a') || line.trim_start().starts_with('n'));
         }
+    }
+
+    #[test]
+    fn dot_export_shows_heat_when_profiling() {
+        use sorete_base::{Symbol, TimeTag, Value, Wme};
+        let mut m = ReteMatcher::new();
+        m.add_rule(Arc::new(
+            analyze_rule(&parse_rule("(p r1 (a ^x <v>) (b ^x <v>) (halt))").unwrap()).unwrap(),
+        ));
+        let plain = m.network_dot();
+        assert!(!plain.contains("// heat"), "no heat without profiling");
+        m.set_profiling(true);
+        let x = Symbol::new("x");
+        m.insert_wme(&Wme::new(
+            TimeTag::new(1),
+            Symbol::new("a"),
+            vec![(x, Value::Int(1))],
+        ));
+        m.insert_wme(&Wme::new(
+            TimeTag::new(2),
+            Symbol::new("b"),
+            vec![(x, Value::Int(1))],
+        ));
+        let dot = m.network_dot();
+        assert!(dot.contains("// heat"), "{}", dot);
+        assert!(dot.contains(" acts, "), "heat labels on nodes: {}", dot);
+        assert!(dot.contains("fillcolor=\"#"), "heat fills: {}", dot);
     }
 }

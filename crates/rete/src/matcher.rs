@@ -10,13 +10,13 @@
 use crate::index::{wme_key, IndexKey, IndexedList, JoinIndex};
 use crate::nodes::*;
 use sorete_base::{
-    Arena, ConflictItem, CsDelta, FxHashMap, InstKey, MatchStats, RuleId, Symbol, TimeTag, Value,
-    Wme,
+    Arena, ConflictItem, CsDelta, FxHashMap, InstKey, MatchStats, NetProfile, NodeProfile, RuleId,
+    SelfTimer, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::ast::Pred;
 use sorete_lang::matcher::Matcher;
-use sorete_soi::SNode;
+use sorete_soi::{SNode, SoiStats};
 use std::sync::Arc;
 
 struct ProdInfo {
@@ -63,6 +63,25 @@ pub struct ReteMatcher {
     indexing: bool,
     /// Next token sequence number (never reused; stamps index entries).
     next_token_seq: u64,
+    /// Physical-event stream (alpha/beta activations, probes, S-node
+    /// activity). Disabled (no sinks) by default.
+    tracer: Tracer,
+    /// Per-node self-time profiler; `None` unless profiling is enabled.
+    /// Slots interleave beta nodes (even: `node.index()*2`) and alpha
+    /// memories (odd: `amem.index()*2 + 1`).
+    prof: Option<SelfTimer>,
+}
+
+/// Profiler slot of a beta node.
+#[inline]
+fn beta_slot(node: NodeId) -> u32 {
+    (node.index() * 2) as u32
+}
+
+/// Profiler slot of an alpha memory.
+#[inline]
+fn alpha_slot(amem: AMemId) -> u32 {
+    (amem.index() * 2 + 1) as u32
 }
 
 impl Default for ReteMatcher {
@@ -114,6 +133,39 @@ impl ReteMatcher {
             building: false,
             indexing,
             next_token_seq: 1,
+            tracer: Tracer::null(),
+            prof: None,
+        }
+    }
+
+    #[inline]
+    fn prof_enter(&mut self, slot: u32) {
+        if let Some(p) = &mut self.prof {
+            if !self.building {
+                p.enter(slot);
+            }
+        }
+    }
+
+    #[inline]
+    fn prof_exit(&mut self) {
+        if let Some(p) = &mut self.prof {
+            if !self.building {
+                p.exit();
+            }
+        }
+    }
+
+    /// Emit a physical beta-activation event for `node` (no-op while
+    /// building or with no tracer attached, mirroring the stat counters).
+    #[inline]
+    fn trace_beta(&mut self, node: NodeId) {
+        if self.tracer.enabled() && !self.building {
+            let kind = self.nodes[node].kind_label();
+            self.tracer.emit(|| TraceEvent::BetaActivation {
+                node: node.index() as u32,
+                kind,
+            });
         }
     }
 
@@ -459,6 +511,168 @@ impl ReteMatcher {
         // at the front keeps descendants ahead of ancestors.
         self.amems[amem].successors.insert(0, node);
     }
+
+    /// Combined counters of every S-node in the network. Via
+    /// [`SoiStats::merge_into`] this is the *single* source of the
+    /// `snode_activations` / `aggregate_updates` fields of
+    /// [`MatchStats`] — the matcher itself never increments them.
+    pub fn soi_stats(&self) -> SoiStats {
+        self.snodes
+            .iter()
+            .fold(SoiStats::default(), |acc, sn| acc.merged(&sn.stats()))
+    }
+
+    /// True when per-node profiling is enabled.
+    pub(crate) fn profiling_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Build the per-node profile: activation counts and self time from
+    /// the [`SelfTimer`] (zeros when profiling was never enabled), current
+    /// memory sizes, and rule attribution computed by walking each live
+    /// production's chain upward.
+    pub(crate) fn build_profile(&self) -> NetProfile {
+        let timer = self.prof.as_ref();
+        let mut node_rules: Vec<Vec<String>> = vec![Vec::new(); self.nodes.len()];
+        let mut amem_rules: Vec<Vec<String>> = vec![Vec::new(); self.amems.len()];
+        for info in self.prods.iter().filter(|p| !p.excised) {
+            let name = info.rule.name.to_string();
+            let mut cur = Some(info.pnode);
+            while let Some(n) = cur {
+                let rules = &mut node_rules[n.index()];
+                if !rules.contains(&name) {
+                    rules.push(name.clone());
+                }
+                cur = match &self.nodes[n] {
+                    BetaNode::Join { parent, amem, .. }
+                    | BetaNode::Negative { parent, amem, .. } => {
+                        let ar = &mut amem_rules[amem.index()];
+                        if !ar.contains(&name) {
+                            ar.push(name.clone());
+                        }
+                        Some(*parent)
+                    }
+                    BetaNode::Memory { parent, .. } => *parent,
+                    BetaNode::Production { parent, .. } => Some(*parent),
+                };
+            }
+        }
+        let mut nodes = Vec::new();
+        for (id, amem) in self.amems.iter() {
+            let i = id.index();
+            let mut rules = amem_rules[i].clone();
+            rules.sort();
+            nodes.push(NodeProfile {
+                id: format!("α{i}"),
+                kind: "alpha",
+                label: amem.key.class.to_string(),
+                activations: timer.map_or(0, |t| t.activations(alpha_slot(id) as usize)),
+                held: amem.wmes.len(),
+                nanos: timer.map_or(0, |t| t.nanos(alpha_slot(id) as usize)),
+                rules,
+            });
+        }
+        for (id, node) in self.nodes.iter() {
+            let i = id.index();
+            let label = match node {
+                BetaNode::Join { tests, eq, .. } => match eq {
+                    Some(e) => {
+                        let attrs: Vec<String> = e.attrs.iter().map(|a| format!("^{a}")).collect();
+                        format!("{} tests [idx: {}]", tests.len(), attrs.join(" "))
+                    }
+                    None => format!("{} tests", tests.len()),
+                },
+                BetaNode::Negative { tests, .. } => format!("{} tests", tests.len()),
+                BetaNode::Production { prod, .. } => {
+                    let info = &self.prods[prod.index()];
+                    match info.snode {
+                        Some(si) => format!(
+                            "{} [S-node |{}| SOIs]",
+                            info.rule.name,
+                            self.snodes[si].candidate_count()
+                        ),
+                        None => info.rule.name.to_string(),
+                    }
+                }
+                BetaNode::Memory { .. } => String::new(),
+            };
+            let mut rules = node_rules[i].clone();
+            rules.sort();
+            nodes.push(NodeProfile {
+                id: format!("n{i}"),
+                kind: node.kind_label(),
+                label,
+                activations: timer.map_or(0, |t| t.activations(beta_slot(id) as usize)),
+                held: node.held(),
+                nanos: timer.map_or(0, |t| t.nanos(beta_slot(id) as usize)),
+                rules,
+            });
+        }
+        NetProfile {
+            algorithm: self.algorithm_name().to_string(),
+            nodes,
+        }
+    }
+
+    /// The static chain from the top memory down to `rule`'s production
+    /// node, one description per node (see `Matcher::rule_network_path`).
+    pub fn network_path(&self, rule: RuleId) -> Option<Vec<String>> {
+        let info = self.prods.get(rule.index())?;
+        if info.excised {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut cur = Some(info.pnode);
+        while let Some(n) = cur {
+            let step = match &self.nodes[n] {
+                BetaNode::Memory { parent: None, .. } => {
+                    cur = None;
+                    format!("top n{}", n.index())
+                }
+                BetaNode::Memory { parent, .. } => {
+                    cur = *parent;
+                    format!("memory n{}", n.index())
+                }
+                BetaNode::Join {
+                    parent, amem, eq, ..
+                } => {
+                    let s = format!(
+                        "join n{} (α{} {}){}",
+                        n.index(),
+                        amem.index(),
+                        self.amems[*amem].key.class,
+                        if eq.is_some() { " [indexed]" } else { "" }
+                    );
+                    cur = Some(*parent);
+                    s
+                }
+                BetaNode::Negative {
+                    parent, amem, eq, ..
+                } => {
+                    let s = format!(
+                        "negative n{} (α{} {}){}",
+                        n.index(),
+                        amem.index(),
+                        self.amems[*amem].key.class,
+                        if eq.is_some() { " [indexed]" } else { "" }
+                    );
+                    cur = Some(*parent);
+                    s
+                }
+                BetaNode::Production { parent, .. } => {
+                    let s = match info.snode {
+                        Some(_) => format!("production {} (S-node)", info.rule.name),
+                        None => format!("production {}", info.rule.name),
+                    };
+                    cur = Some(*parent);
+                    s
+                }
+            };
+            steps.push(step);
+        }
+        steps.reverse();
+        Some(steps)
+    }
 }
 
 impl Matcher for ReteMatcher {
@@ -577,7 +791,9 @@ impl Matcher for ReteMatcher {
         // Register the production before replaying so activations resolve.
         let snode_pending = rule.is_set_oriented;
         if snode_pending {
-            self.snodes.push(SNode::new(rule_id, rule.clone()));
+            let mut sn = SNode::new(rule_id, rule.clone());
+            sn.set_tracer(self.tracer.clone());
+            self.snodes.push(sn);
         }
         self.prods.push(ProdInfo {
             rule,
@@ -617,7 +833,14 @@ impl Matcher for ReteMatcher {
         );
         for &a in &matched {
             self.stats.alpha_activations += 1;
+            self.prof_enter(alpha_slot(a));
             self.amems[a].insert_wme(tag, wme);
+            self.prof_exit();
+            self.tracer.emit(|| TraceEvent::AlphaActivation {
+                node: a.index() as u32,
+                tag,
+                insert: true,
+            });
         }
         // Phase 2: right activations, globally deepest-first.
         let mut acts: Vec<(u32, NodeId)> = Vec::new();
@@ -699,7 +922,14 @@ impl Matcher for ReteMatcher {
             return;
         };
         for a in entry_amems {
+            self.prof_enter(alpha_slot(a));
             self.amems[a].remove_wme(tag, wme);
+            self.prof_exit();
+            self.tracer.emit(|| TraceEvent::AlphaActivation {
+                node: a.index() as u32,
+                tag,
+                insert: false,
+            });
         }
         // Delete every token built on this WME (cascades to descendants).
         let toks = self.wmes[&tag].tokens.clone();
@@ -756,11 +986,7 @@ impl Matcher for ReteMatcher {
 
     fn stats(&self) -> MatchStats {
         let mut s = self.stats;
-        for sn in &self.snodes {
-            let ss = sn.stats();
-            s.snode_activations += ss.activations;
-            s.aggregate_updates += ss.aggregate_updates;
-        }
+        self.soi_stats().merge_into(&mut s);
         s
     }
 
@@ -779,6 +1005,26 @@ impl Matcher for ReteMatcher {
     fn to_dot(&self) -> Option<String> {
         Some(self.network_dot())
     }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        for sn in &mut self.snodes {
+            sn.set_tracer(tracer.clone());
+        }
+    }
+
+    fn set_profiling(&mut self, on: bool) {
+        self.prof = on.then(SelfTimer::new);
+    }
+
+    fn profile(&self) -> Option<NetProfile> {
+        self.prof.as_ref()?;
+        Some(self.build_profile())
+    }
+
+    fn rule_network_path(&self, rule: RuleId) -> Option<Vec<String>> {
+        self.network_path(rule)
+    }
 }
 
 impl ReteMatcher {
@@ -787,6 +1033,8 @@ impl ReteMatcher {
     /// A WME entered `node`'s alpha memory.
     fn right_activate(&mut self, node: NodeId, tag: TimeTag) {
         self.charge_beta();
+        self.trace_beta(node);
+        self.prof_enter(beta_slot(node));
         // Read phase: under a shared borrow, pick the candidate left tokens
         // — a hash-bucket probe when the node has an equality plan with a
         // left index, the classic full scan otherwise — plus the tests
@@ -864,6 +1112,11 @@ impl ReteMatcher {
         };
         if let Some((n_eq, total, hits)) = probed {
             self.charge_probe(n_eq, total, hits);
+            self.tracer.emit(|| TraceEvent::JoinProbe {
+                node: node.index() as u32,
+                hits,
+                scanned: total,
+            });
         }
         // Act phase.
         match plan {
@@ -908,11 +1161,14 @@ impl ReteMatcher {
                 }
             }
         }
+        self.prof_exit();
     }
 
     /// A token (plus optional WME) flows into `node` from its left input.
     fn left_activate(&mut self, node: NodeId, parent_tok: TokId, wme: Option<TimeTag>) {
         self.charge_beta();
+        self.trace_beta(node);
+        self.prof_enter(beta_slot(node));
         match &self.nodes[node] {
             BetaNode::Memory { .. } => {
                 let tok = self.make_token(node, parent_tok, wme);
@@ -971,6 +1227,12 @@ impl ReteMatcher {
                         let total = self.amems[amem].wmes.len() as u64;
                         let cands = self.amems[amem].probe(*alpha, &key);
                         self.charge_probe(*n_eq, total, cands.len() as u64);
+                        let hits = cands.len() as u64;
+                        self.tracer.emit(|| TraceEvent::JoinProbe {
+                            node: node.index() as u32,
+                            hits,
+                            scanned: total,
+                        });
                         (cands, residual.clone())
                     }
                     None => {
@@ -1007,6 +1269,7 @@ impl ReteMatcher {
                 self.prod_token_added(prod, tok);
             }
         }
+        self.prof_exit();
     }
 
     /// A token was added to a Memory/Negative; push it through child `node`.
@@ -1036,6 +1299,8 @@ impl ReteMatcher {
                     _ => unreachable!(),
                 };
                 self.charge_beta();
+                self.trace_beta(node);
+                self.prof_enter(beta_slot(node));
                 // Indexed: hash the token's equality values into the alpha
                 // memory's bucket; scan otherwise.
                 let (wmes, tests) = match plan {
@@ -1044,6 +1309,12 @@ impl ReteMatcher {
                         let total = self.amems[amem].wmes.len() as u64;
                         let cands = self.amems[amem].probe(alpha, &key);
                         self.charge_probe(n_eq, total, cands.len() as u64);
+                        let hits = cands.len() as u64;
+                        self.tracer.emit(|| TraceEvent::JoinProbe {
+                            node: node.index() as u32,
+                            hits,
+                            scanned: total,
+                        });
                         (cands, residual)
                     }
                     None => (self.amems[amem].wmes.to_vec(), tests),
@@ -1055,6 +1326,7 @@ impl ReteMatcher {
                         }
                     }
                 }
+                self.prof_exit();
             }
             BetaNode::Negative { .. } | BetaNode::Production { .. } => {
                 self.left_activate(node, tok, None);

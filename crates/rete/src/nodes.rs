@@ -256,6 +256,27 @@ impl BetaNode {
             BetaNode::Production { .. } => panic!("productions have no children"),
         }
     }
+
+    /// Static kind label, as used by trace events and profiles.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            BetaNode::Memory { parent: None, .. } => "top",
+            BetaNode::Memory { .. } => "memory",
+            BetaNode::Join { .. } => "join",
+            BetaNode::Negative { .. } => "negative",
+            BetaNode::Production { .. } => "production",
+        }
+    }
+
+    /// Tokens currently stored by the node (0 for joins, which store none).
+    pub fn held(&self) -> usize {
+        match self {
+            BetaNode::Memory { tokens, .. }
+            | BetaNode::Negative { tokens, .. }
+            | BetaNode::Production { tokens, .. } => tokens.len(),
+            BetaNode::Join { .. } => 0,
+        }
+    }
 }
 
 /// A token: one node of the match tree. Chain position = CE index; positive

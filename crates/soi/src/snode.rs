@@ -30,7 +30,8 @@
 
 use crate::aggregate::AggState;
 use sorete_base::{
-    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, RetimeInfo, RuleId, Symbol, TimeTag, Value,
+    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId, Symbol,
+    TimeTag, TraceEvent, Tracer, Value,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::ast::AggOp;
@@ -46,6 +47,26 @@ pub struct SoiStats {
     pub aggregate_updates: u64,
     /// Test-expression evaluations.
     pub test_evals: u64,
+}
+
+impl SoiStats {
+    /// Component-wise sum.
+    pub fn merged(&self, other: &SoiStats) -> SoiStats {
+        SoiStats {
+            activations: self.activations + other.activations,
+            aggregate_updates: self.aggregate_updates + other.aggregate_updates,
+            test_evals: self.test_evals + other.test_evals,
+        }
+    }
+
+    /// Fold these counters into a [`MatchStats`]. This is the *single*
+    /// point where S-node activity reaches the matcher-level counters:
+    /// matchers never increment `snode_activations` / `aggregate_updates`
+    /// themselves, so the two views cannot diverge.
+    pub fn merge_into(&self, stats: &mut MatchStats) {
+        stats.snode_activations += self.activations;
+        stats.aggregate_updates += self.aggregate_updates;
+    }
 }
 
 /// The paper's `chg` variable.
@@ -99,6 +120,7 @@ pub struct SNode {
     /// The γ-memory.
     entries: FxHashMap<Box<[KeyPart]>, GammaEntry>,
     stats: SoiStats,
+    tracer: Tracer,
 }
 
 impl SNode {
@@ -122,7 +144,14 @@ impl SNode {
             scalar_vars,
             entries: FxHashMap::default(),
             stats: SoiStats::default(),
+            tracer: Tracer::null(),
         }
+    }
+
+    /// Install the tracer through which the node emits `snode` /
+    /// `aggregate` events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Counters.
@@ -163,6 +192,11 @@ impl SNode {
         out: &mut Vec<CsDelta>,
     ) {
         self.stats.activations += 1;
+        let rule_name = self.rule.name;
+        self.tracer.emit(|| TraceEvent::SnodeActivation {
+            rule: rule_name,
+            insert: true,
+        });
         let key = self.key_of(tags, lookup);
 
         // Stage 1: find the SOI and place the token within it.
@@ -203,6 +237,7 @@ impl SNode {
         entry.version += 1;
 
         // Stage 2: update the aggregates and re-evaluate the test.
+        let mut touched = 0u64;
         for agg in &mut entry.aggs {
             let src = agg.source_ce();
             let value = match agg.spec.target {
@@ -211,7 +246,14 @@ impl SNode {
             };
             if agg.add_row(tags[src], value) {
                 self.stats.aggregate_updates += 1;
+                touched += 1;
             }
+        }
+        if touched > 0 {
+            self.tracer.emit(|| TraceEvent::AggregateUpdate {
+                rule: rule_name,
+                count: touched,
+            });
         }
         if !self.eval_test(&key, lookup) {
             chg = Chg::Fail;
@@ -229,6 +271,11 @@ impl SNode {
         out: &mut Vec<CsDelta>,
     ) {
         self.stats.activations += 1;
+        let rule_name = self.rule.name;
+        self.tracer.emit(|| TraceEvent::SnodeActivation {
+            rule: rule_name,
+            insert: false,
+        });
         let key = self.key_of(tags, lookup);
 
         // Stage 1.
@@ -252,11 +299,19 @@ impl SNode {
 
         // Stage 2 (skipped for delete, per the figure).
         if chg != Chg::Delete {
+            let mut touched = 0u64;
             for agg in &mut entry.aggs {
                 let src = agg.source_ce();
                 if agg.remove_row(tags[src]) {
                     self.stats.aggregate_updates += 1;
+                    touched += 1;
                 }
+            }
+            if touched > 0 {
+                self.tracer.emit(|| TraceEvent::AggregateUpdate {
+                    rule: rule_name,
+                    count: touched,
+                });
             }
             if !self.eval_test(&key, lookup) {
                 chg = Chg::Fail;

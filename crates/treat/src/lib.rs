@@ -32,11 +32,11 @@
 
 use sorete_base::{
     ConflictItem, CsDelta, FxHashMap, FxHashSet, InstKey, MatchStats, RuleId, Symbol, TimeTag,
-    Value, Wme,
+    TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::{AnalyzedCe, AnalyzedRule, ConstTest, IntraTest};
 use sorete_lang::matcher::Matcher;
-use sorete_soi::SNode;
+use sorete_soi::{SNode, SoiStats};
 use std::sync::Arc;
 
 /// Alpha signature of a CE: class + constant + intra-WME tests. CEs with
@@ -76,6 +76,7 @@ pub struct TreatMatcher {
     wmes: FxHashMap<TimeTag, Wme>,
     deltas: Vec<CsDelta>,
     stats: MatchStats,
+    tracer: Tracer,
 }
 
 impl TreatMatcher {
@@ -87,6 +88,16 @@ impl TreatMatcher {
     /// Alpha memory count (for sharing tests).
     pub fn alpha_count(&self) -> usize {
         self.amems.len()
+    }
+
+    /// Combined counters of every S-node — the single source of truth the
+    /// snode-related [`MatchStats`] fields are derived from (see
+    /// [`SoiStats::merge_into`]).
+    pub fn soi_stats(&self) -> SoiStats {
+        self.rules
+            .iter()
+            .filter_map(|rs| rs.snode.as_ref())
+            .fold(SoiStats::default(), |acc, sn| acc.merged(&sn.stats()))
     }
 
     fn sig_matches(&self, sig: &CeSignature, wme: &Wme) -> bool {
@@ -121,6 +132,12 @@ impl TreatMatcher {
         neg_witness: Option<(usize, TimeTag)>,
     ) -> Vec<Box<[TimeTag]>> {
         self.stats.beta_activations += 1;
+        // TREAT has no beta network; the seek itself is the one "beta node"
+        // per rule, so physical traces still show where join work happens.
+        self.tracer.emit(|| TraceEvent::BetaActivation {
+            node: ri as u32,
+            kind: "seek",
+        });
         let rule = self.rules[ri].rule.clone();
         let ce_amem = self.rules[ri].ce_amem.clone();
         let mut partials: Vec<Vec<TimeTag>> = vec![Vec::new()];
@@ -292,7 +309,11 @@ impl Matcher for TreatMatcher {
             self.amems[ai].subs.push((ri, ce_idx));
             ce_amem.push(ai);
         }
-        let snode = rule.is_set_oriented.then(|| SNode::new(id, rule.clone()));
+        let snode = rule.is_set_oriented.then(|| {
+            let mut sn = SNode::new(id, rule.clone());
+            sn.set_tracer(self.tracer.clone());
+            sn
+        });
         self.rules.push(RuleState {
             rule,
             id,
@@ -339,6 +360,11 @@ impl Matcher for TreatMatcher {
         for &ai in &hits {
             self.stats.alpha_activations += 1;
             self.amems[ai].wmes.push(tag);
+            self.tracer.emit(|| TraceEvent::AlphaActivation {
+                node: ai as u32,
+                tag,
+                insert: true,
+            });
         }
         // Seek phase.
         for &ai in &hits {
@@ -379,6 +405,13 @@ impl Matcher for TreatMatcher {
                 mem.wmes.remove(pos);
                 hits.push(ai);
             }
+        }
+        for &ai in &hits {
+            self.tracer.emit(|| TraceEvent::AlphaActivation {
+                node: ai as u32,
+                tag,
+                insert: false,
+            });
         }
         for &ai in &hits {
             let subs = self.amems[ai].subs.clone();
@@ -434,18 +467,21 @@ impl Matcher for TreatMatcher {
 
     fn stats(&self) -> MatchStats {
         let mut s = self.stats;
-        for rs in &self.rules {
-            if let Some(sn) = &rs.snode {
-                let ss = sn.stats();
-                s.snode_activations += ss.activations;
-                s.aggregate_updates += ss.aggregate_updates;
-            }
-        }
+        self.soi_stats().merge_into(&mut s);
         s
     }
 
     fn algorithm_name(&self) -> &'static str {
         "treat"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        for rs in &mut self.rules {
+            if let Some(sn) = &mut rs.snode {
+                sn.set_tracer(self.tracer.clone());
+            }
+        }
     }
 }
 

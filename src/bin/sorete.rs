@@ -10,20 +10,26 @@
 //!   --wm <facts.wm>              assert facts from a file before running
 //!   --limit <N>                  stop after N firings
 //!   --trace                      print rule firings
+//!   --trace-json <file>          stream trace events to a JSONL file
+//!   --profile                    per-node match profile at the end
+//!   --explain <rule>             explain the rule's conflict-set entries
 //!   --stats                      print run + match statistics at the end
 //!   --dot <file>                 write the Rete network as Graphviz DOT
+//!                                (heat-annotated under --profile)
 //!   --repl                       interactive session after loading
 //! ```
 //!
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
-//! `wm`, `cs`, `stats`, `help`, `quit`.
+//! `excise <rule>`, `explain <rule>`, `profile`, `wm`, `dump [file]`, `cs`,
+//! `stats`, `help`, `quit`.
 
 use sorete::core::{MatcherKind, ProductionSystem, Strategy};
-use sorete_base::{Symbol, Value};
+use sorete_base::{JsonlSink, NetProfile, Symbol, Value};
 use sorete_lang::token::{tokenize, TokKind};
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug)]
 struct Options {
@@ -33,6 +39,9 @@ struct Options {
     programs: Vec<String>,
     limit: Option<u64>,
     trace: bool,
+    trace_json: Option<String>,
+    profile: bool,
+    explain: Option<String>,
     stats: bool,
     repl: bool,
     dot: Option<String>,
@@ -40,7 +49,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: sorete [--matcher rete|rete-scan|treat|naive] [--strategy lex|mea] \
-     [--wm facts.wm] [--limit N] [--trace] [--stats] [--repl] program.ops..."
+     [--wm facts.wm] [--limit N] [--trace] [--trace-json file] [--profile] \
+     [--explain rule] [--stats] [--repl] program.ops..."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -51,6 +61,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         programs: Vec::new(),
         limit: None,
         trace: false,
+        trace_json: None,
+        profile: false,
+        explain: None,
         stats: false,
         repl: false,
         dot: None,
@@ -90,6 +103,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 None => return Err("--dot needs a file".into()),
             },
             "--trace" => opts.trace = true,
+            "--trace-json" => match it.next() {
+                Some(f) => opts.trace_json = Some(f.clone()),
+                None => return Err("--trace-json needs a file".into()),
+            },
+            "--profile" => opts.profile = true,
+            "--explain" => match it.next() {
+                Some(r) => opts.explain = Some(r.clone()),
+                None => return Err("--explain needs a rule name".into()),
+            },
             "--stats" => opts.stats = true,
             "--repl" => opts.repl = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -177,12 +199,36 @@ fn print_stats(ps: &ProductionSystem) {
         );
     }
     println!("; match [{}]: {}", ps.matcher_name(), ps.match_stats());
-    let mut per_rule: Vec<_> = s.per_rule.iter().collect();
-    per_rule.sort_by_key(|(name, _)| name.as_str());
-    for (name, rs) in per_rule {
+    for (name, rs) in s.per_rule_sorted() {
         println!(
             ";   {}: {} firings, {} actions",
             name, rs.firings, rs.actions
+        );
+    }
+}
+
+/// The `--profile` table: one row per network node, hottest first.
+fn print_profile(prof: &NetProfile) {
+    println!(
+        "; profile [{}]: {} nodes, {}µs total self time",
+        prof.algorithm,
+        prof.nodes.len(),
+        prof.total_nanos() / 1_000
+    );
+    println!(
+        ";   {:<5} {:<10} {:>9} {:>6} {:>9}  {:<28} rules",
+        "node", "kind", "acts", "held", "self µs", "label"
+    );
+    for n in prof.sorted() {
+        println!(
+            ";   {:<5} {:<10} {:>9} {:>6} {:>9}  {:<28} {}",
+            n.id,
+            n.kind,
+            n.activations,
+            n.held,
+            n.nanos / 1_000,
+            n.label.replace('\n', " "),
+            n.rules.join(",")
         );
     }
 }
@@ -229,7 +275,7 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" | "?" => {
-                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | wm | dump [file] | cs | stats | quit");
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | quit");
             }
             "run" => {
                 let n: Option<u64> = rest.parse().ok();
@@ -297,6 +343,20 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                     }
                 }
             }
+            "explain" => match ps.explain(rest) {
+                Ok(text) => {
+                    for l in text.lines() {
+                        println!("; {}", l);
+                    }
+                }
+                Err(e) => println!("; error: {}", e),
+            },
+            "profile" => match ps.profile() {
+                Some(prof) => print_profile(&prof),
+                None => println!(
+                    "; no profile — start with --profile (and a matcher that has a network)"
+                ),
+            },
             "cs" => print_cs(ps),
             "stats" => print_stats(ps),
             other => println!("; unknown command `{}` (try `help`)", other),
@@ -311,6 +371,18 @@ fn run() -> Result<(), String> {
     let mut ps = ProductionSystem::new(opts.matcher);
     ps.set_strategy(opts.strategy);
     ps.set_tracing(opts.trace);
+    if let Some(path) = &opts.trace_json {
+        let sink = JsonlSink::create(path).map_err(|e| format!("{}: {}", path, e))?;
+        ps.add_trace_sink(Arc::new(Mutex::new(sink)));
+    }
+    if opts.profile {
+        ps.set_profiling(true);
+    }
+    // `explain` reconstructs history from the event log; the REPL records
+    // it too so `explain` works there at any point.
+    if opts.explain.is_some() || opts.repl {
+        ps.set_event_log(true);
+    }
 
     for file in &opts.programs {
         let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
@@ -324,6 +396,21 @@ fn run() -> Result<(), String> {
         }
     }
 
+    let mut run_error: Option<String> = None;
+    if opts.repl {
+        flush_output(&mut ps);
+        repl(&mut ps, opts.limit);
+    } else {
+        let outcome = ps.run(opts.limit);
+        flush_output(&mut ps);
+        if let sorete::core::StopReason::Error(e) = &outcome.reason {
+            run_error = Some(format!("error after {} firings: {}", outcome.fired, e));
+        } else {
+            eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason);
+        }
+    }
+    // DOT is rendered *after* the run so `--profile` heat annotations
+    // reflect the work actually done.
     if let Some(path) = &opts.dot {
         match ps.network_dot() {
             Some(dot) => {
@@ -336,24 +423,30 @@ fn run() -> Result<(), String> {
             ),
         }
     }
-    if opts.repl {
-        flush_output(&mut ps);
-        repl(&mut ps, opts.limit);
-    } else {
-        let outcome = ps.run(opts.limit);
-        flush_output(&mut ps);
-        if let sorete::core::StopReason::Error(e) = &outcome.reason {
-            if opts.stats {
-                print_stats(&ps);
+    if let Some(rule) = &opts.explain {
+        match ps.explain(rule) {
+            Ok(text) => {
+                for l in text.lines() {
+                    println!("; {}", l);
+                }
             }
-            return Err(format!("error after {} firings: {}", outcome.fired, e));
+            Err(e) => eprintln!("; explain: {}", e),
         }
-        eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason);
+    }
+    if opts.profile {
+        match ps.profile() {
+            Some(prof) => print_profile(&prof),
+            None => eprintln!(
+                "; --profile: the {} matcher does not profile",
+                ps.matcher_name()
+            ),
+        }
     }
     if opts.stats {
         print_stats(&ps);
     }
-    Ok(())
+    ps.flush_trace();
+    run_error.map_or(Ok(()), Err)
 }
 
 fn main() -> ExitCode {
@@ -391,6 +484,21 @@ mod tests {
         assert_eq!(o.limit, Some(5));
         assert!(o.trace);
         assert_eq!(o.programs, vec!["prog.ops"]);
+        let obs: Vec<String> = [
+            "--trace-json",
+            "out.jsonl",
+            "--profile",
+            "--explain",
+            "compete",
+            "p.ops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&obs).unwrap();
+        assert_eq!(o.trace_json.as_deref(), Some("out.jsonl"));
+        assert!(o.profile);
+        assert_eq!(o.explain.as_deref(), Some("compete"));
         let scan: Vec<String> = ["--matcher", "rete-scan", "p.ops"]
             .iter()
             .map(|s| s.to_string())
@@ -407,6 +515,8 @@ mod tests {
         assert!(bad(&["--matcher", "ops83", "p.ops"]));
         assert!(bad(&["--limit", "many", "p.ops"]));
         assert!(bad(&["--frobnicate", "p.ops"]));
+        assert!(bad(&["--trace-json"])); // missing file
+        assert!(bad(&["--explain"])); // missing rule
         assert!(bad(&[])); // no program, no repl
     }
 

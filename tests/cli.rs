@@ -109,6 +109,152 @@ fn monkey_and_bananas_plans_correctly() {
     }
 }
 
+/// Minimal structural JSON check: balanced quotes/braces/brackets and the
+/// `{"ev":"<name>",...}` envelope every trace line must carry. Not a full
+/// parser — just enough to catch malformed output without a JSON dep.
+fn assert_jsonl_line(line: &str) {
+    assert!(
+        line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+        "bad envelope: {}",
+        line
+    );
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    for c in line.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced: {}", line);
+    }
+    assert!(depth == 0 && !in_str, "unterminated: {}", line);
+    let name = &line["{\"ev\":\"".len()..];
+    let name = &name[..name.find('"').unwrap()];
+    const NAMES: &[&str] = &[
+        "cycle_begin",
+        "cycle_end",
+        "wme_assert",
+        "wme_retract",
+        "alpha",
+        "beta",
+        "probe",
+        "snode",
+        "aggregate",
+        "cs_insert",
+        "cs_remove",
+        "cs_retime",
+        "fire",
+        "skip",
+        "rollback",
+        "guard",
+    ];
+    assert!(NAMES.contains(&name), "unknown event `{}`: {}", name, line);
+}
+
+#[test]
+fn trace_json_and_profile_smoke() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("smoke-trace.jsonl");
+    let out = Command::new(bin())
+        .args([
+            "--profile",
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; profile [rete]:"), "{}", stdout);
+    assert!(stdout.contains("node"), "{}", stdout);
+    assert!(stdout.contains("production"), "{}", stdout);
+
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() >= 10, "suspiciously short trace:\n{}", jsonl);
+    for line in &lines {
+        assert_jsonl_line(line);
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("\"ev\":\"fire\"")),
+        "{}",
+        jsonl
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"ev\":\"cs_insert\"")),
+        "{}",
+        jsonl
+    );
+}
+
+/// The logical (algorithm-independent) trace stream must be byte-identical
+/// across the indexed and scan Rete variants.
+#[test]
+fn trace_json_logical_stream_matches_across_rete_variants() {
+    const LOGICAL: &[&str] = &[
+        "cycle_begin",
+        "cycle_end",
+        "wme_assert",
+        "wme_retract",
+        "cs_insert",
+        "cs_remove",
+        "cs_retime",
+        "fire",
+        "skip",
+        "rollback",
+        "guard",
+    ];
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut streams = Vec::new();
+    for matcher in ["rete", "rete-scan"] {
+        let trace = dir.join(format!("logical-{}.jsonl", matcher));
+        let out = Command::new(bin())
+            .args([
+                "--matcher",
+                matcher,
+                "--trace-json",
+                trace.to_str().unwrap(),
+                "--wm",
+                &repo_file("programs/teams.wm"),
+                &repo_file("programs/teams.ops"),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        let logical: Vec<String> = jsonl
+            .lines()
+            .filter(|l| {
+                let name = &l["{\"ev\":\"".len()..];
+                LOGICAL.contains(&&name[..name.find('"').unwrap()])
+            })
+            .map(str::to_string)
+            .collect();
+        assert!(!logical.is_empty());
+        streams.push(logical.join("\n"));
+    }
+    assert_eq!(streams[0], streams[1], "rete vs rete-scan logical streams");
+}
+
 #[test]
 fn reports_bad_usage() {
     let out = Command::new(bin()).output().expect("binary runs");

@@ -9,11 +9,14 @@
 //! rebuild-from-scratch comparison (`Matcher::validate`) at every step.
 
 use proptest::prelude::*;
+use sorete::core::{MatcherKind, ProductionSystem};
 use sorete::lang::{analyze_rule, parse_rule, Matcher};
 use sorete::naive::NaiveMatcher;
 use sorete::rete::ReteMatcher;
 use sorete::treat::TreatMatcher;
-use sorete_base::{ConflictItem, CsDelta, FxHashMap, InstKey, Symbol, TimeTag, Value, Wme};
+use sorete_base::{
+    ConflictItem, CsDelta, FxHashMap, InstKey, Symbol, TimeTag, TraceEvent, Value, Wme,
+};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -210,6 +213,147 @@ fn prop_assert_eq_step(step: usize, op: &Op, who: &str, got: &Canon, expected: &
     );
 }
 
+// ---------------------------------------------------------------------------
+// Logical event-stream equivalence (engine level).
+//
+// Every backend must tell the same story through the trace stream: the
+// logical events (WM changes, conflict-set deltas, firings — timing and
+// per-node physical events excluded) must agree. The indexed and scan Rete
+// are held to *byte-identical* JSON streams; TREAT and naive are compared
+// after canonicalization that absorbs legitimate emission-order freedom
+// within one sync batch (delta order inside a batch, duplicate `time`
+// tokens, SOI row order, version counters vs content hashes).
+//
+// The programs use a single rule each so conflict resolution never
+// tie-breaks on delta *arrival* order, which is the one engine-level
+// ordering legitimately different between backends.
+// ---------------------------------------------------------------------------
+
+const EVENT_PROG_TUPLE: &str = "(literalize a x y)(literalize b x y)
+    (p pair (a ^x <v>) (b ^x <v> ^y <w>) (write pair <v>) (remove 2))";
+
+const EVENT_PROG_NEGATED: &str = "(literalize a x y)(literalize b x y)
+    (p guard (a ^x <v>) -(b ^x <v>) (write ok <v>) (remove 1))";
+
+const EVENT_PROG_SET: &str = "(literalize a x y)(literalize b x y)
+    (p dedupe { [a ^x <v> ^y <w>] <P> } :scalar (<v>)
+       :test ((count <P>) > 1) (set-remove <P>))";
+
+/// Drive one engine through `ops` (running to a small firing limit after
+/// each), returning the logical half of its event stream.
+fn logical_stream(kind: MatcherKind, program: &str, ops: &[Op]) -> Vec<TraceEvent> {
+    let mut ps = ProductionSystem::new(kind);
+    ps.set_event_log(true);
+    ps.load_program(program).unwrap();
+    let mut live: Vec<TimeTag> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert { class, x, y } => {
+                let tag = ps
+                    .make_str(
+                        if *class == 0 { "a" } else { "b" },
+                        &[("x", Value::Int(*x)), ("y", Value::Int(*y))],
+                    )
+                    .unwrap();
+                live.push(tag);
+            }
+            Op::Remove(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let tag = live.remove(i % live.len());
+                // Firings may have retracted it already.
+                if ps.wm().get(tag).is_some() {
+                    ps.retract_wme(tag).unwrap();
+                }
+            }
+        }
+        let _ = ps.run(Some(4));
+    }
+    ps.trace_events()
+        .into_iter()
+        .filter(|e| e.is_logical())
+        .collect()
+}
+
+/// Canonical form of a logical stream: conflict-set deltas within one sync
+/// batch are sorted and deduplicated (`time` tokens reduced to rule+key,
+/// SOI rows order-blinded); everything else keeps its order and content.
+fn canonical_stream(stream: &[TraceEvent]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut batch: Vec<String> = Vec::new();
+    fn flush(batch: &mut Vec<String>, out: &mut Vec<String>) {
+        batch.sort();
+        batch.dedup();
+        out.append(batch);
+    }
+    for ev in stream {
+        match ev {
+            TraceEvent::CsInsert {
+                rule,
+                key,
+                soi,
+                rows,
+                aggregates,
+            } => {
+                let mut rs = rows.clone();
+                rs.sort();
+                batch.push(format!(
+                    "+ {} [{}] soi={} {:?} {:?}",
+                    rule, key, soi, rs, aggregates
+                ));
+            }
+            TraceEvent::CsRemove { rule, key, soi } => {
+                batch.push(format!("- {} [{}] soi={}", rule, key, soi));
+            }
+            TraceEvent::CsRetime { rule, key, .. } => {
+                batch.push(format!("~ {} [{}]", rule, key));
+            }
+            other => {
+                flush(&mut batch, &mut out);
+                out.push(match other {
+                    TraceEvent::Fire { cycle, rule, rows } => {
+                        let mut rs = rows.clone();
+                        rs.sort();
+                        format!("fire {} {} {:?}", cycle, rule, rs)
+                    }
+                    ev => ev.to_json(),
+                });
+            }
+        }
+    }
+    flush(&mut batch, &mut out);
+    out
+}
+
+fn run_event_equivalence(program: &str, ops: &[Op]) {
+    let rete = logical_stream(MatcherKind::Rete, program, ops);
+    let scan = logical_stream(MatcherKind::ReteScan, program, ops);
+    let treat = logical_stream(MatcherKind::Treat, program, ops);
+    let naive = logical_stream(MatcherKind::Naive, program, ops);
+
+    // Indexing is a pure physical optimisation: the logical streams must
+    // be byte-identical, not merely equivalent.
+    let rete_json: Vec<String> = rete.iter().map(|e| e.to_json()).collect();
+    let scan_json: Vec<String> = scan.iter().map(|e| e.to_json()).collect();
+    assert_eq!(
+        rete_json, scan_json,
+        "indexed rete's logical stream diverged from scan rete's"
+    );
+
+    let expected = canonical_stream(&rete);
+    assert_eq!(
+        canonical_stream(&treat),
+        expected,
+        "treat's logical stream diverged from rete's"
+    );
+    assert_eq!(
+        canonical_stream(&naive),
+        expected,
+        "naive's logical stream diverged from rete's"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -238,6 +382,67 @@ proptest! {
             .collect();
         run_equivalence(&mixed, &ops);
     }
+
+    #[test]
+    fn tuple_event_streams_agree(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        run_event_equivalence(EVENT_PROG_TUPLE, &ops);
+    }
+
+    #[test]
+    fn negated_event_streams_agree(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        run_event_equivalence(EVENT_PROG_NEGATED, &ops);
+    }
+
+    #[test]
+    fn set_oriented_event_streams_agree(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        run_event_equivalence(EVENT_PROG_SET, &ops);
+    }
+}
+
+/// Drive a fixed SOI-heavy workload through a matcher.
+fn drive_soi_workload(m: &mut dyn Matcher) {
+    for src in RULESET_SET {
+        m.add_rule(Arc::new(analyze_rule(&parse_rule(src).unwrap()).unwrap()));
+    }
+    let mut live: Vec<Wme> = Vec::new();
+    for i in 0..24u64 {
+        if i % 5 == 4 && !live.is_empty() {
+            let wme = live.remove(i as usize % live.len());
+            m.remove_wme(&wme);
+        } else {
+            let wme = Wme::new(
+                TimeTag::new(i + 1),
+                Symbol::new(if i % 2 == 0 { "a" } else { "b" }),
+                vec![
+                    (Symbol::new("x"), Value::Int((i % 3) as i64)),
+                    (Symbol::new("y"), Value::Int((i % 4) as i64)),
+                ],
+            );
+            live.push(wme.clone());
+            m.insert_wme(&wme);
+        }
+        let _ = m.drain_deltas();
+    }
+}
+
+/// Satellite: `SoiStats` is the single source of the snode-related
+/// `MatchStats` fields — the merged view a matcher reports must always
+/// equal the sum of its per-S-node counters.
+#[test]
+fn soi_stats_never_diverge_from_match_stats() {
+    let mut rete = ReteMatcher::new();
+    drive_soi_workload(&mut rete);
+    let (ms, ss) = (rete.stats(), rete.soi_stats());
+    assert!(ss.activations > 0, "workload must exercise the S-nodes");
+    assert_eq!(ms.snode_activations, ss.activations);
+    assert_eq!(ms.aggregate_updates, ss.aggregate_updates);
+
+    let mut treat = TreatMatcher::new();
+    drive_soi_workload(&mut treat);
+    let (ms, ss) = (treat.stats(), treat.soi_stats());
+    assert!(ss.activations > 0, "workload must exercise the S-nodes");
+    assert_eq!(ms.snode_activations, ss.activations);
+    assert_eq!(ms.aggregate_updates, ss.aggregate_updates);
 }
 
 /// Deterministic regression inputs (kept out of proptest for clarity).
