@@ -11,6 +11,8 @@
 //! - fast hashing ([`hash`]), typed index arenas ([`arena`]);
 //! - the conflict-set interchange types every match algorithm produces
 //!   ([`inst`]): [`ConflictItem`], [`InstKey`], [`CsDelta`], [`MatchStats`];
+//! - structured tracing ([`trace`]) and the metrics registry with
+//!   memory accounting and run telemetry ([`metrics`]);
 //! - shared error types ([`error`]).
 //!
 //! Nothing here knows about rules, Rete, or databases; it is pure substrate.
@@ -19,6 +21,7 @@ pub mod arena;
 pub mod error;
 pub mod hash;
 pub mod inst;
+pub mod metrics;
 pub mod symbol;
 pub mod trace;
 pub mod value;
@@ -28,6 +31,9 @@ pub use arena::Arena;
 pub use error::{BaseError, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use inst::{ConflictItem, CsDelta, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId};
+pub use metrics::{
+    MemoryRegion, MemoryReport, MetricId, MetricKind, Metrics, MetricsRegistry, SnapshotWriter,
+};
 pub use symbol::Symbol;
 pub use trace::{
     CollectSink, JsonlSink, NetProfile, NodeProfile, NullSink, SelfTimer, SharedSink, TraceEvent,

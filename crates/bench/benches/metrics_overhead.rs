@@ -1,0 +1,88 @@
+//! Metrics-overhead bench: the cost of the registry and per-cycle
+//! snapshots.
+//!
+//! With metrics disabled the engine holds `metrics: None`, so every hook
+//! is a null check — the `off` case must sit within noise of the
+//! disabled-trace path (the same discipline DESIGN.md §5.3 demands of
+//! `Tracer::emit`, extended to the registry by §5.4). `on` samples and
+//! snapshots every cycle in memory; `jsonl` additionally streams each
+//! snapshot through a `BufWriter` to disk.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sorete_base::{Metrics, SnapshotWriter, Value};
+use sorete_core::{MatcherKind, ProductionSystem, StopReason};
+
+const PROGRAM: &str = "(literalize player name team)
+(p RemoveDups
+  { [player ^name <n> ^team <t>] <P> }
+  :scalar (<n> <t>)
+  :test ((count <P>) > 1)
+  -->
+  (bind <First> true)
+  (foreach <P> descending
+    (if (<First> == true) (bind <First> false) else (remove <P>))))";
+
+enum Mode {
+    Off,
+    On,
+    Jsonl(std::path::PathBuf),
+}
+
+fn run(mode: &Mode) {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(PROGRAM).unwrap();
+    match mode {
+        Mode::Off => {}
+        Mode::On => ps.enable_metrics(),
+        Mode::Jsonl(path) => {
+            ps.set_metrics_stream(SnapshotWriter::create(path).expect("temp file"));
+        }
+    }
+    for i in 0..8 {
+        for _ in 0..16 {
+            ps.make_str(
+                "player",
+                &[
+                    ("name", Value::sym(&format!("p{}", i))),
+                    ("team", Value::sym("A")),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    let outcome = ps.run(None);
+    assert!(matches!(outcome.reason, StopReason::Quiescence));
+    assert_eq!(ps.wm().len(), 8);
+    ps.flush_trace();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    // The disabled fast path in isolation: 10k `Metrics::with` calls on a
+    // null handle must cost no more than 10k untaken branches — the same
+    // bar `emit_disabled_10k` sets for the tracer.
+    group.bench_function("with_disabled_10k", |b| {
+        let metrics = Metrics::null();
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                let r = metrics.with(|reg| {
+                    reg.snapshot(black_box(i));
+                    i
+                });
+                assert!(r.is_none());
+            }
+        })
+    });
+    group.bench_function("off", |b| b.iter(|| run(&Mode::Off)));
+    group.bench_function("on", |b| b.iter(|| run(&Mode::On)));
+    let path = std::env::temp_dir().join("sorete-metrics-overhead.jsonl");
+    group.bench_function("jsonl", |b| {
+        let mode = Mode::Jsonl(path.clone());
+        b.iter(|| run(&mode))
+    });
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

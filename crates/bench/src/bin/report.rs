@@ -286,6 +286,84 @@ fn main() {
         }
     }
 
+    hr("M1 — memory over load (J1 workload, live-set bytes)");
+    {
+        let mut json = String::from("{\n  \"curve\": [\n");
+        println!(
+            "{:>8} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "phase", "wm", "total-B", "alpha-B", "beta-B", "index-B"
+        );
+        let points = run_memory_curve(MatcherKind::Rete, 600, 8);
+        for (i, p) in points.iter().enumerate() {
+            println!(
+                "{:>8} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                p.phase, p.wm, p.total_bytes, p.alpha_bytes, p.beta_bytes, p.index_bytes
+            );
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "    {{\"phase\": \"{}\", \"wm\": {}, \"total_bytes\": {}, \
+                 \"alpha_bytes\": {}, \"beta_bytes\": {}, \"index_bytes\": {}}}",
+                p.phase, p.wm, p.total_bytes, p.alpha_bytes, p.beta_bytes, p.index_bytes
+            ));
+        }
+        json.push_str("\n  ],\n  \"final_counters\": {");
+
+        // Final registry scrape of the same workload under full telemetry,
+        // proving the counters survive an end-to-end run.
+        use sorete_core::ProductionSystem;
+        let mut ps = ProductionSystem::new(MatcherKind::Rete);
+        ps.load_program(J1_PROGRAM).expect("J1 program");
+        ps.enable_metrics();
+        {
+            use sorete_base::Value;
+            let mut stock_tags = Vec::new();
+            for i in 0..600i64 {
+                stock_tags.push(
+                    ps.make_str(
+                        "stock",
+                        &[("id", Value::Int(i)), ("qty", Value::Int((i * 5) % 10))],
+                    )
+                    .unwrap(),
+                );
+                ps.make_str(
+                    "order",
+                    &[("id", Value::Int(i)), ("qty", Value::Int((i * 3) % 10))],
+                )
+                .unwrap();
+            }
+            for tag in stock_tags.into_iter().step_by(3) {
+                ps.retract_wme(tag).unwrap();
+            }
+        }
+        ps.run(Some(100_000));
+        ps.record_metrics_snapshot();
+        let m = ps.metrics();
+        let counters = [
+            "sorete_cycles_total",
+            "sorete_firings_total",
+            "sorete_wm_asserts_total",
+            "sorete_wm_retracts_total",
+            "sorete_match_join_tests_total",
+            "sorete_match_index_probes_total",
+        ];
+        println!();
+        for (i, family) in counters.iter().enumerate() {
+            let v = m.with(|r| r.value(family, "")).flatten().unwrap_or(0);
+            println!("{:<40} {:>12}", family, v);
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("\"{}\": {}", family, v));
+        }
+        json.push_str("}\n}\n");
+        match std::fs::write("BENCH_metrics.json", &json) {
+            Ok(()) => println!("(wrote BENCH_metrics.json)"),
+            Err(e) => println!("(could not write BENCH_metrics.json: {})", e),
+        }
+    }
+
     hr("Whole program — Monkey & Bananas (programs/monkey.ops, MEA)");
     println!(
         "{:>8} {:>10} {:>10} {:>12} {:>10}",

@@ -247,6 +247,76 @@ pub fn run_join_index(kind: MatcherKind, n: usize) -> RunReport {
     report_from(&ps, n, start.elapsed().as_micros())
 }
 
+// =================================================================== M1
+
+/// One point on the J1 memory-over-load curve.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryPoint {
+    /// Phase of the workload: `"load"` while inserting, `"retract"` after
+    /// each retract chunk.
+    pub phase: &'static str,
+    /// Working-memory size at the sample.
+    pub wm: usize,
+    /// Total matcher bytes (all regions).
+    pub total_bytes: u64,
+    /// Alpha-memory bytes.
+    pub alpha_bytes: u64,
+    /// Beta-memory bytes (token lists, not the slab).
+    pub beta_bytes: u64,
+    /// Hash-index bytes (alpha + beta indexes).
+    pub index_bytes: u64,
+}
+
+/// The J1 memory-over-load curve: sample the matcher's live-set byte
+/// accounting while inserting `n` stocks + `n` orders in `samples` chunks,
+/// then while retracting every third stock. The retract tail must bend the
+/// curve *down* — the accounting counts live entries only.
+pub fn run_memory_curve(kind: MatcherKind, n: usize, samples: usize) -> Vec<MemoryPoint> {
+    let mut ps = ProductionSystem::new(kind);
+    ps.load_program(J1_PROGRAM).expect("J1 program");
+    let mut points = Vec::new();
+    let sample = |ps: &ProductionSystem, phase: &'static str| {
+        let report = ps.memory_report();
+        let region = |name: &str| report.region(name).map_or(0, |r| r.bytes);
+        MemoryPoint {
+            phase,
+            wm: ps.wm().len(),
+            total_bytes: report.total_bytes(),
+            alpha_bytes: region("alpha"),
+            beta_bytes: region("beta"),
+            index_bytes: region("alpha_index") + region("beta_index"),
+        }
+    };
+    let chunk = (n / samples.max(1)).max(1);
+    let mut stock_tags = Vec::with_capacity(n);
+    for i in 0..n as i64 {
+        stock_tags.push(
+            ps.make_str(
+                "stock",
+                &[("id", Value::Int(i)), ("qty", Value::Int((i * 5) % 10))],
+            )
+            .unwrap(),
+        );
+        ps.make_str(
+            "order",
+            &[("id", Value::Int(i)), ("qty", Value::Int((i * 3) % 10))],
+        )
+        .unwrap();
+        if (i as usize + 1).is_multiple_of(chunk) {
+            points.push(sample(&ps, "load"));
+        }
+    }
+    let retracts: Vec<_> = stock_tags.into_iter().step_by(3).collect();
+    let rchunk = (retracts.len() / samples.max(1)).max(1);
+    for (i, tag) in retracts.into_iter().enumerate() {
+        ps.retract_wme(tag).unwrap();
+        if (i + 1).is_multiple_of(rchunk) {
+            points.push(sample(&ps, "retract"));
+        }
+    }
+    points
+}
+
 // =================================================================== C5
 
 /// Outcome of the DIPS experiment at one size.
@@ -409,6 +479,28 @@ mod tests {
             idx.join_tests,
             scan.join_tests
         );
+    }
+
+    #[test]
+    fn memory_curve_rises_then_falls() {
+        let points = run_memory_curve(MatcherKind::Rete, 120, 6);
+        let peak = points
+            .iter()
+            .filter(|p| p.phase == "load")
+            .map(|p| p.total_bytes)
+            .max()
+            .unwrap();
+        let first = points.first().unwrap().total_bytes;
+        let last = points.last().unwrap();
+        assert!(peak > first, "bytes grow under load");
+        assert_eq!(last.phase, "retract");
+        assert!(
+            last.total_bytes < peak,
+            "retract tail shrinks the live set: {} -> {}",
+            peak,
+            last.total_bytes
+        );
+        assert!(points.iter().all(|p| p.alpha_bytes > 0));
     }
 
     #[test]

@@ -7,8 +7,8 @@ use crate::rhs::{self, RhsCtx, RhsHost};
 use crate::stats::RunStats;
 use crate::wm::WorkingMemory;
 use sorete_base::{
-    CollectSink, ConflictItem, CsDelta, FxHashMap, InstKey, NetProfile, RuleId, SharedSink, Symbol,
-    TimeTag, TraceEvent, Tracer, Value, Wme,
+    CollectSink, ConflictItem, CsDelta, FxHashMap, InstKey, MetricId, Metrics, NetProfile, RuleId,
+    SharedSink, SnapshotWriter, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::matcher::Matcher;
@@ -291,6 +291,50 @@ impl<H: RhsHost + ?Sized> RhsHost for FaultInjector<'_, H> {
     }
 }
 
+/// Pre-registered ids for every engine-owned metric family, resolved once
+/// in [`ProductionSystem::enable_metrics`] so the per-cycle sampling path
+/// never touches the registry's name table.
+struct MetricIds {
+    cycles: MetricId,
+    firings: MetricId,
+    actions: MetricId,
+    makes: MetricId,
+    removes: MetricId,
+    modifies: MetricId,
+    writes: MetricId,
+    skipped_actions: MetricId,
+    rolled_back: MetricId,
+    wm_asserts: MetricId,
+    wm_retracts: MetricId,
+    alpha_activations: MetricId,
+    beta_activations: MetricId,
+    join_tests: MetricId,
+    tokens_created: MetricId,
+    tokens_deleted: MetricId,
+    snode_activations: MetricId,
+    aggregate_updates: MetricId,
+    index_probes: MetricId,
+    index_skipped_tests: MetricId,
+    conflict_set_size: MetricId,
+    wm_size: MetricId,
+    fire_nanos: MetricId,
+    resolve_nanos: MetricId,
+    rhs_nanos: MetricId,
+    match_nanos: MetricId,
+}
+
+/// Metrics state carried by the engine when telemetry is enabled: the
+/// shared registry handle, the pre-registered ids, and the two WM-churn
+/// tallies that have no [`RunStats`] source of truth.
+struct EngineMetrics {
+    handle: Metrics,
+    ids: MetricIds,
+    /// WME assertions (engine API + RHS `make` + `modify` re-asserts).
+    wm_asserts: u64,
+    /// WME retractions (engine API + RHS `remove` + `modify` retracts).
+    wm_retracts: u64,
+}
+
 /// A complete forward-chaining production system: working memory, match
 /// network, conflict resolution, and the set-oriented RHS interpreter.
 ///
@@ -340,6 +384,9 @@ pub struct ProductionSystem {
     recording: bool,
     /// Installed fault plan, applied to every firing until triggered.
     fault: Option<FaultPlan>,
+    /// Metrics registry + pre-registered ids; `None` until
+    /// [`Self::enable_metrics`] — the disabled path is a null check.
+    metrics: Option<Box<EngineMetrics>>,
 }
 
 impl ProductionSystem {
@@ -372,6 +419,7 @@ impl ProductionSystem {
             undo: Vec::new(),
             recording: false,
             fault: None,
+            metrics: None,
         }
     }
 
@@ -452,9 +500,13 @@ impl ProductionSystem {
             .unwrap_or_default()
     }
 
-    /// Flush every attached trace sink (forces buffered JSONL out).
+    /// Flush every attached trace sink and the metrics snapshot stream
+    /// (forces buffered JSONL out).
     pub fn flush_trace(&self) {
         self.tracer.flush();
+        if let Some(m) = &self.metrics {
+            m.handle.with(|r| r.flush());
+        }
     }
 
     /// Enable or disable the matcher's per-node profiler.
@@ -478,6 +530,223 @@ impl ProductionSystem {
     /// The current recognise–act cycle number (0 before any firing).
     pub fn current_cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Turn on the metrics registry. Idempotent. All counter families are
+    /// registered up front; per-cycle sampling then works by id. Counters
+    /// with an existing source of truth ([`RunStats`],
+    /// [`sorete_base::MatchStats`]) are *sampled* from it, never
+    /// incremented independently — the registry cannot diverge from
+    /// `--stats` by construction.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_some() {
+            return;
+        }
+        let handle = Metrics::new_registry();
+        let ids = handle
+            .with(|r| MetricIds {
+                cycles: r.counter("sorete_cycles_total", "Recognise-act cycles begun"),
+                firings: r.counter("sorete_firings_total", "Rule firings (incl. rolled back)"),
+                actions: r.counter("sorete_actions_total", "RHS actions executed"),
+                makes: r.counter("sorete_makes_total", "RHS make actions"),
+                removes: r.counter("sorete_removes_total", "RHS remove actions"),
+                modifies: r.counter("sorete_modifies_total", "RHS modify actions"),
+                writes: r.counter("sorete_writes_total", "RHS write actions"),
+                skipped_actions: r.counter(
+                    "sorete_skipped_actions_total",
+                    "RHS actions on already-dead WMEs (overlapping set ops)",
+                ),
+                rolled_back: r.counter("sorete_rolled_back_total", "Firings rolled back"),
+                wm_asserts: r.counter("sorete_wm_asserts_total", "WME assertions"),
+                wm_retracts: r.counter("sorete_wm_retracts_total", "WME retractions"),
+                alpha_activations: r.counter(
+                    "sorete_match_alpha_activations_total",
+                    "Alpha-memory activations",
+                ),
+                beta_activations: r.counter(
+                    "sorete_match_beta_activations_total",
+                    "Beta-node activations",
+                ),
+                join_tests: r.counter("sorete_match_join_tests_total", "Join consistency tests"),
+                tokens_created: r.counter("sorete_match_tokens_created_total", "Tokens created"),
+                tokens_deleted: r.counter("sorete_match_tokens_deleted_total", "Tokens deleted"),
+                snode_activations: r
+                    .counter("sorete_match_snode_activations_total", "S-node activations"),
+                aggregate_updates: r.counter(
+                    "sorete_match_aggregate_updates_total",
+                    "Incremental aggregate updates",
+                ),
+                index_probes: r.counter("sorete_match_index_probes_total", "Hash-index probes"),
+                index_skipped_tests: r.counter(
+                    "sorete_match_index_skipped_tests_total",
+                    "Join tests answered by hash indexes instead of evaluation",
+                ),
+                conflict_set_size: r.gauge(
+                    "sorete_conflict_set_size",
+                    "Conflict-set entries (fired included)",
+                ),
+                wm_size: r.gauge("sorete_wm_size", "Working-memory size"),
+                fire_nanos: r.histogram(
+                    "sorete_fire_nanos",
+                    "Whole recognise-act cycle wall time (ns)",
+                ),
+                resolve_nanos: r.histogram(
+                    "sorete_resolve_nanos",
+                    "Conflict-resolution (select + materialize) wall time (ns)",
+                ),
+                rhs_nanos: r.histogram("sorete_rhs_nanos", "RHS execution wall time (ns)"),
+                match_nanos: r.histogram(
+                    "sorete_match_nanos",
+                    "Matcher propagation wall time per WM change (ns)",
+                ),
+            })
+            .expect("fresh registry is enabled");
+        self.metrics = Some(Box::new(EngineMetrics {
+            handle,
+            ids,
+            wm_asserts: 0,
+            wm_retracts: 0,
+        }));
+    }
+
+    /// Whether [`Self::enable_metrics`] has been called.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// A handle on the engine's registry ([`Metrics::null`] when metrics
+    /// are disabled, so callers can hold it unconditionally).
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+            .as_ref()
+            .map(|m| m.handle.clone())
+            .unwrap_or_else(Metrics::null)
+    }
+
+    /// Stream every per-cycle snapshot to `writer` as JSONL (enables
+    /// metrics if needed).
+    pub fn set_metrics_stream(&mut self, writer: SnapshotWriter) {
+        self.enable_metrics();
+        let m = self.metrics.as_ref().expect("just enabled");
+        m.handle.with(|r| r.stream_to(writer));
+    }
+
+    /// Bound the in-memory snapshot ring (enables metrics if needed).
+    pub fn set_metrics_capacity(&mut self, capacity: usize) {
+        self.enable_metrics();
+        let m = self.metrics.as_ref().expect("just enabled");
+        m.handle.with(|r| r.set_capacity(capacity));
+    }
+
+    /// Snapshot lines streamed to the JSONL writer so far.
+    pub fn metrics_stream_written(&self) -> u64 {
+        self.metrics
+            .as_ref()
+            .and_then(|m| m.handle.with(|r| r.stream_written()))
+            .unwrap_or(0)
+    }
+
+    /// Sample every gauge/counter from its source of truth and record a
+    /// snapshot at the current cycle. The engine calls this at the end of
+    /// every cycle (success *and* failure); call it manually to capture
+    /// state between runs. No-op when metrics are disabled.
+    pub fn record_metrics_snapshot(&self) {
+        let Some(m) = self.metrics.as_ref() else {
+            return;
+        };
+        self.sample_metrics(m);
+        let cycle = self.cycle;
+        m.handle.with(|r| r.snapshot(cycle));
+    }
+
+    /// Pull current values into the registry: [`RunStats`] and
+    /// [`sorete_base::MatchStats`] counters, conflict-set/WM gauges, the
+    /// matcher's [`sorete_base::MemoryReport`] as labeled byte/entry
+    /// gauges, and its extra counters as one labeled family.
+    fn sample_metrics(&self, m: &EngineMetrics) {
+        let ids = &m.ids;
+        let rs = &self.stats;
+        let ms = self.matcher.stats();
+        let mem = self.matcher.memory_report();
+        let extra = self.matcher.metric_counters();
+        let cs_len = self.cs.len() as u64;
+        let wm_len = self.wm.len() as u64;
+        let cycle = self.cycle;
+        m.handle.with(|r| {
+            r.set(ids.cycles, cycle);
+            r.set(ids.firings, rs.firings);
+            r.set(ids.actions, rs.actions);
+            r.set(ids.makes, rs.makes);
+            r.set(ids.removes, rs.removes);
+            r.set(ids.modifies, rs.modifies);
+            r.set(ids.writes, rs.writes);
+            r.set(ids.skipped_actions, rs.skipped_actions);
+            r.set(ids.rolled_back, rs.rolled_back);
+            r.set(ids.wm_asserts, m.wm_asserts);
+            r.set(ids.wm_retracts, m.wm_retracts);
+            r.set(ids.alpha_activations, ms.alpha_activations);
+            r.set(ids.beta_activations, ms.beta_activations);
+            r.set(ids.join_tests, ms.join_tests);
+            r.set(ids.tokens_created, ms.tokens_created);
+            r.set(ids.tokens_deleted, ms.tokens_deleted);
+            r.set(ids.snode_activations, ms.snode_activations);
+            r.set(ids.aggregate_updates, ms.aggregate_updates);
+            r.set(ids.index_probes, ms.index_probes);
+            r.set(ids.index_skipped_tests, ms.index_skipped_tests);
+            r.set(ids.conflict_set_size, cs_len);
+            r.set(ids.wm_size, wm_len);
+            for region in &mem.regions {
+                let b = r.gauge_labeled(
+                    "sorete_memory_bytes",
+                    "Estimated live bytes per matcher store (live-set methodology)",
+                    "region",
+                    region.name,
+                );
+                r.set(b, region.bytes);
+                let e = r.gauge_labeled(
+                    "sorete_memory_entries",
+                    "Live entries per matcher store",
+                    "region",
+                    region.name,
+                );
+                r.set(e, region.entries);
+            }
+            for &(kind, total) in &extra {
+                let id = r.counter_labeled(
+                    "sorete_matcher_events_total",
+                    "Backend-specific match events (S-node token protocol, gamma churn)",
+                    "kind",
+                    kind,
+                );
+                r.set(id, total);
+            }
+        });
+    }
+
+    /// A rendered metrics table ([`None`] when metrics are disabled). Does
+    /// not sample — call [`Self::record_metrics_snapshot`] first for fresh
+    /// values.
+    pub fn metrics_table(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .and_then(|m| m.handle.with(|r| r.render_table()))
+    }
+
+    /// The Prometheus text exposition of the registry ([`None`] when
+    /// metrics are disabled). Does not sample.
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .and_then(|m| m.handle.with(|r| r.render_prometheus()))
+    }
+
+    /// Record an elapsed matcher-propagation interval.
+    fn note_match_time(&self, start: Option<Instant>) {
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), start) {
+            let ns = t.elapsed().as_nanos() as u64;
+            let id = m.ids.match_nanos;
+            m.handle.with(|r| r.observe(id, ns));
+        }
     }
 
     fn rebuild_tracer(&mut self) {
@@ -557,8 +826,13 @@ impl ProductionSystem {
             tag: wme.tag,
             wme: render_wme(&wme),
         });
+        if let Some(m) = &mut self.metrics {
+            m.wm_asserts += 1;
+        }
+        let t = self.metrics.is_some().then(Instant::now);
         self.matcher.insert_wme(&wme);
         self.sync();
+        self.note_match_time(t);
         Ok(wme.tag)
     }
 
@@ -567,8 +841,13 @@ impl ProductionSystem {
         let wme = self.wm.remove(tag)?;
         let cycle = self.cycle;
         self.tracer.emit(|| TraceEvent::WmeRetract { cycle, tag });
+        if let Some(m) = &mut self.metrics {
+            m.wm_retracts += 1;
+        }
+        let t = self.metrics.is_some().then(Instant::now);
         self.matcher.remove_wme(&wme);
         self.sync();
+        self.note_match_time(t);
         Ok(())
     }
 
@@ -581,8 +860,13 @@ impl ProductionSystem {
         let old = self.wm.remove(tag)?;
         let cycle = self.cycle;
         self.tracer.emit(|| TraceEvent::WmeRetract { cycle, tag });
+        if let Some(m) = &mut self.metrics {
+            m.wm_retracts += 1;
+        }
+        let t = self.metrics.is_some().then(Instant::now);
         self.matcher.remove_wme(&old);
         self.sync();
+        self.note_match_time(t);
         let class = old.class;
         let mut slots: Vec<(Symbol, Value)> = old.slots().to_vec();
         drop(old);
@@ -598,8 +882,13 @@ impl ProductionSystem {
             tag: wme.tag,
             wme: render_wme(&wme),
         });
+        if let Some(m) = &mut self.metrics {
+            m.wm_asserts += 1;
+        }
+        let t = self.metrics.is_some().then(Instant::now);
         self.matcher.insert_wme(&wme);
         self.sync();
+        self.note_match_time(t);
         Ok(wme.tag)
     }
 
@@ -658,6 +947,7 @@ impl ProductionSystem {
             return Ok(None);
         }
         self.sync();
+        let t_cycle = self.metrics.is_some().then(Instant::now);
         let Some((selected, stale)) = self.cs.select(self.strategy) else {
             return Ok(None);
         };
@@ -680,6 +970,11 @@ impl ProductionSystem {
             }
         }
         let rule = self.rules[item.key.rule().index()].clone();
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), t_cycle) {
+            let ns = t.elapsed().as_nanos() as u64;
+            let id = m.ids.resolve_nanos;
+            m.handle.with(|r| r.observe(id, ns));
+        }
         self.cycle += 1;
         let cycle = self.cycle;
         self.tracer.emit(|| TraceEvent::CycleBegin { cycle });
@@ -723,6 +1018,7 @@ impl ProductionSystem {
         );
         self.firing_rule = Some(rule.name);
         self.recording = can_rollback;
+        let t_rhs = self.metrics.is_some().then(Instant::now);
         let result = match self.fault.take() {
             Some(mut plan) => {
                 let r = {
@@ -736,6 +1032,11 @@ impl ProductionSystem {
         };
         self.recording = false;
         self.firing_rule = None;
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), t_rhs) {
+            let ns = t.elapsed().as_nanos() as u64;
+            let id = m.ids.rhs_nanos;
+            m.handle.with(|r| r.observe(id, ns));
+        }
         match result {
             Ok(()) => {
                 if can_rollback {
@@ -748,6 +1049,7 @@ impl ProductionSystem {
                     rule: rule.name,
                     ok: true,
                 });
+                self.finish_cycle_metrics(t_cycle);
                 Ok(Some(rule.name))
             }
             Err(e) => {
@@ -764,9 +1066,25 @@ impl ProductionSystem {
                     rule: rule.name,
                     ok: false,
                 });
+                self.finish_cycle_metrics(t_cycle);
                 Err(e)
             }
         }
+    }
+
+    /// End-of-cycle telemetry: observe the whole-cycle histogram, then
+    /// sample and snapshot. Runs on success *and* failure, so rolled-back
+    /// cycles still appear in the time series.
+    fn finish_cycle_metrics(&self, t_cycle: Option<Instant>) {
+        let Some(m) = self.metrics.as_ref() else {
+            return;
+        };
+        if let Some(t) = t_cycle {
+            let ns = t.elapsed().as_nanos() as u64;
+            let id = m.ids.fire_nanos;
+            m.handle.with(|r| r.observe(id, ns));
+        }
+        self.record_metrics_snapshot();
     }
 
     /// Undo a failed firing: replay the undo log in reverse through
@@ -945,6 +1263,14 @@ impl ProductionSystem {
     /// Matcher counters.
     pub fn match_stats(&self) -> sorete_base::MatchStats {
         self.matcher.stats()
+    }
+
+    /// Point-in-time matcher memory accounting (live-set methodology —
+    /// see [`sorete_base::MemoryReport`]). Works with metrics disabled;
+    /// when enabled, the same report feeds the `sorete_memory_bytes` /
+    /// `sorete_memory_entries` gauges each cycle.
+    pub fn memory_report(&self) -> sorete_base::MemoryReport {
+        self.matcher.memory_report()
     }
 
     /// The matcher backing this engine.

@@ -188,6 +188,12 @@ impl DipsEngine {
         v
     }
 
+    /// Byte-level memory accounting for the COND-table backing store
+    /// (delegates to [`sorete_reldb::Database::memory_report`]).
+    pub fn memory_report(&self) -> sorete_base::MemoryReport {
+        self.db.memory_report()
+    }
+
     /// Insert the initial (all-NULL) CE template rows.
     fn seed(&mut self) -> Result<(), DipsError> {
         for (ri, rule) in self.rules.clone().iter().enumerate() {

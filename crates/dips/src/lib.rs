@@ -56,6 +56,20 @@ mod tests {
     }
 
     #[test]
+    fn memory_report_counts_cond_rows() {
+        let f = figure6().unwrap();
+        let report = f.engine.memory_report();
+        let rows = report.region("db_rows").expect("db_rows region");
+        // Figure 6 seeds COND templates and inserts player rows, so the
+        // backing store must be visibly non-empty.
+        assert!(rows.entries > 0, "live COND rows: {}", rows.entries);
+        assert!(rows.bytes > 0);
+        let pages = report.region("db_pages").expect("db_pages region");
+        assert!(pages.entries > 0);
+        assert!(report.total_bytes() >= rows.bytes);
+    }
+
+    #[test]
     fn equality_join_respected_regardless_of_arrival_order() {
         let prog = "(p pair (a ^x <v>) (b ^x <v>) (write x))";
         // b first, then a.

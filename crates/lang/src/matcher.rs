@@ -6,7 +6,9 @@
 //! oracle (`sorete-naive`) are interchangeable behind this trait.
 
 use crate::analyze::AnalyzedRule;
-use sorete_base::{ConflictItem, CsDelta, InstKey, MatchStats, NetProfile, RuleId, Tracer, Wme};
+use sorete_base::{
+    ConflictItem, CsDelta, InstKey, MatchStats, MemoryReport, NetProfile, RuleId, Tracer, Wme,
+};
 use std::sync::Arc;
 
 /// A production-match algorithm.
@@ -82,5 +84,22 @@ pub trait Matcher {
     /// `explain` command. `None` for backends without a network.
     fn rule_network_path(&self, _rule: RuleId) -> Option<Vec<String>> {
         None
+    }
+
+    /// Point-in-time byte-level memory accounting, one
+    /// [`sorete_base::MemoryRegion`] per internal store (alpha memories,
+    /// beta tokens, γ-memories, hash-index buckets, ...). Live-set
+    /// methodology — see [`MemoryReport`]. The default reports nothing;
+    /// the engine samples this once per cycle when metrics are enabled.
+    fn memory_report(&self) -> MemoryReport {
+        MemoryReport::default()
+    }
+
+    /// Backend-specific monotone counters beyond [`MatchStats`] — e.g. the
+    /// S-node `+`/`-`/`time` token counts and γ-entry churn. Each entry is
+    /// `(kind, total)`; the engine exposes them as one labeled counter
+    /// family. The default reports nothing.
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
     }
 }

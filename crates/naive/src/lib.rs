@@ -24,8 +24,8 @@
 //! ```
 
 use sorete_base::{
-    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId, Symbol,
-    TimeTag, TraceEvent, Tracer, Value, Wme,
+    ConflictItem, CsDelta, FxHashMap, InstKey, KeyPart, MatchStats, MemoryReport, RetimeInfo,
+    RuleId, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::{AggTarget, AnalyzedCe, AnalyzedRule};
 use sorete_lang::ast::AggOp;
@@ -405,6 +405,34 @@ impl Matcher for NaiveMatcher {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        use std::mem::size_of;
+        let mut report = MemoryReport::default();
+
+        // The oracle keeps no incremental state beyond working memory and
+        // the recomputed conflict set.
+        let wt_bytes: u64 = self
+            .wmes
+            .values()
+            .map(|w| {
+                (size_of::<TimeTag>() + size_of::<Wme>() + std::mem::size_of_val(w.slots())) as u64
+            })
+            .sum();
+        report.push("wme_table", wt_bytes, self.wmes.len() as u64);
+
+        let mut cs_bytes = 0u64;
+        for item in self.current.values() {
+            cs_bytes += size_of::<ConflictItem>() as u64;
+            for row in &item.rows {
+                cs_bytes += (size_of::<Box<[TimeTag]>>() + row.len() * size_of::<TimeTag>()) as u64;
+            }
+            cs_bytes += (item.aggregates.len() * size_of::<Value>()
+                + item.recency.len() * size_of::<TimeTag>()) as u64;
+        }
+        report.push("conflict_set", cs_bytes, self.current.len() as u64);
+        report
     }
 }
 

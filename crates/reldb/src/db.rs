@@ -101,6 +101,30 @@ impl Database {
         v.sort();
         v
     }
+
+    /// Byte-level memory accounting across all tables: live rows, heap
+    /// "pages" (64-slot extents, counting tombstones — heap files do not
+    /// shrink on delete), and secondary-index postings. Live-set
+    /// methodology for bytes — see [`sorete_base::MemoryReport`].
+    pub fn memory_report(&self) -> sorete_base::MemoryReport {
+        let mut report = sorete_base::MemoryReport::default();
+        let mut row_bytes = 0u64;
+        let mut rows = 0u64;
+        let mut pages = 0u64;
+        let mut idx_bytes = 0u64;
+        let mut idx_entries = 0u64;
+        for t in self.tables.values() {
+            row_bytes += t.approx_bytes();
+            rows += t.len() as u64;
+            pages += t.slot_count().div_ceil(64) as u64;
+            idx_bytes += t.index_bytes();
+            idx_entries += t.index_entry_count();
+        }
+        report.push("db_rows", row_bytes, rows);
+        report.push("db_pages", pages * 64 * 16, pages);
+        report.push("db_index", idx_bytes, idx_entries);
+        report
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,42 @@ impl Table {
     pub fn has_index(&self, col: Symbol) -> bool {
         self.indexes.contains_key(&col)
     }
+
+    /// Total row slots (live + tombstoned) — the table's "page" footprint
+    /// grows with this, not with [`Table::len`].
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total live `(value → row-id)` postings across all secondary indexes.
+    pub fn index_entry_count(&self) -> u64 {
+        self.indexes
+            .values()
+            .flat_map(|m| m.values())
+            .map(|ids| ids.len() as u64)
+            .sum()
+    }
+
+    /// Estimated live bytes of row storage: live rows × (header + columns)
+    /// (live-set methodology — see [`sorete_base::MemoryReport`]).
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let cols = self.schema.cols.len();
+        (self.live * (size_of::<Row>() + cols * size_of::<Value>())) as u64
+    }
+
+    /// Estimated live bytes of secondary-index postings.
+    pub fn index_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        self.indexes
+            .values()
+            .map(|m| {
+                m.values()
+                    .map(|ids| (size_of::<Value>() + ids.len() * size_of::<RowId>()) as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,14 @@ impl<T: Copy + Eq + Hash> IndexedList<T> {
     pub fn to_vec(&self) -> Vec<T> {
         self.iter_live().collect()
     }
+
+    /// Estimated live bytes: each live element occupies one `(item, seq)`
+    /// list entry plus one live-map slot (live-set methodology — see
+    /// [`sorete_base::MemoryReport`]; tombstones and capacity slack are
+    /// excluded, so the figure shrinks immediately on removal).
+    pub fn approx_bytes(&self) -> u64 {
+        (2 * self.live.len() * std::mem::size_of::<(T, u64)>()) as u64
+    }
 }
 
 impl<T: Copy + Eq + Hash> FromIterator<T> for IndexedList<T> {
@@ -226,6 +234,31 @@ impl<T: Copy> JoinIndex<T> {
     /// Distinct keys currently bucketed.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Non-tombstoned entries across every bucket (each bucket's entry
+    /// count minus its recorded dead entries).
+    pub fn live_entry_count(&self) -> u64 {
+        self.buckets
+            .values()
+            .map(|b| (b.entries.len() as u64).saturating_sub(b.dead as u64))
+            .sum()
+    }
+
+    /// Estimated live bytes of the bucket table: one key per bucket (plus
+    /// the spilled values of `Many` keys) and the live `(item, seq)`
+    /// entries. Live-set methodology — see [`sorete_base::MemoryReport`].
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = 0u64;
+        for (key, b) in &self.buckets {
+            bytes += std::mem::size_of::<IndexKey>() as u64;
+            if let IndexKey::Many(vals) = key {
+                bytes += (vals.len() * std::mem::size_of::<Value>()) as u64;
+            }
+            bytes += (b.entries.len() as u64).saturating_sub(b.dead as u64)
+                * std::mem::size_of::<(T, u64)>() as u64;
+        }
+        bytes
     }
 
     /// Live bucket contents, for validation against a rebuilt index.

@@ -10,8 +10,8 @@
 use crate::index::{wme_key, IndexKey, IndexedList, JoinIndex};
 use crate::nodes::*;
 use sorete_base::{
-    Arena, ConflictItem, CsDelta, FxHashMap, InstKey, MatchStats, NetProfile, NodeProfile, RuleId,
-    SelfTimer, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
+    Arena, ConflictItem, CsDelta, FxHashMap, InstKey, MatchStats, MemoryReport, NetProfile,
+    NodeProfile, RuleId, SelfTimer, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::ast::Pred;
@@ -1024,6 +1024,92 @@ impl Matcher for ReteMatcher {
 
     fn rule_network_path(&self, rule: RuleId) -> Option<Vec<String>> {
         self.network_path(rule)
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        use std::mem::size_of;
+        let mut report = MemoryReport::default();
+
+        let mut alpha_bytes = 0u64;
+        let mut alpha_entries = 0u64;
+        let mut aidx_bytes = 0u64;
+        let mut aidx_entries = 0u64;
+        for (_, am) in self.amems.iter() {
+            alpha_bytes += am.wmes.approx_bytes();
+            alpha_entries += am.wmes.len() as u64;
+            for idx in &am.indexes {
+                aidx_bytes += idx.map.approx_bytes();
+                aidx_entries += idx.map.live_entry_count();
+            }
+        }
+        report.push("alpha", alpha_bytes, alpha_entries);
+        report.push("alpha_index", aidx_bytes, aidx_entries);
+
+        let mut beta_bytes = 0u64;
+        let mut beta_entries = 0u64;
+        let mut bidx_bytes = 0u64;
+        let mut bidx_entries = 0u64;
+        for (_, node) in self.nodes.iter() {
+            match node {
+                BetaNode::Memory { tokens, .. } | BetaNode::Production { tokens, .. } => {
+                    beta_bytes += tokens.approx_bytes();
+                    beta_entries += tokens.len() as u64;
+                }
+                BetaNode::Negative { tokens, eq, .. } => {
+                    beta_bytes += tokens.approx_bytes();
+                    beta_entries += tokens.len() as u64;
+                    if let Some(left) = eq.as_ref().and_then(|e| e.left.as_ref()) {
+                        bidx_bytes += left.approx_bytes();
+                        bidx_entries += left.live_entry_count();
+                    }
+                }
+                BetaNode::Join { eq, .. } => {
+                    if let Some(left) = eq.as_ref().and_then(|e| e.left.as_ref()) {
+                        bidx_bytes += left.approx_bytes();
+                        bidx_entries += left.live_entry_count();
+                    }
+                }
+            }
+        }
+        report.push("beta", beta_bytes, beta_entries);
+        report.push("beta_index", bidx_bytes, bidx_entries);
+        report.push(
+            "tokens",
+            self.tokens.approx_bytes(),
+            self.tokens.live() as u64,
+        );
+
+        let gamma_bytes: u64 = self.snodes.iter().map(|sn| sn.gamma_bytes()).sum();
+        let gamma_sois: u64 = self
+            .snodes
+            .iter()
+            .map(|sn| sn.candidate_count() as u64)
+            .sum();
+        report.push("gamma", gamma_bytes, gamma_sois);
+
+        let mut wt_bytes = 0u64;
+        for entry in self.wmes.values() {
+            wt_bytes += (size_of::<TimeTag>()
+                + size_of::<Wme>()
+                + std::mem::size_of_val(entry.wme.slots())
+                + entry.amems.len() * size_of::<AMemId>()
+                + (entry.tokens.len() + entry.blocked.len()) * size_of::<TokId>())
+                as u64;
+        }
+        report.push("wme_table", wt_bytes, self.wmes.len() as u64);
+        report
+    }
+
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        let soi = self.soi_stats();
+        vec![
+            ("soi_plus", soi.plus_tokens),
+            ("soi_minus", soi.minus_tokens),
+            ("soi_retime", soi.retime_tokens),
+            ("gamma_created", soi.gamma_created),
+            ("gamma_dropped", soi.gamma_dropped),
+            ("agg_recompute", soi.aggregate_recomputes),
+        ]
     }
 }
 

@@ -342,6 +342,23 @@ impl TokenSlab {
     pub fn live(&self) -> usize {
         self.slots.len() - self.free.len()
     }
+
+    /// Estimated live bytes: each live token plus its child list and
+    /// negative-join-result list (live-set methodology — see
+    /// [`sorete_base::MemoryReport`]; released slots are excluded, so the
+    /// figure shrinks as match trees are torn down).
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        self.slots
+            .iter()
+            .flatten()
+            .map(|t| {
+                (size_of::<Token>()
+                    + t.children.len() * size_of::<TokId>()
+                    + t.join_results.len() * size_of::<TimeTag>()) as u64
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,16 @@ impl AggState {
         }
     }
 
+    /// Estimated live bytes: the state header plus the tag-reference map
+    /// and the `(value, counter)` multiset (live entries × element size —
+    /// see [`sorete_base::MemoryReport`] for the methodology).
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (size_of::<AggState>()
+            + self.tag_refs.len() * size_of::<(TimeTag, (Value, u32))>()
+            + self.value_counts.len() * size_of::<(Value, u32)>()) as u64
+    }
+
     /// A row referencing WME `tag` (with attribute value `value`) joined the
     /// SOI. Returns `true` if this WME is a *new* contributor (first row
     /// referencing it) — i.e. the multiset actually changed.

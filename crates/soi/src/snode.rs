@@ -47,6 +47,20 @@ pub struct SoiStats {
     pub aggregate_updates: u64,
     /// Test-expression evaluations.
     pub test_evals: u64,
+    /// `+` tokens emitted (SOI entered the conflict set).
+    pub plus_tokens: u64,
+    /// `-` tokens emitted (SOI left the conflict set).
+    pub minus_tokens: u64,
+    /// `time` tokens emitted (active SOI changed content/recency).
+    pub retime_tokens: u64,
+    /// γ-entries created (candidate SOIs appearing).
+    pub gamma_created: u64,
+    /// γ-entries dropped (candidate SOIs emptied out).
+    pub gamma_dropped: u64,
+    /// Full aggregate-value materializations (every `AV` re-read when an
+    /// SOI is delivered to the conflict set) — the non-incremental
+    /// counterpart of `aggregate_updates`.
+    pub aggregate_recomputes: u64,
 }
 
 impl SoiStats {
@@ -56,6 +70,12 @@ impl SoiStats {
             activations: self.activations + other.activations,
             aggregate_updates: self.aggregate_updates + other.aggregate_updates,
             test_evals: self.test_evals + other.test_evals,
+            plus_tokens: self.plus_tokens + other.plus_tokens,
+            minus_tokens: self.minus_tokens + other.minus_tokens,
+            retime_tokens: self.retime_tokens + other.retime_tokens,
+            gamma_created: self.gamma_created + other.gamma_created,
+            gamma_dropped: self.gamma_dropped + other.gamma_dropped,
+            aggregate_recomputes: self.aggregate_recomputes + other.aggregate_recomputes,
         }
     }
 
@@ -164,6 +184,31 @@ impl SNode {
         self.entries.len()
     }
 
+    /// Total candidate rows across every γ-entry.
+    pub fn gamma_rows(&self) -> u64 {
+        self.entries.values().map(|e| e.rows.len() as u64).sum()
+    }
+
+    /// Estimated live bytes of the γ-memory — keys, `(Tokens, Status, AV)`
+    /// triples, and the incremental aggregate states. Live-set methodology
+    /// (see [`sorete_base::MemoryReport`]): element sizes × live counts,
+    /// no allocator slack.
+    pub fn gamma_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = 0u64;
+        for (key, entry) in &self.entries {
+            bytes += (size_of::<Box<[KeyPart]>>() + key.len() * size_of::<KeyPart>()) as u64;
+            bytes += size_of::<GammaEntry>() as u64;
+            for row in &entry.rows {
+                // `tags` and `recency` are two boxed slices per row.
+                bytes += 2
+                    * (size_of::<Box<[TimeTag]>>() + row.tags.len() * size_of::<TimeTag>()) as u64;
+            }
+            bytes += entry.aggs.iter().map(AggState::approx_bytes).sum::<u64>();
+        }
+        bytes
+    }
+
     /// The rule this node serves.
     pub fn rule(&self) -> &Arc<AnalyzedRule> {
         &self.rule
@@ -200,6 +245,9 @@ impl SNode {
         let key = self.key_of(tags, lookup);
 
         // Stage 1: find the SOI and place the token within it.
+        if !self.entries.contains_key(&key) {
+            self.stats.gamma_created += 1;
+        }
         let entry = self
             .entries
             .entry(key.clone())
@@ -328,13 +376,17 @@ impl SNode {
                 // The figure sends `+` for `new`; a failing test would have
                 // rewritten chg to `fail`, so reaching here means T passed.
                 let item = self.item_for(key);
+                self.stats.aggregate_recomputes += item.aggregates.len() as u64;
+                self.stats.plus_tokens += 1;
                 let entry = self.entries.get_mut(key).unwrap();
                 entry.active = true;
                 out.push(CsDelta::Insert(item));
             }
             Chg::Delete => {
                 let entry = self.entries.remove(key).unwrap();
+                self.stats.gamma_dropped += 1;
                 if entry.active {
+                    self.stats.minus_tokens += 1;
                     out.push(CsDelta::Remove(self.inst_key(key)));
                 }
             }
@@ -342,6 +394,7 @@ impl SNode {
                 let entry = self.entries.get_mut(key).unwrap();
                 if entry.active {
                     entry.active = false;
+                    self.stats.minus_tokens += 1;
                     out.push(CsDelta::Remove(self.inst_key(key)));
                 }
             }
@@ -350,6 +403,7 @@ impl SNode {
                 if entry.active {
                     // "Only a pointer is passed": a slim `time` token —
                     // consumers re-materialize the SOI when it fires.
+                    self.stats.retime_tokens += 1;
                     out.push(CsDelta::Retime(RetimeInfo {
                         key: self.inst_key(key),
                         version: entry.version,
@@ -357,6 +411,8 @@ impl SNode {
                     }));
                 } else {
                     let item = self.item_for(key);
+                    self.stats.aggregate_recomputes += item.aggregates.len() as u64;
+                    self.stats.plus_tokens += 1;
                     self.entries.get_mut(key).unwrap().active = true;
                     out.push(CsDelta::Insert(item));
                 }

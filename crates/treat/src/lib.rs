@@ -31,8 +31,8 @@
 //! ```
 
 use sorete_base::{
-    ConflictItem, CsDelta, FxHashMap, FxHashSet, InstKey, MatchStats, RuleId, Symbol, TimeTag,
-    TraceEvent, Tracer, Value, Wme,
+    ConflictItem, CsDelta, FxHashMap, FxHashSet, InstKey, MatchStats, MemoryReport, RuleId, Symbol,
+    TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::{AnalyzedCe, AnalyzedRule, ConstTest, IntraTest};
 use sorete_lang::matcher::Matcher;
@@ -482,6 +482,69 @@ impl Matcher for TreatMatcher {
                 sn.set_tracer(self.tracer.clone());
             }
         }
+    }
+
+    fn memory_report(&self) -> MemoryReport {
+        use std::mem::size_of;
+        let mut report = MemoryReport::default();
+
+        // TREAT keeps only alpha memories plus per-rule retained join rows
+        // (no beta network) — the memory profile the paper contrasts
+        // against Rete's.
+        let mut alpha_bytes = 0u64;
+        let mut alpha_entries = 0u64;
+        for am in &self.amems {
+            alpha_bytes += (am.wmes.len() * size_of::<TimeTag>()) as u64;
+            alpha_entries += am.wmes.len() as u64;
+        }
+        report.push("alpha", alpha_bytes, alpha_entries);
+
+        let mut row_bytes = 0u64;
+        let mut row_entries = 0u64;
+        for rs in &self.rules {
+            for row in &rs.rows {
+                row_bytes +=
+                    (size_of::<Box<[TimeTag]>>() + row.len() * size_of::<TimeTag>()) as u64;
+            }
+            row_entries += rs.rows.len() as u64;
+        }
+        report.push("rule_rows", row_bytes, row_entries);
+
+        let gamma_bytes: u64 = self
+            .rules
+            .iter()
+            .filter_map(|rs| rs.snode.as_ref())
+            .map(|sn| sn.gamma_bytes())
+            .sum();
+        let gamma_sois: u64 = self
+            .rules
+            .iter()
+            .filter_map(|rs| rs.snode.as_ref())
+            .map(|sn| sn.candidate_count() as u64)
+            .sum();
+        report.push("gamma", gamma_bytes, gamma_sois);
+
+        let wt_bytes: u64 = self
+            .wmes
+            .values()
+            .map(|w| {
+                (size_of::<TimeTag>() + size_of::<Wme>() + std::mem::size_of_val(w.slots())) as u64
+            })
+            .sum();
+        report.push("wme_table", wt_bytes, self.wmes.len() as u64);
+        report
+    }
+
+    fn metric_counters(&self) -> Vec<(&'static str, u64)> {
+        let soi = self.soi_stats();
+        vec![
+            ("soi_plus", soi.plus_tokens),
+            ("soi_minus", soi.minus_tokens),
+            ("soi_retime", soi.retime_tokens),
+            ("gamma_created", soi.gamma_created),
+            ("gamma_dropped", soi.gamma_dropped),
+            ("agg_recompute", soi.aggregate_recomputes),
+        ]
     }
 }
 

@@ -11,6 +11,9 @@
 //!   --limit <N>                  stop after N firings
 //!   --trace                      print rule firings
 //!   --trace-json <file>          stream trace events to a JSONL file
+//!   --metrics-json <file>        stream per-cycle metric snapshots (JSONL)
+//!   --metrics-prom <file>        Prometheus text exposition at the end
+//!   --watch <N>                  re-render a live metrics table every N cycles
 //!   --profile                    per-node match profile at the end
 //!   --explain <rule>             explain the rule's conflict-set entries
 //!   --stats                      print run + match statistics at the end
@@ -22,10 +25,10 @@
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
 //! `excise <rule>`, `explain <rule>`, `profile`, `wm`, `dump [file]`, `cs`,
-//! `stats`, `help`, `quit`.
+//! `stats`, `metrics`, `watch [n]`, `help`, `quit`.
 
 use sorete::core::{MatcherKind, ProductionSystem, Strategy};
-use sorete_base::{JsonlSink, NetProfile, Symbol, Value};
+use sorete_base::{JsonlSink, NetProfile, SnapshotWriter, Symbol, Value};
 use sorete_lang::token::{tokenize, TokKind};
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -40,6 +43,9 @@ struct Options {
     limit: Option<u64>,
     trace: bool,
     trace_json: Option<String>,
+    metrics_json: Option<String>,
+    metrics_prom: Option<String>,
+    watch: Option<u64>,
     profile: bool,
     explain: Option<String>,
     stats: bool,
@@ -49,7 +55,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: sorete [--matcher rete|rete-scan|treat|naive] [--strategy lex|mea] \
-     [--wm facts.wm] [--limit N] [--trace] [--trace-json file] [--profile] \
+     [--wm facts.wm] [--limit N] [--trace] [--trace-json file] \
+     [--metrics-json file] [--metrics-prom file] [--watch N] [--profile] \
      [--explain rule] [--stats] [--repl] program.ops..."
 }
 
@@ -62,6 +69,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         limit: None,
         trace: false,
         trace_json: None,
+        metrics_json: None,
+        metrics_prom: None,
+        watch: None,
         profile: false,
         explain: None,
         stats: false,
@@ -107,6 +117,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 Some(f) => opts.trace_json = Some(f.clone()),
                 None => return Err("--trace-json needs a file".into()),
             },
+            "--metrics-json" => match it.next() {
+                Some(f) => opts.metrics_json = Some(f.clone()),
+                None => return Err("--metrics-json needs a file".into()),
+            },
+            "--metrics-prom" => match it.next() {
+                Some(f) => opts.metrics_prom = Some(f.clone()),
+                None => return Err("--metrics-prom needs a file".into()),
+            },
+            "--watch" => {
+                opts.watch = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--watch needs a positive number of cycles")?,
+                );
+            }
             "--profile" => opts.profile = true,
             "--explain" => match it.next() {
                 Some(r) => opts.explain = Some(r.clone()),
@@ -256,6 +282,17 @@ fn print_cs(ps: &ProductionSystem) {
     }
 }
 
+fn print_metrics_table(ps: &ProductionSystem) {
+    match ps.metrics_table() {
+        Some(table) => {
+            for l in table.lines() {
+                println!("; {}", l);
+            }
+        }
+        None => println!("; metrics disabled"),
+    }
+}
+
 fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -275,7 +312,7 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" | "?" => {
-                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | quit");
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | watch [n] | quit");
             }
             "run" => {
                 let n: Option<u64> = rest.parse().ok();
@@ -359,6 +396,25 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             },
             "cs" => print_cs(ps),
             "stats" => print_stats(ps),
+            "metrics" => {
+                ps.enable_metrics();
+                ps.record_metrics_snapshot();
+                print_metrics_table(ps);
+            }
+            "watch" => {
+                let every: u64 = rest.parse().ok().filter(|&n| n > 0).unwrap_or(10);
+                ps.enable_metrics();
+                loop {
+                    let outcome = ps.run(Some(every));
+                    flush_output(ps);
+                    ps.record_metrics_snapshot();
+                    print_metrics_table(ps);
+                    if !matches!(outcome.reason, sorete::core::StopReason::Limit) {
+                        println!("; fired {} ({:?})", outcome.fired, outcome.reason);
+                        break;
+                    }
+                }
+            }
             other => println!("; unknown command `{}` (try `help`)", other),
         }
     }
@@ -374,6 +430,13 @@ fn run() -> Result<(), String> {
     if let Some(path) = &opts.trace_json {
         let sink = JsonlSink::create(path).map_err(|e| format!("{}: {}", path, e))?;
         ps.add_trace_sink(Arc::new(Mutex::new(sink)));
+    }
+    if opts.metrics_json.is_some() || opts.metrics_prom.is_some() || opts.watch.is_some() {
+        ps.enable_metrics();
+    }
+    if let Some(path) = &opts.metrics_json {
+        let writer = SnapshotWriter::create(path).map_err(|e| format!("{}: {}", path, e))?;
+        ps.set_metrics_stream(writer);
     }
     if opts.profile {
         ps.set_profiling(true);
@@ -400,6 +463,38 @@ fn run() -> Result<(), String> {
     if opts.repl {
         flush_output(&mut ps);
         repl(&mut ps, opts.limit);
+    } else if let Some(every) = opts.watch {
+        // Watch mode: run in chunks of `every` cycles, re-rendering the
+        // metrics table (to stderr, keeping stdout clean) after each.
+        let mut total: u64 = 0;
+        loop {
+            let remaining = opts.limit.map(|l| l.saturating_sub(total));
+            if remaining == Some(0) {
+                eprintln!("; fired {} rules (Limit)", total);
+                break;
+            }
+            let chunk = remaining.map_or(every, |r| r.min(every));
+            let outcome = ps.run(Some(chunk));
+            total += outcome.fired;
+            flush_output(&mut ps);
+            ps.record_metrics_snapshot();
+            if let Some(table) = ps.metrics_table() {
+                for l in table.lines() {
+                    eprintln!("; {}", l);
+                }
+            }
+            match &outcome.reason {
+                sorete::core::StopReason::Limit => {}
+                sorete::core::StopReason::Error(e) => {
+                    run_error = Some(format!("error after {} firings: {}", total, e));
+                    break;
+                }
+                reason => {
+                    eprintln!("; fired {} rules ({:?})", total, reason);
+                    break;
+                }
+            }
+        }
     } else {
         let outcome = ps.run(opts.limit);
         flush_output(&mut ps);
@@ -444,6 +539,15 @@ fn run() -> Result<(), String> {
     }
     if opts.stats {
         print_stats(&ps);
+    }
+    // Final sample so the last JSONL line / the Prometheus scrape reflect
+    // end-of-run state even on error paths (a no-op when disabled; the
+    // snapshot dedups against the end-of-cycle one).
+    ps.record_metrics_snapshot();
+    if let Some(path) = &opts.metrics_prom {
+        let text = ps.metrics_prometheus().unwrap_or_default();
+        std::fs::write(path, text).map_err(|e| format!("{}: {}", path, e))?;
+        eprintln!("; wrote Prometheus exposition to {}", path);
     }
     ps.flush_trace();
     run_error.map_or(Ok(()), Err)
@@ -499,6 +603,22 @@ mod tests {
         assert_eq!(o.trace_json.as_deref(), Some("out.jsonl"));
         assert!(o.profile);
         assert_eq!(o.explain.as_deref(), Some("compete"));
+        let met: Vec<String> = [
+            "--metrics-json",
+            "m.jsonl",
+            "--metrics-prom",
+            "m.prom",
+            "--watch",
+            "25",
+            "p.ops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&met).unwrap();
+        assert_eq!(o.metrics_json.as_deref(), Some("m.jsonl"));
+        assert_eq!(o.metrics_prom.as_deref(), Some("m.prom"));
+        assert_eq!(o.watch, Some(25));
         let scan: Vec<String> = ["--matcher", "rete-scan", "p.ops"]
             .iter()
             .map(|s| s.to_string())
@@ -517,6 +637,10 @@ mod tests {
         assert!(bad(&["--frobnicate", "p.ops"]));
         assert!(bad(&["--trace-json"])); // missing file
         assert!(bad(&["--explain"])); // missing rule
+        assert!(bad(&["--metrics-json"])); // missing file
+        assert!(bad(&["--metrics-prom"])); // missing file
+        assert!(bad(&["--watch", "0", "p.ops"])); // zero cycles
+        assert!(bad(&["--watch", "soon", "p.ops"])); // not a number
         assert!(bad(&[])); // no program, no repl
     }
 

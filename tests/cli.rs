@@ -321,3 +321,260 @@ fn repl_session() {
     assert!(!stdout.contains("\n; 1: (player"), "{}", stdout);
     assert!(stdout.contains("; stats: firings="), "{}", stdout);
 }
+
+/// Pull `"key":<int>` out of a metrics JSONL line (no JSON dep).
+fn jsonl_value(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{}\":", key);
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+/// Acceptance: the final `--metrics-json` snapshot's counters must equal
+/// the `--stats` totals exactly (single-sourcing), and every counter must
+/// be monotone across the per-cycle time series.
+#[test]
+fn metrics_jsonl_matches_stats_and_is_monotone() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("teams-metrics.jsonl");
+    let out = Command::new(bin())
+        .args([
+            "--stats",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stats_line = stdout
+        .lines()
+        .find(|l| l.starts_with("; stats:"))
+        .expect("stats line");
+    let stat = |name: &str| -> u64 {
+        let needle = format!("{}=", name);
+        let at = stats_line.find(&needle).unwrap() + needle.len();
+        stats_line[at..]
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(!lines.is_empty(), "per-cycle snapshots written");
+    let last = lines.last().unwrap();
+    assert_eq!(
+        jsonl_value(last, "sorete_firings_total"),
+        Some(stat("firings"))
+    );
+    assert_eq!(
+        jsonl_value(last, "sorete_actions_total"),
+        Some(stat("actions"))
+    );
+    assert_eq!(jsonl_value(last, "sorete_makes_total"), Some(stat("makes")));
+    assert_eq!(
+        jsonl_value(last, "sorete_removes_total"),
+        Some(stat("removes"))
+    );
+    assert_eq!(
+        jsonl_value(last, "sorete_modifies_total"),
+        Some(stat("modifies"))
+    );
+    assert_eq!(
+        jsonl_value(last, "sorete_writes_total"),
+        Some(stat("writes"))
+    );
+
+    for counter in [
+        "sorete_cycles_total",
+        "sorete_firings_total",
+        "sorete_actions_total",
+        "sorete_wm_asserts_total",
+        "sorete_wm_retracts_total",
+        "sorete_match_beta_activations_total",
+    ] {
+        let mut prev = 0u64;
+        for line in &lines {
+            let v = jsonl_value(line, counter)
+                .unwrap_or_else(|| panic!("{} missing in {}", counter, line));
+            assert!(v >= prev, "{} not monotone: {} < {}", counter, v, prev);
+            prev = v;
+        }
+    }
+}
+
+/// Acceptance: `--metrics-prom` output parses as Prometheus text
+/// exposition — every sample line belongs to a family announced by a
+/// `# TYPE` line, histograms carry `+Inf`/`_sum`/`_count`, and labeled
+/// families quote their label values.
+#[test]
+fn metrics_prom_is_valid_exposition() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prom = dir.join("teams.prom");
+    let out = Command::new(bin())
+        .args([
+            "--metrics-prom",
+            prom.to_str().unwrap(),
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&prom).unwrap();
+    let mut typed: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let family = it.next().unwrap().to_string();
+            let kind = it.next().unwrap().to_string();
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind.as_str()),
+                "{}",
+                line
+            );
+            typed.push((family, kind));
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        // A sample: `name[{labels}] value`.
+        let name_end = line.find(['{', ' ']).unwrap_or_else(|| panic!("{}", line));
+        let name = &line[..name_end];
+        let family = typed
+            .iter()
+            .find(|(f, _)| {
+                name == f
+                    || (name.starts_with(f.as_str())
+                        && ["_bucket", "_sum", "_count"].contains(&&name[f.len()..]))
+            })
+            .unwrap_or_else(|| panic!("sample without TYPE: {}", line));
+        if line.as_bytes()[name_end] == b'{' {
+            let close = line.find('}').unwrap_or_else(|| panic!("{}", line));
+            let labels = &line[name_end + 1..close];
+            assert!(
+                labels.contains("=\"") && labels.ends_with('"'),
+                "unquoted label value: {}",
+                line
+            );
+        }
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(value.parse::<f64>().is_ok(), "bad sample value: {}", line);
+        let _ = family;
+    }
+    for want in [
+        ("sorete_firings_total", "counter"),
+        ("sorete_conflict_set_size", "gauge"),
+        ("sorete_fire_nanos", "histogram"),
+        ("sorete_memory_bytes", "gauge"),
+    ] {
+        assert!(
+            typed.iter().any(|(f, k)| (f.as_str(), k.as_str()) == want),
+            "missing family {:?} in:\n{}",
+            want,
+            text
+        );
+    }
+    for (family, kind) in &typed {
+        if kind == "histogram" {
+            assert!(
+                text.contains(&format!("{}_bucket{{le=\"+Inf\"}}", family)),
+                "{} missing +Inf bucket",
+                family
+            );
+            assert!(text.contains(&format!("{}_sum ", family)), "{}", family);
+            assert!(text.contains(&format!("{}_count ", family)), "{}", family);
+        }
+    }
+    assert!(
+        text.contains("region=\""),
+        "memory gauges carry region labels:\n{}",
+        text
+    );
+}
+
+/// Satellite: the metrics stream must be flushed when the run ends in an
+/// error (here: an undeclared-attribute modify under the default Rollback
+/// policy makes the run abort after the rollback).
+#[test]
+fn metrics_jsonl_flushes_on_error_exit() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("poison.ops");
+    std::fs::write(
+        &prog,
+        "(literalize item x)
+         (p bad (item ^x <v>) --> (modify 1 ^bogus 2))",
+    )
+    .unwrap();
+    let facts = dir.join("poison.wm");
+    std::fs::write(&facts, "(item ^x 1)").unwrap();
+    let metrics = dir.join("poison-metrics.jsonl");
+    let out = Command::new(bin())
+        .args([
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+            "--wm",
+            facts.to_str().unwrap(),
+            prog.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "poison program must fail");
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    let last = jsonl.lines().last().expect("flushed on error exit");
+    assert_eq!(jsonl_value(last, "sorete_rolled_back_total"), Some(1));
+}
+
+/// The REPL `metrics` command renders the registry table; `watch` runs in
+/// chunks re-rendering it.
+#[test]
+fn repl_metrics_and_watch() {
+    let mut child = Command::new(bin())
+        .args(["--repl", &repo_file("programs/teams.ops")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    {
+        use std::io::Write;
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "metrics").unwrap();
+        writeln!(stdin, "watch 1").unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sorete_wm_size"), "{}", stdout);
+    assert!(stdout.contains("sorete_firings_total"), "{}", stdout);
+    assert!(
+        stdout.contains("removing duplicates of Ada on team A"),
+        "{}",
+        stdout
+    );
+    // watch printed at least two tables (the `metrics` one and its own).
+    assert!(stdout.matches("; cycle ").count() >= 2, "{}", stdout);
+}
