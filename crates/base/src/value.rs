@@ -123,6 +123,92 @@ impl Value {
         }
     }
 
+    /// Append this value's *wire token* to `out`.
+    ///
+    /// The wire form is the typed-token text format shared by the reldb
+    /// dump (`crates/reldb/src/persist.rs`), the write-ahead log, and the
+    /// engine checkpoint: `N` (nil), `I:<decimal>` (int), `F:<hex bits>`
+    /// (float — bit-exact round trip), `S:<escaped>` (symbol, escaping
+    /// tab/newline/backslash), `T:<decimal>` (WME time tag). Tokens never
+    /// contain tabs or newlines, so tab- or line-delimited framings can
+    /// embed them without further quoting.
+    pub fn push_wire(&self, out: &mut String) {
+        match self {
+            Value::Nil => out.push('N'),
+            Value::Int(i) => {
+                out.push_str("I:");
+                out.push_str(&i.to_string());
+            }
+            Value::Float(f) => {
+                out.push_str("F:");
+                out.push_str(&format!("{:016x}", f.to_bits()));
+            }
+            Value::Sym(s) => {
+                out.push_str("S:");
+                for c in s.as_str().chars() {
+                    match c {
+                        '\t' => out.push_str("\\t"),
+                        '\n' => out.push_str("\\n"),
+                        '\\' => out.push_str("\\\\"),
+                        other => out.push(other),
+                    }
+                }
+            }
+            Value::Tag(t) => {
+                out.push_str("T:");
+                out.push_str(&t.raw().to_string());
+            }
+        }
+    }
+
+    /// The wire token as an owned string (see [`Value::push_wire`]).
+    pub fn to_wire(&self) -> String {
+        let mut s = String::new();
+        self.push_wire(&mut s);
+        s
+    }
+
+    /// Parse a wire token produced by [`Value::push_wire`].
+    pub fn from_wire(tok: &str) -> Result<Value, String> {
+        if tok == "N" {
+            return Ok(Value::Nil);
+        }
+        let (kind, body) = tok
+            .split_once(':')
+            .ok_or_else(|| format!("bad value token `{}`", tok))?;
+        match kind {
+            "I" => body
+                .parse()
+                .map(Value::Int)
+                .map_err(|_| format!("bad int `{}`", body)),
+            "F" => u64::from_str_radix(body, 16)
+                .map(|bits| Value::Float(f64::from_bits(bits)))
+                .map_err(|_| format!("bad float bits `{}`", body)),
+            "T" => body
+                .parse()
+                .map(|raw| Value::Tag(TimeTag::new(raw)))
+                .map_err(|_| format!("bad tag `{}`", body)),
+            "S" => {
+                let mut s = String::new();
+                let mut chars = body.chars();
+                while let Some(c) = chars.next() {
+                    if c == '\\' {
+                        match chars.next() {
+                            Some('t') => s.push('\t'),
+                            Some('n') => s.push('\n'),
+                            Some('\\') => s.push('\\'),
+                            other => return Err(format!("bad escape `\\{:?}`", other)),
+                        }
+                    } else {
+                        s.push(c);
+                    }
+                }
+                Ok(Value::sym(&s))
+            }
+            other => Err(format!("unknown value kind `{}`", other)),
+        }
+    }
+
     /// Rank for cross-kind ordering: Nil < numbers < symbols < tags.
     fn kind_rank(&self) -> u8 {
         match self {
@@ -301,6 +387,32 @@ mod tests {
         assert_eq!(Value::Float(2.0).to_string(), "2.0");
         assert_eq!(Value::sym("clerk").to_string(), "clerk");
         assert_eq!(Value::Tag(TimeTag::new(7)).to_string(), "@7");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for v in [
+            Value::Nil,
+            Value::Int(-42),
+            Value::Float(0.1),
+            Value::Float(-0.0),
+            Value::sym("plain"),
+            Value::sym("tab\there\nand\\slash"),
+            Value::Tag(TimeTag::new(9)),
+        ] {
+            let tok = v.to_wire();
+            assert!(!tok.contains('\t') && !tok.contains('\n'), "{:?}", tok);
+            let back = Value::from_wire(&tok).unwrap();
+            // Bit-exact for floats, plain equality otherwise.
+            if let (Value::Float(a), Value::Float(b)) = (v, back) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            } else {
+                assert_eq!(v, back);
+            }
+        }
+        assert!(Value::from_wire("Q:1").is_err());
+        assert!(Value::from_wire("I:xyz").is_err());
+        assert!(Value::from_wire("S:bad\\q").is_err());
     }
 
     #[test]

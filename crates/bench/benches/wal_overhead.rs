@@ -1,0 +1,115 @@
+//! WAL-overhead bench: what durability costs per recognise–act cycle.
+//!
+//! The workload is a tight counting loop — every firing is one `modify`
+//! (retract + assert in the log) plus a cycle marker, so each cycle writes
+//! three WAL records. Three configurations:
+//!
+//! - `no_wal`        — the in-memory baseline;
+//! - `wal`           — group_commit = 1, one fsync per commit point;
+//! - `wal_group_8`   — group_commit = 8, fsyncs amortised across cycles.
+//!
+//! Besides the Criterion measurements, a single calibration pass writes
+//! `BENCH_wal.json` (median-of-5 wall micros per configuration, plus the
+//! record/fsync counts from `WalStats`) so CI can archive the numbers
+//! alongside the other `BENCH_*.json` artifacts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_base::Value;
+use sorete_core::{MatcherKind, ProductionSystem, StopReason};
+use sorete_reldb::WalOptions;
+
+const PROGRAM: &str = "(literalize c n)
+(literalize lim max)
+(p count (c ^n <n>) (lim ^max > <n>) (modify 1 ^n (<n> + 1)))";
+
+const FIRINGS: i64 = 200;
+
+/// One full run; `wal == None` is the in-memory baseline. Returns the
+/// engine so the calibration pass can scrape `WalStats`.
+fn run(group_commit: u32, wal: Option<&std::path::Path>) -> ProductionSystem {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(PROGRAM).unwrap();
+    if let Some(path) = wal {
+        let _ = std::fs::remove_file(path);
+        ps.attach_wal(path, WalOptions { group_commit }).unwrap();
+    }
+    ps.make_str("c", &[("n", Value::Int(0))]).unwrap();
+    ps.make_str("lim", &[("max", Value::Int(FIRINGS))]).unwrap();
+    let outcome = ps.run(None);
+    assert!(matches!(outcome.reason, StopReason::Quiescence));
+    assert_eq!(outcome.fired, FIRINGS as u64);
+    ps
+}
+
+fn wal_file(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "sorete-wal-bench-{}-{}.wal",
+        tag,
+        std::process::id()
+    ))
+}
+
+fn bench(c: &mut Criterion) {
+    write_calibration_json();
+    let mut group = c.benchmark_group("wal_overhead");
+    group.bench_with_input(BenchmarkId::new("no_wal", FIRINGS), &(), |b, _| {
+        b.iter(|| run(0, None))
+    });
+    let path = wal_file("gc1");
+    group.bench_with_input(BenchmarkId::new("wal", FIRINGS), &(), |b, _| {
+        b.iter(|| run(1, Some(&path)))
+    });
+    let path = wal_file("gc8");
+    group.bench_with_input(BenchmarkId::new("wal_group_8", FIRINGS), &(), |b, _| {
+        b.iter(|| run(8, Some(&path)))
+    });
+    group.finish();
+    for tag in ["gc1", "gc8"] {
+        let _ = std::fs::remove_file(wal_file(tag));
+    }
+}
+
+/// Median-of-5 wall-clock micros per configuration, written to
+/// `BENCH_wal.json` in the same style as the `report` binary's artifacts.
+fn write_calibration_json() {
+    let micros = |group_commit: u32, path: Option<&std::path::Path>| -> (u64, u64, u64) {
+        let mut samples = Vec::new();
+        let mut records = 0u64;
+        let mut fsyncs = 0u64;
+        for _ in 0..5 {
+            let t0 = std::time::Instant::now();
+            let ps = run(group_commit, path);
+            samples.push(t0.elapsed().as_micros() as u64);
+            if let Some(stats) = ps.wal_stats() {
+                records = stats.records;
+                fsyncs = stats.fsyncs;
+            }
+        }
+        samples.sort_unstable();
+        (samples[2], records, fsyncs)
+    };
+    let path = wal_file("calib");
+    let (base, _, _) = micros(0, None);
+    let (gc1, rec1, fs1) = micros(1, Some(&path));
+    let (gc8, rec8, fs8) = micros(8, Some(&path));
+    let _ = std::fs::remove_file(&path);
+    let json = format!(
+        "[\n  {{\"config\": \"no_wal\", \"firings\": {f}, \"micros\": {base}, \
+         \"records\": 0, \"fsyncs\": 0}},\n  {{\"config\": \"wal\", \
+         \"firings\": {f}, \"micros\": {gc1}, \"records\": {rec1}, \
+         \"fsyncs\": {fs1}}},\n  {{\"config\": \"wal_group_8\", \
+         \"firings\": {f}, \"micros\": {gc8}, \"records\": {rec8}, \
+         \"fsyncs\": {fs8}}}\n]\n",
+        f = FIRINGS
+    );
+    // Benches run with the package dir as cwd; anchor the artifact at the
+    // workspace root next to the `report` binary's BENCH_*.json files.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("(wrote BENCH_wal.json)"),
+        Err(e) => println!("(could not write BENCH_wal.json: {})", e),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -173,6 +173,24 @@ impl ConflictSet {
         }
     }
 
+    /// Keys of entries that are currently refracted (fired at or above
+    /// their current version). This is exactly the refraction state a
+    /// checkpoint must carry: keys absent from the set need no memory,
+    /// and dead `fired` entries for keys no longer in the set are
+    /// irrelevant by construction.
+    pub fn refracted_keys(&self) -> Vec<&InstKey> {
+        self.items
+            .values()
+            .filter(|e| self.is_refracted(&e.item))
+            .map(|e| &e.item.key)
+            .collect()
+    }
+
+    /// Current content version of the entry under `key`, if present.
+    pub fn version_of(&self, key: &InstKey) -> Option<u64> {
+        self.items.get(key).map(|e| e.item.version)
+    }
+
     /// Count of unrefracted (fireable) entries.
     pub fn fireable(&self) -> usize {
         self.items

@@ -2,6 +2,7 @@
 //! match algorithm.
 
 use crate::conflict::{ConflictSet, Strategy};
+use crate::durable::{Checkpoint, CycleMarker, KeySpec};
 use crate::error::CoreError;
 use crate::rhs::{self, RhsCtx, RhsHost};
 use crate::stats::RunStats;
@@ -14,9 +15,12 @@ use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::matcher::Matcher;
 use sorete_lang::{analyze_program, parse_program};
 use sorete_naive::NaiveMatcher;
+use sorete_reldb::{decode_wme_op, encode_wme_op, IoFaultPlan, Wal, WalOptions, WalRecord};
+use sorete_reldb::{WalStats, WmeOp};
 use sorete_rete::ReteMatcher;
 use sorete_treat::TreatMatcher;
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -315,6 +319,13 @@ struct MetricIds {
     aggregate_updates: MetricId,
     index_probes: MetricId,
     index_skipped_tests: MetricId,
+    wal_records: MetricId,
+    wal_bytes: MetricId,
+    wal_commits: MetricId,
+    wal_fsyncs: MetricId,
+    wal_recovered_records: MetricId,
+    wal_discarded_records: MetricId,
+    wal_truncated_bytes: MetricId,
     conflict_set_size: MetricId,
     wm_size: MetricId,
     fire_nanos: MetricId,
@@ -333,6 +344,44 @@ struct EngineMetrics {
     wm_asserts: u64,
     /// WME retractions (engine API + RHS `remove` + `modify` retracts).
     wm_retracts: u64,
+}
+
+/// Engine-attached write-ahead log: the `reldb` WAL plus the op buffer of
+/// the in-flight firing. Ops accumulate while a RHS runs and hit the log
+/// only when the firing commits (followed by a cycle marker); a failed
+/// firing's buffer is dropped, so the log never contains rolled-back
+/// effects.
+struct EngineWal {
+    wal: Wal,
+    pending: Vec<WmeOp>,
+}
+
+/// What [`ProductionSystem::attach_wal`] replayed from an existing log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalReplayReport {
+    /// Committed WME operations re-applied to working memory.
+    pub replayed_ops: u64,
+    /// Cycle markers applied (firings the recovered run already did).
+    pub replayed_cycles: u64,
+    /// Plain transaction commits applied (API-level WM changes).
+    pub replayed_commits: u64,
+    /// Intact-but-uncommitted tail records discarded by recovery.
+    pub discarded_records: u64,
+    /// Tail bytes truncated by recovery (torn/short/uncommitted frames).
+    pub truncated_bytes: u64,
+}
+
+/// What [`ProductionSystem::resume`] restored from a checkpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// WMEs replayed into working memory and the match network.
+    pub wmes: usize,
+    /// Refracted instantiations re-armed in the rebuilt conflict set.
+    pub refracted: usize,
+    /// Cycle counter after the resume.
+    pub cycle: u64,
+    /// Algorithm name of the engine that wrote the checkpoint.
+    pub matcher_was: String,
 }
 
 /// A complete forward-chaining production system: working memory, match
@@ -387,6 +436,9 @@ pub struct ProductionSystem {
     /// Metrics registry + pre-registered ids; `None` until
     /// [`Self::enable_metrics`] — the disabled path is a null check.
     metrics: Option<Box<EngineMetrics>>,
+    /// Write-ahead log; `None` until [`Self::attach_wal`] — the detached
+    /// path is a null check.
+    dur: Option<Box<EngineWal>>,
 }
 
 impl ProductionSystem {
@@ -420,6 +472,7 @@ impl ProductionSystem {
             recording: false,
             fault: None,
             metrics: None,
+            dur: None,
         }
     }
 
@@ -581,6 +634,25 @@ impl ProductionSystem {
                     "sorete_match_index_skipped_tests_total",
                     "Join tests answered by hash indexes instead of evaluation",
                 ),
+                wal_records: r.counter("sorete_wal_records_total", "WAL records appended"),
+                wal_bytes: r.counter("sorete_wal_bytes_total", "WAL bytes appended"),
+                wal_commits: r.counter(
+                    "sorete_wal_commits_total",
+                    "WAL commit points (tx commits + cycle markers)",
+                ),
+                wal_fsyncs: r.counter("sorete_wal_fsyncs_total", "WAL fsyncs issued"),
+                wal_recovered_records: r.counter(
+                    "sorete_wal_recovered_records_total",
+                    "Committed WAL records replayed at attach",
+                ),
+                wal_discarded_records: r.counter(
+                    "sorete_wal_discarded_records_total",
+                    "Intact-but-uncommitted WAL tail records discarded at attach",
+                ),
+                wal_truncated_bytes: r.counter(
+                    "sorete_wal_truncated_bytes_total",
+                    "WAL tail bytes truncated by recovery at attach",
+                ),
                 conflict_set_size: r.gauge(
                     "sorete_conflict_set_size",
                     "Conflict-set entries (fired included)",
@@ -667,6 +739,11 @@ impl ProductionSystem {
         let ids = &m.ids;
         let rs = &self.stats;
         let ms = self.matcher.stats();
+        let ws = self
+            .dur
+            .as_ref()
+            .map(|d| *d.wal.stats())
+            .unwrap_or_default();
         let mem = self.matcher.memory_report();
         let extra = self.matcher.metric_counters();
         let cs_len = self.cs.len() as u64;
@@ -693,6 +770,13 @@ impl ProductionSystem {
             r.set(ids.aggregate_updates, ms.aggregate_updates);
             r.set(ids.index_probes, ms.index_probes);
             r.set(ids.index_skipped_tests, ms.index_skipped_tests);
+            r.set(ids.wal_records, ws.records);
+            r.set(ids.wal_bytes, ws.bytes);
+            r.set(ids.wal_commits, ws.commits);
+            r.set(ids.wal_fsyncs, ws.fsyncs);
+            r.set(ids.wal_recovered_records, ws.recovered_records);
+            r.set(ids.wal_discarded_records, ws.discarded_records);
+            r.set(ids.wal_truncated_bytes, ws.truncated_bytes);
             r.set(ids.conflict_set_size, cs_len);
             r.set(ids.wm_size, wm_len);
             for region in &mem.regions {
@@ -820,6 +904,9 @@ impl ProductionSystem {
         slots: Vec<(Symbol, Value)>,
     ) -> Result<TimeTag, CoreError> {
         let wme = self.wm.make(class, slots)?;
+        if let Some(dur) = &mut self.dur {
+            dur.pending.push(WmeOp::Assert(wme.clone()));
+        }
         let cycle = self.cycle;
         self.tracer.emit(|| TraceEvent::WmeAssert {
             cycle,
@@ -833,12 +920,16 @@ impl ProductionSystem {
         self.matcher.insert_wme(&wme);
         self.sync();
         self.note_match_time(t);
+        self.wal_commit_if_api()?;
         Ok(wme.tag)
     }
 
     /// Retract a WME.
     pub fn retract_wme(&mut self, tag: TimeTag) -> Result<(), CoreError> {
         let wme = self.wm.remove(tag)?;
+        if let Some(dur) = &mut self.dur {
+            dur.pending.push(WmeOp::Retract(tag));
+        }
         let cycle = self.cycle;
         self.tracer.emit(|| TraceEvent::WmeRetract { cycle, tag });
         if let Some(m) = &mut self.metrics {
@@ -848,6 +939,7 @@ impl ProductionSystem {
         self.matcher.remove_wme(&wme);
         self.sync();
         self.note_match_time(t);
+        self.wal_commit_if_api()?;
         Ok(())
     }
 
@@ -858,6 +950,9 @@ impl ProductionSystem {
         updates: &[(Symbol, Value)],
     ) -> Result<TimeTag, CoreError> {
         let old = self.wm.remove(tag)?;
+        if let Some(dur) = &mut self.dur {
+            dur.pending.push(WmeOp::Retract(tag));
+        }
         let cycle = self.cycle;
         self.tracer.emit(|| TraceEvent::WmeRetract { cycle, tag });
         if let Some(m) = &mut self.metrics {
@@ -877,6 +972,9 @@ impl ProductionSystem {
             }
         }
         let wme = self.wm.make(class, slots)?;
+        if let Some(dur) = &mut self.dur {
+            dur.pending.push(WmeOp::Assert(wme.clone()));
+        }
         self.tracer.emit(|| TraceEvent::WmeAssert {
             cycle,
             tag: wme.tag,
@@ -889,7 +987,319 @@ impl ProductionSystem {
         self.matcher.insert_wme(&wme);
         self.sync();
         self.note_match_time(t);
+        self.wal_commit_if_api()?;
         Ok(wme.tag)
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: write-ahead log + checkpoints.
+
+    /// Attach a write-ahead log. If `path` already holds a log (a crashed
+    /// run), its committed prefix is replayed into the engine first —
+    /// WME ops re-applied tag-for-tag, cycle markers restoring the cycle
+    /// counter, stats, refraction, and the halt flag — and any torn or
+    /// uncommitted tail is truncated. From then on every committed WM
+    /// change is logged: API-level changes under a transaction commit,
+    /// firings as their op batch plus one cycle marker.
+    ///
+    /// Call after [`Self::load_program`] (and after [`Self::resume`] when
+    /// recovering a checkpointed run, so the log's records land on top of
+    /// the checkpoint state).
+    pub fn attach_wal(
+        &mut self,
+        path: &Path,
+        opts: WalOptions,
+    ) -> Result<WalReplayReport, CoreError> {
+        if self.dur.is_some() {
+            return Err(CoreError::Durability("a WAL is already attached".into()));
+        }
+        let (wal, records) = Wal::open(path, opts)?;
+        let mut report = WalReplayReport::default();
+        let mut pending: Vec<WmeOp> = Vec::new();
+        for rec in records {
+            match rec {
+                WalRecord::Op(payload) => pending.push(decode_wme_op(&payload)?),
+                WalRecord::Commit => {
+                    report.replayed_commits += 1;
+                    for op in pending.drain(..) {
+                        self.replay_op(op)?;
+                        report.replayed_ops += 1;
+                    }
+                }
+                WalRecord::Cycle(payload) => {
+                    let marker = CycleMarker::decode(&payload)?;
+                    // Refraction is re-armed *before* the cycle's ops, in
+                    // the order the live run did it: `mark_fired` precedes
+                    // the RHS, and an RHS that retracts the fired
+                    // instantiation's own WMEs must clear it again.
+                    if let Some(&id) = self.rule_ids.get(&marker.rule) {
+                        self.cs.mark_fired(&marker.key.into_key(id), marker.version);
+                    }
+                    for op in pending.drain(..) {
+                        self.replay_op(op)?;
+                        report.replayed_ops += 1;
+                    }
+                    self.cycle = marker.cycle;
+                    self.halted = marker.halted;
+                    let pr = self.stats.per_rule.entry(marker.rule).or_default();
+                    pr.firings = marker.rule_firings;
+                    pr.actions = marker.rule_actions;
+                    let per_rule = std::mem::take(&mut self.stats.per_rule);
+                    self.stats = RunStats {
+                        per_rule,
+                        ..marker.totals
+                    };
+                    report.replayed_cycles += 1;
+                }
+            }
+        }
+        // `Wal::open` only returns the committed prefix.
+        debug_assert!(pending.is_empty(), "uncommitted records survived recovery");
+        let stats = *wal.stats();
+        report.discarded_records = stats.discarded_records;
+        report.truncated_bytes = stats.truncated_bytes;
+        self.dur = Some(Box::new(EngineWal {
+            wal,
+            pending: Vec::new(),
+        }));
+        Ok(report)
+    }
+
+    /// Is a write-ahead log attached?
+    pub fn wal_attached(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    /// The attached WAL's counters ([`None`] when detached).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.dur.as_ref().map(|d| *d.wal.stats())
+    }
+
+    /// Inject a storage fault into the attached WAL (see
+    /// [`sorete_reldb::IoFaultPlan`]). Returns `false` when no WAL is
+    /// attached.
+    pub fn inject_wal_fault(&mut self, plan: IoFaultPlan) -> bool {
+        match &mut self.dur {
+            Some(d) => {
+                d.wal.inject_fault(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fsync the attached WAL (a no-op when detached). Useful before
+    /// handing the file to another process.
+    pub fn sync_wal(&mut self) -> Result<(), CoreError> {
+        if let Some(d) = &mut self.dur {
+            d.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Re-apply one recovered WME op. Bypasses the logging hooks (recovery
+    /// must not re-log what it reads) and the trace stream (a recovered
+    /// run's trace starts at recovery).
+    fn replay_op(&mut self, op: WmeOp) -> Result<(), CoreError> {
+        match op {
+            WmeOp::Assert(wme) => {
+                self.wm.replay(wme.clone())?;
+                if let Some(m) = &mut self.metrics {
+                    m.wm_asserts += 1;
+                }
+                self.matcher.insert_wme(&wme);
+                self.sync();
+            }
+            WmeOp::Retract(tag) => {
+                let wme = self.wm.remove(tag)?;
+                if let Some(m) = &mut self.metrics {
+                    m.wm_retracts += 1;
+                }
+                self.matcher.remove_wme(&wme);
+                self.sync();
+            }
+            WmeOp::Update(tag, _) => {
+                return Err(CoreError::Durability(format!(
+                    "unexpected update record for t{} (engine WALs log retract + assert)",
+                    tag.raw()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the pending op buffer under a transaction commit marker —
+    /// API-level WM changes, which commit individually. No-op inside a
+    /// firing (the ops ride to [`Self::step`]'s cycle marker) or when no
+    /// WAL is attached.
+    fn wal_commit_if_api(&mut self) -> Result<(), CoreError> {
+        if self.firing_rule.is_some() {
+            return Ok(());
+        }
+        let Some(dur) = &mut self.dur else {
+            return Ok(());
+        };
+        if dur.pending.is_empty() {
+            return Ok(());
+        }
+        for op in std::mem::take(&mut dur.pending) {
+            dur.wal.append_op(&encode_wme_op(&op))?;
+        }
+        dur.wal.append_commit()?;
+        Ok(())
+    }
+
+    /// Commit a successful firing to the log: its op batch followed by a
+    /// cycle marker carrying the bookkeeping recovery needs. The marker
+    /// doubles as the commit point (group commit applies).
+    fn wal_commit_cycle(
+        &mut self,
+        rule: Symbol,
+        cycle: u64,
+        key: &InstKey,
+        version: u64,
+    ) -> Result<(), CoreError> {
+        let Some(dur) = &mut self.dur else {
+            return Ok(());
+        };
+        let pr = self.stats.per_rule.get(&rule).copied().unwrap_or_default();
+        let marker = CycleMarker {
+            cycle,
+            halted: self.halted,
+            totals: RunStats {
+                per_rule: Default::default(),
+                ..self.stats.clone()
+            },
+            rule,
+            rule_firings: pr.firings,
+            rule_actions: pr.actions,
+            version,
+            key: KeySpec::of(key),
+        };
+        for op in std::mem::take(&mut dur.pending) {
+            dur.wal.append_op(&encode_wme_op(&op))?;
+        }
+        dur.wal.append_cycle(&marker.encode())?;
+        Ok(())
+    }
+
+    /// Snapshot the engine's recoverable state at the current cycle
+    /// boundary: surviving WMEs (tag order), the tag allocator, the cycle
+    /// counter, run statistics, the halt flag, and the refraction memory
+    /// as matcher-independent keys. Must not be called mid-firing.
+    pub fn checkpoint(&self) -> Checkpoint {
+        debug_assert!(self.firing_rule.is_none(), "checkpoint mid-firing");
+        let mut fired: Vec<(Symbol, String, KeySpec)> = self
+            .cs
+            .refracted_keys()
+            .into_iter()
+            .map(|k| (self.rules[k.rule().index()].name, k.repr(), KeySpec::of(k)))
+            .collect();
+        fired.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()).then_with(|| a.1.cmp(&b.1)));
+        Checkpoint {
+            matcher: self.matcher.algorithm_name().to_string(),
+            cycle: self.cycle,
+            tag_mark: self.wm.tag_mark(),
+            halted: self.halted,
+            totals: RunStats {
+                per_rule: Default::default(),
+                ..self.stats.clone()
+            },
+            rules: self.stats.per_rule_sorted(),
+            wmes: self.wm.dump().into_iter().cloned().collect(),
+            fired: fired.into_iter().map(|(n, _, s)| (n, s)).collect(),
+        }
+    }
+
+    /// The checkpoint rendered to its text format.
+    pub fn checkpoint_string(&self) -> String {
+        self.checkpoint().render()
+    }
+
+    /// Write a checkpoint file, then rotate the attached WAL (if any):
+    /// the checkpoint becomes the new recovery base and the log restarts
+    /// empty. A crash between the two steps is detected at recovery —
+    /// replaying the stale full log over the new checkpoint collides on
+    /// already-live tags and errors rather than silently double-applying.
+    pub fn checkpoint_to(&mut self, path: &Path) -> Result<(), CoreError> {
+        let text = self.checkpoint_string();
+        std::fs::write(path, text).map_err(|e| {
+            CoreError::Durability(format!("write checkpoint {}: {}", path.display(), e))
+        })?;
+        if let Some(dur) = &mut self.dur {
+            dur.wal.sync()?;
+            dur.wal.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Restore a checkpoint into a *fresh* engine (program loaded, working
+    /// memory empty, cycle 0). The match network — whichever algorithm
+    /// backs this engine, not necessarily the one that wrote the
+    /// checkpoint — is rebuilt by replaying the WMEs, and refraction is
+    /// re-armed at each rebuilt entry's current version, so the conflict
+    /// set offers exactly the instantiations the checkpointed run had
+    /// left.
+    pub fn resume(&mut self, ck: Checkpoint) -> Result<ResumeReport, CoreError> {
+        if !self.wm.is_empty() || self.cycle != 0 {
+            return Err(CoreError::Durability(
+                "resume requires a fresh engine (empty working memory, cycle 0)".into(),
+            ));
+        }
+        if self.dur.is_some() {
+            return Err(CoreError::Durability(
+                "resume before attaching a WAL, so the log replays on top of the checkpoint".into(),
+            ));
+        }
+        for w in &ck.wmes {
+            self.wm.replay(w.clone())?;
+        }
+        self.wm.raise_tag_mark(ck.tag_mark);
+        self.matcher.rebuild_from(&ck.wmes);
+        self.sync();
+        let mut refracted = 0;
+        for (rule, spec) in &ck.fired {
+            let Some(&id) = self.rule_ids.get(rule) else {
+                continue;
+            };
+            let key = spec.into_key(id);
+            // The rebuilt network renumbers SOI versions (only surviving
+            // WMEs replay), so refraction is pinned to the *rebuilt*
+            // entry's version, not the version the original run saw.
+            if let Some(version) = self.cs.version_of(&key) {
+                self.cs.mark_fired(&key, version);
+                refracted += 1;
+            }
+        }
+        self.cycle = ck.cycle;
+        self.halted = ck.halted;
+        let mut per_rule = FxHashMap::default();
+        for (name, rs) in &ck.rules {
+            per_rule.insert(*name, *rs);
+        }
+        self.stats = RunStats {
+            per_rule,
+            ..ck.totals.clone()
+        };
+        Ok(ResumeReport {
+            wmes: ck.wmes.len(),
+            refracted,
+            cycle: ck.cycle,
+            matcher_was: ck.matcher.clone(),
+        })
+    }
+
+    /// [`Self::resume`] from checkpoint text.
+    pub fn resume_from_str(&mut self, text: &str) -> Result<ResumeReport, CoreError> {
+        self.resume(Checkpoint::parse(text)?)
+    }
+
+    /// [`Self::resume`] from a checkpoint file.
+    pub fn resume_from_file(&mut self, path: &Path) -> Result<ResumeReport, CoreError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            CoreError::Durability(format!("read checkpoint {}: {}", path.display(), e))
+        })?;
+        self.resume_from_str(&text)
     }
 
     fn sync(&mut self) {
@@ -1037,6 +1447,14 @@ impl ProductionSystem {
             let id = m.ids.rhs_nanos;
             m.handle.with(|r| r.observe(id, ns));
         }
+        // A successful RHS still has to reach the log before the firing
+        // commits: a WAL failure here rolls the firing back exactly like
+        // an RHS error, so in-memory state never runs ahead of durable
+        // state.
+        let result = result.and_then(|()| {
+            self.sync();
+            self.wal_commit_cycle(rule.name, cycle, &item.key, item.version)
+        });
         match result {
             Ok(()) => {
                 if can_rollback {
@@ -1053,6 +1471,12 @@ impl ProductionSystem {
                 Ok(Some(rule.name))
             }
             Err(e) => {
+                // The firing aborts: its buffered WAL ops must never be
+                // committed (under AbortRun its in-memory effects remain,
+                // but recovery rewinds to the last committed cycle).
+                if let Some(dur) = &mut self.dur {
+                    dur.pending.clear();
+                }
                 if can_rollback {
                     self.rollback_firing(rule.name, &e, tag_mark, output_mark, halted_before);
                     if self.recovery == RecoveryPolicy::SkipFiring {
@@ -1258,6 +1682,11 @@ impl ProductionSystem {
     /// Engine counters.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Recognise–act cycles completed so far (rule firings committed).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
     }
 
     /// Matcher counters.

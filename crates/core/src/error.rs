@@ -23,6 +23,9 @@ pub enum CoreError {
         /// Index of the failed primitive action, counted from run start.
         action: u64,
     },
+    /// Durability-layer failure: write-ahead log IO, corrupt checkpoint
+    /// text, or an inconsistent replay.
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +39,7 @@ impl fmt::Display for CoreError {
             CoreError::FaultInjected { action } => {
                 write!(f, "injected fault at action {}", action)
             }
+            CoreError::Durability(m) => write!(f, "durability error: {}", m),
         }
     }
 }
@@ -60,6 +64,11 @@ impl From<EvalError> for CoreError {
 impl From<BaseError> for CoreError {
     fn from(e: BaseError) -> Self {
         CoreError::Base(e)
+    }
+}
+impl From<sorete_reldb::DbError> for CoreError {
+    fn from(e: sorete_reldb::DbError) -> Self {
+        CoreError::Durability(e.to_string())
     }
 }
 

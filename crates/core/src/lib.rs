@@ -39,6 +39,7 @@
 //! ```
 
 pub mod conflict;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -47,9 +48,10 @@ pub mod stats;
 pub mod wm;
 
 pub use conflict::{ConflictSet, Strategy};
+pub use durable::{Checkpoint, CycleMarker, KeySpec};
 pub use engine::{
     FaultInjector, FaultPlan, GuardViolation, MatcherKind, ProductionSystem, RecoveryPolicy,
-    RunGuards, RunOutcome, StopReason,
+    ResumeReport, RunGuards, RunOutcome, StopReason, WalReplayReport,
 };
 pub use error::CoreError;
 pub use stats::{RuleStats, RunStats};

@@ -14,7 +14,7 @@ pub struct RuleStats {
 }
 
 /// Counters for a whole run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
     /// Rule firings (recognise–act cycles that executed a RHS).
     pub firings: u64,

@@ -80,6 +80,30 @@ impl WorkingMemory {
         self.wmes.insert(wme.tag, wme);
     }
 
+    /// Re-insert a WME under an **explicit** time tag, raising the tag
+    /// allocator past it. This is the durability primitive: WAL recovery
+    /// and checkpoint resume replay historic asserts whose tags were
+    /// assigned by the original run, and later `make`s must continue
+    /// after the highest replayed tag.
+    pub fn replay(&mut self, wme: Wme) -> Result<()> {
+        if self.wmes.contains_key(&wme.tag) {
+            return Err(BaseError::Message(format!(
+                "replayed assert collides with live time tag {}",
+                wme.tag.raw()
+            )));
+        }
+        self.next_tag = self.next_tag.max(wme.tag.raw());
+        self.revision += 1;
+        self.wmes.insert(wme.tag, wme);
+        Ok(())
+    }
+
+    /// Raise the tag allocator to at least `mark` (checkpoint resume:
+    /// tags of WMEs that died before the checkpoint must not be reused).
+    pub fn raise_tag_mark(&mut self, mark: u64) {
+        self.next_tag = self.next_tag.max(mark);
+    }
+
     /// Content revision counter: changes iff WM contents changed.
     pub fn revision(&self) -> u64 {
         self.revision

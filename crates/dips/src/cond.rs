@@ -27,7 +27,10 @@ use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, TraceEvent, Tracer, Val
 use sorete_lang::analyze::{analyze_program, AnalyzedCe, AnalyzedRule};
 use sorete_lang::ast::Pred;
 use sorete_lang::parser::parse_program;
-use sorete_reldb::{Database, Schema};
+use sorete_reldb::{
+    decode_wme_op, encode_wme_op, Database, Schema, Wal, WalOptions, WalRecord, WalStats, WmeOp,
+};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Matching mode.
@@ -65,6 +68,30 @@ struct CondMeta {
     vars: Vec<Symbol>,
 }
 
+/// What a DIPS WAL recovery replayed (mirrors the core engine's
+/// `WalReplayReport`, minus the refraction bookkeeping DIPS has no
+/// analogue for).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DipsReplayReport {
+    /// Committed WM operations re-applied.
+    pub replayed_ops: usize,
+    /// Parallel-cycle boundary markers seen.
+    pub replayed_cycles: usize,
+    /// API-level commit markers seen.
+    pub replayed_commits: usize,
+    /// Records after the last commit point, discarded.
+    pub discarded_records: u64,
+    /// Bytes of torn/short tail truncated from the log.
+    pub truncated_bytes: u64,
+}
+
+/// The attached log plus the op buffer for the cycle in flight.
+struct DipsWal {
+    wal: Wal,
+    pending: Vec<WmeOp>,
+    in_cycle: bool,
+}
+
 /// The DIPS engine: rules compiled to COND tables over a relational
 /// database.
 pub struct DipsEngine {
@@ -80,6 +107,9 @@ pub struct DipsEngine {
     width: usize,
     insert_order: Vec<TimeTag>,
     tracer: Tracer,
+    wal: Option<Box<DipsWal>>,
+    /// Parallel cycles committed (stamps the WAL cycle markers).
+    cycles: u64,
 }
 
 impl DipsEngine {
@@ -144,6 +174,8 @@ impl DipsEngine {
             width,
             insert_order: Vec::new(),
             tracer: Tracer::default(),
+            wal: None,
+            cycles: 0,
         };
         engine.seed()?;
         Ok(engine)
@@ -232,7 +264,164 @@ impl DipsEngine {
             wme: wme.to_string(),
         });
         self.propagate(&wme)?;
+        self.wal_log(WmeOp::Assert(wme))?;
         Ok(tag)
+    }
+
+    /// Attach a write-ahead log, first re-applying whatever committed
+    /// state it holds (the COND tables are re-derived afterwards). Must
+    /// run before any WMEs are inserted: recovered asserts carry their
+    /// original time tags.
+    pub fn attach_wal(
+        &mut self,
+        path: &Path,
+        opts: WalOptions,
+    ) -> Result<DipsReplayReport, DipsError> {
+        if self.wal.is_some() {
+            return Err(DipsError::Db("a WAL is already attached".into()));
+        }
+        let (wal, records) = Wal::open(path, opts).map_err(|e| DipsError::Db(e.to_string()))?;
+        let mut report = DipsReplayReport::default();
+        let mut pending: Vec<WmeOp> = Vec::new();
+        for rec in records {
+            match rec {
+                WalRecord::Op(bytes) => {
+                    pending.push(decode_wme_op(&bytes).map_err(|e| DipsError::Db(e.to_string()))?);
+                }
+                WalRecord::Commit => {
+                    report.replayed_ops += pending.len();
+                    for op in pending.drain(..) {
+                        self.replay_op(op)?;
+                    }
+                    report.replayed_commits += 1;
+                }
+                WalRecord::Cycle(_) => {
+                    report.replayed_ops += pending.len();
+                    for op in pending.drain(..) {
+                        self.replay_op(op)?;
+                    }
+                    report.replayed_cycles += 1;
+                    self.cycles += 1;
+                }
+            }
+        }
+        let st = wal.stats();
+        report.discarded_records = st.discarded_records;
+        report.truncated_bytes = st.truncated_bytes;
+        if report.replayed_ops > 0 {
+            self.rebuild()?;
+        }
+        self.wal = Some(Box::new(DipsWal {
+            wal,
+            pending: Vec::new(),
+            in_cycle: false,
+        }));
+        Ok(report)
+    }
+
+    /// Is a WAL attached?
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Counters of the attached WAL, if any.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|d| *d.wal.stats())
+    }
+
+    /// Arm a storage fault on the attached WAL (testing). Returns false
+    /// when no WAL is attached.
+    pub fn inject_wal_fault(&mut self, plan: sorete_reldb::IoFaultPlan) -> bool {
+        match &mut self.wal {
+            Some(d) => {
+                d.wal.inject_fault(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-apply one committed WM op during recovery. COND tables are NOT
+    /// maintained here — the caller re-derives them once via `rebuild`.
+    fn replay_op(&mut self, op: WmeOp) -> Result<(), DipsError> {
+        match op {
+            WmeOp::Assert(wme) => {
+                if self.wm.contains_key(&wme.tag) {
+                    return Err(DipsError::Db(format!(
+                        "replayed assert collides with live time tag {}",
+                        wme.tag.raw()
+                    )));
+                }
+                self.next_tag = self.next_tag.max(wme.tag.raw());
+                self.insert_order.push(wme.tag);
+                self.wm.insert(wme.tag, wme);
+            }
+            WmeOp::Retract(tag) => {
+                self.wm.remove(&tag);
+                self.insert_order.retain(|&t| t != tag);
+            }
+            WmeOp::Update(tag, slots) => {
+                if let Some(w) = self.wm.get(&tag) {
+                    let new = w.modified(tag, &slots);
+                    self.wm.insert(tag, new);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Log one WM effect. Outside a parallel cycle every op is its own
+    /// transaction (op + commit marker); inside, ops buffer until the
+    /// cycle's boundary marker commits them as one unit.
+    fn wal_log(&mut self, op: WmeOp) -> Result<(), DipsError> {
+        let Some(d) = &mut self.wal else {
+            return Ok(());
+        };
+        if d.in_cycle {
+            d.pending.push(op);
+            return Ok(());
+        }
+        d.wal
+            .append_op(&encode_wme_op(&op))
+            .and_then(|()| d.wal.append_commit())
+            .map_err(|e| DipsError::Db(e.to_string()))
+    }
+
+    /// Start buffering WM effects for a parallel cycle.
+    pub(crate) fn wal_begin_cycle(&mut self) {
+        if let Some(d) = &mut self.wal {
+            d.in_cycle = true;
+            d.pending.clear();
+        }
+    }
+
+    /// Commit the buffered cycle: flush its ops and a cycle-boundary
+    /// marker (the commit point). `summary` rides in the marker payload.
+    pub(crate) fn wal_commit_cycle(&mut self, summary: &str) -> Result<(), DipsError> {
+        self.cycles += 1;
+        let cycle = self.cycles;
+        let Some(d) = &mut self.wal else {
+            return Ok(());
+        };
+        d.in_cycle = false;
+        let flush = |d: &mut DipsWal| -> Result<(), sorete_reldb::DbError> {
+            for op in &d.pending {
+                d.wal.append_op(&encode_wme_op(op))?;
+            }
+            d.wal
+                .append_cycle(format!("dips\t{}\t{}", cycle, summary).as_bytes())
+        };
+        let res = flush(d);
+        d.pending.clear();
+        res.map_err(|e| DipsError::Db(e.to_string()))
+    }
+
+    /// Drop the buffered cycle (the cycle failed before committing).
+    pub(crate) fn wal_abort_cycle(&mut self) {
+        if let Some(d) = &mut self.wal {
+            d.in_cycle = false;
+            d.pending.clear();
+        }
     }
 
     /// Propagate one WME arrival (the §8.1 update step).
@@ -375,6 +564,7 @@ impl DipsEngine {
                 table.delete(id).map_err(|e| DipsError::Db(e.to_string()))?;
             }
         }
+        self.wal_log(WmeOp::Retract(tag))?;
         Ok(())
     }
 
@@ -517,6 +707,8 @@ impl DipsEngine {
     pub(crate) fn wm_remove(&mut self, tag: TimeTag) {
         self.wm.remove(&tag);
         self.insert_order.retain(|&t| t != tag);
+        // Inside a cycle this only buffers; the boundary marker commits.
+        let _ = self.wal_log(WmeOp::Retract(tag));
     }
 
     /// Direct in-place WM update used by the firing layer (DIPS updates
@@ -525,6 +717,7 @@ impl DipsEngine {
         if let Some(w) = self.wm.get(&tag) {
             let new = w.modified(tag, updates);
             self.wm.insert(tag, new);
+            let _ = self.wal_log(WmeOp::Update(tag, updates.to_vec()));
         }
     }
 }

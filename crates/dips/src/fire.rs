@@ -41,6 +41,21 @@ const WM_TABLE: &str = "WM";
 /// Run one parallel firing cycle. Returns the report; working memory and
 /// the COND tables reflect the committed transactions afterwards.
 pub fn parallel_cycle(engine: &mut DipsEngine) -> Result<CycleReport, DipsError> {
+    // WM effects of this cycle buffer in the WAL layer until the cycle
+    // commits as one unit under a boundary marker.
+    engine.wal_begin_cycle();
+    let report = parallel_cycle_inner(engine);
+    match &report {
+        Ok(r) => engine.wal_commit_cycle(&format!(
+            "attempted={} committed={} aborted={} writes={}",
+            r.attempted, r.committed, r.aborted, r.writes_committed
+        ))?,
+        Err(_) => engine.wal_abort_cycle(),
+    }
+    report
+}
+
+fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsError> {
     // 1. Snapshot the satisfied work under the current mode.
     let work: Vec<(usize, Vec<Vec<TimeTag>>)> = match engine.mode() {
         DipsMode::Tuple => engine

@@ -22,7 +22,7 @@ pub mod error;
 pub mod figure6;
 pub mod fire;
 
-pub use cond::{DipsEngine, DipsInst, DipsMode, DipsSoi};
+pub use cond::{DipsEngine, DipsInst, DipsMode, DipsReplayReport, DipsSoi};
 pub use error::DipsError;
 pub use figure6::{figure6, Figure6};
 pub use fire::{parallel_cycle, CycleReport};
@@ -210,6 +210,43 @@ mod tests {
         assert!(events
             .iter()
             .any(|ev| matches!(ev, TraceEvent::Fire { rule, .. } if rule.as_str() == "grab")));
+    }
+
+    #[test]
+    fn wal_recovery_restores_wm_and_sois() {
+        let dir = std::env::temp_dir().join("sorete-dips-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dips-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let prog = "(p sweep { [item ^s pending] <P> } (set-modify <P> ^s done)
+                      (make tally ^n 1))";
+
+        let mut live = DipsEngine::new(DipsMode::Set, prog).unwrap();
+        live.attach_wal(&path, sorete_reldb::WalOptions::default())
+            .unwrap();
+        for _ in 0..3 {
+            live.insert("item", &[("s", Value::sym("pending"))])
+                .unwrap();
+        }
+        let doomed = live.insert("item", &[("s", Value::sym("stale"))]).unwrap();
+        live.remove(doomed).unwrap();
+        let r = parallel_cycle(&mut live).unwrap();
+        assert_eq!(r.committed, 1);
+        let live_wm: Vec<String> = live.wmes().iter().map(|w| w.to_string()).collect();
+
+        // "Crash": a fresh engine recovers everything from the log alone —
+        // original tags, the in-place set-modify updates, the removal.
+        let mut back = DipsEngine::new(DipsMode::Set, prog).unwrap();
+        let report = back
+            .attach_wal(&path, sorete_reldb::WalOptions::default())
+            .unwrap();
+        assert_eq!(report.replayed_cycles, 1);
+        assert_eq!(report.replayed_commits, 5, "4 inserts + 1 remove");
+        assert_eq!(report.discarded_records, 0);
+        let back_wm: Vec<String> = back.wmes().iter().map(|w| w.to_string()).collect();
+        assert_eq!(back_wm, live_wm);
+        assert_eq!(back.sois().len(), live.sois().len());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

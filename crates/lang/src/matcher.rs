@@ -38,6 +38,17 @@ pub trait Matcher {
     /// in un-retracted deltas.
     fn materialize(&self, key: &InstKey) -> Option<ConflictItem>;
 
+    /// Bulk-load a working memory into the network, in slice order —
+    /// checkpoint resume rebuilding matcher state (γ-memories included)
+    /// from the surviving WMEs. The default feeds [`Self::insert_wme`]
+    /// one WME at a time; backends with a cheaper batch path may
+    /// override. Callers drain deltas once afterwards.
+    fn rebuild_from(&mut self, wmes: &[Wme]) {
+        for w in wmes {
+            self.insert_wme(w);
+        }
+    }
+
     /// Work counters.
     fn stats(&self) -> MatchStats;
 

@@ -29,6 +29,10 @@ pub enum DbError {
     },
     /// SQL parse error.
     Sql(String),
+    /// Persistence input (dump or WAL) is malformed or inconsistent.
+    Corrupt(String),
+    /// Underlying file IO failed (includes injected storage faults).
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -53,6 +57,8 @@ impl fmt::Display for DbError {
                 write!(f, "transaction conflict on table `{}`", table)
             }
             DbError::Sql(m) => write!(f, "SQL error: {}", m),
+            DbError::Corrupt(m) => write!(f, "corrupt data: {}", m),
+            DbError::Io(m) => write!(f, "io error: {}", m),
         }
     }
 }

@@ -19,16 +19,23 @@
 
 pub mod algebra;
 pub mod db;
+pub mod durable;
 pub mod error;
 pub mod persist;
 pub mod sql;
 pub mod table;
 pub mod tx;
+pub mod wal;
 
 pub use algebra::{AggFun, CmpOp, ColRef, Plan, Pred, Relation, Scalar};
 pub use db::Database;
+pub use durable::{DurableDb, DurableReport};
 pub use error::DbError;
 pub use persist::{dump, load, load_file, save_file};
 pub use sql::parse_query;
 pub use table::{Row, RowId, Schema, Table};
-pub use tx::Transaction;
+pub use tx::{AppliedWrite, Transaction};
+pub use wal::{
+    decode_wme_op, encode_wme_op, IoFaultKind, IoFaultPlan, Wal, WalOptions, WalRecord, WalStats,
+    WmeOp,
+};

@@ -25,77 +25,16 @@
 use crate::db::Database;
 use crate::error::DbError;
 use crate::table::Schema;
-use sorete_base::{Symbol, TimeTag, Value};
+use sorete_base::{Symbol, Value};
 
 const MAGIC: &str = "sorete-reldb 1";
 
 fn encode_value(v: &Value, out: &mut String) {
-    match v {
-        Value::Nil => out.push('N'),
-        Value::Int(i) => {
-            out.push_str("I:");
-            out.push_str(&i.to_string());
-        }
-        Value::Float(f) => {
-            out.push_str("F:");
-            out.push_str(&format!("{:016x}", f.to_bits()));
-        }
-        Value::Sym(s) => {
-            out.push_str("S:");
-            for c in s.as_str().chars() {
-                match c {
-                    '\t' => out.push_str("\\t"),
-                    '\n' => out.push_str("\\n"),
-                    '\\' => out.push_str("\\\\"),
-                    other => out.push(other),
-                }
-            }
-        }
-        Value::Tag(t) => {
-            out.push_str("T:");
-            out.push_str(&t.raw().to_string());
-        }
-    }
+    v.push_wire(out);
 }
 
 fn decode_value(tok: &str) -> Result<Value, DbError> {
-    if tok == "N" {
-        return Ok(Value::Nil);
-    }
-    let (kind, body) = tok
-        .split_once(':')
-        .ok_or_else(|| DbError::Sql(format!("bad value token `{}`", tok)))?;
-    match kind {
-        "I" => body
-            .parse()
-            .map(Value::Int)
-            .map_err(|_| DbError::Sql(format!("bad int `{}`", body))),
-        "F" => u64::from_str_radix(body, 16)
-            .map(|bits| Value::Float(f64::from_bits(bits)))
-            .map_err(|_| DbError::Sql(format!("bad float bits `{}`", body))),
-        "T" => body
-            .parse()
-            .map(|raw| Value::Tag(TimeTag::new(raw)))
-            .map_err(|_| DbError::Sql(format!("bad tag `{}`", body))),
-        "S" => {
-            let mut s = String::new();
-            let mut chars = body.chars();
-            while let Some(c) = chars.next() {
-                if c == '\\' {
-                    match chars.next() {
-                        Some('t') => s.push('\t'),
-                        Some('n') => s.push('\n'),
-                        Some('\\') => s.push('\\'),
-                        other => return Err(DbError::Sql(format!("bad escape `\\{:?}`", other))),
-                    }
-                } else {
-                    s.push(c);
-                }
-            }
-            Ok(Value::sym(&s))
-        }
-        other => Err(DbError::Sql(format!("unknown value kind `{}`", other))),
-    }
+    Value::from_wire(tok).map_err(DbError::Corrupt)
 }
 
 /// Serialize the whole database.
@@ -134,7 +73,9 @@ pub fn dump(db: &Database) -> String {
 pub fn load(text: &str) -> Result<Database, DbError> {
     let mut lines = text.lines();
     if lines.next() != Some(MAGIC) {
-        return Err(DbError::Sql("not a sorete-reldb dump (bad magic)".into()));
+        return Err(DbError::Corrupt(
+            "not a sorete-reldb dump (bad magic)".into(),
+        ));
     }
     let mut db = Database::new();
     let mut current: Option<Symbol> = None;
@@ -143,12 +84,24 @@ pub fn load(text: &str) -> Result<Database, DbError> {
     let mut pending_name: Option<String> = None;
     let mut pending_indexes: Vec<Symbol> = Vec::new();
 
+    // Every path that materialises a table funnels through here, so the
+    // declared-vs-listed column count is validated whether or not the
+    // table had any ROW lines.
     fn finalize(
         db: &mut Database,
         name: &str,
+        expected_cols: usize,
         cols: &[String],
         indexes: &[Symbol],
     ) -> Result<Symbol, DbError> {
+        if cols.len() != expected_cols {
+            return Err(DbError::Corrupt(format!(
+                "table `{}` declares {} columns but lists {}",
+                name,
+                expected_cols,
+                cols.len()
+            )));
+        }
         let refs: Vec<&str> = cols.iter().map(|c| c.as_str()).collect();
         db.create_table(Schema::new(name, &refs))?;
         let sym = Symbol::new(name);
@@ -167,15 +120,28 @@ pub fn load(text: &str) -> Result<Database, DbError> {
             "TABLE" => {
                 if let Some(name) = pending_name.take() {
                     // Previous table had no rows; still create it.
-                    current = Some(finalize(&mut db, &name, &pending_cols, &pending_indexes)?);
-                    let _ = current;
+                    finalize(
+                        &mut db,
+                        &name,
+                        expected_cols,
+                        &pending_cols,
+                        &pending_indexes,
+                    )?;
                 }
                 let (name, n) = rest
                     .rsplit_once(' ')
-                    .ok_or_else(|| DbError::Sql("bad TABLE line".into()))?;
+                    .ok_or_else(|| DbError::Corrupt("bad TABLE line".into()))?;
                 expected_cols = n
                     .parse()
-                    .map_err(|_| DbError::Sql("bad TABLE column count".into()))?;
+                    .map_err(|_| DbError::Corrupt("bad TABLE column count".into()))?;
+                // The previous pending table was finalized above, so every
+                // already-seen name is in the catalog by now.
+                if db.table(Symbol::new(name)).is_ok() {
+                    return Err(DbError::Corrupt(format!(
+                        "duplicate TABLE `{}` in dump",
+                        name
+                    )));
+                }
                 pending_name = Some(name.to_string());
                 pending_cols.clear();
                 pending_indexes.clear();
@@ -187,39 +153,43 @@ pub fn load(text: &str) -> Result<Database, DbError> {
                 if current.is_none() {
                     let name = pending_name
                         .take()
-                        .ok_or_else(|| DbError::Sql("ROW before TABLE".into()))?;
-                    if pending_cols.len() != expected_cols {
-                        return Err(DbError::Sql(format!(
-                            "table `{}` declares {} columns but lists {}",
-                            name,
-                            expected_cols,
-                            pending_cols.len()
-                        )));
-                    }
-                    current = Some(finalize(&mut db, &name, &pending_cols, &pending_indexes)?);
+                        .ok_or_else(|| DbError::Corrupt("ROW before TABLE".into()))?;
+                    current = Some(finalize(
+                        &mut db,
+                        &name,
+                        expected_cols,
+                        &pending_cols,
+                        &pending_indexes,
+                    )?);
                 }
                 let table = db.table_mut(current.unwrap())?;
                 let row: Result<Vec<Value>, DbError> = rest.split('\t').map(decode_value).collect();
                 table.insert(row?)?;
             }
-            other => return Err(DbError::Sql(format!("unknown record `{}`", other))),
+            other => return Err(DbError::Corrupt(format!("unknown record `{}`", other))),
         }
     }
     if let Some(name) = pending_name.take() {
-        finalize(&mut db, &name, &pending_cols, &pending_indexes)?;
+        finalize(
+            &mut db,
+            &name,
+            expected_cols,
+            &pending_cols,
+            &pending_indexes,
+        )?;
     }
     Ok(db)
 }
 
 /// Write a dump to a file.
 pub fn save_file(db: &Database, path: &std::path::Path) -> Result<(), DbError> {
-    std::fs::write(path, dump(db)).map_err(|e| DbError::Sql(format!("write {:?}: {}", path, e)))
+    std::fs::write(path, dump(db)).map_err(|e| DbError::Io(format!("write {:?}: {}", path, e)))
 }
 
 /// Load a dump from a file.
 pub fn load_file(path: &std::path::Path) -> Result<Database, DbError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| DbError::Sql(format!("read {:?}: {}", path, e)))?;
+        .map_err(|e| DbError::Io(format!("read {:?}: {}", path, e)))?;
     load(&text)
 }
 
@@ -312,6 +282,71 @@ mod tests {
         assert!(load("sorete-reldb 1\nROW I:1").is_err(), "ROW before TABLE");
         assert!(decode_value("Q:1").is_err());
         assert!(decode_value("I:xyz").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_is_an_error() {
+        // Duplicate header with rows in both bodies.
+        let Err(err) = load(concat!(
+            "sorete-reldb 1\n",
+            "TABLE t 1\nCOL a\nROW I:1\n",
+            "TABLE t 1\nCOL a\nROW I:2\n",
+        )) else {
+            panic!("duplicate TABLE accepted")
+        };
+        assert!(
+            err.to_string().contains("duplicate TABLE `t`"),
+            "got: {}",
+            err
+        );
+        // Rowless duplicate immediately followed by its twin.
+        let Err(err) = load("sorete-reldb 1\nTABLE t 1\nCOL a\nTABLE t 1\nCOL a\n") else {
+            panic!("duplicate TABLE accepted")
+        };
+        assert!(
+            err.to_string().contains("duplicate TABLE `t`"),
+            "got: {}",
+            err
+        );
+    }
+
+    #[test]
+    fn unknown_token_is_an_error() {
+        let Err(err) = load("sorete-reldb 1\nWHAT now\n") else {
+            panic!("unknown record accepted")
+        };
+        assert!(
+            err.to_string().contains("unknown record `WHAT`"),
+            "got: {}",
+            err
+        );
+        let Err(err) = load("sorete-reldb 1\nTABLE t 1\nCOL a\nROW Q:1\n") else {
+            panic!("unknown value kind accepted")
+        };
+        assert!(
+            err.to_string().contains("unknown value kind `Q`"),
+            "got: {}",
+            err
+        );
+    }
+
+    #[test]
+    fn column_count_lie_is_an_error_even_without_rows() {
+        // Declared 3 columns, listed 1, no ROW lines: the pre-fix loader
+        // accepted this silently because the count check only ran on ROW.
+        for text in [
+            "sorete-reldb 1\nTABLE t 3\nCOL a\n",
+            "sorete-reldb 1\nTABLE t 3\nCOL a\nTABLE u 1\nCOL b\nROW I:1\n",
+        ] {
+            let Err(err) = load(text) else {
+                panic!("column-count lie accepted: {:?}", text)
+            };
+            assert!(
+                err.to_string().contains("declares 3 columns but lists 1"),
+                "got: {}",
+                err
+            );
+        }
     }
 
     #[test]

@@ -106,6 +106,45 @@ impl Table {
         Ok(id)
     }
 
+    /// Insert a row at an *explicit* slot — the WAL replay primitive.
+    ///
+    /// A redo log records the `RowId` each insert was assigned; replaying
+    /// it with [`Table::insert`] would re-run free-list policy against a
+    /// base whose tombstones a checkpoint did not preserve, assigning
+    /// different ids than the ones later `update`/`delete` records name.
+    /// `insert_at` pins the slot instead: gaps below `id` are filled with
+    /// tombstones, and inserting over a live slot is corruption.
+    pub fn insert_at(&mut self, id: RowId, row: Vec<Value>) -> Result<(), DbError> {
+        if row.len() != self.schema.cols.len() {
+            return Err(DbError::Arity {
+                table: self.schema.name.to_string(),
+                expected: self.schema.cols.len(),
+                got: row.len(),
+            });
+        }
+        while self.rows.len() <= id.index() {
+            self.rows.push(None);
+            self.versions.push(0);
+        }
+        if self.rows[id.index()].is_some() {
+            return Err(DbError::Corrupt(format!(
+                "replayed insert into live slot {} of table `{}`",
+                id.index(),
+                self.schema.name
+            )));
+        }
+        let row: Row = row.into();
+        self.rows[id.index()] = Some(row.clone());
+        self.versions[id.index()] += 1;
+        self.free.retain(|&f| f != id);
+        self.live += 1;
+        for (col, map) in &mut self.indexes {
+            let ci = self.schema.col_index(*col).unwrap();
+            map.entry(row[ci]).or_default().push(id);
+        }
+        Ok(())
+    }
+
     /// Delete a row.
     pub fn delete(&mut self, id: RowId) -> Result<Row, DbError> {
         let slot = self

@@ -1,0 +1,792 @@
+//! Write-ahead log: append-only, CRC-checksummed, length-prefixed records.
+//!
+//! DIPS is a *disk-based* production system (paper §8); a crash must not
+//! lose committed recognise–act cycles. This module supplies the generic
+//! log mechanics — framing, checksums, group-commit fsync batching,
+//! redo-only recovery with torn-tail truncation, rotation at checkpoints,
+//! and injectable storage faults — while the *payloads* stay client-defined:
+//! [`crate::durable::DurableDb`] logs relational row ops, the core engine
+//! logs working-memory ops (see [`WmeOp`]), and DIPS logs its parallel
+//! cycle effects.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! SORETWAL1\n                          (10-byte file magic)
+//! [u32 len][u32 crc][kind byte + payload]   repeated
+//! ```
+//!
+//! `len` counts the kind byte plus the payload, little-endian; `crc` is
+//! CRC-32 (IEEE) over those same bytes. Record kinds: `1` = client op,
+//! `2` = transaction commit marker, `3` = cycle-boundary marker (carries a
+//! client payload, e.g. run statistics). Commit and cycle markers are both
+//! *commit points*: recovery replays ops only up to the last intact marker
+//! and truncates everything after it, so a torn or short tail can never
+//! resurrect half a transaction (redo-only, no undo needed).
+//!
+//! ## Durability knob
+//!
+//! [`WalOptions::group_commit`] batches fsyncs: `1` syncs at every commit
+//! point (no committed work is ever lost); `n > 1` syncs every `n` commit
+//! points, trading a bounded window of recent commits for fewer fsyncs —
+//! the classic group-commit throughput lever measured by the
+//! `wal_overhead` bench.
+
+use crate::error::DbError;
+use sorete_base::{Symbol, TimeTag, Value, Wme};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic for WAL files.
+pub const WAL_MAGIC: &[u8] = b"SORETWAL1\n";
+/// Largest accepted record body (kind + payload); anything bigger is
+/// treated as a corrupt length prefix during recovery.
+const MAX_RECORD: u32 = 1 << 30;
+
+const KIND_OP: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_CYCLE: u8 = 3;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Options, stats, fault injection.
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalOptions {
+    /// Fsync every `group_commit` commit points (1 = every commit).
+    pub group_commit: u32,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions { group_commit: 1 }
+    }
+}
+
+/// Counters for one WAL session (see the metrics registry's
+/// `sorete_wal_*` families).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended this session.
+    pub records: u64,
+    /// Bytes appended this session (frames, not counting the file magic).
+    pub bytes: u64,
+    /// Commit points appended (commit + cycle markers).
+    pub commits: u64,
+    /// Fsyncs issued.
+    pub fsyncs: u64,
+    /// Committed records replayed by recovery at open.
+    pub recovered_records: u64,
+    /// Intact-but-uncommitted tail records discarded by recovery.
+    pub discarded_records: u64,
+    /// Tail bytes truncated by recovery (torn/short/uncommitted frames).
+    pub truncated_bytes: u64,
+}
+
+/// What an injected storage fault does (mirrors the RHS-level
+/// `FaultPlan` from the engine, one layer down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The append fails cleanly: nothing reaches the file.
+    Fail,
+    /// Half the frame reaches the file, then the "machine dies"
+    /// (the WAL poisons itself; every later call errors).
+    ShortWrite,
+    /// The whole frame reaches the file but with a flipped payload byte
+    /// (a torn sector), then the "machine dies".
+    TornWrite,
+    /// The append succeeds but the next fsync fails and the WAL poisons
+    /// itself (a dying disk acknowledging writes it cannot persist).
+    FsyncError,
+}
+
+/// Inject `kind` on the `at`-th record append (0-based, counted across
+/// the whole WAL session).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// What goes wrong.
+    pub kind: IoFaultKind,
+    /// Which record append triggers it.
+    pub at: u64,
+}
+
+impl IoFaultPlan {
+    /// Fault of `kind` on the `n`-th appended record.
+    pub fn nth(kind: IoFaultKind, n: u64) -> IoFaultPlan {
+        IoFaultPlan { kind, at: n }
+    }
+}
+
+/// A record recovered from the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A client operation payload.
+    Op(Vec<u8>),
+    /// A transaction commit marker.
+    Commit,
+    /// A cycle-boundary marker with its client payload.
+    Cycle(Vec<u8>),
+}
+
+// ---------------------------------------------------------------------------
+// The log.
+
+/// An append-only write-ahead log over one file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    opts: WalOptions,
+    stats: WalStats,
+    /// Record appends this session, for [`IoFaultPlan::at`] matching.
+    appended: u64,
+    /// Commit points since the last fsync (group commit).
+    unsynced_commits: u32,
+    fault: Option<IoFaultPlan>,
+    /// After a simulated crash every call errors until reopen.
+    poisoned: bool,
+    /// Armed by an [`IoFaultKind::FsyncError`] append; fires at next sync.
+    fsync_fault_armed: bool,
+}
+
+impl Wal {
+    /// Scan `path` without opening it for writing: return the committed
+    /// record prefix and recovery counters, and truncate any torn, short,
+    /// corrupt, or uncommitted tail in place. A missing file recovers to
+    /// an empty log.
+    pub fn recover(path: &Path) -> Result<(Vec<WalRecord>, WalStats), DbError> {
+        let mut stats = WalStats::default();
+        let buf = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), stats)),
+            Err(e) => return Err(DbError::Io(format!("read wal {:?}: {}", path, e))),
+        };
+        if buf.is_empty() {
+            return Ok((Vec::new(), stats));
+        }
+        if buf.len() < WAL_MAGIC.len() || &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(DbError::Corrupt(format!(
+                "{:?} is not a WAL (bad magic)",
+                path
+            )));
+        }
+        let mut pos = WAL_MAGIC.len();
+        let mut last_commit_end = pos;
+        let mut committed: Vec<WalRecord> = Vec::new();
+        let mut pending: Vec<WalRecord> = Vec::new();
+        while pos + 8 <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            if len == 0 || len > MAX_RECORD {
+                break; // corrupt length prefix
+            }
+            let end = pos + 8 + len as usize;
+            if end > buf.len() {
+                break; // short (torn) tail
+            }
+            let body = &buf[pos + 8..end];
+            if crc32(body) != crc {
+                break; // torn sector / bit rot
+            }
+            match body[0] {
+                KIND_OP => pending.push(WalRecord::Op(body[1..].to_vec())),
+                KIND_COMMIT => {
+                    pending.push(WalRecord::Commit);
+                    committed.append(&mut pending);
+                    last_commit_end = end;
+                }
+                KIND_CYCLE => {
+                    pending.push(WalRecord::Cycle(body[1..].to_vec()));
+                    committed.append(&mut pending);
+                    last_commit_end = end;
+                }
+                _ => break, // unknown kind: treat as corruption
+            }
+            pos = end;
+        }
+        stats.recovered_records = committed.len() as u64;
+        stats.discarded_records = pending.len() as u64;
+        stats.truncated_bytes = (buf.len() - last_commit_end) as u64;
+        if stats.truncated_bytes > 0 {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| DbError::Io(format!("open wal {:?} for truncation: {}", path, e)))?;
+            f.set_len(last_commit_end as u64)
+                .map_err(|e| DbError::Io(format!("truncate wal {:?}: {}", path, e)))?;
+        }
+        Ok((committed, stats))
+    }
+
+    /// Open `path` for appending, running [`Wal::recover`] first. Returns
+    /// the log handle and the committed records to replay (empty for a new
+    /// file).
+    pub fn open(path: &Path, opts: WalOptions) -> Result<(Wal, Vec<WalRecord>), DbError> {
+        let (records, rec_stats) = Wal::recover(path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| DbError::Io(format!("open wal {:?}: {}", path, e)))?;
+        let len = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| DbError::Io(format!("seek wal {:?}: {}", path, e)))?;
+        if len == 0 {
+            file.write_all(WAL_MAGIC)
+                .and_then(|_| file.sync_data())
+                .map_err(|e| DbError::Io(format!("init wal {:?}: {}", path, e)))?;
+        } else {
+            // Sanity: recover() validated the magic unless the file was
+            // empty, but re-check in case of a race with another writer.
+            let mut magic = [0u8; 10];
+            file.seek(SeekFrom::Start(0))
+                .and_then(|_| file.read_exact(&mut magic))
+                .map_err(|e| DbError::Io(format!("read wal magic {:?}: {}", path, e)))?;
+            if magic != WAL_MAGIC {
+                return Err(DbError::Corrupt(format!(
+                    "{:?} is not a WAL (bad magic)",
+                    path
+                )));
+            }
+            file.seek(SeekFrom::End(0))
+                .map_err(|e| DbError::Io(format!("seek wal {:?}: {}", path, e)))?;
+        }
+        let stats = WalStats {
+            recovered_records: rec_stats.recovered_records,
+            discarded_records: rec_stats.discarded_records,
+            truncated_bytes: rec_stats.truncated_bytes,
+            ..WalStats::default()
+        };
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                opts,
+                stats,
+                appended: 0,
+                unsynced_commits: 0,
+                fault: None,
+                poisoned: false,
+                fsync_fault_armed: false,
+            },
+            records,
+        ))
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> &WalStats {
+        &self.stats
+    }
+
+    /// Arm a storage fault (see [`IoFaultPlan`]).
+    pub fn inject_fault(&mut self, plan: IoFaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Append a client op record (not yet committed).
+    pub fn append_op(&mut self, payload: &[u8]) -> Result<(), DbError> {
+        self.append_record(KIND_OP, payload)
+    }
+
+    /// Append a transaction commit marker — a commit point: everything
+    /// since the previous marker becomes durable per the group-commit
+    /// policy.
+    pub fn append_commit(&mut self) -> Result<(), DbError> {
+        self.append_record(KIND_COMMIT, &[])?;
+        self.commit_point()
+    }
+
+    /// Append a cycle-boundary marker carrying `payload` (e.g. run
+    /// statistics). Also a commit point.
+    pub fn append_cycle(&mut self, payload: &[u8]) -> Result<(), DbError> {
+        self.append_record(KIND_CYCLE, payload)?;
+        self.commit_point()
+    }
+
+    fn commit_point(&mut self) -> Result<(), DbError> {
+        self.stats.commits += 1;
+        self.unsynced_commits += 1;
+        if self.unsynced_commits >= self.opts.group_commit.max(1) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush and fsync now, regardless of the group-commit window.
+    pub fn sync(&mut self) -> Result<(), DbError> {
+        if self.poisoned {
+            return Err(DbError::Io("wal poisoned by injected crash".into()));
+        }
+        if self.fsync_fault_armed {
+            self.fsync_fault_armed = false;
+            self.poisoned = true;
+            return Err(DbError::Io("injected fsync failure".into()));
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| DbError::Io(format!("fsync wal {:?}: {}", self.path, e)))?;
+        self.stats.fsyncs += 1;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Rotate after a checkpoint: the checkpoint file now carries all
+    /// state, so the log restarts empty.
+    pub fn rotate(&mut self) -> Result<(), DbError> {
+        if self.poisoned {
+            return Err(DbError::Io("wal poisoned by injected crash".into()));
+        }
+        self.file
+            .set_len(WAL_MAGIC.len() as u64)
+            .and_then(|_| self.file.seek(SeekFrom::End(0)))
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| DbError::Io(format!("rotate wal {:?}: {}", self.path, e)))?;
+        self.stats.fsyncs += 1;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    fn append_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), DbError> {
+        if self.poisoned {
+            return Err(DbError::Io("wal poisoned by injected crash".into()));
+        }
+        let n = self.appended;
+        self.appended += 1;
+        let mut body = Vec::with_capacity(1 + payload.len());
+        body.push(kind);
+        body.extend_from_slice(payload);
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        if let Some(plan) = self.fault {
+            if plan.at == n {
+                match plan.kind {
+                    IoFaultKind::Fail => {
+                        return Err(DbError::Io(format!(
+                            "injected append failure at record {}",
+                            n
+                        )));
+                    }
+                    IoFaultKind::ShortWrite => {
+                        let cut = frame.len() / 2;
+                        let _ = self.file.write_all(&frame[..cut]);
+                        let _ = self.file.sync_data();
+                        self.poisoned = true;
+                        return Err(DbError::Io(format!(
+                            "injected short write at record {} ({} of {} bytes)",
+                            n,
+                            cut,
+                            frame.len()
+                        )));
+                    }
+                    IoFaultKind::TornWrite => {
+                        // Flip a payload byte so the frame is length-intact
+                        // but fails its checksum.
+                        let i = frame.len() - 1;
+                        frame[i] ^= 0x40;
+                        let _ = self.file.write_all(&frame);
+                        let _ = self.file.sync_data();
+                        self.poisoned = true;
+                        return Err(DbError::Io(format!("injected torn write at record {}", n)));
+                    }
+                    IoFaultKind::FsyncError => {
+                        self.fsync_fault_armed = true;
+                        // The write itself "succeeds"; the sync will not.
+                    }
+                }
+            }
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| DbError::Io(format!("append wal {:?}: {}", self.path, e)))?;
+        self.stats.records += 1;
+        self.stats.bytes += frame.len() as u64;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared WME-op payload codec.
+//
+// Both the core engine's WAL and the DIPS parallel-firing WAL log
+// working-memory effects; they share this tab-separated text codec built
+// on the Value wire tokens (crate::persist uses the same tokens).
+
+/// A logged working-memory operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WmeOp {
+    /// A WME entered working memory (carries its assigned time tag).
+    Assert(Wme),
+    /// The WME with this tag left working memory.
+    Retract(TimeTag),
+    /// In-place slot updates keeping the same tag (DIPS `set-modify`).
+    Update(TimeTag, Vec<(Symbol, Value)>),
+}
+
+/// Encode a [`WmeOp`] as a WAL op payload.
+pub fn encode_wme_op(op: &WmeOp) -> Vec<u8> {
+    let mut s = String::new();
+    match op {
+        WmeOp::Assert(w) => {
+            s.push('A');
+            s.push('\t');
+            s.push_str(&w.tag.raw().to_string());
+            s.push('\t');
+            Value::Sym(w.class).push_wire(&mut s);
+            for (a, v) in w.slots() {
+                s.push('\t');
+                Value::Sym(*a).push_wire(&mut s);
+                s.push('\t');
+                v.push_wire(&mut s);
+            }
+        }
+        WmeOp::Retract(tag) => {
+            s.push('R');
+            s.push('\t');
+            s.push_str(&tag.raw().to_string());
+        }
+        WmeOp::Update(tag, updates) => {
+            s.push('U');
+            s.push('\t');
+            s.push_str(&tag.raw().to_string());
+            for (a, v) in updates {
+                s.push('\t');
+                Value::Sym(*a).push_wire(&mut s);
+                s.push('\t');
+                v.push_wire(&mut s);
+            }
+        }
+    }
+    s.into_bytes()
+}
+
+/// Decode a [`WmeOp`] payload.
+pub fn decode_wme_op(bytes: &[u8]) -> Result<WmeOp, DbError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| DbError::Corrupt("wme op is not utf-8".into()))?;
+    let mut parts = text.split('\t');
+    let kind = parts.next().unwrap_or("");
+    let tag = parts
+        .next()
+        .and_then(|t| t.parse::<u64>().ok())
+        .map(TimeTag::new)
+        .ok_or_else(|| DbError::Corrupt(format!("wme op missing tag: `{}`", text)))?;
+    let sym_of = |tok: &str| -> Result<Symbol, DbError> {
+        match Value::from_wire(tok).map_err(DbError::Corrupt)? {
+            Value::Sym(s) => Ok(s),
+            other => Err(DbError::Corrupt(format!(
+                "expected symbol, got `{}`",
+                other
+            ))),
+        }
+    };
+    let pairs = |parts: &mut std::str::Split<'_, char>| -> Result<Vec<(Symbol, Value)>, DbError> {
+        let mut out = Vec::new();
+        while let Some(attr) = parts.next() {
+            let val = parts
+                .next()
+                .ok_or_else(|| DbError::Corrupt(format!("dangling attribute in `{}`", text)))?;
+            out.push((
+                sym_of(attr)?,
+                Value::from_wire(val).map_err(DbError::Corrupt)?,
+            ));
+        }
+        Ok(out)
+    };
+    match kind {
+        "A" => {
+            let class =
+                sym_of(parts.next().ok_or_else(|| {
+                    DbError::Corrupt(format!("assert missing class: `{}`", text))
+                })?)?;
+            let slots = pairs(&mut parts)?;
+            Ok(WmeOp::Assert(Wme::new(tag, class, slots)))
+        }
+        "R" => Ok(WmeOp::Retract(tag)),
+        "U" => Ok(WmeOp::Update(tag, pairs(&mut parts)?)),
+        other => Err(DbError::Corrupt(format!("unknown wme op `{}`", other))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sorete-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{}.wal", name, std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_recover_committed_prefix() {
+        let path = tmp("basic");
+        {
+            let (mut wal, rec) = Wal::open(&path, WalOptions::default()).unwrap();
+            assert!(rec.is_empty());
+            wal.append_op(b"one").unwrap();
+            wal.append_op(b"two").unwrap();
+            wal.append_commit().unwrap();
+            wal.append_op(b"uncommitted").unwrap();
+        }
+        let (records, stats) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Op(b"one".to_vec()),
+                WalRecord::Op(b"two".to_vec()),
+                WalRecord::Commit,
+            ]
+        );
+        assert_eq!(stats.discarded_records, 1);
+        assert!(stats.truncated_bytes > 0);
+        // Recovery truncated: a second scan finds a clean log.
+        let (_, stats2) = Wal::recover(&path).unwrap();
+        assert_eq!(stats2.truncated_bytes, 0);
+        assert_eq!(stats2.recovered_records, 3);
+    }
+
+    #[test]
+    fn cycle_markers_are_commit_points_and_carry_payloads() {
+        let path = tmp("cycle");
+        {
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            wal.append_op(b"x").unwrap();
+            wal.append_cycle(b"cycle-1-stats").unwrap();
+        }
+        let (records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Op(b"x".to_vec()),
+                WalRecord::Cycle(b"cycle-1-stats".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        {
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            wal.append_op(b"safe").unwrap();
+            wal.append_commit().unwrap();
+            wal.append_op(b"doomed").unwrap();
+            wal.append_commit().unwrap();
+        }
+        // Chop mid-frame: the second commit becomes a torn tail.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (records, stats) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![WalRecord::Op(b"safe".to_vec()), WalRecord::Commit],
+            "only the first committed group survives"
+        );
+        assert!(stats.truncated_bytes > 0);
+        // Appending after recovery produces a valid log again.
+        let (mut wal, rec) = Wal::open(&path, WalOptions::default()).unwrap();
+        assert_eq!(rec.len(), 2);
+        wal.append_op(b"after").unwrap();
+        wal.append_commit().unwrap();
+        drop(wal);
+        let (records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(records.len(), 4);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = tmp("crc");
+        {
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            wal.append_op(b"good").unwrap();
+            wal.append_commit().unwrap();
+            wal.append_op(b"bad").unwrap();
+            wal.append_commit().unwrap();
+        }
+        // Flip a byte inside the third frame's payload.
+        let mut buf = std::fs::read(&path).unwrap();
+        let n = buf.len();
+        buf[n - 12] ^= 0xFF;
+        std::fs::write(&path, &buf).unwrap();
+        let (records, stats) = Wal::recover(&path).unwrap();
+        assert_eq!(records.len(), 2, "replay stops at the corrupt frame");
+        assert!(stats.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let p1 = tmp("gc1");
+        let p8 = tmp("gc8");
+        let (mut w1, _) = Wal::open(&p1, WalOptions { group_commit: 1 }).unwrap();
+        let (mut w8, _) = Wal::open(&p8, WalOptions { group_commit: 8 }).unwrap();
+        for _ in 0..16 {
+            w1.append_op(b"x").unwrap();
+            w1.append_commit().unwrap();
+            w8.append_op(b"x").unwrap();
+            w8.append_commit().unwrap();
+        }
+        assert_eq!(w1.stats().fsyncs, 16);
+        assert_eq!(w8.stats().fsyncs, 2);
+        assert_eq!(w1.stats().commits, 16);
+        assert_eq!(w8.stats().commits, 16);
+    }
+
+    #[test]
+    fn rotate_empties_the_log() {
+        let path = tmp("rotate");
+        let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        wal.append_op(b"pre").unwrap();
+        wal.append_commit().unwrap();
+        wal.rotate().unwrap();
+        wal.append_op(b"post").unwrap();
+        wal.append_commit().unwrap();
+        drop(wal);
+        let (records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![WalRecord::Op(b"post".to_vec()), WalRecord::Commit]
+        );
+    }
+
+    #[test]
+    fn injected_faults_crash_then_recover_cleanly() {
+        for kind in [
+            IoFaultKind::Fail,
+            IoFaultKind::ShortWrite,
+            IoFaultKind::TornWrite,
+            IoFaultKind::FsyncError,
+        ] {
+            let path = tmp(&format!("fault-{:?}", kind));
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            wal.inject_fault(IoFaultPlan::nth(kind, 3)); // the 2nd commit marker
+            wal.append_op(b"a").unwrap();
+            wal.append_commit().unwrap();
+            wal.append_op(b"b").unwrap();
+            let r = wal.append_commit();
+            assert!(r.is_err(), "{:?} surfaces an error", kind);
+            drop(wal);
+            let (records, _) = Wal::recover(&path).unwrap();
+            // The first committed group always survives; the faulted one
+            // never partially survives.
+            match kind {
+                IoFaultKind::Fail | IoFaultKind::ShortWrite | IoFaultKind::TornWrite => {
+                    assert_eq!(
+                        records,
+                        vec![WalRecord::Op(b"a".to_vec()), WalRecord::Commit],
+                        "{:?}",
+                        kind
+                    );
+                }
+                IoFaultKind::FsyncError => {
+                    // The frame hit the page cache before the failed sync;
+                    // recovery may legitimately see it (fsync failure means
+                    // "unknown durability", not "guaranteed loss"), but
+                    // never a half-frame.
+                    assert!(records.len() == 2 || records.len() == 4, "{:?}", kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_wal_refuses_everything() {
+        let path = tmp("poison");
+        let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        wal.inject_fault(IoFaultPlan::nth(IoFaultKind::ShortWrite, 0));
+        assert!(wal.append_op(b"x").is_err());
+        assert!(wal.append_op(b"y").is_err(), "poisoned");
+        assert!(wal.sync().is_err(), "poisoned");
+        assert!(wal.rotate().is_err(), "poisoned");
+    }
+
+    #[test]
+    fn wme_op_roundtrip() {
+        let w = Wme::new(
+            TimeTag::new(7),
+            Symbol::new("player"),
+            vec![
+                (Symbol::new("name"), Value::sym("Sue\twith\ttabs")),
+                (Symbol::new("rating"), Value::Float(0.5)),
+                (Symbol::new("team"), Value::Nil),
+            ],
+        );
+        for op in [
+            WmeOp::Assert(w.clone()),
+            WmeOp::Retract(TimeTag::new(9)),
+            WmeOp::Update(
+                TimeTag::new(3),
+                vec![(Symbol::new("team"), Value::sym("B"))],
+            ),
+        ] {
+            let enc = encode_wme_op(&op);
+            assert_eq!(decode_wme_op(&enc).unwrap(), op, "{:?}", op);
+        }
+        assert!(decode_wme_op(b"Z\t1").is_err());
+        assert!(
+            decode_wme_op(b"A\t1\tS:c\tS:attr").is_err(),
+            "dangling attr"
+        );
+    }
+
+    #[test]
+    fn recover_missing_file_is_empty() {
+        let path = tmp("missing");
+        let (records, stats) = Wal::recover(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(stats, WalStats::default());
+    }
+}

@@ -19,15 +19,23 @@
 //!   --stats                      print run + match statistics at the end
 //!   --dot <file>                 write the Rete network as Graphviz DOT
 //!                                (heat-annotated under --profile)
+//!   --wal <file>                 write-ahead log; recovers committed state
+//!                                from an existing log before running
+//!   --group-commit <N>           fsync the WAL every N commits (default: 1)
+//!   --resume <ckpt>              restore a checkpoint before attaching the WAL
+//!   --checkpoint <file>          checkpoint destination (default: <wal>.ckpt)
+//!   --checkpoint-every <N>       checkpoint (and rotate the WAL) every N firings
 //!   --repl                       interactive session after loading
 //! ```
 //!
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
 //! `excise <rule>`, `explain <rule>`, `profile`, `wm`, `dump [file]`, `cs`,
-//! `stats`, `metrics`, `watch [n]`, `help`, `quit`.
+//! `stats`, `metrics`, `watch [n]`, `checkpoint [file]`, `recover <ckpt>`,
+//! `help`, `quit`.
 
 use sorete::core::{MatcherKind, ProductionSystem, Strategy};
+use sorete::reldb::WalOptions;
 use sorete_base::{JsonlSink, NetProfile, SnapshotWriter, Symbol, Value};
 use sorete_lang::token::{tokenize, TokKind};
 use std::io::{BufRead, Write as _};
@@ -51,13 +59,20 @@ struct Options {
     stats: bool,
     repl: bool,
     dot: Option<String>,
+    wal: Option<String>,
+    group_commit: u32,
+    resume: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: sorete [--matcher rete|rete-scan|treat|naive] [--strategy lex|mea] \
      [--wm facts.wm] [--limit N] [--trace] [--trace-json file] \
      [--metrics-json file] [--metrics-prom file] [--watch N] [--profile] \
-     [--explain rule] [--stats] [--repl] program.ops..."
+     [--explain rule] [--stats] [--wal file] [--group-commit N] \
+     [--resume ckpt] [--checkpoint file] [--checkpoint-every N] \
+     [--repl] program.ops..."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -77,6 +92,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         stats: false,
         repl: false,
         dot: None,
+        wal: None,
+        group_commit: 1,
+        resume: None,
+        checkpoint: None,
+        checkpoint_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +159,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 None => return Err("--explain needs a rule name".into()),
             },
             "--stats" => opts.stats = true,
+            "--wal" => match it.next() {
+                Some(f) => opts.wal = Some(f.clone()),
+                None => return Err("--wal needs a file".into()),
+            },
+            "--group-commit" => {
+                opts.group_commit = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--group-commit needs a positive number of commits")?;
+            }
+            "--resume" => match it.next() {
+                Some(f) => opts.resume = Some(f.clone()),
+                None => return Err("--resume needs a checkpoint file".into()),
+            },
+            "--checkpoint" => match it.next() {
+                Some(f) => opts.checkpoint = Some(f.clone()),
+                None => return Err("--checkpoint needs a file".into()),
+            },
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--checkpoint-every needs a positive number of firings")?,
+                );
+            }
             "--repl" => opts.repl = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option {}", other)),
@@ -147,6 +194,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.programs.is_empty() && !opts.repl {
         return Err(usage().to_string());
+    }
+    if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() && opts.wal.is_none() {
+        return Err(
+            "--checkpoint-every needs --checkpoint or --wal (for the <wal>.ckpt default)".into(),
+        );
     }
     Ok(opts)
 }
@@ -312,7 +364,7 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" | "?" => {
-                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | watch [n] | quit");
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | watch [n] | checkpoint [file] | recover <ckpt> | quit");
             }
             "run" => {
                 let n: Option<u64> = rest.parse().ok();
@@ -380,6 +432,31 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                     }
                 }
             }
+            "checkpoint" => {
+                // Serialize engine state (WM + refraction + counters); with a
+                // file argument also rotate any attached WAL past it.
+                if rest.is_empty() {
+                    print!("{}", ps.checkpoint_string());
+                } else {
+                    match ps.checkpoint_to(std::path::Path::new(rest)) {
+                        Ok(()) => println!("; checkpointed {} at cycle {}", rest, ps.cycle()),
+                        Err(e) => println!("; error: {}", e),
+                    }
+                }
+            }
+            "recover" => {
+                if rest.is_empty() {
+                    println!("; usage: recover <ckpt>");
+                } else {
+                    match ps.resume_from_file(std::path::Path::new(rest)) {
+                        Ok(r) => println!(
+                            "; resumed {} WMEs, {} refracted, at cycle {} (checkpointed from {})",
+                            r.wmes, r.refracted, r.cycle, r.matcher_was
+                        ),
+                        Err(e) => println!("; error: {}", e),
+                    }
+                }
+            }
             "explain" => match ps.explain(rest) {
                 Ok(text) => {
                     for l in text.lines() {
@@ -420,6 +497,35 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
     }
 }
 
+/// Run in chunks of `every` firings, cutting a checkpoint (which also
+/// rotates an attached WAL) after every chunk that made progress. The
+/// returned outcome's `fired` is the total across chunks.
+fn run_with_checkpoints(
+    ps: &mut ProductionSystem,
+    limit: Option<u64>,
+    every: u64,
+    ckpt: &str,
+) -> Result<sorete::core::RunOutcome, String> {
+    let mut total: u64 = 0;
+    loop {
+        let remaining = limit.map(|l| l.saturating_sub(total));
+        let chunk = remaining.map_or(every, |r| r.min(every));
+        let mut outcome = ps.run(Some(chunk));
+        total += outcome.fired;
+        flush_output(ps);
+        if outcome.fired > 0 {
+            ps.checkpoint_to(std::path::Path::new(ckpt))
+                .map_err(|e| format!("{}: {}", ckpt, e))?;
+            eprintln!("; checkpointed {} at cycle {}", ckpt, ps.cycle());
+        }
+        let user_limit_hit = limit.is_some_and(|l| total >= l);
+        if !matches!(outcome.reason, sorete::core::StopReason::Limit) || user_limit_hit {
+            outcome.fired = total;
+            return Ok(outcome);
+        }
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args)?;
@@ -452,12 +558,57 @@ fn run() -> Result<(), String> {
         ps.load_program(&src)
             .map_err(|e| format!("{}: {}", file, e))?;
     }
-    for file in &opts.wm_files {
-        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
-        for (class, slots) in parse_facts(&src)? {
-            ps.assert_wme(class, slots).map_err(|e| e.to_string())?;
+
+    // Durability: restore a checkpoint first (the WAL base), then attach the
+    // WAL, which replays whatever committed after the checkpoint was cut.
+    let mut recovered = false;
+    if let Some(path) = &opts.resume {
+        let report = ps
+            .resume_from_file(std::path::Path::new(path))
+            .map_err(|e| format!("{}: {}", path, e))?;
+        eprintln!(
+            "; resumed {}: {} WMEs, {} refracted, at cycle {} (checkpointed from {})",
+            path, report.wmes, report.refracted, report.cycle, report.matcher_was
+        );
+        recovered = true;
+    }
+    if let Some(path) = &opts.wal {
+        let wal_opts = WalOptions {
+            group_commit: opts.group_commit,
+        };
+        let report = ps
+            .attach_wal(std::path::Path::new(path), wal_opts)
+            .map_err(|e| format!("{}: {}", path, e))?;
+        if report.replayed_ops > 0 || report.replayed_cycles > 0 || report.replayed_commits > 0 {
+            eprintln!(
+                "; recovered {}: {} ops over {} cycles + {} commits ({} records discarded, {} bytes truncated)",
+                path,
+                report.replayed_ops,
+                report.replayed_cycles,
+                report.replayed_commits,
+                report.discarded_records,
+                report.truncated_bytes
+            );
+            recovered = true;
         }
     }
+    // After recovery the initial facts are already in working memory (from
+    // the checkpoint and/or the WAL's committed asserts); loading the fact
+    // files again would double-apply them.
+    if recovered && !opts.wm_files.is_empty() {
+        eprintln!("; skipping --wm fact files: state was recovered");
+    } else {
+        for file in &opts.wm_files {
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
+            for (class, slots) in parse_facts(&src)? {
+                ps.assert_wme(class, slots).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let ckpt_path: Option<String> = opts
+        .checkpoint
+        .clone()
+        .or_else(|| opts.wal.as_ref().map(|w| format!("{}.ckpt", w)));
 
     let mut run_error: Option<String> = None;
     if opts.repl {
@@ -489,6 +640,10 @@ fn run() -> Result<(), String> {
                     run_error = Some(format!("error after {} firings: {}", total, e));
                     break;
                 }
+                sorete::core::StopReason::ResourceExhausted(v) => {
+                    run_error = Some(format!("resource exhausted after {} firings: {}", total, v));
+                    break;
+                }
                 reason => {
                     eprintln!("; fired {} rules ({:?})", total, reason);
                     break;
@@ -496,12 +651,31 @@ fn run() -> Result<(), String> {
             }
         }
     } else {
-        let outcome = ps.run(opts.limit);
+        let outcome = match (opts.checkpoint_every, &ckpt_path) {
+            (Some(every), Some(ckpt)) => run_with_checkpoints(&mut ps, opts.limit, every, ckpt)?,
+            _ => ps.run(opts.limit),
+        };
         flush_output(&mut ps);
-        if let sorete::core::StopReason::Error(e) = &outcome.reason {
-            run_error = Some(format!("error after {} firings: {}", outcome.fired, e));
-        } else {
-            eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason);
+        match &outcome.reason {
+            sorete::core::StopReason::Error(e) => {
+                run_error = Some(format!("error after {} firings: {}", outcome.fired, e));
+            }
+            sorete::core::StopReason::ResourceExhausted(v) => {
+                run_error = Some(format!(
+                    "resource exhausted after {} firings: {}",
+                    outcome.fired, v
+                ));
+            }
+            reason => eprintln!("; fired {} rules ({:?})", outcome.fired, reason),
+        }
+    }
+    // A final checkpoint captures end-of-run state (also on the error paths:
+    // the checkpoint is cut at the last *committed* cycle).
+    if opts.checkpoint_every.is_some() {
+        if let Some(ckpt) = &ckpt_path {
+            ps.checkpoint_to(std::path::Path::new(ckpt))
+                .map_err(|e| format!("{}: {}", ckpt, e))?;
+            eprintln!("; checkpointed {} at cycle {}", ckpt, ps.cycle());
         }
     }
     // DOT is rendered *after* the run so `--profile` heat annotations
@@ -624,6 +798,39 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(parse_args(&scan).unwrap().matcher, MatcherKind::ReteScan);
+        let dur: Vec<String> = [
+            "--wal",
+            "run.wal",
+            "--group-commit",
+            "8",
+            "--resume",
+            "run.ckpt",
+            "--checkpoint-every",
+            "100",
+            "p.ops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&dur).unwrap();
+        assert_eq!(o.wal.as_deref(), Some("run.wal"));
+        assert_eq!(o.group_commit, 8);
+        assert_eq!(o.resume.as_deref(), Some("run.ckpt"));
+        assert_eq!(o.checkpoint, None); // destination defaults to <wal>.ckpt
+        assert_eq!(o.checkpoint_every, Some(100));
+        let ck: Vec<String> = [
+            "--checkpoint",
+            "out.ckpt",
+            "--checkpoint-every",
+            "5",
+            "p.ops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&ck).unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("out.ckpt"));
+        assert_eq!(o.group_commit, 1); // default: fsync every commit
     }
 
     #[test]
@@ -641,6 +848,11 @@ mod tests {
         assert!(bad(&["--metrics-prom"])); // missing file
         assert!(bad(&["--watch", "0", "p.ops"])); // zero cycles
         assert!(bad(&["--watch", "soon", "p.ops"])); // not a number
+        assert!(bad(&["--wal"])); // missing file
+        assert!(bad(&["--resume"])); // missing checkpoint
+        assert!(bad(&["--group-commit", "0", "p.ops"])); // zero commits
+        assert!(bad(&["--checkpoint-every", "0", "p.ops"])); // zero firings
+        assert!(bad(&["--checkpoint-every", "5", "p.ops"])); // no destination
         assert!(bad(&[])); // no program, no repl
     }
 

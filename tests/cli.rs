@@ -545,6 +545,121 @@ fn metrics_jsonl_flushes_on_error_exit() {
     assert_eq!(jsonl_value(last, "sorete_rolled_back_total"), Some(1));
 }
 
+/// Durability satellite: a `--wal` run replays on restart — the second
+/// invocation recovers working memory from the log, skips the fact files,
+/// and finds nothing left to fire.
+#[test]
+fn wal_run_and_recover_via_cli() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join(format!("teams-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+
+    let args = [
+        "--wal",
+        wal.to_str().unwrap(),
+        "--wm",
+        &repo_file("programs/teams.wm"),
+        &repo_file("programs/teams.ops"),
+    ];
+    let first = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&first.stderr).contains("fired 2 rules"),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+
+    // "Crash" and restart against the same log. The fact files are passed
+    // again but must be ignored (recovery already restored them).
+    let second = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("; recovered "), "{}", stderr);
+    assert!(
+        stderr.contains("; skipping --wm fact files: state was recovered"),
+        "{}",
+        stderr
+    );
+    assert!(stderr.contains("fired 0 rules"), "{}", stderr);
+    // The dedup already happened in run one; it must not re-fire.
+    assert!(
+        !String::from_utf8_lossy(&second.stdout).contains("removing duplicates"),
+        "{}",
+        String::from_utf8_lossy(&second.stdout)
+    );
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// Durability satellite: `--checkpoint-every` cuts checkpoints during the
+/// run and `--resume` restores one — on a *different* matcher — with no
+/// re-firing.
+#[test]
+fn checkpoint_resume_cross_matcher_via_cli() {
+    let dir = std::env::temp_dir().join("sorete-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join(format!("teams-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+
+    let first = Command::new(bin())
+        .args([
+            "--checkpoint-every",
+            "1",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("; checkpointed "), "{}", stderr);
+
+    let second = Command::new(bin())
+        .args([
+            "--matcher",
+            "treat",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("; resumed ") && stderr.contains("checkpointed from rete"),
+        "{}",
+        stderr
+    );
+    assert!(stderr.contains("fired 0 rules"), "{}", stderr);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
 /// The REPL `metrics` command renders the registry table; `watch` runs in
 /// chunks re-rendering it.
 #[test]

@@ -1,0 +1,484 @@
+//! Durability layer integration tests: the crash-restart differentials.
+//!
+//! Three layers, three harnesses:
+//!
+//! 1. **reldb fault sweep** — a fixed `DurableDb` workload is re-run with
+//!    every storage fault kind injected at *every* record index; after the
+//!    simulated crash the reopened database must be byte-identical to the
+//!    clean run's state at the same commit point.
+//! 2. **engine crash/recovery differential** — a production-system run
+//!    with a WAL attached is crashed at every log record; a fresh engine
+//!    recovering from the log and running to completion must reach the
+//!    exact final state (stats, working memory, conflict set) of a run
+//!    that never crashed.
+//! 3. **checkpoint/resume matcher portability** — a checkpoint cut
+//!    mid-run on the Rete matcher must resume on every matcher (including
+//!    S-node rules) with an identical conflict set, identical refraction
+//!    behaviour, and an identical final state.
+
+use sorete::core::{MatcherKind, ProductionSystem, StopReason};
+use sorete::reldb::{DurableDb, IoFaultKind, IoFaultPlan, Schema, WalOptions};
+use sorete_base::Value;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sorete-durability-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{}", name, std::process::id()))
+}
+
+fn fresh(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}
+
+// ---------------------------------------------------------------------------
+// 1. reldb fault sweep
+
+/// The sweep workload: every step is exactly one commit point, so the
+/// clean run's dump after step `k` is the oracle for any crash whose
+/// recovery reports `k` replayed commits.
+type Step = fn(&mut DurableDb) -> Result<(), sorete::reldb::DbError>;
+
+fn steps() -> Vec<Step> {
+    vec![
+        |d| d.create_table(Schema::new("emp", &["name", "sal"])),
+        |d| d.create_index("emp", "sal"),
+        |d| {
+            d.insert("emp", vec![Value::sym("ann"), Value::Int(120)])
+                .map(|_| ())
+        },
+        |d| {
+            d.insert("emp", vec![Value::sym("bob"), Value::Int(80)])
+                .map(|_| ())
+        },
+        |d| {
+            d.insert("emp", vec![Value::sym("cat"), Value::Int(95)])
+                .map(|_| ())
+        },
+        |d| d.update("emp", sorete::reldb::RowId::new(0), "sal", Value::Int(150)),
+        |d| d.delete("emp", sorete::reldb::RowId::new(1)),
+        |d| {
+            // One multi-write optimistic transaction (atomic in the log).
+            let mut tx = d.begin();
+            tx.insert("emp", vec![Value::sym("dot"), Value::Int(70)]);
+            tx.update(
+                d.db(),
+                "emp",
+                sorete::reldb::RowId::new(2),
+                "sal",
+                Value::Int(99),
+            )?;
+            d.commit(tx)
+        },
+        |d| d.mark_cycle(b"cycle 1"),
+    ]
+}
+
+#[test]
+fn reldb_fault_sweep_recovers_to_last_commit_point_everywhere() {
+    // Clean run: record the dump after every commit point.
+    let (ckpt, wal) = (tmp("sweep-clean.ckpt"), tmp("sweep-clean.wal"));
+    fresh(&ckpt);
+    fresh(&wal);
+    let mut snaps: Vec<String> = Vec::new();
+    let total_records;
+    {
+        let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+        snaps.push(sorete::reldb::dump(ddb.db()));
+        for step in steps() {
+            step(&mut ddb).unwrap();
+            snaps.push(sorete::reldb::dump(ddb.db()));
+        }
+        total_records = ddb.wal_stats().records;
+    }
+    assert!(
+        total_records >= 15,
+        "workload writes {} records",
+        total_records
+    );
+
+    let kinds = [
+        IoFaultKind::Fail,
+        IoFaultKind::ShortWrite,
+        IoFaultKind::TornWrite,
+        IoFaultKind::FsyncError,
+    ];
+    for kind in kinds {
+        for at in 0..total_records {
+            let (c2, w2) = (
+                tmp(&format!("sweep-{:?}-{}.ckpt", kind, at)),
+                tmp(&format!("sweep-{:?}-{}.wal", kind, at)),
+            );
+            fresh(&c2);
+            fresh(&w2);
+            // Crash run: stop at the first error, like a process that died.
+            {
+                let (mut ddb, _) = DurableDb::open(&c2, &w2, WalOptions::default()).unwrap();
+                ddb.inject_fault(IoFaultPlan::nth(kind, at));
+                for step in steps() {
+                    if step(&mut ddb).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Restart: recovered state ≡ the clean run at the same commit
+            // point, byte for byte.
+            let (ddb, rep) = DurableDb::open(&c2, &w2, WalOptions::default()).unwrap();
+            let k = rep.replayed_commits as usize;
+            assert!(
+                k < snaps.len(),
+                "{:?}@{}: replayed {} commits, clean run has {}",
+                kind,
+                at,
+                k,
+                snaps.len() - 1
+            );
+            assert_eq!(
+                sorete::reldb::dump(ddb.db()),
+                snaps[k],
+                "{:?}@{}: recovered dump diverges at commit {}",
+                kind,
+                at,
+                k
+            );
+            fresh(&c2);
+            fresh(&w2);
+        }
+    }
+    fresh(&ckpt);
+    fresh(&wal);
+}
+
+// ---------------------------------------------------------------------------
+// 2. engine crash/recovery differential
+
+/// A program mixing scalar cycles (modify = retract + assert per cycle)
+/// with an S-node set rule and aggregates, ending in a halt.
+const ENGINE_PROG: &str = "
+    (literalize c n)
+    (literalize lim max)
+    (literalize done total)
+    (p count (c ^n <n>) (lim ^max > <n>) (modify 1 ^n (<n> + 1)))
+    (p finale { [c ^n 6] <P> } (make done ^total (count <P>)) (halt))
+";
+
+/// Seed the counting workload, tolerating WAL failures (the crash runs
+/// inject faults that can hit the seeding commits themselves). Asserts
+/// only the facts not already recovered from the log.
+fn seed_engine(ps: &mut ProductionSystem) -> Result<(), sorete::core::CoreError> {
+    let have = |ps: &ProductionSystem, class: &str| {
+        ps.wm()
+            .iter()
+            .any(|w| w.class == sorete_base::Symbol::new(class))
+    };
+    if !have(ps, "c") {
+        ps.assert_wme(
+            sorete_base::Symbol::new("c"),
+            vec![(sorete_base::Symbol::new("n"), Value::Int(0))],
+        )?;
+    }
+    if !have(ps, "lim") {
+        ps.assert_wme(
+            sorete_base::Symbol::new("lim"),
+            vec![(sorete_base::Symbol::new("max"), Value::Int(6))],
+        )?;
+    }
+    Ok(())
+}
+
+/// Canonical view of a conflict set, independent of matcher internals and
+/// SOI version counters.
+type CanonItem = (usize, bool, BTreeSet<Vec<u64>>, Vec<String>);
+
+fn canon(ps: &ProductionSystem) -> BTreeSet<CanonItem> {
+    ps.conflict_items()
+        .into_iter()
+        .map(|i| {
+            (
+                i.key.rule().index(),
+                i.key.is_soi(),
+                i.rows
+                    .iter()
+                    .map(|r| r.iter().map(|t| t.raw()).collect())
+                    .collect(),
+                i.aggregates.iter().map(|v| v.to_string()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn wm_dump(ps: &ProductionSystem) -> Vec<String> {
+    ps.wm().dump().iter().map(|w| w.to_string()).collect()
+}
+
+fn start_engine(wal: &Path) -> (ProductionSystem, sorete::core::WalReplayReport) {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(ENGINE_PROG).unwrap();
+    let report = ps.attach_wal(wal, WalOptions::default()).unwrap();
+    (ps, report)
+}
+
+#[test]
+fn engine_crash_recovery_differential_at_every_record() {
+    // Clean reference run.
+    let wal = tmp("engine-clean.wal");
+    fresh(&wal);
+    let (clean_stats, clean_wm, clean_canon, total_records);
+    {
+        let (mut ps, _) = start_engine(&wal);
+        seed_engine(&mut ps).unwrap();
+        let outcome = ps.run(Some(100));
+        assert_eq!(outcome.reason, StopReason::Halt);
+        assert_eq!(outcome.fired, 7, "6 count cycles + finale");
+        clean_stats = ps.stats().clone();
+        clean_wm = wm_dump(&ps);
+        clean_canon = canon(&ps);
+        total_records = ps.wal_stats().unwrap().records;
+    }
+    fresh(&wal);
+    assert!(total_records >= 20, "run writes {} records", total_records);
+
+    let kinds = [
+        IoFaultKind::Fail,
+        IoFaultKind::ShortWrite,
+        IoFaultKind::TornWrite,
+        IoFaultKind::FsyncError,
+    ];
+    for kind in kinds {
+        for at in 0..total_records {
+            let w = tmp(&format!("engine-{:?}-{}.wal", kind, at));
+            fresh(&w);
+            // Crash run: the WAL failure surfaces as a run error (the firing
+            // in flight rolled back — in-memory state never runs ahead of
+            // the durable state).
+            {
+                let (mut ps, _) = start_engine(&w);
+                assert!(ps.inject_wal_fault(IoFaultPlan::nth(kind, at)));
+                if seed_engine(&mut ps).is_ok() {
+                    let outcome = ps.run(Some(100));
+                    assert!(
+                        !matches!(outcome.reason, StopReason::Limit),
+                        "{:?}@{}: run must end (halt or WAL error), got limit",
+                        kind,
+                        at
+                    );
+                }
+            }
+            // Restart: recover the committed prefix, re-seed whatever
+            // fact commits the crash swallowed, then run to completion.
+            let (mut ps, _report) = start_engine(&w);
+            seed_engine(&mut ps).unwrap();
+            let outcome = ps.run(Some(100));
+            assert_eq!(
+                outcome.reason,
+                StopReason::Halt,
+                "{:?}@{}: recovered run must reach the same halt",
+                kind,
+                at
+            );
+            assert_eq!(ps.stats(), &clean_stats, "{:?}@{}: stats diverge", kind, at);
+            assert_eq!(wm_dump(&ps), clean_wm, "{:?}@{}: WM diverges", kind, at);
+            assert_eq!(
+                canon(&ps),
+                clean_canon,
+                "{:?}@{}: conflict set diverges",
+                kind,
+                at
+            );
+            fresh(&w);
+        }
+    }
+}
+
+#[test]
+fn engine_wal_failure_rolls_back_the_firing_in_flight() {
+    let w = tmp("engine-rollback.wal");
+    fresh(&w);
+    let (mut ps, _) = start_engine(&w);
+    seed_engine(&mut ps).unwrap();
+    let before_wm = wm_dump(&ps);
+    // Poison the very next append: the first firing's commit must fail...
+    assert!(ps.inject_wal_fault(IoFaultPlan::nth(IoFaultKind::ShortWrite, 4)));
+    let outcome = ps.run(Some(100));
+    assert!(
+        matches!(outcome.reason, StopReason::Error(_)),
+        "{:?}",
+        outcome.reason
+    );
+    // ...and leave working memory exactly as it was before the firing
+    // (the attempt still counts as a firing; `rolled_back` records the undo).
+    assert_eq!(wm_dump(&ps), before_wm, "failed firing must be undone");
+    assert_eq!(ps.stats().rolled_back, 1);
+    fresh(&w);
+}
+
+// ---------------------------------------------------------------------------
+// 3. checkpoint/resume across matchers
+
+const MATCHERS: [MatcherKind; 4] = [
+    MatcherKind::Rete,
+    MatcherKind::ReteScan,
+    MatcherKind::Treat,
+    MatcherKind::Naive,
+];
+
+/// A program where fired instantiations stay in the conflict set (their
+/// premises survive), so resumed refraction is observable: re-firing
+/// would double the `write` count.
+const REFRACT_PROG: &str = "
+    (literalize a x)
+    (literalize b x)
+    (p note (a ^x <v>) (write noted <v>))
+    (p pair (a ^x <v>) (b ^x <v>) (write paired <v>))
+    (p tally { [a ^x <v>] <P> } :test ((count <P>) > 1) (write many (count <P>)))
+";
+
+fn seed_refract(ps: &mut ProductionSystem) {
+    for (class, x) in [("a", 1), ("a", 2), ("b", 1), ("b", 2)] {
+        ps.assert_wme(
+            sorete_base::Symbol::new(class),
+            vec![(sorete_base::Symbol::new("x"), Value::Int(x))],
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn checkpoint_resumes_identically_on_every_matcher() {
+    // Reference: run 3 cycles on Rete, checkpoint, then run to quiescence.
+    let mut reference = ProductionSystem::new(MatcherKind::Rete);
+    reference.load_program(REFRACT_PROG).unwrap();
+    seed_refract(&mut reference);
+    let outcome = reference.run(Some(3));
+    assert_eq!(outcome.reason, StopReason::Limit);
+    let _mid_writes = reference.take_output(); // drain the first 3 cycles
+    let ckpt = reference.checkpoint_string();
+    let mid_canon = canon(&reference);
+    let final_outcome = reference.run(None);
+    assert_eq!(final_outcome.reason, StopReason::Quiescence);
+    let clean_tail = reference.take_output();
+    let total_firings = 3 + final_outcome.fired;
+
+    for kind in MATCHERS {
+        let mut ps = ProductionSystem::new(kind);
+        ps.load_program(REFRACT_PROG).unwrap();
+        let report = ps.resume_from_str(&ckpt).unwrap();
+        assert_eq!(report.wmes, 4);
+        assert_eq!(report.cycle, 3);
+        assert_eq!(report.matcher_was, "rete");
+        assert_eq!(
+            canon(&ps),
+            mid_canon,
+            "{:?}: resumed conflict set diverges from the checkpoint",
+            kind
+        );
+        // Refraction carried over: the resumed run fires exactly the
+        // remaining instantiations, never the already-fired ones.
+        let rest = ps.run(None);
+        assert_eq!(rest.reason, StopReason::Quiescence, "{:?}", kind);
+        assert_eq!(
+            3 + rest.fired,
+            total_firings,
+            "{:?}: resumed run re-fired or skipped instantiations",
+            kind
+        );
+        assert_eq!(
+            ps.take_output(),
+            clean_tail,
+            "{:?}: resumed output diverges",
+            kind
+        );
+        assert_eq!(ps.stats().firings, total_firings, "{:?}", kind);
+    }
+}
+
+#[test]
+fn checkpoint_resume_preserves_snode_state_and_versions() {
+    // S-node heavy program: the set rule's SOI must survive the round trip
+    // with its aggregate intact, and refraction must pin to the *rebuilt*
+    // version (bulk replay renumbers SOI versions).
+    let prog = "
+        (literalize item s)
+        (p sweep { [item ^s pending] <P> } (set-modify <P> ^s done))
+        (p audit { [item ^s done] <Q> } :test ((count <Q>) >= 2) (write audited (count <Q>)))
+    ";
+    let mut live = ProductionSystem::new(MatcherKind::Rete);
+    live.load_program(prog).unwrap();
+    for _ in 0..3 {
+        live.assert_wme(
+            sorete_base::Symbol::new("item"),
+            vec![(sorete_base::Symbol::new("s"), Value::sym("pending"))],
+        )
+        .unwrap();
+    }
+    let outcome = live.run(Some(1));
+    assert_eq!(outcome.fired, 1, "sweep fired");
+    let ckpt = live.checkpoint_string();
+    let live_rest = live.run(None);
+    assert_eq!(live_rest.reason, StopReason::Quiescence);
+    let live_out = live.take_output();
+    assert_eq!(live_out, vec!["audited 3"]);
+
+    for kind in MATCHERS {
+        let mut ps = ProductionSystem::new(kind);
+        ps.load_program(prog).unwrap();
+        ps.resume_from_str(&ckpt).unwrap();
+        let rest = ps.run(None);
+        assert_eq!(rest.reason, StopReason::Quiescence, "{:?}", kind);
+        assert_eq!(rest.fired, live_rest.fired, "{:?}", kind);
+        assert_eq!(ps.take_output(), live_out, "{:?}", kind);
+    }
+}
+
+#[test]
+fn checkpoint_render_is_stable_and_resume_guards_hold() {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(REFRACT_PROG).unwrap();
+    seed_refract(&mut ps);
+    ps.run(Some(2));
+    let ck = ps.checkpoint_string();
+    // Canonical render: parse → re-render is byte-identical.
+    let reparsed = sorete::core::Checkpoint::parse(&ck).unwrap();
+    assert_eq!(reparsed.render(), ck);
+    // Resume requires a fresh engine.
+    let err = ps.resume_from_str(&ck).unwrap_err();
+    assert!(
+        err.to_string().contains("durability"),
+        "resume into a live engine must fail: {}",
+        err
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WAL + checkpoint combined: rotate-on-checkpoint keeps the pair coherent.
+
+#[test]
+fn checkpoint_rotates_wal_and_the_pair_recovers() {
+    let (wal, ck) = (tmp("pair.wal"), tmp("pair.ckpt"));
+    fresh(&wal);
+    fresh(&ck);
+    let (clean_stats, clean_wm);
+    {
+        let (mut ps, _) = start_engine(&wal);
+        seed_engine(&mut ps).unwrap();
+        ps.run(Some(3));
+        let records_before = ps.wal_stats().unwrap().records;
+        assert!(records_before > 0);
+        ps.checkpoint_to(&ck).unwrap();
+        // Post-rotation the log restarts; later cycles land in the new log.
+        ps.run(Some(100));
+        clean_stats = ps.stats().clone();
+        clean_wm = wm_dump(&ps);
+    }
+    // Recover: checkpoint base + WAL tail.
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(ENGINE_PROG).unwrap();
+    ps.resume_from_file(&ck).unwrap();
+    let report = ps.attach_wal(&wal, WalOptions::default()).unwrap();
+    assert!(report.replayed_cycles > 0, "post-checkpoint cycles replay");
+    assert_eq!(ps.stats(), &clean_stats);
+    assert_eq!(wm_dump(&ps), clean_wm);
+    fresh(&wal);
+    fresh(&ck);
+}
