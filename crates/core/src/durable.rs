@@ -331,6 +331,11 @@ pub struct Checkpoint {
     /// Algorithm name of the engine that wrote the checkpoint
     /// (informational; resume into any matcher is supported).
     pub matcher: String,
+    /// WAL-pairing generation: the log that *continues* this checkpoint
+    /// carries the same stamp; a log one generation behind predates the
+    /// checkpoint (crash between checkpoint rename and log rotation) and
+    /// is stale. 0 for checkpoints with no logged lineage.
+    pub generation: u64,
     /// Cycle counter at the boundary.
     pub cycle: u64,
     /// Tag-allocator high-water mark (≥ the highest surviving WME tag:
@@ -355,6 +360,7 @@ impl Checkpoint {
         let mut s = String::new();
         let _ = writeln!(s, "{}", CKPT_MAGIC);
         let _ = writeln!(s, "MATCHER\t{}", self.matcher);
+        let _ = writeln!(s, "GEN\t{}", self.generation);
         let _ = writeln!(s, "CYCLE\t{}", self.cycle);
         let _ = writeln!(s, "TAG\t{}", self.tag_mark);
         let _ = writeln!(s, "HALTED\t{}", u8::from(self.halted));
@@ -402,6 +408,9 @@ impl Checkpoint {
             match tag {
                 "MATCHER" => {
                     ck.matcher = parts.next().unwrap_or("").to_string();
+                }
+                "GEN" => {
+                    ck.generation = num(parts.next().unwrap_or(""), "generation")?;
                 }
                 "CYCLE" => {
                     ck.cycle = num(parts.next().unwrap_or(""), "cycle")?;
@@ -476,6 +485,7 @@ mod tests {
     fn checkpoint_round_trips() {
         let ck = Checkpoint {
             matcher: "rete".into(),
+            generation: 2,
             cycle: 12,
             tag_mark: 40,
             halted: true,
@@ -519,6 +529,7 @@ mod tests {
         let text = ck.render();
         let back = Checkpoint::parse(&text).unwrap();
         assert_eq!(back.matcher, "rete");
+        assert_eq!(back.generation, 2);
         assert_eq!(back.cycle, 12);
         assert_eq!(back.tag_mark, 40);
         assert!(back.halted);

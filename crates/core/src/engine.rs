@@ -369,6 +369,10 @@ pub struct WalReplayReport {
     pub discarded_records: u64,
     /// Tail bytes truncated by recovery (torn/short/uncommitted frames).
     pub truncated_bytes: u64,
+    /// Committed records discarded as stale: the resumed checkpoint was
+    /// one generation ahead of the log (crash between checkpoint rename
+    /// and log rotation), so it already contains their effects.
+    pub stale_records: u64,
 }
 
 /// What [`ProductionSystem::resume`] restored from a checkpoint.
@@ -439,6 +443,10 @@ pub struct ProductionSystem {
     /// Write-ahead log; `None` until [`Self::attach_wal`] — the detached
     /// path is a null check.
     dur: Option<Box<EngineWal>>,
+    /// Checkpoint generation this engine's state descends from: set by
+    /// [`Self::resume`], advanced by [`Self::checkpoint_to`], matched
+    /// against the log's stamp by [`Self::attach_wal`].
+    ckpt_gen: u64,
 }
 
 impl ProductionSystem {
@@ -473,6 +481,7 @@ impl ProductionSystem {
             fault: None,
             metrics: None,
             dur: None,
+            ckpt_gen: 0,
         }
     }
 
@@ -903,6 +912,7 @@ impl ProductionSystem {
         class: Symbol,
         slots: Vec<(Symbol, Value)>,
     ) -> Result<TimeTag, CoreError> {
+        let pre_mark = self.wm.tag_mark();
         let wme = self.wm.make(class, slots)?;
         if let Some(dur) = &mut self.dur {
             dur.pending.push(WmeOp::Assert(wme.clone()));
@@ -920,7 +930,17 @@ impl ProductionSystem {
         self.matcher.insert_wme(&wme);
         self.sync();
         self.note_match_time(t);
-        self.wal_commit_if_api()?;
+        if let Err(e) = self.wal_commit_if_api() {
+            // The log refused the op: undo the assert (WME, match network,
+            // tag allocator) so live state never runs ahead of durable
+            // state — an unlogged WME would survive in memory but vanish
+            // on recovery.
+            let _ = self.wm.remove(wme.tag);
+            self.matcher.remove_wme(&wme);
+            self.sync();
+            self.wm.reset_tag_mark(pre_mark);
+            return Err(e);
+        }
         Ok(wme.tag)
     }
 
@@ -939,7 +959,14 @@ impl ProductionSystem {
         self.matcher.remove_wme(&wme);
         self.sync();
         self.note_match_time(t);
-        self.wal_commit_if_api()?;
+        if let Err(e) = self.wal_commit_if_api() {
+            // Undo the retract: an unlogged removal would resurrect the
+            // WME on recovery.
+            self.wm.restore(wme.clone());
+            self.matcher.insert_wme(&wme);
+            self.sync();
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -964,14 +991,32 @@ impl ProductionSystem {
         self.note_match_time(t);
         let class = old.class;
         let mut slots: Vec<(Symbol, Value)> = old.slots().to_vec();
-        drop(old);
         for &(a, v) in updates {
             match slots.iter_mut().find(|(sa, _)| *sa == a) {
                 Some((_, sv)) => *sv = v,
                 None => slots.push((a, v)),
             }
         }
-        let wme = self.wm.make(class, slots)?;
+        let pre_mark = self.wm.tag_mark();
+        let wme = match self.wm.make(class, slots) {
+            Ok(wme) => wme,
+            Err(e) => {
+                // The retract half already ran. Inside a firing the undo
+                // log restores it (the RHS records Restore(old) before
+                // calling here); for an API-level modify put the old WME
+                // back ourselves (and drop its buffered Retract op)
+                // rather than leaving a half-applied modify behind.
+                if self.firing_rule.is_none() {
+                    if let Some(dur) = &mut self.dur {
+                        dur.pending.pop();
+                    }
+                    self.matcher.insert_wme(&old);
+                    self.wm.restore(old);
+                    self.sync();
+                }
+                return Err(e.into());
+            }
+        };
         if let Some(dur) = &mut self.dur {
             dur.pending.push(WmeOp::Assert(wme.clone()));
         }
@@ -987,7 +1032,17 @@ impl ProductionSystem {
         self.matcher.insert_wme(&wme);
         self.sync();
         self.note_match_time(t);
-        self.wal_commit_if_api()?;
+        if let Err(e) = self.wal_commit_if_api() {
+            // Undo both halves of the modify: remove the new incarnation,
+            // restore the old one, and release the new tag.
+            let _ = self.wm.remove(wme.tag);
+            self.matcher.remove_wme(&wme);
+            self.wm.restore(old.clone());
+            self.matcher.insert_wme(&old);
+            self.sync();
+            self.wm.reset_tag_mark(pre_mark);
+            return Err(e);
+        }
         Ok(wme.tag)
     }
 
@@ -1013,48 +1068,66 @@ impl ProductionSystem {
         if self.dur.is_some() {
             return Err(CoreError::Durability("a WAL is already attached".into()));
         }
-        let (wal, records) = Wal::open(path, opts)?;
+        let (mut wal, records) = Wal::open(path, opts)?;
         let mut report = WalReplayReport::default();
-        let mut pending: Vec<WmeOp> = Vec::new();
-        for rec in records {
-            match rec {
-                WalRecord::Op(payload) => pending.push(decode_wme_op(&payload)?),
-                WalRecord::Commit => {
-                    report.replayed_commits += 1;
-                    for op in pending.drain(..) {
-                        self.replay_op(op)?;
-                        report.replayed_ops += 1;
+        let wal_gen = wal.generation();
+        if wal_gen == self.ckpt_gen {
+            let mut pending: Vec<WmeOp> = Vec::new();
+            for rec in records {
+                match rec {
+                    WalRecord::Op(payload) => pending.push(decode_wme_op(&payload)?),
+                    WalRecord::Commit => {
+                        report.replayed_commits += 1;
+                        for op in pending.drain(..) {
+                            self.replay_op(op)?;
+                            report.replayed_ops += 1;
+                        }
                     }
-                }
-                WalRecord::Cycle(payload) => {
-                    let marker = CycleMarker::decode(&payload)?;
-                    // Refraction is re-armed *before* the cycle's ops, in
-                    // the order the live run did it: `mark_fired` precedes
-                    // the RHS, and an RHS that retracts the fired
-                    // instantiation's own WMEs must clear it again.
-                    if let Some(&id) = self.rule_ids.get(&marker.rule) {
-                        self.cs.mark_fired(&marker.key.into_key(id), marker.version);
+                    WalRecord::Cycle(payload) => {
+                        let marker = CycleMarker::decode(&payload)?;
+                        // Refraction is re-armed *before* the cycle's ops, in
+                        // the order the live run did it: `mark_fired` precedes
+                        // the RHS, and an RHS that retracts the fired
+                        // instantiation's own WMEs must clear it again.
+                        if let Some(&id) = self.rule_ids.get(&marker.rule) {
+                            self.cs.mark_fired(&marker.key.into_key(id), marker.version);
+                        }
+                        for op in pending.drain(..) {
+                            self.replay_op(op)?;
+                            report.replayed_ops += 1;
+                        }
+                        self.cycle = marker.cycle;
+                        self.halted = marker.halted;
+                        let pr = self.stats.per_rule.entry(marker.rule).or_default();
+                        pr.firings = marker.rule_firings;
+                        pr.actions = marker.rule_actions;
+                        let per_rule = std::mem::take(&mut self.stats.per_rule);
+                        self.stats = RunStats {
+                            per_rule,
+                            ..marker.totals
+                        };
+                        report.replayed_cycles += 1;
                     }
-                    for op in pending.drain(..) {
-                        self.replay_op(op)?;
-                        report.replayed_ops += 1;
-                    }
-                    self.cycle = marker.cycle;
-                    self.halted = marker.halted;
-                    let pr = self.stats.per_rule.entry(marker.rule).or_default();
-                    pr.firings = marker.rule_firings;
-                    pr.actions = marker.rule_actions;
-                    let per_rule = std::mem::take(&mut self.stats.per_rule);
-                    self.stats = RunStats {
-                        per_rule,
-                        ..marker.totals
-                    };
-                    report.replayed_cycles += 1;
                 }
             }
+            // `Wal::open` only returns the committed prefix.
+            debug_assert!(pending.is_empty(), "uncommitted records survived recovery");
+        } else if wal_gen + 1 == self.ckpt_gen || (wal_gen == 0 && records.is_empty()) {
+            // Either the crash hit between checkpoint rename and log
+            // rotation — the resumed checkpoint already contains every
+            // logged record, so replaying them would double-apply — or a
+            // brand-new empty log is being attached to a resumed
+            // checkpoint. Both finish by rotating the log to the
+            // checkpoint's generation.
+            report.stale_records = records.len() as u64;
+            wal.rotate(self.ckpt_gen)?;
+        } else {
+            return Err(CoreError::Durability(format!(
+                "WAL generation {} does not pair with checkpoint generation {} \
+                 (resume from the matching checkpoint before attaching this log)",
+                wal_gen, self.ckpt_gen
+            )));
         }
-        // `Wal::open` only returns the committed prefix.
-        debug_assert!(pending.is_empty(), "uncommitted records survived recovery");
         let stats = *wal.stats();
         report.discarded_records = stats.discarded_records;
         report.truncated_bytes = stats.truncated_bytes;
@@ -1198,6 +1271,7 @@ impl ProductionSystem {
         fired.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()).then_with(|| a.1.cmp(&b.1)));
         Checkpoint {
             matcher: self.matcher.algorithm_name().to_string(),
+            generation: self.ckpt_gen,
             cycle: self.cycle,
             tag_mark: self.wm.tag_mark(),
             halted: self.halted,
@@ -1216,20 +1290,27 @@ impl ProductionSystem {
         self.checkpoint().render()
     }
 
-    /// Write a checkpoint file, then rotate the attached WAL (if any):
+    /// Write a checkpoint file crash-atomically (temp file + fsync +
+    /// rename + directory fsync), then rotate the attached WAL (if any):
     /// the checkpoint becomes the new recovery base and the log restarts
-    /// empty. A crash between the two steps is detected at recovery —
-    /// replaying the stale full log over the new checkpoint collides on
-    /// already-live tags and errors rather than silently double-applying.
+    /// empty. With a WAL attached the checkpoint is stamped one
+    /// generation ahead of the pre-rotation log, so a crash *between*
+    /// the two steps is recognised at [`Self::attach_wal`]: the stale
+    /// log's records — already folded into the checkpoint — are
+    /// discarded instead of double-applied, and the interrupted rotation
+    /// is finished.
     pub fn checkpoint_to(&mut self, path: &Path) -> Result<(), CoreError> {
-        let text = self.checkpoint_string();
-        std::fs::write(path, text).map_err(|e| {
+        let mut ck = self.checkpoint();
+        if self.dur.is_some() {
+            ck.generation = self.ckpt_gen + 1;
+        }
+        sorete_reldb::persist::atomic_write(path, ck.render().as_bytes()).map_err(|e| {
             CoreError::Durability(format!("write checkpoint {}: {}", path.display(), e))
         })?;
         if let Some(dur) = &mut self.dur {
-            dur.wal.sync()?;
-            dur.wal.rotate()?;
+            dur.wal.rotate(ck.generation)?;
         }
+        self.ckpt_gen = ck.generation;
         Ok(())
     }
 
@@ -1273,6 +1354,7 @@ impl ProductionSystem {
         }
         self.cycle = ck.cycle;
         self.halted = ck.halted;
+        self.ckpt_gen = ck.generation;
         let mut per_rule = FxHashMap::default();
         for (name, rs) in &ck.rules {
             per_rule.insert(*name, *rs);

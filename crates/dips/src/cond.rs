@@ -90,6 +90,10 @@ struct DipsWal {
     wal: Wal,
     pending: Vec<WmeOp>,
     in_cycle: bool,
+    /// Set when in-memory state was mutated but the log refused the
+    /// matching record: the divergence must not widen, so every further
+    /// WM mutation errors until the engine is rebuilt from the log.
+    poisoned: bool,
 }
 
 /// The DIPS engine: rules compiled to COND tables over a relational
@@ -249,6 +253,7 @@ impl DipsEngine {
 
     /// Assert a WME and propagate through the COND tables.
     pub fn insert(&mut self, class: &str, slots: &[(&str, Value)]) -> Result<TimeTag, DipsError> {
+        self.wal_guard()?;
         self.next_tag += 1;
         let tag = TimeTag::new(self.next_tag);
         let wme = Wme::new(
@@ -281,6 +286,17 @@ impl DipsEngine {
             return Err(DipsError::Db("a WAL is already attached".into()));
         }
         let (wal, records) = Wal::open(path, opts).map_err(|e| DipsError::Db(e.to_string()))?;
+        if wal.generation() != 0 {
+            // DIPS never rotates its log; a nonzero generation means the
+            // file belongs to a checkpointed core-engine lineage whose
+            // pre-rotation records are gone — replaying the remainder
+            // alone would be silent corruption.
+            return Err(DipsError::Db(format!(
+                "WAL {:?} has generation {} (rotated by a checkpoint); DIPS requires generation 0",
+                path,
+                wal.generation()
+            )));
+        }
         let mut report = DipsReplayReport::default();
         let mut pending: Vec<WmeOp> = Vec::new();
         for rec in records {
@@ -315,6 +331,7 @@ impl DipsEngine {
             wal,
             pending: Vec::new(),
             in_cycle: false,
+            poisoned: false,
         }));
         Ok(report)
     }
@@ -370,9 +387,25 @@ impl DipsEngine {
         Ok(())
     }
 
+    /// Error while the attached WAL is poisoned: in-memory state already
+    /// ran ahead of the log once, and further mutations would widen the
+    /// divergence. Reopen (re-attach) to recover to the last commit point.
+    fn wal_guard(&self) -> Result<(), DipsError> {
+        match &self.wal {
+            Some(d) if d.poisoned => Err(DipsError::Db(
+                "DIPS WAL poisoned: in-memory state diverged from the log; \
+                 rebuild from the log to recover"
+                    .into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+
     /// Log one WM effect. Outside a parallel cycle every op is its own
     /// transaction (op + commit marker); inside, ops buffer until the
-    /// cycle's boundary marker commits them as one unit.
+    /// cycle's boundary marker commits them as one unit. The caller has
+    /// already applied the effect in memory, so a refusal from the log
+    /// poisons the handle.
     fn wal_log(&mut self, op: WmeOp) -> Result<(), DipsError> {
         let Some(d) = &mut self.wal else {
             return Ok(());
@@ -381,18 +414,25 @@ impl DipsEngine {
             d.pending.push(op);
             return Ok(());
         }
-        d.wal
+        let r = d
+            .wal
             .append_op(&encode_wme_op(&op))
-            .and_then(|()| d.wal.append_commit())
-            .map_err(|e| DipsError::Db(e.to_string()))
+            .and_then(|()| d.wal.append_commit());
+        if r.is_err() {
+            d.poisoned = true;
+        }
+        r.map_err(|e| DipsError::Db(e.to_string()))
     }
 
-    /// Start buffering WM effects for a parallel cycle.
-    pub(crate) fn wal_begin_cycle(&mut self) {
+    /// Start buffering WM effects for a parallel cycle. Errors if the
+    /// log is already poisoned (the cycle would mutate WM it can't log).
+    pub(crate) fn wal_begin_cycle(&mut self) -> Result<(), DipsError> {
+        self.wal_guard()?;
         if let Some(d) = &mut self.wal {
             d.in_cycle = true;
             d.pending.clear();
         }
+        Ok(())
     }
 
     /// Commit the buffered cycle: flush its ops and a cycle-boundary
@@ -413,6 +453,14 @@ impl DipsEngine {
         };
         let res = flush(d);
         d.pending.clear();
+        if res.is_err() {
+            // The cycle's effects are already applied in memory (and
+            // mirrored into the WM table) but not durably logged: the
+            // half-appended batch was truncated away, so recovery lands
+            // before this cycle while the live engine sits after it.
+            // Poison so the divergence cannot widen.
+            d.poisoned = true;
+        }
         res.map_err(|e| DipsError::Db(e.to_string()))
     }
 
@@ -542,6 +590,7 @@ impl DipsEngine {
 
     /// Retract a WME: delete every COND row referencing it.
     pub fn remove(&mut self, tag: TimeTag) -> Result<(), DipsError> {
+        self.wal_guard()?;
         if self.wm.remove(&tag).is_none() {
             return Err(DipsError::UnknownTag(tag.raw()));
         }

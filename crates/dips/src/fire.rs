@@ -42,8 +42,9 @@ const WM_TABLE: &str = "WM";
 /// the COND tables reflect the committed transactions afterwards.
 pub fn parallel_cycle(engine: &mut DipsEngine) -> Result<CycleReport, DipsError> {
     // WM effects of this cycle buffer in the WAL layer until the cycle
-    // commits as one unit under a boundary marker.
-    engine.wal_begin_cycle();
+    // commits as one unit under a boundary marker. Refuses to start when
+    // a previous cycle left memory ahead of the log (poisoned WAL).
+    engine.wal_begin_cycle()?;
     let report = parallel_cycle_inner(engine);
     match &report {
         Ok(r) => engine.wal_commit_cycle(&format!(

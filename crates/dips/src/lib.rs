@@ -250,6 +250,34 @@ mod tests {
     }
 
     #[test]
+    fn wal_failure_poisons_the_engine() {
+        let dir = std::env::temp_dir().join("sorete-dips-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dips-poison-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let prog = "(p sweep { [item ^s pending] <P> } (set-modify <P> ^s done))";
+        let mut e = DipsEngine::new(DipsMode::Set, prog).unwrap();
+        e.attach_wal(&path, sorete_reldb::WalOptions::default())
+            .unwrap();
+        assert!(e.inject_wal_fault(sorete_reldb::IoFaultPlan::nth(
+            sorete_reldb::IoFaultKind::Fail,
+            0
+        )));
+        // DIPS inserts mutate WM before logging; when the log refuses the
+        // record, memory has already diverged and the handle poisons.
+        let err = e
+            .insert("item", &[("s", Value::sym("pending"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{}", err);
+        // Every further mutation is refused until rebuilt from the log.
+        let err = e
+            .insert("item", &[("s", Value::sym("pending"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{}", err);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn cycle_then_requery_consistent() {
         let prog = "(p sweep { [item ^s pending] <P> } (set-modify <P> ^s done))";
         let mut e = DipsEngine::new(DipsMode::Set, prog).unwrap();

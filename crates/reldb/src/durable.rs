@@ -11,12 +11,33 @@
 //!
 //! ## Checkpoint protocol
 //!
-//! [`DurableDb::checkpoint`] writes the dump, fsyncs the WAL, rotates the
-//! log to empty, and then *compacts the in-memory heap to match the dump*
-//! (`load(dump(db))`). The compaction step is what keeps physical replay
-//! sound: the dump format rebuilds tables densely without tombstones, so
-//! post-checkpoint row ids must be assigned against that dense layout —
-//! exactly the layout recovery will reconstruct.
+//! [`DurableDb::checkpoint`] writes the dump *crash-atomically*
+//! ([`persist::atomic_write`]: temp file, fsync, rename, directory
+//! fsync), stamped with the WAL's generation + 1; only once the rename
+//! is durable does it rotate the log under that new generation, then
+//! *compact the in-memory heap to match the dump* (`load(dump(db))`).
+//! The compaction step is what keeps physical replay sound: the dump
+//! format rebuilds tables densely without tombstones, so post-checkpoint
+//! row ids must be assigned against that dense layout — exactly the
+//! layout recovery will reconstruct.
+//!
+//! The generation stamp closes the crash window *between* those two
+//! steps: if the machine dies after the rename but before the rotation,
+//! [`DurableDb::open`] finds a checkpoint one generation ahead of the
+//! log, recognises every logged record as already folded into the
+//! checkpoint, discards them instead of replaying them on top of it
+//! (which would duplicate rows or delete live ones), and finishes the
+//! interrupted rotation. Any other generation mismatch is corruption.
+//!
+//! ## Poisoning
+//!
+//! Every mutator applies in memory first and logs second, so a log
+//! failure leaves live state ahead of durable state. When that happens
+//! the handle *poisons itself*: all further mutations error until the
+//! database is reopened, which recovers to the last commit point. The
+//! alternative — letting a caller shrug off the error and keep writing —
+//! silently shifts every later row id relative to what recovery will
+//! rebuild.
 
 use crate::db::Database;
 use crate::error::DbError;
@@ -42,6 +63,9 @@ pub struct DurableReport {
     pub discarded_records: u64,
     /// Torn/short/uncommitted tail bytes truncated.
     pub truncated_bytes: u64,
+    /// Committed records discarded as stale because the checkpoint was one
+    /// generation ahead (crash between checkpoint rename and log rotation).
+    pub stale_records: u64,
 }
 
 /// A [`Database`] whose committed mutations survive process death.
@@ -49,6 +73,31 @@ pub struct DurableDb {
     db: Database,
     wal: Wal,
     checkpoint_path: PathBuf,
+    /// Set when a mutation was applied in memory but the log refused it;
+    /// all further mutations error until reopen (see module docs).
+    poisoned: bool,
+}
+
+/// Checkpoint file header (first line: `sorete-reldb-ckpt <generation>`,
+/// followed by a [`persist::dump`]).
+const CKPT_MAGIC: &str = "sorete-reldb-ckpt";
+
+fn render_checkpoint(generation: u64, dump: &str) -> String {
+    format!("{} {}\n{}", CKPT_MAGIC, generation, dump)
+}
+
+fn parse_checkpoint(text: &str) -> Result<(u64, &str), DbError> {
+    match text.split_once('\n') {
+        Some((first, rest)) if first.starts_with(CKPT_MAGIC) => {
+            let gen = first[CKPT_MAGIC.len()..]
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| DbError::Corrupt(format!("bad checkpoint header `{}`", first)))?;
+            Ok((gen, rest))
+        }
+        // Headerless (pre-generation) checkpoint: a plain dump, gen 0.
+        _ => Ok((0, text)),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -194,39 +243,83 @@ impl DurableDb {
         opts: WalOptions,
     ) -> Result<(DurableDb, DurableReport), DbError> {
         let mut report = DurableReport::default();
-        let mut db = if checkpoint.exists() {
+        let (ckpt_gen, mut db) = if checkpoint.exists() {
             report.from_checkpoint = true;
-            persist::load_file(checkpoint)?
+            let text = std::fs::read_to_string(checkpoint)
+                .map_err(|e| DbError::Io(format!("read checkpoint {:?}: {}", checkpoint, e)))?;
+            let (gen, body) = parse_checkpoint(&text)?;
+            (gen, persist::load(body)?)
         } else {
-            Database::new()
+            (0, Database::new())
         };
-        let (records, wal) = {
-            let (wal, records) = Wal::open(wal_path, opts)?;
-            (records, wal)
-        };
+        let (mut wal, records) = Wal::open(wal_path, opts)?;
         report.discarded_records = wal.stats().discarded_records;
         report.truncated_bytes = wal.stats().truncated_bytes;
-        for rec in &records {
-            match rec {
-                WalRecord::Op(payload) => {
-                    apply_row_op(&mut db, payload)?;
-                    report.replayed_ops += 1;
-                }
-                WalRecord::Commit => report.replayed_commits += 1,
-                WalRecord::Cycle(_) => {
-                    report.replayed_commits += 1;
-                    report.replayed_cycles += 1;
+        let wal_gen = wal.generation();
+        if wal_gen == ckpt_gen {
+            for rec in &records {
+                match rec {
+                    WalRecord::Op(payload) => {
+                        apply_row_op(&mut db, payload)?;
+                        report.replayed_ops += 1;
+                    }
+                    WalRecord::Commit => report.replayed_commits += 1,
+                    WalRecord::Cycle(_) => {
+                        report.replayed_commits += 1;
+                        report.replayed_cycles += 1;
+                    }
                 }
             }
+        } else if wal_gen + 1 == ckpt_gen || (wal_gen == 0 && records.is_empty()) {
+            // Either the crash hit between checkpoint rename and log
+            // rotation — every logged record is already folded into the
+            // checkpoint and must NOT be replayed on top of it — or a
+            // brand-new empty log is being started against an existing
+            // checkpoint. Both finish by rotating to the checkpoint's
+            // generation.
+            report.stale_records = records.len() as u64;
+            wal.rotate(ckpt_gen)?;
+        } else {
+            return Err(DbError::Corrupt(format!(
+                "checkpoint {:?} (generation {}) does not pair with WAL {:?} (generation {})",
+                checkpoint, ckpt_gen, wal_path, wal_gen
+            )));
         }
         Ok((
             DurableDb {
                 db,
                 wal,
                 checkpoint_path: checkpoint.to_path_buf(),
+                poisoned: false,
             },
             report,
         ))
+    }
+
+    /// Error unless the handle is still usable (see module docs).
+    fn guard(&self) -> Result<(), DbError> {
+        if self.poisoned {
+            return Err(DbError::Io(
+                "durable db poisoned: a mutation was applied in memory but not logged; \
+                 reopen to recover to the last commit point"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Log op + commit for a mutation already applied in memory; a refusal
+    /// from the log poisons the handle (live state is now ahead of durable
+    /// state and must not keep advancing).
+    fn log_applied(&mut self, payload: &[u8]) -> Result<(), DbError> {
+        let r = self
+            .wal
+            .append_op(payload)
+            .and_then(|_| self.wal.append_commit());
+        if r.is_err() {
+            self.poisoned = true;
+        }
+        r
     }
 
     /// The underlying database, read-only. Mutations must go through the
@@ -247,26 +340,25 @@ impl DurableDb {
 
     /// Create a table (durably, auto-committed).
     pub fn create_table(&mut self, schema: Schema) -> Result<(), DbError> {
+        self.guard()?;
         self.db.create_table(schema.clone())?;
-        self.wal.append_op(&encode_create_table(&schema))?;
-        self.wal.append_commit()
+        self.log_applied(&encode_create_table(&schema))
     }
 
     /// Create a secondary index (durably, auto-committed).
     pub fn create_index(&mut self, table: &str, col: &str) -> Result<(), DbError> {
+        self.guard()?;
         let (t, c) = (Symbol::new(table), Symbol::new(col));
         self.db.table_mut(t)?.create_index(c)?;
-        self.wal.append_op(&encode_create_index(t, c))?;
-        self.wal.append_commit()
+        self.log_applied(&encode_create_index(t, c))
     }
 
     /// Insert a row (durably, auto-committed).
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<RowId, DbError> {
+        self.guard()?;
         let t = Symbol::new(table);
         let id = self.db.table_mut(t)?.insert(row.clone())?;
-        self.wal
-            .append_op(&encode_write(&AppliedWrite::Insert { table: t, id, row }))?;
-        self.wal.append_commit()?;
+        self.log_applied(&encode_write(&AppliedWrite::Insert { table: t, id, row }))?;
         Ok(id)
     }
 
@@ -278,24 +370,23 @@ impl DurableDb {
         col: &str,
         value: Value,
     ) -> Result<(), DbError> {
+        self.guard()?;
         let (t, c) = (Symbol::new(table), Symbol::new(col));
         self.db.table_mut(t)?.update(id, c, value)?;
-        self.wal.append_op(&encode_write(&AppliedWrite::Update {
+        self.log_applied(&encode_write(&AppliedWrite::Update {
             table: t,
             id,
             col: c,
             value,
-        }))?;
-        self.wal.append_commit()
+        }))
     }
 
     /// Delete a row (durably, auto-committed).
     pub fn delete(&mut self, table: &str, id: RowId) -> Result<(), DbError> {
+        self.guard()?;
         let t = Symbol::new(table);
         self.db.table_mut(t)?.delete(id)?;
-        self.wal
-            .append_op(&encode_write(&AppliedWrite::Delete { table: t, id }))?;
-        self.wal.append_commit()
+        self.log_applied(&encode_write(&AppliedWrite::Delete { table: t, id }))
     }
 
     /// Begin an optimistic transaction (same semantics as
@@ -308,38 +399,62 @@ impl DurableDb {
     /// write, then a commit marker. On validation conflict nothing is
     /// logged.
     pub fn commit(&mut self, tx: Transaction) -> Result<(), DbError> {
+        self.guard()?;
         let applied = self.db.commit_applied(tx)?;
+        let mut r = Ok(());
         for w in &applied {
-            self.wal.append_op(&encode_write(w))?;
+            r = self.wal.append_op(&encode_write(w));
+            if r.is_err() {
+                break;
+            }
         }
-        self.wal.append_commit()
+        let r = r.and_then(|_| self.wal.append_commit());
+        if r.is_err() {
+            // The writes are applied in memory but not durably logged (the
+            // WAL truncated the half-appended batch); see module docs.
+            self.poisoned = true;
+        }
+        r
     }
 
     /// Append a cycle-boundary marker carrying `payload` (a commit point;
-    /// DIPS stamps one per parallel recognise–act cycle).
+    /// DIPS stamps one per parallel recognise–act cycle). A failure here
+    /// does not poison: the marker is its own batch, so no applied-but-
+    /// unlogged mutation is left behind.
     pub fn mark_cycle(&mut self, payload: &[u8]) -> Result<(), DbError> {
+        self.guard()?;
         self.wal.append_cycle(payload)
     }
 
-    /// Take a checkpoint: write the dump, rotate the WAL to empty, and
-    /// compact the in-memory heap to the dump's dense layout (see module
-    /// docs for why compaction is load-bearing).
+    /// Take a checkpoint: atomically write the generation-stamped dump,
+    /// rotate the WAL to empty under the new generation, and compact the
+    /// in-memory heap to the dump's dense layout (see module docs for why
+    /// compaction is load-bearing).
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
-        let text = persist::dump(&self.db);
-        std::fs::write(&self.checkpoint_path, &text).map_err(|e| {
-            DbError::Io(format!(
-                "write checkpoint {:?}: {}",
-                self.checkpoint_path, e
-            ))
-        })?;
-        self.wal.sync()?;
-        self.wal.rotate()?;
-        self.db = persist::load(&text)?;
+        self.guard()?;
+        let dump = persist::dump(&self.db);
+        let generation = self.wal.generation() + 1;
+        // Step 1: the checkpoint lands durably (or not at all) — a crash
+        // from here on recovers from it; a failure here leaves the old
+        // checkpoint + unrotated WAL pair fully intact.
+        persist::atomic_write(
+            &self.checkpoint_path,
+            render_checkpoint(generation, &dump).as_bytes(),
+        )?;
+        // Step 2: retire the log. If this fails the pair is mid-transition
+        // (checkpoint one generation ahead — exactly what open() repairs),
+        // but this handle can no longer append safely.
+        if let Err(e) = self.wal.rotate(generation) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.db = persist::load(&dump)?;
         Ok(())
     }
 
     /// Force an fsync now.
     pub fn sync(&mut self) -> Result<(), DbError> {
+        self.guard()?;
         self.wal.sync()
     }
 }
@@ -442,6 +557,144 @@ mod tests {
         drop(ddb);
         let (ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
         assert_eq!(persist::dump(ddb.db()), dump_before);
+    }
+
+    #[test]
+    fn unlogged_mutation_poisons_the_handle() {
+        let (ckpt, wal) = paths("poison");
+        let clean_dump;
+        {
+            let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+            seed(&mut ddb);
+            clean_dump = persist::dump(ddb.db());
+            // Fail the op record of the next insert cleanly: the row lands
+            // in memory, the log refuses it, and the handle must stop
+            // accepting writes (its live state is ahead of the log).
+            ddb.inject_fault(IoFaultPlan::nth(IoFaultKind::Fail, 8));
+            assert!(ddb
+                .insert("emp", vec![Value::sym("cat"), Value::Int(90)])
+                .is_err());
+            let err = ddb
+                .insert("emp", vec![Value::sym("dog"), Value::Int(70)])
+                .unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "got: {}", err);
+            assert!(
+                ddb.checkpoint().is_err(),
+                "poisoned handle cannot checkpoint"
+            );
+        }
+        // Reopen recovers to the last commit point, and allocation there
+        // matches an uninterrupted run: the next insert reuses row id 2.
+        let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+        assert_eq!(persist::dump(ddb.db()), clean_dump);
+        let id = ddb
+            .insert("emp", vec![Value::sym("cat"), Value::Int(90)])
+            .unwrap();
+        assert_eq!(id, RowId::new(2));
+    }
+
+    #[test]
+    fn checkpoint_survives_crash_before_rotation() {
+        // Simulate a crash *between* the checkpoint rename and the WAL
+        // rotation: the checkpoint is one generation ahead of a log still
+        // full of records it already contains. Recovery must discard the
+        // stale records, not replay them on top of the checkpoint.
+        let (ckpt, wal) = paths("prerotate");
+        let ckpt_dump;
+        {
+            let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+            seed(&mut ddb);
+            ddb.delete("emp", RowId::new(0)).unwrap();
+            let pre_rotation_wal = std::fs::read(&wal).unwrap();
+            ddb.checkpoint().unwrap();
+            ckpt_dump = persist::dump(ddb.db());
+            drop(ddb);
+            // Wind the log back to its pre-rotation content (generation 0,
+            // every record already folded into the gen-1 checkpoint).
+            std::fs::write(&wal, pre_rotation_wal).unwrap();
+        }
+        let (mut ddb, rep) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+        assert!(rep.from_checkpoint);
+        assert_eq!(rep.replayed_ops, 0, "stale records are not replayed");
+        assert!(rep.stale_records > 0, "…but are reported");
+        assert_eq!(persist::dump(ddb.db()), ckpt_dump, "state = the checkpoint");
+        // The interrupted rotation was finished: new work pairs cleanly.
+        ddb.insert("emp", vec![Value::sym("cat"), Value::Int(90)])
+            .unwrap();
+        let after = persist::dump(ddb.db());
+        drop(ddb);
+        let (ddb, rep) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+        assert_eq!(rep.stale_records, 0);
+        assert_eq!(rep.replayed_ops, 1);
+        assert_eq!(persist::dump(ddb.db()), after);
+    }
+
+    #[test]
+    fn failed_checkpoint_write_leaves_the_pair_recoverable() {
+        // Point the checkpoint at an unwritable location: checkpoint()
+        // must fail before touching the WAL, leaving the ordinary
+        // replay path fully intact.
+        let dir = std::env::temp_dir().join("sorete-durable-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir
+            .join("no-such-subdir")
+            .join(format!("badckpt-{}.ckpt", std::process::id()));
+        let wal = dir.join(format!("badckpt-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&wal);
+        let full_dump;
+        {
+            let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+            seed(&mut ddb);
+            assert!(ddb.checkpoint().is_err(), "unwritable checkpoint path");
+            // Not poisoned: nothing diverged; work continues and is logged.
+            ddb.insert("emp", vec![Value::sym("cat"), Value::Int(90)])
+                .unwrap();
+            full_dump = persist::dump(ddb.db());
+        }
+        let (ddb, rep) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+        assert!(!rep.from_checkpoint);
+        assert_eq!(persist::dump(ddb.db()), full_dump);
+    }
+
+    #[test]
+    fn fresh_wal_adopts_checkpoint_generation() {
+        // A checkpoint with a missing/new log opens to exactly the
+        // checkpoint state (a lost log after a checkpoint loses only the
+        // post-checkpoint tail, never the checkpoint itself).
+        let (ckpt, wal) = paths("freshwal");
+        let ckpt_dump;
+        {
+            let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+            seed(&mut ddb);
+            ddb.checkpoint().unwrap();
+            ckpt_dump = persist::dump(ddb.db());
+            ddb.insert("emp", vec![Value::sym("cat"), Value::Int(90)])
+                .unwrap();
+        }
+        std::fs::remove_file(&wal).unwrap();
+        let (ddb, rep) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+        assert!(rep.from_checkpoint);
+        assert_eq!(persist::dump(ddb.db()), ckpt_dump);
+    }
+
+    #[test]
+    fn unpairable_generations_refuse_to_open() {
+        // A gen-1 log with a gen-0 (missing) checkpoint cannot be
+        // reconciled: replaying rotated-away physical ops against an
+        // empty database would be silent corruption.
+        let (ckpt, wal) = paths("unpair");
+        {
+            let (mut ddb, _) = DurableDb::open(&ckpt, &wal, WalOptions::default()).unwrap();
+            seed(&mut ddb);
+            ddb.checkpoint().unwrap();
+            ddb.insert("emp", vec![Value::sym("cat"), Value::Int(90)])
+                .unwrap();
+        }
+        std::fs::remove_file(&ckpt).unwrap();
+        let Err(err) = DurableDb::open(&ckpt, &wal, WalOptions::default()) else {
+            panic!("unpairable generations accepted")
+        };
+        assert!(err.to_string().contains("does not pair"), "got: {}", err);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! ## On-disk format
 //!
 //! ```text
-//! SORETWAL1\n                          (10-byte file magic)
+//! SORETWAL2\n                          (10-byte file magic)
+//! [u64 generation]                     (little-endian rotation count)
 //! [u32 len][u32 crc][kind byte + payload]   repeated
 //! ```
 //!
@@ -23,6 +24,27 @@
 //! *commit points*: recovery replays ops only up to the last intact marker
 //! and truncates everything after it, so a torn or short tail can never
 //! resurrect half a transaction (redo-only, no undo needed).
+//!
+//! The *generation* pairs a log with the checkpoint it extends. Every
+//! [`Wal::rotate`] stamps the caller-supplied generation (rotation is
+//! truncate-then-stamp, so a crash mid-rotation leaves the old, smaller
+//! generation behind and is detectable). At open, clients compare the
+//! log's generation against their checkpoint's: equal means replay;
+//! checkpoint one ahead means the crash hit between checkpoint rename and
+//! log rotation, so the log's records are *stale* — already folded into
+//! the checkpoint — and must be discarded, never replayed on top of it.
+//!
+//! ## Failure hygiene
+//!
+//! A failed append must not leave half a transaction lying in the file
+//! where a *later* commit marker would adopt it into the committed
+//! prefix. On a clean injected failure the log truncates back to the
+//! last commit point (dropping the whole half-appended batch); on a real
+//! I/O error — where the bytes on disk are unknowable — it truncates
+//! *and* poisons itself so every later call errors until reopen, which
+//! re-runs recovery. Real fsync failures also poison: after `EIO` from
+//! `fsync` the kernel may have dropped the dirty pages, so the only safe
+//! continuation is recovery from the file itself.
 //!
 //! ## Durability knob
 //!
@@ -39,7 +61,9 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// File magic for WAL files.
-pub const WAL_MAGIC: &[u8] = b"SORETWAL1\n";
+pub const WAL_MAGIC: &[u8] = b"SORETWAL2\n";
+/// Header length: magic plus the little-endian u64 generation stamp.
+const HEADER_LEN: usize = WAL_MAGIC.len() + 8;
 /// Largest accepted record body (kind + payload); anything bigger is
 /// treated as a corrupt length prefix during recovery.
 const MAX_RECORD: u32 = 1 << 30;
@@ -116,13 +140,18 @@ pub struct WalStats {
     pub discarded_records: u64,
     /// Tail bytes truncated by recovery (torn/short/uncommitted frames).
     pub truncated_bytes: u64,
+    /// Generation stamp found in (or written to) the header: the number
+    /// of checkpoint rotations this log lineage has been through.
+    pub generation: u64,
 }
 
 /// What an injected storage fault does (mirrors the RHS-level
 /// `FaultPlan` from the engine, one layer down).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IoFaultKind {
-    /// The append fails cleanly: nothing reaches the file.
+    /// The append fails cleanly: nothing from the frame reaches the file,
+    /// and the log truncates back to the last commit point (dropping any
+    /// earlier records of the same uncommitted batch).
     Fail,
     /// Half the frame reaches the file, then the "machine dies"
     /// (the WAL poisons itself; every later call errors).
@@ -176,8 +205,15 @@ pub struct Wal {
     appended: u64,
     /// Commit points since the last fsync (group commit).
     unsynced_commits: u32,
+    /// Header generation stamp (see the module docs).
+    generation: u64,
+    /// File offset of the append cursor.
+    end: u64,
+    /// File offset just past the last commit-point frame (or the header):
+    /// the truncation target when a half-appended batch must be dropped.
+    tail_base: u64,
     fault: Option<IoFaultPlan>,
-    /// After a simulated crash every call errors until reopen.
+    /// After a crash (simulated or real) every call errors until reopen.
     poisoned: bool,
     /// Armed by an [`IoFaultKind::FsyncError`] append; fires at next sync.
     fsync_fault_armed: bool,
@@ -204,7 +240,20 @@ impl Wal {
                 path
             )));
         }
-        let mut pos = WAL_MAGIC.len();
+        if buf.len() < HEADER_LEN {
+            // Torn initial header: the generation stamp never fully landed,
+            // which can only happen while creating a brand-new (gen 0) log.
+            stats.truncated_bytes = (buf.len() - WAL_MAGIC.len()) as u64;
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| DbError::Io(format!("open wal {:?} for truncation: {}", path, e)))?;
+            f.set_len(WAL_MAGIC.len() as u64)
+                .map_err(|e| DbError::Io(format!("truncate wal {:?}: {}", path, e)))?;
+            return Ok((Vec::new(), stats));
+        }
+        stats.generation = u64::from_le_bytes(buf[WAL_MAGIC.len()..HEADER_LEN].try_into().unwrap());
+        let mut pos = HEADER_LEN;
         let mut last_commit_end = pos;
         let mut committed: Vec<WalRecord> = Vec::new();
         let mut pending: Vec<WalRecord> = Vec::new();
@@ -267,10 +316,16 @@ impl Wal {
         let len = file
             .seek(SeekFrom::End(0))
             .map_err(|e| DbError::Io(format!("seek wal {:?}: {}", path, e)))?;
-        if len == 0 {
-            file.write_all(WAL_MAGIC)
+        let end = if len < HEADER_LEN as u64 {
+            // New file, or a torn initial header truncated back to the
+            // magic by recovery: (re)write the full header, generation 0.
+            file.set_len(0)
+                .and_then(|_| file.seek(SeekFrom::Start(0)))
+                .and_then(|_| file.write_all(WAL_MAGIC))
+                .and_then(|_| file.write_all(&0u64.to_le_bytes()))
                 .and_then(|_| file.sync_data())
                 .map_err(|e| DbError::Io(format!("init wal {:?}: {}", path, e)))?;
+            HEADER_LEN as u64
         } else {
             // Sanity: recover() validated the magic unless the file was
             // empty, but re-check in case of a race with another writer.
@@ -285,12 +340,13 @@ impl Wal {
                 )));
             }
             file.seek(SeekFrom::End(0))
-                .map_err(|e| DbError::Io(format!("seek wal {:?}: {}", path, e)))?;
-        }
+                .map_err(|e| DbError::Io(format!("seek wal {:?}: {}", path, e)))?
+        };
         let stats = WalStats {
             recovered_records: rec_stats.recovered_records,
             discarded_records: rec_stats.discarded_records,
             truncated_bytes: rec_stats.truncated_bytes,
+            generation: rec_stats.generation,
             ..WalStats::default()
         };
         Ok((
@@ -301,6 +357,9 @@ impl Wal {
                 stats,
                 appended: 0,
                 unsynced_commits: 0,
+                generation: rec_stats.generation,
+                end,
+                tail_base: end,
                 fault: None,
                 poisoned: false,
                 fsync_fault_armed: false,
@@ -317,6 +376,11 @@ impl Wal {
     /// Session counters.
     pub fn stats(&self) -> &WalStats {
         &self.stats
+    }
+
+    /// The header's generation stamp (checkpoint-rotation count).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Arm a storage fault (see [`IoFaultPlan`]).
@@ -354,42 +418,87 @@ impl Wal {
     }
 
     /// Flush and fsync now, regardless of the group-commit window.
+    ///
+    /// A *real* fsync failure poisons the log: after `EIO` the kernel may
+    /// have dropped the dirty pages, so the in-memory picture of what is
+    /// durable can no longer be trusted — only reopening (which re-runs
+    /// recovery against the file itself) re-establishes it.
     pub fn sync(&mut self) -> Result<(), DbError> {
         if self.poisoned {
-            return Err(DbError::Io("wal poisoned by injected crash".into()));
+            return Err(DbError::Io("wal poisoned by crash".into()));
         }
         if self.fsync_fault_armed {
             self.fsync_fault_armed = false;
             self.poisoned = true;
             return Err(DbError::Io("injected fsync failure".into()));
         }
-        self.file
-            .sync_data()
-            .map_err(|e| DbError::Io(format!("fsync wal {:?}: {}", self.path, e)))?;
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(DbError::Io(format!("fsync wal {:?}: {}", self.path, e)));
+        }
         self.stats.fsyncs += 1;
         self.unsynced_commits = 0;
         Ok(())
     }
 
     /// Rotate after a checkpoint: the checkpoint file now carries all
-    /// state, so the log restarts empty.
-    pub fn rotate(&mut self) -> Result<(), DbError> {
+    /// state, so the log restarts empty under the checkpoint's
+    /// `generation` stamp. Order matters: truncate *first*, then stamp —
+    /// a crash in between leaves an empty log still carrying the old
+    /// generation, which clients detect as stale (checkpoint one ahead)
+    /// rather than silently replaying old records under the new stamp.
+    pub fn rotate(&mut self, generation: u64) -> Result<(), DbError> {
         if self.poisoned {
-            return Err(DbError::Io("wal poisoned by injected crash".into()));
+            return Err(DbError::Io("wal poisoned by crash".into()));
         }
-        self.file
-            .set_len(WAL_MAGIC.len() as u64)
-            .and_then(|_| self.file.seek(SeekFrom::End(0)))
+        let r = self
+            .file
+            .set_len(HEADER_LEN as u64)
+            .and_then(|_| self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64)))
+            .and_then(|_| self.file.write_all(&generation.to_le_bytes()))
             .and_then(|_| self.file.sync_data())
-            .map_err(|e| DbError::Io(format!("rotate wal {:?}: {}", self.path, e)))?;
-        self.stats.fsyncs += 1;
-        self.unsynced_commits = 0;
-        Ok(())
+            .and_then(|_| self.file.seek(SeekFrom::End(0)));
+        match r {
+            Ok(_) => {
+                self.generation = generation;
+                self.stats.generation = generation;
+                self.end = HEADER_LEN as u64;
+                self.tail_base = self.end;
+                self.stats.fsyncs += 1;
+                self.unsynced_commits = 0;
+                Ok(())
+            }
+            Err(e) => {
+                // The file may be anywhere between truncated and stamped;
+                // refuse further use until reopen re-derives the truth.
+                self.poisoned = true;
+                Err(DbError::Io(format!("rotate wal {:?}: {}", self.path, e)))
+            }
+        }
+    }
+
+    /// Drop a half-appended batch: truncate back to the last commit point
+    /// so no later marker can adopt its records into the committed
+    /// prefix. `poison` additionally retires the handle (used when the
+    /// on-disk bytes are unknowable after a real I/O error).
+    fn abort_tail(&mut self, poison: bool) {
+        if poison {
+            self.poisoned = true;
+        }
+        let ok = self.file.set_len(self.tail_base).is_ok()
+            && self.file.seek(SeekFrom::Start(self.tail_base)).is_ok();
+        if ok {
+            self.end = self.tail_base;
+        } else {
+            // Couldn't even truncate: the orphan bytes stay, so the handle
+            // must never append a marker that would commit them.
+            self.poisoned = true;
+        }
     }
 
     fn append_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), DbError> {
         if self.poisoned {
-            return Err(DbError::Io("wal poisoned by injected crash".into()));
+            return Err(DbError::Io("wal poisoned by crash".into()));
         }
         let n = self.appended;
         self.appended += 1;
@@ -404,6 +513,11 @@ impl Wal {
             if plan.at == n {
                 match plan.kind {
                     IoFaultKind::Fail => {
+                        // Clean failure: nothing from *this* frame reached
+                        // the file, but earlier records of the same batch
+                        // did — drop them too, or a later marker would
+                        // commit a half-logged transaction.
+                        self.abort_tail(false);
                         return Err(DbError::Io(format!(
                             "injected append failure at record {}",
                             n
@@ -438,9 +552,16 @@ impl Wal {
                 }
             }
         }
-        self.file
-            .write_all(&frame)
-            .map_err(|e| DbError::Io(format!("append wal {:?}: {}", self.path, e)))?;
+        if let Err(e) = self.file.write_all(&frame) {
+            // Real I/O error: an unknown prefix of the frame may be on
+            // disk. Truncate the whole batch away and retire the handle.
+            self.abort_tail(true);
+            return Err(DbError::Io(format!("append wal {:?}: {}", self.path, e)));
+        }
+        self.end += frame.len() as u64;
+        if kind != KIND_OP {
+            self.tail_base = self.end;
+        }
         self.stats.records += 1;
         self.stats.bytes += frame.len() as u64;
         Ok(())
@@ -691,14 +812,61 @@ mod tests {
         let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
         wal.append_op(b"pre").unwrap();
         wal.append_commit().unwrap();
-        wal.rotate().unwrap();
+        wal.rotate(1).unwrap();
         wal.append_op(b"post").unwrap();
+        wal.append_commit().unwrap();
+        drop(wal);
+        let (records, stats) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![WalRecord::Op(b"post".to_vec()), WalRecord::Commit]
+        );
+        assert_eq!(stats.generation, 1, "rotation stamped the generation");
+    }
+
+    #[test]
+    fn generation_survives_reopen() {
+        let path = tmp("gen");
+        {
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            assert_eq!(wal.generation(), 0);
+            wal.rotate(3).unwrap();
+            wal.append_op(b"x").unwrap();
+            wal.append_commit().unwrap();
+        }
+        let (wal, records) = Wal::open(&path, WalOptions::default()).unwrap();
+        assert_eq!(wal.generation(), 3);
+        assert_eq!(wal.stats().generation, 3);
+        assert_eq!(records.len(), 2, "records under the new generation replay");
+    }
+
+    #[test]
+    fn failed_append_aborts_the_whole_batch() {
+        // A clean append failure mid-batch must drop the batch's earlier
+        // records, or the *next* successful commit marker would adopt
+        // them into the committed prefix (orphan ops from a transaction
+        // the client rolled back).
+        let path = tmp("abort-batch");
+        let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        wal.append_op(b"committed").unwrap();
+        wal.append_commit().unwrap();
+        wal.inject_fault(IoFaultPlan::nth(IoFaultKind::Fail, 3));
+        wal.append_op(b"orphan").unwrap(); // record 2: lands, then...
+        assert!(wal.append_op(b"doomed").is_err()); // record 3: batch aborts
+                                                    // The client rolled the transaction back; a later transaction
+                                                    // commits fine and must not resurrect "orphan".
+        wal.append_op(b"next").unwrap();
         wal.append_commit().unwrap();
         drop(wal);
         let (records, _) = Wal::recover(&path).unwrap();
         assert_eq!(
             records,
-            vec![WalRecord::Op(b"post".to_vec()), WalRecord::Commit]
+            vec![
+                WalRecord::Op(b"committed".to_vec()),
+                WalRecord::Commit,
+                WalRecord::Op(b"next".to_vec()),
+                WalRecord::Commit,
+            ]
         );
     }
 
@@ -750,7 +918,7 @@ mod tests {
         assert!(wal.append_op(b"x").is_err());
         assert!(wal.append_op(b"y").is_err(), "poisoned");
         assert!(wal.sync().is_err(), "poisoned");
-        assert!(wal.rotate().is_err(), "poisoned");
+        assert!(wal.rotate(1).is_err(), "poisoned");
     }
 
     #[test]

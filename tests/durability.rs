@@ -482,3 +482,120 @@ fn checkpoint_rotates_wal_and_the_pair_recovers() {
     fresh(&wal);
     fresh(&ck);
 }
+
+#[test]
+fn stale_wal_from_a_crash_before_rotation_is_discarded() {
+    // The checkpoint crash window: the checkpoint file renames into place
+    // but the process dies before the WAL rotation reaches disk. The log
+    // still carries the *previous* generation's records — already baked
+    // into the checkpoint — and replaying them on top would double-apply.
+    let (wal, ck) = (tmp("stale.wal"), tmp("stale.ckpt"));
+    fresh(&wal);
+    fresh(&ck);
+    let pre_rotation;
+    {
+        let (mut ps, _) = start_engine(&wal);
+        seed_engine(&mut ps).unwrap();
+        ps.run(Some(3));
+        assert!(ps.wal_stats().unwrap().records > 0);
+        pre_rotation = std::fs::read(&wal).unwrap();
+        ps.checkpoint_to(&ck).unwrap();
+    }
+    // Oracle: a clean resume from the checkpoint, run to the halt.
+    let (clean_stats, clean_wm, clean_canon);
+    {
+        let mut oracle = ProductionSystem::new(MatcherKind::Rete);
+        oracle.load_program(ENGINE_PROG).unwrap();
+        oracle.resume_from_file(&ck).unwrap();
+        let out = oracle.run(Some(100));
+        assert_eq!(out.reason, StopReason::Halt);
+        clean_stats = oracle.stats().clone();
+        clean_wm = wm_dump(&oracle);
+        clean_canon = canon(&oracle);
+    }
+    // Wind the WAL back to its pre-rotation bytes: the crash left the old
+    // generation on disk, one behind the checkpoint.
+    std::fs::write(&wal, &pre_rotation).unwrap();
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(ENGINE_PROG).unwrap();
+    ps.resume_from_file(&ck).unwrap();
+    let report = ps.attach_wal(&wal, WalOptions::default()).unwrap();
+    assert!(
+        report.stale_records > 0,
+        "the previous generation's records are stale, not replayable"
+    );
+    assert_eq!(report.replayed_ops, 0);
+    assert_eq!(report.replayed_cycles, 0);
+    let out = ps.run(Some(100));
+    assert_eq!(out.reason, StopReason::Halt);
+    assert_eq!(ps.stats(), &clean_stats, "stale replay double-applied");
+    assert_eq!(wm_dump(&ps), clean_wm);
+    assert_eq!(canon(&ps), clean_canon);
+    fresh(&wal);
+    fresh(&ck);
+}
+
+#[test]
+fn rotated_wal_refuses_to_attach_without_its_checkpoint() {
+    // A log rotated by a checkpoint only makes sense on top of that
+    // checkpoint's state. Attaching it to a fresh engine (generation 0)
+    // must be refused, not silently replayed against the wrong base.
+    let (wal, ck) = (tmp("refuse.wal"), tmp("refuse.ckpt"));
+    fresh(&wal);
+    fresh(&ck);
+    {
+        let (mut ps, _) = start_engine(&wal);
+        seed_engine(&mut ps).unwrap();
+        ps.run(Some(2));
+        ps.checkpoint_to(&ck).unwrap();
+        ps.run(Some(2));
+    }
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(ENGINE_PROG).unwrap();
+    let err = ps.attach_wal(&wal, WalOptions::default()).unwrap_err();
+    assert!(
+        err.to_string().contains("does not pair"),
+        "mismatched generations must refuse: {}",
+        err
+    );
+    fresh(&wal);
+    fresh(&ck);
+}
+
+#[test]
+fn api_op_rolls_back_when_the_log_refuses_it() {
+    // An API-level assert that the WAL refuses must leave no trace: no
+    // WME, no matcher state, and the tag counter rewound so the retry
+    // lands on the very same tag a never-faulted run would use.
+    let (w, w2) = (tmp("api-rb.wal"), tmp("api-rb-clean.wal"));
+    fresh(&w);
+    fresh(&w2);
+    let (mut ps, _) = start_engine(&w);
+    assert!(ps.inject_wal_fault(IoFaultPlan::nth(IoFaultKind::Fail, 0)));
+    let err = ps
+        .assert_wme(
+            sorete_base::Symbol::new("c"),
+            vec![(sorete_base::Symbol::new("n"), Value::Int(0))],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("injected"), "{}", err);
+    assert_eq!(
+        ps.wm().iter().count(),
+        0,
+        "refused assert must not leave a WME behind"
+    );
+    // The retry and the rest of the run match a never-faulted engine
+    // exactly — tags included (wm_dump renders them).
+    seed_engine(&mut ps).unwrap();
+    let out = ps.run(Some(100));
+    assert_eq!(out.reason, StopReason::Halt);
+    let (mut oracle, _) = start_engine(&w2);
+    seed_engine(&mut oracle).unwrap();
+    let oracle_out = oracle.run(Some(100));
+    assert_eq!(oracle_out.reason, StopReason::Halt);
+    assert_eq!(ps.stats().firings, oracle.stats().firings);
+    assert_eq!(wm_dump(&ps), wm_dump(&oracle));
+    assert_eq!(canon(&ps), canon(&oracle));
+    fresh(&w);
+    fresh(&w2);
+}
