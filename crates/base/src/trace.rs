@@ -171,6 +171,44 @@ pub enum TraceEvent {
         /// Human-readable description of the violated guard.
         reason: String,
     },
+    /// A panic unwound out of a firing and was caught by the supervisor.
+    PanicCaught {
+        /// The rule whose firing panicked.
+        rule: Symbol,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// A durable-I/O operation failed transiently and will be retried.
+    IoRetry {
+        /// 1-based retry attempt about to run.
+        attempt: u32,
+        /// Backoff delay before the attempt, in microseconds.
+        delay_micros: u64,
+        /// The transient error being retried.
+        error: String,
+    },
+    /// A rule's circuit breaker tripped: the rule is quarantined.
+    Quarantine {
+        /// The quarantined rule.
+        rule: Symbol,
+        /// Failures inside the breaker window that tripped it.
+        failures: u32,
+    },
+    /// A quarantined rule was re-admitted to the conflict set.
+    Readmit {
+        /// The re-admitted rule.
+        rule: Symbol,
+    },
+    /// Resource pressure triggered a degradation step (soft limit →
+    /// automatic checkpoint; hard limit → orderly halt-with-checkpoint).
+    Degrade {
+        /// `"soft"` or `"hard"`.
+        severity: &'static str,
+        /// Which budget tripped, e.g. `"memory-bytes"` or `"wall-clock"`.
+        budget: &'static str,
+        /// Human-readable detail (limit vs. observed).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -193,6 +231,11 @@ impl TraceEvent {
             TraceEvent::SkipAction { .. } => "skip",
             TraceEvent::Rollback { .. } => "rollback",
             TraceEvent::GuardTrip { .. } => "guard",
+            TraceEvent::PanicCaught { .. } => "panic_caught",
+            TraceEvent::IoRetry { .. } => "io_retry",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::Readmit { .. } => "readmit",
+            TraceEvent::Degrade { .. } => "degrade",
         }
     }
 
@@ -208,6 +251,11 @@ impl TraceEvent {
                 | TraceEvent::JoinProbe { .. }
                 | TraceEvent::SnodeActivation { .. }
                 | TraceEvent::AggregateUpdate { .. }
+                // I/O retries and degradation depend on storage timing and
+                // per-backend memory footprints, so they may legitimately
+                // differ across matchers running the same program.
+                | TraceEvent::IoRetry { .. }
+                | TraceEvent::Degrade { .. }
         )
     }
 
@@ -307,6 +355,35 @@ impl TraceEvent {
             }
             TraceEvent::GuardTrip { reason } => {
                 push_str(&mut s, "reason", reason);
+            }
+            TraceEvent::PanicCaught { rule, message } => {
+                push_str(&mut s, "rule", rule.as_str());
+                push_str(&mut s, "message", message);
+            }
+            TraceEvent::IoRetry {
+                attempt,
+                delay_micros,
+                error,
+            } => {
+                push_u64(&mut s, "attempt", u64::from(*attempt));
+                push_u64(&mut s, "delay_micros", *delay_micros);
+                push_str(&mut s, "error", error);
+            }
+            TraceEvent::Quarantine { rule, failures } => {
+                push_str(&mut s, "rule", rule.as_str());
+                push_u64(&mut s, "failures", u64::from(*failures));
+            }
+            TraceEvent::Readmit { rule } => {
+                push_str(&mut s, "rule", rule.as_str());
+            }
+            TraceEvent::Degrade {
+                severity,
+                budget,
+                detail,
+            } => {
+                push_str(&mut s, "severity", severity);
+                push_str(&mut s, "budget", budget);
+                push_str(&mut s, "detail", detail);
             }
         }
         s.push('}');
@@ -753,6 +830,46 @@ mod tests {
             scanned: 5,
         }
         .is_logical());
+    }
+
+    #[test]
+    fn supervision_events_shape_and_split() {
+        let ev = TraceEvent::PanicCaught {
+            rule: Symbol::new("bad"),
+            message: "boom".into(),
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"panic_caught\",\"rule\":\"bad\",\"message\":\"boom\"}"
+        );
+        assert!(ev.is_logical());
+        let ev = TraceEvent::Quarantine {
+            rule: Symbol::new("bad"),
+            failures: 3,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"quarantine\",\"rule\":\"bad\",\"failures\":3}"
+        );
+        assert!(ev.is_logical());
+        assert!(TraceEvent::Readmit {
+            rule: Symbol::new("bad")
+        }
+        .is_logical());
+        let ev = TraceEvent::IoRetry {
+            attempt: 2,
+            delay_micros: 1500,
+            error: "io".into(),
+        };
+        assert!(ev.to_json().contains("\"delay_micros\":1500"));
+        assert!(!ev.is_logical(), "retries are physical");
+        let ev = TraceEvent::Degrade {
+            severity: "soft",
+            budget: "memory-bytes",
+            detail: "limit 10, live 20".into(),
+        };
+        assert!(ev.to_json().contains("\"severity\":\"soft\""));
+        assert!(!ev.is_logical(), "degradation is physical");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! again — "if any part of the instantiation changes, the instantiation is
 //! again eligible to fire" (paper §6).
 
-use sorete_base::{ConflictItem, CsDelta, FxHashMap, InstKey, TimeTag};
+use sorete_base::{ConflictItem, CsDelta, FxHashMap, FxHashSet, InstKey, RuleId, TimeTag};
 use std::cmp::Ordering;
 
 /// OPS5 conflict-resolution strategies.
@@ -32,6 +32,11 @@ pub struct ConflictSet {
     /// refraction state changes is recorded (first touch wins), so a
     /// rolled-back firing can restore refraction exactly.
     journal: Option<FxHashMap<InstKey, Option<u64>>>,
+    /// Rules under supervisor quarantine: their instantiations stay derived
+    /// and keep normal refraction bookkeeping, but [`Self::select`] never
+    /// picks them. Re-admission just removes the rule from this set — the
+    /// preserved entries become selectable again immediately.
+    quarantined: FxHashSet<RuleId>,
 }
 
 struct Entry {
@@ -160,9 +165,45 @@ impl ConflictSet {
     pub fn select(&self, strategy: Strategy) -> Option<(&ConflictItem, bool)> {
         self.items
             .values()
-            .filter(|e| !self.is_refracted(&e.item))
+            .filter(|e| {
+                !self.is_refracted(&e.item) && !self.quarantined.contains(&e.item.key.rule())
+            })
             .max_by(|a, b| compare(strategy, a, b))
             .map(|e| (&e.item, e.stale))
+    }
+
+    /// Quarantine (or re-admit) every instantiation of `rule`. Quarantined
+    /// entries remain in the set with live refraction state; they are only
+    /// excluded from [`Self::select`].
+    pub fn set_rule_quarantined(&mut self, rule: RuleId, quarantined: bool) {
+        if quarantined {
+            self.quarantined.insert(rule);
+        } else {
+            self.quarantined.remove(&rule);
+        }
+    }
+
+    /// Is `rule` currently quarantined?
+    pub fn is_rule_quarantined(&self, rule: RuleId) -> bool {
+        self.quarantined.contains(&rule)
+    }
+
+    /// Rules currently quarantined, in no particular order.
+    pub fn quarantined_rules(&self) -> impl Iterator<Item = RuleId> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Count of unrefracted entries belonging to quarantined rules — work
+    /// the engine *would* do if the rules were re-admitted. A quiescent run
+    /// with this non-zero stopped because of quarantine, not true
+    /// quiescence.
+    pub fn quarantined_fireable(&self) -> usize {
+        self.items
+            .values()
+            .filter(|e| {
+                !self.is_refracted(&e.item) && self.quarantined.contains(&e.item.key.rule())
+            })
+            .count()
     }
 
     /// Refresh a stale entry with re-materialized contents.
@@ -385,6 +426,41 @@ mod tests {
         cs.apply(CsDelta::Insert(a.clone()));
         cs.mark_fired(&a.key, 0);
         assert!(cs.take_journal().is_empty());
+    }
+
+    #[test]
+    fn quarantine_excludes_from_select_but_keeps_state() {
+        let mut cs = ConflictSet::new();
+        let hot = item(0, &[9], 1, 0);
+        let cold = item(1, &[1], 1, 0);
+        cs.apply(CsDelta::Insert(hot.clone()));
+        cs.apply(CsDelta::Insert(cold.clone()));
+        // Rule 0 dominates on recency...
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(0)
+        );
+        // ...until quarantined, when selection falls to rule 1.
+        cs.set_rule_quarantined(RuleId::new(0), true);
+        assert!(cs.is_rule_quarantined(RuleId::new(0)));
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(1)
+        );
+        assert_eq!(cs.quarantined_fireable(), 1);
+        // With rule 1 exhausted only quarantined work remains: select sees
+        // quiescence, quarantined_fireable reports the suppressed entry.
+        cs.mark_fired(&cold.key, cold.version);
+        assert!(cs.select(Strategy::Lex).is_none());
+        assert_eq!(cs.fireable(), 1, "fireable counts ignore quarantine");
+        assert_eq!(cs.quarantined_fireable(), 1);
+        // Re-admission restores the preserved entry verbatim.
+        cs.set_rule_quarantined(RuleId::new(0), false);
+        assert_eq!(
+            cs.select(Strategy::Lex).unwrap().0.key.rule(),
+            RuleId::new(0)
+        );
+        assert_eq!(cs.quarantined_fireable(), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::durable::{Checkpoint, CycleMarker, KeySpec};
 use crate::error::CoreError;
 use crate::rhs::{self, RhsCtx, RhsHost};
 use crate::stats::RunStats;
+use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
 use crate::wm::WorkingMemory;
 use sorete_base::{
     CollectSink, ConflictItem, CsDelta, FxHashMap, InstKey, MetricId, Metrics, NetProfile, RuleId,
@@ -98,6 +99,16 @@ pub enum GuardViolation {
         /// Consecutive stagnant firings observed.
         firings: u64,
     },
+    /// The matcher's live-byte estimate exceeded the supervisor's hard
+    /// memory budget ([`crate::DegradationPolicy::hard_bytes`]). The run
+    /// halted in order — with a checkpoint when one is configured — never
+    /// by abort.
+    MemoryBytes {
+        /// The configured hard budget.
+        limit: u64,
+        /// Live bytes when the budget tripped.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for GuardViolation {
@@ -120,6 +131,13 @@ impl fmt::Display for GuardViolation {
                     rule, firings
                 )
             }
+            GuardViolation::MemoryBytes { limit, actual } => {
+                write!(
+                    f,
+                    "matcher memory grew to {} bytes (hard budget {})",
+                    actual, limit
+                )
+            }
         }
     }
 }
@@ -140,6 +158,24 @@ pub enum StopReason {
     /// been fully undone; under [`RecoveryPolicy::AbortRun`] its partial
     /// effects remain.
     Error(CoreError),
+    /// A panic unwound out of a firing, was caught by the engine's
+    /// `catch_unwind` fence, and the [`RecoveryPolicy`] does not continue
+    /// past errors. The firing was handled like any other failed firing
+    /// (rolled back under [`RecoveryPolicy::Rollback`]).
+    Panicked {
+        /// The rule whose firing panicked.
+        rule: Symbol,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// The run went quiescent *but only because of quarantine*: every
+    /// remaining fireable instantiation belongs to a quarantined rule.
+    /// Re-admit (see [`ProductionSystem::readmit_rule`]) and run again to
+    /// continue.
+    Quarantined {
+        /// The quarantined rules, sorted by name.
+        rules: Vec<Symbol>,
+    },
 }
 
 /// Result of a run.
@@ -194,6 +230,7 @@ pub struct FaultPlan {
     target: u64,
     seen: u64,
     triggered: bool,
+    panics: bool,
 }
 
 impl FaultPlan {
@@ -203,7 +240,18 @@ impl FaultPlan {
             target: n,
             seen: 0,
             triggered: false,
+            panics: false,
         }
+    }
+
+    /// Make the fault *panic* at its target action instead of returning
+    /// an error — exercises the engine's `catch_unwind` fence. A plan
+    /// that panics is consumed ([`ProductionSystem::take_fault`] returns
+    /// `None` afterwards): the unwind tears down the injector before it
+    /// can hand the plan back.
+    pub fn panicking(mut self) -> FaultPlan {
+        self.panics = true;
+        self
     }
 
     /// Derive a target action index in `0..max_actions` from a seed
@@ -235,9 +283,24 @@ impl FaultPlan {
         self.seen += 1;
         if idx == self.target {
             self.triggered = true;
+            if self.panics {
+                panic!("injected panic at action {}", idx);
+            }
             return Err(CoreError::FaultInjected { action: idx });
         }
         Ok(())
+    }
+}
+
+/// Render a caught panic payload (the `&str`/`String` cases `panic!`
+/// produces) to text for [`CoreError::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -326,6 +389,13 @@ struct MetricIds {
     wal_recovered_records: MetricId,
     wal_discarded_records: MetricId,
     wal_truncated_bytes: MetricId,
+    sup_panics: MetricId,
+    sup_io_retries: MetricId,
+    sup_quarantines: MetricId,
+    sup_readmissions: MetricId,
+    sup_soft_degrades: MetricId,
+    sup_hard_degrades: MetricId,
+    quarantined_rules: MetricId,
     conflict_set_size: MetricId,
     wm_size: MetricId,
     fire_nanos: MetricId,
@@ -447,6 +517,13 @@ pub struct ProductionSystem {
     /// [`Self::resume`], advanced by [`Self::checkpoint_to`], matched
     /// against the log's stamp by [`Self::attach_wal`].
     ckpt_gen: u64,
+    /// Supervision state (circuit breakers, retry policy, degradation
+    /// budgets); `None` until [`Self::enable_supervision`] — the
+    /// unsupervised path is a null check.
+    sup: Option<Box<Supervisor>>,
+    /// The rule whose firing produced the last [`Self::step`] error, for
+    /// [`Self::run`]'s breaker bookkeeping and structured stop reasons.
+    last_failed: Option<Symbol>,
 }
 
 impl ProductionSystem {
@@ -482,7 +559,81 @@ impl ProductionSystem {
             metrics: None,
             dur: None,
             ckpt_gen: 0,
+            sup: None,
+            last_failed: None,
         }
+    }
+
+    /// Turn on supervision: panic isolation feeds the circuit breakers,
+    /// transient durable-I/O errors are retried with deterministic
+    /// backoff, rules that keep failing are quarantined, and resource
+    /// budgets degrade the run gracefully (checkpoint + halt, never
+    /// abort). Quarantine-past-failure requires a rollback-capable
+    /// [`RecoveryPolicy`]; under [`RecoveryPolicy::AbortRun`] only the
+    /// retry and degradation halves are active.
+    pub fn enable_supervision(&mut self, config: SupervisorConfig) {
+        self.sup = Some(Box::new(Supervisor::new(config)));
+    }
+
+    /// Whether [`Self::enable_supervision`] has been called.
+    pub fn supervision_enabled(&self) -> bool {
+        self.sup.is_some()
+    }
+
+    /// Supervision activity counters (all zero when supervision is off).
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.sup.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Rules currently quarantined, sorted by name.
+    pub fn quarantined_rules(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self
+            .cs
+            .quarantined_rules()
+            .map(|id| self.rules[id.index()].name)
+            .collect();
+        v.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        v
+    }
+
+    /// Manually quarantine a rule: its instantiations stay derived (and
+    /// keep refraction bookkeeping) but conflict resolution never selects
+    /// them. Errors when no such rule is loaded.
+    pub fn quarantine_rule(&mut self, name: &str) -> Result<(), CoreError> {
+        let sym = Symbol::new(name);
+        let id = self
+            .rule_ids
+            .get(&sym)
+            .copied()
+            .ok_or_else(|| CoreError::Rhs(format!("no rule named `{}` to quarantine", name)))?;
+        self.cs.set_rule_quarantined(id, true);
+        self.tracer.emit(|| TraceEvent::Quarantine {
+            rule: sym,
+            failures: 0,
+        });
+        Ok(())
+    }
+
+    /// Re-admit a quarantined rule: its preserved instantiations become
+    /// selectable again immediately and its circuit breaker is reset.
+    /// Returns whether the rule was actually quarantined. Errors when no
+    /// such rule is loaded.
+    pub fn readmit_rule(&mut self, name: &str) -> Result<bool, CoreError> {
+        let sym = Symbol::new(name);
+        let id = self
+            .rule_ids
+            .get(&sym)
+            .copied()
+            .ok_or_else(|| CoreError::Rhs(format!("no rule named `{}` to readmit", name)))?;
+        let was = self.cs.is_rule_quarantined(id);
+        self.cs.set_rule_quarantined(id, false);
+        if let Some(sup) = self.sup.as_mut() {
+            sup.readmit(sym);
+        }
+        if was {
+            self.tracer.emit(|| TraceEvent::Readmit { rule: sym });
+        }
+        Ok(was)
     }
 
     /// Change the conflict-resolution strategy.
@@ -662,6 +813,32 @@ impl ProductionSystem {
                     "sorete_wal_truncated_bytes_total",
                     "WAL tail bytes truncated by recovery at attach",
                 ),
+                sup_panics: r.counter(
+                    "sorete_supervisor_panics_total",
+                    "Panics caught unwinding out of firings",
+                ),
+                sup_io_retries: r.counter(
+                    "sorete_supervisor_io_retries_total",
+                    "Durable-I/O retry attempts (WAL appends + checkpoints)",
+                ),
+                sup_quarantines: r.counter(
+                    "sorete_supervisor_quarantines_total",
+                    "Circuit-breaker trips (rules quarantined)",
+                ),
+                sup_readmissions: r.counter(
+                    "sorete_supervisor_readmissions_total",
+                    "Quarantined rules re-admitted",
+                ),
+                sup_soft_degrades: r.counter(
+                    "sorete_supervisor_soft_degrades_total",
+                    "Soft-budget degradations (automatic checkpoints)",
+                ),
+                sup_hard_degrades: r.counter(
+                    "sorete_supervisor_hard_degrades_total",
+                    "Hard-budget degradations (orderly halts)",
+                ),
+                quarantined_rules: r
+                    .gauge("sorete_quarantined_rules", "Rules currently quarantined"),
                 conflict_set_size: r.gauge(
                     "sorete_conflict_set_size",
                     "Conflict-set entries (fired included)",
@@ -755,6 +932,8 @@ impl ProductionSystem {
             .unwrap_or_default();
         let mem = self.matcher.memory_report();
         let extra = self.matcher.metric_counters();
+        let sup = self.sup.as_ref().map(|s| s.stats()).unwrap_or_default();
+        let quarantined = self.cs.quarantined_rules().count() as u64;
         let cs_len = self.cs.len() as u64;
         let wm_len = self.wm.len() as u64;
         let cycle = self.cycle;
@@ -786,6 +965,13 @@ impl ProductionSystem {
             r.set(ids.wal_recovered_records, ws.recovered_records);
             r.set(ids.wal_discarded_records, ws.discarded_records);
             r.set(ids.wal_truncated_bytes, ws.truncated_bytes);
+            r.set(ids.sup_panics, sup.panics_caught);
+            r.set(ids.sup_io_retries, sup.io_retries);
+            r.set(ids.sup_quarantines, sup.quarantines);
+            r.set(ids.sup_readmissions, sup.readmissions);
+            r.set(ids.sup_soft_degrades, sup.soft_degrades);
+            r.set(ids.sup_hard_degrades, sup.hard_degrades);
+            r.set(ids.quarantined_rules, quarantined);
             r.set(ids.conflict_set_size, cs_len);
             r.set(ids.wm_size, wm_len);
             for region in &mem.regions {
@@ -1209,17 +1395,10 @@ impl ProductionSystem {
         if self.firing_rule.is_some() {
             return Ok(());
         }
-        let Some(dur) = &mut self.dur else {
-            return Ok(());
-        };
-        if dur.pending.is_empty() {
+        if self.dur.as_ref().is_none_or(|d| d.pending.is_empty()) {
             return Ok(());
         }
-        for op in std::mem::take(&mut dur.pending) {
-            dur.wal.append_op(&encode_wme_op(&op))?;
-        }
-        dur.wal.append_commit()?;
-        Ok(())
+        self.wal_flush_pending(None)
     }
 
     /// Commit a successful firing to the log: its op batch followed by a
@@ -1232,9 +1411,9 @@ impl ProductionSystem {
         key: &InstKey,
         version: u64,
     ) -> Result<(), CoreError> {
-        let Some(dur) = &mut self.dur else {
+        if self.dur.is_none() {
             return Ok(());
-        };
+        }
         let pr = self.stats.per_rule.get(&rule).copied().unwrap_or_default();
         let marker = CycleMarker {
             cycle,
@@ -1249,11 +1428,65 @@ impl ProductionSystem {
             version,
             key: KeySpec::of(key),
         };
-        for op in std::mem::take(&mut dur.pending) {
-            dur.wal.append_op(&encode_wme_op(&op))?;
+        self.wal_flush_pending(Some(marker.encode()))
+    }
+
+    /// Append the pending op buffer plus its commit point (a transaction
+    /// commit, or the given cycle marker) to the log. The buffer is only
+    /// drained on success or on *final* failure: a clean append failure
+    /// leaves the log truncated at its last commit point, so when a
+    /// supervisor retry policy is installed the whole batch is retried
+    /// with backoff. A poisoned log (real I/O failure of unknown extent)
+    /// is never retried — only reopen-with-recovery re-establishes its
+    /// state.
+    fn wal_flush_pending(&mut self, marker: Option<Vec<u8>>) -> Result<(), CoreError> {
+        let retry = self.sup.as_ref().map(|s| s.config().retry);
+        let tracer = self.tracer.clone();
+        let Some(dur) = self.dur.as_mut() else {
+            return Ok(());
+        };
+        let encoded: Vec<Vec<u8>> = dur.pending.iter().map(encode_wme_op).collect();
+        let mut attempt: u32 = 0;
+        loop {
+            let res = (|| -> Result<(), sorete_reldb::DbError> {
+                for op in &encoded {
+                    dur.wal.append_op(op)?;
+                }
+                match &marker {
+                    Some(payload) => dur.wal.append_cycle(payload)?,
+                    None => dur.wal.append_commit()?,
+                }
+                Ok(())
+            })();
+            match res {
+                Ok(()) => {
+                    dur.pending.clear();
+                    return Ok(());
+                }
+                Err(e) => {
+                    let retryable = !dur.wal.is_poisoned();
+                    if let Some(rp) = retry {
+                        if retryable && attempt < rp.max_attempts {
+                            attempt += 1;
+                            let delay = rp.delay_micros(attempt);
+                            let error = e.to_string();
+                            tracer.emit(|| TraceEvent::IoRetry {
+                                attempt,
+                                delay_micros: delay,
+                                error: error.clone(),
+                            });
+                            if let Some(sup) = self.sup.as_mut() {
+                                sup.stats.io_retries += 1;
+                            }
+                            std::thread::sleep(Duration::from_micros(delay));
+                            continue;
+                        }
+                    }
+                    dur.pending.clear();
+                    return Err(e.into());
+                }
+            }
         }
-        dur.wal.append_cycle(&marker.encode())?;
-        Ok(())
     }
 
     /// Snapshot the engine's recoverable state at the current cycle
@@ -1304,9 +1537,41 @@ impl ProductionSystem {
         if self.dur.is_some() {
             ck.generation = self.ckpt_gen + 1;
         }
-        sorete_reldb::persist::atomic_write(path, ck.render().as_bytes()).map_err(|e| {
-            CoreError::Durability(format!("write checkpoint {}: {}", path.display(), e))
-        })?;
+        let rendered = ck.render();
+        let retry = self.sup.as_ref().map(|s| s.config().retry);
+        let mut attempt: u32 = 0;
+        loop {
+            match sorete_reldb::persist::atomic_write(path, rendered.as_bytes()) {
+                Ok(()) => break,
+                Err(e) => {
+                    // Checkpoint writes go through a temp file + rename, so
+                    // a failed attempt leaves no partial state behind and is
+                    // always safe to retry under the supervisor's policy.
+                    if let Some(rp) = retry {
+                        if attempt < rp.max_attempts {
+                            attempt += 1;
+                            let delay = rp.delay_micros(attempt);
+                            let error = e.to_string();
+                            self.tracer.emit(|| TraceEvent::IoRetry {
+                                attempt,
+                                delay_micros: delay,
+                                error: error.clone(),
+                            });
+                            if let Some(sup) = self.sup.as_mut() {
+                                sup.stats.io_retries += 1;
+                            }
+                            std::thread::sleep(Duration::from_micros(delay));
+                            continue;
+                        }
+                    }
+                    return Err(CoreError::Durability(format!(
+                        "write checkpoint {}: {}",
+                        path.display(),
+                        e
+                    )));
+                }
+            }
+        }
         if let Some(dur) = &mut self.dur {
             dur.wal.rotate(ck.generation)?;
         }
@@ -1511,32 +1776,55 @@ impl ProductionSystem {
         self.firing_rule = Some(rule.name);
         self.recording = can_rollback;
         let t_rhs = self.metrics.is_some().then(Instant::now);
-        let result = match self.fault.take() {
-            Some(mut plan) => {
-                let r = {
-                    let mut host = FaultInjector::new(self, &mut plan);
-                    rhs::execute(&mut host, &mut ctx, &rule.rhs)
-                };
-                self.fault = Some(plan);
-                r
+        // Panic fence: a panic unwinding out of the RHS, the matcher
+        // propagation it triggers, or the commit path is caught here and
+        // handled by the same recovery path as any other firing error.
+        // The fence is unconditional — supervision only changes what the
+        // caller does with the resulting `CoreError::Panic`.
+        let exec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let r = match self.fault.take() {
+                Some(mut plan) => {
+                    let r = {
+                        let mut host = FaultInjector::new(self, &mut plan);
+                        rhs::execute(&mut host, &mut ctx, &rule.rhs)
+                    };
+                    self.fault = Some(plan);
+                    r
+                }
+                None => rhs::execute(self, &mut ctx, &rule.rhs),
+            };
+            if let (Some(m), Some(t)) = (self.metrics.as_ref(), t_rhs) {
+                let ns = t.elapsed().as_nanos() as u64;
+                let id = m.ids.rhs_nanos;
+                m.handle.with(|reg| reg.observe(id, ns));
             }
-            None => rhs::execute(self, &mut ctx, &rule.rhs),
-        };
+            // A successful RHS still has to reach the log before the firing
+            // commits: a WAL failure here rolls the firing back exactly like
+            // an RHS error, so in-memory state never runs ahead of durable
+            // state.
+            r.and_then(|()| {
+                self.sync();
+                self.wal_commit_cycle(rule.name, cycle, &item.key, item.version)
+            })
+        }));
         self.recording = false;
         self.firing_rule = None;
-        if let (Some(m), Some(t)) = (self.metrics.as_ref(), t_rhs) {
-            let ns = t.elapsed().as_nanos() as u64;
-            let id = m.ids.rhs_nanos;
-            m.handle.with(|r| r.observe(id, ns));
-        }
-        // A successful RHS still has to reach the log before the firing
-        // commits: a WAL failure here rolls the firing back exactly like
-        // an RHS error, so in-memory state never runs ahead of durable
-        // state.
-        let result = result.and_then(|()| {
-            self.sync();
-            self.wal_commit_cycle(rule.name, cycle, &item.key, item.version)
-        });
+        let result = match exec {
+            Ok(r) => r,
+            Err(payload) => {
+                let message = panic_message(payload);
+                if let Some(sup) = self.sup.as_mut() {
+                    sup.stats.panics_caught += 1;
+                }
+                let rule_name = rule.name;
+                let msg = message.clone();
+                self.tracer.emit(|| TraceEvent::PanicCaught {
+                    rule: rule_name,
+                    message: msg.clone(),
+                });
+                Err(CoreError::Panic(message))
+            }
+        };
         match result {
             Ok(()) => {
                 if can_rollback {
@@ -1553,6 +1841,7 @@ impl ProductionSystem {
                 Ok(Some(rule.name))
             }
             Err(e) => {
+                self.last_failed = Some(rule.name);
                 // The firing aborts: its buffered WAL ops must never be
                 // committed (under AbortRun its in-memory effects remain,
                 // but recovery rewinds to the last committed cycle).
@@ -1640,6 +1929,10 @@ impl ProductionSystem {
         let mut stagnant: u64 = 0;
         let mut last_rule: Option<Symbol> = None;
         let mut last_wm_len = self.wm.len();
+        // Soft degradation budgets re-arm per run.
+        if let Some(sup) = self.sup.as_mut() {
+            sup.soft_tripped = false;
+        }
         loop {
             if let Some(l) = limit {
                 if fired >= l {
@@ -1653,10 +1946,18 @@ impl ProductionSystem {
                 self.tracer.emit(|| TraceEvent::GuardTrip {
                     reason: v.to_string(),
                 });
+                // Under supervision a hard limit halts in order: cut a
+                // checkpoint first so `--resume` can continue the run.
+                self.orderly_halt_checkpoint();
                 return RunOutcome {
                     fired,
                     reason: StopReason::ResourceExhausted(v),
                 };
+            }
+            if self.sup.is_some() {
+                if let Some(outcome) = self.supervise_budgets(start, fired) {
+                    return outcome;
+                }
             }
             match self.step() {
                 Ok(Some(rule)) => {
@@ -1673,6 +1974,7 @@ impl ProductionSystem {
                                 self.tracer.emit(|| TraceEvent::GuardTrip {
                                     reason: v.to_string(),
                                 });
+                                self.orderly_halt_checkpoint();
                                 return RunOutcome {
                                     fired,
                                     reason: StopReason::ResourceExhausted(v),
@@ -1688,21 +1990,151 @@ impl ProductionSystem {
                 Ok(None) => {
                     let reason = if self.halted {
                         StopReason::Halt
+                    } else if self.cs.quarantined_fireable() > 0 {
+                        // Not true quiescence: fireable work remains, every
+                        // bit of it behind quarantined rules.
+                        StopReason::Quarantined {
+                            rules: self.quarantined_rules(),
+                        }
                     } else {
                         StopReason::Quiescence
                     };
                     return RunOutcome { fired, reason };
                 }
-                // Under SkipFiring, step() already rolled the firing back
-                // and refracted it; keep going.
-                Err(_) if self.recovery == RecoveryPolicy::SkipFiring => {}
                 Err(e) => {
-                    return RunOutcome {
-                        fired,
-                        reason: StopReason::Error(e),
+                    // Rule-scoped failures (RHS errors, injected faults,
+                    // caught panics) feed the supervisor's circuit
+                    // breakers: step() rolled the firing back, the breaker
+                    // counts it, and a rule that keeps failing is
+                    // quarantined so the rest of the run can proceed.
+                    // Durability errors are engine-scoped and never
+                    // continue. AbortRun cannot roll back, so supervision
+                    // cannot safely continue past failures under it.
+                    let rule_scoped = !matches!(e, CoreError::Durability(_));
+                    if let Some(sup) = self
+                        .sup
+                        .as_mut()
+                        .filter(|_| rule_scoped && self.recovery != RecoveryPolicy::AbortRun)
+                    {
+                        if let Some(rule) = self.last_failed {
+                            let tripped = sup.record_failure(rule, self.cycle);
+                            if let Some(failures) = tripped {
+                                if let Some(&id) = self.rule_ids.get(&rule) {
+                                    self.cs.set_rule_quarantined(id, true);
+                                }
+                                self.tracer
+                                    .emit(|| TraceEvent::Quarantine { rule, failures });
+                            }
+                        }
+                        continue;
+                    }
+                    // Under SkipFiring, step() already rolled the firing
+                    // back and refracted it; keep going.
+                    if self.recovery == RecoveryPolicy::SkipFiring {
+                        continue;
+                    }
+                    let reason = match e {
+                        CoreError::Panic(message) => StopReason::Panicked {
+                            rule: self.last_failed.unwrap_or_else(|| Symbol::new("?")),
+                            message,
+                        },
+                        other => StopReason::Error(other),
                     };
+                    return RunOutcome { fired, reason };
                 }
             }
+        }
+    }
+
+    /// Check the supervisor's degradation budgets. A soft trip (once per
+    /// run) cuts an automatic checkpoint and warns; a hard trip checkpoints
+    /// and ends the run with `ResourceExhausted` — an orderly, resumable
+    /// halt, never an abort.
+    fn supervise_budgets(&mut self, start: Instant, fired: u64) -> Option<RunOutcome> {
+        let (deg, soft_done) = {
+            let s = self.sup.as_ref().expect("caller checked");
+            (s.config().degradation, s.soft_tripped)
+        };
+        let bytes = (deg.hard_bytes.is_some() || (deg.soft_bytes.is_some() && !soft_done))
+            .then(|| self.matcher.memory_report().total_bytes());
+        if let (Some(limit), Some(actual)) = (deg.hard_bytes, bytes) {
+            if actual > limit {
+                let sup = self.sup.as_mut().expect("caller checked");
+                sup.stats.hard_degrades += 1;
+                let detail = format!(
+                    "{} live bytes > hard budget {}; halting with checkpoint",
+                    actual, limit
+                );
+                self.tracer.emit(|| TraceEvent::Degrade {
+                    severity: "hard",
+                    budget: "memory_bytes",
+                    detail: detail.clone(),
+                });
+                let v = GuardViolation::MemoryBytes { limit, actual };
+                self.tracer.emit(|| TraceEvent::GuardTrip {
+                    reason: v.to_string(),
+                });
+                self.orderly_halt_checkpoint();
+                return Some(RunOutcome {
+                    fired,
+                    reason: StopReason::ResourceExhausted(v),
+                });
+            }
+        }
+        if !soft_done {
+            let mut trip: Option<(&'static str, String)> = None;
+            if let (Some(limit), Some(actual)) = (deg.soft_bytes, bytes) {
+                if actual > limit {
+                    trip = Some((
+                        "memory_bytes",
+                        format!("{} live bytes > soft budget {}", actual, limit),
+                    ));
+                }
+            }
+            if trip.is_none() {
+                if let Some(limit) = deg.soft_wall {
+                    let elapsed = start.elapsed();
+                    if elapsed > limit {
+                        trip = Some((
+                            "wall_clock",
+                            format!("{:?} elapsed > soft budget {:?}", elapsed, limit),
+                        ));
+                    }
+                }
+            }
+            if let Some((budget, detail)) = trip {
+                let sup = self.sup.as_mut().expect("caller checked");
+                sup.soft_tripped = true;
+                sup.stats.soft_degrades += 1;
+                self.tracer.emit(|| TraceEvent::Degrade {
+                    severity: "soft",
+                    budget,
+                    detail: detail.clone(),
+                });
+                self.orderly_halt_checkpoint();
+            }
+        }
+        None
+    }
+
+    /// Cut a checkpoint at the supervisor's configured path (if any),
+    /// best-effort: degradation must never turn into an abort because the
+    /// checkpoint disk is also unhappy.
+    fn orderly_halt_checkpoint(&mut self) {
+        let Some(path) = self
+            .sup
+            .as_ref()
+            .and_then(|s| s.config().checkpoint_path.clone())
+        else {
+            return;
+        };
+        if let Err(e) = self.checkpoint_to(&path) {
+            let detail = format!("degradation checkpoint failed: {}", e);
+            self.tracer.emit(|| TraceEvent::Degrade {
+                severity: "hard",
+                budget: "checkpoint",
+                detail: detail.clone(),
+            });
         }
     }
 

@@ -26,6 +26,10 @@ pub enum CoreError {
     /// Durability-layer failure: write-ahead log IO, corrupt checkpoint
     /// text, or an inconsistent replay.
     Durability(String),
+    /// A panic unwound out of a firing and was caught by the supervisor's
+    /// `catch_unwind` fence. Carries the panic payload rendered as text;
+    /// the firing has been handled per the active [`crate::RecoveryPolicy`].
+    Panic(String),
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +44,7 @@ impl fmt::Display for CoreError {
                 write!(f, "injected fault at action {}", action)
             }
             CoreError::Durability(m) => write!(f, "durability error: {}", m),
+            CoreError::Panic(m) => write!(f, "panic in firing: {}", m),
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod error;
 pub mod explain;
 pub mod rhs;
 pub mod stats;
+pub mod supervisor;
 pub mod wm;
 
 pub use conflict::{ConflictSet, Strategy};
@@ -55,6 +56,9 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use stats::{RuleStats, RunStats};
+pub use supervisor::{
+    BreakerPolicy, DegradationPolicy, RetryPolicy, Supervisor, SupervisorConfig, SupervisorStats,
+};
 pub use wm::WorkingMemory;
 
 #[cfg(test)]

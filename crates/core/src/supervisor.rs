@@ -1,0 +1,366 @@
+//! The supervision layer: failure policy for the recognise–act cycle.
+//!
+//! The paper's §8 frames set-oriented firings as database transactions;
+//! PR 1 gave them rollback and PR 5 gave them durability. This module adds
+//! the *failure policy* a long-lived engine needs on top of those
+//! mechanics:
+//!
+//! - [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter for transient durable-I/O errors (the WAL's clean, non-poisoning
+//!   failures). The schedule is a pure function of `(seed, attempt)` so
+//!   fault sweeps replay identically.
+//! - [`BreakerPolicy`] + per-rule breaker state inside [`Supervisor`] — a
+//!   rule whose RHS fails or rolls back `max_failures` times within a
+//!   window of cycles is *quarantined*: excised from conflict resolution
+//!   (its instantiations stay derived, just never selected) until an
+//!   operator re-admits it.
+//! - [`DegradationPolicy`] — soft memory/wall budgets trigger an automatic
+//!   checkpoint and a warning; hard budgets end the run with an orderly,
+//!   resumable halt-with-checkpoint instead of an abort.
+//!
+//! The engine owns one [`Supervisor`] when supervision is enabled (see
+//! `ProductionSystem::enable_supervision`); this module is pure state — no
+//! I/O — which is what makes the proptests over breaker transitions and
+//! backoff schedules possible.
+
+use sorete_base::{FxHashMap, Symbol};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// splitmix64 — the same mixer `FaultPlan::seeded` uses, so every
+/// deterministic knob in the fault-injection story shares one generator.
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Capped exponential backoff with deterministic jitter, for retrying
+/// *transient* durable-I/O failures (a clean WAL append failure that did
+/// not poison the log). Poisoned logs are never retried — their on-disk
+/// state is unknowable and only reopen-with-recovery re-establishes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial failure (0 disables retrying).
+    pub max_attempts: u32,
+    /// Backoff base: the first retry waits about this long.
+    pub base_micros: u64,
+    /// Backoff ceiling; the exponential curve saturates here.
+    pub cap_micros: u64,
+    /// Jitter seed. The whole schedule is a pure function of
+    /// `(seed, attempt)` — sweep tests replay it exactly.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_micros: 500,
+            cap_micros: 50_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry `attempt` (1-based), in
+    /// microseconds: `min(cap, base · 2^(attempt-1))` scaled into
+    /// `[raw/2, raw]` by deterministic jitter. Pure — no clock, no RNG
+    /// state — so schedules are replayable and testable.
+    pub fn delay_micros(&self, attempt: u32) -> u64 {
+        let attempt = attempt.max(1);
+        let exp = (attempt - 1).min(20);
+        let cap = self.cap_micros.max(self.base_micros);
+        let raw = self.base_micros.saturating_mul(1u64 << exp).min(cap);
+        let half = raw / 2;
+        half + splitmix64(self.seed ^ u64::from(attempt)) % (raw - half + 1)
+    }
+
+    /// The full delay schedule, for diagnostics and tests.
+    pub fn schedule(&self) -> Vec<u64> {
+        (1..=self.max_attempts)
+            .map(|a| self.delay_micros(a))
+            .collect()
+    }
+}
+
+/// When does a rule's circuit breaker trip?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Failures (RHS error, injected fault, or caught panic, each rolled
+    /// back) within the window that quarantine the rule.
+    pub max_failures: u32,
+    /// Window width in recognise–act cycles. Clamped up to at least
+    /// `max_failures` — rolled-back firings still advance the cycle
+    /// counter, so a narrower window could never accumulate enough
+    /// failures to trip and the run would retry forever.
+    pub window_cycles: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            max_failures: 3,
+            window_cycles: 20,
+        }
+    }
+}
+
+impl BreakerPolicy {
+    fn window(&self) -> u64 {
+        self.window_cycles.max(u64::from(self.max_failures))
+    }
+}
+
+/// Resource budgets below the hard [`crate::RunGuards`] limits. Soft trips
+/// fire once per run: automatic checkpoint + warning. Hard trips end the
+/// run with `StopReason::ResourceExhausted` *after* cutting a checkpoint,
+/// so `--resume` can continue — degradation, not death.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Soft wall-clock budget (checkpoint + warn, keep running).
+    pub soft_wall: Option<Duration>,
+    /// Soft live-byte budget over the matcher's memory report.
+    pub soft_bytes: Option<u64>,
+    /// Hard live-byte budget (orderly halt-with-checkpoint).
+    pub hard_bytes: Option<u64>,
+}
+
+/// Everything the supervisor needs to know.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SupervisorConfig {
+    /// Backoff for transient durable-I/O errors.
+    pub retry: RetryPolicy,
+    /// Per-rule circuit breakers.
+    pub breaker: BreakerPolicy,
+    /// Resource-pressure budgets.
+    pub degradation: DegradationPolicy,
+    /// Where degradation checkpoints go (also used by the hard-limit
+    /// halt-with-checkpoint). `None` disables automatic checkpointing but
+    /// keeps the warnings and the orderly stop.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+/// Counters the supervisor accumulates. Deliberately *not* part of
+/// [`crate::RunStats`]: run stats are serialized byte-for-byte into cycle
+/// markers and checkpoints, and supervision activity must not perturb
+/// those formats (recovered stats stay byte-identical to the oracle's).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Panics caught unwinding out of firings.
+    pub panics_caught: u64,
+    /// Durable-I/O retry attempts performed.
+    pub io_retries: u64,
+    /// Circuit-breaker trips (rules quarantined).
+    pub quarantines: u64,
+    /// Quarantined rules re-admitted.
+    pub readmissions: u64,
+    /// Soft-budget degradations (automatic checkpoints).
+    pub soft_degrades: u64,
+    /// Hard-budget degradations (orderly halts).
+    pub hard_degrades: u64,
+}
+
+/// One rule's breaker: recent failure cycles plus the tripped flag.
+#[derive(Clone, Debug, Default)]
+struct BreakerState {
+    /// Cycle numbers of recent failures (pruned to the window).
+    failures: Vec<u64>,
+    tripped: bool,
+}
+
+/// The engine's supervision state: per-rule circuit breakers, the
+/// soft-degradation latch, and the activity counters.
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    breakers: FxHashMap<Symbol, BreakerState>,
+    /// Soft budgets fire once per run; re-armed by `ProductionSystem::run`.
+    pub(crate) soft_tripped: bool,
+    pub(crate) stats: SupervisorStats,
+}
+
+impl Supervisor {
+    /// A supervisor over `config`.
+    pub fn new(config: SupervisorConfig) -> Supervisor {
+        Supervisor {
+            config,
+            ..Supervisor::default()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// Record one failed (rolled-back) firing of `rule` at `cycle`.
+    /// Returns `Some(failure_count)` when this failure *newly* trips the
+    /// breaker — the caller quarantines the rule and records the trip.
+    /// Deterministic: state depends only on the `(rule, cycle)` sequence.
+    pub fn record_failure(&mut self, rule: Symbol, cycle: u64) -> Option<u32> {
+        let window = self.config.breaker.window();
+        let max = self.config.breaker.max_failures.max(1);
+        let st = self.breakers.entry(rule).or_default();
+        st.failures.push(cycle);
+        st.failures.retain(|&c| cycle.saturating_sub(c) < window);
+        let count = st.failures.len() as u32;
+        if !st.tripped && count >= max {
+            st.tripped = true;
+            self.stats.quarantines += 1;
+            Some(count)
+        } else {
+            None
+        }
+    }
+
+    /// Is `rule`'s breaker currently tripped?
+    pub fn is_tripped(&self, rule: Symbol) -> bool {
+        self.breakers.get(&rule).is_some_and(|s| s.tripped)
+    }
+
+    /// Reset `rule`'s breaker (re-admission). Returns `true` when the
+    /// breaker was tripped.
+    pub fn readmit(&mut self, rule: Symbol) -> bool {
+        let was = self
+            .breakers
+            .remove(&rule)
+            .map(|s| s.tripped)
+            .unwrap_or(false);
+        if was {
+            self.stats.readmissions += 1;
+        }
+        was
+    }
+
+    /// Rules with tripped breakers, sorted by name for deterministic
+    /// reporting.
+    pub fn tripped_rules(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self
+            .breakers
+            .iter()
+            .filter(|(_, s)| s.tripped)
+            .map(|(r, _)| *r)
+            .collect();
+        v.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_micros: 100,
+            cap_micros: 1_000,
+            seed: 42,
+        };
+        let a = p.schedule();
+        let b = p.schedule();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 8);
+        for (i, &d) in a.iter().enumerate() {
+            assert!(d <= 1_000, "attempt {} delay {} exceeds cap", i + 1, d);
+            assert!(d >= 50, "attempt {} delay {} below base/2", i + 1, d);
+        }
+        // A different seed reshuffles jitter but respects the same bounds.
+        let q = RetryPolicy { seed: 43, ..p };
+        assert_ne!(q.schedule(), a, "jitter depends on the seed");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_before_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_micros: 100,
+            cap_micros: 1 << 40,
+            seed: 7,
+        };
+        // raw doubles each attempt; jitter keeps delays within [raw/2, raw],
+        // so attempt n+2's minimum (2·raw(n)) clears attempt n's maximum.
+        let s = p.schedule();
+        assert!(s[2] > s[0] && s[3] > s[1], "{:?}", s);
+    }
+
+    #[test]
+    fn breaker_trips_once_within_window() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            breaker: BreakerPolicy {
+                max_failures: 3,
+                window_cycles: 10,
+            },
+            ..SupervisorConfig::default()
+        });
+        let r = Symbol::new("hot");
+        assert_eq!(sup.record_failure(r, 1), None);
+        assert_eq!(sup.record_failure(r, 2), None);
+        assert_eq!(sup.record_failure(r, 3), Some(3), "third failure trips");
+        assert!(sup.is_tripped(r));
+        assert_eq!(sup.record_failure(r, 4), None, "trips only once");
+        assert_eq!(sup.stats().quarantines, 1);
+        assert!(sup.readmit(r));
+        assert!(!sup.is_tripped(r));
+        assert_eq!(sup.stats().readmissions, 1);
+        assert!(!sup.readmit(r), "second readmit is a no-op");
+    }
+
+    #[test]
+    fn breaker_window_forgets_old_failures() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            breaker: BreakerPolicy {
+                max_failures: 3,
+                window_cycles: 5,
+            },
+            ..SupervisorConfig::default()
+        });
+        let r = Symbol::new("flaky");
+        assert_eq!(sup.record_failure(r, 1), None);
+        assert_eq!(sup.record_failure(r, 2), None);
+        // Cycle 20 is far outside the window: the old failures age out.
+        assert_eq!(sup.record_failure(r, 20), None);
+        assert!(!sup.is_tripped(r));
+    }
+
+    #[test]
+    fn breaker_window_clamps_to_max_failures() {
+        // A 1-cycle window with max_failures 3 could never trip (each
+        // failure evicts the previous); the clamp keeps it live.
+        let mut sup = Supervisor::new(SupervisorConfig {
+            breaker: BreakerPolicy {
+                max_failures: 3,
+                window_cycles: 1,
+            },
+            ..SupervisorConfig::default()
+        });
+        let r = Symbol::new("r");
+        assert_eq!(sup.record_failure(r, 1), None);
+        assert_eq!(sup.record_failure(r, 2), None);
+        assert_eq!(sup.record_failure(r, 3), Some(3));
+    }
+
+    #[test]
+    fn tripped_rules_sorted() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            breaker: BreakerPolicy {
+                max_failures: 1,
+                window_cycles: 1,
+            },
+            ..SupervisorConfig::default()
+        });
+        sup.record_failure(Symbol::new("zeta"), 1);
+        sup.record_failure(Symbol::new("alpha"), 2);
+        let names: Vec<&str> = sup.tripped_rules().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

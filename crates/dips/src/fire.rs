@@ -122,7 +122,25 @@ fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsErro
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("builder thread"))
+            .flat_map(|h| {
+                // Panic isolation: a builder thread that panics becomes one
+                // build error, which the rollback path below handles like
+                // any other build failure — the whole cycle is abandoned
+                // and the engine state re-derived, never torn down.
+                h.join().unwrap_or_else(|payload| {
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "opaque panic payload".to_string()
+                    };
+                    vec![Err(DipsError::Rhs(format!(
+                        "builder thread panicked: {}",
+                        msg
+                    )))]
+                })
+            })
             .collect()
     });
     // Collect builder failures *before* committing anything: a cycle either

@@ -36,6 +36,6 @@ pub use sql::parse_query;
 pub use table::{Row, RowId, Schema, Table};
 pub use tx::{AppliedWrite, Transaction};
 pub use wal::{
-    decode_wme_op, encode_wme_op, IoFaultKind, IoFaultPlan, Wal, WalOptions, WalRecord, WalStats,
-    WmeOp,
+    decode_wme_op, encode_wme_op, IoFaultKind, IoFaultPlan, Wal, WalDefect, WalOptions, WalRecord,
+    WalScan, WalStats, WmeOp,
 };

@@ -56,6 +56,7 @@
 
 use crate::error::DbError;
 use sorete_base::{Symbol, TimeTag, Value, Wme};
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -140,6 +141,8 @@ pub struct WalStats {
     pub discarded_records: u64,
     /// Tail bytes truncated by recovery (torn/short/uncommitted frames).
     pub truncated_bytes: u64,
+    /// Transient (retryable) append failures surfaced this session.
+    pub transient_errors: u64,
     /// Generation stamp found in (or written to) the header: the number
     /// of checkpoint rotations this log lineage has been through.
     pub generation: u64,
@@ -162,6 +165,16 @@ pub enum IoFaultKind {
     /// The append succeeds but the next fsync fails and the WAL poisons
     /// itself (a dying disk acknowledging writes it cannot persist).
     FsyncError,
+    /// A *transient* clean failure: the first `fail_n` appends at or after
+    /// [`IoFaultPlan::at`] fail exactly like [`IoFaultKind::Fail`] (batch
+    /// dropped, log **not** poisoned), then the storage "heals" and appends
+    /// succeed again. This is the sweep-testable model for the retryable
+    /// errors (ENOSPC races, NFS hiccups) the supervisor's backoff loop
+    /// exists for.
+    Transient {
+        /// How many consecutive append attempts fail before healing.
+        fail_n: u32,
+    },
 }
 
 /// Inject `kind` on the `at`-th record append (0-based, counted across
@@ -179,6 +192,101 @@ impl IoFaultPlan {
     pub fn nth(kind: IoFaultKind, n: u64) -> IoFaultPlan {
         IoFaultPlan { kind, at: n }
     }
+}
+
+/// One problem found by the read-only [`Wal::scan`] pass. The first four
+/// are exactly the conditions the recovery scanner repairs by truncation;
+/// fsck reports them without touching the file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalDefect {
+    /// The generation stamp never fully landed (crash while creating a
+    /// brand-new log).
+    TornHeader {
+        /// Stray bytes after the magic.
+        bytes: u64,
+    },
+    /// A length prefix that cannot be a real frame (zero or absurd).
+    CorruptLength {
+        /// File offset of the frame header.
+        offset: u64,
+    },
+    /// A frame whose body runs past end-of-file (torn final write).
+    TornTail {
+        /// File offset of the frame header.
+        offset: u64,
+        /// Bytes missing from the declared frame.
+        missing: u64,
+    },
+    /// A length-intact frame failing its checksum (torn sector, bit rot).
+    BadCrc {
+        /// File offset of the frame header.
+        offset: u64,
+    },
+    /// A record kind byte this version does not know.
+    UnknownKind {
+        /// File offset of the frame header.
+        offset: u64,
+        /// The unknown kind byte.
+        kind: u8,
+    },
+    /// Intact op records after the last commit point — the normal shape of
+    /// a crash mid-batch; recovery discards them rather than replaying.
+    UncommittedTail {
+        /// How many intact records sit past the last commit point.
+        records: u64,
+        /// Their total framed size.
+        bytes: u64,
+    },
+}
+
+impl fmt::Display for WalDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalDefect::TornHeader { bytes } => {
+                write!(f, "torn header: {} stray bytes after magic", bytes)
+            }
+            WalDefect::CorruptLength { offset } => {
+                write!(f, "corrupt length prefix at offset {}", offset)
+            }
+            WalDefect::TornTail { offset, missing } => {
+                write!(
+                    f,
+                    "torn tail at offset {} ({} bytes missing)",
+                    offset, missing
+                )
+            }
+            WalDefect::BadCrc { offset } => write!(f, "checksum mismatch at offset {}", offset),
+            WalDefect::UnknownKind { offset, kind } => {
+                write!(f, "unknown record kind {} at offset {}", kind, offset)
+            }
+            WalDefect::UncommittedTail { records, bytes } => {
+                write!(
+                    f,
+                    "uncommitted tail: {} record(s), {} bytes past last commit point",
+                    records, bytes
+                )
+            }
+        }
+    }
+}
+
+/// What a read-only [`Wal::scan`] saw. `recoverable` distinguishes the
+/// defects the recovery scanner repairs by design (torn/uncommitted tails)
+/// from nothing-wrong; a bad magic is an error, not a scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalScan {
+    /// Header generation stamp.
+    pub generation: u64,
+    /// Records inside the committed prefix.
+    pub committed_records: u64,
+    /// Commit points (commit + cycle markers) inside the committed prefix.
+    pub commit_points: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// End of the committed prefix (what recovery would truncate to).
+    pub committed_bytes: u64,
+    /// Everything wrong with the tail, in file order.
+    pub defects: Vec<WalDefect>,
 }
 
 /// A record recovered from the log.
@@ -213,6 +321,8 @@ pub struct Wal {
     /// the truncation target when a half-appended batch must be dropped.
     tail_base: u64,
     fault: Option<IoFaultPlan>,
+    /// Transient failures already delivered (see [`IoFaultKind::Transient`]).
+    transient_spent: u32,
     /// After a crash (simulated or real) every call errors until reopen.
     poisoned: bool,
     /// Armed by an [`IoFaultKind::FsyncError`] append; fires at next sync.
@@ -220,6 +330,97 @@ pub struct Wal {
 }
 
 impl Wal {
+    /// Read-only diagnostic scan for `sorete fsck`: walk the framing
+    /// exactly like [`Wal::recover`] but report every defect instead of
+    /// truncating. Never modifies the file. Errors only when the file is
+    /// missing, unreadable, or not a WAL at all (bad magic).
+    pub fn scan(path: &Path) -> Result<WalScan, DbError> {
+        let buf =
+            std::fs::read(path).map_err(|e| DbError::Io(format!("read wal {:?}: {}", path, e)))?;
+        let mut scan = WalScan {
+            file_bytes: buf.len() as u64,
+            ..WalScan::default()
+        };
+        if buf.is_empty() {
+            return Ok(scan);
+        }
+        if buf.len() < WAL_MAGIC.len() || &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(DbError::Corrupt(format!(
+                "{:?} is not a WAL (bad magic)",
+                path
+            )));
+        }
+        if buf.len() < HEADER_LEN {
+            scan.defects.push(WalDefect::TornHeader {
+                bytes: (buf.len() - WAL_MAGIC.len()) as u64,
+            });
+            scan.committed_bytes = WAL_MAGIC.len() as u64;
+            return Ok(scan);
+        }
+        scan.generation = u64::from_le_bytes(buf[WAL_MAGIC.len()..HEADER_LEN].try_into().unwrap());
+        let mut pos = HEADER_LEN;
+        let mut last_commit_end = pos;
+        let mut committed = 0u64;
+        let mut pending = 0u64;
+        while pos + 8 <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            if len == 0 || len > MAX_RECORD {
+                scan.defects
+                    .push(WalDefect::CorruptLength { offset: pos as u64 });
+                break;
+            }
+            let end = pos + 8 + len as usize;
+            if end > buf.len() {
+                scan.defects.push(WalDefect::TornTail {
+                    offset: pos as u64,
+                    missing: (end - buf.len()) as u64,
+                });
+                break;
+            }
+            let body = &buf[pos + 8..end];
+            if crc32(body) != crc {
+                scan.defects.push(WalDefect::BadCrc { offset: pos as u64 });
+                break;
+            }
+            match body[0] {
+                KIND_OP => pending += 1,
+                KIND_COMMIT | KIND_CYCLE => {
+                    pending += 1;
+                    committed += pending;
+                    pending = 0;
+                    last_commit_end = end;
+                    scan.commit_points += 1;
+                }
+                kind => {
+                    scan.defects.push(WalDefect::UnknownKind {
+                        offset: pos as u64,
+                        kind,
+                    });
+                    break;
+                }
+            }
+            pos = end;
+        }
+        if pos + 8 > buf.len() && pos < buf.len() {
+            // A partial frame header (fewer than 8 bytes) is a torn tail
+            // the loop above never entered.
+            scan.defects.push(WalDefect::TornTail {
+                offset: pos as u64,
+                missing: (pos + 8 - buf.len()) as u64,
+            });
+        }
+        if pending > 0 {
+            scan.defects.push(WalDefect::UncommittedTail {
+                records: pending,
+                bytes: (pos - last_commit_end) as u64,
+            });
+        }
+        scan.committed_records = committed;
+        scan.committed_bytes = last_commit_end as u64;
+        Ok(scan)
+    }
+
     /// Scan `path` without opening it for writing: return the committed
     /// record prefix and recovery counters, and truncate any torn, short,
     /// corrupt, or uncommitted tail in place. A missing file recovers to
@@ -361,6 +562,7 @@ impl Wal {
                 end,
                 tail_base: end,
                 fault: None,
+                transient_spent: 0,
                 poisoned: false,
                 fsync_fault_armed: false,
             },
@@ -386,6 +588,14 @@ impl Wal {
     /// Arm a storage fault (see [`IoFaultPlan`]).
     pub fn inject_fault(&mut self, plan: IoFaultPlan) {
         self.fault = Some(plan);
+        self.transient_spent = 0;
+    }
+
+    /// Whether a crash (simulated or real) has retired this handle. A
+    /// poisoned log is *not* retryable: the bytes on disk are unknowable
+    /// and only reopen (which re-runs recovery) re-establishes the truth.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Append a client op record (not yet committed).
@@ -510,8 +720,23 @@ impl Wal {
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
         if let Some(plan) = self.fault {
-            if plan.at == n {
+            // Transient faults fire on every append at or after `at` until
+            // `fail_n` failures have been delivered — retried appends get
+            // fresh record indices, so an exact-index match would let a
+            // single retry "skip past" the outage.
+            if let IoFaultKind::Transient { fail_n } = plan.kind {
+                if n >= plan.at && self.transient_spent < fail_n {
+                    self.transient_spent += 1;
+                    self.stats.transient_errors += 1;
+                    self.abort_tail(false);
+                    return Err(DbError::Io(format!(
+                        "injected transient append failure at record {} ({}/{})",
+                        n, self.transient_spent, fail_n
+                    )));
+                }
+            } else if plan.at == n {
                 match plan.kind {
+                    IoFaultKind::Transient { .. } => unreachable!("handled above"),
                     IoFaultKind::Fail => {
                         // Clean failure: nothing from *this* frame reached
                         // the file, but earlier records of the same batch
@@ -877,6 +1102,7 @@ mod tests {
             IoFaultKind::ShortWrite,
             IoFaultKind::TornWrite,
             IoFaultKind::FsyncError,
+            IoFaultKind::Transient { fail_n: 1 },
         ] {
             let path = tmp(&format!("fault-{:?}", kind));
             let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
@@ -891,7 +1117,10 @@ mod tests {
             // The first committed group always survives; the faulted one
             // never partially survives.
             match kind {
-                IoFaultKind::Fail | IoFaultKind::ShortWrite | IoFaultKind::TornWrite => {
+                IoFaultKind::Fail
+                | IoFaultKind::ShortWrite
+                | IoFaultKind::TornWrite
+                | IoFaultKind::Transient { .. } => {
                     assert_eq!(
                         records,
                         vec![WalRecord::Op(b"a".to_vec()), WalRecord::Commit],
@@ -947,6 +1176,127 @@ mod tests {
         assert!(
             decode_wme_op(b"A\t1\tS:c\tS:attr").is_err(),
             "dangling attr"
+        );
+    }
+
+    #[test]
+    fn transient_fault_heals_after_fail_n_and_never_poisons() {
+        let path = tmp("transient");
+        let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        wal.append_op(b"pre").unwrap();
+        wal.append_commit().unwrap();
+        wal.inject_fault(IoFaultPlan::nth(IoFaultKind::Transient { fail_n: 2 }, 2));
+        // Two attempts fail cleanly (retryable), the third succeeds.
+        assert!(wal.append_op(b"try").is_err());
+        assert!(!wal.is_poisoned(), "transient faults never poison");
+        assert!(wal.append_op(b"try").is_err());
+        wal.append_op(b"try").unwrap();
+        wal.append_commit().unwrap();
+        assert_eq!(wal.stats().transient_errors, 2);
+        drop(wal);
+        let (records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Op(b"pre".to_vec()),
+                WalRecord::Commit,
+                WalRecord::Op(b"try".to_vec()),
+                WalRecord::Commit,
+            ],
+            "failed attempts leave no trace; the healed append commits once"
+        );
+    }
+
+    #[test]
+    fn transient_fault_aborts_batch_prefix_each_attempt() {
+        // Each failed attempt must drop the batch's earlier records, so a
+        // retry that re-appends the whole batch never duplicates ops.
+        let path = tmp("transient-batch");
+        let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+        wal.inject_fault(IoFaultPlan::nth(IoFaultKind::Transient { fail_n: 1 }, 1));
+        wal.append_op(b"a").unwrap(); // record 0 lands
+        assert!(wal.append_op(b"b").is_err()); // record 1 fails, batch dropped
+                                               // Retry the whole batch.
+        wal.append_op(b"a").unwrap();
+        wal.append_op(b"b").unwrap();
+        wal.append_commit().unwrap();
+        drop(wal);
+        let (records, _) = Wal::recover(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Op(b"a".to_vec()),
+                WalRecord::Op(b"b".to_vec()),
+                WalRecord::Commit,
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_is_read_only_and_reports_defects() {
+        let path = tmp("scan");
+        {
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            wal.rotate(2).unwrap();
+            wal.append_op(b"one").unwrap();
+            wal.append_commit().unwrap();
+            wal.append_op(b"uncommitted").unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.generation, 2);
+        assert_eq!(scan.committed_records, 2);
+        assert_eq!(scan.commit_points, 1);
+        assert_eq!(
+            scan.defects,
+            vec![WalDefect::UncommittedTail {
+                records: 1,
+                bytes: before.len() as u64 - scan.committed_bytes,
+            }]
+        );
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            before,
+            "scan must not modify the file"
+        );
+        // Now tear the tail mid-frame and flip a committed byte's CRC view.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(before.len() as u64 - 3).unwrap();
+        drop(f);
+        let scan = Wal::scan(&path).unwrap();
+        assert!(
+            matches!(scan.defects[0], WalDefect::TornTail { missing: 3, .. }),
+            "{:?}",
+            scan.defects
+        );
+        // A non-WAL file is an error, not a scan.
+        let bogus = tmp("scan-bogus");
+        std::fs::write(&bogus, b"not a wal at all").unwrap();
+        assert!(matches!(Wal::scan(&bogus), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn scan_flags_bad_crc() {
+        let path = tmp("scan-crc");
+        {
+            let (mut wal, _) = Wal::open(&path, WalOptions::default()).unwrap();
+            wal.append_op(b"good").unwrap();
+            wal.append_commit().unwrap();
+            wal.append_op(b"bad!").unwrap();
+            wal.append_commit().unwrap();
+        }
+        let mut buf = std::fs::read(&path).unwrap();
+        let n = buf.len();
+        buf[n - 12] ^= 0xFF;
+        std::fs::write(&path, &buf).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.committed_records, 2, "replay stops at the bad frame");
+        assert!(
+            scan.defects
+                .iter()
+                .any(|d| matches!(d, WalDefect::BadCrc { .. })),
+            "{:?}",
+            scan.defects
         );
     }
 

@@ -1,0 +1,251 @@
+//! Process-level crash monkey: SIGKILL a WAL'd engine mid-run, resume it,
+//! and demand the recovered run end byte-identical to one that never died.
+//!
+//! Two modes in one binary:
+//!
+//! - **Child** (`crash_monkey --child <wal> <cycles>`): attaches the WAL
+//!   (recovering whatever a previous incarnation committed), seeds the
+//!   counter workload if working memory is empty, then single-steps to
+//!   quiescence with `group_commit = 1`, printing `cycle <n>` after every
+//!   committed firing so the driver can watch real durable progress. On
+//!   quiescence it writes the canonical checkpoint render to
+//!   `<wal>.state` and exits 0.
+//!
+//! - **Driver** (`crash_monkey <workdir> <seed> [kills]`): first runs the
+//!   same workload in-process, uninterrupted, as the oracle. Then it
+//!   spawns child processes against a second WAL and `SIGKILL`s each one
+//!   at a seeded pseudo-random cycle — a *real* process death, not a
+//!   simulated I/O error: no destructors, no flushes, whatever the WAL
+//!   tail looks like is what recovery gets. After the configured number
+//!   of kills it lets the final child run to completion and asserts the
+//!   monkey state file equals the oracle state file byte for byte.
+//!
+//! Exit codes: 0 on success, 1 on divergence or a child that failed for
+//! any reason other than being killed, 2 on usage errors.
+
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete::reldb::WalOptions;
+use sorete_base::{Symbol, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// The workload: a counter climbing to `cycles` by one `modify` per
+/// firing. Every firing is one commit point (group commit 1), so a kill
+/// can land between any two cycles.
+const PROG: &str = "
+    (literalize counter n)
+    (literalize lim max)
+    (p bump
+      (counter ^n <x>)
+      (lim ^max > <x>)
+      -->
+      (modify 1 ^n (compute <x> + 1)))
+";
+
+fn build(wal: &Path, cycles: i64) -> (ProductionSystem, u64) {
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(PROG).expect("workload parses");
+    let report = ps
+        .attach_wal(wal, WalOptions { group_commit: 1 })
+        .expect("wal attaches");
+    // Seed only what recovery did not restore: a resumed child must not
+    // double-assert (the asserts themselves are WAL-committed).
+    let have =
+        |ps: &ProductionSystem, class: &str| ps.wm().iter().any(|w| w.class == Symbol::new(class));
+    if !have(&ps, "counter") {
+        ps.assert_wme(
+            Symbol::new("counter"),
+            vec![(Symbol::new("n"), Value::Int(0))],
+        )
+        .expect("seed counter");
+    }
+    if !have(&ps, "lim") {
+        ps.assert_wme(
+            Symbol::new("lim"),
+            vec![(Symbol::new("max"), Value::Int(cycles))],
+        )
+        .expect("seed limit");
+    }
+    (ps, report.replayed_cycles)
+}
+
+/// Run the workload to quiescence and write the canonical final state
+/// next to the WAL. When `progress` is set (the spawned child), emit
+/// `cycle <n>` per committed firing so the driver can aim its kills.
+fn child(wal: &Path, cycles: i64, progress: bool) -> Result<(), String> {
+    let (mut ps, _) = build(wal, cycles);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if progress {
+        let _ = writeln!(out, "start cycle={}", ps.cycle());
+        let _ = out.flush();
+    }
+    loop {
+        match ps.step() {
+            Ok(Some(_)) => {
+                if progress {
+                    let _ = writeln!(out, "cycle {}", ps.cycle());
+                    let _ = out.flush();
+                }
+            }
+            Ok(None) => break,
+            Err(e) => return Err(format!("child step failed: {}", e)),
+        }
+    }
+    let state = ps.checkpoint_string();
+    let path = state_path(wal);
+    std::fs::write(&path, state).map_err(|e| format!("{}: {}", path.display(), e))?;
+    if progress {
+        let _ = writeln!(out, "done cycle={}", ps.cycle());
+    }
+    Ok(())
+}
+
+fn state_path(wal: &Path) -> PathBuf {
+    let mut p = wal.as_os_str().to_owned();
+    p.push(".state");
+    PathBuf::from(p)
+}
+
+/// Same splitmix64 the supervisor uses for retry jitter: deterministic
+/// kill points from the seed alone.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn driver(workdir: &Path, seed: u64, kills: u32, cycles: i64) -> Result<(), String> {
+    std::fs::create_dir_all(workdir).map_err(|e| format!("{}: {}", workdir.display(), e))?;
+    let oracle_wal = workdir.join(format!("oracle-{}.wal", seed));
+    let monkey_wal = workdir.join(format!("monkey-{}.wal", seed));
+    for p in [&oracle_wal, &monkey_wal] {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(state_path(p));
+    }
+
+    // Oracle: the uninterrupted run, in-process.
+    child(&oracle_wal, cycles, false)?;
+    let oracle_state =
+        std::fs::read(state_path(&oracle_wal)).map_err(|e| format!("oracle state: {}", e))?;
+
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut killed = 0u32;
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--child")
+            .arg(&monkey_wal)
+            .arg(cycles.to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut proc = cmd.spawn().map_err(|e| format!("spawn child: {}", e))?;
+        let reader = BufReader::new(proc.stdout.take().expect("child stdout piped"));
+
+        // Pick the kill point relative to where this incarnation resumed:
+        // a bounded random stride forward, so kills land all over the run.
+        let mut target: Option<u64> = None;
+        let mut want_kill = killed < kills;
+        for line in reader.lines() {
+            let line = line.map_err(|e| format!("read child: {}", e))?;
+            let cycle = line
+                .rsplit(['=', ' '])
+                .next()
+                .and_then(|n| n.parse::<u64>().ok());
+            let Some(cycle) = cycle else { continue };
+            if line.starts_with("start ") {
+                let stride = 1 + splitmix64(seed ^ (round << 32) ^ killed as u64) % 37;
+                target = Some(cycle + stride);
+                continue;
+            }
+            if want_kill && target.is_some_and(|t| cycle >= t) {
+                proc.kill().map_err(|e| format!("kill child: {}", e))?;
+                killed += 1;
+                want_kill = false;
+                eprintln!(
+                    "crash-monkey: seed={} kill #{} at cycle {}",
+                    seed, killed, cycle
+                );
+                // Keep draining: the pipe may hold lines printed pre-kill.
+            }
+        }
+        let status = proc.wait().map_err(|e| format!("wait child: {}", e))?;
+        if status.success() {
+            if want_kill || killed < kills {
+                eprintln!(
+                    "crash-monkey: seed={} run finished before kill #{} landed",
+                    seed,
+                    killed + 1
+                );
+            }
+            break;
+        }
+        if want_kill {
+            // The child died without us killing it: a real failure.
+            return Err(format!("child died unprompted: {}", status));
+        }
+    }
+
+    let monkey_state =
+        std::fs::read(state_path(&monkey_wal)).map_err(|e| format!("monkey state: {}", e))?;
+    if monkey_state != oracle_state {
+        return Err(format!(
+            "seed {}: recovered state diverges from oracle ({} vs {} bytes) — see {} / {}",
+            seed,
+            monkey_state.len(),
+            oracle_state.len(),
+            state_path(&monkey_wal).display(),
+            state_path(&oracle_wal).display()
+        ));
+    }
+    println!(
+        "crash-monkey: seed={} kills={} cycles={} ok (state identical, {} bytes)",
+        seed,
+        killed,
+        cycles,
+        oracle_state.len()
+    );
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--child") => match &args[1..] {
+            [wal, cycles] => match cycles.parse::<i64>() {
+                Ok(n) => child(Path::new(wal), n, true),
+                Err(_) => Err(format!("bad cycle count {}", cycles)),
+            },
+            _ => {
+                eprintln!("usage: crash_monkey --child <wal> <cycles>");
+                return std::process::ExitCode::from(2);
+            }
+        },
+        Some(dir) => {
+            let seed = args.get(1).and_then(|s| s.parse().ok());
+            let kills = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+            let cycles = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200);
+            match seed {
+                Some(seed) => driver(Path::new(dir), seed, kills, cycles),
+                None => {
+                    eprintln!("usage: crash_monkey <workdir> <seed> [kills] [cycles]");
+                    return std::process::ExitCode::from(2);
+                }
+            }
+        }
+        None => {
+            eprintln!("usage: crash_monkey <workdir> <seed> [kills] [cycles] | crash_monkey --child <wal> <cycles>");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("crash-monkey: {}", msg);
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sorete [OPTIONS] <program.ops>...
+//! sorete fsck <wal> [checkpoint]
 //!
 //! OPTIONS:
 //!   --matcher rete|rete-scan|treat|naive   match algorithm (default: rete)
@@ -25,22 +26,62 @@
 //!   --resume <ckpt>              restore a checkpoint before attaching the WAL
 //!   --checkpoint <file>          checkpoint destination (default: <wal>.ckpt)
 //!   --checkpoint-every <N>       checkpoint (and rotate the WAL) every N firings
+//!   --supervise                  panic isolation + retry/backoff + quarantine
+//!   --recovery abort|skip|rollback  failed-firing policy (default: abort)
+//!   --quarantine-after <N>       breaker: failures before quarantine (default 3)
+//!   --quarantine-window <N>      breaker window in cycles (default 20)
+//!   --io-retries <N>             transient durable-I/O retry attempts (default 4)
+//!   --soft-mem <BYTES>           soft memory budget: checkpoint + warn
+//!   --hard-mem <BYTES>           hard memory budget: orderly halt-with-checkpoint
+//!   --soft-wall-ms <N>           soft wall-clock budget (milliseconds)
 //!   --repl                       interactive session after loading
 //! ```
+//!
+//! `sorete fsck <wal> [checkpoint]` validates a log offline — CRC framing,
+//! commit points, generation pairing against the checkpoint — read-only,
+//! with one `fsck:` diagnostic line per finding.
+//!
+//! Exit codes: `0` success · `2` usage/parse errors · `3` run errors
+//! (RHS failures, caught panics) · `4` resource exhausted (guards or hard
+//! degradation budgets) · `5` durability errors (WAL, checkpoint, fsck
+//! failures) · `6` quarantine-exhausted (only quarantined work remained).
 //!
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
 //! `excise <rule>`, `explain <rule>`, `profile`, `wm`, `dump [file]`, `cs`,
 //! `stats`, `metrics`, `watch [n]`, `checkpoint [file]`, `recover <ckpt>`,
-//! `help`, `quit`.
+//! `quarantine <rule>`, `readmit <rule>`, `help`, `quit`.
 
-use sorete::core::{MatcherKind, ProductionSystem, Strategy};
+use sorete::core::{
+    BreakerPolicy, DegradationPolicy, MatcherKind, ProductionSystem, RetryPolicy, Strategy,
+    SupervisorConfig,
+};
 use sorete::reldb::WalOptions;
 use sorete_base::{JsonlSink, NetProfile, SnapshotWriter, Symbol, Value};
 use sorete_lang::token::{tokenize, TokKind};
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// Exit code 0 is success (`ExitCode::SUCCESS`); the named codes below are
+// the failure tiers, documented in the module header and asserted by
+// `tests/cli.rs`.
+/// Usage errors and parse failures (arguments, programs, fact files).
+const EXIT_USAGE: u8 = 2;
+/// The run stopped on an error (RHS failure, caught panic).
+const EXIT_RUN: u8 = 3;
+/// A resource guard or hard degradation budget ended the run.
+const EXIT_RESOURCE: u8 = 4;
+/// Durability failure: WAL attach/append, poisoned log, checkpoint I/O,
+/// or an fsck that found the log/checkpoint pair unusable.
+const EXIT_DURABILITY: u8 = 5;
+/// The run stalled with every remaining fireable instantiation behind
+/// quarantined rules.
+const EXIT_QUARANTINE: u8 = 6;
+
+/// A CLI failure: the process exit code plus the message for stderr.
+type Failure = (u8, String);
 
 #[derive(Debug)]
 struct Options {
@@ -64,6 +105,14 @@ struct Options {
     resume: Option<String>,
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
+    supervise: bool,
+    recovery: Option<sorete::core::RecoveryPolicy>,
+    quarantine_after: Option<u32>,
+    quarantine_window: Option<u64>,
+    io_retries: Option<u32>,
+    soft_mem: Option<u64>,
+    hard_mem: Option<u64>,
+    soft_wall_ms: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -72,7 +121,10 @@ fn usage() -> &'static str {
      [--metrics-json file] [--metrics-prom file] [--watch N] [--profile] \
      [--explain rule] [--stats] [--wal file] [--group-commit N] \
      [--resume ckpt] [--checkpoint file] [--checkpoint-every N] \
-     [--repl] program.ops..."
+     [--supervise] [--recovery abort|skip|rollback] [--quarantine-after N] \
+     [--quarantine-window N] [--io-retries N] [--soft-mem BYTES] \
+     [--hard-mem BYTES] [--soft-wall-ms N] [--repl] program.ops... \
+     | sorete fsck <wal> [ckpt]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -97,6 +149,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         resume: None,
         checkpoint: None,
         checkpoint_every: None,
+        supervise: false,
+        recovery: None,
+        quarantine_after: None,
+        quarantine_window: None,
+        io_retries: None,
+        soft_mem: None,
+        hard_mem: None,
+        soft_wall_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -185,6 +245,65 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .filter(|&n| n > 0)
                         .ok_or("--checkpoint-every needs a positive number of firings")?,
                 );
+            }
+            "--supervise" => opts.supervise = true,
+            "--recovery" => {
+                opts.recovery = Some(match it.next().map(String::as_str) {
+                    Some("abort") => sorete::core::RecoveryPolicy::AbortRun,
+                    Some("skip") => sorete::core::RecoveryPolicy::SkipFiring,
+                    Some("rollback") => sorete::core::RecoveryPolicy::Rollback,
+                    _ => return Err("--recovery needs abort, skip, or rollback".into()),
+                })
+            }
+            "--quarantine-after" => {
+                opts.quarantine_after = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--quarantine-after needs a positive number of failures")?,
+                );
+                opts.supervise = true;
+            }
+            "--quarantine-window" => {
+                opts.quarantine_window = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--quarantine-window needs a positive number of cycles")?,
+                );
+                opts.supervise = true;
+            }
+            "--io-retries" => {
+                opts.io_retries = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--io-retries needs a number of attempts")?,
+                );
+                opts.supervise = true;
+            }
+            "--soft-mem" => {
+                opts.soft_mem = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--soft-mem needs a byte budget")?,
+                );
+                opts.supervise = true;
+            }
+            "--hard-mem" => {
+                opts.hard_mem = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--hard-mem needs a byte budget")?,
+                );
+                opts.supervise = true;
+            }
+            "--soft-wall-ms" => {
+                opts.soft_wall_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--soft-wall-ms needs a number of milliseconds")?,
+                );
+                opts.supervise = true;
             }
             "--repl" => opts.repl = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -276,6 +395,23 @@ fn print_stats(ps: &ProductionSystem) {
             s.skipped_actions, s.rolled_back
         );
     }
+    if ps.supervision_enabled() {
+        let sup = ps.supervisor_stats();
+        println!(
+            "; supervisor: panics_caught={} io_retries={} quarantines={} readmissions={} soft_degrades={} hard_degrades={}",
+            sup.panics_caught,
+            sup.io_retries,
+            sup.quarantines,
+            sup.readmissions,
+            sup.soft_degrades,
+            sup.hard_degrades
+        );
+        let quarantined = ps.quarantined_rules();
+        if !quarantined.is_empty() {
+            let names: Vec<&str> = quarantined.iter().map(|s| s.as_str()).collect();
+            println!("; quarantined rules: {}", names.join(", "));
+        }
+    }
     println!("; match [{}]: {}", ps.matcher_name(), ps.match_stats());
     for (name, rs) in s.per_rule_sorted() {
         println!(
@@ -364,7 +500,7 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" | "?" => {
-                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | watch [n] | checkpoint [file] | recover <ckpt> | quit");
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | quarantine <rule> | readmit <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | watch [n] | checkpoint [file] | recover <ckpt> | quit");
             }
             "run" => {
                 let n: Option<u64> = rest.parse().ok();
@@ -398,6 +534,15 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             },
             "excise" => match ps.excise(rest) {
                 Ok(()) => println!("; excised {}", rest),
+                Err(e) => println!("; error: {}", e),
+            },
+            "quarantine" => match ps.quarantine_rule(rest) {
+                Ok(()) => println!("; quarantined {}", rest),
+                Err(e) => println!("; error: {}", e),
+            },
+            "readmit" => match ps.readmit_rule(rest) {
+                Ok(true) => println!("; readmitted {}", rest),
+                Ok(false) => println!("; {} was not quarantined", rest),
                 Err(e) => println!("; error: {}", e),
             },
             "remove" => match rest.parse::<u64>() {
@@ -505,7 +650,7 @@ fn run_with_checkpoints(
     limit: Option<u64>,
     every: u64,
     ckpt: &str,
-) -> Result<sorete::core::RunOutcome, String> {
+) -> Result<sorete::core::RunOutcome, Failure> {
     let mut total: u64 = 0;
     loop {
         let remaining = limit.map(|l| l.saturating_sub(total));
@@ -515,7 +660,7 @@ fn run_with_checkpoints(
         flush_output(ps);
         if outcome.fired > 0 {
             ps.checkpoint_to(std::path::Path::new(ckpt))
-                .map_err(|e| format!("{}: {}", ckpt, e))?;
+                .map_err(|e| (EXIT_DURABILITY, format!("{}: {}", ckpt, e)))?;
             eprintln!("; checkpointed {} at cycle {}", ckpt, ps.cycle());
         }
         let user_limit_hit = limit.is_some_and(|l| total >= l);
@@ -526,22 +671,64 @@ fn run_with_checkpoints(
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = parse_args(&args)?;
+/// Render a run's terminal `StopReason` to its typed exit, or `None` for
+/// the benign reasons (quiescence, halt, limit).
+fn outcome_failure(reason: &sorete::core::StopReason, fired: u64) -> Option<Failure> {
+    use sorete::core::{CoreError, StopReason};
+    match reason {
+        StopReason::Error(e) => {
+            let code = match e {
+                CoreError::Durability(_) => EXIT_DURABILITY,
+                _ => EXIT_RUN,
+            };
+            Some((code, format!("error after {} firings: {}", fired, e)))
+        }
+        StopReason::Panicked { rule, message } => Some((
+            EXIT_RUN,
+            format!(
+                "panic in rule {} after {} firings: {}",
+                rule, fired, message
+            ),
+        )),
+        StopReason::ResourceExhausted(v) => Some((
+            EXIT_RESOURCE,
+            format!("resource exhausted after {} firings: {}", fired, v),
+        )),
+        StopReason::Quarantined { rules } => {
+            let names: Vec<&str> = rules.iter().map(|s| s.as_str()).collect();
+            Some((
+                EXIT_QUARANTINE,
+                format!(
+                    "run stalled after {} firings: remaining work is quarantined ({}) — \
+                     readmit and run again",
+                    fired,
+                    names.join(", ")
+                ),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    let opts = parse_args(args).map_err(|e| (EXIT_USAGE, e))?;
 
     let mut ps = ProductionSystem::new(opts.matcher);
     ps.set_strategy(opts.strategy);
+    if let Some(policy) = opts.recovery {
+        ps.set_recovery_policy(policy);
+    }
     ps.set_tracing(opts.trace);
     if let Some(path) = &opts.trace_json {
-        let sink = JsonlSink::create(path).map_err(|e| format!("{}: {}", path, e))?;
+        let sink = JsonlSink::create(path).map_err(|e| (EXIT_USAGE, format!("{}: {}", path, e)))?;
         ps.add_trace_sink(Arc::new(Mutex::new(sink)));
     }
     if opts.metrics_json.is_some() || opts.metrics_prom.is_some() || opts.watch.is_some() {
         ps.enable_metrics();
     }
     if let Some(path) = &opts.metrics_json {
-        let writer = SnapshotWriter::create(path).map_err(|e| format!("{}: {}", path, e))?;
+        let writer =
+            SnapshotWriter::create(path).map_err(|e| (EXIT_USAGE, format!("{}: {}", path, e)))?;
         ps.set_metrics_stream(writer);
     }
     if opts.profile {
@@ -554,9 +741,10 @@ fn run() -> Result<(), String> {
     }
 
     for file in &opts.programs {
-        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
+        let src =
+            std::fs::read_to_string(file).map_err(|e| (EXIT_USAGE, format!("{}: {}", file, e)))?;
         ps.load_program(&src)
-            .map_err(|e| format!("{}: {}", file, e))?;
+            .map_err(|e| (EXIT_USAGE, format!("{}: {}", file, e)))?;
     }
 
     // Durability: restore a checkpoint first (the WAL base), then attach the
@@ -565,7 +753,7 @@ fn run() -> Result<(), String> {
     if let Some(path) = &opts.resume {
         let report = ps
             .resume_from_file(std::path::Path::new(path))
-            .map_err(|e| format!("{}: {}", path, e))?;
+            .map_err(|e| (EXIT_DURABILITY, format!("{}: {}", path, e)))?;
         eprintln!(
             "; resumed {}: {} WMEs, {} refracted, at cycle {} (checkpointed from {})",
             path, report.wmes, report.refracted, report.cycle, report.matcher_was
@@ -578,7 +766,19 @@ fn run() -> Result<(), String> {
         };
         let report = ps
             .attach_wal(std::path::Path::new(path), wal_opts)
-            .map_err(|e| format!("{}: {}", path, e))?;
+            .map_err(|e| (EXIT_DURABILITY, format!("{}: {}", path, e)))?;
+        // The one-line recovery summary, printed even for a clean attach so
+        // scripted runs always have it to parse.
+        eprintln!(
+            "; recovery: {}: replayed={} cycles={} commits={} stale_discarded={} uncommitted_discarded={} truncated_bytes={}",
+            path,
+            report.replayed_ops,
+            report.replayed_cycles,
+            report.replayed_commits,
+            report.stale_records,
+            report.discarded_records,
+            report.truncated_bytes
+        );
         if report.replayed_ops > 0 || report.replayed_cycles > 0 || report.replayed_commits > 0 {
             eprintln!(
                 "; recovered {}: {} ops over {} cycles + {} commits ({} records discarded, {} bytes truncated)",
@@ -599,9 +799,16 @@ fn run() -> Result<(), String> {
         eprintln!("; skipping --wm fact files: state was recovered");
     } else {
         for file in &opts.wm_files {
-            let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file, e))?;
-            for (class, slots) in parse_facts(&src)? {
-                ps.assert_wme(class, slots).map_err(|e| e.to_string())?;
+            let src = std::fs::read_to_string(file)
+                .map_err(|e| (EXIT_USAGE, format!("{}: {}", file, e)))?;
+            for (class, slots) in parse_facts(&src).map_err(|e| (EXIT_USAGE, e))? {
+                ps.assert_wme(class, slots).map_err(|e| {
+                    let code = match e {
+                        sorete::core::CoreError::Durability(_) => EXIT_DURABILITY,
+                        _ => EXIT_USAGE,
+                    };
+                    (code, e.to_string())
+                })?;
             }
         }
     }
@@ -610,7 +817,30 @@ fn run() -> Result<(), String> {
         .clone()
         .or_else(|| opts.wal.as_ref().map(|w| format!("{}.ckpt", w)));
 
-    let mut run_error: Option<String> = None;
+    if opts.supervise {
+        let mut config = SupervisorConfig {
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            degradation: DegradationPolicy {
+                soft_wall: opts.soft_wall_ms.map(Duration::from_millis),
+                soft_bytes: opts.soft_mem,
+                hard_bytes: opts.hard_mem,
+            },
+            checkpoint_path: ckpt_path.as_ref().map(std::path::PathBuf::from),
+        };
+        if let Some(n) = opts.quarantine_after {
+            config.breaker.max_failures = n;
+        }
+        if let Some(n) = opts.quarantine_window {
+            config.breaker.window_cycles = n;
+        }
+        if let Some(n) = opts.io_retries {
+            config.retry.max_attempts = n;
+        }
+        ps.enable_supervision(config);
+    }
+
+    let mut run_error: Option<Failure> = None;
     if opts.repl {
         flush_output(&mut ps);
         repl(&mut ps, opts.limit);
@@ -636,16 +866,11 @@ fn run() -> Result<(), String> {
             }
             match &outcome.reason {
                 sorete::core::StopReason::Limit => {}
-                sorete::core::StopReason::Error(e) => {
-                    run_error = Some(format!("error after {} firings: {}", total, e));
-                    break;
-                }
-                sorete::core::StopReason::ResourceExhausted(v) => {
-                    run_error = Some(format!("resource exhausted after {} firings: {}", total, v));
-                    break;
-                }
                 reason => {
-                    eprintln!("; fired {} rules ({:?})", total, reason);
+                    match outcome_failure(reason, total) {
+                        Some(failure) => run_error = Some(failure),
+                        None => eprintln!("; fired {} rules ({:?})", total, reason),
+                    }
                     break;
                 }
             }
@@ -656,17 +881,9 @@ fn run() -> Result<(), String> {
             _ => ps.run(opts.limit),
         };
         flush_output(&mut ps);
-        match &outcome.reason {
-            sorete::core::StopReason::Error(e) => {
-                run_error = Some(format!("error after {} firings: {}", outcome.fired, e));
-            }
-            sorete::core::StopReason::ResourceExhausted(v) => {
-                run_error = Some(format!(
-                    "resource exhausted after {} firings: {}",
-                    outcome.fired, v
-                ));
-            }
-            reason => eprintln!("; fired {} rules ({:?})", outcome.fired, reason),
+        match outcome_failure(&outcome.reason, outcome.fired) {
+            Some(failure) => run_error = Some(failure),
+            None => eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason),
         }
     }
     // A final checkpoint captures end-of-run state (also on the error paths:
@@ -674,7 +891,7 @@ fn run() -> Result<(), String> {
     if opts.checkpoint_every.is_some() {
         if let Some(ckpt) = &ckpt_path {
             ps.checkpoint_to(std::path::Path::new(ckpt))
-                .map_err(|e| format!("{}: {}", ckpt, e))?;
+                .map_err(|e| (EXIT_DURABILITY, format!("{}: {}", ckpt, e)))?;
             eprintln!("; checkpointed {} at cycle {}", ckpt, ps.cycle());
         }
     }
@@ -683,7 +900,7 @@ fn run() -> Result<(), String> {
     if let Some(path) = &opts.dot {
         match ps.network_dot() {
             Some(dot) => {
-                std::fs::write(path, dot).map_err(|e| format!("{}: {}", path, e))?;
+                std::fs::write(path, dot).map_err(|e| (EXIT_USAGE, format!("{}: {}", path, e)))?;
                 eprintln!("; wrote network DOT to {}", path);
             }
             None => eprintln!(
@@ -720,19 +937,101 @@ fn run() -> Result<(), String> {
     ps.record_metrics_snapshot();
     if let Some(path) = &opts.metrics_prom {
         let text = ps.metrics_prometheus().unwrap_or_default();
-        std::fs::write(path, text).map_err(|e| format!("{}: {}", path, e))?;
+        std::fs::write(path, text).map_err(|e| (EXIT_USAGE, format!("{}: {}", path, e)))?;
         eprintln!("; wrote Prometheus exposition to {}", path);
     }
     ps.flush_trace();
     run_error.map_or(Ok(()), Err)
 }
 
+/// `sorete fsck <wal> [ckpt]`: offline durability validation. Reads both
+/// files without mutating them (no truncation, no replay into an engine)
+/// and reports CRC framing, the committed prefix, tail defects, and WAL /
+/// checkpoint generation pairing.
+///
+/// Exit 0 when the pair is recoverable (tail defects are fine: recovery
+/// truncates them); exit 5 (`EXIT_DURABILITY`) when a file is unreadable,
+/// not a WAL/checkpoint at all, or the generations cannot pair.
+fn fsck(args: &[String]) -> Result<(), Failure> {
+    let (wal_path, ckpt_path) = match args {
+        [w] => (w, None),
+        [w, c] => (w, Some(c)),
+        _ => return Err((EXIT_USAGE, "usage: sorete fsck <wal> [ckpt]".into())),
+    };
+    let scan = sorete::reldb::Wal::scan(std::path::Path::new(wal_path))
+        .map_err(|e| (EXIT_DURABILITY, format!("fsck: {}", e)))?;
+    println!(
+        "fsck: wal {}: generation={} file_bytes={} committed_bytes={} records={} commit_points={}",
+        wal_path,
+        scan.generation,
+        scan.file_bytes,
+        scan.committed_bytes,
+        scan.committed_records,
+        scan.commit_points
+    );
+    for defect in &scan.defects {
+        println!("fsck: wal {}: tail defect: {:?}", wal_path, defect);
+    }
+    if !scan.defects.is_empty() {
+        println!(
+            "fsck: wal {}: tail is recoverable — recovery truncates {} bytes back to the last commit point",
+            wal_path,
+            scan.file_bytes - scan.committed_bytes
+        );
+    }
+    if let Some(ckpt_path) = ckpt_path {
+        let text = std::fs::read_to_string(ckpt_path)
+            .map_err(|e| (EXIT_DURABILITY, format!("fsck: {}: {}", ckpt_path, e)))?;
+        let ck = sorete::core::Checkpoint::parse(&text)
+            .map_err(|e| (EXIT_DURABILITY, format!("fsck: {}: {}", ckpt_path, e)))?;
+        println!(
+            "fsck: checkpoint {}: generation={} cycle={} wmes={} refracted={} matcher={}",
+            ckpt_path,
+            ck.generation,
+            ck.cycle,
+            ck.wmes.len(),
+            ck.fired.len(),
+            ck.matcher
+        );
+        // Pairing: equal generations means the log continues the checkpoint
+        // (replay); checkpoint one ahead means a crash landed between the
+        // checkpoint rename and the log rotation (log is stale but safely
+        // ignorable). Anything else is an unrelated or missing-lineage pair.
+        if ck.generation == scan.generation {
+            println!(
+                "fsck: pairing ok: log generation {} continues the checkpoint (replay on resume)",
+                scan.generation
+            );
+        } else if ck.generation == scan.generation + 1 {
+            println!(
+                "fsck: pairing ok: checkpoint generation {} is one ahead of the log ({}) — log is stale and will be discarded on resume",
+                ck.generation, scan.generation
+            );
+        } else {
+            return Err((
+                EXIT_DURABILITY,
+                format!(
+                    "fsck: generation mismatch: WAL generation {} does not pair with checkpoint generation {} (expected equal, or checkpoint one ahead)",
+                    scan.generation, ck.generation
+                ),
+            ));
+        }
+    }
+    println!("fsck: ok");
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("fsck") => fsck(&args[1..]),
+        _ => run(&args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{}", msg);
-            ExitCode::FAILURE
+        Err((code, msg)) => {
+            eprintln!("sorete: {}", msg);
+            ExitCode::from(code)
         }
     }
 }

@@ -693,3 +693,325 @@ fn repl_metrics_and_watch() {
     // watch printed at least two tables (the `metrics` one and its own).
     assert!(stdout.matches("; cycle ").count() >= 2, "{}", stdout);
 }
+
+// ---------------------------------------------------------------------------
+// Typed exit codes, the recovery summary, and fsck
+
+/// The deterministic failing workload: `bump` counts to 5, then `poison`
+/// divides by zero forever.
+const POISON_OPS: &str = "
+(literalize counter n)
+(p bump
+  (counter ^n <x> < 5)
+  -->
+  (modify 1 ^n (compute <x> + 1)))
+(p poison
+  (counter ^n {<x> 5})
+  -->
+  (modify 1 ^n (compute <x> / 0)))
+";
+
+fn cli_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sorete-cli-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write_poison_fixture() -> (String, String) {
+    let prog = cli_dir("poison.ops");
+    let wm = cli_dir("poison.wm");
+    std::fs::write(&prog, POISON_OPS).unwrap();
+    std::fs::write(&wm, "(counter ^n 0)\n").unwrap();
+    (
+        prog.to_str().unwrap().to_string(),
+        wm.to_str().unwrap().to_string(),
+    )
+}
+
+#[test]
+fn exit_codes_are_typed() {
+    // 2: usage / parse errors.
+    let out = Command::new(bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(bin())
+        .arg("does-not-exist.ops")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let (prog, wm) = write_poison_fixture();
+    // 3: the run stopped on an error.
+    let out = Command::new(bin())
+        .args(["--wm", &wm, &prog])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error after 5 firings"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 4: a hard resource budget ended the run.
+    let out = Command::new(bin())
+        .args(["--hard-mem", "1", "--wm", &wm, &prog])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resource exhausted"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 5: durability errors (here: resuming a checkpoint that is not one).
+    let bogus = cli_dir("bogus.ckpt");
+    std::fs::write(&bogus, "not a checkpoint\n").unwrap();
+    let out = Command::new(bin())
+        .args(["--resume", bogus.to_str().unwrap(), &prog])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 6: everything left to fire is quarantined.
+    let out = Command::new(bin())
+        .args([
+            "--supervise",
+            "--recovery",
+            "rollback",
+            "--quarantine-after",
+            "2",
+            "--wm",
+            &wm,
+            &prog,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined (poison)"), "{}", stderr);
+}
+
+#[test]
+fn wal_attach_always_prints_the_recovery_summary() {
+    let (prog, wm) = write_poison_fixture();
+    let wal = cli_dir("summary.wal");
+    let _ = std::fs::remove_file(&wal);
+    let count_prog = cli_dir("count.ops");
+    std::fs::write(
+        &count_prog,
+        "(literalize counter n)\n(p bump (counter ^n <x> < 5) --> (modify 1 ^n (compute <x> + 1)))",
+    )
+    .unwrap();
+    let _ = prog; // poison fixture shares the wm file
+                  // First run: clean attach still prints the summary (all zeros).
+    let out = Command::new(bin())
+        .args([
+            "--wal",
+            wal.to_str().unwrap(),
+            "--wm",
+            &wm,
+            count_prog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("; recovery: ") && stderr.contains("replayed=0"),
+        "{}",
+        stderr
+    );
+    // Second run: recovery replays the committed history and says so.
+    let out = Command::new(bin())
+        .args(["--wal", wal.to_str().unwrap(), count_prog.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("; recovery: "), "{}", stderr);
+    assert!(!stderr.contains("replayed=0"), "{}", stderr);
+    assert!(stderr.contains("commits="), "{}", stderr);
+    assert!(stderr.contains("truncated_bytes="), "{}", stderr);
+}
+
+#[test]
+fn fsck_validates_wal_and_checkpoint_pairing() {
+    let wal = cli_dir("fsck.wal");
+    let _ = std::fs::remove_file(&wal);
+    let ckpt = cli_dir("fsck.wal.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let wm = cli_dir("fsck.wm");
+    std::fs::write(&wm, "(counter ^n 0)\n").unwrap();
+    let count_prog = cli_dir("fsck-count.ops");
+    std::fs::write(
+        &count_prog,
+        "(literalize counter n)\n(p bump (counter ^n <x> < 5) --> (modify 1 ^n (compute <x> + 1)))",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args([
+            "--wal",
+            wal.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+            "--wm",
+            wm.to_str().unwrap(),
+            count_prog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A healthy pair: fsck reports framing + pairing and exits 0.
+    let out = Command::new(bin())
+        .args(["fsck", wal.to_str().unwrap(), ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fsck: wal"), "{}", stdout);
+    assert!(stdout.contains("fsck: checkpoint"), "{}", stdout);
+    assert!(stdout.contains("pairing ok"), "{}", stdout);
+    assert!(stdout.contains("fsck: ok"), "{}", stdout);
+
+    // A torn tail is reported but still recoverable: exit 0.
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+    let out = Command::new(bin())
+        .args(["fsck", wal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tail defect"), "{}", stdout);
+    assert!(stdout.contains("recoverable"), "{}", stdout);
+
+    // Garbage is not a WAL: exit 5.
+    let junk = cli_dir("junk.wal");
+    std::fs::write(&junk, "definitely not a log").unwrap();
+    let out = Command::new(bin())
+        .args(["fsck", junk.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An unrelated checkpoint generation cannot pair: exit 5.
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    let bumped: String = text
+        .lines()
+        .map(|l| {
+            if let Some(g) = l.strip_prefix("GEN\t") {
+                let n: u64 = g.trim().parse().unwrap();
+                format!("GEN\t{}\n", n + 7)
+            } else {
+                format!("{}\n", l)
+            }
+        })
+        .collect();
+    let bad_ckpt = cli_dir("fsck-bad.ckpt");
+    std::fs::write(&bad_ckpt, bumped).unwrap();
+    let out = Command::new(bin())
+        .args(["fsck", wal.to_str().unwrap(), bad_ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("generation mismatch"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The REPL's quarantine/readmit commands flip conflict-set eligibility.
+#[test]
+fn repl_quarantine_and_readmit() {
+    let (prog, wm) = write_poison_fixture();
+    let mut child = Command::new(bin())
+        .args(["--repl", "--wm", &wm, &prog])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    {
+        use std::io::Write;
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "quarantine poison").unwrap();
+        writeln!(stdin, "run").unwrap();
+        writeln!(stdin, "readmit poison").unwrap();
+        writeln!(stdin, "readmit poison").unwrap();
+        writeln!(stdin, "quarantine no-such-rule").unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; quarantined poison"), "{}", stdout);
+    // With poison quarantined, bump counts to 5 and the run rests at
+    // quiescence instead of dying on the division.
+    assert!(stdout.contains("; fired 5"), "{}", stdout);
+    assert!(stdout.contains("; readmitted poison"), "{}", stdout);
+    assert!(
+        stdout.contains("; poison was not quarantined"),
+        "{}",
+        stdout
+    );
+    assert!(
+        stdout.contains("no rule named `no-such-rule`"),
+        "{}",
+        stdout
+    );
+}
