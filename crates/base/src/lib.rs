@@ -22,6 +22,7 @@ pub mod error;
 pub mod hash;
 pub mod inst;
 pub mod metrics;
+pub mod pool;
 pub mod symbol;
 pub mod trace;
 pub mod value;
@@ -34,6 +35,7 @@ pub use inst::{ConflictItem, CsDelta, InstKey, KeyPart, MatchStats, RetimeInfo, 
 pub use metrics::{
     MemoryRegion, MemoryReport, MetricId, MetricKind, Metrics, MetricsRegistry, SnapshotWriter,
 };
+pub use pool::{jobs_from_env, resolve_jobs, WorkerPool};
 pub use symbol::Symbol;
 pub use trace::{
     CollectSink, JsonlSink, NetProfile, NodeProfile, NullSink, SelfTimer, SharedSink, TraceEvent,

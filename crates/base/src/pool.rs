@@ -1,0 +1,346 @@
+//! A small fork-join worker pool for the parallel match / fire phases.
+//!
+//! The engine drives matchers through *many tiny* work batches — one per
+//! WME change — so spawning OS threads per batch (`std::thread::scope`)
+//! would cost more than the work itself. This pool keeps `jobs - 1`
+//! workers parked on a condvar; [`WorkerPool::run`] publishes a borrowed
+//! `Fn(usize)` job, wakes them, runs shard 0 on the caller's thread, and
+//! blocks until every worker has finished the epoch. Because `run` does
+//! not return until all workers are done with the job pointer, lending a
+//! non-`'static` closure across threads is sound.
+//!
+//! `jobs == 1` degenerates to a plain inline call — no threads, no locks —
+//! so the sequential path pays nothing for the abstraction.
+//!
+//! Per-worker busy time is accumulated across runs (see
+//! [`WorkerPool::busy_nanos`]); benches use it to report the critical-path
+//! speedup `total_busy / max_busy` independently of how many hardware
+//! cores the host actually has.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Raw pointer to the borrowed job closure. Only alive during one epoch;
+/// `run` joins the epoch before the borrow expires.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and `run` guarantees it outlives every worker's use of it.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Bumped once per published job; workers run each epoch exactly once.
+    epoch: u64,
+    /// Workers still executing the current epoch.
+    active: usize,
+    job: Option<JobPtr>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    start: Condvar,
+    done: Condvar,
+    /// Cumulative busy nanoseconds per lane (lane 0 = the caller thread).
+    busy: Mutex<Vec<u64>>,
+    /// First panic message from a worker lane this epoch; `run` re-raises
+    /// it on the caller thread after the join barrier, so a panicking job
+    /// behaves like `thread::scope` (propagates) instead of deadlocking.
+    panic: Mutex<Option<String>>,
+}
+
+fn describe_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Fork-join pool with persistent workers. See the module docs.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    jobs: usize,
+}
+
+impl WorkerPool {
+    /// A pool executing jobs across `jobs` lanes: the caller's thread plus
+    /// `jobs - 1` spawned workers. `jobs` is clamped to `1..=64`.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.clamp(1, 64);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                active: 0,
+                job: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            busy: Mutex::new(vec![0; jobs]),
+            panic: Mutex::new(None),
+        });
+        let handles = (1..jobs)
+            .map(|lane| {
+                let sh = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sorete-pool-{lane}"))
+                    .spawn(move || worker_loop(&sh, lane))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            jobs,
+        }
+    }
+
+    /// Number of lanes (1 means fully inline).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `f(lane)` once on every lane and wait for all of them. Lane 0
+    /// executes on the calling thread.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            let t0 = Instant::now();
+            f(0);
+            self.shared.busy.lock().unwrap()[0] += t0.elapsed().as_nanos() as u64;
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.active, 0, "pool re-entered while an epoch is live");
+            // SAFETY: we erase the borrow's lifetime, but do not return from
+            // `run` until `active` drops back to 0, i.e. until no worker can
+            // touch the pointer again.
+            st.job = Some(JobPtr(unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    f as *const _,
+                )
+            }));
+            st.epoch += 1;
+            st.active = self.handles.len();
+            self.shared.start.notify_all();
+        }
+        let t0 = Instant::now();
+        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let caller_busy = t0.elapsed().as_nanos() as u64;
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.active > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+        }
+        self.shared.busy.lock().unwrap()[0] += caller_busy;
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        let worker_panic = self.shared.panic.lock().unwrap().take();
+        if let Some(msg) = worker_panic {
+            panic!("pool worker panicked: {msg}");
+        }
+    }
+
+    /// Parallel for over `0..n`: lanes claim indices from a shared atomic
+    /// counter, so uneven item costs self-balance. `f` must be safe to call
+    /// concurrently for distinct indices.
+    pub fn for_each_index(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.jobs == 1 || n == 1 {
+            let t0 = Instant::now();
+            for i in 0..n {
+                f(i);
+            }
+            self.shared.busy.lock().unwrap()[0] += t0.elapsed().as_nanos() as u64;
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        self.run(&|_lane| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            f(i);
+        });
+    }
+
+    /// Cumulative busy nanoseconds per lane since creation (or the last
+    /// [`WorkerPool::reset_busy`]). Lane 0 is the caller thread.
+    pub fn busy_nanos(&self) -> Vec<u64> {
+        self.shared.busy.lock().unwrap().clone()
+    }
+
+    /// Zero the per-lane busy counters.
+    pub fn reset_busy(&self) {
+        for b in self.shared.busy.lock().unwrap().iter_mut() {
+            *b = 0;
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared, lane: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = sh.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("live epoch without a job");
+                }
+                st = sh.start.wait(st).unwrap();
+            }
+        };
+        let t0 = Instant::now();
+        // SAFETY: `run` keeps the closure alive until `active` reaches 0.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (unsafe { &*job.0 })(lane)));
+        if let Err(payload) = result {
+            let mut p = sh.panic.lock().unwrap();
+            if p.is_none() {
+                *p = Some(describe_panic(payload));
+            }
+        }
+        let busy = t0.elapsed().as_nanos() as u64;
+        sh.busy.lock().unwrap()[lane] += busy;
+        {
+            let mut st = sh.state.lock().unwrap();
+            st.active -= 1;
+            if st.active == 0 {
+                sh.done.notify_all();
+            }
+        }
+    }
+}
+
+/// How many lanes to use, resolved from (in priority order) an explicit
+/// request — the `--jobs` flag — then the `SORETE_JOBS` environment
+/// variable, then 1 (fully sequential). `0` in either place means "use
+/// every hardware thread".
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    let raw = explicit.or_else(jobs_from_env).unwrap_or(1);
+    if raw == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        raw.clamp(1, 64)
+    }
+}
+
+/// The `SORETE_JOBS` environment override, if set and parseable.
+pub fn jobs_from_env() -> Option<usize> {
+    std::env::var("SORETE_JOBS").ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn inline_when_single_lane() {
+        let pool = WorkerPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.for_each_index(100, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        assert_eq!(pool.busy_nanos().len(), 1);
+    }
+
+    #[test]
+    fn fans_out_and_joins() {
+        let pool = WorkerPool::new(4);
+        for round in 0..50 {
+            let sum = AtomicU64::new(0);
+            pool.for_each_index(64, &|i| {
+                sum.fetch_add(i as u64 + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 2016 + 64 * round);
+        }
+        assert_eq!(pool.busy_nanos().len(), 4);
+    }
+
+    #[test]
+    fn run_executes_every_lane_once() {
+        let pool = WorkerPool::new(3);
+        let hits = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        pool.run(&|lane| {
+            hits[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn borrows_non_static_state() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0u64; 256];
+        {
+            let chunks: Vec<_> = out.chunks_mut(64).collect();
+            let chunks: Vec<_> = chunks.into_iter().map(std::sync::Mutex::new).collect();
+            pool.for_each_index(chunks.len(), &|c| {
+                for (j, slot) in chunks[c].lock().unwrap().iter_mut().enumerate() {
+                    *slot = (c * 64 + j) as u64;
+                }
+            });
+        }
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let pool = WorkerPool::new(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 2 {
+                    panic!("boom on lane 2");
+                }
+            });
+        }));
+        let msg = describe_panic(r.unwrap_err());
+        assert!(msg.contains("boom on lane 2"), "{msg}");
+        // The pool survives and runs the next epoch normally.
+        let hits = AtomicU64::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn resolve_jobs_priority() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(999)), 64);
+        assert!(resolve_jobs(Some(0)) >= 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Parallel-match scaling bench: what `--jobs N` buys on the high-fanout
+//! P1 workload (8 cloned inequality-join rules, one per partition, so
+//! every WME change fans out into 8 independent join cascades).
+//!
+//! Two families of numbers:
+//!
+//! - **wall micros** per jobs level — honest wall-clock, which can only
+//!   improve when the host actually has spare cores;
+//! - **critical-path speedup** `total_busy / max_busy` from the pool's
+//!   per-lane busy accounting — how much faster the match phase would
+//!   complete with one core per lane, independent of the host. On a
+//!   single-core container (CI) the wall numbers stay flat while the
+//!   critical-path column shows the partitioning headroom; see
+//!   EXPERIMENTS.md for the methodology note.
+//!
+//! The calibration pass writes `BENCH_parallel.json` (median-of-5 wall
+//! micros, per-lane busy nanos, speedups, and the host's core count) so
+//! CI archives the numbers alongside the other `BENCH_*.json` artifacts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::run_parallel_match;
+
+const RULES: usize = 8;
+const N: usize = 120;
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    write_calibration_json();
+    let mut group = c.benchmark_group("parallel_scaling");
+    for jobs in JOBS {
+        group.bench_with_input(BenchmarkId::new("match", jobs), &jobs, |b, &jobs| {
+            b.iter(|| run_parallel_match(jobs, RULES, N))
+        });
+    }
+    group.finish();
+}
+
+fn write_calibration_json() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut wall_jobs1 = 0u64;
+    for jobs in JOBS {
+        let mut samples = Vec::new();
+        let mut busy: Vec<u64> = Vec::new();
+        for _ in 0..5 {
+            let (rep, b) = run_parallel_match(jobs, RULES, N);
+            samples.push(rep.micros as u64);
+            busy = b;
+        }
+        samples.sort_unstable();
+        let wall = samples[2];
+        if jobs == 1 {
+            wall_jobs1 = wall;
+        }
+        let total_busy: u64 = busy.iter().sum();
+        let max_busy = busy.iter().copied().max().unwrap_or(0);
+        let critical_path_speedup = if max_busy > 0 {
+            total_busy as f64 / max_busy as f64
+        } else {
+            1.0
+        };
+        let wall_speedup = if wall > 0 {
+            wall_jobs1 as f64 / wall as f64
+        } else {
+            1.0
+        };
+        let busy_list: Vec<String> = busy.iter().map(|b| b.to_string()).collect();
+        rows.push(format!(
+            "  {{\"jobs\": {jobs}, \"micros\": {wall}, \"wall_speedup\": {wall_speedup:.2}, \
+             \"busy_nanos\": [{busy}], \"critical_path_speedup\": {critical_path_speedup:.2}}}",
+            busy = busy_list.join(", ")
+        ));
+    }
+    let json = format!(
+        "{{\n\"workload\": \"P1 high-fanout ({RULES} rules, n={N})\", \"cores\": {cores},\n\
+         \"note\": \"wall numbers bound by host cores; critical_path_speedup = \
+         total_busy/max_busy is host-independent\",\n\"runs\": [\n{}\n]}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("(wrote BENCH_parallel.json)"),
+        Err(e) => println!("(could not write BENCH_parallel.json: {})", e),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

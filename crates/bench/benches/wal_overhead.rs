@@ -72,10 +72,11 @@ fn bench(c: &mut Criterion) {
 /// Median-of-5 wall-clock micros per configuration, written to
 /// `BENCH_wal.json` in the same style as the `report` binary's artifacts.
 fn write_calibration_json() {
-    let micros = |group_commit: u32, path: Option<&std::path::Path>| -> (u64, u64, u64) {
+    let micros = |group_commit: u32, path: Option<&std::path::Path>| -> (u64, u64, u64, u64) {
         let mut samples = Vec::new();
         let mut records = 0u64;
         let mut fsyncs = 0u64;
+        let mut writes = 0u64;
         for _ in 0..5 {
             let t0 = std::time::Instant::now();
             let ps = run(group_commit, path);
@@ -83,23 +84,24 @@ fn write_calibration_json() {
             if let Some(stats) = ps.wal_stats() {
                 records = stats.records;
                 fsyncs = stats.fsyncs;
+                writes = stats.writes;
             }
         }
         samples.sort_unstable();
-        (samples[2], records, fsyncs)
+        (samples[2], records, fsyncs, writes)
     };
     let path = wal_file("calib");
-    let (base, _, _) = micros(0, None);
-    let (gc1, rec1, fs1) = micros(1, Some(&path));
-    let (gc8, rec8, fs8) = micros(8, Some(&path));
+    let (base, _, _, _) = micros(0, None);
+    let (gc1, rec1, fs1, wr1) = micros(1, Some(&path));
+    let (gc8, rec8, fs8, wr8) = micros(8, Some(&path));
     let _ = std::fs::remove_file(&path);
     let json = format!(
         "[\n  {{\"config\": \"no_wal\", \"firings\": {f}, \"micros\": {base}, \
-         \"records\": 0, \"fsyncs\": 0}},\n  {{\"config\": \"wal\", \
+         \"records\": 0, \"writes\": 0, \"fsyncs\": 0}},\n  {{\"config\": \"wal\", \
          \"firings\": {f}, \"micros\": {gc1}, \"records\": {rec1}, \
-         \"fsyncs\": {fs1}}},\n  {{\"config\": \"wal_group_8\", \
+         \"writes\": {wr1}, \"fsyncs\": {fs1}}},\n  {{\"config\": \"wal_group_8\", \
          \"firings\": {f}, \"micros\": {gc8}, \"records\": {rec8}, \
-         \"fsyncs\": {fs8}}}\n]\n",
+         \"writes\": {wr8}, \"fsyncs\": {fs8}}}\n]\n",
         f = FIRINGS
     );
     // Benches run with the package dir as cwd; anchor the artifact at the

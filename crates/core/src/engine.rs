@@ -524,16 +524,50 @@ pub struct ProductionSystem {
     /// The rule whose firing produced the last [`Self::step`] error, for
     /// [`Self::run`]'s breaker bookkeeping and structured stop reasons.
     last_failed: Option<Symbol>,
+    /// Worker pool backing a parallel matcher; `None` under the classic
+    /// single-threaded backends. Shared with the matcher for busy-time
+    /// accounting.
+    pool: Option<Arc<sorete_base::WorkerPool>>,
 }
 
 impl ProductionSystem {
-    /// New engine over the chosen matcher, LEX strategy.
+    /// New engine over the chosen matcher, LEX strategy. When the
+    /// `SORETE_JOBS` environment variable is set, the partitioned parallel
+    /// backend is used with that many worker lanes (equivalent to
+    /// [`Self::with_jobs`]); otherwise the classic monolithic matcher runs
+    /// on the calling thread.
     pub fn new(kind: MatcherKind) -> ProductionSystem {
-        let matcher: Box<dyn Matcher> = match kind {
-            MatcherKind::Rete => Box::new(ReteMatcher::new()),
-            MatcherKind::ReteScan => Box::new(ReteMatcher::with_indexing(false)),
-            MatcherKind::Treat => Box::new(TreatMatcher::new()),
-            MatcherKind::Naive => Box::new(NaiveMatcher::new()),
+        match sorete_base::jobs_from_env() {
+            Some(_) => Self::with_jobs(kind, sorete_base::resolve_jobs(None)),
+            None => Self::with_matcher(kind, None),
+        }
+    }
+
+    /// New engine over the rule-partitioned parallel backend
+    /// ([`crate::ParallelMatcher`]) for `kind`, fanning match work across
+    /// `jobs` pool lanes. The logical delta stream — and therefore every
+    /// firing decision — is byte-identical for all `jobs` values,
+    /// including 1 (see `crate::parallel` for the merge invariant).
+    pub fn with_jobs(kind: MatcherKind, jobs: usize) -> ProductionSystem {
+        Self::with_matcher(kind, Some(jobs.max(1)))
+    }
+
+    fn with_matcher(kind: MatcherKind, jobs: Option<usize>) -> ProductionSystem {
+        let (matcher, pool): (Box<dyn Matcher>, Option<Arc<sorete_base::WorkerPool>>) = match jobs {
+            Some(n) => {
+                let pool = Arc::new(sorete_base::WorkerPool::new(n));
+                let m = crate::parallel::ParallelMatcher::with_pool(kind, Arc::clone(&pool));
+                (Box::new(m), Some(pool))
+            }
+            None => (
+                match kind {
+                    MatcherKind::Rete => Box::new(ReteMatcher::new()),
+                    MatcherKind::ReteScan => Box::new(ReteMatcher::with_indexing(false)),
+                    MatcherKind::Treat => Box::new(TreatMatcher::new()),
+                    MatcherKind::Naive => Box::new(NaiveMatcher::new()),
+                },
+                None,
+            ),
         };
         ProductionSystem {
             matcher,
@@ -561,6 +595,28 @@ impl ProductionSystem {
             ckpt_gen: 0,
             sup: None,
             last_failed: None,
+            pool,
+        }
+    }
+
+    /// Worker lanes driving the match network (1 when single-threaded).
+    pub fn jobs(&self) -> usize {
+        self.pool.as_ref().map(|p| p.jobs()).unwrap_or(1)
+    }
+
+    /// Cumulative per-lane busy nanoseconds of the match worker pool
+    /// (lane 0 = the engine thread), or `None` when single-threaded.
+    /// Benches use this for critical-path speedup accounting.
+    pub fn pool_busy_nanos(&self) -> Option<Vec<u64>> {
+        self.pool.as_ref().map(|p| p.busy_nanos())
+    }
+
+    /// Zero the pool's per-lane busy counters (no-op when
+    /// single-threaded), so a bench can scope the accounting to its
+    /// measured phase.
+    pub fn pool_reset_busy(&self) {
+        if let Some(p) = &self.pool {
+            p.reset_busy();
         }
     }
 
@@ -908,10 +964,19 @@ impl ProductionSystem {
     /// snapshot at the current cycle. The engine calls this at the end of
     /// every cycle (success *and* failure); call it manually to capture
     /// state between runs. No-op when metrics are disabled.
+    ///
+    /// Snapshots are taken at **cycle barriers only**: while a firing is in
+    /// flight (RHS running, parallel match propagation not yet merged) the
+    /// call is refused, so `--watch` gauge readers can never observe a
+    /// half-applied cycle — e.g. a WM size that includes a firing's asserts
+    /// but not yet its conflict-set consequences.
     pub fn record_metrics_snapshot(&self) {
         let Some(m) = self.metrics.as_ref() else {
             return;
         };
+        if self.firing_rule.is_some() {
+            return;
+        }
         self.sample_metrics(m);
         let cycle = self.cycle;
         m.handle.with(|r| r.snapshot(cycle));

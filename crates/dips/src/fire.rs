@@ -9,11 +9,17 @@
 //!
 //! [`parallel_cycle`] reproduces that execution model: every satisfied
 //! instantiation (tuple mode) or SOI (set mode) becomes one optimistic
-//! transaction over a relational `WM` table; all transactions start from
-//! the same snapshot (simulated parallel start) and commit in sequence —
-//! first committer wins, the rest abort. Tuple-oriented runs show the
-//! conflict storm; set-oriented runs collapse each group into a single
-//! transaction that cannot conflict with itself.
+//! transaction over a relational `WM` table. All transactions are *built*
+//! concurrently from the same snapshot on the engine's worker pool
+//! (`--jobs` / `SORETE_JOBS` lanes), each reporting its read and write
+//! tag sets; they then commit in canonical snapshot order — a firing
+//! aborts iff its tag sets intersect an earlier committed firing's write
+//! set (first committer wins), so outcomes never depend on lane timing.
+//! Tuple-oriented runs show the conflict storm; set-oriented runs
+//! collapse each group into a single transaction that cannot conflict
+//! with itself. The cycle's committed WM effects reach the WAL as one
+//! buffered unit under a single boundary marker (one fsync window), so
+//! crash recovery replays the cycle atomically and in canonical order.
 
 use crate::cond::{DipsEngine, DipsInst, DipsMode, DipsSoi};
 use crate::error::DipsError;
@@ -34,6 +40,11 @@ pub struct CycleReport {
     pub aborted: usize,
     /// Write operations carried by committed transactions.
     pub writes_committed: usize,
+    /// Aborts decided by the explicit read/write tag-set rule (the firing's
+    /// tag sets intersected an earlier committed firing's write set) before
+    /// its transaction ever reached the optimistic validator. Counted
+    /// inside `aborted` as well.
+    pub tag_conflicts: usize,
 }
 
 const WM_TABLE: &str = "WM";
@@ -79,78 +90,69 @@ fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsErro
 
     // 3. One optimistic transaction per unit of work. All transactions are
     //    *built* against the same initial snapshot — genuinely in parallel
-    //    (std scoped threads), as DIPS intends — then race to commit in
-    //    deterministic order; first committer wins.
+    //    on the persistent worker pool (`--jobs` / `SORETE_JOBS` lanes),
+    //    as DIPS intends. Each builder also reports its read and write tag
+    //    sets, which decide conflicts in the commit phase below.
     type NewWmes = Vec<(Symbol, Vec<(Symbol, Value)>)>;
+    type Built = (Transaction, NewWmes, Vec<TimeTag>, Vec<TimeTag>);
     let mut report = CycleReport {
         attempted: work.len(),
         ..Default::default()
     };
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(4);
-    let results: Vec<Result<(Transaction, NewWmes), DipsError>> = std::thread::scope(|scope| {
-        let chunk = work.len().div_ceil(threads).max(1);
+    let pool = engine.ensure_pool();
+    let slots: Vec<std::sync::Mutex<Option<Result<Built, DipsError>>>> =
+        work.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    {
         let engine_ref: &DipsEngine = engine;
         let row_ids = &row_ids;
         let attrs = &attrs[..];
-        let handles: Vec<_> = work
-            .chunks(chunk)
-            .map(|chunk_work| {
-                scope.spawn(move || {
-                    chunk_work
-                        .iter()
-                        .map(|(ri, rows)| {
-                            let rule = engine_ref.rules()[*ri].clone();
-                            let mut tx = engine_ref.db.begin();
-                            let mut tx_new = Vec::new();
-                            build_tx(
-                                engine_ref,
-                                &rule,
-                                rows,
-                                row_ids,
-                                attrs,
-                                &mut tx,
-                                &mut tx_new,
-                            )?;
-                            Ok((tx, tx_new))
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| {
-                // Panic isolation: a builder thread that panics becomes one
-                // build error, which the rollback path below handles like
-                // any other build failure — the whole cycle is abandoned
-                // and the engine state re-derived, never torn down.
-                h.join().unwrap_or_else(|payload| {
-                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                        (*s).to_string()
-                    } else if let Some(s) = payload.downcast_ref::<String>() {
-                        s.clone()
-                    } else {
-                        "opaque panic payload".to_string()
-                    };
-                    vec![Err(DipsError::Rhs(format!(
-                        "builder thread panicked: {}",
-                        msg
-                    )))]
-                })
-            })
-            .collect()
-    });
+        let work = &work[..];
+        pool.for_each_index(work.len(), &|i| {
+            // Panic isolation per unit of work: a panicking builder becomes
+            // one build error, which the rollback path below handles like
+            // any other build failure — the whole cycle is abandoned and
+            // the engine state re-derived, never torn down.
+            let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let (ri, rows) = &work[i];
+                let rule = engine_ref.rules()[*ri].clone();
+                let mut tx = engine_ref.db.begin();
+                let mut tx_new = Vec::new();
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                build_tx(
+                    engine_ref,
+                    &rule,
+                    rows,
+                    row_ids,
+                    attrs,
+                    &mut tx,
+                    &mut tx_new,
+                    &mut reads,
+                    &mut writes,
+                )?;
+                Ok((tx, tx_new, reads, writes))
+            }))
+            .unwrap_or_else(|payload| {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                Err(DipsError::Rhs(format!("builder panicked: {}", msg)))
+            });
+            *slots[i].lock().unwrap() = Some(built);
+        });
+    }
     // Collect builder failures *before* committing anything: a cycle either
     // commits transactions or — on any build error — leaves the engine
     // exactly as it was (the scratch WM table is dropped and the COND
     // tables re-derived, mirroring the core engine's firing rollback).
-    let mut pending: Vec<(Transaction, NewWmes)> = Vec::with_capacity(results.len());
+    let mut pending: Vec<Built> = Vec::with_capacity(slots.len());
     let mut build_err: Option<DipsError> = None;
-    for r in results {
-        match r {
+    for slot in slots {
+        match slot.into_inner().unwrap().expect("builder ran") {
             Ok(p) => pending.push(p),
             Err(e) => {
                 build_err = Some(e);
@@ -163,15 +165,37 @@ fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsErro
         engine.rebuild()?;
         return Err(e);
     }
+    // Commit phase, in canonical work order (the deterministic snapshot
+    // order from step 1) — firing outcomes never depend on lane timing.
+    // Conflicts are decided by explicit tag sets: a firing aborts iff its
+    // read/write tags intersect the write set of an earlier *committed*
+    // firing (first committer wins, the rest serialize to a later cycle).
+    // Writes target matched rows only, so this rule exactly predicts the
+    // optimistic validator, which stays on as a backstop.
     let mut new_wmes: Vec<(Symbol, Vec<(Symbol, Value)>)> = Vec::new();
-    for (i, (tx, tx_new)) in pending.into_iter().enumerate() {
+    let mut committed_writes: FxHashSet<TimeTag> = FxHashSet::default();
+    for (i, (tx, tx_new, reads, writes)) in pending.into_iter().enumerate() {
         let (ri, rows) = &work[i];
         let rule = engine.rules()[*ri].name;
-        let writes = tx.write_count();
+        let conflict = reads
+            .iter()
+            .chain(writes.iter())
+            .any(|t| committed_writes.contains(t));
+        if conflict {
+            report.aborted += 1;
+            report.tag_conflicts += 1;
+            engine.tracer().emit(|| TraceEvent::Rollback {
+                rule,
+                error: "read/write tag-set conflict with an earlier firing".into(),
+            });
+            continue;
+        }
+        let write_count = tx.write_count();
         match engine.db.commit(tx) {
             Ok(()) => {
                 report.committed += 1;
-                report.writes_committed += writes;
+                report.writes_committed += write_count;
+                committed_writes.extend(writes);
                 new_wmes.extend(tx_new);
                 engine.tracer().emit(|| TraceEvent::Fire {
                     cycle: 0,
@@ -183,6 +207,9 @@ fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsErro
                 });
             }
             Err(e) => {
+                // Tag sets predicted a clean commit; the validator knows
+                // better only if the model above ever grows a blind spot.
+                debug_assert!(false, "validator abort not predicted by tag sets: {e}");
                 report.aborted += 1;
                 engine.tracer().emit(|| TraceEvent::Rollback {
                     rule,
@@ -367,7 +394,10 @@ fn drop_wm_table(engine: &mut DipsEngine) -> Result<(), DipsError> {
 }
 
 /// Translate a rule's RHS (the DIPS-supported subset) into transaction
-/// operations over the WM table.
+/// operations over the WM table. `reads`/`writes` receive the firing's
+/// tag sets — every matched WME tag, and every tag it deletes or updates
+/// — for the commit phase's explicit conflict rule.
+#[allow(clippy::too_many_arguments)]
 fn build_tx(
     engine: &DipsEngine,
     rule: &AnalyzedRule,
@@ -376,6 +406,8 @@ fn build_tx(
     attrs: &[Symbol],
     tx: &mut Transaction,
     new_wmes: &mut Vec<(Symbol, Vec<(Symbol, Value)>)>,
+    reads: &mut Vec<TimeTag>,
+    writes: &mut Vec<TimeTag>,
 ) -> Result<(), DipsError> {
     // Read set: every WME the instantiation matched (this is what makes
     // overlapping tuple-oriented instantiations conflict).
@@ -383,6 +415,7 @@ fn build_tx(
     for row in rows {
         for &t in row {
             if seen.insert(t) {
+                reads.push(t);
                 tx.read(&engine.db, WM_TABLE, row_ids[&t])
                     .map_err(|e| DipsError::Db(e.to_string()))?;
             }
@@ -408,6 +441,7 @@ fn build_tx(
         match action {
             Action::Remove(RhsTarget::Idx(i)) => {
                 let tag = head[*i - 1];
+                writes.push(tag);
                 tx.delete(&engine.db, WM_TABLE, row_ids[&tag])
                     .map_err(|e| DipsError::Db(e.to_string()))?;
             }
@@ -417,6 +451,7 @@ fn build_tx(
                     .get(v)
                     .ok_or_else(|| DipsError::Rhs(format!("unknown element var <{}>", v)))?;
                 let tag = head[pos];
+                writes.push(tag);
                 tx.delete(&engine.db, WM_TABLE, row_ids[&tag])
                     .map_err(|e| DipsError::Db(e.to_string()))?;
             }
@@ -429,6 +464,7 @@ fn build_tx(
                         .ok_or_else(|| DipsError::Rhs(format!("unknown element var <{}>", v)))?,
                 };
                 let tag = head[pos];
+                writes.push(tag);
                 for (attr, e) in slots {
                     let val = eval_expr(e)?;
                     tx.update(&engine.db, WM_TABLE, row_ids[&tag], attr.as_str(), val)
@@ -442,6 +478,7 @@ fn build_tx(
                 let mut done: FxHashSet<TimeTag> = FxHashSet::default();
                 for row in rows {
                     if done.insert(row[pos]) {
+                        writes.push(row[pos]);
                         tx.delete(&engine.db, WM_TABLE, row_ids[&row[pos]])
                             .map_err(|e| DipsError::Db(e.to_string()))?;
                     }
@@ -454,6 +491,7 @@ fn build_tx(
                 let mut done: FxHashSet<TimeTag> = FxHashSet::default();
                 for row in rows {
                     if done.insert(row[pos]) {
+                        writes.push(row[pos]);
                         for (attr, e) in slots {
                             let val = eval_expr(e)?;
                             tx.update(&engine.db, WM_TABLE, row_ids[&row[pos]], attr.as_str(), val)

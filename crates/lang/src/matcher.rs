@@ -12,7 +12,11 @@ use sorete_base::{
 use std::sync::Arc;
 
 /// A production-match algorithm.
-pub trait Matcher {
+///
+/// `Send` is a supertrait so whole matchers can be moved to (and driven
+/// from) pool workers — the parallel backend shards rules across several
+/// inner matchers and fans working-memory changes out across threads.
+pub trait Matcher: Send {
     /// Compile a production into the match network. Returns the id the
     /// matcher will use in conflict-set deltas. Ids are assigned densely in
     /// call order, so the caller can index its own rule table with them.

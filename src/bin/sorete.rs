@@ -34,6 +34,10 @@
 //!   --soft-mem <BYTES>           soft memory budget: checkpoint + warn
 //!   --hard-mem <BYTES>           hard memory budget: orderly halt-with-checkpoint
 //!   --soft-wall-ms <N>           soft wall-clock budget (milliseconds)
+//!   --jobs <N>                   match on N worker threads over the
+//!                                rule-partitioned parallel backend
+//!                                (0 = all hardware threads; also
+//!                                settable via SORETE_JOBS)
 //!   --repl                       interactive session after loading
 //! ```
 //!
@@ -113,6 +117,10 @@ struct Options {
     soft_mem: Option<u64>,
     hard_mem: Option<u64>,
     soft_wall_ms: Option<u64>,
+    /// `--jobs N`: drive the partitioned parallel matcher with N worker
+    /// lanes (0 = all hardware threads). `None` defers to `SORETE_JOBS`,
+    /// falling back to the classic single-threaded backend.
+    jobs: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -123,7 +131,7 @@ fn usage() -> &'static str {
      [--resume ckpt] [--checkpoint file] [--checkpoint-every N] \
      [--supervise] [--recovery abort|skip|rollback] [--quarantine-after N] \
      [--quarantine-window N] [--io-retries N] [--soft-mem BYTES] \
-     [--hard-mem BYTES] [--soft-wall-ms N] [--repl] program.ops... \
+     [--hard-mem BYTES] [--soft-wall-ms N] [--jobs N] [--repl] program.ops... \
      | sorete fsck <wal> [ckpt]"
 }
 
@@ -157,6 +165,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         soft_mem: None,
         hard_mem: None,
         soft_wall_ms: None,
+        jobs: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -304,6 +313,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or("--soft-wall-ms needs a number of milliseconds")?,
                 );
                 opts.supervise = true;
+            }
+            "--jobs" => {
+                opts.jobs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--jobs needs a worker count (0 = all hardware threads)")?,
+                );
             }
             "--repl" => opts.repl = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -713,7 +729,12 @@ fn outcome_failure(reason: &sorete::core::StopReason, fired: u64) -> Option<Fail
 fn run(args: &[String]) -> Result<(), Failure> {
     let opts = parse_args(args).map_err(|e| (EXIT_USAGE, e))?;
 
-    let mut ps = ProductionSystem::new(opts.matcher);
+    let mut ps = match opts.jobs {
+        Some(n) => {
+            ProductionSystem::with_jobs(opts.matcher, sorete::base::pool::resolve_jobs(Some(n)))
+        }
+        None => ProductionSystem::new(opts.matcher),
+    };
     ps.set_strategy(opts.strategy);
     if let Some(policy) = opts.recovery {
         ps.set_recovery_policy(policy);
@@ -1130,6 +1151,18 @@ mod tests {
         let o = parse_args(&ck).unwrap();
         assert_eq!(o.checkpoint.as_deref(), Some("out.ckpt"));
         assert_eq!(o.group_commit, 1); // default: fsync every commit
+        let jobs: Vec<String> = ["--jobs", "4", "p.ops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_args(&jobs).unwrap();
+        assert_eq!(o.jobs, Some(4));
+        let jobs0: Vec<String> = ["--jobs", "0", "p.ops"] // 0 = all hardware threads
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&jobs0).unwrap().jobs, Some(0));
+        assert_eq!(parse_args(&ck).unwrap().jobs, None); // defers to SORETE_JOBS
     }
 
     #[test]
@@ -1152,6 +1185,8 @@ mod tests {
         assert!(bad(&["--group-commit", "0", "p.ops"])); // zero commits
         assert!(bad(&["--checkpoint-every", "0", "p.ops"])); // zero firings
         assert!(bad(&["--checkpoint-every", "5", "p.ops"])); // no destination
+        assert!(bad(&["--jobs"])); // missing worker count
+        assert!(bad(&["--jobs", "many", "p.ops"])); // not a number
         assert!(bad(&[])); // no program, no repl
     }
 

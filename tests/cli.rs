@@ -179,7 +179,12 @@ fn trace_json_and_profile_smoke() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("; profile [rete]:"), "{}", stdout);
+    // Under a SORETE_JOBS override the backend reports `parallel-rete`.
+    assert!(
+        stdout.contains("; profile [rete]:") || stdout.contains("; profile [parallel-rete]:"),
+        "{}",
+        stdout
+    );
     assert!(stdout.contains("node"), "{}", stdout);
     assert!(stdout.contains("production"), "{}", stdout);
 
@@ -651,8 +656,11 @@ fn checkpoint_resume_cross_matcher_via_cli() {
         String::from_utf8_lossy(&second.stderr)
     );
     let stderr = String::from_utf8_lossy(&second.stderr);
+    // The recorded source backend is `parallel-rete` under SORETE_JOBS.
     assert!(
-        stderr.contains("; resumed ") && stderr.contains("checkpointed from rete"),
+        stderr.contains("; resumed ")
+            && (stderr.contains("checkpointed from rete")
+                || stderr.contains("checkpointed from parallel-rete")),
         "{}",
         stderr
     );

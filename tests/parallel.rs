@@ -1,0 +1,283 @@
+//! Parallel-execution determinism: the partitioned multi-threaded backend
+//! must be *bitwise* reproducible. Because the rule→shard assignment is
+//! fixed (round-robin over [`sorete::core::PARTITIONS`] shards) and the
+//! per-shard delta buffers merge in shard order, the logical delta stream
+//! — and therefore every downstream artifact: trace events, conflict-set
+//! ordering, firing sequence, checkpoints — is byte-identical at every
+//! `--jobs` level. These tests pin that invariant:
+//!
+//! 1. a seeded proptest drives random op streams through all four matcher
+//!    kinds at `jobs ∈ {1, 2, 4}` and demands byte-identical logical
+//!    `TraceEvent` JSON and byte-identical final checkpoints;
+//! 2. a fixed multi-rule workload checks `--jobs 1..=8` all arrive at the
+//!    `--jobs 1` conflict set (same items, same resolution order) and the
+//!    same firing sequence;
+//! 3. the parallel backend is cross-checked against the monolithic one at
+//!    the canonical (order-blind) level, the same standard the PR 3
+//!    equivalence suite applies between matcher algorithms.
+
+use proptest::prelude::*;
+use sorete::core::{MatcherKind, ProductionSystem};
+use sorete_base::{TraceEvent, Value};
+use std::collections::BTreeSet;
+
+const KINDS: [MatcherKind; 4] = [
+    MatcherKind::Rete,
+    MatcherKind::ReteScan,
+    MatcherKind::Treat,
+    MatcherKind::Naive,
+];
+
+/// Multi-rule program: several rules spread across shards, a join, a
+/// negation, and WM-mutating right-hand sides so firings feed back into
+/// the match phase.
+const PROGRAM: &str = "(literalize a x y)(literalize b x y)
+    (p pair (a ^x <v>) (b ^x <v> ^y <w>) (write pair <v>) (remove 2))
+    (p solo (a ^x 3 ^y <w>) (remove 1))
+    (p guard (b ^x <v>) -(a ^x <v> ^y <v>) (write g <v>))";
+
+/// One random working-memory operation (same shape as the PR 3
+/// equivalence harness).
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { class: u8, x: i64, y: i64 },
+    Remove(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..2, 0i64..4, 0i64..4).prop_map(|(class, x, y)| Op::Insert { class, x, y }),
+        1 => (0usize..16).prop_map(Op::Remove),
+    ]
+}
+
+/// Drive one engine through `ops`, running to a small firing limit after
+/// each op. Returns the logical event stream (as JSON lines) plus the
+/// final checkpoint text.
+fn drive(mut ps: ProductionSystem, ops: &[Op]) -> (Vec<String>, String) {
+    ps.set_event_log(true);
+    ps.load_program(PROGRAM).unwrap();
+    let mut live = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert { class, x, y } => {
+                let tag = ps
+                    .make_str(
+                        if *class == 0 { "a" } else { "b" },
+                        &[("x", Value::Int(*x)), ("y", Value::Int(*y))],
+                    )
+                    .unwrap();
+                live.push(tag);
+            }
+            Op::Remove(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let tag = live.remove(i % live.len());
+                // Firings may have retracted it already.
+                if ps.wm().get(tag).is_some() {
+                    ps.retract_wme(tag).unwrap();
+                }
+            }
+        }
+        let _ = ps.run(Some(4));
+    }
+    let stream = ps
+        .trace_events()
+        .into_iter()
+        .filter(|e| e.is_logical())
+        .map(|e| e.to_json())
+        .collect();
+    (stream, ps.checkpoint_string())
+}
+
+fn assert_jobs_equivalent(kind: MatcherKind, ops: &[Op]) {
+    let (base_stream, base_ckpt) = drive(ProductionSystem::with_jobs(kind, 1), ops);
+    for jobs in [2usize, 4] {
+        let (stream, ckpt) = drive(ProductionSystem::with_jobs(kind, jobs), ops);
+        assert_eq!(
+            stream, base_stream,
+            "{:?}: logical stream at jobs={} diverged from jobs=1",
+            kind, jobs
+        );
+        assert_eq!(
+            ckpt, base_ckpt,
+            "{:?}: checkpoint at jobs={} diverged from jobs=1",
+            kind, jobs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariant: single- vs multi-threaded runs are bitwise
+    /// indistinguishable through the logical trace and the checkpoint,
+    /// for every matcher kind.
+    #[test]
+    fn thread_count_never_changes_the_logical_stream(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        for kind in KINDS {
+            assert_jobs_equivalent(kind, &ops);
+        }
+    }
+}
+
+/// Fixed regression inputs for the same invariant (fast, deterministic,
+/// no proptest shrinking involved).
+#[test]
+fn jobs_equivalence_regression() {
+    let ops = vec![
+        Op::Insert {
+            class: 0,
+            x: 1,
+            y: 1,
+        },
+        Op::Insert {
+            class: 1,
+            x: 1,
+            y: 2,
+        },
+        Op::Insert {
+            class: 0,
+            x: 3,
+            y: 0,
+        },
+        Op::Insert {
+            class: 1,
+            x: 2,
+            y: 2,
+        },
+        Op::Remove(1),
+        Op::Insert {
+            class: 0,
+            x: 2,
+            y: 2,
+        },
+        Op::Insert {
+            class: 1,
+            x: 3,
+            y: 3,
+        },
+        Op::Remove(0),
+    ];
+    for kind in KINDS {
+        assert_jobs_equivalent(kind, &ops);
+    }
+}
+
+/// Load facts without running and compare the *ordered* conflict set at
+/// `--jobs 1..=8` against `--jobs 1`, then run and compare the firing
+/// sequences. Conflict resolution tie-breaks on delta arrival order, so
+/// this catches any jobs-dependent merge nondeterminism directly where it
+/// would surface for a user.
+#[test]
+fn conflict_set_identical_across_jobs_1_to_8() {
+    let seed = |ps: &mut ProductionSystem| {
+        ps.load_program(PROGRAM).unwrap();
+        for i in 0..10i64 {
+            ps.make_str(
+                if i % 2 == 0 { "a" } else { "b" },
+                &[("x", Value::Int(i % 4)), ("y", Value::Int(i % 3))],
+            )
+            .unwrap();
+        }
+    };
+    let ordered_cs = |ps: &ProductionSystem| -> Vec<String> {
+        ps.conflict_items()
+            .iter()
+            .map(|item| format!("{:?} {:?}", item.key, item.recency))
+            .collect()
+    };
+    for kind in KINDS {
+        let mut base = ProductionSystem::with_jobs(kind, 1);
+        seed(&mut base);
+        let base_cs = ordered_cs(&base);
+        assert!(!base_cs.is_empty(), "{:?}: workload must load the CS", kind);
+        base.set_event_log(true);
+        base.run(None);
+        let base_fires: Vec<String> = base
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fire { .. }))
+            .map(|e| e.to_json())
+            .collect();
+        for jobs in 2..=8usize {
+            let mut ps = ProductionSystem::with_jobs(kind, jobs);
+            seed(&mut ps);
+            assert_eq!(
+                ordered_cs(&ps),
+                base_cs,
+                "{:?}: conflict set at jobs={} diverged from jobs=1",
+                kind,
+                jobs
+            );
+            ps.set_event_log(true);
+            ps.run(None);
+            let fires: Vec<String> = ps
+                .trace_events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Fire { .. }))
+                .map(|e| e.to_json())
+                .collect();
+            assert_eq!(
+                fires, base_fires,
+                "{:?}: firing sequence at jobs={} diverged from jobs=1",
+                kind, jobs
+            );
+        }
+    }
+}
+
+/// Canonical (order-blind) cross-check of the parallel wrapper against
+/// the monolithic backend: partitioning reorders delta *arrival* but must
+/// never change which instantiations exist or what they contain.
+#[test]
+fn parallel_backend_matches_monolithic_conflict_set() {
+    let canon = |ps: &ProductionSystem| -> BTreeSet<String> {
+        ps.conflict_items()
+            .iter()
+            .map(|item| {
+                let mut rows: Vec<Vec<u64>> = item
+                    .rows
+                    .iter()
+                    .map(|r| r.iter().map(|t| t.raw()).collect())
+                    .collect();
+                rows.sort();
+                let aggs: Vec<String> = item.aggregates.iter().map(|v| v.to_string()).collect();
+                format!("{} {:?} {:?}", item.key.repr(), rows, aggs)
+            })
+            .collect()
+    };
+    let seed = |ps: &mut ProductionSystem| {
+        ps.load_program(PROGRAM).unwrap();
+        for i in 0..12i64 {
+            ps.make_str(
+                if i % 3 == 0 { "a" } else { "b" },
+                &[("x", Value::Int(i % 4)), ("y", Value::Int(i % 5))],
+            )
+            .unwrap();
+        }
+    };
+    for kind in KINDS {
+        let mut mono = ProductionSystem::new(kind);
+        let mut par = ProductionSystem::with_jobs(kind, 4);
+        seed(&mut mono);
+        seed(&mut par);
+        assert_eq!(
+            canon(&par),
+            canon(&mono),
+            "{:?}: parallel wrapper diverged from the monolithic backend",
+            kind
+        );
+        mono.run(None);
+        par.run(None);
+        assert_eq!(
+            canon(&par),
+            canon(&mono),
+            "{:?}: post-run conflict sets diverged",
+            kind
+        );
+    }
+}
