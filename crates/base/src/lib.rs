@@ -11,8 +11,9 @@
 //! - fast hashing ([`hash`]), typed index arenas ([`arena`]);
 //! - the conflict-set interchange types every match algorithm produces
 //!   ([`inst`]): [`ConflictItem`], [`InstKey`], [`CsDelta`], [`MatchStats`];
-//! - structured tracing ([`trace`]) and the metrics registry with
-//!   memory accounting and run telemetry ([`metrics`]);
+//! - structured tracing ([`trace`]), hierarchical execution spans
+//!   ([`span`]), and the metrics registry with memory accounting and run
+//!   telemetry ([`metrics`]);
 //! - shared error types ([`error`]).
 //!
 //! Nothing here knows about rules, Rete, or databases; it is pure substrate.
@@ -23,6 +24,7 @@ pub mod hash;
 pub mod inst;
 pub mod metrics;
 pub mod pool;
+pub mod span;
 pub mod symbol;
 pub mod trace;
 pub mod value;
@@ -36,6 +38,10 @@ pub use metrics::{
     MemoryRegion, MemoryReport, MetricId, MetricKind, Metrics, MetricsRegistry, SnapshotWriter,
 };
 pub use pool::{jobs_from_env, resolve_jobs, WorkerPool};
+pub use span::{
+    logical_tree, render_perfetto, render_span_table, span_stats, OpenSpan, Span, SpanCatStats,
+    Spans,
+};
 pub use symbol::Symbol;
 pub use trace::{
     CollectSink, JsonlSink, NetProfile, NodeProfile, NullSink, SelfTimer, SharedSink, TraceEvent,

@@ -154,24 +154,32 @@ impl WorkerPool {
     /// counter, so uneven item costs self-balance. `f` must be safe to call
     /// concurrently for distinct indices.
     pub fn for_each_index(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.for_each_index_lane(n, &|i, _lane| f(i));
+    }
+
+    /// Like [`WorkerPool::for_each_index`], but `f` also receives the lane
+    /// executing the item — telemetry (per-lane span tracks, busy
+    /// attribution) needs to know *where* each shard ran. Inline paths
+    /// report lane 0.
+    pub fn for_each_index_lane(&self, n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
         if n == 0 {
             return;
         }
         if self.jobs == 1 || n == 1 {
             let t0 = Instant::now();
             for i in 0..n {
-                f(i);
+                f(i, 0);
             }
             self.shared.busy.lock().unwrap()[0] += t0.elapsed().as_nanos() as u64;
             return;
         }
         let next = AtomicUsize::new(0);
-        self.run(&|_lane| loop {
+        self.run(&|lane| loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
-            f(i);
+            f(i, lane);
         });
     }
 
@@ -335,6 +343,23 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn for_each_index_lane_reports_valid_lanes() {
+        for jobs in [1usize, 4] {
+            let pool = WorkerPool::new(jobs);
+            let hits = AtomicU64::new(0);
+            let bad_lane = AtomicU64::new(0);
+            pool.for_each_index_lane(32, &|_i, lane| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                if lane >= jobs {
+                    bad_lane.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 32);
+            assert_eq!(bad_lane.load(Ordering::Relaxed), 0);
+        }
     }
 
     #[test]

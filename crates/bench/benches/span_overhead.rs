@@ -1,0 +1,84 @@
+//! Span-overhead bench: what the hierarchical span layer costs.
+//!
+//! The workload is the WAL counting loop (200 firings, group-commit 8),
+//! the same shape the `wal_overhead` and `supervisor_overhead` benches
+//! use, so the numbers compose. Three configurations:
+//!
+//! - `disabled` — spans never enabled: every instrumentation site is one
+//!   untaken `Option` branch, the baseline;
+//! - `enabled`  — spans recording in memory (`--span-stats`);
+//! - `perfetto` — recording plus the Chrome trace-event render and a
+//!   write to disk (`--trace-perfetto`).
+//!
+//! A calibration pass writes `BENCH_span_overhead.json` (median-of-5 wall
+//! micros per configuration plus the overhead permille against the
+//! disabled baseline) for the bench gate and CI to check. A fourth row
+//! measures the disabled fast path directly — per-call nanos for a
+//! `begin()`/`end()` pair on a null handle, expressed as a permille of
+//! one recognise–act cycle — and the gate holds it under 50‰ (the <5%
+//! disabled-cost claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::gate::{
+    run_span_overhead, span_disabled_fastpath_nanos, span_disabled_permille_of_cycle, SpanConfig,
+    WAL_WORKLOAD_FIRINGS,
+};
+
+fn bench(c: &mut Criterion) {
+    write_calibration_json();
+    let mut group = c.benchmark_group("span_overhead");
+    for (label, config) in [
+        ("disabled", SpanConfig::Disabled),
+        ("enabled", SpanConfig::Enabled),
+        ("perfetto", SpanConfig::Perfetto),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, WAL_WORKLOAD_FIRINGS),
+            &config,
+            |b, &config| b.iter(|| run_span_overhead(config)),
+        );
+    }
+    group.finish();
+}
+
+/// Median-of-5 wall micros per configuration plus the fast-path row,
+/// written to `BENCH_span_overhead.json`.
+fn write_calibration_json() {
+    let micros = |config: SpanConfig| -> u64 {
+        let mut samples: Vec<u64> = (0..5).map(|_| run_span_overhead(config) as u64).collect();
+        samples.sort_unstable();
+        samples[2]
+    };
+    let disabled = micros(SpanConfig::Disabled).max(1);
+    let enabled = micros(SpanConfig::Enabled);
+    let perfetto = micros(SpanConfig::Perfetto);
+    let overhead_pm = |x: u64| (x.saturating_sub(disabled)) * 1000 / disabled;
+    let per_call = span_disabled_fastpath_nanos();
+    let permille = span_disabled_permille_of_cycle(disabled as f64);
+    let json = format!(
+        "[\n  {{\"config\": \"disabled\", \"firings\": {f}, \"micros\": {disabled}, \
+         \"overhead_permille\": 0}},\n  \
+         {{\"config\": \"enabled\", \"firings\": {f}, \"micros\": {enabled}, \
+         \"overhead_permille\": {oe}}},\n  \
+         {{\"config\": \"perfetto\", \"firings\": {f}, \"micros\": {perfetto}, \
+         \"overhead_permille\": {op}}},\n  \
+         {{\"config\": \"disabled_fastpath\", \"per_call_nanos\": {pc:.2}, \
+         \"permille_of_cycle\": {pm:.2}}}\n]\n",
+        f = WAL_WORKLOAD_FIRINGS,
+        oe = overhead_pm(enabled),
+        op = overhead_pm(perfetto),
+        pc = per_call,
+        pm = permille,
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_span_overhead.json"
+    );
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("(wrote BENCH_span_overhead.json)"),
+        Err(e) => println!("(could not write BENCH_span_overhead.json: {})", e),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -132,15 +132,15 @@ fn main() {
 
     hr("C5 — DIPS parallel firing: conflicts/aborts");
     println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>8} {:>10}",
-        "n", "attempted", "committed", "aborted", "cycles", "µs"
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>8} {:>10}",
+        "n", "attempted", "committed", "aborted", "tagconflict", "cycles", "µs"
     );
     for n in [4usize, 8, 16, 32] {
         for mode in [DipsMode::Tuple, DipsMode::Set] {
             let r = run_c5(mode, n);
             println!(
-                "{:>8} {:>10} {:>10} {:>10} {:>8} {:>10}  {:?}",
-                r.n, r.attempted, r.committed, r.aborted, r.cycles, r.micros, mode
+                "{:>8} {:>10} {:>10} {:>10} {:>12} {:>8} {:>10}  {:?}",
+                r.n, r.attempted, r.committed, r.aborted, r.tag_conflicts, r.cycles, r.micros, mode
             );
         }
     }

@@ -1,0 +1,47 @@
+//! `sorete-bench` — benchmark utility front-end.
+//!
+//! ```sh
+//! sorete-bench gate [--tolerance PCT] [--baseline-dir DIR]
+//! ```
+//!
+//! `gate` re-runs the suites described by the committed `BENCH_*.json`
+//! baselines and fails on regression; see `sorete_bench::gate` for the
+//! comparison rules. Exit codes: 0 pass, 2 usage, 4 missing baseline,
+//! 5 regression.
+
+use sorete_bench::gate::{render_report, run_gate, EXIT_USAGE};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: sorete-bench gate [--tolerance PCT] [--baseline-dir DIR]");
+    eprintln!("  --tolerance PCT     allowed regression on resource metrics (default 10)");
+    eprintln!("  --baseline-dir DIR  where the BENCH_*.json baselines live");
+    eprintln!("                      (default: the workspace root)");
+    std::process::exit(EXIT_USAGE);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("gate") => {}
+        _ => usage(),
+    }
+    let mut tolerance: u32 = 10;
+    let mut dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => tolerance = pct,
+                None => usage(),
+            },
+            "--baseline-dir" => match args.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let outcome = run_gate(&dir, tolerance);
+    print!("{}", render_report(&outcome, tolerance));
+    std::process::exit(outcome.exit_code());
+}

@@ -9,6 +9,8 @@ use sorete_base::Value;
 use sorete_core::{MatcherKind, ProductionSystem};
 use sorete_dips::{parallel_cycle, CycleReport, DipsEngine, DipsMode};
 
+pub mod gate;
+
 /// One measured run of a production-system workload.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -330,6 +332,8 @@ pub struct DipsReport {
     pub committed: usize,
     /// Aborts (conflicts).
     pub aborted: usize,
+    /// Aborts decided by the explicit read/write tag-set rule.
+    pub tag_conflicts: usize,
     /// Cycles needed to drain the collection.
     pub cycles: usize,
     /// Wall-clock microseconds.
@@ -361,6 +365,7 @@ pub fn run_c5(mode: DipsMode, n: usize) -> DipsReport {
         total.attempted += r.attempted;
         total.committed += r.committed;
         total.aborted += r.aborted;
+        total.tag_conflicts += r.tag_conflicts;
         if cycles > n + 2 {
             break;
         }
@@ -370,6 +375,7 @@ pub fn run_c5(mode: DipsMode, n: usize) -> DipsReport {
         attempted: total.attempted,
         committed: total.committed,
         aborted: total.aborted,
+        tag_conflicts: total.tag_conflicts,
         cycles,
         micros: start.elapsed().as_micros(),
     }

@@ -8,9 +8,10 @@ use crate::rhs::{self, RhsCtx, RhsHost};
 use crate::stats::RunStats;
 use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
 use crate::wm::WorkingMemory;
+use sorete_base::span::category as span_cat;
 use sorete_base::{
     CollectSink, ConflictItem, CsDelta, FxHashMap, InstKey, MetricId, Metrics, NetProfile, RuleId,
-    SharedSink, SnapshotWriter, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
+    SharedSink, SnapshotWriter, Span, Spans, Symbol, TimeTag, TraceEvent, Tracer, Value, Wme,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::matcher::Matcher;
@@ -389,6 +390,7 @@ struct MetricIds {
     wal_recovered_records: MetricId,
     wal_discarded_records: MetricId,
     wal_truncated_bytes: MetricId,
+    wal_writes: MetricId,
     sup_panics: MetricId,
     sup_io_retries: MetricId,
     sup_quarantines: MetricId,
@@ -398,6 +400,7 @@ struct MetricIds {
     quarantined_rules: MetricId,
     conflict_set_size: MetricId,
     wm_size: MetricId,
+    shard_imbalance: MetricId,
     fire_nanos: MetricId,
     resolve_nanos: MetricId,
     rhs_nanos: MetricId,
@@ -528,6 +531,10 @@ pub struct ProductionSystem {
     /// single-threaded backends. Shared with the matcher for busy-time
     /// accounting.
     pool: Option<Arc<sorete_base::WorkerPool>>,
+    /// Hierarchical span recorder (run → cycle → match/resolve/rhs/
+    /// wal_commit); disabled (a single branch per site) until
+    /// [`Self::enable_spans`].
+    spans: Spans,
 }
 
 impl ProductionSystem {
@@ -596,6 +603,7 @@ impl ProductionSystem {
             sup: None,
             last_failed: None,
             pool,
+            spans: Spans::null(),
         }
     }
 
@@ -783,6 +791,44 @@ impl ProductionSystem {
         self.matcher.set_profiling(on);
     }
 
+    /// Turn on hierarchical span recording (`run` → `cycle` →
+    /// `match`/`resolve`/`rhs`/`wal_commit`, plus physical `shard_match` /
+    /// `firing_build` / WAL I/O spans on their worker lanes). Idempotent.
+    /// The recorder is handed to the matcher and any attached WAL; a WAL
+    /// attached later inherits it in [`Self::attach_wal`].
+    pub fn enable_spans(&mut self) {
+        if self.spans.enabled() {
+            return;
+        }
+        self.spans = Spans::recording();
+        self.matcher.set_spans(self.spans.clone());
+        if let Some(d) = &mut self.dur {
+            d.wal.set_spans(self.spans.clone());
+        }
+    }
+
+    /// Whether [`Self::enable_spans`] has been called.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.enabled()
+    }
+
+    /// A handle on the engine's span recorder (a null handle when
+    /// disabled, so callers can hold it unconditionally).
+    pub fn spans(&self) -> Spans {
+        self.spans.clone()
+    }
+
+    /// Drain every finished span recorded so far, oldest first (empty
+    /// when spans are disabled).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.spans.take()
+    }
+
+    /// A copy of the finished spans without draining them.
+    pub fn span_snapshot(&self) -> Vec<Span> {
+        self.spans.snapshot()
+    }
+
     /// The matcher's per-node profile, when profiling is enabled and the
     /// backend supports it.
     pub fn profile(&self) -> Option<NetProfile> {
@@ -869,6 +915,10 @@ impl ProductionSystem {
                     "sorete_wal_truncated_bytes_total",
                     "WAL tail bytes truncated by recovery at attach",
                 ),
+                wal_writes: r.counter(
+                    "sorete_wal_writes_total",
+                    "write(2) calls issued by the WAL (group-commit flushes)",
+                ),
                 sup_panics: r.counter(
                     "sorete_supervisor_panics_total",
                     "Panics caught unwinding out of firings",
@@ -900,6 +950,11 @@ impl ProductionSystem {
                     "Conflict-set entries (fired included)",
                 ),
                 wm_size: r.gauge("sorete_wm_size", "Working-memory size"),
+                shard_imbalance: r.gauge(
+                    "sorete_shard_imbalance_permille",
+                    "max/mean per-shard match busy time, permille (1000 = balanced; \
+                     0 until spans record shard work)",
+                ),
                 fire_nanos: r.histogram(
                     "sorete_fire_nanos",
                     "Whole recognise-act cycle wall time (ns)",
@@ -1001,6 +1056,7 @@ impl ProductionSystem {
         let quarantined = self.cs.quarantined_rules().count() as u64;
         let cs_len = self.cs.len() as u64;
         let wm_len = self.wm.len() as u64;
+        let imbalance = self.spans.shard_imbalance_permille().unwrap_or(0);
         let cycle = self.cycle;
         m.handle.with(|r| {
             r.set(ids.cycles, cycle);
@@ -1030,6 +1086,7 @@ impl ProductionSystem {
             r.set(ids.wal_recovered_records, ws.recovered_records);
             r.set(ids.wal_discarded_records, ws.discarded_records);
             r.set(ids.wal_truncated_bytes, ws.truncated_bytes);
+            r.set(ids.wal_writes, ws.writes);
             r.set(ids.sup_panics, sup.panics_caught);
             r.set(ids.sup_io_retries, sup.io_retries);
             r.set(ids.sup_quarantines, sup.quarantines);
@@ -1039,6 +1096,7 @@ impl ProductionSystem {
             r.set(ids.quarantined_rules, quarantined);
             r.set(ids.conflict_set_size, cs_len);
             r.set(ids.wm_size, wm_len);
+            r.set(ids.shard_imbalance, imbalance);
             for region in &mem.regions {
                 let b = r.gauge_labeled(
                     "sorete_memory_bytes",
@@ -1178,8 +1236,10 @@ impl ProductionSystem {
             m.wm_asserts += 1;
         }
         let t = self.metrics.is_some().then(Instant::now);
+        let sp = self.spans.begin_scope();
         self.matcher.insert_wme(&wme);
         self.sync();
+        self.spans.end(sp, span_cat::MATCH, 0, Vec::new);
         self.note_match_time(t);
         if let Err(e) = self.wal_commit_if_api() {
             // The log refused the op: undo the assert (WME, match network,
@@ -1207,8 +1267,10 @@ impl ProductionSystem {
             m.wm_retracts += 1;
         }
         let t = self.metrics.is_some().then(Instant::now);
+        let sp = self.spans.begin_scope();
         self.matcher.remove_wme(&wme);
         self.sync();
+        self.spans.end(sp, span_cat::MATCH, 0, Vec::new);
         self.note_match_time(t);
         if let Err(e) = self.wal_commit_if_api() {
             // Undo the retract: an unlogged removal would resurrect the
@@ -1237,8 +1299,10 @@ impl ProductionSystem {
             m.wm_retracts += 1;
         }
         let t = self.metrics.is_some().then(Instant::now);
+        let sp = self.spans.begin_scope();
         self.matcher.remove_wme(&old);
         self.sync();
+        self.spans.end(sp, span_cat::MATCH, 0, Vec::new);
         self.note_match_time(t);
         let class = old.class;
         let mut slots: Vec<(Symbol, Value)> = old.slots().to_vec();
@@ -1280,8 +1344,10 @@ impl ProductionSystem {
             m.wm_asserts += 1;
         }
         let t = self.metrics.is_some().then(Instant::now);
+        let sp = self.spans.begin_scope();
         self.matcher.insert_wme(&wme);
         self.sync();
+        self.spans.end(sp, span_cat::MATCH, 0, Vec::new);
         self.note_match_time(t);
         if let Err(e) = self.wal_commit_if_api() {
             // Undo both halves of the modify: remove the new incarnation,
@@ -1382,6 +1448,9 @@ impl ProductionSystem {
         let stats = *wal.stats();
         report.discarded_records = stats.discarded_records;
         report.truncated_bytes = stats.truncated_bytes;
+        if self.spans.enabled() {
+            wal.set_spans(self.spans.clone());
+        }
         self.dur = Some(Box::new(EngineWal {
             wal,
             pending: Vec::new(),
@@ -1770,7 +1839,13 @@ impl ProductionSystem {
         }
         self.sync();
         let t_cycle = self.metrics.is_some().then(Instant::now);
+        // The cycle span opens before selection so resolve nests under it;
+        // a quiescent step cancels both without recording anything.
+        let sp_cycle = self.spans.begin_scope();
+        let sp_resolve = self.spans.begin_scope();
         let Some((selected, stale)) = self.cs.select(self.strategy) else {
+            self.spans.cancel(sp_resolve);
+            self.spans.cancel(sp_cycle);
             return Ok(None);
         };
         let mut item = selected.clone();
@@ -1787,11 +1862,14 @@ impl ProductionSystem {
                     debug_assert!(false, "stale entry vanished without a Remove delta");
                     let key = item.key.clone();
                     self.cs.apply(sorete_base::CsDelta::Remove(key));
+                    self.spans.cancel(sp_resolve);
+                    self.spans.cancel(sp_cycle);
                     return self.step();
                 }
             }
         }
         let rule = self.rules[item.key.rule().index()].clone();
+        self.spans.end(sp_resolve, span_cat::RESOLVE, 0, Vec::new);
         if let (Some(m), Some(t)) = (self.metrics.as_ref(), t_cycle) {
             let ns = t.elapsed().as_nanos() as u64;
             let id = m.ids.resolve_nanos;
@@ -1847,6 +1925,7 @@ impl ProductionSystem {
         // The fence is unconditional — supervision only changes what the
         // caller does with the resulting `CoreError::Panic`.
         let exec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let sp_rhs = self.spans.begin_scope();
             let r = match self.fault.take() {
                 Some(mut plan) => {
                     let r = {
@@ -1863,13 +1942,17 @@ impl ProductionSystem {
                 let id = m.ids.rhs_nanos;
                 m.handle.with(|reg| reg.observe(id, ns));
             }
+            self.spans.end(sp_rhs, span_cat::RHS, 0, Vec::new);
             // A successful RHS still has to reach the log before the firing
             // commits: a WAL failure here rolls the firing back exactly like
             // an RHS error, so in-memory state never runs ahead of durable
             // state.
             r.and_then(|()| {
                 self.sync();
-                self.wal_commit_cycle(rule.name, cycle, &item.key, item.version)
+                let sp_wal = self.spans.begin_scope();
+                let r = self.wal_commit_cycle(rule.name, cycle, &item.key, item.version);
+                self.spans.end(sp_wal, span_cat::WAL_COMMIT, 0, Vec::new);
+                r
             })
         }));
         self.recording = false;
@@ -1887,6 +1970,11 @@ impl ProductionSystem {
                     rule: rule_name,
                     message: msg.clone(),
                 });
+                // Push buffered telemetry to disk while still inside the
+                // fence: if the caller re-raises or the process dies, the
+                // trace/metrics tail (including PanicCaught itself) must
+                // already be durable.
+                self.flush_trace();
                 Err(CoreError::Panic(message))
             }
         };
@@ -1902,6 +1990,10 @@ impl ProductionSystem {
                     rule: rule.name,
                     ok: true,
                 });
+                // Ending the scoped cycle span also repairs the scope
+                // stack if a panic abandoned rhs/wal_commit tickets.
+                self.spans
+                    .end(sp_cycle, span_cat::CYCLE, 0, || vec![("cycle", cycle)]);
                 self.finish_cycle_metrics(t_cycle);
                 Ok(Some(rule.name))
             }
@@ -1926,6 +2018,8 @@ impl ProductionSystem {
                     rule: rule.name,
                     ok: false,
                 });
+                self.spans
+                    .end(sp_cycle, span_cat::CYCLE, 0, || vec![("cycle", cycle)]);
                 self.finish_cycle_metrics(t_cycle);
                 Err(e)
             }
@@ -1989,6 +2083,15 @@ impl ProductionSystem {
     /// Run to quiescence, halt, the firing limit, a [`RunGuards`] limit,
     /// or an error the [`RecoveryPolicy`] does not continue past.
     pub fn run(&mut self, limit: Option<u64>) -> RunOutcome {
+        let sp_run = self.spans.begin_scope();
+        let outcome = self.run_inner(limit);
+        let fired = outcome.fired;
+        self.spans
+            .end(sp_run, span_cat::RUN, 0, || vec![("fired", fired)]);
+        outcome
+    }
+
+    fn run_inner(&mut self, limit: Option<u64>) -> RunOutcome {
         let start = Instant::now();
         let mut fired = 0;
         let mut stagnant: u64 = 0;

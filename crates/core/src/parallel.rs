@@ -30,8 +30,8 @@
 
 use crate::engine::MatcherKind;
 use sorete_base::{
-    ConflictItem, CsDelta, InstKey, MatchStats, MemoryReport, NetProfile, RuleId, Tracer, Wme,
-    WorkerPool,
+    ConflictItem, CsDelta, InstKey, MatchStats, MemoryReport, NetProfile, RuleId, Spans, Tracer,
+    Wme, WorkerPool,
 };
 use sorete_lang::analyze::AnalyzedRule;
 use sorete_lang::matcher::Matcher;
@@ -48,6 +48,7 @@ pub const PARTITIONS: usize = 8;
 pub struct ParallelMatcher {
     shards: Vec<Mutex<Box<dyn Matcher>>>,
     pool: Arc<WorkerPool>,
+    spans: Spans,
     name: &'static str,
     /// Global rule id → (shard, shard-local id).
     route: Vec<(usize, RuleId)>,
@@ -77,6 +78,7 @@ impl ParallelMatcher {
         ParallelMatcher {
             shards: (0..PARTITIONS).map(|_| Mutex::new(make(kind))).collect(),
             pool,
+            spans: Spans::null(),
             name: match kind {
                 MatcherKind::Rete => "parallel-rete",
                 MatcherKind::ReteScan => "parallel-rete-scan",
@@ -151,15 +153,21 @@ impl Matcher for ParallelMatcher {
 
     fn insert_wme(&mut self, wme: &Wme) {
         let shards = &self.shards;
-        self.pool.for_each_index(shards.len(), &|i| {
+        let spans = &self.spans;
+        self.pool.for_each_index_lane(shards.len(), &|i, lane| {
+            let sp = spans.begin();
             shards[i].lock().unwrap().insert_wme(wme);
+            spans.end_shard(sp, lane as u32, i);
         });
     }
 
     fn remove_wme(&mut self, wme: &Wme) {
         let shards = &self.shards;
-        self.pool.for_each_index(shards.len(), &|i| {
+        let spans = &self.spans;
+        self.pool.for_each_index_lane(shards.len(), &|i, lane| {
+            let sp = spans.begin();
             shards[i].lock().unwrap().remove_wme(wme);
+            spans.end_shard(sp, lane as u32, i);
         });
     }
 
@@ -247,6 +255,10 @@ impl Matcher for ParallelMatcher {
         for s in &self.shards {
             s.lock().unwrap().set_tracer(tracer.clone());
         }
+    }
+
+    fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
     }
 
     fn set_profiling(&mut self, on: bool) {

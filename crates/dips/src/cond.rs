@@ -111,6 +111,8 @@ pub struct DipsEngine {
     width: usize,
     insert_order: Vec<TimeTag>,
     tracer: Tracer,
+    spans: sorete_base::Spans,
+    metrics: sorete_base::Metrics,
     wal: Option<Box<DipsWal>>,
     /// Parallel cycles committed (stamps the WAL cycle markers).
     cycles: u64,
@@ -181,6 +183,8 @@ impl DipsEngine {
             width,
             insert_order: Vec::new(),
             tracer: Tracer::default(),
+            spans: sorete_base::Spans::null(),
+            metrics: sorete_base::Metrics::null(),
             wal: None,
             cycles: 0,
             pool: None,
@@ -204,6 +208,33 @@ impl DipsEngine {
     /// The installed tracer (used by the firing layer).
     pub(crate) fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Install a span recorder: [`crate::parallel_cycle`] wraps each cycle
+    /// in a logical `parallel_cycle` span and each transaction build in a
+    /// physical `firing_build` span on its worker lane.
+    pub fn set_spans(&mut self, spans: sorete_base::Spans) {
+        self.spans = spans;
+    }
+
+    /// The installed span recorder (used by the firing layer).
+    pub(crate) fn spans(&self) -> &sorete_base::Spans {
+        &self.spans
+    }
+
+    /// Turn on the metrics registry. [`crate::parallel_cycle`] then keeps
+    /// `sorete_dips_*` cumulative counters (attempted / committed /
+    /// aborted / tag-conflict transactions) current. Idempotent.
+    pub fn enable_metrics(&mut self) {
+        if !self.metrics.enabled() {
+            self.metrics = sorete_base::Metrics::new_registry();
+        }
+    }
+
+    /// A handle on the engine's registry ([`sorete_base::Metrics::null`]
+    /// when metrics are disabled).
+    pub fn metrics(&self) -> sorete_base::Metrics {
+        self.metrics.clone()
     }
 
     /// Fire on `jobs` worker lanes (1 = build transactions inline). The

@@ -23,6 +23,7 @@
 
 use crate::cond::{DipsEngine, DipsInst, DipsMode, DipsSoi};
 use crate::error::DipsError;
+use sorete_base::span::category as span_cat;
 use sorete_base::{FxHashMap, FxHashSet, Symbol, TimeTag, TraceEvent, Value, Wme};
 use sorete_lang::analyze::{AggTarget, AnalyzedRule};
 use sorete_lang::ast::{Action, AggOp, Expr, RhsTarget};
@@ -56,7 +57,47 @@ pub fn parallel_cycle(engine: &mut DipsEngine) -> Result<CycleReport, DipsError>
     // commits as one unit under a boundary marker. Refuses to start when
     // a previous cycle left memory ahead of the log (poisoned WAL).
     engine.wal_begin_cycle()?;
+    let spans = engine.spans().clone();
+    let sp = spans.begin_scope();
     let report = parallel_cycle_inner(engine);
+    spans.end(sp, span_cat::PARALLEL_CYCLE, 0, || match &report {
+        Ok(r) => vec![
+            ("attempted", r.attempted as u64),
+            ("committed", r.committed as u64),
+            ("aborted", r.aborted as u64),
+        ],
+        Err(_) => Vec::new(),
+    });
+    if let Ok(r) = &report {
+        engine.metrics().with(|reg| {
+            let pairs: [(&'static str, &'static str, usize); 4] = [
+                (
+                    "sorete_dips_attempted_total",
+                    "DIPS transactions attempted (instantiations or SOIs)",
+                    r.attempted,
+                ),
+                (
+                    "sorete_dips_committed_total",
+                    "DIPS transactions committed",
+                    r.committed,
+                ),
+                (
+                    "sorete_dips_aborted_total",
+                    "DIPS transactions aborted on conflict",
+                    r.aborted,
+                ),
+                (
+                    "sorete_dips_tag_conflicts_total",
+                    "DIPS aborts decided by the read/write tag-set rule",
+                    r.tag_conflicts,
+                ),
+            ];
+            for (family, help, v) in pairs {
+                let id = reg.counter(family, help);
+                reg.add(id, v as u64);
+            }
+        });
+    }
     match &report {
         Ok(r) => engine.wal_commit_cycle(&format!(
             "attempted={} committed={} aborted={} writes={}",
@@ -107,7 +148,9 @@ fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsErro
         let row_ids = &row_ids;
         let attrs = &attrs[..];
         let work = &work[..];
-        pool.for_each_index(work.len(), &|i| {
+        let spans = engine_ref.spans();
+        pool.for_each_index_lane(work.len(), &|i, lane| {
+            let sp_build = spans.begin();
             // Panic isolation per unit of work: a panicking builder becomes
             // one build error, which the rollback path below handles like
             // any other build failure — the whole cycle is abandoned and
@@ -143,6 +186,9 @@ fn parallel_cycle_inner(engine: &mut DipsEngine) -> Result<CycleReport, DipsErro
                 Err(DipsError::Rhs(format!("builder panicked: {}", msg)))
             });
             *slots[i].lock().unwrap() = Some(built);
+            spans.end(sp_build, span_cat::FIRING_BUILD, lane as u32, || {
+                vec![("unit", i as u64)]
+            });
         });
     }
     // Collect builder failures *before* committing anything: a cycle either

@@ -7,7 +7,8 @@
 
 use crate::analyze::AnalyzedRule;
 use sorete_base::{
-    ConflictItem, CsDelta, InstKey, MatchStats, MemoryReport, NetProfile, RuleId, Tracer, Wme,
+    ConflictItem, CsDelta, InstKey, MatchStats, MemoryReport, NetProfile, RuleId, Spans, Tracer,
+    Wme,
 };
 use std::sync::Arc;
 
@@ -82,6 +83,12 @@ pub trait Matcher: Send {
     /// S-node activity). The default implementation ignores it; backends
     /// without instrumentation simply stay silent.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Install the span recorder through which the matcher emits
+    /// *physical* execution spans (per-shard `shard_match` intervals on
+    /// pool lanes). The default ignores it; monolithic backends have no
+    /// internal parallelism worth a span.
+    fn set_spans(&mut self, _spans: Spans) {}
 
     /// Enable or disable per-node profiling (activation counts and
     /// self-time attribution). Off by default; matchers without a network

@@ -345,6 +345,9 @@ pub struct Wal {
     poisoned: bool,
     /// Armed by an [`IoFaultKind::FsyncError`] append; fires at next sync.
     fsync_fault_armed: bool,
+    /// Span recorder for `wal_append` / `wal_flush` / `wal_fsync`
+    /// intervals; disabled (free) unless the client installs one.
+    spans: sorete_base::Spans,
 }
 
 impl Wal {
@@ -585,6 +588,7 @@ impl Wal {
                 transient_spent: 0,
                 poisoned: false,
                 fsync_fault_armed: false,
+                spans: sorete_base::Spans::null(),
             },
             records,
         ))
@@ -603,6 +607,13 @@ impl Wal {
     /// The header's generation stamp (checkpoint-rotation count).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Install a span recorder: append, group-commit flush, and fsync
+    /// intervals are recorded as `wal_append`/`wal_flush`/`wal_fsync`
+    /// spans on the caller's lane (0).
+    pub fn set_spans(&mut self, spans: sorete_base::Spans) {
+        self.spans = spans;
     }
 
     /// Arm a storage fault (see [`IoFaultPlan`]).
@@ -654,6 +665,14 @@ impl Wal {
     /// durable can no longer be trusted — only reopening (which re-runs
     /// recovery against the file itself) re-establishes it.
     pub fn sync(&mut self) -> Result<(), DbError> {
+        let sp = self.spans.begin();
+        let r = self.sync_inner();
+        let spans = self.spans.clone();
+        spans.end(sp, sorete_base::span::category::WAL_FSYNC, 0, Vec::new);
+        r
+    }
+
+    fn sync_inner(&mut self) -> Result<(), DbError> {
         if self.poisoned {
             return Err(DbError::Io("wal poisoned by crash".into()));
         }
@@ -681,6 +700,17 @@ impl Wal {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let bytes = self.buf.len() as u64;
+        let sp = self.spans.begin();
+        let r = self.flush_inner();
+        let spans = self.spans.clone();
+        spans.end(sp, sorete_base::span::category::WAL_FLUSH, 0, || {
+            vec![("bytes", bytes)]
+        });
+        r
+    }
+
+    fn flush_inner(&mut self) -> Result<(), DbError> {
         if let Err(e) = self.file.write_all(&self.buf) {
             self.poisoned = true;
             self.buf.clear();
@@ -769,6 +799,14 @@ impl Wal {
     }
 
     fn append_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), DbError> {
+        let sp = self.spans.begin();
+        let r = self.append_record_inner(kind, payload);
+        let spans = self.spans.clone();
+        spans.end(sp, sorete_base::span::category::WAL_APPEND, 0, Vec::new);
+        r
+    }
+
+    fn append_record_inner(&mut self, kind: u8, payload: &[u8]) -> Result<(), DbError> {
         if self.poisoned {
             return Err(DbError::Io("wal poisoned by crash".into()));
         }

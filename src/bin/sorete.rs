@@ -12,6 +12,11 @@
 //!   --limit <N>                  stop after N firings
 //!   --trace                      print rule firings
 //!   --trace-json <file>          stream trace events to a JSONL file
+//!   --trace-perfetto <file>      write execution spans as Chrome
+//!                                trace-event JSON (loads in Perfetto /
+//!                                chrome://tracing; one track per lane)
+//!   --span-stats                 per-category span summary (p50/p95/max)
+//!                                and shard-imbalance ratio at the end
 //!   --metrics-json <file>        stream per-cycle metric snapshots (JSONL)
 //!   --metrics-prom <file>        Prometheus text exposition at the end
 //!   --watch <N>                  re-render a live metrics table every N cycles
@@ -53,8 +58,8 @@
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
 //! `excise <rule>`, `explain <rule>`, `profile`, `wm`, `dump [file]`, `cs`,
-//! `stats`, `metrics`, `watch [n]`, `checkpoint [file]`, `recover <ckpt>`,
-//! `quarantine <rule>`, `readmit <rule>`, `help`, `quit`.
+//! `stats`, `metrics`, `spans`, `watch [n]`, `checkpoint [file]`,
+//! `recover <ckpt>`, `quarantine <rule>`, `readmit <rule>`, `help`, `quit`.
 
 use sorete::core::{
     BreakerPolicy, DegradationPolicy, MatcherKind, ProductionSystem, RetryPolicy, Strategy,
@@ -96,6 +101,8 @@ struct Options {
     limit: Option<u64>,
     trace: bool,
     trace_json: Option<String>,
+    trace_perfetto: Option<String>,
+    span_stats: bool,
     metrics_json: Option<String>,
     metrics_prom: Option<String>,
     watch: Option<u64>,
@@ -126,6 +133,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: sorete [--matcher rete|rete-scan|treat|naive] [--strategy lex|mea] \
      [--wm facts.wm] [--limit N] [--trace] [--trace-json file] \
+     [--trace-perfetto file] [--span-stats] \
      [--metrics-json file] [--metrics-prom file] [--watch N] [--profile] \
      [--explain rule] [--stats] [--wal file] [--group-commit N] \
      [--resume ckpt] [--checkpoint file] [--checkpoint-every N] \
@@ -144,6 +152,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         limit: None,
         trace: false,
         trace_json: None,
+        trace_perfetto: None,
+        span_stats: false,
         metrics_json: None,
         metrics_prom: None,
         watch: None,
@@ -206,6 +216,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 Some(f) => opts.trace_json = Some(f.clone()),
                 None => return Err("--trace-json needs a file".into()),
             },
+            "--trace-perfetto" => match it.next() {
+                Some(f) => opts.trace_perfetto = Some(f.clone()),
+                None => return Err("--trace-perfetto needs a file".into()),
+            },
+            "--span-stats" => opts.span_stats = true,
             "--metrics-json" => match it.next() {
                 Some(f) => opts.metrics_json = Some(f.clone()),
                 None => return Err("--metrics-json needs a file".into()),
@@ -429,6 +444,12 @@ fn print_stats(ps: &ProductionSystem) {
         }
     }
     println!("; match [{}]: {}", ps.matcher_name(), ps.match_stats());
+    if let Some(ws) = ps.wal_stats() {
+        println!(
+            "; wal: records={} bytes={} commits={} writes={} fsyncs={}",
+            ws.records, ws.bytes, ws.commits, ws.writes, ws.fsyncs
+        );
+    }
     for (name, rs) in s.per_rule_sorted() {
         println!(
             ";   {}: {} firings, {} actions",
@@ -516,7 +537,7 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" | "?" => {
-                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | quarantine <rule> | readmit <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | watch [n] | checkpoint [file] | recover <ckpt> | quit");
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | quarantine <rule> | readmit <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | spans | watch [n] | checkpoint [file] | recover <ckpt> | quit");
             }
             "run" => {
                 let n: Option<u64> = rest.parse().ok();
@@ -639,6 +660,29 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                 ps.record_metrics_snapshot();
                 print_metrics_table(ps);
             }
+            "spans" => {
+                if !ps.spans_enabled() {
+                    ps.enable_spans();
+                    println!("; span recording enabled — run some cycles, then `spans` again");
+                } else {
+                    let spans = ps.span_snapshot();
+                    if spans.is_empty() {
+                        println!("; no spans recorded yet");
+                    } else {
+                        println!("; spans ({} recorded):", spans.len());
+                        for l in sorete_base::render_span_table(&spans).lines() {
+                            println!("; {}", l);
+                        }
+                        if let Some(pm) = ps.spans().shard_imbalance_permille() {
+                            println!(
+                                "; shard imbalance: {}.{:03}x (max/mean busy across match shards)",
+                                pm / 1000,
+                                pm % 1000
+                            );
+                        }
+                    }
+                }
+            }
             "watch" => {
                 let every: u64 = rest.parse().ok().filter(|&n| n > 0).unwrap_or(10);
                 ps.enable_metrics();
@@ -735,6 +779,15 @@ fn run(args: &[String]) -> Result<(), Failure> {
         }
         None => ProductionSystem::new(opts.matcher),
     };
+    // Every exit path — including the early `?` failures inside
+    // `run_loaded` (checkpoint I/O, fact-file errors) — must flush
+    // buffered telemetry, or a failed run loses its trace/metrics tail.
+    let result = run_loaded(&mut ps, &opts);
+    ps.flush_trace();
+    result
+}
+
+fn run_loaded(ps: &mut ProductionSystem, opts: &Options) -> Result<(), Failure> {
     ps.set_strategy(opts.strategy);
     if let Some(policy) = opts.recovery {
         ps.set_recovery_policy(policy);
@@ -746,6 +799,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
     }
     if opts.metrics_json.is_some() || opts.metrics_prom.is_some() || opts.watch.is_some() {
         ps.enable_metrics();
+    }
+    // Spans come on before the WAL attaches so the recorder is handed to
+    // every emitter (matcher shards, WAL I/O, engine phases) up front.
+    if opts.trace_perfetto.is_some() || opts.span_stats {
+        ps.enable_spans();
     }
     if let Some(path) = &opts.metrics_json {
         let writer =
@@ -863,8 +921,8 @@ fn run(args: &[String]) -> Result<(), Failure> {
 
     let mut run_error: Option<Failure> = None;
     if opts.repl {
-        flush_output(&mut ps);
-        repl(&mut ps, opts.limit);
+        flush_output(ps);
+        repl(ps, opts.limit);
     } else if let Some(every) = opts.watch {
         // Watch mode: run in chunks of `every` cycles, re-rendering the
         // metrics table (to stderr, keeping stdout clean) after each.
@@ -878,7 +936,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
             let chunk = remaining.map_or(every, |r| r.min(every));
             let outcome = ps.run(Some(chunk));
             total += outcome.fired;
-            flush_output(&mut ps);
+            flush_output(ps);
             ps.record_metrics_snapshot();
             if let Some(table) = ps.metrics_table() {
                 for l in table.lines() {
@@ -898,10 +956,10 @@ fn run(args: &[String]) -> Result<(), Failure> {
         }
     } else {
         let outcome = match (opts.checkpoint_every, &ckpt_path) {
-            (Some(every), Some(ckpt)) => run_with_checkpoints(&mut ps, opts.limit, every, ckpt)?,
+            (Some(every), Some(ckpt)) => run_with_checkpoints(ps, opts.limit, every, ckpt)?,
             _ => ps.run(opts.limit),
         };
-        flush_output(&mut ps);
+        flush_output(ps);
         match outcome_failure(&outcome.reason, outcome.fired) {
             Some(failure) => run_error = Some(failure),
             None => eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason),
@@ -950,7 +1008,10 @@ fn run(args: &[String]) -> Result<(), Failure> {
         }
     }
     if opts.stats {
-        print_stats(&ps);
+        print_stats(ps);
+    }
+    if opts.span_stats || opts.trace_perfetto.is_some() {
+        print_spans(ps, opts)?;
     }
     // Final sample so the last JSONL line / the Prometheus scrape reflect
     // end-of-run state even on error paths (a no-op when disabled; the
@@ -961,8 +1022,41 @@ fn run(args: &[String]) -> Result<(), Failure> {
         std::fs::write(path, text).map_err(|e| (EXIT_USAGE, format!("{}: {}", path, e)))?;
         eprintln!("; wrote Prometheus exposition to {}", path);
     }
-    ps.flush_trace();
     run_error.map_or(Ok(()), Err)
+}
+
+/// End-of-run span rendering: the `--span-stats` summary table (with the
+/// shard-imbalance ratio) and/or the `--trace-perfetto` Chrome
+/// trace-event JSON file.
+fn print_spans(ps: &mut ProductionSystem, opts: &Options) -> Result<(), Failure> {
+    let spans = ps.take_spans();
+    if opts.span_stats {
+        println!("; spans ({} recorded):", spans.len());
+        for l in sorete_base::render_span_table(&spans).lines() {
+            println!("; {}", l);
+        }
+        if let Some(pm) = ps.spans().shard_imbalance_permille() {
+            println!(
+                "; shard imbalance: {}.{:03}x (max/mean busy across match shards)",
+                pm / 1000,
+                pm % 1000
+            );
+        }
+        let dropped = ps.spans().dropped();
+        if dropped > 0 {
+            println!("; spans dropped at cap: {}", dropped);
+        }
+    }
+    if let Some(path) = &opts.trace_perfetto {
+        std::fs::write(path, sorete_base::render_perfetto(&spans))
+            .map_err(|e| (EXIT_USAGE, format!("{}: {}", path, e)))?;
+        eprintln!(
+            "; wrote Perfetto trace to {} ({} spans) — load it at https://ui.perfetto.dev",
+            path,
+            spans.len()
+        );
+    }
+    Ok(())
 }
 
 /// `sorete fsck <wal> [ckpt]`: offline durability validation. Reads both
@@ -1097,6 +1191,14 @@ mod tests {
         assert_eq!(o.trace_json.as_deref(), Some("out.jsonl"));
         assert!(o.profile);
         assert_eq!(o.explain.as_deref(), Some("compete"));
+        let spans: Vec<String> = ["--trace-perfetto", "trace.json", "--span-stats", "p.ops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_args(&spans).unwrap();
+        assert_eq!(o.trace_perfetto.as_deref(), Some("trace.json"));
+        assert!(o.span_stats);
+        assert!(!parse_args(&obs).unwrap().span_stats); // off by default
         let met: Vec<String> = [
             "--metrics-json",
             "m.jsonl",
@@ -1175,6 +1277,7 @@ mod tests {
         assert!(bad(&["--limit", "many", "p.ops"]));
         assert!(bad(&["--frobnicate", "p.ops"]));
         assert!(bad(&["--trace-json"])); // missing file
+        assert!(bad(&["--trace-perfetto"])); // missing file
         assert!(bad(&["--explain"])); // missing rule
         assert!(bad(&["--metrics-json"])); // missing file
         assert!(bad(&["--metrics-prom"])); // missing file

@@ -1023,3 +1023,259 @@ fn repl_quarantine_and_readmit() {
         stdout
     );
 }
+
+// ---------------------------------------------------------------------------
+// Span layer: Perfetto export, span-stats, and the REPL `spans` command
+
+use sorete_bench::gate::json::{self, Json};
+
+/// Write the marking-scheme sweep fixture: many per-item cycles so the
+/// trace has a real run → cycle → resolve/rhs structure.
+fn write_sweep_fixture() -> (String, String) {
+    let prog = cli_dir("sweep.ops");
+    let wm = cli_dir("sweep.wm");
+    std::fs::write(
+        &prog,
+        "(literalize item s)(literalize phase p)
+         (p process-one (phase ^p sweep) (item ^s pending) (modify 2 ^s done))
+         (p finish (phase ^p sweep) -(item ^s pending) (remove 1))",
+    )
+    .unwrap();
+    let facts: String = std::iter::repeat_n("(item ^s pending)\n", 12)
+        .chain(std::iter::once("(phase ^p sweep)\n"))
+        .collect();
+    std::fs::write(&wm, facts).unwrap();
+    (
+        prog.to_str().unwrap().to_string(),
+        wm.to_str().unwrap().to_string(),
+    )
+}
+
+/// Acceptance: `--trace-perfetto` emits valid Chrome trace-event JSON —
+/// parseable, complete events only, span ids unique, cycle→phase→shard
+/// nesting correct, and one named track per worker lane at `--jobs 4`.
+#[test]
+fn trace_perfetto_schema_and_nesting() {
+    let (prog, wm) = write_sweep_fixture();
+    let trace = cli_dir("sweep.perfetto.json");
+    let wal = cli_dir("sweep.perfetto.wal");
+    let _ = std::fs::remove_file(&wal);
+    let out = Command::new(bin())
+        .args([
+            "--jobs",
+            "4",
+            "--wal",
+            wal.to_str().unwrap(),
+            "--trace-perfetto",
+            trace.to_str().unwrap(),
+            "--wm",
+            &wm,
+            &prog,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("wrote Perfetto trace"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("invalid JSON ({}): {}", e, text));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(events.len() > 20, "suspiciously short trace: {}", text);
+
+    // Collect spans: id → (name, parent, tid); check per-event schema.
+    let mut spans = std::collections::HashMap::new();
+    let mut track_tids = std::collections::BTreeSet::new();
+    let mut span_tids = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        assert_eq!(ev.get("pid").and_then(Json::as_u64), Some(1));
+        let tid = ev.get("tid").and_then(Json::as_u64).expect("tid");
+        match ph {
+            "M" => {
+                assert_eq!(ev.get("name").and_then(Json::as_str), Some("thread_name"));
+                let label = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .expect("thread_name label");
+                assert_eq!(label, format!("lane {}", tid));
+                assert!(track_tids.insert(tid), "duplicate track metadata: {}", tid);
+            }
+            "X" => {
+                let name = ev.get("name").and_then(Json::as_str).expect("name");
+                let cat = ev.get("cat").and_then(Json::as_str).expect("cat");
+                assert!(["logical", "physical"].contains(&cat), "cat {}", cat);
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some(), "ts");
+                assert!(ev.get("dur").and_then(Json::as_f64).is_some(), "dur");
+                let args = ev.get("args").expect("args");
+                let id = args.get("id").and_then(Json::as_u64).expect("id");
+                let parent = args.get("parent").and_then(Json::as_u64).expect("parent");
+                assert!(id > 0, "span ids start at 1");
+                assert!(
+                    spans.insert(id, (name.to_string(), parent, tid)).is_none(),
+                    "duplicate span id {}",
+                    id
+                );
+                span_tids.insert(tid);
+            }
+            other => panic!("unexpected event phase {:?}", other),
+        }
+    }
+
+    // One named track per lane that recorded spans, 4 worker lanes under
+    // --jobs 4 (the engine shares lane 0).
+    assert_eq!(track_tids, span_tids, "every lane track is labeled");
+    assert!(
+        track_tids.len() >= 4,
+        "expected one track per worker lane at --jobs 4, got {:?}",
+        track_tids
+    );
+
+    // Nesting: cycles under the run; resolve/rhs/wal_commit under their
+    // cycle; shard fan-out under a match span.
+    let name_of = |id: u64| spans.get(&id).map(|(n, _, _)| n.as_str());
+    let mut cycles = 0;
+    let mut shard = 0;
+    for (name, parent, _) in spans.values() {
+        match name.as_str() {
+            "cycle" => {
+                cycles += 1;
+                assert_eq!(name_of(*parent), Some("run"), "cycle must nest in run");
+            }
+            "resolve" | "rhs" | "wal_commit" => {
+                assert_eq!(
+                    name_of(*parent),
+                    Some("cycle"),
+                    "{} must nest in cycle",
+                    name
+                );
+            }
+            "shard_match" => {
+                shard += 1;
+                assert_eq!(
+                    name_of(*parent),
+                    Some("match"),
+                    "shard_match must nest in match"
+                );
+            }
+            "match" => {
+                assert!(
+                    *parent == 0 || name_of(*parent) == Some("rhs"),
+                    "match must be top-level (load) or inside rhs, got {:?}",
+                    name_of(*parent)
+                );
+            }
+            "run" => assert_eq!(*parent, 0, "run is a root span"),
+            "wal_append" | "wal_flush" | "wal_fsync" => {}
+            other => panic!("unexpected span category {:?}", other),
+        }
+    }
+    // 12 process-one firings + finish: at least 13 cycles.
+    assert!(cycles >= 13, "expected >=13 cycles, got {}", cycles);
+    assert!(shard > 0, "parallel backend must record shard spans");
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// `--span-stats` prints the per-category percentile table plus the
+/// shard-imbalance line; `--stats` carries the WAL write counters; the
+/// Prometheus export carries the imbalance gauge and WAL write counter.
+#[test]
+fn span_stats_and_new_metric_families() {
+    let (prog, wm) = write_sweep_fixture();
+    let wal = cli_dir("sweep.stats.wal");
+    let _ = std::fs::remove_file(&wal);
+    let prom = cli_dir("sweep.prom");
+    let out = Command::new(bin())
+        .args([
+            "--jobs",
+            "4",
+            "--wal",
+            wal.to_str().unwrap(),
+            "--span-stats",
+            "--stats",
+            "--metrics-prom",
+            prom.to_str().unwrap(),
+            "--wm",
+            &wm,
+            &prog,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; spans ("), "{}", stdout);
+    for cat in ["cycle", "resolve", "rhs", "wal_commit", "shard_match"] {
+        assert!(stdout.contains(cat), "missing {} in:\n{}", cat, stdout);
+    }
+    assert!(stdout.contains("p50us"), "{}", stdout);
+    assert!(stdout.contains("; shard imbalance: "), "{}", stdout);
+    assert!(stdout.contains("; wal: records="), "{}", stdout);
+    assert!(stdout.contains("writes="), "{}", stdout);
+
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        text.contains("# TYPE sorete_shard_imbalance_permille gauge"),
+        "{}",
+        text
+    );
+    assert!(
+        text.contains("# TYPE sorete_wal_writes_total counter"),
+        "{}",
+        text
+    );
+    // Real samples, not just declarations.
+    let sample = |family: &str| {
+        text.lines()
+            .find(|l| l.starts_with(family) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no sample for {}:\n{}", family, text))
+    };
+    assert!(sample("sorete_shard_imbalance_permille") >= 1000);
+    assert!(sample("sorete_wal_writes_total") > 0);
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// The REPL `spans` command: first use arms the recorder, later calls
+/// render the table.
+#[test]
+fn repl_spans_command() {
+    let (prog, wm) = write_sweep_fixture();
+    let mut child = Command::new(bin())
+        .args(["--repl", "--wm", &wm, &prog])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    {
+        use std::io::Write;
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "spans").unwrap();
+        writeln!(stdin, "run").unwrap();
+        writeln!(stdin, "spans").unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; span recording enabled"), "{}", stdout);
+    assert!(stdout.contains("category"), "{}", stdout);
+    assert!(stdout.contains("cycle"), "{}", stdout);
+    assert!(stdout.contains("rhs"), "{}", stdout);
+}
