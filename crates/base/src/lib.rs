@@ -20,6 +20,7 @@
 
 pub mod arena;
 pub mod error;
+pub mod flight;
 pub mod hash;
 pub mod inst;
 pub mod metrics;
@@ -32,6 +33,7 @@ pub mod wme;
 
 pub use arena::Arena;
 pub use error::{BaseError, Result};
+pub use flight::{CycleRecord, Flight, FlightCounts};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use inst::{ConflictItem, CsDelta, InstKey, KeyPart, MatchStats, RetimeInfo, RuleId};
 pub use metrics::{

@@ -124,6 +124,10 @@ struct SpanStore {
     dropped: AtomicU64,
     /// Cumulative busy nanos per shard id, fed by `shard_match` spans.
     shard_busy: Mutex<Vec<u64>>,
+    /// Flight-recorder tap: every closed span is also written to the
+    /// black box's bounded span ring (even past [`MAX_SPANS`], which only
+    /// caps the in-memory vector). Disabled by default.
+    flight: crate::flight::Flight,
 }
 
 /// The cheap, cloneable recorder handle emitters hold. Disabled (the
@@ -142,6 +146,12 @@ impl Spans {
 
     /// A recording handle with a fresh epoch.
     pub fn recording() -> Spans {
+        Spans::recording_with_flight(crate::flight::Flight::off())
+    }
+
+    /// A recording handle whose closed spans are also copied into a
+    /// flight recorder's span ring.
+    pub fn recording_with_flight(flight: crate::flight::Flight) -> Spans {
         Spans {
             inner: Some(Arc::new(SpanStore {
                 epoch: Instant::now(),
@@ -150,6 +160,7 @@ impl Spans {
                 spans: Mutex::new(Vec::new()),
                 dropped: AtomicU64::new(0),
                 shard_busy: Mutex::new(Vec::new()),
+                flight,
             })),
         }
     }
@@ -209,12 +220,7 @@ impl Spans {
         if open.scoped {
             store.current.store(open.parent, Ordering::Relaxed);
         }
-        let mut spans = store.spans.lock().unwrap();
-        if spans.len() >= MAX_SPANS {
-            store.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        spans.push(Span {
+        let span = Span {
             id: open.id,
             parent: open.parent,
             lane,
@@ -222,7 +228,14 @@ impl Spans {
             begin_nanos: open.begin,
             end_nanos: end,
             attrs: attrs(),
-        });
+        };
+        store.flight.record_span(&span);
+        let mut spans = store.spans.lock().unwrap();
+        if spans.len() >= MAX_SPANS {
+            store.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(span);
     }
 
     /// Close a `shard_match` span: records it (attr `shard`) and adds its
@@ -241,12 +254,7 @@ impl Spans {
             }
             busy[shard] += end.saturating_sub(open.begin);
         }
-        let mut spans = store.spans.lock().unwrap();
-        if spans.len() >= MAX_SPANS {
-            store.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        spans.push(Span {
+        let span = Span {
             id: open.id,
             parent: open.parent,
             lane,
@@ -254,7 +262,14 @@ impl Spans {
             begin_nanos: open.begin,
             end_nanos: end,
             attrs: vec![("shard", shard as u64)],
-        });
+        };
+        store.flight.record_span(&span);
+        let mut spans = store.spans.lock().unwrap();
+        if spans.len() >= MAX_SPANS {
+            store.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(span);
     }
 
     /// Abandon `open` without recording it (e.g. a cycle scope opened
@@ -551,6 +566,22 @@ mod tests {
         assert_eq!(leaves[0].parent, cycle_span.id, "first leaf under cycle");
         assert_eq!(leaves[1].parent, run_id, "second leaf back under run");
         assert_eq!(cycle_span.attrs, vec![("cycle", 1)]);
+    }
+
+    #[test]
+    fn flight_tap_receives_closed_spans() {
+        let f = crate::flight::Flight::recording(8);
+        let s = Spans::recording_with_flight(f.clone());
+        let run = s.begin_scope();
+        let sh = s.begin();
+        s.end_shard(sh, 1, 3);
+        s.end(run, category::RUN, 0, || vec![("fired", 2)]);
+        let ring = f.spans();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring[0].category, category::SHARD_MATCH);
+        assert_eq!(ring[0].attrs, vec![("shard", 3)]);
+        assert_eq!(ring[1].category, category::RUN);
+        assert_eq!(ring[1].attrs, vec![("fired", 2)]);
     }
 
     #[test]

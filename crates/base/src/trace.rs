@@ -572,20 +572,43 @@ fn lock_sink(sink: &SharedSink) -> std::sync::MutexGuard<'_, dyn TraceSink + Sen
 /// out to zero or more [`TraceSink`]s; with zero sinks (the default),
 /// [`Tracer::emit`] returns before even constructing the event, which is
 /// what makes the disabled path effectively free.
+///
+/// A tracer may additionally carry a [`Flight`](crate::flight::Flight)
+/// recorder (the engine's always-on black box): logical events emitted
+/// through [`Tracer::emit`] are recorded into its bounded ring *in
+/// addition* to the sink fan-out, while the high-frequency physical
+/// events emitted through [`Tracer::emit_physical`] bypass it entirely
+/// — with no sinks and only the flight recorder on, per-activation hot
+/// paths still pay nothing.
 #[derive(Clone, Default)]
 pub struct Tracer {
     sinks: Vec<SharedSink>,
+    flight: crate::flight::Flight,
 }
 
 impl Tracer {
-    /// The disabled tracer (no sinks).
+    /// The disabled tracer (no sinks, no flight recorder).
     pub fn null() -> Tracer {
         Tracer::default()
     }
 
     /// A tracer over an explicit sink list.
     pub fn from_sinks(sinks: Vec<SharedSink>) -> Tracer {
-        Tracer { sinks }
+        Tracer {
+            sinks,
+            flight: crate::flight::Flight::off(),
+        }
+    }
+
+    /// Attach a flight recorder, consuming `self` (builder style).
+    pub fn with_flight(mut self, flight: crate::flight::Flight) -> Tracer {
+        self.flight = flight;
+        self
+    }
+
+    /// The attached flight recorder (a disabled handle by default).
+    pub fn flight(&self) -> &crate::flight::Flight {
+        &self.flight
     }
 
     /// Wrap a single sink, returning the tracer and a handle for reading
@@ -594,22 +617,50 @@ impl Tracer {
         let shared = Arc::new(Mutex::new(sink));
         let tracer = Tracer {
             sinks: vec![shared.clone()],
+            flight: crate::flight::Flight::off(),
         };
         (tracer, shared)
     }
 
-    /// True when at least one sink is attached. Hot paths that do work
-    /// *besides* constructing an event (e.g. formatting a WME) should gate
-    /// on this.
+    /// True when any consumer of *logical* events is attached (a sink or
+    /// the flight recorder). Logical-event call sites that do work
+    /// *besides* constructing an event (e.g. formatting a WME) should
+    /// gate on this.
     #[inline(always)]
     pub fn enabled(&self) -> bool {
+        !self.sinks.is_empty() || self.flight.enabled()
+    }
+
+    /// True when at least one sink is attached. *Physical*-event hot
+    /// paths gate on this: the flight recorder alone must not trigger
+    /// per-activation work.
+    #[inline(always)]
+    pub fn sinks_enabled(&self) -> bool {
         !self.sinks.is_empty()
     }
 
-    /// Emit the event produced by `make` to every sink. When disabled the
-    /// closure is never called, so argument computation costs nothing.
+    /// Emit the event produced by `make` to every sink and the flight
+    /// recorder. When fully disabled the closure is never called, so
+    /// argument computation costs nothing.
     #[inline]
     pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if self.sinks.is_empty() && !self.flight.enabled() {
+            return;
+        }
+        let event = make();
+        self.flight.record_event(&event);
+        for sink in &self.sinks {
+            lock_sink(sink).emit(&event);
+        }
+    }
+
+    /// Emit a high-frequency physical event (alpha/beta activations, join
+    /// probes, S-node traffic) to the sinks only — never to the flight
+    /// recorder. With no sinks this returns before constructing the
+    /// event, exactly like the pre-flight-recorder `emit`, so the
+    /// always-on black box adds zero cost to match-internal hot paths.
+    #[inline]
+    pub fn emit_physical(&self, make: impl FnOnce() -> TraceEvent) {
         if self.sinks.is_empty() {
             return;
         }
@@ -629,7 +680,16 @@ impl Tracer {
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tracer({} sinks)", self.sinks.len())
+        write!(
+            f,
+            "Tracer({} sinks{})",
+            self.sinks.len(),
+            if self.flight.enabled() {
+                ", flight"
+            } else {
+                ""
+            }
+        )
     }
 }
 
@@ -776,6 +836,27 @@ mod tests {
         assert_eq!(events[0].name(), "cycle_begin");
         assert_eq!(events[1].name(), "wme_retract");
         assert!(sink.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn flight_only_tracer_records_logical_and_skips_physical() {
+        let t = Tracer::null().with_flight(crate::flight::Flight::recording(8));
+        assert!(t.enabled(), "flight recorder counts as a logical consumer");
+        assert!(!t.sinks_enabled(), "no sinks attached");
+        t.emit(|| TraceEvent::CycleBegin { cycle: 1 });
+        let mut called = false;
+        t.emit_physical(|| {
+            called = true;
+            TraceEvent::BetaActivation {
+                node: 1,
+                kind: "join",
+            }
+        });
+        assert!(!called, "physical emit with no sinks must stay free");
+        assert_eq!(
+            t.flight().events(),
+            vec![TraceEvent::CycleBegin { cycle: 1 }]
+        );
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Flight-recorder overhead bench: what the always-on black box costs.
+//!
+//! The workload is the WAL counting loop (200 firings, group-commit 8),
+//! the same shape the `wal_overhead` and `span_overhead` benches use, so
+//! the numbers compose. Two configurations:
+//!
+//! - `off`       — `--flight-recorder off`: every record site is one
+//!   untaken branch, the baseline;
+//! - `recording` — the default: logical events, closed spans, and
+//!   per-cycle records stream into the fixed-capacity rings.
+//!
+//! A calibration pass writes `BENCH_flight_recorder.json` (median-of-5
+//! wall micros per configuration plus the overhead permille against the
+//! off baseline) for the bench gate and CI to check. A third row measures
+//! the off fast path directly — per-call nanos for offering a cycle
+//! record to a disabled ring, expressed as a permille of one
+//! recognise–act cycle — and the gate holds it under 50‰.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sorete_bench::gate::{
+    flight_off_fastpath_nanos, flight_off_permille_of_cycle, run_flight_overhead, FlightConfig,
+    WAL_WORKLOAD_FIRINGS,
+};
+
+fn bench(c: &mut Criterion) {
+    write_calibration_json();
+    let mut group = c.benchmark_group("flight_overhead");
+    for (label, config) in [
+        ("off", FlightConfig::Off),
+        ("recording", FlightConfig::Recording),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, WAL_WORKLOAD_FIRINGS),
+            &config,
+            |b, &config| b.iter(|| run_flight_overhead(config)),
+        );
+    }
+    group.finish();
+}
+
+/// Median-of-5 wall micros per configuration plus the fast-path row,
+/// written to `BENCH_flight_recorder.json`.
+fn write_calibration_json() {
+    let micros = |config: FlightConfig| -> u64 {
+        let mut samples: Vec<u64> = (0..5).map(|_| run_flight_overhead(config) as u64).collect();
+        samples.sort_unstable();
+        samples[2]
+    };
+    let off = micros(FlightConfig::Off).max(1);
+    let recording = micros(FlightConfig::Recording);
+    let overhead_pm = (recording.saturating_sub(off)) * 1000 / off;
+    let per_call = flight_off_fastpath_nanos();
+    let permille = flight_off_permille_of_cycle(off as f64);
+    let json = format!(
+        "[\n  {{\"config\": \"off\", \"firings\": {f}, \"micros\": {off}, \
+         \"overhead_permille\": 0}},\n  \
+         {{\"config\": \"recording\", \"firings\": {f}, \"micros\": {recording}, \
+         \"overhead_permille\": {pm}}},\n  \
+         {{\"config\": \"off_fastpath\", \"per_call_nanos\": {pc:.2}, \
+         \"permille_of_cycle\": {pmc:.2}}}\n]\n",
+        f = WAL_WORKLOAD_FIRINGS,
+        pm = overhead_pm,
+        pc = per_call,
+        pmc = permille,
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_flight_recorder.json"
+    );
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("(wrote BENCH_flight_recorder.json)"),
+        Err(e) => println!("(could not write BENCH_flight_recorder.json: {})", e),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -435,6 +435,9 @@ pub fn run_gate(baseline_dir: &Path, tolerance_pct: u32) -> GateOutcome {
     if let Some(base) = load("BENCH_span_overhead.json", &mut out.missing) {
         gate_span(&base, tol, &mut out);
     }
+    if let Some(base) = load("BENCH_flight_recorder.json", &mut out.missing) {
+        gate_flight(&base, tol, &mut out);
+    }
     out
 }
 
@@ -934,6 +937,175 @@ pub fn span_disabled_permille_of_cycle(workload_micros: f64) -> f64 {
     span_disabled_fastpath_nanos() * SPAN_SITES_PER_CYCLE * 1000.0 / cycle_nanos.max(1.0)
 }
 
+// ========================================================== flight bench
+
+/// Flight-recorder configuration for the black-box overhead workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlightConfig {
+    /// Recorder off (`--flight-recorder off`) — each record site is one
+    /// untaken branch; the baseline.
+    Off,
+    /// The always-on default: logical events, closed spans, and per-cycle
+    /// records stream into the fixed-capacity rings.
+    Recording,
+}
+
+fn flight_config_from_label(label: &str) -> Option<FlightConfig> {
+    match label {
+        "off" => Some(FlightConfig::Off),
+        "recording" => Some(FlightConfig::Recording),
+        _ => None,
+    }
+}
+
+/// Ceiling for the off fast path: 50‰ (5%) of one recognise–act cycle —
+/// same bar the span layer holds (DESIGN.md §5.9).
+pub const FLIGHT_OFF_PERMILLE_CEILING: f64 = 50.0;
+
+/// Budget ceiling for the always-on recorder: 300‰ (30%) overhead on the
+/// WAL counting workload. Measured low-double-digit permille; the
+/// headroom absorbs host noise while catching structural regressions
+/// (e.g. the encoder starting to allocate per event).
+pub const FLIGHT_RECORDING_PERMILLE_CEILING: f64 = 300.0;
+
+/// Record sites crossed per engine cycle with the recorder on: the cycle
+/// record itself plus a conservative allowance for logical trace events
+/// (asserts/retracts, CS deltas, the firing).
+pub const FLIGHT_SITES_PER_CYCLE: f64 = 8.0;
+
+/// One run of the WAL counting workload (group-commit 8) with the flight
+/// recorder on (the default) or forced off; returns wall micros.
+pub fn run_flight_overhead(config: FlightConfig) -> u128 {
+    let wal = std::env::temp_dir().join(format!("sorete-flight-bench-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let t0 = std::time::Instant::now();
+    {
+        use sorete_base::Value;
+        let mut ps = sorete_core::ProductionSystem::new(MatcherKind::Rete);
+        if config == FlightConfig::Off {
+            ps.set_flight_recorder(0);
+        }
+        ps.load_program(WAL_WORKLOAD).unwrap();
+        ps.attach_wal(&wal, sorete_reldb::WalOptions { group_commit: 8 })
+            .unwrap();
+        ps.make_str("c", &[("n", Value::Int(0))]).unwrap();
+        ps.make_str("lim", &[("max", Value::Int(WAL_WORKLOAD_FIRINGS))])
+            .unwrap();
+        let outcome = ps.run(None);
+        assert_eq!(outcome.fired, WAL_WORKLOAD_FIRINGS as u64);
+    }
+    let micros = t0.elapsed().as_micros();
+    let _ = std::fs::remove_file(&wal);
+    micros
+}
+
+/// Measure the off fast path directly: per-call nanos for offering a
+/// cycle record to a disabled [`sorete_base::flight::Flight`] handle
+/// (one branch, no encode), amortised over 200k iterations.
+pub fn flight_off_fastpath_nanos() -> f64 {
+    use sorete_base::flight::{CycleRecord, Flight};
+    let flight = Flight::off();
+    let record = CycleRecord {
+        cycle: 1,
+        rule: sorete_base::Symbol::new("bench"),
+        ok: true,
+        firings: 1,
+        wm_len: 2,
+        cs_len: 1,
+        nanos: 1_000,
+    };
+    const ITERS: u32 = 200_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..ITERS {
+        flight.record_cycle(std::hint::black_box(&record));
+        std::hint::black_box(i);
+    }
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// The off fast path as a permille of one recognise–act cycle of the
+/// flight workload, given that workload's per-run wall micros.
+pub fn flight_off_permille_of_cycle(workload_micros: f64) -> f64 {
+    let cycle_nanos = workload_micros * 1000.0 / WAL_WORKLOAD_FIRINGS as f64;
+    flight_off_fastpath_nanos() * FLIGHT_SITES_PER_CYCLE * 1000.0 / cycle_nanos.max(1.0)
+}
+
+/// Flight suite: the always-on recorder's overhead permille (committed
+/// and fresh) must stay under the fixed budget ceiling, and the off fast
+/// path under the absolute 50‰-of-a-cycle ceiling. Absolute micros are
+/// recorded for reference but never gated.
+fn gate_flight(base: &Json, tol: f64, out: &mut GateOutcome) {
+    const SUITE: &str = "flight";
+    let Some(rows) = base.as_arr() else {
+        out.missing
+            .push("BENCH_flight_recorder.json (expected an array)".into());
+        return;
+    };
+    let mut off_micros = None;
+    for row in rows {
+        let Some(config) = row.get("config").and_then(Json::as_str) else {
+            continue;
+        };
+        if config == "off_fastpath" {
+            if let Some(b) = row.get("permille_of_cycle").and_then(Json::as_f64) {
+                out.push(
+                    SUITE,
+                    "off_fastpath/permille_of_cycle(baseline)".into(),
+                    CheckKind::AbsoluteCeiling,
+                    tol,
+                    FLIGHT_OFF_PERMILLE_CEILING,
+                    b,
+                );
+                let cycle_micros = off_micros
+                    .unwrap_or_else(|| best3(|| run_flight_overhead(FlightConfig::Off) as f64));
+                let fresh = flight_off_permille_of_cycle(cycle_micros);
+                out.push(
+                    SUITE,
+                    "off_fastpath/permille_of_cycle(fresh)".into(),
+                    CheckKind::AbsoluteCeiling,
+                    tol,
+                    FLIGHT_OFF_PERMILLE_CEILING,
+                    fresh,
+                );
+            }
+            continue;
+        }
+        let Some(mode) = flight_config_from_label(config) else {
+            out.missing.push(format!(
+                "BENCH_flight_recorder.json (unknown config '{}')",
+                config
+            ));
+            continue;
+        };
+        if mode == FlightConfig::Off {
+            off_micros = Some(best3(|| run_flight_overhead(FlightConfig::Off) as f64));
+            continue;
+        }
+        if let Some(b) = row.get("overhead_permille").and_then(Json::as_f64) {
+            out.push(
+                SUITE,
+                format!("{}/overhead_permille(baseline)", config),
+                CheckKind::AbsoluteCeiling,
+                tol,
+                FLIGHT_RECORDING_PERMILLE_CEILING,
+                b,
+            );
+            let off = off_micros
+                .get_or_insert_with(|| best3(|| run_flight_overhead(FlightConfig::Off) as f64));
+            let fresh_micros = best3(|| run_flight_overhead(mode) as f64);
+            let fresh_pm = (fresh_micros - *off).max(0.0) * 1000.0 / off.max(1.0);
+            out.push(
+                SUITE,
+                format!("{}/overhead_permille(fresh)", config),
+                CheckKind::AbsoluteCeiling,
+                tol,
+                FLIGHT_RECORDING_PERMILLE_CEILING,
+                fresh_pm,
+            );
+        }
+    }
+}
+
 /// Render the outcome as the gate's report table.
 pub fn render_report(outcome: &GateOutcome, tolerance_pct: u32) -> String {
     let mut s = String::new();
@@ -1068,7 +1240,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let outcome = run_gate(&dir, 25);
         assert_eq!(outcome.exit_code(), EXIT_MISSING);
-        assert_eq!(outcome.missing.len(), 5);
+        assert_eq!(outcome.missing.len(), 6);
         assert!(outcome.checks.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }

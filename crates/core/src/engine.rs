@@ -8,6 +8,7 @@ use crate::rhs::{self, RhsCtx, RhsHost};
 use crate::stats::RunStats;
 use crate::supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
 use crate::wm::WorkingMemory;
+use sorete_base::flight::{CycleRecord, Flight};
 use sorete_base::span::category as span_cat;
 use sorete_base::{
     CollectSink, ConflictItem, CsDelta, FxHashMap, InstKey, MetricId, Metrics, NetProfile, RuleId,
@@ -22,7 +23,7 @@ use sorete_reldb::{WalStats, WmeOp};
 use sorete_rete::ReteMatcher;
 use sorete_treat::TreatMatcher;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -177,6 +178,33 @@ pub enum StopReason {
         /// The quarantined rules, sorted by name.
         rules: Vec<Symbol>,
     },
+}
+
+impl StopReason {
+    /// True for every stop the operator did not ask for — panics,
+    /// errors, quarantine stalls, and tripped resource guards. Abnormal
+    /// stops drain the flight recorder into a crash bundle; `Quiescence`,
+    /// `Halt`, and `Limit` are normal ends.
+    pub fn is_abnormal(&self) -> bool {
+        !matches!(
+            self,
+            StopReason::Quiescence | StopReason::Halt | StopReason::Limit
+        )
+    }
+
+    /// Short machine-readable label (`quiescence`, `panicked`, …) used in
+    /// bundle manifests and exit-code mapping.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::Quiescence => "quiescence",
+            StopReason::Halt => "halt",
+            StopReason::Limit => "limit",
+            StopReason::ResourceExhausted(_) => "resource-exhausted",
+            StopReason::Error(_) => "error",
+            StopReason::Panicked { .. } => "panicked",
+            StopReason::Quarantined { .. } => "quarantined",
+        }
+    }
 }
 
 /// Result of a run.
@@ -400,6 +428,7 @@ struct MetricIds {
     quarantined_rules: MetricId,
     conflict_set_size: MetricId,
     wm_size: MetricId,
+    shards: MetricId,
     shard_imbalance: MetricId,
     fire_nanos: MetricId,
     resolve_nanos: MetricId,
@@ -535,6 +564,23 @@ pub struct ProductionSystem {
     /// wal_commit); disabled (a single branch per site) until
     /// [`Self::enable_spans`].
     spans: Spans,
+    /// Always-on flight recorder: a fixed ring of the most recent logical
+    /// trace events, closed spans, and per-cycle summary records, drained
+    /// into a crash bundle on abnormal exit. On (default capacity) from
+    /// construction; [`Self::set_flight_recorder`] resizes or disables it.
+    flight: Flight,
+    /// Match-network partition count recorded in bundles and metrics
+    /// (1 under the single-threaded backends).
+    shard_count: usize,
+    /// Process invocation (argv) recorded into crash bundles; set by the
+    /// CLI via [`Self::set_invocation`].
+    invocation: Vec<String>,
+    /// Where crash bundles land; defaults to the WAL's directory when one
+    /// is attached, else the current directory.
+    crash_dir: Option<PathBuf>,
+    /// Path of the most recent crash bundle written by [`Self::run`] or
+    /// [`Self::dump_bundle`].
+    last_bundle: Option<PathBuf>,
 }
 
 impl ProductionSystem {
@@ -559,12 +605,37 @@ impl ProductionSystem {
         Self::with_matcher(kind, Some(jobs.max(1)))
     }
 
+    /// [`Self::with_jobs`] with an explicit match-network partition count
+    /// (`--shards N`; default [`crate::parallel::PARTITIONS`]). The
+    /// partition map depends on it, so runs are only comparable — and
+    /// checkpoints only resumable — at the same shard count.
+    pub fn with_jobs_shards(kind: MatcherKind, jobs: usize, shards: usize) -> ProductionSystem {
+        Self::with_matcher_shards(kind, Some(jobs.max(1)), Some(shards.max(1)))
+    }
+
     fn with_matcher(kind: MatcherKind, jobs: Option<usize>) -> ProductionSystem {
-        let (matcher, pool): (Box<dyn Matcher>, Option<Arc<sorete_base::WorkerPool>>) = match jobs {
+        Self::with_matcher_shards(kind, jobs, None)
+    }
+
+    fn with_matcher_shards(
+        kind: MatcherKind,
+        jobs: Option<usize>,
+        shards: Option<usize>,
+    ) -> ProductionSystem {
+        let shards = shards.unwrap_or(crate::parallel::PARTITIONS).max(1);
+        let (matcher, pool, shard_count): (
+            Box<dyn Matcher>,
+            Option<Arc<sorete_base::WorkerPool>>,
+            usize,
+        ) = match jobs {
             Some(n) => {
                 let pool = Arc::new(sorete_base::WorkerPool::new(n));
-                let m = crate::parallel::ParallelMatcher::with_pool(kind, Arc::clone(&pool));
-                (Box::new(m), Some(pool))
+                let m = crate::parallel::ParallelMatcher::with_pool_shards(
+                    kind,
+                    Arc::clone(&pool),
+                    shards,
+                );
+                (Box::new(m), Some(pool), shards)
             }
             None => (
                 match kind {
@@ -574,9 +645,10 @@ impl ProductionSystem {
                     MatcherKind::Naive => Box::new(NaiveMatcher::new()),
                 },
                 None,
+                1,
             ),
         };
-        ProductionSystem {
+        let mut ps = ProductionSystem {
             matcher,
             rules: Vec::new(),
             rule_ids: FxHashMap::default(),
@@ -604,12 +676,78 @@ impl ProductionSystem {
             last_failed: None,
             pool,
             spans: Spans::null(),
-        }
+            flight: Flight::recording(sorete_base::flight::DEFAULT_CAPACITY),
+            shard_count,
+            invocation: Vec::new(),
+            crash_dir: None,
+            last_bundle: None,
+        };
+        // The default tracer must carry the always-on flight recorder.
+        ps.rebuild_tracer();
+        ps
     }
 
     /// Worker lanes driving the match network (1 when single-threaded).
     pub fn jobs(&self) -> usize {
         self.pool.as_ref().map(|p| p.jobs()).unwrap_or(1)
+    }
+
+    /// Match-network partition count (1 under the single-threaded
+    /// backends). Exported as the `sorete_shards` gauge and recorded in
+    /// crash bundles, so post-mortems know the topology of the run.
+    pub fn shards(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Resize the always-on flight recorder ring (each of the event, span,
+    /// and cycle rings keeps the last `capacity` entries); `0` turns the
+    /// recorder off entirely. Call before [`Self::enable_spans`] — a span
+    /// recorder enabled earlier keeps tapping the previous ring.
+    pub fn set_flight_recorder(&mut self, capacity: usize) {
+        self.flight = Flight::recording(capacity);
+        self.rebuild_tracer();
+    }
+
+    /// Whether the flight recorder is on.
+    pub fn flight_enabled(&self) -> bool {
+        self.flight.enabled()
+    }
+
+    /// A handle on the flight recorder (off handle when disabled).
+    pub fn flight(&self) -> Flight {
+        self.flight.clone()
+    }
+
+    /// Record the process invocation (argv) for crash-bundle manifests.
+    pub fn set_invocation(&mut self, argv: Vec<String>) {
+        self.invocation = argv;
+    }
+
+    /// The recorded invocation (empty unless [`Self::set_invocation`]).
+    pub fn invocation(&self) -> &[String] {
+        &self.invocation
+    }
+
+    /// Direct crash bundles into `dir` instead of the default (the WAL's
+    /// directory when attached, else the current directory).
+    pub fn set_crash_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.crash_dir = Some(dir.into());
+    }
+
+    /// Where a crash bundle would be written right now.
+    pub fn crash_dir(&self) -> PathBuf {
+        if let Some(d) = &self.crash_dir {
+            return d.clone();
+        }
+        self.dur
+            .as_ref()
+            .and_then(|d| d.wal.path().parent().map(Path::to_path_buf))
+            .unwrap_or_else(|| PathBuf::from("."))
+    }
+
+    /// Path of the most recent crash bundle this engine wrote, if any.
+    pub fn last_crash_bundle(&self) -> Option<&Path> {
+        self.last_bundle.as_deref()
     }
 
     /// Cumulative per-lane busy nanoseconds of the match worker pool
@@ -778,12 +916,10 @@ impl ProductionSystem {
     }
 
     /// Flush every attached trace sink and the metrics snapshot stream
-    /// (forces buffered JSONL out).
+    /// (forces buffered JSONL out). This is the single "flush everything"
+    /// hook every abnormal-exit path funnels through.
     pub fn flush_trace(&self) {
-        self.tracer.flush();
-        if let Some(m) = &self.metrics {
-            m.handle.with(|r| r.flush());
-        }
+        sorete_base::flight::on_abnormal_exit(&self.tracer, &self.metrics());
     }
 
     /// Enable or disable the matcher's per-node profiler.
@@ -800,7 +936,7 @@ impl ProductionSystem {
         if self.spans.enabled() {
             return;
         }
-        self.spans = Spans::recording();
+        self.spans = Spans::recording_with_flight(self.flight.clone());
         self.matcher.set_spans(self.spans.clone());
         if let Some(d) = &mut self.dur {
             d.wal.set_spans(self.spans.clone());
@@ -950,6 +1086,10 @@ impl ProductionSystem {
                     "Conflict-set entries (fired included)",
                 ),
                 wm_size: r.gauge("sorete_wm_size", "Working-memory size"),
+                shards: r.gauge(
+                    "sorete_shards",
+                    "Match-network partition count (1 = single-threaded)",
+                ),
                 shard_imbalance: r.gauge(
                     "sorete_shard_imbalance_permille",
                     "max/mean per-shard match busy time, permille (1000 = balanced; \
@@ -1057,6 +1197,7 @@ impl ProductionSystem {
         let cs_len = self.cs.len() as u64;
         let wm_len = self.wm.len() as u64;
         let imbalance = self.spans.shard_imbalance_permille().unwrap_or(0);
+        let shards = self.shard_count as u64;
         let cycle = self.cycle;
         m.handle.with(|r| {
             r.set(ids.cycles, cycle);
@@ -1096,6 +1237,7 @@ impl ProductionSystem {
             r.set(ids.quarantined_rules, quarantined);
             r.set(ids.conflict_set_size, cs_len);
             r.set(ids.wm_size, wm_len);
+            r.set(ids.shards, shards);
             r.set(ids.shard_imbalance, imbalance);
             for region in &mem.regions {
                 let b = r.gauge_labeled(
@@ -1159,7 +1301,7 @@ impl ProductionSystem {
         if let Some(l) = &self.event_log {
             sinks.push(l.clone() as SharedSink);
         }
-        self.tracer = Tracer::from_sinks(sinks);
+        self.tracer = Tracer::from_sinks(sinks).with_flight(self.flight.clone());
         self.matcher.set_tracer(self.tracer.clone());
     }
 
@@ -1838,7 +1980,7 @@ impl ProductionSystem {
             return Ok(None);
         }
         self.sync();
-        let t_cycle = self.metrics.is_some().then(Instant::now);
+        let t_cycle = (self.metrics.is_some() || self.flight.enabled()).then(Instant::now);
         // The cycle span opens before selection so resolve nests under it;
         // a quiescent step cancels both without recording anything.
         let sp_cycle = self.spans.begin_scope();
@@ -1995,6 +2137,7 @@ impl ProductionSystem {
                 self.spans
                     .end(sp_cycle, span_cat::CYCLE, 0, || vec![("cycle", cycle)]);
                 self.finish_cycle_metrics(t_cycle);
+                self.record_flight_cycle(cycle, rule.name, true, t_cycle);
                 Ok(Some(rule.name))
             }
             Err(e) => {
@@ -2021,9 +2164,34 @@ impl ProductionSystem {
                 self.spans
                     .end(sp_cycle, span_cat::CYCLE, 0, || vec![("cycle", cycle)]);
                 self.finish_cycle_metrics(t_cycle);
+                self.record_flight_cycle(cycle, rule.name, false, t_cycle);
                 Err(e)
             }
         }
+    }
+
+    /// Append this cycle's summary row to the flight ring (no-op when the
+    /// recorder is off). Runs on success *and* failure so the black box
+    /// always holds the cycles leading up to a crash.
+    fn record_flight_cycle(&self, cycle: u64, rule: Symbol, ok: bool, t_cycle: Option<Instant>) {
+        if !self.flight.enabled() {
+            return;
+        }
+        let firings = self
+            .stats
+            .per_rule
+            .get(&rule)
+            .map(|r| r.firings)
+            .unwrap_or(0);
+        self.flight.record_cycle(&CycleRecord {
+            cycle,
+            rule,
+            ok,
+            firings,
+            wm_len: self.wm.len() as u64,
+            cs_len: self.cs.len() as u64,
+            nanos: t_cycle.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+        });
     }
 
     /// End-of-cycle telemetry: observe the whole-cycle histogram, then
@@ -2088,7 +2256,38 @@ impl ProductionSystem {
         let fired = outcome.fired;
         self.spans
             .end(sp_run, span_cat::RUN, 0, || vec![("fired", fired)]);
+        if outcome.reason.is_abnormal() {
+            // Black-box drain: flush live telemetry, then persist the
+            // flight rings as a crash bundle for offline post-mortem.
+            self.flush_trace();
+            if self.flight.enabled() {
+                let dir = self.crash_dir();
+                match crate::bundle::write(self, outcome.reason.label(), Some(&outcome), &dir) {
+                    Ok(path) => self.last_bundle = Some(path),
+                    Err(e) => eprintln!("sorete: failed to write crash bundle: {}", e),
+                }
+            }
+        }
         outcome
+    }
+
+    /// Write a bundle of the flight recorder's current contents on demand
+    /// (the REPL's `dump bundle`), into `dir` or the default crash
+    /// directory. Errors when the recorder is off.
+    pub fn dump_bundle(&mut self, dir: Option<&Path>) -> Result<PathBuf, CoreError> {
+        if !self.flight.enabled() {
+            return Err(CoreError::Rhs(
+                "flight recorder is off (--flight-recorder 0)".into(),
+            ));
+        }
+        let dir = dir
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| self.crash_dir());
+        self.flush_trace();
+        let path = crate::bundle::write(self, "manual", None, &dir)
+            .map_err(|e| CoreError::Durability(format!("write bundle: {}", e)))?;
+        self.last_bundle = Some(path.clone());
+        Ok(path)
     }
 
     fn run_inner(&mut self, limit: Option<u64>) -> RunOutcome {
@@ -2387,6 +2586,38 @@ impl ProductionSystem {
     /// The matcher backing this engine.
     pub fn matcher_name(&self) -> &'static str {
         self.matcher.algorithm_name()
+    }
+
+    /// Every loaded (non-excised) rule, sorted by name — the static rule
+    /// context crash bundles carry for offline `explain`/`why-not`.
+    pub fn loaded_rules(&self) -> Vec<Arc<AnalyzedRule>> {
+        let mut v: Vec<Arc<AnalyzedRule>> = self
+            .rule_ids
+            .values()
+            .map(|id| self.rules[id.index()].clone())
+            .collect();
+        v.sort_by(|a, b| a.name.as_str().cmp(b.name.as_str()));
+        v
+    }
+
+    /// Name of the rule behind a matcher rule id (stable across excise).
+    pub fn rule_name(&self, id: RuleId) -> Symbol {
+        self.rules[id.index()].name
+    }
+
+    /// Checkpoint generation this engine's state descends from.
+    pub fn checkpoint_generation(&self) -> u64 {
+        self.ckpt_gen
+    }
+
+    /// Path of the attached WAL, if any.
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.dur.as_ref().map(|d| d.wal.path().to_path_buf())
+    }
+
+    /// Generation of the attached WAL, if any.
+    pub fn wal_generation(&self) -> Option<u64> {
+        self.dur.as_ref().map(|d| d.wal.generation())
     }
 
     /// Ask the matcher to check its internal derived state (e.g. Rete's

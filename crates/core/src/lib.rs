@@ -38,6 +38,7 @@
 //! assert_eq!(ps.wm().len(), 1);
 //! ```
 
+pub mod bundle;
 pub mod conflict;
 pub mod durable;
 pub mod engine;
@@ -49,6 +50,7 @@ pub mod stats;
 pub mod supervisor;
 pub mod wm;
 
+pub use bundle::{BundleRule, CrashBundle};
 pub use conflict::{ConflictSet, Strategy};
 pub use durable::{Checkpoint, CycleMarker, KeySpec};
 pub use engine::{

@@ -40,8 +40,12 @@ use sorete_rete::ReteMatcher;
 use sorete_treat::TreatMatcher;
 use std::sync::{Arc, Mutex};
 
-/// Fixed shard count, independent of the worker count so the merged
+/// Default shard count, independent of the worker count so the merged
 /// delta stream is identical at every `--jobs` level (see module docs).
+/// Configurable per matcher via [`ParallelMatcher::with_pool_shards`]
+/// (`--shards N` on the CLI) — but still never derived from `jobs`, and
+/// changing it changes the partition map, so runs are only comparable at
+/// the same shard count.
 pub const PARTITIONS: usize = 8;
 
 /// A rule-partitioned parallel matcher over any [`MatcherKind`].
@@ -67,6 +71,20 @@ impl ParallelMatcher {
     /// Like [`ParallelMatcher::new`] with a shared pool, so the caller
     /// (engine, benches) can read back per-lane busy times.
     pub fn with_pool(kind: MatcherKind, pool: Arc<WorkerPool>) -> ParallelMatcher {
+        Self::with_pool_shards(kind, pool, PARTITIONS)
+    }
+
+    /// Like [`ParallelMatcher::with_pool`] with an explicit partition
+    /// count (`--shards N`). `shards` is clamped to at least 1. The
+    /// partition map — and therefore the merged delta stream — depends on
+    /// it, so checkpoint-compatible runs must keep it stable; it is still
+    /// never derived from `jobs`.
+    pub fn with_pool_shards(
+        kind: MatcherKind,
+        pool: Arc<WorkerPool>,
+        shards: usize,
+    ) -> ParallelMatcher {
+        let shards = shards.max(1);
         let make = |kind: MatcherKind| -> Box<dyn Matcher> {
             match kind {
                 MatcherKind::Rete => Box::new(ReteMatcher::new()),
@@ -76,7 +94,7 @@ impl ParallelMatcher {
             }
         };
         ParallelMatcher {
-            shards: (0..PARTITIONS).map(|_| Mutex::new(make(kind))).collect(),
+            shards: (0..shards).map(|_| Mutex::new(make(kind))).collect(),
             pool,
             spans: Spans::null(),
             name: match kind {
@@ -86,13 +104,18 @@ impl ParallelMatcher {
                 MatcherKind::Naive => "parallel-naive",
             },
             route: Vec::new(),
-            globals: vec![Vec::new(); PARTITIONS],
+            globals: vec![Vec::new(); shards],
         }
     }
 
     /// The shared pool (for busy-time accounting).
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// The partition count this matcher was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Rewrite a shard-local key into the global id space.

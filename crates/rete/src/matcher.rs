@@ -160,9 +160,9 @@ impl ReteMatcher {
     /// building or with no tracer attached, mirroring the stat counters).
     #[inline]
     fn trace_beta(&mut self, node: NodeId) {
-        if self.tracer.enabled() && !self.building {
+        if self.tracer.sinks_enabled() && !self.building {
             let kind = self.nodes[node].kind_label();
-            self.tracer.emit(|| TraceEvent::BetaActivation {
+            self.tracer.emit_physical(|| TraceEvent::BetaActivation {
                 node: node.index() as u32,
                 kind,
             });
@@ -836,7 +836,7 @@ impl Matcher for ReteMatcher {
             self.prof_enter(alpha_slot(a));
             self.amems[a].insert_wme(tag, wme);
             self.prof_exit();
-            self.tracer.emit(|| TraceEvent::AlphaActivation {
+            self.tracer.emit_physical(|| TraceEvent::AlphaActivation {
                 node: a.index() as u32,
                 tag,
                 insert: true,
@@ -925,7 +925,7 @@ impl Matcher for ReteMatcher {
             self.prof_enter(alpha_slot(a));
             self.amems[a].remove_wme(tag, wme);
             self.prof_exit();
-            self.tracer.emit(|| TraceEvent::AlphaActivation {
+            self.tracer.emit_physical(|| TraceEvent::AlphaActivation {
                 node: a.index() as u32,
                 tag,
                 insert: false,
@@ -1198,7 +1198,7 @@ impl ReteMatcher {
         };
         if let Some((n_eq, total, hits)) = probed {
             self.charge_probe(n_eq, total, hits);
-            self.tracer.emit(|| TraceEvent::JoinProbe {
+            self.tracer.emit_physical(|| TraceEvent::JoinProbe {
                 node: node.index() as u32,
                 hits,
                 scanned: total,
@@ -1314,7 +1314,7 @@ impl ReteMatcher {
                         let cands = self.amems[amem].probe(*alpha, &key);
                         self.charge_probe(*n_eq, total, cands.len() as u64);
                         let hits = cands.len() as u64;
-                        self.tracer.emit(|| TraceEvent::JoinProbe {
+                        self.tracer.emit_physical(|| TraceEvent::JoinProbe {
                             node: node.index() as u32,
                             hits,
                             scanned: total,
@@ -1396,7 +1396,7 @@ impl ReteMatcher {
                         let cands = self.amems[amem].probe(alpha, &key);
                         self.charge_probe(n_eq, total, cands.len() as u64);
                         let hits = cands.len() as u64;
-                        self.tracer.emit(|| TraceEvent::JoinProbe {
+                        self.tracer.emit_physical(|| TraceEvent::JoinProbe {
                             node: node.index() as u32,
                             hits,
                             scanned: total,

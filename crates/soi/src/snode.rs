@@ -238,7 +238,7 @@ impl SNode {
     ) {
         self.stats.activations += 1;
         let rule_name = self.rule.name;
-        self.tracer.emit(|| TraceEvent::SnodeActivation {
+        self.tracer.emit_physical(|| TraceEvent::SnodeActivation {
             rule: rule_name,
             insert: true,
         });
@@ -298,7 +298,7 @@ impl SNode {
             }
         }
         if touched > 0 {
-            self.tracer.emit(|| TraceEvent::AggregateUpdate {
+            self.tracer.emit_physical(|| TraceEvent::AggregateUpdate {
                 rule: rule_name,
                 count: touched,
             });
@@ -320,7 +320,7 @@ impl SNode {
     ) {
         self.stats.activations += 1;
         let rule_name = self.rule.name;
-        self.tracer.emit(|| TraceEvent::SnodeActivation {
+        self.tracer.emit_physical(|| TraceEvent::SnodeActivation {
             rule: rule_name,
             insert: false,
         });
@@ -356,7 +356,7 @@ impl SNode {
                 }
             }
             if touched > 0 {
-                self.tracer.emit(|| TraceEvent::AggregateUpdate {
+                self.tracer.emit_physical(|| TraceEvent::AggregateUpdate {
                     rule: rule_name,
                     count: touched,
                 });

@@ -1,7 +1,7 @@
 //! Process-level crash monkey: SIGKILL a WAL'd engine mid-run, resume it,
 //! and demand the recovered run end byte-identical to one that never died.
 //!
-//! Two modes in one binary:
+//! Three modes in one binary:
 //!
 //! - **Child** (`crash_monkey --child <wal> <cycles>`): attaches the WAL
 //!   (recovering whatever a previous incarnation committed), seeds the
@@ -19,6 +19,13 @@
 //!   tail looks like is what recovery gets. After the configured number
 //!   of kills it lets the final child run to completion and asserts the
 //!   monkey state file equals the oracle state file byte for byte.
+//!
+//! - **Bundle** (`crash_monkey --bundle <workdir>`): drives a rule panic
+//!   through an unsupervised engine, asserts the abnormal exit left a
+//!   valid crash bundle in `<workdir>`, re-loads it through the bundle
+//!   parser (the same code `sorete debug` runs on), and writes the bundle
+//!   path to `<workdir>/bundle-path` so a CI step can point `sorete
+//!   debug` at it.
 //!
 //! Exit codes: 0 on success, 1 on divergence or a child that failed for
 //! any reason other than being killed, 2 on usage errors.
@@ -211,6 +218,63 @@ fn driver(workdir: &Path, seed: u64, kills: u32, cycles: i64) -> Result<(), Stri
     Ok(())
 }
 
+/// `--bundle <workdir>`: panic a run on purpose, then hold the resulting
+/// crash bundle to the same bar `sorete debug` and `sorete fsck` apply.
+fn bundle_leg(workdir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(workdir).map_err(|e| format!("{}: {}", workdir.display(), e))?;
+    let mut ps = ProductionSystem::new(MatcherKind::Rete);
+    ps.load_program(PROG).expect("workload parses");
+    ps.set_crash_dir(workdir);
+    ps.set_invocation(std::env::args().collect());
+    ps.assert_wme(
+        Symbol::new("counter"),
+        vec![(Symbol::new("n"), Value::Int(0))],
+    )
+    .expect("seed counter");
+    ps.assert_wme(
+        Symbol::new("lim"),
+        vec![(Symbol::new("max"), Value::Int(50))],
+    )
+    .expect("seed limit");
+    // An unsupervised panic mid-run: the flight recorder's rings are the
+    // only record of what led up to it.
+    ps.inject_fault(sorete::core::FaultPlan::nth(7).panicking());
+    let outcome = ps.run(Some(100));
+    if !outcome.reason.is_abnormal() {
+        return Err(format!(
+            "expected an abnormal stop, got {:?}",
+            outcome.reason
+        ));
+    }
+    let bundle_dir = ps
+        .last_crash_bundle()
+        .ok_or("abnormal exit wrote no crash bundle")?
+        .to_path_buf();
+    // Load it back through the same parser `sorete debug` uses, and run
+    // the full fsck validation pass on top.
+    let bundle = sorete::core::CrashBundle::load(&bundle_dir)
+        .map_err(|e| format!("{}: {}", bundle_dir.display(), e))?;
+    if bundle.cycles.is_empty() || bundle.events.is_empty() {
+        return Err(format!(
+            "{}: bundle recorded {} cycle(s) and {} event(s) — black box is empty",
+            bundle_dir.display(),
+            bundle.cycles.len(),
+            bundle.events.len()
+        ));
+    }
+    let summary = ProductionSystem::fsck_bundle(&bundle_dir)
+        .map_err(|e| format!("fsck {}: {}", bundle_dir.display(), e))?;
+    bundle
+        .explain("bump")
+        .map_err(|e| format!("bundle explain: {}", e))?;
+    let path_file = workdir.join("bundle-path");
+    std::fs::write(&path_file, format!("{}\n", bundle_dir.display()))
+        .map_err(|e| format!("{}: {}", path_file.display(), e))?;
+    println!("crash-monkey: {}", summary);
+    println!("crash-monkey: bundle ok: {}", bundle_dir.display());
+    Ok(())
+}
+
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -221,6 +285,13 @@ fn main() -> std::process::ExitCode {
             },
             _ => {
                 eprintln!("usage: crash_monkey --child <wal> <cycles>");
+                return std::process::ExitCode::from(2);
+            }
+        },
+        Some("--bundle") => match &args[1..] {
+            [dir] => bundle_leg(Path::new(dir)),
+            _ => {
+                eprintln!("usage: crash_monkey --bundle <workdir>");
                 return std::process::ExitCode::from(2);
             }
         },
@@ -237,7 +308,7 @@ fn main() -> std::process::ExitCode {
             }
         }
         None => {
-            eprintln!("usage: crash_monkey <workdir> <seed> [kills] [cycles] | crash_monkey --child <wal> <cycles>");
+            eprintln!("usage: crash_monkey <workdir> <seed> [kills] [cycles] | crash_monkey --child <wal> <cycles> | crash_monkey --bundle <workdir>");
             return std::process::ExitCode::from(2);
         }
     };

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! sorete [OPTIONS] <program.ops>...
-//! sorete fsck <wal> [checkpoint]
+//! sorete fsck <wal-or-bundle> [checkpoint]
+//! sorete debug <bundle> [timeline|rules|perfetto <out>|explain <rule>|why-not <rule>]
 //!
 //! OPTIONS:
 //!   --matcher rete|rete-scan|treat|naive   match algorithm (default: rete)
@@ -43,12 +44,27 @@
 //!                                rule-partitioned parallel backend
 //!                                (0 = all hardware threads; also
 //!                                settable via SORETE_JOBS)
+//!   --shards <N>                 match-network partition count for the
+//!                                parallel backend (default: 8; exported
+//!                                as the sorete_shards gauge)
+//!   --flight-recorder <N|off>    flight-recorder ring capacity (default:
+//!                                4096 entries per ring, always on;
+//!                                `off` disables the black box)
+//!   --crash-dir <dir>            where crash bundles land (default: the
+//!                                WAL's directory, else the cwd)
 //!   --repl                       interactive session after loading
 //! ```
 //!
+//! The flight recorder is an always-on black box: fixed-capacity rings of
+//! logical trace events, closed spans, and per-cycle records. Any abnormal
+//! exit (panic, quarantine stall, resource exhaustion, run error) drains
+//! the rings into a `sorete-crash-<gen>-<cycle>/` bundle directory that
+//! `sorete debug` inspects offline and `sorete fsck` validates.
+//!
 //! `sorete fsck <wal> [checkpoint]` validates a log offline — CRC framing,
 //! commit points, generation pairing against the checkpoint — read-only,
-//! with one `fsck:` diagnostic line per finding.
+//! with one `fsck:` diagnostic line per finding. Pointed at a crash-bundle
+//! directory instead, it validates the bundle.
 //!
 //! Exit codes: `0` success · `2` usage/parse errors · `3` run errors
 //! (RHS failures, caught panics) · `4` resource exhausted (guards or hard
@@ -57,9 +73,10 @@
 //!
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
-//! `excise <rule>`, `explain <rule>`, `profile`, `wm`, `dump [file]`, `cs`,
-//! `stats`, `metrics`, `spans`, `watch [n]`, `checkpoint [file]`,
-//! `recover <ckpt>`, `quarantine <rule>`, `readmit <rule>`, `help`, `quit`.
+//! `excise <rule>`, `explain <rule>`, `why-not <rule>`, `profile`, `wm`,
+//! `dump [file]`, `dump bundle [dir]`, `cs`, `stats`, `metrics`, `spans`,
+//! `watch [n]`, `checkpoint [file]`, `recover <ckpt>`, `quarantine <rule>`,
+//! `readmit <rule>`, `help`, `quit`.
 
 use sorete::core::{
     BreakerPolicy, DegradationPolicy, MatcherKind, ProductionSystem, RetryPolicy, Strategy,
@@ -128,6 +145,16 @@ struct Options {
     /// lanes (0 = all hardware threads). `None` defers to `SORETE_JOBS`,
     /// falling back to the classic single-threaded backend.
     jobs: Option<usize>,
+    /// `--shards N`: match-network partition count for the parallel
+    /// backend. `None` keeps the default (8); a value without `--jobs`
+    /// still selects the parallel backend (one lane unless `SORETE_JOBS`).
+    shards: Option<usize>,
+    /// `--flight-recorder N|off`: per-ring flight-recorder capacity.
+    /// `None` keeps the always-on default; `Some(0)` (spelled `off`)
+    /// disables the black box entirely.
+    flight: Option<usize>,
+    /// `--crash-dir DIR`: where abnormal exits drop their crash bundle.
+    crash_dir: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -139,8 +166,10 @@ fn usage() -> &'static str {
      [--resume ckpt] [--checkpoint file] [--checkpoint-every N] \
      [--supervise] [--recovery abort|skip|rollback] [--quarantine-after N] \
      [--quarantine-window N] [--io-retries N] [--soft-mem BYTES] \
-     [--hard-mem BYTES] [--soft-wall-ms N] [--jobs N] [--repl] program.ops... \
-     | sorete fsck <wal> [ckpt]"
+     [--hard-mem BYTES] [--soft-wall-ms N] [--jobs N] [--shards N] \
+     [--flight-recorder N|off] [--crash-dir dir] [--repl] program.ops... \
+     | sorete fsck <wal-or-bundle> [ckpt] \
+     | sorete debug <bundle> [timeline|rules|perfetto <out>|explain <rule>|why-not <rule>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -176,6 +205,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         hard_mem: None,
         soft_wall_ms: None,
         jobs: None,
+        shards: None,
+        flight: None,
+        crash_dir: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -336,6 +368,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or("--jobs needs a worker count (0 = all hardware threads)")?,
                 );
             }
+            "--shards" => {
+                opts.shards = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--shards needs a positive partition count")?,
+                );
+            }
+            "--flight-recorder" => {
+                opts.flight = Some(match it.next().map(String::as_str) {
+                    Some("off") | Some("0") => 0,
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| "--flight-recorder needs a ring capacity or `off`")?,
+                    None => return Err("--flight-recorder needs a ring capacity or `off`".into()),
+                });
+            }
+            "--crash-dir" => match it.next() {
+                Some(d) => opts.crash_dir = Some(d.clone()),
+                None => return Err("--crash-dir needs a directory".into()),
+            },
             "--repl" => opts.repl = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option {}", other)),
@@ -537,7 +590,7 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "" => {}
             "quit" | "exit" | "q" => break,
             "help" | "?" => {
-                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | quarantine <rule> | readmit <rule> | explain <rule> | profile | wm | dump [file] | cs | stats | metrics | spans | watch [n] | checkpoint [file] | recover <ckpt> | quit");
+                println!("; run [n] | step | make (class ^a v …) | remove <tag> | excise <rule> | quarantine <rule> | readmit <rule> | explain <rule> | why-not <rule> | profile | wm | dump [file] | dump bundle [dir] | cs | stats | metrics | spans | watch [n] | checkpoint [file] | recover <ckpt> | quit");
             }
             "run" => {
                 let n: Option<u64> = rest.parse().ok();
@@ -547,6 +600,11 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                     eprintln!("; error after {} firings: {}", outcome.fired, e);
                 } else {
                     println!("; fired {} ({:?})", outcome.fired, outcome.reason);
+                }
+                if outcome.reason.is_abnormal() {
+                    if let Some(bundle) = ps.last_crash_bundle() {
+                        println!("; crash bundle: {}", bundle.display());
+                    }
                 }
             }
             "step" => match ps.step() {
@@ -592,6 +650,16 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
             "wm" => {
                 for wme in ps.wm().dump() {
                     println!("; {}", wme);
+                }
+            }
+            "dump" if rest == "bundle" || rest.starts_with("bundle ") => {
+                // Drain the flight recorder into a crash bundle on demand
+                // (same format an abnormal exit produces).
+                let dir = rest.strip_prefix("bundle").unwrap_or("").trim();
+                let target = (!dir.is_empty()).then(|| std::path::Path::new(dir));
+                match ps.dump_bundle(target) {
+                    Ok(path) => println!("; wrote crash bundle to {}", path.display()),
+                    Err(e) => println!("; error: {}", e),
                 }
             }
             "dump" => {
@@ -640,6 +708,14 @@ fn repl(ps: &mut ProductionSystem, limit: Option<u64>) {
                 }
             }
             "explain" => match ps.explain(rest) {
+                Ok(text) => {
+                    for l in text.lines() {
+                        println!("; {}", l);
+                    }
+                }
+                Err(e) => println!("; error: {}", e),
+            },
+            "why-not" => match ps.why_not(rest) {
                 Ok(text) => {
                     for l in text.lines() {
                         println!("; {}", l);
@@ -731,6 +807,43 @@ fn run_with_checkpoints(
     }
 }
 
+/// Append the crash-bundle path (if the abnormal exit produced one) to a
+/// failure message, so the operator's next step — `sorete debug <bundle>`
+/// — is right there in the error line.
+fn with_bundle_note(ps: &ProductionSystem, failure: Failure) -> Failure {
+    match ps.last_crash_bundle() {
+        Some(path) => (
+            failure.0,
+            format!("{}; crash bundle: {}", failure.1, path.display()),
+        ),
+        None => failure,
+    }
+}
+
+/// The most recently written `sorete-crash-*` bundle directory under
+/// `dir`, if any — surfaced in the recovery summary so a restart after a
+/// crash points straight at the black box from the run that died.
+fn latest_crash_bundle_in(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    let mut best: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with("sorete-crash-")
+            || !sorete::core::bundle::is_bundle_dir(&path)
+        {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if best.as_ref().is_none_or(|(t, _)| mtime >= *t) {
+            best = Some((mtime, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 /// Render a run's terminal `StopReason` to its typed exit, or `None` for
 /// the benign reasons (quiescence, halt, limit).
 fn outcome_failure(reason: &sorete::core::StopReason, fired: u64) -> Option<Failure> {
@@ -773,12 +886,35 @@ fn outcome_failure(reason: &sorete::core::StopReason, fired: u64) -> Option<Fail
 fn run(args: &[String]) -> Result<(), Failure> {
     let opts = parse_args(args).map_err(|e| (EXIT_USAGE, e))?;
 
-    let mut ps = match opts.jobs {
-        Some(n) => {
+    let mut ps = match (opts.jobs, opts.shards) {
+        (Some(n), Some(s)) => ProductionSystem::with_jobs_shards(
+            opts.matcher,
+            sorete::base::pool::resolve_jobs(Some(n)),
+            s,
+        ),
+        (Some(n), None) => {
             ProductionSystem::with_jobs(opts.matcher, sorete::base::pool::resolve_jobs(Some(n)))
         }
-        None => ProductionSystem::new(opts.matcher),
+        // `--shards` without `--jobs` still means the partitioned backend —
+        // shard count is a property of the parallel match network. Lane
+        // count defers to SORETE_JOBS, defaulting to one worker.
+        (None, Some(s)) => {
+            let jobs = match sorete::base::pool::jobs_from_env() {
+                Some(_) => sorete::base::pool::resolve_jobs(None),
+                None => 1,
+            };
+            ProductionSystem::with_jobs_shards(opts.matcher, jobs, s)
+        }
+        (None, None) => ProductionSystem::new(opts.matcher),
     };
+    // The crash-bundle manifest records how the process was started.
+    ps.set_invocation(std::env::args().collect());
+    if let Some(cap) = opts.flight {
+        ps.set_flight_recorder(cap);
+    }
+    if let Some(dir) = &opts.crash_dir {
+        ps.set_crash_dir(dir);
+    }
     // Every exit path — including the early `?` failures inside
     // `run_loaded` (checkpoint I/O, fact-file errors) — must flush
     // buffered telemetry, or a failed run loses its trace/metrics tail.
@@ -847,16 +983,26 @@ fn run_loaded(ps: &mut ProductionSystem, opts: &Options) -> Result<(), Failure> 
             .attach_wal(std::path::Path::new(path), wal_opts)
             .map_err(|e| (EXIT_DURABILITY, format!("{}: {}", path, e)))?;
         // The one-line recovery summary, printed even for a clean attach so
-        // scripted runs always have it to parse.
+        // scripted runs always have it to parse. A crash bundle next to the
+        // WAL is the black box from the run that died — point at it.
+        let bundle_note = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+            .map(std::path::Path::to_path_buf)
+            .or_else(|| Some(std::path::PathBuf::from(".")))
+            .and_then(|d| latest_crash_bundle_in(&d))
+            .map(|b| format!(" crash_bundle={}", b.display()))
+            .unwrap_or_default();
         eprintln!(
-            "; recovery: {}: replayed={} cycles={} commits={} stale_discarded={} uncommitted_discarded={} truncated_bytes={}",
+            "; recovery: {}: replayed={} cycles={} commits={} stale_discarded={} uncommitted_discarded={} truncated_bytes={}{}",
             path,
             report.replayed_ops,
             report.replayed_cycles,
             report.replayed_commits,
             report.stale_records,
             report.discarded_records,
-            report.truncated_bytes
+            report.truncated_bytes,
+            bundle_note
         );
         if report.replayed_ops > 0 || report.replayed_cycles > 0 || report.replayed_commits > 0 {
             eprintln!(
@@ -947,7 +1093,7 @@ fn run_loaded(ps: &mut ProductionSystem, opts: &Options) -> Result<(), Failure> 
                 sorete::core::StopReason::Limit => {}
                 reason => {
                     match outcome_failure(reason, total) {
-                        Some(failure) => run_error = Some(failure),
+                        Some(failure) => run_error = Some(with_bundle_note(ps, failure)),
                         None => eprintln!("; fired {} rules ({:?})", total, reason),
                     }
                     break;
@@ -961,7 +1107,7 @@ fn run_loaded(ps: &mut ProductionSystem, opts: &Options) -> Result<(), Failure> 
         };
         flush_output(ps);
         match outcome_failure(&outcome.reason, outcome.fired) {
-            Some(failure) => run_error = Some(failure),
+            Some(failure) => run_error = Some(with_bundle_note(ps, failure)),
             None => eprintln!("; fired {} rules ({:?})", outcome.fired, outcome.reason),
         }
     }
@@ -1059,6 +1205,59 @@ fn print_spans(ps: &mut ProductionSystem, opts: &Options) -> Result<(), Failure>
     Ok(())
 }
 
+/// `sorete debug <bundle> [cmd]`: the offline post-mortem inspector over
+/// a crash-bundle directory. With no subcommand it prints the validation
+/// summary plus the cycle timeline; `timeline`, `rules`, `perfetto <out>`,
+/// `explain <rule>`, and `why-not <rule>` drill in. `explain`/`why-not`
+/// render byte-identically to the live REPL verbs so transcripts diff
+/// cleanly against a re-run.
+fn debug(args: &[String]) -> Result<(), Failure> {
+    const DEBUG_USAGE: &str =
+        "usage: sorete debug <bundle> [timeline|rules|perfetto <out>|explain <rule>|why-not <rule>]";
+    let (dir, cmd) = match args {
+        [dir, rest @ ..] => (dir, rest),
+        [] => return Err((EXIT_USAGE, DEBUG_USAGE.into())),
+    };
+    let bundle = sorete::core::CrashBundle::load(std::path::Path::new(dir))
+        .map_err(|e| (EXIT_USAGE, format!("debug: {}: {}", dir, e)))?;
+    let cmd: Vec<&str> = cmd.iter().map(String::as_str).collect();
+    match cmd.as_slice() {
+        [] => {
+            println!("{}", bundle.validate_summary());
+            print!("{}", bundle.render_timeline());
+        }
+        ["timeline"] => print!("{}", bundle.render_timeline()),
+        ["rules"] => print!("{}", bundle.render_rules()),
+        ["perfetto", out] => {
+            let spans = bundle.spans.len();
+            std::fs::write(out, bundle.render_perfetto())
+                .map_err(|e| (EXIT_USAGE, format!("debug: {}: {}", out, e)))?;
+            eprintln!(
+                "; wrote Perfetto trace to {} ({} spans) — load it at https://ui.perfetto.dev",
+                out, spans
+            );
+        }
+        ["explain", rule] => {
+            let text = bundle
+                .explain(rule)
+                .map_err(|e| (EXIT_USAGE, format!("debug: {}", e)))?;
+            for l in text.lines() {
+                println!("; {}", l);
+            }
+        }
+        ["why-not", rule] => {
+            let text = bundle
+                .why_not(rule)
+                .map_err(|e| (EXIT_USAGE, format!("debug: {}", e)))?;
+            for l in text.lines() {
+                println!("; {}", l);
+            }
+        }
+        _ => return Err((EXIT_USAGE, DEBUG_USAGE.into())),
+    }
+    Ok(())
+}
+
 /// `sorete fsck <wal> [ckpt]`: offline durability validation. Reads both
 /// files without mutating them (no truncation, no replay into an engine)
 /// and reports CRC framing, the committed prefix, tail defects, and WAL /
@@ -1071,8 +1270,22 @@ fn fsck(args: &[String]) -> Result<(), Failure> {
     let (wal_path, ckpt_path) = match args {
         [w] => (w, None),
         [w, c] => (w, Some(c)),
-        _ => return Err((EXIT_USAGE, "usage: sorete fsck <wal> [ckpt]".into())),
+        _ => {
+            return Err((
+                EXIT_USAGE,
+                "usage: sorete fsck <wal-or-bundle> [ckpt]".into(),
+            ))
+        }
     };
+    // A crash-bundle directory instead of a WAL: validate the bundle
+    // (manifest magic, ring framing, TSV/rule tables all parse).
+    if sorete::core::bundle::is_bundle_dir(std::path::Path::new(wal_path)) {
+        let summary = ProductionSystem::fsck_bundle(std::path::Path::new(wal_path))
+            .map_err(|e| (EXIT_DURABILITY, format!("fsck: {}: {}", wal_path, e)))?;
+        println!("fsck: {}", summary);
+        println!("fsck: ok");
+        return Ok(());
+    }
     let scan = sorete::reldb::Wal::scan(std::path::Path::new(wal_path))
         .map_err(|e| (EXIT_DURABILITY, format!("fsck: {}", e)))?;
     println!(
@@ -1140,6 +1353,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("fsck") => fsck(&args[1..]),
+        Some("debug") => debug(&args[1..]),
         _ => run(&args),
     };
     match result {
@@ -1265,6 +1479,30 @@ mod tests {
             .collect();
         assert_eq!(parse_args(&jobs0).unwrap().jobs, Some(0));
         assert_eq!(parse_args(&ck).unwrap().jobs, None); // defers to SORETE_JOBS
+        let fr: Vec<String> = [
+            "--shards",
+            "4",
+            "--flight-recorder",
+            "1024",
+            "--crash-dir",
+            "bundles",
+            "p.ops",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_args(&fr).unwrap();
+        assert_eq!(o.shards, Some(4));
+        assert_eq!(o.flight, Some(1024));
+        assert_eq!(o.crash_dir.as_deref(), Some("bundles"));
+        let off: Vec<String> = ["--flight-recorder", "off", "p.ops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&off).unwrap().flight, Some(0)); // 0 = disabled
+        let o = parse_args(&ck).unwrap();
+        assert_eq!(o.shards, None); // default partition count
+        assert_eq!(o.flight, None); // recorder on at default capacity
     }
 
     #[test]
@@ -1290,6 +1528,11 @@ mod tests {
         assert!(bad(&["--checkpoint-every", "5", "p.ops"])); // no destination
         assert!(bad(&["--jobs"])); // missing worker count
         assert!(bad(&["--jobs", "many", "p.ops"])); // not a number
+        assert!(bad(&["--shards", "0", "p.ops"])); // zero partitions
+        assert!(bad(&["--shards"])); // missing count
+        assert!(bad(&["--flight-recorder", "lots", "p.ops"])); // not a capacity
+        assert!(bad(&["--flight-recorder"])); // missing capacity
+        assert!(bad(&["--crash-dir"])); // missing directory
         assert!(bad(&[])); // no program, no repl
     }
 

@@ -1279,3 +1279,270 @@ fn repl_spans_command() {
     assert!(stdout.contains("cycle"), "{}", stdout);
     assert!(stdout.contains("rhs"), "{}", stdout);
 }
+
+// ---------------------------------------------------------------------------
+// Flight recorder, crash bundles, and the offline inspector
+
+#[test]
+fn repl_explain_why_not_and_dump() {
+    let mut child = Command::new(bin())
+        .args(["--repl", &repo_file("programs/teams.ops")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    {
+        use std::io::Write;
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "explain RemoveDups").unwrap();
+        writeln!(stdin, "run").unwrap();
+        writeln!(stdin, "why-not RemoveDups").unwrap();
+        writeln!(stdin, "why-not no-such-rule").unwrap();
+        writeln!(stdin, "dump").unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Live explain before the run: the duplicate pair is in the CS.
+    assert!(stdout.contains("; explain RemoveDups — "), "{}", stdout);
+    assert!(
+        stdout.contains("instantiation(s) in the conflict set"),
+        "{}",
+        stdout
+    );
+    // After firing, why-not explains the now-empty CS.
+    assert!(stdout.contains("; why-not RemoveDups — "), "{}", stdout);
+    assert!(
+        stdout.contains("no rule named `no-such-rule`"),
+        "{}",
+        stdout
+    );
+    // `dump` (no args) still prints working memory as a fact file.
+    assert!(stdout.contains("(player ^name Ada ^team A)"), "{}", stdout);
+}
+
+#[test]
+fn repl_dump_bundle_writes_an_inspectable_bundle() {
+    let dir = cli_dir("repl-bundle");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut child = Command::new(bin())
+        .args(["--repl", &repo_file("programs/teams.ops")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    {
+        use std::io::Write;
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "make (player ^name Ada ^team A)").unwrap();
+        writeln!(stdin, "run").unwrap();
+        writeln!(stdin, "dump bundle {}", dir.display()).unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let bundle = stdout
+        .lines()
+        .find_map(|l| l.split("wrote crash bundle to ").nth(1))
+        .unwrap_or_else(|| panic!("no bundle line: {}", stdout))
+        .trim();
+    // Manual dumps are stamped stop=manual, and both inspectors take them.
+    let out = Command::new(bin())
+        .args(["debug", bundle])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let debug_out = String::from_utf8_lossy(&out.stdout);
+    assert!(debug_out.contains("stop=manual"), "{}", debug_out);
+    let out = Command::new(bin()).args(["fsck", bundle]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("fsck: ok"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn debug_explain_matches_the_live_flag_byte_for_byte() {
+    let dir = cli_dir("debug-diff");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (prog, wm) = write_poison_fixture();
+    for matcher in ["rete", "rete-scan", "treat", "naive"] {
+        // Live: the abnormal run prints --explain from the event log and
+        // drops a bundle on its way out.
+        let out = Command::new(bin())
+            .args(["--matcher", matcher, "--explain", "poison", "--crash-dir"])
+            .arg(&dir)
+            .args(["--wm", &wm, &prog])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(3));
+        let live: String = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("; "))
+            .map(|l| format!("{}\n", l))
+            .collect();
+        assert!(live.contains("explain poison"), "{}: {}", matcher, live);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let bundle = stderr
+            .lines()
+            .find_map(|l| l.split("crash bundle: ").nth(1))
+            .unwrap_or_else(|| panic!("{}: no bundle in {}", matcher, stderr))
+            .trim()
+            .to_string();
+        // Offline: same rule, same renderer, same bytes.
+        let out = Command::new(bin())
+            .args(["debug", &bundle, "explain", "poison"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            live,
+            "{}: offline explain diverged",
+            matcher
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn debug_usage_and_bad_bundles_are_typed() {
+    // No bundle dir at all.
+    let out = Command::new(bin()).arg("debug").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // A directory that is not a bundle.
+    let dir = cli_dir("not-a-bundle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(bin()).arg("debug").arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("debug:"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An unknown subcommand.
+    let (prog, wm) = write_poison_fixture();
+    let bdir = cli_dir("typed-bundle");
+    let _ = std::fs::remove_dir_all(&bdir);
+    std::fs::create_dir_all(&bdir).unwrap();
+    let out = Command::new(bin())
+        .args(["--crash-dir"])
+        .arg(&bdir)
+        .args(["--wm", &wm, &prog])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let bundle = std::fs::read_dir(&bdir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().starts_with("sorete-crash-"))
+        .expect("bundle written")
+        .path();
+    let out = Command::new(bin())
+        .args(["debug"])
+        .arg(&bundle)
+        .arg("frobnicate")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Perfetto re-emit from the bundle parses as a JSON array shell.
+    let trace = cli_dir("bundle-trace.json");
+    let out = Command::new(bin())
+        .args(["debug"])
+        .arg(&bundle)
+        .arg("perfetto")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        text.starts_with('{') && text.contains("\"traceEvents\""),
+        "{}",
+        &text[..text.len().min(80)]
+    );
+    let _ = std::fs::remove_dir_all(&bdir);
+}
+
+#[test]
+fn shards_flag_keeps_output_identical_and_exports_the_gauge() {
+    let base = Command::new(bin())
+        .args([
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .unwrap();
+    assert!(base.status.success());
+    for args in [
+        vec!["--shards", "2"],
+        vec!["--jobs", "2", "--shards", "4"],
+        vec!["--jobs", "2", "--shards", "1"],
+    ] {
+        let out = Command::new(bin())
+            .args(&args)
+            .args([
+                "--wm",
+                &repo_file("programs/teams.wm"),
+                &repo_file("programs/teams.ops"),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{:?}: {}",
+            args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The logical run is invariant under partitioning.
+        assert_eq!(out.stdout, base.stdout, "{:?}", args);
+    }
+    // The topology is observable: sorete_shards gauge in the exposition.
+    let prom = cli_dir("shards.prom");
+    let out = Command::new(bin())
+        .args(["--jobs", "2", "--shards", "4", "--metrics-prom"])
+        .arg(&prom)
+        .args([
+            "--wm",
+            &repo_file("programs/teams.wm"),
+            &repo_file("programs/teams.ops"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(text.contains("sorete_shards 4"), "{}", text);
+}

@@ -404,3 +404,200 @@ fn crash_monkey_kill_resume_matches_oracle() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Crash bundles at the process boundary: every abnormal exit leaves a
+// black box, the typed exit code still tells the tier, and the recovery
+// summary of the *next* run points back at the bundle.
+
+fn sorete_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sorete")
+}
+
+/// Counter-to-poison fixture on disk for spawning the real binary.
+fn poison_fixture(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).unwrap();
+    let prog = dir.join("poison.ops");
+    let wm = dir.join("poison.wm");
+    std::fs::write(
+        &prog,
+        "(literalize counter n)
+         (p bump
+           (counter ^n <x> < 5)
+           -->
+           (modify 1 ^n (compute <x> + 1)))
+         (p poison
+           (counter ^n {<x> 5})
+           -->
+           (modify 1 ^n (compute <x> / 0)))
+        ",
+    )
+    .unwrap();
+    std::fs::write(&wm, "(counter ^n 0)\n").unwrap();
+    (prog, wm)
+}
+
+#[test]
+fn abnormal_exit_has_typed_code_and_bundle_path_in_stderr() {
+    let dir = std::env::temp_dir().join(format!("sorete-sup-bundle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (prog, wm) = poison_fixture(&dir);
+
+    // Exit 3 (run error), and the error line names the bundle.
+    let out = std::process::Command::new(sorete_bin())
+        .args(["--crash-dir"])
+        .arg(&dir)
+        .args(["--wm"])
+        .arg(&wm)
+        .arg(&prog)
+        .output()
+        .expect("sorete runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let bundle_path = stderr
+        .lines()
+        .find_map(|l| l.split("crash bundle: ").nth(1))
+        .unwrap_or_else(|| panic!("no bundle path in stderr: {}", stderr))
+        .trim()
+        .to_string();
+    assert!(
+        std::path::Path::new(&bundle_path).join("MANIFEST").exists(),
+        "{}",
+        bundle_path
+    );
+
+    // The offline inspector parses what the dying process wrote.
+    let out = std::process::Command::new(sorete_bin())
+        .args(["debug", &bundle_path])
+        .output()
+        .expect("sorete debug runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crash bundle OK: stop=error"), "{}", stdout);
+    assert!(stdout.contains("poison"), "{}", stdout);
+
+    // Exit 6 (quarantine-stalled) is also abnormal and also bundles.
+    let out = std::process::Command::new(sorete_bin())
+        .args(["--supervise", "--quarantine-after", "1", "--crash-dir"])
+        .arg(&dir)
+        .args(["--wm"])
+        .arg(&wm)
+        .arg(&prog)
+        .output()
+        .expect("sorete runs");
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("crash bundle: "), "{}", stderr);
+
+    // Flight recorder off: same exit code, no bundle note.
+    let out = std::process::Command::new(sorete_bin())
+        .args(["--flight-recorder", "off", "--crash-dir"])
+        .arg(&dir)
+        .args(["--wm"])
+        .arg(&wm)
+        .arg(&prog)
+        .output()
+        .expect("sorete runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("crash bundle: "),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_summary_names_the_previous_runs_bundle() {
+    let dir = std::env::temp_dir().join(format!("sorete-sup-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (prog, wm) = poison_fixture(&dir);
+    let wal = dir.join("run.wal");
+
+    // First run dies abnormally next to its WAL — bundle lands in the
+    // WAL's directory by default, no --crash-dir needed.
+    let out = std::process::Command::new(sorete_bin())
+        .args(["--wal"])
+        .arg(&wal)
+        .args(["--wm"])
+        .arg(&wm)
+        .arg(&prog)
+        .output()
+        .expect("sorete runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("crash bundle: "),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The restart's recovery summary points at that bundle.
+    let out = std::process::Command::new(sorete_bin())
+        .args(["--wal"])
+        .arg(&wal)
+        .arg(&prog)
+        .output()
+        .expect("sorete runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let recovery = stderr
+        .lines()
+        .find(|l| l.starts_with("; recovery: "))
+        .unwrap_or_else(|| panic!("no recovery line: {}", stderr));
+    assert!(
+        recovery.contains("crash_bundle="),
+        "recovery line lacks the bundle: {}",
+        recovery
+    );
+    assert!(recovery.contains("sorete-crash-"), "{}", recovery);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_monkey_bundle_leg_validates_the_black_box() {
+    let dir = std::env::temp_dir().join(format!("sorete-monkey-bundle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_crash_monkey"))
+        .arg("--bundle")
+        .arg(&dir)
+        .output()
+        .expect("crash_monkey runs");
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bundle ok: "), "{}", stdout);
+    // The advertised path parses with `sorete debug`.
+    let listed = std::fs::read_to_string(dir.join("bundle-path")).unwrap();
+    let out = std::process::Command::new(sorete_bin())
+        .args(["debug", listed.trim(), "timeline"])
+        .output()
+        .expect("sorete debug runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("stop=panicked"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
