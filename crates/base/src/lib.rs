@@ -25,6 +25,7 @@ pub mod hash;
 pub mod inst;
 pub mod metrics;
 pub mod pool;
+pub mod shutdown;
 pub mod span;
 pub mod symbol;
 pub mod trace;

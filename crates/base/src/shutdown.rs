@@ -1,0 +1,136 @@
+//! Process-wide graceful-shutdown signal plumbing.
+//!
+//! A long-lived sorete process (the CLI runner in `--watch` mode, or the
+//! `sorete-server` daemon) wants SIGTERM/SIGINT to mean "stop at the next
+//! safe point and checkpoint", not "die mid-firing". The only thing that is
+//! async-signal-safe to do in a handler is flip an atomic flag, so that is
+//! all this module's handler does; everything else (checkpointing, closing
+//! listeners, exiting with a typed code) happens on ordinary threads that
+//! poll [`requested`] or an [`Arc<AtomicBool>`] bridged with [`bridge`].
+//!
+//! The handlers are installed with a tiny `extern "C"` binding to
+//! `signal(2)` rather than a libc crate, keeping the dependency footprint
+//! at zero. On non-unix platforms [`install`] is a no-op and [`requested`]
+//! only ever reports `true` if [`request`] was called from Rust code.
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::Arc;
+
+/// SIGINT signal number (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// SIGTERM signal number (orchestrator-initiated stop).
+pub const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+#[cfg(unix)]
+mod sys {
+    use super::{LAST_SIGNAL, SHUTDOWN};
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        // Async-signal-safe: store-only.
+        LAST_SIGNAL.store(signum, Ordering::SeqCst);
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install(signum: i32) {
+        unsafe {
+            signal(signum, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install(_signum: i32) {}
+}
+
+/// Install SIGTERM and SIGINT handlers that set the process-wide shutdown
+/// flag. Idempotent; safe to call more than once.
+pub fn install() {
+    sys::install(SIGTERM);
+    sys::install(SIGINT);
+}
+
+/// Has a shutdown been requested (by signal or by [`request`])?
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// The signal number that triggered shutdown (0 if none, or if the request
+/// came from [`request`] without a signal name).
+pub fn last_signal() -> i32 {
+    LAST_SIGNAL.load(Ordering::SeqCst)
+}
+
+/// Human-readable name for the signal that triggered shutdown.
+pub fn last_signal_name() -> &'static str {
+    match last_signal() {
+        SIGINT => "SIGINT",
+        SIGTERM => "SIGTERM",
+        _ => "shutdown",
+    }
+}
+
+/// Request shutdown from Rust code (tests, an admin endpoint, a watchdog).
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clear the flag. Only for tests — a real process should stay shut down.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    LAST_SIGNAL.store(0, Ordering::SeqCst);
+}
+
+/// Spawn a watcher thread that mirrors the process-wide flag into `flag`
+/// (e.g. a `ProductionSystem` interrupt flag) so an engine buried in a run
+/// loop notices the signal without polling a global. The thread exits once
+/// the flag has been propagated or `stop` is set.
+pub fn bridge(flag: Arc<AtomicBool>, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("sorete-shutdown-bridge".into())
+        .spawn(move || loop {
+            if requested() {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        })
+        .expect("spawn shutdown bridge")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the flag is process-global and the test
+    // harness runs tests concurrently.
+    #[test]
+    fn request_reset_and_bridge() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        assert_eq!(last_signal_name(), "shutdown");
+        reset();
+        assert!(!requested());
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let h = bridge(flag.clone(), stop.clone());
+        request();
+        h.join().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+        reset();
+    }
+}

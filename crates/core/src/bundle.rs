@@ -220,6 +220,53 @@ pub fn write(
     Ok(bundle)
 }
 
+/// Default bundle-retention cap: the newest 8 bundles survive pruning.
+pub const DEFAULT_CRASH_KEEP: usize = 8;
+
+/// Cap the number of `sorete-crash-*` bundle directories under `dir`:
+/// keep the newest `keep`, remove the rest oldest-first, and return the
+/// removed paths. Age is the directory's mtime with the name as a
+/// deterministic tie-break (collision suffixes sort after their stem, so
+/// same-instant bundles still prune in creation order). `keep == 0`
+/// disables pruning — retention is a cap, never "delete everything".
+/// Non-bundle directories that merely share the name prefix are left
+/// alone, as are I/O errors: pruning is best-effort and must never fail
+/// a crash dump.
+pub fn prune(dir: &Path, keep: usize) -> Vec<PathBuf> {
+    if keep == 0 {
+        return Vec::new();
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut bundles: Vec<(std::time::SystemTime, String, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let path = entry.path();
+        if !name.starts_with("sorete-crash-") || !is_bundle_dir(&path) {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        bundles.push((mtime, name, path));
+    }
+    if bundles.len() <= keep {
+        return Vec::new();
+    }
+    // Oldest first; the tail `keep` survive.
+    bundles.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let doomed = bundles.len() - keep;
+    let mut removed = Vec::new();
+    for (_, _, path) in bundles.into_iter().take(doomed) {
+        if std::fs::remove_dir_all(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    removed
+}
+
 /// One conflict-set entry as recorded in `conflict.tsv`.
 #[derive(Clone, Debug)]
 pub struct BundleConflictItem {
@@ -571,5 +618,84 @@ impl ProductionSystem {
     pub fn fsck_bundle(dir: &Path) -> Result<String, CoreError> {
         let b = CrashBundle::load(dir).map_err(CoreError::Durability)?;
         Ok(b.validate_summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sorete-bundle-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A directory that `is_bundle_dir` accepts, with a controllable age.
+    fn fake_bundle(base: &Path, name: &str, age_secs: u64) -> PathBuf {
+        let dir = base.join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST"), MAGIC).unwrap();
+        // Backdate via the only std-level knob: re-create with an mtime
+        // ordered by creation. Creation order alone is not reliable at
+        // filesystem timestamp granularity, so spread the ages with an
+        // explicit File::set_times when available; fall back to sleeping
+        // one timestamp tick.
+        let f = std::fs::File::open(&dir).unwrap();
+        let t = std::time::SystemTime::now() - std::time::Duration::from_secs(age_secs);
+        let _ = f.set_times(std::fs::FileTimes::new().set_modified(t));
+        dir
+    }
+
+    #[test]
+    fn prune_removes_oldest_first() {
+        let base = temp_dir("prune");
+        let oldest = fake_bundle(&base, "sorete-crash-0-1", 300);
+        let middle = fake_bundle(&base, "sorete-crash-0-2", 200);
+        let newest = fake_bundle(&base, "sorete-crash-0-3", 100);
+        // A same-prefix directory that is NOT a bundle must be spared.
+        let decoy = base.join("sorete-crash-notes");
+        std::fs::create_dir_all(&decoy).unwrap();
+
+        let removed = prune(&base, 2);
+        assert_eq!(removed, vec![oldest.clone()], "oldest goes first");
+        assert!(!oldest.exists());
+        assert!(middle.exists() && newest.exists() && decoy.exists());
+
+        let removed = prune(&base, 1);
+        assert_eq!(removed, vec![middle]);
+        assert!(newest.exists());
+
+        // At or under the cap: nothing to do.
+        assert!(prune(&base, 1).is_empty());
+        assert!(newest.exists());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn prune_zero_keeps_everything() {
+        let base = temp_dir("prune-zero");
+        let b = fake_bundle(&base, "sorete-crash-0-1", 100);
+        assert!(prune(&base, 0).is_empty());
+        assert!(b.exists());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn prune_ties_break_by_name() {
+        let base = temp_dir("prune-ties");
+        // Identical mtimes: the collision suffixes decide, `.2` after the
+        // stem, so the stem (the earlier crash) is pruned first.
+        let stem = fake_bundle(&base, "sorete-crash-0-7", 100);
+        let later = fake_bundle(&base, "sorete-crash-0-7.2", 100);
+        let f = std::fs::File::open(&stem).unwrap();
+        let meta = std::fs::metadata(&later).unwrap();
+        let _ = f.set_times(std::fs::FileTimes::new().set_modified(meta.modified().unwrap()));
+        let removed = prune(&base, 1);
+        assert_eq!(removed, vec![stem]);
+        assert!(later.exists());
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -178,6 +178,13 @@ pub enum StopReason {
         /// The quarantined rules, sorted by name.
         rules: Vec<Symbol>,
     },
+    /// The operator asked the run to stop: the interrupt flag installed
+    /// with [`ProductionSystem::set_interrupt`] was raised (SIGTERM /
+    /// SIGINT, a server shutdown, a cancelled request). The engine
+    /// stopped at a firing boundary, so every committed cycle is intact
+    /// — this is a *normal* end, distinguished so orchestrators can tell
+    /// "asked to stop, checkpointed cleanly" from failure.
+    Interrupted,
 }
 
 impl StopReason {
@@ -188,7 +195,7 @@ impl StopReason {
     pub fn is_abnormal(&self) -> bool {
         !matches!(
             self,
-            StopReason::Quiescence | StopReason::Halt | StopReason::Limit
+            StopReason::Quiescence | StopReason::Halt | StopReason::Limit | StopReason::Interrupted
         )
     }
 
@@ -203,6 +210,7 @@ impl StopReason {
             StopReason::Error(_) => "error",
             StopReason::Panicked { .. } => "panicked",
             StopReason::Quarantined { .. } => "quarantined",
+            StopReason::Interrupted => "interrupted",
         }
     }
 }
@@ -581,6 +589,13 @@ pub struct ProductionSystem {
     /// Path of the most recent crash bundle written by [`Self::run`] or
     /// [`Self::dump_bundle`].
     last_bundle: Option<PathBuf>,
+    /// Bundle retention cap applied after every bundle write (newest N
+    /// survive; 0 disables pruning). Seeded from `SORETE_CRASH_KEEP`,
+    /// overridden by [`Self::set_crash_keep`] (`--crash-keep`).
+    crash_keep: usize,
+    /// Cooperative cancellation flag checked between firings; `None`
+    /// until [`Self::set_interrupt`].
+    interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl ProductionSystem {
@@ -681,6 +696,11 @@ impl ProductionSystem {
             invocation: Vec::new(),
             crash_dir: None,
             last_bundle: None,
+            crash_keep: std::env::var("SORETE_CRASH_KEEP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(crate::bundle::DEFAULT_CRASH_KEEP),
+            interrupt: None,
         };
         // The default tracer must carry the always-on flight recorder.
         ps.rebuild_tracer();
@@ -748,6 +768,37 @@ impl ProductionSystem {
     /// Path of the most recent crash bundle this engine wrote, if any.
     pub fn last_crash_bundle(&self) -> Option<&Path> {
         self.last_bundle.as_deref()
+    }
+
+    /// Bundle retention cap: after every bundle write, only the newest
+    /// `keep` `sorete-crash-*` directories in the crash directory survive
+    /// ([`crate::bundle::prune`], oldest removed first). `0` disables
+    /// pruning. Defaults to `SORETE_CRASH_KEEP`, else
+    /// [`crate::bundle::DEFAULT_CRASH_KEEP`].
+    pub fn set_crash_keep(&mut self, keep: usize) {
+        self.crash_keep = keep;
+    }
+
+    /// The active bundle-retention cap (see [`Self::set_crash_keep`]).
+    pub fn crash_keep(&self) -> usize {
+        self.crash_keep
+    }
+
+    /// Install a cooperative interrupt flag. [`Self::run`] checks it
+    /// between firings; once it reads `true` the run stops at the next
+    /// firing boundary with [`StopReason::Interrupted`] (cutting an
+    /// orderly checkpoint first when supervision has a checkpoint path).
+    /// Committed state is never torn: the flag is only honoured between
+    /// cycles. Share one flag across engines to broadcast a shutdown.
+    pub fn set_interrupt(&mut self, flag: Arc<std::sync::atomic::AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// True when an installed interrupt flag is currently raised.
+    pub fn interrupt_requested(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// Cumulative per-lane busy nanoseconds of the match worker pool
@@ -2263,7 +2314,10 @@ impl ProductionSystem {
             if self.flight.enabled() {
                 let dir = self.crash_dir();
                 match crate::bundle::write(self, outcome.reason.label(), Some(&outcome), &dir) {
-                    Ok(path) => self.last_bundle = Some(path),
+                    Ok(path) => {
+                        self.last_bundle = Some(path);
+                        crate::bundle::prune(&dir, self.crash_keep);
+                    }
                     Err(e) => eprintln!("sorete: failed to write crash bundle: {}", e),
                 }
             }
@@ -2287,6 +2341,7 @@ impl ProductionSystem {
         let path = crate::bundle::write(self, "manual", None, &dir)
             .map_err(|e| CoreError::Durability(format!("write bundle: {}", e)))?;
         self.last_bundle = Some(path.clone());
+        crate::bundle::prune(&dir, self.crash_keep);
         Ok(path)
     }
 
@@ -2308,6 +2363,15 @@ impl ProductionSystem {
                         reason: StopReason::Limit,
                     };
                 }
+            }
+            if self.interrupt_requested() {
+                // Operator-requested stop: cut an orderly checkpoint when
+                // supervision has one configured, then end normally.
+                self.orderly_halt_checkpoint();
+                return RunOutcome {
+                    fired,
+                    reason: StopReason::Interrupted,
+                };
             }
             if let Some(v) = self.check_guards(start) {
                 self.tracer.emit(|| TraceEvent::GuardTrip {

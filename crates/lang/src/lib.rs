@@ -24,6 +24,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod eval;
+pub mod json;
 pub mod matcher;
 pub mod parser;
 pub mod printer;

@@ -1,0 +1,252 @@
+//! The `sorete-server bench` load harness: concurrent sessions × assert
+//! throughput at bounded p95 latency, recorded to `BENCH_server.json`.
+//!
+//! Two configs per run over the same workload shape:
+//!
+//! - `single_session`: one client, one session — the baseline.
+//! - `multi_session`: N clients, N sessions, concurrently.
+//!
+//! The gate consumes the *ratio* of multi/single throughput (Floor) plus
+//! the error/timeout counters (Exact zero under the no-fault run), which
+//! keeps the check host-independent.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sorete_lang::json::Json;
+
+use crate::client::Client;
+use crate::server::{Server, ServerConfig};
+
+/// Load-harness parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent sessions in the `multi_session` config.
+    pub sessions: usize,
+    /// Assert-batches per session.
+    pub batches: usize,
+    /// Facts per batch.
+    pub facts_per_batch: usize,
+    /// Where session data lives (a temp dir is created when `None`).
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            sessions: 8,
+            batches: 40,
+            facts_per_batch: 25,
+            data_dir: None,
+        }
+    }
+}
+
+/// One measured row of `BENCH_server.json`.
+#[derive(Clone, Debug)]
+pub struct LoadRow {
+    /// `single_session` or `multi_session`.
+    pub config: &'static str,
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Batches per session.
+    pub batches: usize,
+    /// Facts per batch.
+    pub facts_per_batch: usize,
+    /// Sustained facts asserted per second across all sessions.
+    pub asserts_per_sec: u64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_micros: u64,
+    /// Requests answered with a non-timeout error.
+    pub errors: u64,
+    /// Requests answered with a `timeout` error.
+    pub timeouts: u64,
+}
+
+impl LoadRow {
+    /// Render as one JSON object for `BENCH_server.json`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".into(), Json::Str(self.config.into())),
+            ("sessions".into(), Json::Int(self.sessions as i64)),
+            ("batches".into(), Json::Int(self.batches as i64)),
+            (
+                "facts_per_batch".into(),
+                Json::Int(self.facts_per_batch as i64),
+            ),
+            (
+                "asserts_per_sec".into(),
+                Json::Int(self.asserts_per_sec as i64),
+            ),
+            ("p95_micros".into(), Json::Int(self.p95_micros as i64)),
+            ("errors".into(), Json::Int(self.errors as i64)),
+            ("timeouts".into(), Json::Int(self.timeouts as i64)),
+        ])
+    }
+}
+
+const BENCH_PROGRAM: &str = "(p watch [item ^v 0] (halt))";
+
+fn batch_line(session: &str, facts: usize, base: usize) -> String {
+    let mut s = format!(
+        r#"{{"op":"assert-batch","session":"{}","deadline_ms":30000,"facts":["#,
+        session
+    );
+    for i in 0..facts {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            r#"{{"class":"item","slots":{{"v":{}}}}}"#,
+            base + i + 1
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+struct ClientTally {
+    latencies: Vec<u64>,
+    errors: u64,
+    timeouts: u64,
+}
+
+fn drive_session(addr: &str, session: &str, batches: usize, facts: usize) -> ClientTally {
+    let mut tally = ClientTally {
+        latencies: Vec::with_capacity(batches + 2),
+        errors: 0,
+        timeouts: 0,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let send = |c: &mut Client, line: &str, t: &mut ClientTally| {
+        let start = Instant::now();
+        match c.request(line) {
+            Ok(resp) => {
+                t.latencies.push(start.elapsed().as_micros() as u64);
+                if resp.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+                    match resp.get("error").and_then(|v| v.as_str()) {
+                        Some("timeout") => t.timeouts += 1,
+                        _ => t.errors += 1,
+                    }
+                }
+            }
+            Err(_) => t.errors += 1,
+        }
+    };
+    send(
+        &mut client,
+        &format!(r#"{{"op":"open-session","session":"{}"}}"#, session),
+        &mut tally,
+    );
+    send(
+        &mut client,
+        &Json::Obj(vec![
+            ("op".into(), Json::Str("load-rules".into())),
+            ("session".into(), Json::Str(session.into())),
+            ("program".into(), Json::Str(BENCH_PROGRAM.into())),
+        ])
+        .render(),
+        &mut tally,
+    );
+    for b in 0..batches {
+        let line = batch_line(session, facts, b * facts);
+        send(&mut client, &line, &mut tally);
+    }
+    send(
+        &mut client,
+        &format!(
+            r#"{{"op":"run","session":"{}","limit":1,"deadline_ms":30000}}"#,
+            session
+        ),
+        &mut tally,
+    );
+    tally
+}
+
+fn measure(config: &'static str, sessions: usize, load: &LoadConfig) -> LoadRow {
+    let dir = load.data_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sorete-bench-{}-{}", std::process::id(), config))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(ServerConfig {
+        data_dir: dir.clone(),
+        max_sessions: sessions + 2,
+        max_connections: sessions + 2,
+        default_deadline_ms: 30_000,
+        ..ServerConfig::default()
+    })
+    .expect("bind bench server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let ctx = server.ctx();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let addr = addr.clone();
+            let name = format!("bench-{}", i);
+            let (batches, facts) = (load.batches, load.facts_per_batch);
+            std::thread::spawn(move || drive_session(&addr, &name, batches, facts))
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0;
+    let mut timeouts = 0;
+    for h in handles {
+        let t = h.join().expect("bench client");
+        latencies.extend(t.latencies);
+        errors += t.errors;
+        timeouts += t.timeouts;
+    }
+    let elapsed = start.elapsed().max(Duration::from_micros(1));
+    ctx.request_stop();
+    let _ = server_thread.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_unstable();
+    let p95 = if latencies.is_empty() {
+        0
+    } else {
+        latencies[(latencies.len() - 1).min(latencies.len() * 95 / 100)]
+    };
+    let total_facts = (sessions * load.batches * load.facts_per_batch) as f64;
+    LoadRow {
+        config,
+        sessions,
+        batches: load.batches,
+        facts_per_batch: load.facts_per_batch,
+        asserts_per_sec: (total_facts / elapsed.as_secs_f64()) as u64,
+        p95_micros: p95,
+        errors,
+        timeouts,
+    }
+}
+
+/// Run the load harness: a single-session baseline, then the concurrent
+/// multi-session config. Returns the two measured rows.
+pub fn run_server_load(load: &LoadConfig) -> Vec<LoadRow> {
+    vec![
+        measure("single_session", 1, load),
+        measure("multi_session", load.sessions.max(2), load),
+    ]
+}
+
+/// Render rows as the `BENCH_server.json` document.
+pub fn render_rows(rows: &[LoadRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str("  ");
+        s.push_str(&r.to_json().render());
+    }
+    s.push_str("\n]\n");
+    s
+}

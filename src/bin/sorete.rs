@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sorete [OPTIONS] <program.ops>...
+//! sorete serve [server options]       run the sorete-server daemon
 //! sorete fsck <wal-or-bundle> [checkpoint]
 //! sorete debug <bundle> [timeline|rules|perfetto <out>|explain <rule>|why-not <rule>]
 //!
@@ -52,6 +53,11 @@
 //!                                `off` disables the black box)
 //!   --crash-dir <dir>            where crash bundles land (default: the
 //!                                WAL's directory, else the cwd)
+//!   --crash-keep <N>             keep only the newest N crash bundles in
+//!                                the crash dir, pruned oldest-first at
+//!                                bundle-write time (default: 8; also
+//!                                settable via SORETE_CRASH_KEEP; 0 keeps
+//!                                everything)
 //!   --repl                       interactive session after loading
 //! ```
 //!
@@ -69,7 +75,10 @@
 //! Exit codes: `0` success · `2` usage/parse errors · `3` run errors
 //! (RHS failures, caught panics) · `4` resource exhausted (guards or hard
 //! degradation budgets) · `5` durability errors (WAL, checkpoint, fsck
-//! failures) · `6` quarantine-exhausted (only quarantined work remained).
+//! failures) · `6` quarantine-exhausted (only quarantined work remained) ·
+//! `7` interrupted (SIGTERM/SIGINT graceful shutdown: the run stopped at a
+//! firing boundary and checkpointed where configured — orchestrators can
+//! tell "asked to stop, stopped cleanly" from failure).
 //!
 //! A facts file holds one WME per s-expression: `(player ^name Jack ^team A)`.
 //! The REPL accepts `run [n]`, `step`, `make (class ^a v …)`, `remove <tag>`,
@@ -105,6 +114,9 @@ const EXIT_DURABILITY: u8 = 5;
 /// The run stalled with every remaining fireable instantiation behind
 /// quarantined rules.
 const EXIT_QUARANTINE: u8 = 6;
+/// SIGTERM/SIGINT graceful shutdown: the run stopped at a firing boundary
+/// (and checkpointed where configured) because the operator asked it to.
+const EXIT_INTERRUPTED: u8 = 7;
 
 /// A CLI failure: the process exit code plus the message for stderr.
 type Failure = (u8, String);
@@ -155,6 +167,10 @@ struct Options {
     flight: Option<usize>,
     /// `--crash-dir DIR`: where abnormal exits drop their crash bundle.
     crash_dir: Option<String>,
+    /// `--crash-keep N`: retention cap for crash bundles (newest N kept,
+    /// pruned oldest-first at bundle-write time). `None` defers to
+    /// `SORETE_CRASH_KEEP`, falling back to the default of 8.
+    crash_keep: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -167,7 +183,9 @@ fn usage() -> &'static str {
      [--supervise] [--recovery abort|skip|rollback] [--quarantine-after N] \
      [--quarantine-window N] [--io-retries N] [--soft-mem BYTES] \
      [--hard-mem BYTES] [--soft-wall-ms N] [--jobs N] [--shards N] \
-     [--flight-recorder N|off] [--crash-dir dir] [--repl] program.ops... \
+     [--flight-recorder N|off] [--crash-dir dir] [--crash-keep N] [--repl] \
+     program.ops... \
+     | sorete serve [server options] \
      | sorete fsck <wal-or-bundle> [ckpt] \
      | sorete debug <bundle> [timeline|rules|perfetto <out>|explain <rule>|why-not <rule>]"
 }
@@ -208,6 +226,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards: None,
         flight: None,
         crash_dir: None,
+        crash_keep: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -388,6 +407,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--crash-dir" => match it.next() {
                 Some(d) => opts.crash_dir = Some(d.clone()),
                 None => return Err("--crash-dir needs a directory".into()),
+            },
+            "--crash-keep" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => opts.crash_keep = Some(n),
+                other => return Err(format!("bad --crash-keep {:?}", other)),
             },
             "--repl" => opts.repl = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -879,6 +902,17 @@ fn outcome_failure(reason: &sorete::core::StopReason, fired: u64) -> Option<Fail
                 ),
             ))
         }
+        // The one-line graceful-shutdown summary: a *clean* stop at a
+        // firing boundary, typed so orchestrators can tell it from failure.
+        StopReason::Interrupted => Some((
+            EXIT_INTERRUPTED,
+            format!(
+                "interrupted ({}): stopped cleanly at a firing boundary after {} firings, \
+                 checkpointed where configured",
+                sorete::base::shutdown::last_signal_name(),
+                fired
+            ),
+        )),
         _ => None,
     }
 }
@@ -915,11 +949,24 @@ fn run(args: &[String]) -> Result<(), Failure> {
     if let Some(dir) = &opts.crash_dir {
         ps.set_crash_dir(dir);
     }
+    if let Some(keep) = opts.crash_keep {
+        ps.set_crash_keep(keep);
+    }
+    // SIGTERM/SIGINT mean "stop at the next firing boundary, checkpoint
+    // where configured, exit 7" — not "die mid-firing". The bridge thread
+    // mirrors the process-wide signal flag into the engine's interrupt.
+    sorete::base::shutdown::install();
+    let interrupt = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    ps.set_interrupt(interrupt.clone());
+    let bridge_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let bridge = sorete::base::shutdown::bridge(interrupt, bridge_stop.clone());
     // Every exit path — including the early `?` failures inside
     // `run_loaded` (checkpoint I/O, fact-file errors) — must flush
     // buffered telemetry, or a failed run loses its trace/metrics tail.
     let result = run_loaded(&mut ps, &opts);
     ps.flush_trace();
+    bridge_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = bridge.join();
     result
 }
 
@@ -1354,6 +1401,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("fsck") => fsck(&args[1..]),
         Some("debug") => debug(&args[1..]),
+        // The daemon: everything after `serve` is a sorete-server option.
+        Some("serve") => return ExitCode::from(sorete::server::cli_main(&args) as u8),
         _ => run(&args),
     };
     match result {
@@ -1486,6 +1535,8 @@ mod tests {
             "1024",
             "--crash-dir",
             "bundles",
+            "--crash-keep",
+            "3",
             "p.ops",
         ]
         .iter()
@@ -1495,6 +1546,8 @@ mod tests {
         assert_eq!(o.shards, Some(4));
         assert_eq!(o.flight, Some(1024));
         assert_eq!(o.crash_dir.as_deref(), Some("bundles"));
+        assert_eq!(o.crash_keep, Some(3));
+        assert_eq!(parse_args(&ck).unwrap().crash_keep, None); // defers to env/default
         let off: Vec<String> = ["--flight-recorder", "off", "p.ops"]
             .iter()
             .map(|s| s.to_string())
@@ -1524,6 +1577,8 @@ mod tests {
         assert!(bad(&["--wal"])); // missing file
         assert!(bad(&["--resume"])); // missing checkpoint
         assert!(bad(&["--group-commit", "0", "p.ops"])); // zero commits
+        assert!(bad(&["--crash-keep"])); // missing count
+        assert!(bad(&["--crash-keep", "several", "p.ops"])); // not a number
         assert!(bad(&["--checkpoint-every", "0", "p.ops"])); // zero firings
         assert!(bad(&["--checkpoint-every", "5", "p.ops"])); // no destination
         assert!(bad(&["--jobs"])); // missing worker count

@@ -7,5 +7,6 @@ pub use sorete_lang as lang;
 pub use sorete_naive as naive;
 pub use sorete_reldb as reldb;
 pub use sorete_rete as rete;
+pub use sorete_server as server;
 pub use sorete_soi as soi;
 pub use sorete_treat as treat;
